@@ -1,0 +1,154 @@
+// E1 — Command language vs RMI-style serialization (paper §2.2 Fig 5, §8.1).
+//
+// Quantifies: "providing ACE with a unique and simple command language
+// allows for a very lightweight form of communication ... much more
+// lightweight than utilizing something like RMI."
+//
+// Expected shape: ACE command strings are several times smaller than the
+// equivalent RMI object stream (which carries class descriptors), and
+// build+serialize+parse round trips are correspondingly cheaper. Warm RMI
+// connections (descriptor caching) narrow but do not close the gap.
+#include <benchmark/benchmark.h>
+
+#include "baselines/rmi.hpp"
+#include "bench_common.hpp"
+#include "cmdlang/parser.hpp"
+
+using namespace ace;
+
+namespace {
+
+cmdlang::CmdLine make_ace_command(int args) {
+  cmdlang::CmdLine cmd("ptzMove");
+  for (int i = 0; i < args; ++i) {
+    switch (i % 3) {
+      case 0: cmd.arg("real" + std::to_string(i), 30.5 + i); break;
+      case 1: cmd.arg("int" + std::to_string(i), std::int64_t{i * 7}); break;
+      default: cmd.arg("str" + std::to_string(i),
+                       "value with spaces " + std::to_string(i));
+    }
+  }
+  return cmd;
+}
+
+baselines::RmiInvocation make_rmi_invocation(int args) {
+  baselines::RmiInvocation inv;
+  inv.interface_name = "edu.ku.ittc.ace.PTZCamera";
+  inv.method_name = "ptzMove";
+  for (int i = 0; i < args; ++i) {
+    switch (i % 3) {
+      case 0:
+        inv.arguments.emplace_back("real" + std::to_string(i),
+                                   baselines::RmiValue(30.5 + i));
+        break;
+      case 1:
+        inv.arguments.emplace_back("int" + std::to_string(i),
+                                   baselines::RmiValue(std::int64_t{i * 7}));
+        break;
+      default:
+        inv.arguments.emplace_back(
+            "str" + std::to_string(i),
+            baselines::RmiValue("value with spaces " + std::to_string(i)));
+    }
+  }
+  return inv;
+}
+
+void BM_AceSerialize(benchmark::State& state) {
+  auto cmd = make_ace_command(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(cmd.to_string());
+  state.counters["wire_bytes"] =
+      static_cast<double>(cmd.to_string().size());
+}
+BENCHMARK(BM_AceSerialize)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AceParse(benchmark::State& state) {
+  std::string wire =
+      make_ace_command(static_cast<int>(state.range(0))).to_string();
+  for (auto _ : state) {
+    auto parsed = cmdlang::Parser::parse(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_AceParse)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AceRoundTrip(benchmark::State& state) {
+  auto cmd = make_ace_command(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::string wire = cmd.to_string();
+    auto parsed = cmdlang::Parser::parse(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_AceRoundTrip)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RmiRoundTripCold(benchmark::State& state) {
+  auto inv = make_rmi_invocation(static_cast<int>(state.range(0)));
+  baselines::RmiMarshaller out(false), in(false);
+  for (auto _ : state) {
+    auto wire = out.marshal(inv);
+    auto parsed = in.unmarshal(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+  baselines::RmiMarshaller sizer(false);
+  state.counters["wire_bytes"] =
+      static_cast<double>(sizer.marshal(inv).size());
+}
+BENCHMARK(BM_RmiRoundTripCold)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RmiRoundTripWarm(benchmark::State& state) {
+  auto inv = make_rmi_invocation(static_cast<int>(state.range(0)));
+  baselines::RmiMarshaller out(true), in(true);
+  // Prime the descriptor caches.
+  (void)in.unmarshal(out.marshal(inv));
+  for (auto _ : state) {
+    auto wire = out.marshal(inv);
+    auto parsed = in.unmarshal(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+  baselines::RmiMarshaller sizer(true);
+  (void)sizer.marshal(inv);
+  state.counters["wire_bytes"] =
+      static_cast<double>(sizer.marshal(inv).size());
+}
+BENCHMARK(BM_RmiRoundTripWarm)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SemanticValidation(benchmark::State& state) {
+  cmdlang::SemanticRegistry registry;
+  registry.add(cmdlang::CommandSpec("ptzMove")
+                   .arg(cmdlang::real_arg("real0"))
+                   .arg(cmdlang::integer_arg("int1"))
+                   .arg(cmdlang::string_arg("str2"))
+                   .extra_ok());
+  auto cmd = make_ace_command(3);
+  for (auto _ : state) {
+    auto status = registry.validate(cmd);
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_SemanticValidation);
+
+void print_size_table() {
+  bench::header("E1", "wire size, ACE command language vs RMI object stream");
+  std::printf("%8s %12s %12s %12s %10s\n", "args", "ace_bytes", "rmi_cold",
+              "rmi_warm", "rmi/ace");
+  for (int args : {1, 2, 4, 8, 16, 32, 64}) {
+    std::size_t ace = make_ace_command(args).to_string().size();
+    baselines::RmiMarshaller cold(false);
+    std::size_t rmi_cold = cold.marshal(make_rmi_invocation(args)).size();
+    baselines::RmiMarshaller warm(true);
+    (void)warm.marshal(make_rmi_invocation(args));
+    std::size_t rmi_warm = warm.marshal(make_rmi_invocation(args)).size();
+    std::printf("%8d %12zu %12zu %12zu %9.1fx\n", args, ace, rmi_cold,
+                rmi_warm, static_cast<double>(rmi_cold) / ace);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_size_table();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the ACE experiment harness (EXPERIMENTS.md E1-E12).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "ace_test_env.hpp"
+
+namespace ace::bench {
+
+using Clock = std::chrono::steady_clock;
+
+inline double us_since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             Clock::now() - start)
+      .count();
+}
+
+struct Series {
+  std::vector<double> samples;
+
+  void add(double v) { samples.push_back(v); }
+  double mean() const {
+    if (samples.empty()) return 0.0;
+    return std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  }
+  double percentile(double p) const {
+    if (samples.empty()) return 0.0;
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t idx = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  }
+  double min() const { return percentile(0); }
+  double max() const { return percentile(100); }
+};
+
+inline void header(const char* experiment, const char* title) {
+  std::printf("\n=== %s: %s ===\n", experiment, title);
+}
+
+}  // namespace ace::bench

@@ -1,0 +1,129 @@
+// E6 — Resource-aware placement (paper §4.1-4.4, Fig 11).
+//
+// The SRM/SAL pair is the paper's mechanism for "invisible distribution of
+// computational resources". This harness launches a stream of applications
+// through the SAL under three policies and reports the resulting load
+// imbalance across hosts. Expected shape: least_loaded keeps max/mean close
+// to 1 even on heterogeneous hosts; random and first degrade.
+#include "bench_common.hpp"
+#include "services/launchers.hpp"
+#include "services/monitors.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+namespace {
+
+struct Deployment {
+  std::unique_ptr<testenv::AceTestEnv> env;
+  std::vector<std::unique_ptr<daemon::DaemonHost>> hosts;
+  net::Address sal;
+};
+
+// Four hosts, two fast (2000 bogomips) and two slow (1000).
+Deployment make_deployment(std::uint64_t seed) {
+  Deployment d;
+  d.env = std::make_unique<testenv::AceTestEnv>(seed);
+  if (!d.env->start().ok()) return d;
+  for (int i = 0; i < 4; ++i) {
+    daemon::HostSpec spec;
+    spec.bogomips = i < 2 ? 2000 : 1000;
+    auto host = std::make_unique<daemon::DaemonHost>(
+        d.env->env, "host" + std::to_string(i), spec);
+    daemon::DaemonConfig hrm_cfg;
+    hrm_cfg.name = "hrm-" + host->name();
+    hrm_cfg.room = "machine-room";
+    host->add_daemon<services::HrmDaemon>(hrm_cfg);
+    daemon::DaemonConfig hal_cfg;
+    hal_cfg.name = "hal-" + host->name();
+    hal_cfg.room = "machine-room";
+    host->add_daemon<services::HalDaemon>(hal_cfg);
+    (void)host->start_all();
+    d.hosts.push_back(std::move(host));
+  }
+  daemon::DaemonConfig srm_cfg;
+  srm_cfg.name = "srm";
+  srm_cfg.room = "machine-room";
+  services::SrmOptions srm_options;
+  srm_options.cache_ttl = 0ms;
+  auto& srm = d.hosts[0]->add_daemon<services::SrmDaemon>(srm_cfg,
+                                                          srm_options);
+  daemon::DaemonConfig sal_cfg;
+  sal_cfg.name = "sal";
+  sal_cfg.room = "machine-room";
+  auto& sal = d.hosts[0]->add_daemon<services::SalDaemon>(sal_cfg);
+  (void)srm.start();
+  (void)sal.start();
+  d.sal = sal.address();
+  return d;
+}
+
+void placement_policy_ablation() {
+  bench::header("E6", "load imbalance by placement policy (Fig 11)");
+  std::printf("%-14s %10s %10s %12s %14s\n", "policy", "apps", "max_load",
+              "mean_load", "max/mean");
+  for (const char* policy : {"least_loaded", "random", "first"}) {
+    Deployment d = make_deployment(90);
+    if (!d.env) return;
+    auto client = d.env->make_client("bench", "user/bench");
+
+    constexpr int kApps = 40;
+    util::Rng rng(9);
+    for (int i = 0; i < kApps; ++i) {
+      CmdLine launch("salLaunch");
+      launch.arg("command", "app" + std::to_string(i));
+      launch.arg("cpu", 0.05 + 0.1 * rng.next_double());
+      launch.arg("policy", Word{policy});
+      auto r = client->call_ok(d.sal, launch);
+      if (!r.ok()) {
+        std::fprintf(stderr, "launch failed: %s\n",
+                     r.error().to_string().c_str());
+        return;
+      }
+    }
+
+    // Normalized load = cpu_load / (bogomips/1000).
+    double max_load = 0.0, total = 0.0;
+    for (const auto& host : d.hosts) {
+      auto snap = host->resources();
+      double normalized = snap.cpu_load / (host->spec().bogomips / 1000.0);
+      max_load = std::max(max_load, normalized);
+      total += normalized;
+    }
+    double mean = total / static_cast<double>(d.hosts.size());
+    std::printf("%-14s %10d %10.3f %12.3f %13.2fx\n", policy, kApps,
+                max_load, mean, max_load / std::max(mean, 1e-9));
+  }
+  std::printf(
+      "  (shape: least_loaded stays near 1.0x; first piles everything on\n"
+      "   one host; random lands in between)\n");
+}
+
+void hrm_query_rate() {
+  bench::header("E6b", "HRM status query rate");
+  Deployment d = make_deployment(91);
+  if (!d.env) return;
+  auto client = d.env->make_client("bench", "user/bench");
+  auto hrms = services::asd_query(*client, d.env->env.asd_address, "*",
+                                  "Service/Monitor/HRM*", "*");
+  if (!hrms.ok() || hrms->empty()) return;
+  auto target = hrms->front().address;
+  (void)client->call(target, CmdLine("hrmStatus"));
+  constexpr int kQueries = 2000;
+  auto start = bench::Clock::now();
+  for (int i = 0; i < kQueries; ++i)
+    if (!client->call_ok(target, CmdLine("hrmStatus")).ok()) return;
+  double total_us = bench::us_since(start);
+  std::printf("  %d queries in %.1f ms -> %.0f queries/s\n", kQueries,
+              total_us / 1000.0, kQueries / (total_us / 1e6));
+}
+
+}  // namespace
+
+int main() {
+  placement_policy_ablation();
+  hrm_query_rate();
+  return 0;
+}

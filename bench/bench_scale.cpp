@@ -1,0 +1,206 @@
+// E12 — Scalability goals (paper Ch 9).
+//
+// "significant amount of testing must be done to ensure the scalability of
+//  the system ... Central services such as the ASD, AUD, WSS, etc must be
+//  fully tested for large communication loads."
+//
+// This harness loads the central services far past the scenario scale:
+//   * ASD with thousands of registrations under concurrent lookup+renewal,
+//   * AUD with thousands of users,
+//   * sustained command throughput from several concurrent clients,
+//   * media-plane throughput: converter and distribution streaming rates.
+#include <thread>
+
+#include "bench_common.hpp"
+#include "media/codec.hpp"
+#include "services/streaming.hpp"
+#include "services/user_db.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+namespace {
+
+void asd_under_load() {
+  bench::header("E12a", "ASD: 2000 services, concurrent lookups + renewals");
+  testenv::AceTestEnv deployment(160);
+  if (!deployment.start().ok()) return;
+  constexpr int kServices = 2000;
+  {
+    auto loader = deployment.make_client("loader", "user/loader");
+    for (int i = 0; i < kServices; ++i) {
+      CmdLine reg("register");
+      reg.arg("name", Word{"svc" + std::to_string(i)});
+      reg.arg("host", "host" + std::to_string(i % 64));
+      reg.arg("port", std::int64_t{1000 + i % 60000});
+      reg.arg("class", "Service/Load/Kind" + std::to_string(i % 10));
+      reg.arg("lease", std::int64_t{60000});
+      if (!loader->call_ok(deployment.env.asd_address, reg).ok()) return;
+    }
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kOpsPerClient = 500;
+  std::atomic<int> failures{0};
+  auto start = bench::Clock::now();
+  std::vector<std::jthread> workers;
+  for (int w = 0; w < kClients; ++w) {
+    workers.emplace_back([&, w] {
+      auto client = deployment.make_client("worker" + std::to_string(w),
+                                           "user/worker");
+      util::Rng rng(w + 1);
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        std::string name = "svc" + std::to_string(rng.next_below(kServices));
+        if (i % 4 == 0) {
+          CmdLine renew("renew");
+          renew.arg("name", Word{name});
+          if (!client->call_ok(deployment.env.asd_address, renew).ok())
+            failures++;
+        } else {
+          if (!services::asd_lookup(*client, deployment.env.asd_address, name)
+                   .ok())
+            failures++;
+        }
+      }
+    });
+  }
+  workers.clear();  // join
+  double seconds = bench::us_since(start) / 1e6;
+  int total_ops = kClients * kOpsPerClient;
+  std::printf("  %d mixed lookup/renew ops from %d clients in %.2f s -> "
+              "%.0f ops/s (failures: %d)\n",
+              total_ops, kClients, seconds, total_ops / seconds,
+              failures.load());
+  std::printf("  directory still consistent: live_count=%zu\n",
+              deployment.asd->live_count());
+}
+
+void aud_with_thousands_of_users() {
+  bench::header("E12b", "AUD: 3000 users, lookup latency");
+  testenv::AceTestEnv deployment(161);
+  if (!deployment.start().ok()) return;
+  daemon::DaemonHost host(deployment.env, "db-host");
+  daemon::DaemonConfig cfg;
+  cfg.name = "aud";
+  cfg.room = "machine-room";
+  auto& aud = host.add_daemon<services::UserDbDaemon>(cfg);
+  if (!aud.start().ok()) return;
+  auto client = deployment.make_client("bench", "user/bench");
+
+  constexpr int kUsers = 3000;
+  for (int i = 0; i < kUsers; ++i) {
+    CmdLine add("userAdd");
+    add.arg("username", Word{"user" + std::to_string(i)});
+    add.arg("ibutton", "IB-" + std::to_string(i));
+    if (!client->call_ok(aud.address(), add).ok()) return;
+  }
+
+  bench::Series get_us, by_button_us;
+  util::Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    std::string user = "user" + std::to_string(rng.next_below(kUsers));
+    CmdLine get("userGet");
+    get.arg("username", Word{user});
+    auto start = bench::Clock::now();
+    if (!client->call_ok(aud.address(), get).ok()) return;
+    get_us.add(bench::us_since(start));
+
+    CmdLine find("userByIButton");
+    find.arg("serial", "IB-" + std::to_string(rng.next_below(kUsers)));
+    start = bench::Clock::now();
+    if (!client->call_ok(aud.address(), find).ok()) return;
+    by_button_us.add(bench::us_since(start));
+  }
+  std::printf("  userGet:       p50=%.1f us  p95=%.1f us\n",
+              get_us.percentile(50), get_us.percentile(95));
+  std::printf("  userByIButton: p50=%.1f us  p95=%.1f us (linear scan)\n",
+              by_button_us.percentile(50), by_button_us.percentile(95));
+}
+
+void converter_video_throughput() {
+  bench::header("E12c", "converter: raw video -> RLE throughput");
+  media::VideoFrame reference;
+  bool has_ref = false;
+  constexpr int kFrames = 200;
+  constexpr int kW = 320, kH = 240;
+  std::size_t in_bytes = 0, out_bytes = 0;
+  auto start = bench::Clock::now();
+  for (int t = 0; t < kFrames; ++t) {
+    media::VideoFrame frame = media::synthetic_frame(kW, kH, t);
+    auto encoded =
+        media::rle_video_encode(frame, has_ref ? &reference : nullptr);
+    in_bytes += frame.pixels.size();
+    out_bytes += encoded.size();
+    reference = std::move(frame);
+    has_ref = true;
+  }
+  double seconds = bench::us_since(start) / 1e6;
+  std::printf("  %d frames (%dx%d) in %.2f s -> %.1f fps, compression %.1fx\n",
+              kFrames, kW, kH, seconds, kFrames / seconds,
+              static_cast<double>(in_bytes) / out_bytes);
+}
+
+void distribution_throughput() {
+  bench::header("E12d", "distribution service: fan-out streaming rate");
+  testenv::AceTestEnv deployment(162);
+  if (!deployment.start().ok()) return;
+  daemon::DaemonHost host(deployment.env, "stream-box");
+  daemon::DaemonConfig cfg;
+  cfg.name = "dist";
+  cfg.room = "machine-room";
+  auto& dist = host.add_daemon<services::DistributionDaemon>(cfg);
+  if (!dist.start().ok()) return;
+  auto client = deployment.make_client("bench", "user/bench");
+
+  constexpr int kSinks = 4;
+  std::vector<std::shared_ptr<net::DatagramSocket>> sinks;
+  for (int i = 0; i < kSinks; ++i) {
+    auto sock = host.net_host().open_datagram(
+        static_cast<std::uint16_t>(9000 + i));
+    if (!sock.ok()) return;
+    sinks.push_back(sock.value());
+    CmdLine add("distAddSink");
+    add.arg("stream", "feed");
+    add.arg("dest", "stream-box:" + std::to_string(9000 + i));
+    if (!client->call_ok(dist.address(), add).ok()) return;
+  }
+
+  auto src = host.net_host().open_datagram(8999);
+  if (!src.ok()) return;
+  services::MediaPacket packet;
+  packet.stream = "feed";
+  packet.format = "raw_pcm";
+  packet.payload = util::Bytes(1024, 0x42);
+  constexpr int kPackets = 2000;
+  auto start = bench::Clock::now();
+  for (int i = 0; i < kPackets; ++i) {
+    packet.sequence = static_cast<std::uint32_t>(i);
+    if (!(*src)->send_to(dist.data_address(), packet.serialize()).ok())
+      return;
+  }
+  // Wait for the fan-out to drain.
+  auto deadline = bench::Clock::now() + 10s;
+  while (dist.dist_stats().packets <
+             static_cast<std::uint64_t>(kPackets) &&
+         bench::Clock::now() < deadline)
+    std::this_thread::sleep_for(1ms);
+  double seconds = bench::us_since(start) / 1e6;
+  auto stats = dist.dist_stats();
+  std::printf("  %llu packets x %d sinks in %.2f s -> %.0f packets/s in, "
+              "%.1f MB/s out\n",
+              static_cast<unsigned long long>(stats.packets), kSinks, seconds,
+              stats.packets / seconds,
+              static_cast<double>(stats.fanout) * 1024 / seconds / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  asd_under_load();
+  aud_with_thousands_of_users();
+  converter_video_throughput();
+  distribution_throughput();
+  return 0;
+}

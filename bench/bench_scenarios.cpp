@@ -1,0 +1,204 @@
+// E10 — End-to-end scenario latencies (paper Ch 7, Figs 18-19).
+//
+// Times the user-visible paths the paper walks through:
+//   * Scenario 1: new-user provisioning (account + FIU enrollment +
+//     default workspace creation through WSS -> SAL -> SRM/HAL),
+//   * Scenarios 2+3: fingerprint scan -> identification -> AUD location
+//     update -> workspace viewer on screen at the access point,
+//   * Scenario 4: switching to a second workspace.
+#include "apps/workspace_backend.hpp"
+#include "bench_common.hpp"
+#include "services/identification.hpp"
+#include "services/launchers.hpp"
+#include "services/monitors.hpp"
+#include "services/user_db.hpp"
+#include "services/workspace.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+namespace {
+
+struct Ace {
+  std::unique_ptr<testenv::AceTestEnv> deployment;
+  std::unique_ptr<daemon::DaemonHost> bar, tube, podium;
+  std::unique_ptr<apps::VncWorkspaceFactory> factory;
+  std::unique_ptr<daemon::AceClient> admin;
+  services::UserDbDaemon* aud = nullptr;
+  services::WssDaemon* wss = nullptr;
+  services::FiuDaemon* fiu = nullptr;
+  services::IdMonitorDaemon* id_monitor = nullptr;
+};
+
+daemon::DaemonConfig cfg(const std::string& name, const std::string& room) {
+  daemon::DaemonConfig c;
+  c.name = name;
+  c.room = room;
+  return c;
+}
+
+Ace make_ace(std::uint64_t seed) {
+  Ace a;
+  a.deployment = std::make_unique<testenv::AceTestEnv>(seed);
+  if (!a.deployment->start().ok()) return a;
+  a.admin = a.deployment->make_client("admin-pc", "user/admin");
+  a.bar = std::make_unique<daemon::DaemonHost>(a.deployment->env, "bar");
+  a.tube = std::make_unique<daemon::DaemonHost>(a.deployment->env, "tube");
+  a.podium = std::make_unique<daemon::DaemonHost>(a.deployment->env, "podium");
+
+  for (auto* host : {a.bar.get(), a.tube.get()}) {
+    host->add_daemon<services::HrmDaemon>(
+        cfg("hrm-" + host->name(), "machine-room"));
+    host->add_daemon<services::HalDaemon>(
+        cfg("hal-" + host->name(), "machine-room"));
+    (void)host->start_all();
+  }
+  services::SrmOptions srm_options;
+  srm_options.cache_ttl = 0ms;
+  auto& srm = a.bar->add_daemon<services::SrmDaemon>(
+      cfg("srm", "machine-room"), srm_options);
+  auto& sal = a.bar->add_daemon<services::SalDaemon>(cfg("sal", "machine-room"));
+  (void)srm.start();
+  (void)sal.start();
+
+  a.aud = &a.tube->add_daemon<services::UserDbDaemon>(cfg("aud", "machine-room"));
+  a.wss = &a.tube->add_daemon<services::WssDaemon>(cfg("wss", "machine-room"));
+  (void)a.aud->start();
+  (void)a.wss->start();
+
+  a.factory = std::make_unique<apps::VncWorkspaceFactory>(
+      a.deployment->env,
+      std::vector<daemon::DaemonHost*>{a.bar.get(), a.tube.get()},
+      std::map<std::string, daemon::DaemonHost*>{{"podium", a.podium.get()}});
+  a.factory->install(*a.wss);
+
+  a.fiu = &a.podium->add_daemon<services::FiuDaemon>(cfg("fiu", "hawk"));
+  (void)a.fiu->start();
+  a.id_monitor = &a.tube->add_daemon<services::IdMonitorDaemon>(
+      cfg("id-monitor", "machine-room"));
+  (void)a.id_monitor->start();
+  (void)a.id_monitor->watch_device(a.fiu->address());
+  return a;
+}
+
+cmdlang::Vector finger(int user_index) {
+  return cmdlang::real_vector({0.1 * user_index, 0.9, 0.3, 0.5});
+}
+
+void scenario1_provisioning() {
+  bench::header("E10a", "Scenario 1: new user + default workspace");
+  Ace a = make_ace(130);
+  if (!a.admin) return;
+  bench::Series provision_ms;
+  for (int u = 0; u < 10; ++u) {
+    std::string username = "user" + std::to_string(u);
+    auto start = bench::Clock::now();
+    CmdLine add("userAdd");
+    add.arg("username", Word{username});
+    add.arg("fullname", "User " + std::to_string(u));
+    add.arg("password", "pw");
+    add.arg("fingerprint", "fp_" + username);
+    if (!a.admin->call_ok(a.aud->address(), add).ok()) return;
+    CmdLine enroll("fiuEnroll");
+    enroll.arg("template", Word{"fp_" + username});
+    enroll.arg("features", finger(u));
+    if (!a.admin->call_ok(a.fiu->address(), enroll).ok()) return;
+    CmdLine ws("wssDefault");
+    ws.arg("owner", Word{username});
+    if (!a.admin->call_ok(a.wss->address(), ws).ok()) return;
+    provision_ms.add(bench::us_since(start) / 1000.0);
+  }
+  std::printf("  account + enrollment + live workspace server: p50=%.1f ms "
+              "p95=%.1f ms\n",
+              provision_ms.percentile(50), provision_ms.percentile(95));
+}
+
+void scenario23_identification_to_screen() {
+  bench::header("E10b",
+                "Scenarios 2+3: fingerprint scan -> workspace on screen");
+  bench::Series id_ms, screen_ms;
+  for (int trial = 0; trial < 8; ++trial) {
+    Ace a = make_ace(131 + trial);
+    if (!a.admin) return;
+    CmdLine add("userAdd");
+    add.arg("username", Word{"john"});
+    add.arg("fingerprint", "fp_john");
+    if (!a.admin->call_ok(a.aud->address(), add).ok()) return;
+    CmdLine enroll("fiuEnroll");
+    enroll.arg("template", Word{"fp_john"});
+    enroll.arg("features", finger(3));
+    if (!a.admin->call_ok(a.fiu->address(), enroll).ok()) return;
+
+    auto start = bench::Clock::now();
+    CmdLine scan("fiuScan");
+    scan.arg("features", finger(3));
+    scan.arg("station", "podium");
+    auto r = a.admin->call_ok(a.fiu->address(), scan);
+    if (!r.ok()) return;
+    id_ms.add(bench::us_since(start) / 1000.0);
+
+    // Wait until the viewer at the podium mirrors the workspace server.
+    auto deadline = bench::Clock::now() + 5s;
+    bool on_screen = false;
+    while (bench::Clock::now() < deadline && !on_screen) {
+      auto ws = a.wss->workspace("john/default");
+      auto* viewer = a.factory->viewer_on("podium");
+      if (ws && viewer) {
+        auto* server = a.factory->server_at(ws->server);
+        on_screen = server &&
+                    server->framebuffer_hash() == viewer->framebuffer_hash();
+      }
+      if (!on_screen) std::this_thread::sleep_for(1ms);
+    }
+    if (!on_screen) {
+      std::fprintf(stderr, "  trial %d: workspace never appeared\n", trial);
+      continue;
+    }
+    screen_ms.add(bench::us_since(start) / 1000.0);
+  }
+  std::printf("  positive identification reply:        p50=%.1f ms\n",
+              id_ms.percentile(50));
+  std::printf("  scan -> workspace visible at podium:  p50=%.1f ms  "
+              "p95=%.1f ms\n",
+              screen_ms.percentile(50), screen_ms.percentile(95));
+}
+
+void scenario4_workspace_switch() {
+  bench::header("E10c", "Scenario 4: switching to a second workspace");
+  Ace a = make_ace(140);
+  if (!a.admin) return;
+  CmdLine add("userAdd");
+  add.arg("username", Word{"john"});
+  if (!a.admin->call_ok(a.aud->address(), add).ok()) return;
+  CmdLine ws1("wssDefault");
+  ws1.arg("owner", Word{"john"});
+  if (!a.admin->call_ok(a.wss->address(), ws1).ok()) return;
+  CmdLine ws2("wssCreate");
+  ws2.arg("owner", Word{"john"});
+  ws2.arg("name", Word{"slides"});
+  if (!a.admin->call_ok(a.wss->address(), ws2).ok()) return;
+
+  bench::Series switch_ms;
+  const char* targets[] = {"john/default", "john/slides"};
+  for (int i = 0; i < 10; ++i) {
+    auto start = bench::Clock::now();
+    CmdLine show("wssShow");
+    show.arg("workspace", targets[i % 2]);
+    show.arg("location", "podium");
+    if (!a.admin->call_ok(a.wss->address(), show).ok()) return;
+    switch_ms.add(bench::us_since(start) / 1000.0);
+  }
+  std::printf("  selector switch (wssShow): p50=%.1f ms  p95=%.1f ms\n",
+              switch_ms.percentile(50), switch_ms.percentile(95));
+}
+
+}  // namespace
+
+int main() {
+  scenario1_provisioning();
+  scenario23_identification_to_screen();
+  scenario4_workspace_switch();
+  return 0;
+}

@@ -1,0 +1,157 @@
+// E5 — Security overhead (paper §3, Fig 10).
+//
+// Quantifies the cost of the ACE security stack layer by layer:
+//   * secure-channel handshake (the connection-setup cost of "SSL"),
+//   * per-command encryption vs plaintext (crypto ablation),
+//   * per-command KeyNote authorization: uncached (AuthDB fetch + check)
+//     vs credential-cache hit vs authorization off.
+//
+// Expected shape: the handshake dominates connection setup; steady-state
+// encryption adds a modest per-command cost; authorization is nearly free
+// when the credential cache hits and costs one extra round trip when cold.
+#include "bench_common.hpp"
+#include "daemon/daemon.hpp"
+#include "services/auth_db.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+
+namespace {
+
+class EchoDaemon : public daemon::ServiceDaemon {
+ public:
+  EchoDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+             daemon::DaemonConfig config)
+      : ServiceDaemon(env, host, std::move(config)) {
+    register_command(cmdlang::CommandSpec("echo").arg(
+                         cmdlang::string_arg("text")),
+                     [](const CmdLine& cmd, const daemon::CallerInfo&) {
+                       CmdLine reply = cmdlang::make_ok();
+                       reply.arg("text", cmd.get_text("text"));
+                       return reply;
+                     });
+  }
+};
+
+void handshake_cost() {
+  bench::header("E5a", "secure-channel handshake vs plaintext connect");
+  for (bool encrypt : {true, false}) {
+    testenv::AceTestEnv deployment(80, encrypt);
+    if (!deployment.start().ok()) return;
+    daemon::DaemonHost host(deployment.env, "work");
+    daemon::DaemonConfig c;
+    c.name = "echo";
+    c.room = "hawk";
+    auto& echo = host.add_daemon<EchoDaemon>(c);
+    if (!echo.start().ok()) return;
+
+    bench::Series connect_us;
+    for (int i = 0; i < 50; ++i) {
+      auto client = deployment.make_client("client" + std::to_string(i),
+                                           "user/bench");
+      auto start = bench::Clock::now();
+      auto r = client->call(echo.address(), CmdLine("ping"));
+      connect_us.add(bench::us_since(start));
+      if (!r.ok()) return;
+    }
+    std::printf("  %-10s first-command latency (connect+handshake+cmd): "
+                "p50=%.1f us  p95=%.1f us\n",
+                encrypt ? "encrypted" : "plaintext", connect_us.percentile(50),
+                connect_us.percentile(95));
+  }
+}
+
+void steady_state_command_cost() {
+  bench::header("E5b", "steady-state command latency, crypto ablation");
+  for (bool encrypt : {true, false}) {
+    testenv::AceTestEnv deployment(81, encrypt);
+    if (!deployment.start().ok()) return;
+    daemon::DaemonHost host(deployment.env, "work");
+    daemon::DaemonConfig c;
+    c.name = "echo";
+    c.room = "hawk";
+    auto& echo = host.add_daemon<EchoDaemon>(c);
+    if (!echo.start().ok()) return;
+    auto client = deployment.make_client("client", "user/bench");
+
+    CmdLine cmd("echo");
+    cmd.arg("text", "a moderately sized payload for the echo command");
+    (void)client->call(echo.address(), cmd);  // warm the channel
+
+    bench::Series cmd_us;
+    for (int i = 0; i < 2000; ++i) {
+      auto start = bench::Clock::now();
+      auto r = client->call(echo.address(), cmd);
+      cmd_us.add(bench::us_since(start));
+      if (!r.ok()) return;
+    }
+    std::printf("  %-10s per-command: p50=%.1f us  p95=%.1f us\n",
+                encrypt ? "encrypted" : "plaintext", cmd_us.percentile(50),
+                cmd_us.percentile(95));
+  }
+}
+
+void authorization_cost() {
+  bench::header("E5c", "KeyNote authorization cost (Fig 10)");
+  struct Variant {
+    const char* label;
+    bool enforce;
+    std::chrono::milliseconds cache_ttl;
+  };
+  const Variant variants[] = {
+      {"authorization off", false, 0ms},
+      {"authorize, cache hit", true, 60000ms},
+      {"authorize, cache cold (AuthDB fetch each cmd)", true, 0ms},
+  };
+  for (const Variant& v : variants) {
+    testenv::AceTestEnv deployment(82);
+    if (!deployment.start().ok()) return;
+    auto admin = deployment.make_client("admin", "user/admin");
+    deployment.env.register_principal("admin-key");
+    keynote::Assertion policy;
+    policy.authorizer = keynote::kPolicyAuthorizer;
+    policy.licensees = keynote::licensee_key("admin-key");
+    deployment.env.add_policy(policy);
+    auto granted = services::grant_credential(
+        *admin, deployment.env.auth_db_address, deployment.env, "admin-key",
+        "user/bench", "app_domain == \"ace\"");
+    if (!granted.ok()) return;
+
+    daemon::DaemonHost host(deployment.env, "work");
+    daemon::DaemonConfig c;
+    c.name = "echo";
+    c.room = "hawk";
+    c.enforce_authorization = v.enforce;
+    c.credential_cache_ttl = v.cache_ttl;
+    auto& echo = host.add_daemon<EchoDaemon>(c);
+    if (!echo.start().ok()) return;
+    auto client = deployment.make_client("client", "user/bench");
+
+    CmdLine cmd("echo");
+    cmd.arg("text", "hello");
+    (void)client->call(echo.address(), cmd);
+
+    bench::Series cmd_us;
+    for (int i = 0; i < 500; ++i) {
+      auto start = bench::Clock::now();
+      auto r = client->call(echo.address(), cmd);
+      cmd_us.add(bench::us_since(start));
+      if (!r.ok() || cmdlang::is_error(r.value())) {
+        std::fprintf(stderr, "  command failed under '%s'\n", v.label);
+        break;
+      }
+    }
+    std::printf("  %-48s p50=%.1f us  p95=%.1f us\n", v.label,
+                cmd_us.percentile(50), cmd_us.percentile(95));
+  }
+}
+
+}  // namespace
+
+int main() {
+  handshake_cost();
+  steady_state_command_cost();
+  authorization_cost();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E4 — Daemon startup sequence (paper §2.6, Fig 9).
+//
+// Times the five-step initialization (launch -> Room DB -> ASD register ->
+// notifications -> Network Logger) per daemon, and a cold boot of N daemons
+// on one machine ("Upon booting, the Unix machine ... automatically
+// launches the ACE service"). Also isolates the cost of each registration
+// leg by toggling the steps off.
+#include "bench_common.hpp"
+#include "services/monitors.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+
+namespace {
+
+daemon::DaemonConfig base_config(const std::string& name) {
+  daemon::DaemonConfig c;
+  c.name = name;
+  c.room = "hawk";
+  return c;
+}
+
+void single_daemon_breakdown() {
+  bench::header("E4a", "startup sequence cost breakdown (Fig 9)");
+  struct Variant {
+    const char* label;
+    bool room_db;
+    bool asd;
+    bool logger;
+  };
+  const Variant variants[] = {
+      {"listen only (step 1)", false, false, false},
+      {"+ room db (step 2)", true, false, false},
+      {"+ asd register (step 3)", true, true, false},
+      {"+ net logger (step 5) = full", true, true, true},
+  };
+  std::printf("%-34s %14s\n", "variant", "start_ms(p50)");
+  for (const Variant& v : variants) {
+    bench::Series start_ms;
+    for (int trial = 0; trial < 10; ++trial) {
+      testenv::AceTestEnv deployment(60 + trial);
+      if (!deployment.start().ok()) return;
+      daemon::DaemonHost host(deployment.env, "work");
+      daemon::DaemonConfig c = base_config("probe");
+      c.register_with_room_db = v.room_db;
+      c.register_with_asd = v.asd;
+      c.log_to_net_logger = v.logger;
+      auto& d = host.add_daemon<services::HrmDaemon>(c);
+      auto start = bench::Clock::now();
+      if (!d.start().ok()) return;
+      start_ms.add(bench::us_since(start) / 1000.0);
+      d.stop();
+    }
+    std::printf("%-34s %14.2f\n", v.label, start_ms.percentile(50));
+  }
+}
+
+void cold_boot_many() {
+  bench::header("E4b", "cold boot of N daemons on one machine");
+  std::printf("%10s %14s %18s\n", "daemons", "boot_ms", "per_daemon_ms");
+  for (int n : {1, 4, 16, 64}) {
+    testenv::AceTestEnv deployment(70);
+    if (!deployment.start().ok()) return;
+    daemon::DaemonHost host(deployment.env, "bar");
+    for (int i = 0; i < n; ++i)
+      host.add_daemon<services::HrmDaemon>(
+          base_config("svc" + std::to_string(i)));
+    auto start = bench::Clock::now();
+    if (!host.start_all().ok()) return;
+    double boot_ms = bench::us_since(start) / 1000.0;
+    std::printf("%10d %14.1f %18.2f\n", n, boot_ms, boot_ms / n);
+    if (deployment.asd->live_count() != static_cast<std::size_t>(n) + 3)
+      std::fprintf(stderr, "  warning: expected %d registrations\n", n);
+  }
+}
+
+}  // namespace
+
+int main() {
+  single_daemon_breakdown();
+  cold_boot_many();
+  return 0;
+}

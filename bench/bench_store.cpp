@@ -1,0 +1,173 @@
+// E9 — Persistent store (paper Ch 6, Fig 17).
+//
+// Reproduces the figure's claims as measurements:
+//   * replicated write / read latency and throughput,
+//   * availability under 1 and 2 replica failures ("ACE services may still
+//     access the stored information"),
+//   * anti-entropy resynchronisation time vs missed-write count,
+//   * replica-count ablation (1/2/3): write cost vs redundancy,
+//   * read load spreading across replicas (the bottleneck argument).
+#include "bench_common.hpp"
+#include "store/persistent_store.hpp"
+#include "store/store_client.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+
+namespace {
+
+struct Cluster {
+  std::unique_ptr<testenv::AceTestEnv> deployment;
+  std::vector<std::unique_ptr<daemon::DaemonHost>> hosts;
+  std::vector<store::PersistentStoreDaemon*> replicas;
+  std::vector<net::Address> addresses;
+  std::unique_ptr<daemon::AceClient> client;
+};
+
+Cluster make_cluster(int replica_count, std::uint64_t seed) {
+  Cluster c;
+  c.deployment = std::make_unique<testenv::AceTestEnv>(seed);
+  if (!c.deployment->start().ok()) return c;
+  for (int i = 0; i < replica_count; ++i) {
+    c.hosts.push_back(std::make_unique<daemon::DaemonHost>(
+        c.deployment->env, "store" + std::to_string(i + 1)));
+    daemon::DaemonConfig cfg;
+    cfg.name = "store" + std::to_string(i + 1);
+    cfg.room = "machine-room";
+    cfg.port = 6000;
+    c.replicas.push_back(
+        &c.hosts.back()->add_daemon<store::PersistentStoreDaemon>(cfg, i + 1));
+  }
+  for (int i = 0; i < replica_count; ++i) {
+    std::vector<net::Address> peers;
+    for (int j = 0; j < replica_count; ++j)
+      if (j != i) peers.push_back(c.replicas[j]->address());
+    c.replicas[i]->set_peers(peers);
+    (void)c.replicas[i]->start();
+    c.addresses.push_back(c.replicas[i]->address());
+  }
+  c.client = c.deployment->make_client("app", "svc/app");
+  return c;
+}
+
+void replica_count_ablation() {
+  bench::header("E9a", "write/read latency vs replica count (ablation)");
+  std::printf("%10s %14s %14s\n", "replicas", "write_us(p50)",
+              "read_us(p50)");
+  for (int replicas : {1, 2, 3}) {
+    Cluster c = make_cluster(replicas, 120);
+    if (!c.client) return;
+    store::StoreClient store(*c.client, c.addresses);
+    util::Bytes payload(256, 0xab);
+    (void)store.put("warm", payload);
+
+    bench::Series write_us, read_us;
+    for (int i = 0; i < 300; ++i) {
+      auto start = bench::Clock::now();
+      if (!store.put("key" + std::to_string(i % 50), payload).ok()) return;
+      write_us.add(bench::us_since(start));
+    }
+    for (int i = 0; i < 300; ++i) {
+      auto start = bench::Clock::now();
+      if (!store.get("key" + std::to_string(i % 50)).ok()) return;
+      read_us.add(bench::us_since(start));
+    }
+    std::printf("%10d %14.1f %14.1f\n", replicas, write_us.percentile(50),
+                read_us.percentile(50));
+  }
+  std::printf("  (shape: write cost grows with replication factor; reads "
+              "stay flat)\n");
+}
+
+void availability_under_failures() {
+  bench::header("E9b", "availability under replica failures (Fig 17 claim)");
+  std::printf("%16s %12s %12s\n", "failed_replicas", "reads_ok",
+              "writes_ok");
+  for (int failures : {0, 1, 2}) {
+    Cluster c = make_cluster(3, 121);
+    if (!c.client) return;
+    store::StoreClient store(*c.client, c.addresses);
+    for (int i = 0; i < 20; ++i)
+      (void)store.put("pre" + std::to_string(i), util::to_bytes("x"));
+    for (int f = 0; f < failures; ++f) c.hosts[f]->fail();
+
+    int reads_ok = 0, writes_ok = 0;
+    constexpr int kOps = 40;
+    for (int i = 0; i < kOps; ++i) {
+      if (store.get("pre" + std::to_string(i % 20)).ok()) reads_ok++;
+      if (store.put("during" + std::to_string(i), util::to_bytes("y")).ok())
+        writes_ok++;
+      store.rotate();
+    }
+    std::printf("%16d %9d/%d %9d/%d\n", failures, reads_ok, kOps, writes_ok,
+                kOps);
+  }
+}
+
+void resync_time() {
+  bench::header("E9c", "anti-entropy resync time vs missed writes");
+  std::printf("%14s %14s %14s\n", "missed_writes", "resync_ms",
+              "objects_fetched");
+  for (int missed : {10, 50, 200, 500}) {
+    Cluster c = make_cluster(3, 122);
+    if (!c.client) return;
+    store::StoreClient store(*c.client, c.addresses);
+    c.hosts[2]->fail();
+    util::Bytes payload(128, 0x5a);
+    for (int i = 0; i < missed; ++i)
+      (void)store.put("miss" + std::to_string(i), payload);
+    c.hosts[2]->restore();
+    auto start = bench::Clock::now();
+    auto fetched = c.replicas[2]->sync_from_peers();
+    double ms = bench::us_since(start) / 1000.0;
+    if (!fetched.ok()) return;
+    std::printf("%14d %14.1f %14lld\n", missed, ms,
+                static_cast<long long>(fetched.value()));
+  }
+  std::printf("  (shape: resync time linear in the number of missed "
+              "objects)\n");
+}
+
+void read_spreading() {
+  bench::header("E9d", "read load spreading across replicas");
+  Cluster c = make_cluster(3, 123);
+  if (!c.client) return;
+  store::StoreClient store(*c.client, c.addresses);
+  (void)store.put("hot", util::Bytes(64, 1));
+  constexpr int kReads = 300;
+  for (int i = 0; i < kReads; ++i) {
+    (void)store.get("hot");
+    store.rotate();
+  }
+  std::printf("  %d reads of one hot key; per-replica commands executed:", kReads);
+  for (auto* r : c.replicas)
+    std::printf(" %llu",
+                static_cast<unsigned long long>(r->stats().commands_executed));
+  std::printf("\n  (shape: roughly even split instead of one hot server)\n");
+}
+
+void throughput() {
+  bench::header("E9e", "sustained write throughput (3 replicas, 256B values)");
+  Cluster c = make_cluster(3, 124);
+  if (!c.client) return;
+  store::StoreClient store(*c.client, c.addresses);
+  util::Bytes payload(256, 0x7e);
+  constexpr int kWrites = 1000;
+  auto start = bench::Clock::now();
+  for (int i = 0; i < kWrites; ++i)
+    if (!store.put("k" + std::to_string(i % 100), payload).ok()) return;
+  double seconds = bench::us_since(start) / 1e6;
+  std::printf("  %d replicated writes in %.2f s -> %.0f writes/s\n", kWrites,
+              seconds, kWrites / seconds);
+}
+
+}  // namespace
+
+int main() {
+  replica_count_ablation();
+  availability_under_failures();
+  resync_time();
+  read_spreading();
+  throughput();
+  return 0;
+}

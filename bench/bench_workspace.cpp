@@ -1,0 +1,154 @@
+// E8 — Workspace access (paper §1.3, §5.4, Fig 16).
+//
+// Measures the user-visible workspace mechanics:
+//   * bring-up latency at a new access point (attach + initial full frame),
+//   * state preservation across detach/reattach moves (hash-verified),
+//   * dirty-rect incremental updates vs full-frame retransmission
+//     (the property that makes remote viewing cheap).
+#include "apps/vnc.hpp"
+#include "apps/workspace_backend.hpp"
+#include "bench_common.hpp"
+#include "services/workspace.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+namespace {
+
+bool wait_converged(apps::VncServerDaemon& server,
+                    apps::VncViewerDaemon& viewer,
+                    std::chrono::milliseconds timeout = 3s) {
+  auto deadline = bench::Clock::now() + timeout;
+  while (bench::Clock::now() < deadline) {
+    if (server.framebuffer_hash() == viewer.framebuffer_hash()) return true;
+    std::this_thread::sleep_for(200us);
+  }
+  return false;
+}
+
+void bringup_latency() {
+  bench::header("E8a", "workspace bring-up latency at a new access point");
+  testenv::AceTestEnv deployment(110);
+  if (!deployment.start().ok()) return;
+  auto client = deployment.make_client("bench", "user/john");
+  daemon::DaemonHost server_host(deployment.env, "vnc-host");
+
+  daemon::DaemonConfig cfg;
+  cfg.name = "vnc-john";
+  cfg.room = "machine-room";
+  auto& server = server_host.add_daemon<apps::VncServerDaemon>(
+      cfg, "john", "default");
+  server.set_password("pw");
+  if (!server.start().ok()) return;
+  // Populate the workspace so the initial frame is non-trivial.
+  for (int i = 0; i < 6; ++i) {
+    CmdLine run("vncRunApp");
+    run.arg("command", "app" + std::to_string(i));
+    (void)client->call_ok(server.address(), run);
+  }
+
+  bench::Series bringup_ms;
+  for (int i = 0; i < 20; ++i) {
+    daemon::DaemonHost ap(deployment.env, "ap" + std::to_string(i));
+    daemon::DaemonConfig vcfg;
+    vcfg.name = "viewer" + std::to_string(i);
+    vcfg.room = "hall";
+    auto& viewer = ap.add_daemon<apps::VncViewerDaemon>(vcfg);
+    if (!viewer.start().ok()) return;
+    auto start = bench::Clock::now();
+    if (!viewer.attach(server.address(), "pw").ok()) return;
+    if (!wait_converged(server, viewer)) return;
+    bringup_ms.add(bench::us_since(start) / 1000.0);
+    (void)viewer.detach();
+  }
+  std::printf("  attach + initial frame: p50=%.2f ms  p95=%.2f ms\n",
+              bringup_ms.percentile(50), bringup_ms.percentile(95));
+}
+
+void state_preserved_across_moves() {
+  bench::header("E8b", "state preservation across access-point moves");
+  testenv::AceTestEnv deployment(111);
+  if (!deployment.start().ok()) return;
+  auto client = deployment.make_client("bench", "user/john");
+  daemon::DaemonHost server_host(deployment.env, "vnc-host");
+  daemon::DaemonConfig cfg;
+  cfg.name = "vnc-john";
+  cfg.room = "machine-room";
+  auto& server = server_host.add_daemon<apps::VncServerDaemon>(
+      cfg, "john", "default");
+  server.set_password("pw");
+  if (!server.start().ok()) return;
+
+  int moves = 0, preserved = 0;
+  for (int i = 0; i < 10; ++i) {
+    // Mutate state at this access point.
+    CmdLine run("vncRunApp");
+    run.arg("command", "doc" + std::to_string(i));
+    (void)client->call_ok(server.address(), run);
+    std::uint64_t before = server.framebuffer_hash();
+
+    daemon::DaemonHost ap(deployment.env, "move-ap" + std::to_string(i));
+    daemon::DaemonConfig vcfg;
+    vcfg.name = "mv" + std::to_string(i);
+    vcfg.room = "hall";
+    auto& viewer = ap.add_daemon<apps::VncViewerDaemon>(vcfg);
+    if (!viewer.start().ok()) return;
+    if (!viewer.attach(server.address(), "pw").ok()) return;
+    moves++;
+    if (wait_converged(server, viewer) &&
+        server.framebuffer_hash() == before)
+      preserved++;
+    (void)viewer.detach();
+  }
+  std::printf("  %d/%d moves preserved the exact workspace state\n",
+              preserved, moves);
+}
+
+void update_bandwidth() {
+  bench::header("E8c", "incremental dirty-rect updates vs full frames");
+  apps::Framebuffer fb(apps::kWorkspaceWidth, apps::kWorkspaceHeight);
+  fb.fill_rect({0, 0, fb.width(), fb.height()}, 0x18);
+  fb.clear_dirty();
+
+  std::printf("%-26s %14s %14s %10s\n", "workload", "dirty_bytes",
+              "full_bytes", "savings");
+  struct Workload {
+    const char* label;
+    std::function<void(apps::Framebuffer&)> mutate;
+  };
+  util::Rng rng(5);
+  const Workload workloads[] = {
+      {"cursor blink (3x3)",
+       [](apps::Framebuffer& f) { f.fill_rect({100, 100, 3, 3}, 0xff); }},
+      {"typing a line of text",
+       [](apps::Framebuffer& f) { f.draw_label(8, 200, "hello_world", 0xd0); }},
+      {"window move (96x24)",
+       [&rng](apps::Framebuffer& f) {
+         int x = static_cast<int>(rng.next_below(200));
+         f.fill_rect({x, 60, 96, 24}, 0x80);
+       }},
+      {"full-screen repaint",
+       [](apps::Framebuffer& f) {
+         f.fill_rect({0, 0, f.width(), f.height()}, 0x30);
+       }},
+  };
+  for (const Workload& w : workloads) {
+    w.mutate(fb);
+    std::size_t dirty = fb.encode_updates(false).size();
+    std::size_t full = fb.encode_updates(true).size();
+    fb.clear_dirty();
+    std::printf("%-26s %14zu %14zu %9.1fx\n", w.label, dirty, full,
+                static_cast<double>(full) / std::max<std::size_t>(dirty, 1));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bringup_latency();
+  state_preserved_across_moves();
+  update_bandwidth();
+  return 0;
+}

@@ -1,0 +1,178 @@
+// ace_shell — a command-line console onto a live ACE.
+//
+// Boots a small demo environment (infrastructure + a conference room with
+// a camera, a projector and an iButton reader), then reads lines from
+// stdin of the form
+//
+//     @<service-name> <ace command>;        e.g.  @cam1 ptzMove pan=10 tilt=2;
+//     @<service-name> info;                       @asd query class="Service/Device*";
+//     .services                              (list the directory)
+//     .quit
+//
+// resolving each service through the ASD and printing the reply command.
+// With no stdin (or end of input) it runs a short built-in demo script, so
+// it is usable both interactively and in CI.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "daemon/devices.hpp"
+#include "daemon/host.hpp"
+#include "services/asd.hpp"
+#include "services/auth_db.hpp"
+#include "services/identification.hpp"
+#include "services/net_logger.hpp"
+#include "services/room_db.hpp"
+#include "services/user_db.hpp"
+
+using namespace ace;
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+namespace {
+
+daemon::DaemonConfig cfg(const std::string& name, const std::string& room) {
+  daemon::DaemonConfig c;
+  c.name = name;
+  c.room = room;
+  return c;
+}
+
+void run_line(daemon::Environment& env, daemon::AceClient& client,
+              const std::string& line) {
+  if (line.empty() || line[0] == '#') return;
+  if (line == ".quit") std::exit(0);
+  if (line == ".services") {
+    auto all = services::asd_query(client, env.asd_address, "*", "*", "*");
+    if (!all.ok()) {
+      std::printf("! %s\n", all.error().to_string().c_str());
+      return;
+    }
+    for (const auto& svc : all.value())
+      std::printf("  %-16s %-22s room=%-12s class=%s\n", svc.name.c_str(),
+                  svc.address.to_string().c_str(), svc.room.c_str(),
+                  svc.service_class.c_str());
+    return;
+  }
+  if (line[0] != '@') {
+    std::printf("! expected '@service command...;', '.services' or '.quit'\n");
+    return;
+  }
+  auto space = line.find(' ');
+  if (space == std::string::npos) {
+    std::printf("! missing command after service name\n");
+    return;
+  }
+  std::string service = line.substr(1, space - 1);
+  std::string command_text = line.substr(space + 1);
+
+  auto parsed = cmdlang::Parser::parse(command_text);
+  if (!parsed.ok()) {
+    std::printf("! parse error: %s\n", parsed.error().message.c_str());
+    return;
+  }
+  // Infrastructure services live at well-known sockets and are not in the
+  // directory; everything else resolves through the ASD.
+  net::Address target;
+  if (service == "asd") {
+    target = env.asd_address;
+  } else if (service == "room-db") {
+    target = env.room_db_address;
+  } else if (service == "net-logger") {
+    target = env.net_logger_address;
+  } else if (service == "auth-db") {
+    target = env.auth_db_address;
+  } else {
+    auto loc = services::asd_lookup(client, env.asd_address, service);
+    if (!loc.ok()) {
+      std::printf("! no such service '%s' in the ASD\n", service.c_str());
+      return;
+    }
+    target = loc->address;
+  }
+  auto reply = client.call(target, parsed.value());
+  if (!reply.ok()) {
+    std::printf("! call failed: %s\n", reply.error().to_string().c_str());
+    return;
+  }
+  std::printf("  %s\n", reply->to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  daemon::Environment env(6);
+  env.asd_address = {"infra", daemon::kAsdPort};
+  env.room_db_address = {"infra", daemon::kRoomDbPort};
+  env.net_logger_address = {"infra", daemon::kNetLoggerPort};
+  env.auth_db_address = {"infra", daemon::kAuthDbPort};
+
+  daemon::DaemonHost infra(env, "infra");
+  {
+    daemon::DaemonConfig c = cfg("asd", "machine-room");
+    c.port = daemon::kAsdPort;
+    c.register_with_room_db = false;
+    infra.add_daemon<services::AsdDaemon>(c, services::AsdOptions{});
+    c = cfg("room-db", "machine-room");
+    c.port = daemon::kRoomDbPort;
+    infra.add_daemon<services::RoomDbDaemon>(c);
+    c = cfg("net-logger", "machine-room");
+    c.port = daemon::kNetLoggerPort;
+    infra.add_daemon<services::NetLoggerDaemon>(c,
+                                                services::NetLoggerOptions{});
+    c = cfg("auth-db", "machine-room");
+    c.port = daemon::kAuthDbPort;
+    infra.add_daemon<services::AuthDbDaemon>(c);
+  }
+  if (!infra.start_all().ok()) return 1;
+
+  daemon::DaemonHost room(env, "hawk-box");
+  auto& camera = room.add_daemon<daemon::PtzCameraDaemon>(
+      cfg("cam1", "hawk"), daemon::vcc4_spec());
+  auto& projector = room.add_daemon<daemon::ProjectorDaemon>(
+      cfg("proj1", "hawk"), daemon::epson7350_spec());
+  auto& aud = room.add_daemon<services::UserDbDaemon>(cfg("aud", "hawk"));
+  auto& reader =
+      room.add_daemon<services::IButtonDaemon>(cfg("door1", "hawk"));
+  for (daemon::ServiceDaemon* d :
+       std::vector<daemon::ServiceDaemon*>{&camera, &projector, &aud,
+                                           &reader}) {
+    if (!d->start().ok()) return 1;
+  }
+
+  auto& console = env.network().add_host("console");
+  daemon::AceClient client(env, console, env.issue_identity("user/operator"));
+
+  std::puts("ace_shell — demo ACE is up. Commands:");
+  std::puts("  @<service> <command...;>   .services   .quit");
+
+  std::string line;
+  bool had_input = false;
+  while (std::getline(std::cin, line)) {
+    had_input = true;
+    std::printf("> %s\n", line.c_str());
+    run_line(env, client, line);
+  }
+
+  if (!had_input) {
+    std::puts("(no stdin; running the built-in demo script)");
+    const char* script[] = {
+        ".services",
+        "@cam1 deviceOn;",
+        "@cam1 ptzMove pan=20 tilt=5 zoom=3;",
+        "@cam1 ptzGet;",
+        "@proj1 deviceOn;",
+        "@proj1 projSetInput input=network;",
+        "@proj1 projGet;",
+        "@aud userAdd username=demo fullname=\"Demo User\" ibutton=\"IB-1\";",
+        "@door1 ibuttonRead serial=\"IB-1\" station=\"hawk-door\";",
+        "@asd count;",
+        "@net-logger logCount;",
+    };
+    for (const char* cmd : script) {
+      std::printf("> %s\n", cmd);
+      run_line(env, client, cmd);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Conference room walkthrough — the paper's Scenarios 2, 3 and 5 as one
+// runnable program: John identifies himself at the podium fingerprint
+// scanner; the ID Monitor updates his location and brings his workspace to
+// the podium screen; John then uses the device GUI to turn on the
+// projector, display his workspace with the camera picture-in-picture, and
+// point the camera at the podium.
+#include <cstdio>
+#include <thread>
+
+#include "apps/admin_gui.hpp"
+#include "apps/workspace_backend.hpp"
+#include "daemon/devices.hpp"
+#include "services/asd.hpp"
+#include "services/auth_db.hpp"
+#include "services/identification.hpp"
+#include "services/launchers.hpp"
+#include "services/monitors.hpp"
+#include "services/net_logger.hpp"
+#include "services/room_db.hpp"
+#include "services/user_db.hpp"
+#include "services/workspace.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+namespace {
+daemon::DaemonConfig cfg(const std::string& name, const std::string& room) {
+  daemon::DaemonConfig c;
+  c.name = name;
+  c.room = room;
+  return c;
+}
+}  // namespace
+
+int main() {
+  daemon::Environment env(2);
+  env.asd_address = {"infra", daemon::kAsdPort};
+  env.room_db_address = {"infra", daemon::kRoomDbPort};
+  env.net_logger_address = {"infra", daemon::kNetLoggerPort};
+  env.auth_db_address = {"infra", daemon::kAuthDbPort};
+
+  daemon::DaemonHost infra(env, "infra");
+  {
+    daemon::DaemonConfig c = cfg("asd", "machine-room");
+    c.port = daemon::kAsdPort;
+    c.register_with_room_db = false;
+    infra.add_daemon<services::AsdDaemon>(c, services::AsdOptions{});
+    c = cfg("room-db", "machine-room");
+    c.port = daemon::kRoomDbPort;
+    infra.add_daemon<services::RoomDbDaemon>(c);
+    c = cfg("net-logger", "machine-room");
+    c.port = daemon::kNetLoggerPort;
+    infra.add_daemon<services::NetLoggerDaemon>(c,
+                                                services::NetLoggerOptions{});
+    c = cfg("auth-db", "machine-room");
+    c.port = daemon::kAuthDbPort;
+    infra.add_daemon<services::AuthDbDaemon>(c);
+  }
+  if (!infra.start_all().ok()) return 1;
+
+  // Compute hosts and the podium access point.
+  daemon::DaemonHost bar(env, "bar"), tube(env, "tube"), podium(env, "podium");
+  for (auto* host : {&bar, &tube}) {
+    host->add_daemon<services::HrmDaemon>(
+        cfg("hrm-" + host->name(), "machine-room"));
+    host->add_daemon<services::HalDaemon>(
+        cfg("hal-" + host->name(), "machine-room"));
+    (void)host->start_all();
+  }
+  services::SrmOptions srm_options;
+  srm_options.cache_ttl = 0ms;
+  auto& srm =
+      bar.add_daemon<services::SrmDaemon>(cfg("srm", "machine-room"),
+                                          srm_options);
+  auto& sal = bar.add_daemon<services::SalDaemon>(cfg("sal", "machine-room"));
+  auto& aud = tube.add_daemon<services::UserDbDaemon>(cfg("aud", "machine-room"));
+  auto& wss = tube.add_daemon<services::WssDaemon>(cfg("wss", "machine-room"));
+  (void)srm.start();
+  (void)sal.start();
+  (void)aud.start();
+  (void)wss.start();
+
+  apps::VncWorkspaceFactory factory(env, {&bar, &tube},
+                                    {{"podium", &podium}});
+  factory.install(wss);
+
+  auto& fiu = podium.add_daemon<services::FiuDaemon>(cfg("fiu", "hawk"));
+  (void)fiu.start();
+  auto& id_monitor = tube.add_daemon<services::IdMonitorDaemon>(
+      cfg("id-monitor", "machine-room"));
+  (void)id_monitor.start();
+  (void)id_monitor.watch_device(fiu.address());
+
+  auto& camera = podium.add_daemon<daemon::PtzCameraDaemon>(
+      cfg("hawk_camera", "hawk"), daemon::vcc4_spec());
+  auto& projector = podium.add_daemon<daemon::ProjectorDaemon>(
+      cfg("hawk_projector", "hawk"), daemon::epson7350_spec());
+  (void)camera.start();
+  (void)projector.start();
+  std::puts("[setup] ACE is up: infra + 2 compute hosts + podium devices");
+
+  // Provision John (Scenario 1, abbreviated).
+  auto& admin_pc = env.network().add_host("admin-pc");
+  daemon::AceClient admin(env, admin_pc, env.issue_identity("user/admin"));
+  CmdLine add("userAdd");
+  add.arg("username", Word{"john"});
+  add.arg("fullname", "John Doe");
+  add.arg("fingerprint", "fp_john");
+  (void)admin.call_ok(aud.address(), add);
+  CmdLine enroll("fiuEnroll");
+  enroll.arg("template", Word{"fp_john"});
+  enroll.arg("features", cmdlang::real_vector({0.12, 0.88, 0.34, 0.56}));
+  (void)admin.call_ok(fiu.address(), enroll);
+  std::puts("[setup] John registered with the AUD and enrolled at the FIU");
+
+  // --- Scenario 2: identification at the podium ---------------------------
+  std::puts("\n[scenario 2] John presses his thumb to the podium scanner...");
+  CmdLine scan("fiuScan");
+  scan.arg("features", cmdlang::real_vector({0.12, 0.88, 0.34, 0.56}));
+  scan.arg("station", "podium");
+  auto id = admin.call_ok(fiu.address(), scan);
+  if (!id.ok()) {
+    std::fprintf(stderr, "identification failed\n");
+    return 1;
+  }
+  std::printf("  FIU: positively identified '%s' (distance %.3f)\n",
+              id->get_text("user").c_str(), id->get_real("distance"));
+
+  // --- Scenario 3: the workspace appears at the podium --------------------
+  std::puts("[scenario 3] ID Monitor -> AUD location + WSS -> VNC viewer...");
+  for (int i = 0; i < 500; ++i) {
+    auto ws = wss.workspace("john/default");
+    auto* viewer = factory.viewer_on("podium");
+    if (ws && viewer) {
+      auto* server = factory.server_at(ws->server);
+      if (server && server->framebuffer_hash() == viewer->framebuffer_hash()) {
+        std::printf("  workspace john/default (server on %s) now visible at "
+                    "the podium\n",
+                    ws->server.host.c_str());
+        break;
+      }
+    }
+    std::this_thread::sleep_for(10ms);
+  }
+  auto john = aud.user("john");
+  if (john)
+    std::printf("  AUD: John's location is room '%s', station '%s'\n",
+                john->location_room.c_str(), john->location_station.c_str());
+
+  // --- Scenario 5: device control through the GUI -------------------------
+  std::puts("[scenario 5] John opens the ACE device GUI...");
+  apps::AdminGuiModel gui(env, admin);
+  if (!gui.refresh().ok()) return 1;
+  for (const auto& room : gui.tree()) {
+    std::printf("  room '%s': ", room.room.c_str());
+    for (const auto& svc : room.services) std::printf("%s ", svc.name.c_str());
+    std::puts("");
+  }
+
+  (void)gui.invoke("hawk_projector", CmdLine("deviceOn"));
+  CmdLine display("projDisplay");
+  display.arg("source", "john/default");
+  (void)gui.invoke("hawk_projector", display);
+  CmdLine pip("projPictureInPicture");
+  pip.arg("source", "hawk_camera");
+  pip.arg("enable", Word{"on"});
+  (void)gui.invoke("hawk_projector", pip);
+  (void)gui.invoke("hawk_camera", CmdLine("deviceOn"));
+  CmdLine point("ptzPointAt");
+  point.arg("x", 2.0);
+  point.arg("y", 4.0);
+  (void)gui.invoke("hawk_camera", point);
+
+  auto pstate = projector.projector_state();
+  auto cstate = camera.ptz_state();
+  std::printf("  projector: showing '%s', pip=%s from '%s'\n",
+              pstate.source_service.c_str(),
+              pstate.picture_in_picture ? "on" : "off",
+              pstate.pip_source.c_str());
+  std::printf("  camera: pan=%.1f deg toward the podium\n", cstate.pan);
+  std::puts("\nJohn is now ready to give his presentation.");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// New-user onboarding — the paper's Scenario 1 (Fig 18), end to end:
+// the administrator creates John's ACE account, enrolls his fingerprint,
+// grants him KeyNote credentials, and the WSS provisions his default
+// workspace by asking the SAL, which consults the SRM/HRMs to pick the
+// least-loaded machine and delegates to that machine's HAL.
+#include <cstdio>
+
+#include "apps/workspace_backend.hpp"
+#include "services/asd.hpp"
+#include "services/auth_db.hpp"
+#include "services/identification.hpp"
+#include "services/launchers.hpp"
+#include "services/monitors.hpp"
+#include "services/net_logger.hpp"
+#include "services/room_db.hpp"
+#include "services/user_db.hpp"
+#include "services/workspace.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+namespace {
+daemon::DaemonConfig cfg(const std::string& name) {
+  daemon::DaemonConfig c;
+  c.name = name;
+  c.room = "machine-room";
+  return c;
+}
+}  // namespace
+
+int main() {
+  daemon::Environment env(4);
+  env.asd_address = {"infra", daemon::kAsdPort};
+  env.room_db_address = {"infra", daemon::kRoomDbPort};
+  env.net_logger_address = {"infra", daemon::kNetLoggerPort};
+  env.auth_db_address = {"infra", daemon::kAuthDbPort};
+
+  daemon::DaemonHost infra(env, "infra");
+  {
+    daemon::DaemonConfig c = cfg("asd");
+    c.port = daemon::kAsdPort;
+    c.register_with_room_db = false;
+    infra.add_daemon<services::AsdDaemon>(c, services::AsdOptions{});
+    c = cfg("room-db");
+    c.port = daemon::kRoomDbPort;
+    infra.add_daemon<services::RoomDbDaemon>(c);
+    c = cfg("net-logger");
+    c.port = daemon::kNetLoggerPort;
+    infra.add_daemon<services::NetLoggerDaemon>(c,
+                                                services::NetLoggerOptions{});
+    c = cfg("auth-db");
+    c.port = daemon::kAuthDbPort;
+    infra.add_daemon<services::AuthDbDaemon>(c);
+  }
+  if (!infra.start_all().ok()) return 1;
+
+  // Two compute hosts with different load so the placement is visible.
+  daemon::HostSpec fast;
+  fast.bogomips = 2000;
+  daemon::DaemonHost busy(env, "busy-box"), idle(env, "idle-box", fast);
+  busy.set_base_load(0.8);
+  for (auto* host : {&busy, &idle}) {
+    host->add_daemon<services::HrmDaemon>(cfg("hrm-" + host->name()));
+    host->add_daemon<services::HalDaemon>(cfg("hal-" + host->name()));
+    (void)host->start_all();
+  }
+  services::SrmOptions srm_options;
+  srm_options.cache_ttl = 0ms;
+  auto& srm = busy.add_daemon<services::SrmDaemon>(cfg("srm"), srm_options);
+  auto& sal = busy.add_daemon<services::SalDaemon>(cfg("sal"));
+  auto& aud = busy.add_daemon<services::UserDbDaemon>(cfg("aud"));
+  auto& wss = busy.add_daemon<services::WssDaemon>(cfg("wss"));
+  (void)srm.start();
+  (void)sal.start();
+  (void)aud.start();
+  (void)wss.start();
+
+  daemon::DaemonHost podium(env, "podium");
+  auto& fiu = podium.add_daemon<services::FiuDaemon>(cfg("fiu"));
+  (void)fiu.start();
+
+  apps::VncWorkspaceFactory factory(env, {&busy, &idle},
+                                    {{"podium", &podium}});
+  factory.install(wss);
+
+  auto& admin_pc = env.network().add_host("admin-pc");
+  daemon::AceClient admin(env, admin_pc, env.issue_identity("user/admin"));
+
+  std::puts("John Doe is a new employee at ACECo...");
+
+  // 1. Account in the AUD.
+  CmdLine add("userAdd");
+  add.arg("username", Word{"john"});
+  add.arg("fullname", "John Doe");
+  add.arg("password", "welcome1");
+  add.arg("fingerprint", "fp_john");
+  add.arg("pubkey", "user/john");
+  if (!admin.call_ok(aud.address(), add).ok()) return 1;
+  std::puts("[1] administrator added John to the ACE User Database");
+
+  // 2. Fingerprint enrollment at the FIU.
+  CmdLine enroll("fiuEnroll");
+  enroll.arg("template", Word{"fp_john"});
+  enroll.arg("features", cmdlang::real_vector({0.3, 0.6, 0.1, 0.8, 0.5}));
+  if (!admin.call_ok(fiu.address(), enroll).ok()) return 1;
+  std::puts("[2] fingerprint scanned and enrolled at the FIU");
+
+  // 3. KeyNote credentials: admin delegates device control to John.
+  env.register_principal("admin-key");
+  keynote::Assertion policy;
+  policy.authorizer = keynote::kPolicyAuthorizer;
+  policy.licensees = keynote::licensee_key("admin-key");
+  env.add_policy(policy);
+  auto granted = services::grant_credential(
+      admin, env.auth_db_address, env, "admin-key", "user/john",
+      "app_domain == \"ace\" && command ~= \"ptz*\"",
+      "John may drive the cameras");
+  if (!granted.ok()) return 1;
+  std::puts("[3] KeyNote credential stored in the Authorization Database");
+
+  // 4. Default workspace: WSS -> SAL -> SRM -> HAL on the best host.
+  CmdLine ws("wssDefault");
+  ws.arg("owner", Word{"john"});
+  auto created = admin.call_ok(wss.address(), ws);
+  if (!created.ok()) {
+    std::fprintf(stderr, "workspace creation failed: %s\n",
+                 created.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("[4] default workspace '%s' created; VNC server placed on "
+              "'%s' (the less-loaded host)\n",
+              created->get_text("workspace").c_str(),
+              created->get_text("host").c_str());
+
+  std::printf("\nJohn now has a workspace constantly running on %s.\n",
+              created->get_text("host").c_str());
+  return 0;
+}

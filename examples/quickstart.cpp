@@ -1,0 +1,107 @@
+// Quickstart: the smallest complete ACE.
+//
+// Boots the infrastructure services (ASD, Room Database, Network Logger,
+// Authorization Database), starts a PTZ camera daemon in room "hawk"
+// (which walks the paper's Fig 9 startup sequence), then acts as a client:
+// discovers the camera through the ASD and drives it with ACE commands.
+//
+// Build & run:   cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "daemon/devices.hpp"
+#include "daemon/environment.hpp"
+#include "daemon/host.hpp"
+#include "services/asd.hpp"
+#include "services/auth_db.hpp"
+#include "services/net_logger.hpp"
+#include "services/room_db.hpp"
+
+using namespace ace;
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+int main() {
+  // 1. One environment = one ACE deployment (network + CA + policies).
+  daemon::Environment env(/*seed=*/1);
+  env.asd_address = {"infra", daemon::kAsdPort};
+  env.room_db_address = {"infra", daemon::kRoomDbPort};
+  env.net_logger_address = {"infra", daemon::kNetLoggerPort};
+  env.auth_db_address = {"infra", daemon::kAuthDbPort};
+
+  // 2. The infrastructure machine.
+  daemon::DaemonHost infra(env, "infra");
+  daemon::DaemonConfig asd_cfg;
+  asd_cfg.name = "asd";
+  asd_cfg.port = daemon::kAsdPort;
+  asd_cfg.register_with_room_db = false;
+  infra.add_daemon<services::AsdDaemon>(asd_cfg, services::AsdOptions{});
+  daemon::DaemonConfig room_cfg;
+  room_cfg.name = "room-db";
+  room_cfg.port = daemon::kRoomDbPort;
+  infra.add_daemon<services::RoomDbDaemon>(room_cfg);
+  daemon::DaemonConfig log_cfg;
+  log_cfg.name = "net-logger";
+  log_cfg.port = daemon::kNetLoggerPort;
+  infra.add_daemon<services::NetLoggerDaemon>(log_cfg,
+                                              services::NetLoggerOptions{});
+  daemon::DaemonConfig auth_cfg;
+  auth_cfg.name = "auth-db";
+  auth_cfg.port = daemon::kAuthDbPort;
+  infra.add_daemon<services::AuthDbDaemon>(auth_cfg);
+  if (auto s = infra.start_all(); !s.ok()) {
+    std::fprintf(stderr, "infrastructure failed: %s\n",
+                 s.error().to_string().c_str());
+    return 1;
+  }
+  std::puts("[1] infrastructure up: asd, room-db, net-logger, auth-db");
+
+  // 3. A camera daemon in the conference room (full startup sequence:
+  //    Room DB -> ASD registration with lease -> Network Logger).
+  daemon::DaemonHost room_machine(env, "hawk-box");
+  daemon::DaemonConfig cam_cfg;
+  cam_cfg.name = "hawk_camera";
+  cam_cfg.room = "hawk";
+  auto& camera = room_machine.add_daemon<daemon::PtzCameraDaemon>(
+      cam_cfg, daemon::vcc4_spec());
+  if (auto s = camera.start(); !s.ok()) {
+    std::fprintf(stderr, "camera failed: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  std::puts("[2] camera daemon started in room 'hawk' and registered");
+
+  // 4. A client at some access point: discover, then command.
+  auto& laptop = env.network().add_host("laptop");
+  daemon::AceClient client(env, laptop, env.issue_identity("user/you"));
+
+  auto found = services::asd_lookup(client, env.asd_address, "hawk_camera");
+  if (!found.ok()) {
+    std::fprintf(stderr, "lookup failed: %s\n",
+                 found.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("[3] ASD says hawk_camera lives at %s (class %s)\n",
+              found->address.to_string().c_str(),
+              found->service_class.c_str());
+
+  (void)client.call_ok(found->address, CmdLine("deviceOn"));
+  CmdLine move("ptzMove");
+  move.arg("pan", 25.0);
+  move.arg("tilt", 10.0);
+  move.arg("zoom", 4.0);
+  std::printf("[4] sending: %s\n", move.to_string().c_str());
+  auto reply = client.call_ok(found->address, move);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "command failed: %s\n",
+                 reply.error().to_string().c_str());
+    return 1;
+  }
+
+  auto state = client.call_ok(found->address, CmdLine("ptzGet"));
+  if (state.ok()) {
+    std::printf("[5] camera now at pan=%.1f tilt=%.1f zoom=%.1f (model %s)\n",
+                state->get_real("pan"), state->get_real("tilt"),
+                state->get_real("zoom"), state->get_text("model").c_str());
+  }
+  std::puts("quickstart complete.");
+  return 0;
+}

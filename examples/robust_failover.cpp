@@ -1,0 +1,153 @@
+// Robust applications demo — the reliability story the paper builds toward
+// (Ch 6, §5.2-5.3, Ch 9):
+//   * state checkpointed into the 3-way replicated persistent store,
+//   * a replica crash that the store rides out,
+//   * a service crash detected by ASD lease expiry and repaired by the
+//     Robustness Manager through SAL/HAL,
+//   * a mobile-socket client that fails over to the restarted instance
+//     without ever holding a fixed address.
+#include <cstdio>
+#include <thread>
+
+#include "apps/mobile.hpp"
+#include "services/asd.hpp"
+#include "services/auth_db.hpp"
+#include "services/launchers.hpp"
+#include "services/monitors.hpp"
+#include "services/net_logger.hpp"
+#include "services/room_db.hpp"
+#include "store/persistent_store.hpp"
+#include "store/robustness.hpp"
+#include "store/store_client.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+namespace {
+daemon::DaemonConfig cfg(const std::string& name) {
+  daemon::DaemonConfig c;
+  c.name = name;
+  c.room = "machine-room";
+  return c;
+}
+}  // namespace
+
+int main() {
+  daemon::Environment env(5);
+  env.asd_address = {"infra", daemon::kAsdPort};
+  env.room_db_address = {"infra", daemon::kRoomDbPort};
+  env.net_logger_address = {"infra", daemon::kNetLoggerPort};
+  env.auth_db_address = {"infra", daemon::kAuthDbPort};
+
+  daemon::DaemonHost infra(env, "infra");
+  {
+    daemon::DaemonConfig c = cfg("asd");
+    c.port = daemon::kAsdPort;
+    c.register_with_room_db = false;
+    infra.add_daemon<services::AsdDaemon>(c, services::AsdOptions{});
+    c = cfg("room-db");
+    c.port = daemon::kRoomDbPort;
+    infra.add_daemon<services::RoomDbDaemon>(c);
+    c = cfg("net-logger");
+    c.port = daemon::kNetLoggerPort;
+    infra.add_daemon<services::NetLoggerDaemon>(c,
+                                                services::NetLoggerOptions{});
+    c = cfg("auth-db");
+    c.port = daemon::kAuthDbPort;
+    infra.add_daemon<services::AuthDbDaemon>(c);
+  }
+  if (!infra.start_all().ok()) return 1;
+
+  // --- three-replica persistent store (Fig 17) ----------------------------
+  std::vector<std::unique_ptr<daemon::DaemonHost>> store_hosts;
+  std::vector<store::PersistentStoreDaemon*> replicas;
+  for (int i = 0; i < 3; ++i) {
+    store_hosts.push_back(std::make_unique<daemon::DaemonHost>(
+        env, "store" + std::to_string(i + 1)));
+    daemon::DaemonConfig c = cfg("store" + std::to_string(i + 1));
+    c.port = 6000;
+    replicas.push_back(
+        &store_hosts.back()->add_daemon<store::PersistentStoreDaemon>(c,
+                                                                      i + 1));
+  }
+  std::vector<net::Address> replica_addrs;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<net::Address> peers;
+    for (int j = 0; j < 3; ++j)
+      if (j != i) peers.push_back(replicas[j]->address());
+    replicas[i]->set_peers(peers);
+    if (!replicas[i]->start().ok()) return 1;
+    replica_addrs.push_back(replicas[i]->address());
+  }
+  std::puts("[1] persistent store: 3 replicas meshed and serving");
+
+  auto& app_pc = env.network().add_host("app-pc");
+  daemon::AceClient client(env, app_pc, env.issue_identity("svc/app"));
+  store::StoreClient store(client, replica_addrs);
+  (void)store.save_state("demo-app", "progress",
+                         util::to_bytes("slide 17 of 42"));
+  std::puts("[2] application state checkpointed ('slide 17 of 42')");
+
+  store_hosts[0]->fail();
+  auto loaded = store.load_state("demo-app", "progress");
+  std::printf("[3] replica 1 crashed; state still readable: '%s'\n",
+              loaded.ok() ? util::to_string(loaded.value()).c_str()
+                          : loaded.error().to_string().c_str());
+
+  // --- robustness manager + relaunch (Ch 9 future work, implemented) ------
+  daemon::DaemonHost worker(env, "worker");
+  auto& hal = worker.add_daemon<services::HalDaemon>(cfg("hal"));
+  auto& sal = worker.add_daemon<services::SalDaemon>(cfg("sal"));
+  if (!hal.start().ok() || !sal.start().ok()) return 1;
+
+  daemon::DaemonConfig frag_cfg = cfg("telemetry");
+  frag_cfg.lease = 300ms;
+  frag_cfg.lease_renew = 100ms;
+  auto* telemetry = &worker.add_daemon<services::HrmDaemon>(frag_cfg);
+  if (!telemetry->start().ok()) return 1;
+
+  hal.register_launchable("telemetry", [&worker]() -> util::Status {
+    daemon::DaemonConfig c = cfg("telemetry");
+    c.lease = std::chrono::milliseconds(300);
+    c.lease_renew = std::chrono::milliseconds(100);
+    auto& revived = worker.add_daemon<services::HrmDaemon>(c);
+    return revived.start();
+  });
+
+  auto& rm = worker.add_daemon<store::RobustnessManagerDaemon>(cfg("rm"));
+  if (!rm.start().ok()) return 1;
+  CmdLine manage("rmRegister");
+  manage.arg("name", Word{"telemetry"});
+  manage.arg("kind", Word{"restart"});
+  manage.arg("host", "worker");
+  if (!client.call_ok(rm.address(), manage).ok()) return 1;
+  std::puts("[4] 'telemetry' registered as a restart application");
+
+  // The mobile client binds by class, not address.
+  apps::MobileServiceClient mobile(env, client, "Service/Monitor/HRM*");
+  auto first = mobile.call(CmdLine("hrmStatus"));
+  if (!first.ok()) return 1;
+  std::printf("[5] mobile client bound to %s\n",
+              mobile.bound().to_string().c_str());
+
+  telemetry->crash();
+  std::puts("[6] telemetry daemon crashed (no deregistration!)");
+
+  for (int i = 0; i < 500; ++i) {
+    if (rm.total_restarts() > 0) break;
+    std::this_thread::sleep_for(10ms);
+  }
+  std::printf("[7] robustness manager relaunched it (restarts=%d)\n",
+              rm.total_restarts());
+  std::this_thread::sleep_for(200ms);
+
+  auto after = mobile.call(CmdLine("hrmStatus"));
+  std::printf("[8] mobile client call after crash: %s (failovers=%d, now "
+              "bound to %s)\n",
+              after.ok() ? "ok" : after.error().to_string().c_str(),
+              mobile.failovers(), mobile.bound().to_string().c_str());
+  std::puts("failover demo complete.");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "apps/admin_gui.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ace::apps {
+
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+AdminGuiModel::AdminGuiModel(daemon::Environment& env,
+                             daemon::AceClient& client)
+    : env_(env), client_(client) {}
+
+util::Status AdminGuiModel::refresh() {
+  auto services = services::asd_query(client_, env_.asd_address, "*", "*",
+                                      "*");
+  if (!services.ok()) return services.error();
+
+  std::map<std::string, RoomNode> rooms;
+  for (const services::ServiceLocation& loc : services.value()) {
+    ServiceNode node;
+    node.name = loc.name;
+    node.address = loc.address;
+    node.service_class = loc.service_class;
+
+    // Pull the service's command list, then each command's schema.
+    auto info = client_.call_ok(loc.address, CmdLine("info"));
+    if (info.ok()) {
+      if (auto commands = info->get_vector("commands")) {
+        for (const auto& elem : commands->elements) {
+          if (!elem.is_word() && !elem.is_string()) continue;
+          CmdLine help("help");
+          help.arg("command", Word{elem.as_text()});
+          auto schema = client_.call_ok(loc.address, help);
+          if (!schema.ok()) continue;
+          ParameterControl control;
+          control.command = elem.as_text();
+          control.help = schema->get_text("help");
+          if (auto args = schema->get_vector("args")) {
+            for (const auto& a : args->elements)
+              if (a.is_string() || a.is_word())
+                control.arguments.push_back(a.as_text());
+          }
+          node.controls.push_back(std::move(control));
+        }
+      }
+    }
+    std::string room = loc.room.empty() ? "(unplaced)" : loc.room;
+    RoomNode& room_node = rooms[room];
+    room_node.room = room;
+    room_node.services.push_back(std::move(node));
+  }
+
+  tree_.clear();
+  for (auto& [room, node] : rooms) {
+    std::sort(node.services.begin(), node.services.end(),
+              [](const ServiceNode& a, const ServiceNode& b) {
+                return a.name < b.name;
+              });
+    tree_.push_back(std::move(node));
+  }
+  return util::Status::ok_status();
+}
+
+const ServiceNode* AdminGuiModel::find_service(const std::string& name) const {
+  for (const RoomNode& room : tree_)
+    for (const ServiceNode& svc : room.services)
+      if (svc.name == name) return &svc;
+  return nullptr;
+}
+
+util::Result<cmdlang::CmdLine> AdminGuiModel::invoke(
+    const std::string& service_name, const cmdlang::CmdLine& cmd) {
+  const ServiceNode* svc = find_service(service_name);
+  if (!svc)
+    return util::Error{util::Errc::not_found,
+                       "service not in GUI tree: " + service_name};
+  return client_.call_ok(svc->address, cmd);
+}
+
+}  // namespace ace::apps

@@ -1,0 +1,57 @@
+// Headless model of the ACE Control GUI (paper §1.2, Fig 2): "On the left
+// side, available ACE services and devices are listed in a hierarchical
+// tree fashion based on their location within ACE ... By selecting a
+// service or device on the left side, the appropriate parameter controls
+// are displayed to the right."
+//
+// The model is exactly that data: a room-keyed tree of services built from
+// the Room Database + ASD, and per-service parameter panels derived from
+// the service's own command semantics (via `info` and `help`). A real GUI
+// would render this structure; tests and Scenario 5 drive it directly.
+#pragma once
+
+#include "daemon/client.hpp"
+#include "services/asd.hpp"
+
+namespace ace::apps {
+
+struct ParameterControl {
+  std::string command;   // e.g. "ptzMove"
+  std::string help;
+  std::vector<std::string> arguments;  // "pan:float", "zoom:float?"
+};
+
+struct ServiceNode {
+  std::string name;
+  net::Address address;
+  std::string service_class;
+  std::vector<ParameterControl> controls;
+};
+
+struct RoomNode {
+  std::string room;
+  std::vector<ServiceNode> services;
+};
+
+class AdminGuiModel {
+ public:
+  AdminGuiModel(daemon::Environment& env, daemon::AceClient& client);
+
+  // Rebuilds the tree from the ASD (grouped by room) and loads each
+  // service's parameter controls from its command semantics.
+  util::Status refresh();
+
+  const std::vector<RoomNode>& tree() const { return tree_; }
+  const ServiceNode* find_service(const std::string& name) const;
+
+  // "Clicking" a control: issue the command with the given arguments.
+  util::Result<cmdlang::CmdLine> invoke(const std::string& service_name,
+                                        const cmdlang::CmdLine& cmd);
+
+ private:
+  daemon::Environment& env_;
+  daemon::AceClient& client_;
+  std::vector<RoomNode> tree_;
+};
+
+}  // namespace ace::apps

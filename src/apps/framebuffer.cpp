@@ -1,0 +1,191 @@
+#include "apps/framebuffer.hpp"
+
+#include <algorithm>
+
+namespace ace::apps {
+
+namespace {
+
+// 3x5 glyphs for digits, letters (uppercased) and a few symbols; rows are
+// bit-packed, LSB = leftmost pixel.
+const std::uint8_t* glyph_for(char c) {
+  static const std::uint8_t kDigits[10][5] = {
+      {7, 5, 5, 5, 7}, {2, 6, 2, 2, 7}, {7, 1, 7, 4, 7}, {7, 1, 7, 1, 7},
+      {5, 5, 7, 1, 1}, {7, 4, 7, 1, 7}, {7, 4, 7, 5, 7}, {7, 1, 1, 1, 1},
+      {7, 5, 7, 5, 7}, {7, 5, 7, 1, 7}};
+  static const std::uint8_t kAlpha[26][5] = {
+      {2, 5, 7, 5, 5}, {6, 5, 6, 5, 6}, {3, 4, 4, 4, 3}, {6, 5, 5, 5, 6},
+      {7, 4, 6, 4, 7}, {7, 4, 6, 4, 4}, {3, 4, 5, 5, 3}, {5, 5, 7, 5, 5},
+      {7, 2, 2, 2, 7}, {1, 1, 1, 5, 2}, {5, 6, 4, 6, 5}, {4, 4, 4, 4, 7},
+      {5, 7, 7, 5, 5}, {5, 7, 7, 7, 5}, {2, 5, 5, 5, 2}, {6, 5, 6, 4, 4},
+      {2, 5, 5, 7, 3}, {6, 5, 6, 6, 5}, {3, 4, 2, 1, 6}, {7, 2, 2, 2, 2},
+      {5, 5, 5, 5, 7}, {5, 5, 5, 5, 2}, {5, 5, 7, 7, 5}, {5, 5, 2, 5, 5},
+      {5, 5, 2, 2, 2}, {7, 1, 2, 4, 7}};
+  static const std::uint8_t kBlank[5] = {0, 0, 0, 0, 0};
+  static const std::uint8_t kDash[5] = {0, 0, 7, 0, 0};
+  if (c >= '0' && c <= '9') return kDigits[c - '0'];
+  if (c >= 'a' && c <= 'z') return kAlpha[c - 'a'];
+  if (c >= 'A' && c <= 'Z') return kAlpha[c - 'A'];
+  if (c == '-' || c == '_') return kDash;
+  return kBlank;
+}
+
+}  // namespace
+
+Framebuffer::Framebuffer(int width, int height)
+    : width_(width),
+      height_(height),
+      tiles_x_((width + kTileSize - 1) / kTileSize),
+      tiles_y_((height + kTileSize - 1) / kTileSize),
+      pixels_(static_cast<std::size_t>(width) * height, 0),
+      dirty_(static_cast<std::size_t>(tiles_x_) * tiles_y_, false) {}
+
+std::uint8_t Framebuffer::pixel(int x, int y) const {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) return 0;
+  return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+void Framebuffer::mark_dirty(int x, int y) {
+  dirty_[static_cast<std::size_t>(y / kTileSize) * tiles_x_ + x / kTileSize] =
+      true;
+}
+
+void Framebuffer::set_pixel(int x, int y, std::uint8_t value) {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) return;
+  auto& p = pixels_[static_cast<std::size_t>(y) * width_ + x];
+  if (p == value) return;
+  p = value;
+  mark_dirty(x, y);
+}
+
+void Framebuffer::fill_rect(const Rect& rect, std::uint8_t value) {
+  int x0 = std::max(0, rect.x);
+  int y0 = std::max(0, rect.y);
+  int x1 = std::min(width_, rect.x + rect.w);
+  int y1 = std::min(height_, rect.y + rect.h);
+  for (int y = y0; y < y1; ++y)
+    for (int x = x0; x < x1; ++x) set_pixel(x, y, value);
+}
+
+void Framebuffer::draw_label(int x, int y, const std::string& text,
+                             std::uint8_t value) {
+  int cx = x;
+  for (char c : text) {
+    const std::uint8_t* glyph = glyph_for(c);
+    for (int row = 0; row < 5; ++row)
+      for (int col = 0; col < 3; ++col)
+        if (glyph[row] & (1 << (2 - col))) set_pixel(cx + col, y + row, value);
+    cx += 4;
+  }
+}
+
+bool Framebuffer::has_dirty() const {
+  return std::any_of(dirty_.begin(), dirty_.end(), [](bool d) { return d; });
+}
+
+void Framebuffer::clear_dirty() {
+  std::fill(dirty_.begin(), dirty_.end(), false);
+}
+
+std::vector<Rect> Framebuffer::dirty_rects() const {
+  // Coalesce horizontal runs of dirty tiles into rects.
+  std::vector<Rect> rects;
+  for (int ty = 0; ty < tiles_y_; ++ty) {
+    int run_start = -1;
+    for (int tx = 0; tx <= tiles_x_; ++tx) {
+      bool d = tx < tiles_x_ &&
+               dirty_[static_cast<std::size_t>(ty) * tiles_x_ + tx];
+      if (d && run_start < 0) run_start = tx;
+      if (!d && run_start >= 0) {
+        Rect r;
+        r.x = run_start * kTileSize;
+        r.y = ty * kTileSize;
+        r.w = std::min((tx - run_start) * kTileSize, width_ - r.x);
+        r.h = std::min(kTileSize, height_ - r.y);
+        rects.push_back(r);
+        run_start = -1;
+      }
+    }
+  }
+  return rects;
+}
+
+util::Bytes Framebuffer::encode_rect(const Rect& rect) const {
+  util::ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(rect.x));
+  w.u16(static_cast<std::uint16_t>(rect.y));
+  w.u16(static_cast<std::uint16_t>(rect.w));
+  w.u16(static_cast<std::uint16_t>(rect.h));
+  // RLE over the rect scanlines.
+  util::Bytes plane;
+  plane.reserve(static_cast<std::size_t>(rect.w) * rect.h);
+  for (int y = rect.y; y < rect.y + rect.h; ++y)
+    for (int x = rect.x; x < rect.x + rect.w; ++x)
+      plane.push_back(pixel(x, y));
+  std::size_t i = 0;
+  util::ByteWriter rle;
+  while (i < plane.size()) {
+    std::uint8_t value = plane[i];
+    std::size_t run = 1;
+    while (i + run < plane.size() && plane[i + run] == value && run < 255)
+      ++run;
+    rle.u8(static_cast<std::uint8_t>(run));
+    rle.u8(value);
+    i += run;
+  }
+  w.blob(rle.bytes());
+  return w.take();
+}
+
+util::Bytes Framebuffer::encode_updates(bool full) const {
+  std::vector<Rect> rects;
+  if (full) {
+    rects.push_back(Rect{0, 0, width_, height_});
+  } else {
+    rects = dirty_rects();
+  }
+  util::ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(rects.size()));
+  for (const Rect& r : rects) w.raw(encode_rect(r));
+  return w.take();
+}
+
+bool Framebuffer::apply_updates(const util::Bytes& data) {
+  util::ByteReader r(data);
+  auto count = r.u16();
+  if (!count) return false;
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    auto x = r.u16();
+    auto y = r.u16();
+    auto w = r.u16();
+    auto h = r.u16();
+    auto rle = r.blob();
+    if (!x || !y || !w || !h || !rle) return false;
+    util::Bytes plane;
+    plane.reserve(static_cast<std::size_t>(*w) * *h);
+    util::ByteReader rr(*rle);
+    while (plane.size() < static_cast<std::size_t>(*w) * *h) {
+      auto run = rr.u8();
+      auto value = rr.u8();
+      if (!run || !value || *run == 0) return false;
+      for (std::uint8_t k = 0;
+           k < *run && plane.size() < static_cast<std::size_t>(*w) * *h; ++k)
+        plane.push_back(*value);
+    }
+    std::size_t idx = 0;
+    for (int py = *y; py < *y + *h; ++py)
+      for (int px = *x; px < *x + *w; ++px) set_pixel(px, py, plane[idx++]);
+  }
+  return true;
+}
+
+std::uint64_t Framebuffer::content_hash() const {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::uint8_t p : pixels_) {
+    h ^= p;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace ace::apps

@@ -1,0 +1,63 @@
+// Remote-framebuffer model for the ACE VNC substitution (paper §5.4):
+// an 8-bit grayscale framebuffer with tile-based dirty tracking and an
+// RLE rect-update codec, so viewers receive incremental updates rather
+// than whole frames — the property that makes thin access points viable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace ace::apps {
+
+inline constexpr int kTileSize = 16;
+
+struct Rect {
+  int x = 0, y = 0, w = 0, h = 0;
+};
+
+class Framebuffer {
+ public:
+  Framebuffer(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  std::uint8_t pixel(int x, int y) const;
+  void set_pixel(int x, int y, std::uint8_t value);
+  void fill_rect(const Rect& rect, std::uint8_t value);
+  // Simple 3x5 bitmap "text": enough to make window content distinctive.
+  void draw_label(int x, int y, const std::string& text, std::uint8_t value);
+
+  // Dirty-tile tracking ------------------------------------------------------
+  bool has_dirty() const;
+  void clear_dirty();
+  std::vector<Rect> dirty_rects() const;
+
+  // Update encoding ----------------------------------------------------------
+  // Encodes the dirty region (or the full frame when `full`), RLE per rect.
+  util::Bytes encode_updates(bool full) const;
+  // Applies an update blob produced by encode_updates.
+  bool apply_updates(const util::Bytes& data);
+
+  // Content hash for cross-checking server/viewer state (FNV-1a).
+  std::uint64_t content_hash() const;
+
+  const util::Bytes& pixels() const { return pixels_; }
+
+ private:
+  void mark_dirty(int x, int y);
+  util::Bytes encode_rect(const Rect& rect) const;
+
+  int width_;
+  int height_;
+  int tiles_x_;
+  int tiles_y_;
+  util::Bytes pixels_;
+  std::vector<bool> dirty_;
+};
+
+}  // namespace ace::apps

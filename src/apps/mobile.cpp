@@ -1,0 +1,43 @@
+#include "apps/mobile.hpp"
+
+namespace ace::apps {
+
+MobileServiceClient::MobileServiceClient(daemon::Environment& env,
+                                         daemon::AceClient& client,
+                                         std::string class_glob)
+    : env_(env), client_(client), class_glob_(std::move(class_glob)) {}
+
+util::Status MobileServiceClient::rebind(
+    const std::set<std::string>& exclude) {
+  auto candidates = services::asd_query(client_, env_.asd_address, "*",
+                                        class_glob_, "*");
+  if (!candidates.ok()) return candidates.error();
+  for (const services::ServiceLocation& loc : candidates.value()) {
+    if (exclude.contains(loc.address.to_string())) continue;
+    bound_ = loc.address;
+    return util::Status::ok_status();
+  }
+  bound_ = {};
+  return {util::Errc::unavailable,
+          "no live instance of class " + class_glob_};
+}
+
+util::Result<cmdlang::CmdLine> MobileServiceClient::call(
+    const cmdlang::CmdLine& cmd) {
+  std::set<std::string> tried;
+  if (bound_.host.empty()) {
+    if (auto s = rebind(tried); !s.ok()) return s.error();
+  }
+  // One attempt per distinct instance, until the directory runs dry.
+  for (;;) {
+    auto reply = client_.call(bound_, cmd, std::chrono::milliseconds(500));
+    if (reply.ok()) return reply;
+    tried.insert(bound_.to_string());
+    client_.drop_connection(bound_);
+    auto s = rebind(tried);
+    if (!s.ok()) return reply;  // surface the last call error
+    failovers_++;
+  }
+}
+
+}  // namespace ace::apps

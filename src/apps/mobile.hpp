@@ -1,0 +1,45 @@
+// Mobile service client — the "mobile sockets" the paper schedules as
+// future work (Ch 9: "research and development of mobile sockets must be
+// integrated with the current ACE service infrastructure to handle downed
+// ACE services allowing clients to quickly resume their tasks with other
+// service instances"). Implemented here:
+//
+// Calls address services *by directory query*, not by address. When the
+// bound instance dies mid-session, the client re-resolves through the ASD
+// (excluding the dead instance) and retries against a replacement, counting
+// failovers. This is what lets clients ride across service restarts driven
+// by the Robustness Manager.
+#pragma once
+
+#include <set>
+
+#include "daemon/client.hpp"
+#include "services/asd.hpp"
+
+namespace ace::apps {
+
+class MobileServiceClient {
+ public:
+  // Binds to services whose ASD class matches `class_glob`.
+  MobileServiceClient(daemon::Environment& env, daemon::AceClient& client,
+                      std::string class_glob);
+
+  // Calls the bound instance; on failure re-resolves and retries once per
+  // available replacement instance.
+  util::Result<cmdlang::CmdLine> call(const cmdlang::CmdLine& cmd);
+
+  // Current binding (empty host when unbound).
+  net::Address bound() const { return bound_; }
+  int failovers() const { return failovers_; }
+
+ private:
+  util::Status rebind(const std::set<std::string>& exclude);
+
+  daemon::Environment& env_;
+  daemon::AceClient& client_;
+  std::string class_glob_;
+  net::Address bound_;
+  int failovers_ = 0;
+};
+
+}  // namespace ace::apps

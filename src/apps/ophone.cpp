@@ -1,0 +1,190 @@
+#include "apps/ophone.hpp"
+
+namespace ace::apps {
+
+using cmdlang::CmdLine;
+using cmdlang::CommandSpec;
+using cmdlang::string_arg;
+using cmdlang::Word;
+using daemon::CallerInfo;
+
+namespace {
+daemon::DaemonConfig phone_defaults(daemon::DaemonConfig config) {
+  config.open_data_channel = true;
+  if (config.service_class.empty())
+    config.service_class = "Service/Communications/OPhone";
+  return config;
+}
+}  // namespace
+
+OPhoneDaemon::OPhoneDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                           daemon::DaemonConfig config, bool auto_answer)
+    : ServiceDaemon(env, host, phone_defaults(std::move(config))),
+      auto_answer_(auto_answer) {
+  register_command(
+      CommandSpec("phoneDial", "place a call to another O-Phone")
+          .arg(string_arg("peer")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto peer = net::Address::parse(cmd.get_text("peer"));
+        if (!peer)
+          return cmdlang::make_error(util::Errc::invalid,
+                                     "peer must be host:port");
+        {
+          std::scoped_lock lock(mu_);
+          if (state_ != State::idle)
+            return cmdlang::make_error(util::Errc::conflict, "phone busy");
+          state_ = State::ringing;
+          peer_ = *peer;
+          peer_data_ = *peer;
+        }
+        CmdLine ring("phoneRing");
+        ring.arg("from", address().to_string());
+        auto reply = control_client().call_ok(*peer, ring);
+        std::scoped_lock lock(mu_);
+        if (!reply.ok()) {
+          state_ = State::idle;
+          return cmdlang::make_error(reply.error().code,
+                                     reply.error().message);
+        }
+        if (reply->get_text("answered") == "yes") state_ = State::in_call;
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("phoneRing", "incoming call signalling (peer-internal)")
+          .arg(string_arg("from")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto from = net::Address::parse(cmd.get_text("from"));
+        if (!from)
+          return cmdlang::make_error(util::Errc::invalid, "bad caller");
+        std::scoped_lock lock(mu_);
+        if (state_ == State::in_call)
+          return cmdlang::make_error(util::Errc::conflict, "phone busy");
+        peer_ = *from;
+        peer_data_ = *from;
+        CmdLine reply = cmdlang::make_ok();
+        if (auto_answer_) {
+          state_ = State::in_call;
+          reply.arg("answered", Word{"yes"});
+        } else {
+          state_ = State::ringing;
+          reply.arg("answered", Word{"no"});
+        }
+        return reply;
+      });
+
+  register_command(CommandSpec("phoneAnswer", "answer a ringing call"),
+                   [this](const CmdLine&, const CallerInfo&) {
+                     std::scoped_lock lock(mu_);
+                     if (state_ != State::ringing)
+                       return cmdlang::make_error(util::Errc::invalid,
+                                                  "no incoming call");
+                     state_ = State::in_call;
+                     return cmdlang::make_ok();
+                   });
+
+  register_command(CommandSpec("phoneHangup", "end the call"),
+                   [this](const CmdLine&, const CallerInfo&) {
+                     std::scoped_lock lock(mu_);
+                     state_ = State::idle;
+                     peer_ = {};
+                     peer_data_ = {};
+                     jitter_buffer_.clear();
+                     return cmdlang::make_ok();
+                   });
+
+  register_command(
+      CommandSpec("phoneStatus", "call state and stream statistics"),
+      [this](const CmdLine&, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        CmdLine reply = cmdlang::make_ok();
+        const char* s = state_ == State::idle      ? "idle"
+                        : state_ == State::ringing ? "ringing"
+                                                   : "in_call";
+        reply.arg("state", Word{s});
+        reply.arg("rx_frames", static_cast<std::int64_t>(rx_frames_));
+        reply.arg("lost", static_cast<std::int64_t>(lost_frames_));
+        return reply;
+      });
+}
+
+util::Status OPhoneDaemon::speak(const std::vector<std::int16_t>& samples) {
+  net::Address peer_data;
+  {
+    std::scoped_lock lock(mu_);
+    if (state_ != State::in_call)
+      return {util::Errc::invalid, "not in a call"};
+    peer_data = peer_data_;
+  }
+  std::size_t offset = 0;
+  while (offset < samples.size()) {
+    std::size_t take =
+        std::min(media::kFrameSamples, samples.size() - offset);
+    std::vector<std::int16_t> chunk(samples.begin() + offset,
+                                    samples.begin() + offset + take);
+    chunk.resize(media::kFrameSamples, 0);
+    offset += take;
+    util::ByteWriter w;
+    std::uint32_t seq;
+    util::Bytes adpcm;
+    {
+      std::scoped_lock lock(mu_);
+      seq = tx_sequence_++;
+      adpcm = media::adpcm_encode(chunk, encode_state_);
+    }
+    w.str("ophone");
+    w.u32(seq);
+    w.u32(static_cast<std::uint32_t>(media::kFrameSamples));
+    w.blob(adpcm);
+    if (auto s = send_datagram(peer_data, w.take()); !s.ok()) return s;
+  }
+  return util::Status::ok_status();
+}
+
+void OPhoneDaemon::on_datagram(const net::Datagram& datagram) {
+  util::ByteReader r(datagram.payload);
+  auto tag = r.str();
+  auto seq = r.u32();
+  auto sample_count = r.u32();
+  auto adpcm = r.blob();
+  if (!tag || *tag != "ophone" || !seq || !sample_count || !adpcm) return;
+  std::scoped_lock lock(mu_);
+  if (state_ != State::in_call) return;
+  if (*seq > rx_expected_) lost_frames_ += *seq - rx_expected_;
+  rx_expected_ = *seq + 1;
+  rx_frames_++;
+  std::vector<std::int16_t> pcm =
+      media::adpcm_decode(*adpcm, *sample_count, decode_state_);
+  jitter_buffer_.push_back(std::move(pcm));
+  while (jitter_buffer_.size() > kJitterDepth) jitter_buffer_.pop_front();
+}
+
+std::vector<std::int16_t> OPhoneDaemon::drain_audio(std::size_t max_frames) {
+  std::scoped_lock lock(mu_);
+  std::vector<std::int16_t> out;
+  std::size_t frames = 0;
+  while (!jitter_buffer_.empty() && frames < max_frames) {
+    auto& f = jitter_buffer_.front();
+    out.insert(out.end(), f.begin(), f.end());
+    jitter_buffer_.pop_front();
+    frames++;
+  }
+  return out;
+}
+
+OPhoneDaemon::State OPhoneDaemon::state() const {
+  std::scoped_lock lock(mu_);
+  return state_;
+}
+
+std::uint64_t OPhoneDaemon::frames_received() const {
+  std::scoped_lock lock(mu_);
+  return rx_frames_;
+}
+
+std::uint64_t OPhoneDaemon::frames_lost() const {
+  std::scoped_lock lock(mu_);
+  return lost_frames_;
+}
+
+}  // namespace ace::apps

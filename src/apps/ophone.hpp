@@ -1,0 +1,60 @@
+// O-Phone — telephone over IP within ACE (paper §5.5): "enables full-duplex
+// telephone communication over IP ... If a valid ACE user is near an access
+// point, he/she can bring up a workspace and make a phone call."
+//
+// Each endpoint is a daemon: signalling (dial/answer/hangup) runs over the
+// command channel; voice runs as ADPCM-compressed AudioFrames over the data
+// channel through a fixed-depth jitter buffer.
+//
+// Commands:
+//   phoneDial peer=<host:port>;          -> ok   (rings the peer)
+//   phoneRing from=<host:port>;          (peer-internal; auto-answer policy)
+//   phoneAnswer;  phoneHangup;
+//   phoneStatus;                         -> ok state= rx_frames= lost=
+#pragma once
+
+#include <deque>
+
+#include "daemon/daemon.hpp"
+#include "media/audio.hpp"
+#include "media/codec.hpp"
+
+namespace ace::apps {
+
+class OPhoneDaemon : public daemon::ServiceDaemon {
+ public:
+  enum class State { idle, ringing, in_call };
+
+  OPhoneDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+               daemon::DaemonConfig config, bool auto_answer = true);
+
+  // Captures microphone samples into the call (compressed + streamed).
+  util::Status speak(const std::vector<std::int16_t>& samples);
+
+  // Drains up to `max_frames` from the jitter buffer, as a speaker would.
+  std::vector<std::int16_t> drain_audio(std::size_t max_frames = 64);
+
+  State state() const;
+  std::uint64_t frames_received() const;
+  std::uint64_t frames_lost() const;
+
+ protected:
+  void on_datagram(const net::Datagram& datagram) override;
+
+ private:
+  bool auto_answer_;
+  mutable std::mutex mu_;
+  State state_ = State::idle;
+  net::Address peer_;           // peer command address
+  net::Address peer_data_;      // peer data address
+  std::uint32_t tx_sequence_ = 0;
+  std::uint32_t rx_expected_ = 0;
+  std::uint64_t rx_frames_ = 0;
+  std::uint64_t lost_frames_ = 0;
+  media::AdpcmState encode_state_;
+  media::AdpcmState decode_state_;
+  std::deque<std::vector<std::int16_t>> jitter_buffer_;
+  static constexpr std::size_t kJitterDepth = 16;
+};
+
+}  // namespace ace::apps

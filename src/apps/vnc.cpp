@@ -1,0 +1,377 @@
+#include "apps/vnc.hpp"
+
+namespace ace::apps {
+
+using cmdlang::CmdLine;
+using cmdlang::CommandSpec;
+using cmdlang::integer_arg;
+using cmdlang::string_arg;
+using cmdlang::Word;
+using cmdlang::word_arg;
+using daemon::CallerInfo;
+
+namespace {
+daemon::DaemonConfig vnc_server_defaults(daemon::DaemonConfig config) {
+  config.open_data_channel = true;
+  if (config.service_class.empty())
+    config.service_class = "Service/Workspace/VNCServer";
+  return config;
+}
+daemon::DaemonConfig vnc_viewer_defaults(daemon::DaemonConfig config) {
+  config.open_data_channel = true;
+  config.register_with_asd = false;  // viewers are transient client helpers
+  config.register_with_room_db = false;
+  if (config.service_class.empty())
+    config.service_class = "Service/Workspace/VNCViewer";
+  return config;
+}
+}  // namespace
+
+VncServerDaemon::VncServerDaemon(daemon::Environment& env,
+                                 daemon::DaemonHost& host,
+                                 daemon::DaemonConfig config,
+                                 std::string owner, std::string workspace_name)
+    : ServiceDaemon(env, host, vnc_server_defaults(std::move(config))),
+      owner_(std::move(owner)),
+      workspace_name_(std::move(workspace_name)) {
+  {
+    std::scoped_lock lock(mu_);
+    repaint_locked();
+    fb_.clear_dirty();
+  }
+
+  register_command(
+      CommandSpec("vncSetPassword", "set the workspace password")
+          .arg(string_arg("password")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        password_ = cmd.get_text("password");
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("vncAttach", "attach a viewer (password-checked)")
+          .arg(string_arg("password"))
+          .arg(string_arg("viewer")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto viewer = net::Address::parse(cmd.get_text("viewer"));
+        if (!viewer)
+          return cmdlang::make_error(util::Errc::invalid,
+                                     "viewer must be host:port");
+        std::scoped_lock lock(mu_);
+        if (cmd.get_text("password") != password_) {
+          net_log("security", "VNC attach with wrong password for workspace " +
+                                  owner_ + "/" + workspace_name_);
+          return cmdlang::make_error(util::Errc::auth_error,
+                                     "invalid workspace password");
+        }
+        if (std::find(viewers_.begin(), viewers_.end(), *viewer) ==
+            viewers_.end())
+          viewers_.push_back(*viewer);
+        // Initial full-frame update to the new viewer only.
+        push_updates_locked(/*full=*/true, {*viewer});
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("width", static_cast<std::int64_t>(fb_.width()));
+        reply.arg("height", static_cast<std::int64_t>(fb_.height()));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("vncDetach", "detach a viewer").arg(string_arg("viewer")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto viewer = net::Address::parse(cmd.get_text("viewer"));
+        if (!viewer)
+          return cmdlang::make_error(util::Errc::invalid,
+                                     "viewer must be host:port");
+        std::scoped_lock lock(mu_);
+        std::erase(viewers_, *viewer);
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("vncRunApp", "launch an application window")
+          .arg(string_arg("command")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        AppWindow win;
+        win.id = next_window_++;
+        win.command = cmd.get_text("command");
+        int slot = static_cast<int>(windows_.size());
+        win.frame = Rect{10 + 24 * (slot % 8), 20 + 28 * (slot / 8), 96, 24};
+        windows_[win.id] = win;
+        repaint_locked();
+        push_updates_locked(false, viewers_);
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("window", static_cast<std::int64_t>(win.id));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("vncCloseApp", "close an application window")
+          .arg(integer_arg("window")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        if (windows_.erase(static_cast<int>(cmd.get_integer("window"))) == 0)
+          return cmdlang::make_error(util::Errc::not_found, "no such window");
+        repaint_locked();
+        push_updates_locked(false, viewers_);
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("vncInput", "deliver a key or pointer event")
+          .arg(word_arg("kind").choices({"key", "pointer"}))
+          .arg(string_arg("key").optional_arg())
+          .arg(integer_arg("x").optional_arg())
+          .arg(integer_arg("y").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        if (cmd.get_text("kind") == "pointer") {
+          int x = static_cast<int>(cmd.get_integer("x"));
+          int y = static_cast<int>(cmd.get_integer("y"));
+          fb_.fill_rect(Rect{x - 1, y - 1, 3, 3}, 0xff);
+        } else {
+          std::string key = cmd.get_text("key");
+          // Typed characters accumulate in the "terminal" strip at the
+          // bottom of the workspace.
+          fb_.draw_label(4 + 4 * (input_chars_ % 70),
+                         fb_.height() - 10 - 8 * (input_chars_ / 70),
+                         key.substr(0, 1), 0xd0);
+          input_chars_++;
+        }
+        push_updates_locked(false, viewers_);
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("vncFlush", "push pending updates to all viewers"),
+      [this](const CmdLine&, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        push_updates_locked(false, viewers_);
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("vncSnapshot", "framebuffer hash and app list"),
+      [this](const CmdLine&, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("hash",
+                  static_cast<std::int64_t>(fb_.content_hash() >> 1));
+        std::vector<std::string> apps;
+        for (const auto& [id, win] : windows_)
+          apps.push_back(std::to_string(id) + "|" + win.command);
+        reply.arg("apps", cmdlang::string_vector(std::move(apps)));
+        reply.arg("owner", Word{owner_});
+        reply.arg("name", Word{workspace_name_});
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("vncCheckpoint", "save workspace state to the store"),
+      [this](const CmdLine&, const CallerInfo&) {
+        util::Bytes blob;
+        std::vector<net::Address> replicas;
+        {
+          std::scoped_lock lock(mu_);
+          if (store_replicas_.empty())
+            return cmdlang::make_error(util::Errc::invalid,
+                                       "persistence not enabled");
+          blob = checkpoint_state_locked();
+          replicas = store_replicas_;
+        }
+        store::StoreClient store(control_client(), replicas);
+        if (auto s = store.save_state("vnc/" + owner_, workspace_name_, blob);
+            !s.ok())
+          return cmdlang::make_error(s.error().code, s.error().message);
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("bytes", static_cast<std::int64_t>(blob.size()));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("vncRestore", "restore workspace state from the store"),
+      [this](const CmdLine&, const CallerInfo&) {
+        std::vector<net::Address> replicas;
+        {
+          std::scoped_lock lock(mu_);
+          if (store_replicas_.empty())
+            return cmdlang::make_error(util::Errc::invalid,
+                                       "persistence not enabled");
+          replicas = store_replicas_;
+        }
+        store::StoreClient store(control_client(), replicas);
+        auto blob = store.load_state("vnc/" + owner_, workspace_name_);
+        if (!blob.ok())
+          return cmdlang::make_error(blob.error().code, blob.error().message);
+        std::scoped_lock lock(mu_);
+        if (!restore_state_locked(blob.value()))
+          return cmdlang::make_error(util::Errc::parse_error,
+                                     "corrupt checkpoint");
+        push_updates_locked(true, viewers_);
+        return cmdlang::make_ok();
+      });
+}
+
+void VncServerDaemon::repaint_locked() {
+  fb_.fill_rect(Rect{0, 0, fb_.width(), fb_.height()}, 0x18);  // desktop
+  fb_.fill_rect(Rect{0, 0, fb_.width(), 12}, 0x40);            // title bar
+  fb_.draw_label(4, 3, owner_ + "-" + workspace_name_, 0xff);
+  for (const auto& [id, win] : windows_) {
+    fb_.fill_rect(win.frame, 0x80);
+    fb_.fill_rect(Rect{win.frame.x, win.frame.y, win.frame.w, 7}, 0xa0);
+    fb_.draw_label(win.frame.x + 2, win.frame.y + 1, win.command, 0x10);
+  }
+}
+
+void VncServerDaemon::push_updates_locked(
+    bool full, const std::vector<net::Address>& to) {
+  if (to.empty()) {
+    fb_.clear_dirty();
+    return;
+  }
+  if (!full && !fb_.has_dirty()) return;
+  util::Bytes update = fb_.encode_updates(full);
+  if (!full) fb_.clear_dirty();
+  for (const net::Address& viewer : to) (void)send_datagram(viewer, update);
+}
+
+util::Bytes VncServerDaemon::checkpoint_state_locked() const {
+  util::ByteWriter w;
+  w.str(owner_);
+  w.str(workspace_name_);
+  w.str(password_);
+  w.u32(static_cast<std::uint32_t>(windows_.size()));
+  for (const auto& [id, win] : windows_) {
+    w.u32(static_cast<std::uint32_t>(id));
+    w.str(win.command);
+  }
+  w.blob(fb_.pixels());
+  return w.take();
+}
+
+bool VncServerDaemon::restore_state_locked(const util::Bytes& blob) {
+  util::ByteReader r(blob);
+  auto owner = r.str();
+  auto name = r.str();
+  auto password = r.str();
+  auto window_count = r.u32();
+  if (!owner || !name || !password || !window_count) return false;
+  std::map<int, AppWindow> windows;
+  int max_id = 0;
+  for (std::uint32_t i = 0; i < *window_count; ++i) {
+    auto id = r.u32();
+    auto command = r.str();
+    if (!id || !command) return false;
+    AppWindow win;
+    win.id = static_cast<int>(*id);
+    win.command = *command;
+    int slot = static_cast<int>(windows.size());
+    win.frame = Rect{10 + 24 * (slot % 8), 20 + 28 * (slot / 8), 96, 24};
+    max_id = std::max(max_id, win.id);
+    windows[win.id] = std::move(win);
+  }
+  auto pixels = r.blob();
+  if (!pixels ||
+      pixels->size() != static_cast<std::size_t>(fb_.width()) * fb_.height())
+    return false;
+  password_ = *password;
+  windows_ = std::move(windows);
+  next_window_ = max_id + 1;
+  for (int y = 0; y < fb_.height(); ++y)
+    for (int x = 0; x < fb_.width(); ++x)
+      fb_.set_pixel(x, y, (*pixels)[static_cast<std::size_t>(y) * fb_.width() + x]);
+  return true;
+}
+
+std::string VncServerDaemon::password() const {
+  std::scoped_lock lock(mu_);
+  return password_;
+}
+
+void VncServerDaemon::set_password(std::string password) {
+  std::scoped_lock lock(mu_);
+  password_ = std::move(password);
+}
+
+void VncServerDaemon::enable_persistence(
+    std::vector<net::Address> store_replicas) {
+  std::scoped_lock lock(mu_);
+  store_replicas_ = std::move(store_replicas);
+}
+
+std::uint64_t VncServerDaemon::framebuffer_hash() const {
+  std::scoped_lock lock(mu_);
+  return fb_.content_hash();
+}
+
+std::size_t VncServerDaemon::viewer_count() const {
+  std::scoped_lock lock(mu_);
+  return viewers_.size();
+}
+
+std::vector<VncServerDaemon::AppWindow> VncServerDaemon::windows() const {
+  std::scoped_lock lock(mu_);
+  std::vector<AppWindow> out;
+  for (const auto& [id, win] : windows_) out.push_back(win);
+  return out;
+}
+
+// ------------------------------------------------------------------- viewer
+
+VncViewerDaemon::VncViewerDaemon(daemon::Environment& env,
+                                 daemon::DaemonHost& host,
+                                 daemon::DaemonConfig config)
+    : ServiceDaemon(env, host, vnc_viewer_defaults(std::move(config))) {}
+
+util::Status VncViewerDaemon::attach(const net::Address& server,
+                                     const std::string& password) {
+  CmdLine cmd("vncAttach");
+  cmd.arg("password", password);
+  cmd.arg("viewer", data_address().to_string());
+  auto reply = control_client().call_ok(server, cmd);
+  if (!reply.ok()) return reply.error();
+  std::scoped_lock lock(mu_);
+  server_ = server;
+  return util::Status::ok_status();
+}
+
+util::Status VncViewerDaemon::detach() {
+  net::Address server;
+  {
+    std::scoped_lock lock(mu_);
+    server = server_;
+    server_ = {};
+  }
+  if (server.host.empty()) return util::Status::ok_status();
+  CmdLine cmd("vncDetach");
+  cmd.arg("viewer", data_address().to_string());
+  auto reply = control_client().call(server, cmd);
+  if (!reply.ok()) return reply.error();
+  return util::Status::ok_status();
+}
+
+void VncViewerDaemon::on_datagram(const net::Datagram& datagram) {
+  std::scoped_lock lock(mu_);
+  if (fb_.apply_updates(datagram.payload)) {
+    updates_++;
+    update_bytes_ += datagram.payload.size();
+  }
+}
+
+std::uint64_t VncViewerDaemon::framebuffer_hash() const {
+  std::scoped_lock lock(mu_);
+  return fb_.content_hash();
+}
+
+std::uint64_t VncViewerDaemon::updates_received() const {
+  std::scoped_lock lock(mu_);
+  return updates_;
+}
+
+std::uint64_t VncViewerDaemon::update_bytes_received() const {
+  std::scoped_lock lock(mu_);
+  return update_bytes_;
+}
+
+}  // namespace ace::apps

@@ -1,0 +1,108 @@
+// VNC-like remote workspace system (paper §5.4, Fig 16).
+//
+// "The VNC server ... is responsible for actually housing or running the
+//  user's workspace, maintaining all state information, and accepting input
+//  and output to the workspace ... The server then redirects all I/O to
+//  that client/viewer."
+//
+// VncServerDaemon hosts exactly one workspace (the paper runs one VNC
+// session per workspace): a framebuffer plus the set of running
+// applications. Viewers authenticate with the workspace password (managed
+// invisibly by the WSS, §5.4), attach their data channel, and receive
+// incremental dirty-rect updates. Input events and application launches
+// mutate the framebuffer, so state preservation across detach/reattach is
+// directly observable via content hashes.
+//
+// Server commands:
+//   vncSetPassword password=;                     (WSS only, in practice)
+//   vncAttach password= viewer=<host:port>;       -> ok width= height=
+//   vncDetach viewer=;
+//   vncRunApp command=;                           -> ok window=
+//   vncCloseApp window=;
+//   vncInput kind=key|pointer key=? x=? y=?;
+//   vncFlush;                                     (push updates to viewers)
+//   vncSnapshot;                                  -> ok hash= apps={...}
+//   vncCheckpoint; / vncRestore;                  (persistent-store state)
+#pragma once
+
+#include <map>
+
+#include "apps/framebuffer.hpp"
+#include "daemon/daemon.hpp"
+#include "store/store_client.hpp"
+
+namespace ace::apps {
+
+inline constexpr int kWorkspaceWidth = 320;
+inline constexpr int kWorkspaceHeight = 240;
+
+class VncServerDaemon : public daemon::ServiceDaemon {
+ public:
+  struct AppWindow {
+    int id = 0;
+    std::string command;
+    Rect frame;
+  };
+
+  VncServerDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                  daemon::DaemonConfig config, std::string owner,
+                  std::string workspace_name);
+
+  const std::string& owner() const { return owner_; }
+  const std::string& workspace_name() const { return workspace_name_; }
+  std::string password() const;
+  void set_password(std::string password);
+
+  // Enables vncCheckpoint/vncRestore against the given store replicas.
+  void enable_persistence(std::vector<net::Address> store_replicas);
+
+  std::uint64_t framebuffer_hash() const;
+  std::size_t viewer_count() const;
+  std::vector<AppWindow> windows() const;
+
+ private:
+  void repaint_locked();
+  void push_updates_locked(bool full, const std::vector<net::Address>& to);
+  util::Bytes checkpoint_state_locked() const;
+  bool restore_state_locked(const util::Bytes& blob);
+
+  std::string owner_;
+  std::string workspace_name_;
+
+  mutable std::mutex mu_;
+  std::string password_;
+  Framebuffer fb_{kWorkspaceWidth, kWorkspaceHeight};
+  std::vector<net::Address> viewers_;
+  std::map<int, AppWindow> windows_;
+  int next_window_ = 1;
+  int input_chars_ = 0;
+  std::vector<net::Address> store_replicas_;
+};
+
+// Viewer: attaches to a server and mirrors its framebuffer from updates.
+class VncViewerDaemon : public daemon::ServiceDaemon {
+ public:
+  VncViewerDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                  daemon::DaemonConfig config);
+
+  // Attaches to `server` using `password`; the server replies with the
+  // initial full-frame update over the data channel.
+  util::Status attach(const net::Address& server, const std::string& password);
+  util::Status detach();
+
+  std::uint64_t framebuffer_hash() const;
+  std::uint64_t updates_received() const;
+  std::uint64_t update_bytes_received() const;
+
+ protected:
+  void on_datagram(const net::Datagram& datagram) override;
+
+ private:
+  mutable std::mutex mu_;
+  Framebuffer fb_{kWorkspaceWidth, kWorkspaceHeight};
+  net::Address server_;
+  std::uint64_t updates_ = 0;
+  std::uint64_t update_bytes_ = 0;
+};
+
+}  // namespace ace::apps

@@ -1,0 +1,65 @@
+#include "baselines/centralized.hpp"
+
+namespace ace::baselines {
+
+using cmdlang::CmdLine;
+
+PlacementExperiment::PlacementExperiment(
+    Placement placement, std::chrono::microseconds cluster_latency,
+    std::chrono::microseconds room_latency) {
+  env_ = std::make_unique<daemon::Environment>(7);
+  room_host_ = std::make_unique<daemon::DaemonHost>(*env_, "room-host");
+  cluster_host_ = std::make_unique<daemon::DaemonHost>(*env_, "cluster");
+
+  net::LinkPolicy wan;
+  wan.latency = cluster_latency;
+  env_->network().set_link("room-host", "cluster", wan);
+  net::LinkPolicy lan;
+  lan.latency = room_latency;
+  env_->network().set_link("room-host", "access-point", lan);
+
+  daemon::DaemonHost* camera_home =
+      placement == Placement::distributed ? room_host_.get()
+                                          : cluster_host_.get();
+
+  daemon::DaemonConfig config;
+  config.name = "ptz-camera";
+  config.room = "hawk";
+  config.register_with_asd = false;  // direct-addressed micro-experiment
+  config.register_with_room_db = false;
+  config.log_to_net_logger = false;
+  camera_ = &camera_home->add_daemon<daemon::PtzCameraDaemon>(
+      std::move(config), daemon::vcc4_spec());
+  (void)camera_->start();
+
+  // The commanding client sits in the room (e.g. the podium access point).
+  auto& ap = env_->network().add_host("access-point");
+  if (placement == Placement::centralized) {
+    net::LinkPolicy ap_wan;
+    ap_wan.latency = cluster_latency;
+    env_->network().set_link("access-point", "cluster", ap_wan);
+  }
+  client_ = std::make_unique<daemon::AceClient>(
+      *env_, ap, env_->issue_identity("user/operator"));
+
+  CmdLine on("deviceOn");
+  (void)client_->call(camera_->address(), on);
+}
+
+util::Result<std::chrono::microseconds>
+PlacementExperiment::device_command_rtt() {
+  CmdLine move("ptzMove");
+  move.arg("pan", 12.5);
+  move.arg("tilt", 4.0);
+  move.arg("zoom", 2.0);
+  auto start = std::chrono::steady_clock::now();
+  auto reply = client_->call(camera_->address(), move);
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  if (!reply.ok()) return reply.error();
+  if (cmdlang::is_error(reply.value()))
+    return cmdlang::reply_error(reply.value());
+  return elapsed;
+}
+
+}  // namespace ace::baselines

@@ -1,0 +1,50 @@
+// Centralized-placement baseline (paper §8.1).
+//
+// "Unlike ACE, Ninja groups these bases together and all services execute
+//  on these clusters and communicate to devices via the Internet or local
+//  area network. ACE, on the other hand, attempts to distribute its
+//  computing power ... This not only reduces network traffic to local
+//  devices but also makes response times to these local services much more
+//  efficient."
+//
+// PlacementExperiment builds the same room (client + PTZ camera) under two
+// placements — the camera's controlling daemon on a host in the room
+// (ACE-style) or on a remote cluster host behind a configurable WAN latency
+// (Ninja-base-style) — and measures device-command round-trip time.
+// Experiment E11 sweeps the cluster latency to locate the response-time gap.
+#pragma once
+
+#include <memory>
+
+#include "daemon/devices.hpp"
+#include "daemon/host.hpp"
+#include "services/asd.hpp"
+
+namespace ace::baselines {
+
+enum class Placement { distributed, centralized };
+
+class PlacementExperiment {
+ public:
+  // `cluster_latency` is the one-way latency between the room and the
+  // central cluster; in-room links are `room_latency`.
+  PlacementExperiment(Placement placement,
+                      std::chrono::microseconds cluster_latency,
+                      std::chrono::microseconds room_latency =
+                          std::chrono::microseconds(50));
+
+  // Issues one ptzMove command from the in-room client and returns the
+  // observed round-trip time.
+  util::Result<std::chrono::microseconds> device_command_rtt();
+
+  daemon::Environment& env() { return *env_; }
+
+ private:
+  std::unique_ptr<daemon::Environment> env_;
+  std::unique_ptr<daemon::DaemonHost> room_host_;
+  std::unique_ptr<daemon::DaemonHost> cluster_host_;
+  daemon::PtzCameraDaemon* camera_ = nullptr;
+  std::unique_ptr<daemon::AceClient> client_;
+};
+
+}  // namespace ace::baselines

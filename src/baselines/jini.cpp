@@ -1,0 +1,114 @@
+#include "baselines/jini.hpp"
+
+#include "util/strings.hpp"
+
+namespace ace::baselines {
+
+using cmdlang::CmdLine;
+using cmdlang::CommandSpec;
+using cmdlang::integer_arg;
+using cmdlang::string_arg;
+using cmdlang::Word;
+using cmdlang::word_arg;
+using daemon::CallerInfo;
+
+namespace {
+daemon::DaemonConfig jini_defaults(daemon::DaemonConfig config) {
+  config.open_data_channel = true;
+  config.port = kJiniDiscoveryPort;
+  config.register_with_asd = false;  // a rival directory does not use ours
+  config.register_with_room_db = false;
+  config.log_to_net_logger = false;
+  if (config.service_class.empty())
+    config.service_class = "Baseline/JiniLookup";
+  return config;
+}
+}  // namespace
+
+JiniLookupDaemon::JiniLookupDaemon(daemon::Environment& env,
+                                   daemon::DaemonHost& host,
+                                   daemon::DaemonConfig config)
+    : ServiceDaemon(env, host, jini_defaults(std::move(config))) {
+  register_command(
+      CommandSpec("jiniJoin", "register a service with the lookup service")
+          .arg(word_arg("name"))
+          .arg(string_arg("host"))
+          .arg(integer_arg("port").range(1, 65535))
+          .arg(string_arg("attributes").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        Entry e;
+        e.name = cmd.get_text("name");
+        e.address = net::Address{
+            cmd.get_text("host"),
+            static_cast<std::uint16_t>(cmd.get_integer("port"))};
+        e.attributes = cmd.get_text("attributes");
+        std::scoped_lock lock(mu_);
+        entries_.push_back(std::move(e));
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("lease", static_cast<std::int64_t>(30000));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("jiniLookup", "find services by attribute glob")
+          .arg(string_arg("attributes")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::string glob = cmd.get_text("attributes");
+        std::vector<std::string> out;
+        {
+          std::scoped_lock lock(mu_);
+          for (const Entry& e : entries_)
+            if (util::glob_match(glob, e.attributes))
+              out.push_back(e.name + "|" + e.address.to_string());
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("services", cmdlang::string_vector(std::move(out)));
+        return reply;
+      });
+}
+
+void JiniLookupDaemon::on_datagram(const net::Datagram& datagram) {
+  // Discovery protocol: any datagram starting with "jini-discovery" gets a
+  // unicast response announcing our command address.
+  std::string text = util::to_string(datagram.payload);
+  if (!util::starts_with(text, "jini-discovery")) return;
+  std::string response = "jini-announce " + address().to_string();
+  (void)send_datagram(datagram.from, util::to_bytes(response));
+}
+
+util::Result<JiniDiscoveryResult> jini_discover(
+    daemon::Environment& env, net::Host& from,
+    const std::vector<std::string>& segment_hosts,
+    std::chrono::milliseconds timeout) {
+  auto socket = from.open_datagram();
+  if (!socket.ok()) return socket.error();
+  auto start = std::chrono::steady_clock::now();
+
+  JiniDiscoveryResult result;
+  // Multicast emulation: the probe lands on every host on the segment.
+  for (const std::string& host : segment_hosts) {
+    (void)(*socket)->send_to(net::Address{host, kJiniDiscoveryPort},
+                             util::to_bytes("jini-discovery request"));
+    result.probes_sent++;
+  }
+
+  auto deadline = start + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto dg = (*socket)->recv(std::chrono::duration_cast<net::Duration>(
+        deadline - std::chrono::steady_clock::now()));
+    if (!dg) break;
+    std::string text = util::to_string(dg->payload);
+    if (!util::starts_with(text, "jini-announce ")) continue;
+    auto addr = net::Address::parse(text.substr(14));
+    if (!addr) continue;
+    result.responses_received++;
+    result.lookup_service = *addr;
+    result.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    (void)env;
+    return result;
+  }
+  return util::Error{util::Errc::timeout, "no lookup service responded"};
+}
+
+}  // namespace ace::baselines

@@ -1,0 +1,60 @@
+// Jini-style discovery baseline (paper §8.4).
+//
+// Jini clients find the lookup service by *multicast*: discovery request
+// packets go to every reachable host until a lookup service responds. ACE
+// instead fixes the ASD at a well-known socket ("the location of which is
+// known to all ACE daemons", §2.4). Experiment E11 compares the two: number
+// of discovery messages and time-to-first-lookup as the environment grows.
+//
+// Our simulated network has no true multicast, so the discovery client
+// emulates it the way multicast behaves on a LAN segment: one probe
+// datagram lands on the discovery port of every host. The lookup service
+// itself then supports Jini-style join/lookup with leases, mirroring the
+// feature set the paper credits Jini with.
+#pragma once
+
+#include "daemon/daemon.hpp"
+
+namespace ace::baselines {
+
+inline constexpr std::uint16_t kJiniDiscoveryPort = 4160;
+
+// The lookup service: answers discovery probes on its data channel and
+// serves join/lookup commands.
+class JiniLookupDaemon : public daemon::ServiceDaemon {
+ public:
+  JiniLookupDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                   daemon::DaemonConfig config);
+
+  // Commands:
+  //   jiniJoin name= host= port= attributes=?;    -> ok lease=
+  //   jiniLookup attributes=<glob>;               -> ok services={...}
+
+ protected:
+  void on_datagram(const net::Datagram& datagram) override;
+
+ private:
+  struct Entry {
+    std::string name;
+    net::Address address;
+    std::string attributes;
+  };
+  std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+struct JiniDiscoveryResult {
+  net::Address lookup_service;   // command address of the responder
+  int probes_sent = 0;
+  int responses_received = 0;
+  std::chrono::microseconds elapsed{0};
+};
+
+// Emulated multicast discovery: probes the discovery port of every host in
+// `segment_hosts` and waits for the first lookup-service response.
+util::Result<JiniDiscoveryResult> jini_discover(
+    daemon::Environment& env, net::Host& from,
+    const std::vector<std::string>& segment_hosts,
+    std::chrono::milliseconds timeout);
+
+}  // namespace ace::baselines

@@ -1,0 +1,264 @@
+#include "baselines/rmi.hpp"
+
+#include <functional>
+
+namespace ace::baselines {
+
+namespace {
+
+// Java Object Serialization stream constants (subset).
+constexpr std::uint16_t kStreamMagic = 0xaced;
+constexpr std::uint16_t kStreamVersion = 5;
+constexpr std::uint8_t kTcObject = 0x73;
+constexpr std::uint8_t kTcClassDesc = 0x72;
+constexpr std::uint8_t kTcReference = 0x71;
+constexpr std::uint8_t kTcString = 0x74;
+constexpr std::uint8_t kTcEndBlockData = 0x78;
+
+constexpr std::uint64_t kFakeSerialVersionUid = 0x42acef00dULL;
+
+const char* type_descriptor(const RmiValue& v) {
+  switch (v.v.index()) {
+    case 0: return "J";                    // long
+    case 1: return "D";                    // double
+    case 2: return "Ljava/lang/String;";
+    default: return "Ljava/util/ArrayList;";
+  }
+}
+
+const char* class_name_of(const RmiValue& v) {
+  switch (v.v.index()) {
+    case 0: return "java.lang.Long";
+    case 1: return "java.lang.Double";
+    case 2: return "java.lang.String";
+    default: return "java.util.ArrayList";
+  }
+}
+
+}  // namespace
+
+void RmiMarshaller::write_class_descriptor(
+    util::ByteWriter& w, const std::string& class_name,
+    const std::vector<std::string>& field_types) {
+  if (cache_descriptors_) {
+    auto it = sent_descriptors_.find(class_name);
+    if (it != sent_descriptors_.end()) {
+      w.u8(kTcReference);
+      w.u32(it->second);
+      return;
+    }
+    sent_descriptors_[class_name] = next_handle_++;
+  }
+  w.u8(kTcClassDesc);
+  w.str(class_name);
+  w.u64(kFakeSerialVersionUid);
+  w.u8(0x02);  // SC_SERIALIZABLE flags
+  w.u16(static_cast<std::uint16_t>(field_types.size()));
+  int i = 0;
+  for (const std::string& t : field_types) {
+    w.u8(static_cast<std::uint8_t>(t[0]));
+    w.str("field" + std::to_string(i++));
+    if (t.size() > 1) {
+      w.u8(kTcString);
+      w.str(t);  // object field type descriptor string
+    }
+  }
+  w.u8(kTcEndBlockData);
+}
+
+void RmiMarshaller::write_value(util::ByteWriter& w,
+                                const std::string& field_name,
+                                const RmiValue& value) {
+  w.u8(kTcObject);
+  write_class_descriptor(w, class_name_of(value), {type_descriptor(value)});
+  w.str(field_name);
+  switch (value.v.index()) {
+    case 0:
+      w.u8('J');
+      w.i64(std::get<std::int64_t>(value.v));
+      break;
+    case 1:
+      w.u8('D');
+      w.f64(std::get<double>(value.v));
+      break;
+    case 2:
+      w.u8('S');
+      w.u8(kTcString);
+      w.str(std::get<std::string>(value.v));
+      break;
+    default: {
+      w.u8('L');
+      const auto& list = std::get<RmiValueList>(value.v);
+      w.u32(static_cast<std::uint32_t>(list.size()));
+      for (const RmiValue& elem : list) write_value(w, "element", elem);
+      break;
+    }
+  }
+}
+
+std::optional<RmiValue> RmiMarshaller::read_value(util::ByteReader& r,
+                                                  std::string* field_name) {
+  auto marker = r.u8();
+  if (!marker || *marker != kTcObject) return std::nullopt;
+  auto desc_marker = r.u8();
+  if (!desc_marker) return std::nullopt;
+  if (*desc_marker == kTcReference) {
+    if (!r.u32()) return std::nullopt;
+  } else if (*desc_marker == kTcClassDesc) {
+    auto class_name = r.str();
+    auto uid = r.u64();
+    auto flags = r.u8();
+    auto field_count = r.u16();
+    if (!class_name || !uid || !flags || !field_count) return std::nullopt;
+    for (std::uint16_t i = 0; i < *field_count; ++i) {
+      auto type_char = r.u8();
+      auto name = r.str();
+      if (!type_char || !name) return std::nullopt;
+      if (*type_char == 'L') {
+        auto str_marker = r.u8();
+        auto type_name = r.str();
+        if (!str_marker || !type_name) return std::nullopt;
+      }
+    }
+    if (!r.u8()) return std::nullopt;  // end block data
+  } else {
+    return std::nullopt;
+  }
+  auto name = r.str();
+  if (!name) return std::nullopt;
+  if (field_name) *field_name = *name;
+  auto kind = r.u8();
+  if (!kind) return std::nullopt;
+  switch (*kind) {
+    case 'J': {
+      auto v = r.i64();
+      if (!v) return std::nullopt;
+      return RmiValue(*v);
+    }
+    case 'D': {
+      auto v = r.f64();
+      if (!v) return std::nullopt;
+      return RmiValue(*v);
+    }
+    case 'S': {
+      if (!r.u8()) return std::nullopt;  // TC_STRING
+      auto v = r.str();
+      if (!v) return std::nullopt;
+      return RmiValue(std::move(*v));
+    }
+    case 'L': {
+      auto count = r.u32();
+      if (!count) return std::nullopt;
+      RmiValueList list;
+      list.reserve(*count);
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        auto elem = read_value(r, nullptr);
+        if (!elem) return std::nullopt;
+        list.push_back(std::move(*elem));
+      }
+      return RmiValue(std::move(list));
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+util::Bytes RmiMarshaller::marshal(const RmiInvocation& invocation) {
+  util::ByteWriter w;
+  w.u16(kStreamMagic);
+  w.u16(kStreamVersion);
+  // The remote call header: object id + interface hash + method string.
+  w.u8(kTcObject);
+  write_class_descriptor(w, invocation.interface_name,
+                         {"Ljava/rmi/server/RemoteCall;"});
+  w.u64(kFakeSerialVersionUid);  // operation hash
+  w.u8(kTcString);
+  w.str(invocation.method_name);
+  w.u16(static_cast<std::uint16_t>(invocation.arguments.size()));
+  for (const auto& [name, value] : invocation.arguments)
+    write_value(w, name, value);
+  return w.take();
+}
+
+util::Result<RmiInvocation> RmiMarshaller::unmarshal(const util::Bytes& data) {
+  util::ByteReader r(data);
+  auto magic = r.u16();
+  auto version = r.u16();
+  if (!magic || *magic != kStreamMagic || !version)
+    return util::Error{util::Errc::parse_error, "bad stream magic"};
+  auto marker = r.u8();
+  if (!marker || *marker != kTcObject)
+    return util::Error{util::Errc::parse_error, "expected call object"};
+  RmiInvocation inv;
+  auto desc_marker = r.u8();
+  if (!desc_marker)
+    return util::Error{util::Errc::parse_error, "truncated descriptor"};
+  if (*desc_marker == kTcReference) {
+    auto handle = r.u32();
+    if (!handle)
+      return util::Error{util::Errc::parse_error, "bad reference"};
+    auto it = seen_descriptors_.find(*handle);
+    if (it == seen_descriptors_.end())
+      return util::Error{util::Errc::parse_error, "unknown handle"};
+    inv.interface_name = it->second;
+  } else if (*desc_marker == kTcClassDesc) {
+    auto class_name = r.str();
+    if (!class_name)
+      return util::Error{util::Errc::parse_error, "bad class name"};
+    inv.interface_name = *class_name;
+    if (cache_descriptors_)
+      seen_descriptors_[next_handle_++] = inv.interface_name;
+    r.u64();  // uid
+    r.u8();   // flags
+    auto field_count = r.u16();
+    if (!field_count)
+      return util::Error{util::Errc::parse_error, "bad descriptor"};
+    for (std::uint16_t i = 0; i < *field_count; ++i) {
+      auto type_char = r.u8();
+      auto name = r.str();
+      if (!type_char || !name)
+        return util::Error{util::Errc::parse_error, "bad field"};
+      if (*type_char == 'L') {
+        r.u8();
+        r.str();
+      }
+    }
+    r.u8();  // end block data
+  } else {
+    return util::Error{util::Errc::parse_error, "unexpected marker"};
+  }
+  r.u64();  // operation hash
+  auto str_marker = r.u8();
+  auto method = r.str();
+  if (!str_marker || !method)
+    return util::Error{util::Errc::parse_error, "bad method"};
+  inv.method_name = *method;
+  auto arg_count = r.u16();
+  if (!arg_count)
+    return util::Error{util::Errc::parse_error, "bad arg count"};
+  for (std::uint16_t i = 0; i < *arg_count; ++i) {
+    std::string field_name;
+    auto value = read_value(r, &field_name);
+    if (!value)
+      return util::Error{util::Errc::parse_error, "bad argument"};
+    inv.arguments.emplace_back(std::move(field_name), std::move(*value));
+  }
+  return inv;
+}
+
+void RmiDispatcher::register_method(const std::string& interface_name,
+                                    const std::string& method_name,
+                                    Handler handler) {
+  handlers_[interface_name + "." + method_name] = std::move(handler);
+}
+
+util::Result<RmiValue> RmiDispatcher::dispatch(
+    const RmiInvocation& invocation) const {
+  auto it = handlers_.find(invocation.interface_name + "." +
+                           invocation.method_name);
+  if (it == handlers_.end())
+    return util::Error{util::Errc::not_found, "no such remote method"};
+  return it->second(invocation);
+}
+
+}  // namespace ace::baselines

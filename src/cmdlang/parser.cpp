@@ -1,0 +1,373 @@
+#include "cmdlang/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ace::cmdlang {
+
+namespace {
+
+enum class TokKind {
+  word,     // bare identifier
+  integer,  // 42, -7
+  real,     // 3.14, -2e5
+  string,   // "quoted"
+  equals,
+  comma,
+  lbrace,
+  rbrace,
+  semicolon,
+  end,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;   // words & strings
+  std::int64_t ival = 0;
+  double rval = 0.0;
+  std::size_t pos = 0;
+};
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : in_(input) {}
+
+  util::Result<Token> next() {
+    skip_space();
+    Token t;
+    t.pos = pos_;
+    if (pos_ >= in_.size()) {
+      t.kind = TokKind::end;
+      return t;
+    }
+    char c = in_[pos_];
+    switch (c) {
+      case '=': ++pos_; t.kind = TokKind::equals; return t;
+      case ',': ++pos_; t.kind = TokKind::comma; return t;
+      case '{': ++pos_; t.kind = TokKind::lbrace; return t;
+      case '}': ++pos_; t.kind = TokKind::rbrace; return t;
+      case ';': ++pos_; t.kind = TokKind::semicolon; return t;
+      case '"': return lex_string();
+      default: break;
+    }
+    if (c == '-' || c == '+' || std::isdigit(static_cast<unsigned char>(c)))
+      return lex_number();
+    if (is_word_char(c)) return lex_word();
+    return fail("unexpected character '" + std::string(1, c) + "'");
+  }
+
+  std::size_t position() const { return pos_; }
+
+ private:
+  util::Error fail(const std::string& message) const {
+    return ParseError{pos_, message}.to_error();
+  }
+
+  void skip_space() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_])))
+      ++pos_;
+  }
+
+  util::Result<Token> lex_string() {
+    Token t;
+    t.pos = pos_;
+    t.kind = TokKind::string;
+    ++pos_;  // opening quote
+    while (pos_ < in_.size() && in_[pos_] != '"') {
+      char c = in_[pos_];
+      if (c == '\\') {
+        if (pos_ + 1 >= in_.size()) return fail("dangling escape in string");
+        t.text.push_back(in_[pos_ + 1]);
+        pos_ += 2;
+      } else {
+        t.text.push_back(c);
+        ++pos_;
+      }
+    }
+    if (pos_ >= in_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return t;
+  }
+
+  util::Result<Token> lex_number() {
+    Token t;
+    t.pos = pos_;
+    std::size_t start = pos_;
+    if (in_[pos_] == '-' || in_[pos_] == '+') ++pos_;
+    bool has_digits = false;
+    bool is_real = false;
+    while (pos_ < in_.size()) {
+      char c = in_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        has_digits = true;
+        ++pos_;
+      } else if (c == '.') {
+        if (is_real) break;
+        is_real = true;
+        ++pos_;
+      } else if (c == 'e' || c == 'E') {
+        // exponent: e[+-]?digits
+        std::size_t save = pos_;
+        ++pos_;
+        if (pos_ < in_.size() && (in_[pos_] == '-' || in_[pos_] == '+'))
+          ++pos_;
+        if (pos_ < in_.size() &&
+            std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+          is_real = true;
+          while (pos_ < in_.size() &&
+                 std::isdigit(static_cast<unsigned char>(in_[pos_])))
+            ++pos_;
+        } else {
+          pos_ = save;
+        }
+        break;
+      } else {
+        break;
+      }
+    }
+    if (!has_digits) return fail("malformed number");
+    // Reject '3abc' style tokens.
+    if (pos_ < in_.size() && is_word_char(in_[pos_]))
+      return fail("malformed number (trailing word characters)");
+    std::string text(in_.substr(start, pos_ - start));
+    if (is_real) {
+      t.kind = TokKind::real;
+      t.rval = std::strtod(text.c_str(), nullptr);
+    } else {
+      t.kind = TokKind::integer;
+      t.ival = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    return t;
+  }
+
+  util::Result<Token> lex_word() {
+    Token t;
+    t.pos = pos_;
+    t.kind = TokKind::word;
+    while (pos_ < in_.size() && is_word_char(in_[pos_]))
+      t.text.push_back(in_[pos_++]);
+    return t;
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::string_view input) : lexer_(input) {}
+
+  util::Result<CmdLine> parse_command() {
+    if (auto s = advance(); !s.ok()) return s.error();
+    if (current_.kind == TokKind::end)
+      return fail("empty input, expected command name");
+    if (current_.kind != TokKind::word)
+      return fail("expected command name word");
+    CmdLine cmd(current_.text);
+    if (auto s = advance(); !s.ok()) return s.error();
+
+    while (current_.kind != TokKind::semicolon) {
+      if (current_.kind == TokKind::end)
+        return fail("unterminated command, expected ';'");
+      // Optional comma separators between arguments (paper grammar allows
+      // both space and ',' separated ARGLISTs).
+      if (current_.kind == TokKind::comma) {
+        if (auto s = advance(); !s.ok()) return s.error();
+        continue;
+      }
+      if (current_.kind != TokKind::word)
+        return fail("expected argument name");
+      std::string arg_name = current_.text;
+      if (auto s = advance(); !s.ok()) return s.error();
+      if (current_.kind != TokKind::equals)
+        return fail("expected '=' after argument name '" + arg_name + "'");
+      if (auto s = advance(); !s.ok()) return s.error();
+      auto value = parse_value();
+      if (!value.ok()) return value.error();
+      cmd.arg(std::move(arg_name), std::move(value.value()));
+    }
+    return cmd;
+  }
+
+  util::Result<std::vector<CmdLine>> parse_sequence() {
+    std::vector<CmdLine> out;
+    for (;;) {
+      std::size_t before = lexer_.position();
+      auto cmd = parse_command();
+      if (!cmd.ok()) {
+        // Distinguish clean end-of-input from a real error.
+        if (out.empty() || lexer_.position() != before) {
+          if (at_clean_end_) return out;
+          return cmd.error();
+        }
+        return out;
+      }
+      out.push_back(std::move(cmd.value()));
+      // Peek: if only whitespace remains we are done.
+      Lexer probe = lexer_;
+      auto t = probe.next();
+      if (t.ok() && t->kind == TokKind::end) return out;
+    }
+  }
+
+ private:
+  util::Error fail(const std::string& message) {
+    if (current_.kind == TokKind::end) at_clean_end_ = true;
+    return ParseError{current_.pos, message}.to_error();
+  }
+
+  util::Status advance() {
+    auto t = lexer_.next();
+    if (!t.ok()) return t.error();
+    current_ = std::move(t.value());
+    return util::Status::ok_status();
+  }
+
+  util::Result<Value> parse_value() {
+    switch (current_.kind) {
+      case TokKind::integer: {
+        Value v(current_.ival);
+        if (auto s = advance(); !s.ok()) return s.error();
+        return v;
+      }
+      case TokKind::real: {
+        Value v(current_.rval);
+        if (auto s = advance(); !s.ok()) return s.error();
+        return v;
+      }
+      case TokKind::word: {
+        Value v(Word{current_.text});
+        if (auto s = advance(); !s.ok()) return s.error();
+        return v;
+      }
+      case TokKind::string: {
+        Value v(current_.text);
+        if (auto s = advance(); !s.ok()) return s.error();
+        return v;
+      }
+      case TokKind::lbrace:
+        return parse_braced();
+      default:
+        return fail("expected a value");
+    }
+  }
+
+  // Parses either a VECTOR {1,2,3} or an ARRAY {{1,2},{3}} — disambiguated
+  // by whether the first element is itself braced.
+  util::Result<Value> parse_braced() {
+    if (auto s = advance(); !s.ok()) return s.error();  // consume '{'
+    if (current_.kind == TokKind::lbrace) {
+      Array arr;
+      for (;;) {
+        auto vec = parse_vector_literal();
+        if (!vec.ok()) return vec.error();
+        arr.vectors.push_back(std::move(vec.value()));
+        if (current_.kind == TokKind::comma) {
+          if (auto s = advance(); !s.ok()) return s.error();
+          continue;
+        }
+        break;
+      }
+      if (current_.kind != TokKind::rbrace)
+        return fail("expected '}' closing array");
+      if (auto s = advance(); !s.ok()) return s.error();
+      return Value(std::move(arr));
+    }
+    auto vec = parse_vector_elements();
+    if (!vec.ok()) return vec.error();
+    return Value(std::move(vec.value()));
+  }
+
+  // Assumes '{' already consumed; parses elements up to and including '}'.
+  util::Result<Vector> parse_vector_elements() {
+    Vector vec;
+    bool first = true;
+    while (current_.kind != TokKind::rbrace) {
+      if (current_.kind == TokKind::end)
+        return fail("unterminated vector, expected '}'");
+      if (!first) {
+        if (current_.kind != TokKind::comma)
+          return fail("expected ',' between vector elements");
+        if (auto s = advance(); !s.ok()) return s.error();
+      }
+      auto elem = parse_scalar();
+      if (!elem.ok()) return elem.error();
+      ValueType t = elem->type();
+      if (first) {
+        vec.element_type = t;
+      } else if (t != vec.element_type) {
+        // Paper: vectors are homogeneous. Permit int→float widening.
+        if (vec.element_type == ValueType::real && t == ValueType::integer) {
+          // ok, element widened below
+        } else if (vec.element_type == ValueType::integer &&
+                   t == ValueType::real) {
+          vec.element_type = ValueType::real;
+        } else {
+          return fail("mixed element types in vector");
+        }
+      }
+      vec.elements.push_back(std::move(elem.value()));
+      first = false;
+    }
+    if (auto s = advance(); !s.ok()) return s.error();  // consume '}'
+    return vec;
+  }
+
+  // Parses a full '{...}' vector literal (for array members).
+  util::Result<Vector> parse_vector_literal() {
+    if (current_.kind != TokKind::lbrace)
+      return fail("expected '{' starting vector");
+    if (auto s = advance(); !s.ok()) return s.error();
+    return parse_vector_elements();
+  }
+
+  util::Result<Value> parse_scalar() {
+    switch (current_.kind) {
+      case TokKind::integer: {
+        Value v(current_.ival);
+        if (auto s = advance(); !s.ok()) return s.error();
+        return v;
+      }
+      case TokKind::real: {
+        Value v(current_.rval);
+        if (auto s = advance(); !s.ok()) return s.error();
+        return v;
+      }
+      case TokKind::word: {
+        Value v(Word{current_.text});
+        if (auto s = advance(); !s.ok()) return s.error();
+        return v;
+      }
+      case TokKind::string: {
+        Value v(current_.text);
+        if (auto s = advance(); !s.ok()) return s.error();
+        return v;
+      }
+      default:
+        return fail("expected scalar vector element");
+    }
+  }
+
+  Lexer lexer_;
+  Token current_{};
+  bool at_clean_end_ = false;
+};
+
+}  // namespace
+
+util::Result<CmdLine> Parser::parse(std::string_view input) {
+  ParserImpl impl(input);
+  return impl.parse_command();
+}
+
+util::Result<std::vector<CmdLine>> Parser::parse_all(std::string_view input) {
+  ParserImpl impl(input);
+  return impl.parse_sequence();
+}
+
+}  // namespace ace::cmdlang

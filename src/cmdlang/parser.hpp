@@ -1,0 +1,36 @@
+// The ACE Command Parser (paper §2.2, Fig 5): converts a transmitted command
+// string back into an ACECmdLine object, "check[ing] the incoming string for
+// syntactic ... correctness". Semantic validation against a daemon's command
+// definitions lives in semantics.hpp.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cmdlang/value.hpp"
+#include "util/result.hpp"
+
+namespace ace::cmdlang {
+
+struct ParseError {
+  std::size_t position = 0;  // byte offset into the input
+  std::string message;
+
+  util::Error to_error() const {
+    return util::Error{util::Errc::parse_error,
+                       message + " (at offset " + std::to_string(position) +
+                           ")"};
+  }
+};
+
+class Parser {
+ public:
+  // Parses exactly one command terminated by ';'.
+  static util::Result<CmdLine> parse(std::string_view input);
+
+  // Parses a ';'-separated sequence of commands (e.g. a script).
+  static util::Result<std::vector<CmdLine>> parse_all(std::string_view input);
+};
+
+}  // namespace ace::cmdlang

@@ -1,0 +1,182 @@
+#include "cmdlang/semantics.hpp"
+
+#include <algorithm>
+
+namespace ace::cmdlang {
+
+const char* arg_type_name(ArgType t) {
+  switch (t) {
+    case ArgType::integer: return "integer";
+    case ArgType::real: return "float";
+    case ArgType::word: return "word";
+    case ArgType::string: return "string";
+    case ArgType::text: return "text";
+    case ArgType::vector_integer: return "vector<integer>";
+    case ArgType::vector_real: return "vector<float>";
+    case ArgType::vector_word: return "vector<word>";
+    case ArgType::vector_string: return "vector<string>";
+    case ArgType::array: return "array";
+    case ArgType::any: return "any";
+  }
+  return "?";
+}
+
+ArgSpec integer_arg(std::string name) {
+  ArgSpec s; s.name = std::move(name); s.type = ArgType::integer; return s;
+}
+ArgSpec real_arg(std::string name) {
+  ArgSpec s; s.name = std::move(name); s.type = ArgType::real; return s;
+}
+ArgSpec word_arg(std::string name) {
+  ArgSpec s; s.name = std::move(name); s.type = ArgType::word; return s;
+}
+ArgSpec string_arg(std::string name) {
+  ArgSpec s; s.name = std::move(name); s.type = ArgType::string; return s;
+}
+ArgSpec text_arg(std::string name) {
+  ArgSpec s; s.name = std::move(name); s.type = ArgType::text; return s;
+}
+ArgSpec vector_arg(std::string name, ArgType type) {
+  ArgSpec s; s.name = std::move(name); s.type = type; return s;
+}
+ArgSpec array_arg(std::string name) {
+  ArgSpec s; s.name = std::move(name); s.type = ArgType::array; return s;
+}
+ArgSpec any_arg(std::string name) {
+  ArgSpec s; s.name = std::move(name); s.type = ArgType::any; return s;
+}
+
+void SemanticRegistry::add(CommandSpec spec) {
+  specs_[spec.name] = std::move(spec);
+}
+
+const CommandSpec* SemanticRegistry::find(const std::string& name) const {
+  auto it = specs_.find(name);
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SemanticRegistry::command_names() const {
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+bool type_matches(ArgType expected, const Value& value) {
+  switch (expected) {
+    case ArgType::integer:
+      return value.is_integer();
+    case ArgType::real:
+      return value.is_real() || value.is_integer();
+    case ArgType::word:
+      // Accepts quoted strings as well: identifiers that are not lexically
+      // valid WORDs (hyphenated names) arrive quoted.
+      return value.is_word() || value.is_string();
+    case ArgType::string:
+    case ArgType::text:
+      return value.is_string() || value.is_word();
+    case ArgType::vector_integer:
+      return value.is_vector() &&
+             (value.as_vector().elements.empty() ||
+              value.as_vector().element_type == ValueType::integer);
+    case ArgType::vector_real:
+      return value.is_vector() &&
+             (value.as_vector().elements.empty() ||
+              value.as_vector().element_type == ValueType::real ||
+              value.as_vector().element_type == ValueType::integer);
+    case ArgType::vector_word:
+      return value.is_vector() &&
+             (value.as_vector().elements.empty() ||
+              value.as_vector().element_type == ValueType::word);
+    case ArgType::vector_string:
+      return value.is_vector() &&
+             (value.as_vector().elements.empty() ||
+              value.as_vector().element_type == ValueType::string ||
+              value.as_vector().element_type == ValueType::word);
+    case ArgType::array:
+      return value.is_array();
+    case ArgType::any:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+util::Status SemanticRegistry::check_arg(const CommandSpec& spec,
+                                         const ArgSpec& arg,
+                                         const Value& value) {
+  if (!type_matches(arg.type, value)) {
+    return util::Error{util::Errc::semantic_error,
+                       "command '" + spec.name + "' argument '" + arg.name +
+                           "' expects " + arg_type_name(arg.type) + ", got " +
+                           value_type_name(value.type())};
+  }
+  if (value.is_integer()) {
+    std::int64_t v = value.as_integer();
+    if ((arg.min_integer && v < *arg.min_integer) ||
+        (arg.max_integer && v > *arg.max_integer)) {
+      return util::Error{util::Errc::semantic_error,
+                         "command '" + spec.name + "' argument '" + arg.name +
+                             "' out of range: " + std::to_string(v)};
+    }
+  }
+  if (value.is_real() || value.is_integer()) {
+    double v = value.as_real();
+    if ((arg.min_real && v < *arg.min_real) ||
+        (arg.max_real && v > *arg.max_real)) {
+      return util::Error{util::Errc::semantic_error,
+                         "command '" + spec.name + "' argument '" + arg.name +
+                             "' out of range"};
+    }
+  }
+  if (!arg.one_of.empty() && (value.is_word() || value.is_string())) {
+    const std::string& text = value.as_text();
+    if (std::find(arg.one_of.begin(), arg.one_of.end(), text) ==
+        arg.one_of.end()) {
+      return util::Error{util::Errc::semantic_error,
+                         "command '" + spec.name + "' argument '" + arg.name +
+                             "' has unsupported value '" + text + "'"};
+    }
+  }
+  return util::Status::ok_status();
+}
+
+util::Status SemanticRegistry::validate(const CmdLine& cmd) const {
+  const CommandSpec* spec = find(cmd.name());
+  if (!spec) {
+    return util::Error{util::Errc::semantic_error,
+                       "unknown command '" + cmd.name() + "'"};
+  }
+  for (const ArgSpec& arg : spec->args) {
+    const Value* value = cmd.find(arg.name);
+    if (!value) {
+      if (arg.required) {
+        return util::Error{util::Errc::semantic_error,
+                           "command '" + spec->name +
+                               "' missing required argument '" + arg.name +
+                               "'"};
+      }
+      continue;
+    }
+    if (auto s = check_arg(*spec, arg, *value); !s.ok()) return s;
+  }
+  if (!spec->allow_extra_args) {
+    for (const Argument& given : cmd.args()) {
+      bool known = std::any_of(
+          spec->args.begin(), spec->args.end(),
+          [&](const ArgSpec& a) { return a.name == given.name; });
+      if (!known) {
+        return util::Error{util::Errc::semantic_error,
+                           "command '" + spec->name +
+                               "' does not accept argument '" + given.name +
+                               "'"};
+      }
+    }
+  }
+  return util::Status::ok_status();
+}
+
+}  // namespace ace::cmdlang

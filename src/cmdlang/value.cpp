@@ -1,0 +1,243 @@
+#include "cmdlang/value.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace ace::cmdlang {
+
+const char* value_type_name(ValueType t) {
+  switch (t) {
+    case ValueType::integer: return "integer";
+    case ValueType::real: return "float";
+    case ValueType::word: return "word";
+    case ValueType::string: return "string";
+    case ValueType::vector: return "vector";
+    case ValueType::array: return "array";
+  }
+  return "?";
+}
+
+bool operator==(const Vector& a, const Vector& b) {
+  return a.element_type == b.element_type && a.elements == b.elements;
+}
+
+bool operator==(const Array& a, const Array& b) {
+  return a.vectors == b.vectors;
+}
+
+bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+
+bool operator==(const Argument& a, const Argument& b) {
+  return a.name == b.name && a.value == b.value;
+}
+
+bool operator==(const CmdLine& a, const CmdLine& b) {
+  return a.name_ == b.name_ && a.args_ == b.args_;
+}
+
+ValueType Value::type() const {
+  if (is_integer()) return ValueType::integer;
+  if (is_real()) return ValueType::real;
+  if (is_word()) return ValueType::word;
+  if (is_string()) return ValueType::string;
+  if (is_vector()) return ValueType::vector;
+  return ValueType::array;
+}
+
+double Value::as_real() const {
+  if (is_integer()) return static_cast<double>(as_integer());
+  return std::get<double>(v_);
+}
+
+const std::string& Value::as_text() const {
+  if (is_word()) return as_word();
+  return as_string();
+}
+
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_valid_word(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (!is_word_char(c)) return false;
+  // A bare word must not look like a number, or the parser would read it
+  // back as one.
+  if (std::isdigit(static_cast<unsigned char>(s[0]))) return false;
+  return true;
+}
+
+std::string quote_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string format_real(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s(buf);
+  // Guarantee it reads back as FLOAT, not INTEGER.
+  if (s.find_first_of(".eE") == std::string::npos &&
+      s.find_first_of("nN") == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case ValueType::integer:
+      return std::to_string(as_integer());
+    case ValueType::real:
+      return format_real(std::get<double>(v_));
+    case ValueType::word: {
+      // Words that violate the WORD production (e.g. "machine-room") are
+      // emitted quoted; they round-trip as strings, which every word-typed
+      // argument accepts.
+      const std::string& w = as_word();
+      return is_valid_word(w) ? w : quote_string(w);
+    }
+    case ValueType::string:
+      // Always quoted so the value round-trips as a STRING. (The paper's
+      // grammar also admits bare words as strings on input.)
+      return quote_string(as_string());
+    case ValueType::vector: {
+      std::string out = "{";
+      const Vector& vec = as_vector();
+      for (std::size_t i = 0; i < vec.elements.size(); ++i) {
+        if (i) out += ",";
+        out += vec.elements[i].to_string();
+      }
+      out += "}";
+      return out;
+    }
+    case ValueType::array: {
+      std::string out = "{";
+      const Array& arr = as_array();
+      for (std::size_t i = 0; i < arr.vectors.size(); ++i) {
+        if (i) out += ",";
+        out += Value(arr.vectors[i]).to_string();
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return {};
+}
+
+const Value* CmdLine::find(const std::string& name) const {
+  for (const auto& a : args_)
+    if (a.name == name) return &a.value;
+  return nullptr;
+}
+
+std::int64_t CmdLine::get_integer(const std::string& name,
+                                  std::int64_t fallback) const {
+  const Value* v = find(name);
+  if (!v || !v->is_integer()) return fallback;
+  return v->as_integer();
+}
+
+double CmdLine::get_real(const std::string& name, double fallback) const {
+  const Value* v = find(name);
+  if (!v || (!v->is_real() && !v->is_integer())) return fallback;
+  return v->as_real();
+}
+
+std::string CmdLine::get_text(const std::string& name,
+                              const std::string& fallback) const {
+  const Value* v = find(name);
+  if (!v || (!v->is_word() && !v->is_string())) return fallback;
+  return v->as_text();
+}
+
+std::optional<Vector> CmdLine::get_vector(const std::string& name) const {
+  const Value* v = find(name);
+  if (!v || !v->is_vector()) return std::nullopt;
+  return v->as_vector();
+}
+
+std::optional<Array> CmdLine::get_array(const std::string& name) const {
+  const Value* v = find(name);
+  if (!v || !v->is_array()) return std::nullopt;
+  return v->as_array();
+}
+
+std::string CmdLine::to_string() const {
+  std::string out = name_;
+  for (const auto& a : args_) {
+    out += " ";
+    out += a.name;
+    out += "=";
+    out += a.value.to_string();
+  }
+  out += ";";
+  return out;
+}
+
+CmdLine make_ok() { return CmdLine("ok"); }
+
+CmdLine make_error(util::Errc code, const std::string& message) {
+  CmdLine c("error");
+  c.arg("code", Word{util::errc_name(code)});
+  c.arg("message", message);
+  return c;
+}
+
+bool is_ok(const CmdLine& reply) { return reply.name() == "ok"; }
+bool is_error(const CmdLine& reply) { return reply.name() == "error"; }
+
+util::Error reply_error(const CmdLine& reply) {
+  if (!is_error(reply))
+    return util::Error{util::Errc::ok, ""};
+  std::string code = reply.get_text("code");
+  util::Errc errc = util::Errc::io_error;
+  for (int i = 0; i <= static_cast<int>(util::Errc::io_error); ++i) {
+    if (code == util::errc_name(static_cast<util::Errc>(i))) {
+      errc = static_cast<util::Errc>(i);
+      break;
+    }
+  }
+  return util::Error{errc, reply.get_text("message")};
+}
+
+Vector int_vector(std::vector<std::int64_t> values) {
+  Vector v;
+  v.element_type = ValueType::integer;
+  for (auto x : values) v.elements.emplace_back(x);
+  return v;
+}
+
+Vector real_vector(std::vector<double> values) {
+  Vector v;
+  v.element_type = ValueType::real;
+  for (auto x : values) v.elements.emplace_back(x);
+  return v;
+}
+
+Vector string_vector(std::vector<std::string> values) {
+  Vector v;
+  v.element_type = ValueType::string;
+  for (auto& x : values) v.elements.emplace_back(std::move(x));
+  return v;
+}
+
+Vector word_vector(std::vector<std::string> values) {
+  Vector v;
+  v.element_type = ValueType::word;
+  for (auto& x : values) v.elements.emplace_back(Word{std::move(x)});
+  return v;
+}
+
+}  // namespace ace::cmdlang

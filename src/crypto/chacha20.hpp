@@ -1,0 +1,23 @@
+// ChaCha20 stream cipher (RFC 8439 core). Used as the record cipher of the
+// ACE secure channel, substituting the SSL bulk encryption of paper §3.1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace ace::crypto {
+
+using ChaChaKey = std::array<std::uint8_t, 32>;
+using ChaChaNonce = std::array<std::uint8_t, 12>;
+
+// XORs the ChaCha20 keystream into `data` in place (encrypt == decrypt).
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t counter, util::Bytes& data);
+
+// Convenience: builds a nonce from a 64-bit sequence number (little endian
+// in the low 8 bytes), as the channel record layer does.
+ChaChaNonce nonce_from_sequence(std::uint64_t sequence, std::uint32_t salt);
+
+}  // namespace ace::crypto

@@ -1,0 +1,233 @@
+#include "crypto/channel.hpp"
+
+#include <atomic>
+
+namespace ace::crypto {
+
+namespace {
+
+constexpr std::size_t kMacTagLen = 16;
+
+std::uint64_t next_channel_seed() {
+  static std::atomic<std::uint64_t> counter{0x5eedface};
+  return counter.fetch_add(0x9e3779b97f4a7c15ULL);
+}
+
+util::Bytes u64_bytes(std::uint64_t v) {
+  util::ByteWriter w;
+  w.u64(v);
+  return w.take();
+}
+
+struct Hello {
+  util::Bytes nonce;  // 16 bytes
+  std::uint64_t ephemeral_public = 0;
+  Certificate certificate;
+
+  util::Bytes serialize() const {
+    util::ByteWriter w;
+    w.blob(nonce);
+    w.u64(ephemeral_public);
+    w.blob(certificate.serialize());
+    return w.take();
+  }
+
+  static std::optional<Hello> parse(const util::Bytes& data) {
+    util::ByteReader r(data);
+    Hello h;
+    auto nonce = r.blob();
+    auto eph = r.u64();
+    auto cert_blob = r.blob();
+    if (!nonce || !eph || !cert_blob) return std::nullopt;
+    auto cert = Certificate::parse(*cert_blob);
+    if (!cert) return std::nullopt;
+    h.nonce = std::move(*nonce);
+    h.ephemeral_public = *eph;
+    h.certificate = std::move(*cert);
+    return h;
+  }
+};
+
+}  // namespace
+
+util::Result<SecureChannel> SecureChannel::connect(net::Connection conn,
+                                                   const Identity& self,
+                                                   const util::Bytes& ca_key,
+                                                   net::Duration timeout,
+                                                   ChannelOptions options) {
+  return handshake(std::move(conn), self, ca_key, timeout, options,
+                   /*is_client=*/true);
+}
+
+util::Result<SecureChannel> SecureChannel::accept(net::Connection conn,
+                                                  const Identity& self,
+                                                  const util::Bytes& ca_key,
+                                                  net::Duration timeout,
+                                                  ChannelOptions options) {
+  return handshake(std::move(conn), self, ca_key, timeout, options,
+                   /*is_client=*/false);
+}
+
+util::Result<SecureChannel> SecureChannel::handshake(
+    net::Connection conn, const Identity& self, const util::Bytes& ca_key,
+    net::Duration timeout, ChannelOptions options, bool is_client) {
+  auto state = std::make_shared<State>();
+  state->encrypt = options.encrypt;
+
+  if (!options.encrypt) {
+    // Plaintext ablation mode: no handshake, raw frames pass through.
+    state->conn = std::move(conn);
+    SecureChannel ch;
+    ch.state_ = std::move(state);
+    return ch;
+  }
+
+  util::Rng rng(options.seed ? options.seed : next_channel_seed());
+
+  Hello mine;
+  mine.nonce.resize(16);
+  for (auto& b : mine.nonce) b = static_cast<std::uint8_t>(rng.next());
+  DhKeyPair ephemeral = dh_generate(rng);
+  mine.ephemeral_public = ephemeral.public_key;
+  mine.certificate = self.certificate;
+  util::Bytes my_hello = mine.serialize();
+
+  util::Bytes peer_hello_bytes;
+  if (is_client) {
+    if (auto s = conn.send(my_hello); !s.ok()) return s.error();
+    auto f = conn.recv(timeout);
+    if (!f) return util::Error{util::Errc::timeout, "handshake: no server hello"};
+    peer_hello_bytes = std::move(*f);
+  } else {
+    auto f = conn.recv(timeout);
+    if (!f) return util::Error{util::Errc::timeout, "handshake: no client hello"};
+    peer_hello_bytes = std::move(*f);
+    if (auto s = conn.send(my_hello); !s.ok()) return s.error();
+  }
+
+  auto peer_hello = Hello::parse(peer_hello_bytes);
+  if (!peer_hello)
+    return util::Error{util::Errc::parse_error, "handshake: bad hello"};
+  if (!CertificateAuthority::verify(peer_hello->certificate, ca_key))
+    return util::Error{util::Errc::auth_error,
+                       "handshake: certificate verification failed"};
+
+  // Transcript binds both hellos, client first.
+  Sha256 th;
+  th.update(is_client ? my_hello : peer_hello_bytes);
+  th.update(is_client ? peer_hello_bytes : my_hello);
+  Digest transcript = th.finish();
+  util::Bytes transcript_bytes(transcript.begin(), transcript.end());
+
+  std::uint64_t ephemeral_shared =
+      dh_shared(ephemeral.private_key, peer_hello->ephemeral_public);
+  std::uint64_t static_shared =
+      dh_shared(self.static_private, peer_hello->certificate.static_public);
+
+  // Mutual authentication: prove possession of the static private key.
+  util::Bytes static_shared_bytes = u64_bytes(static_shared);
+  auto authenticator = [&](const char* label) {
+    util::Bytes msg = transcript_bytes;
+    msg.insert(msg.end(), label, label + std::char_traits<char>::length(label));
+    Digest d = hmac_sha256(static_shared_bytes, msg);
+    return util::Bytes(d.begin(), d.end());
+  };
+  util::Bytes my_auth = authenticator(is_client ? "client" : "server");
+  util::Bytes expected_peer_auth = authenticator(is_client ? "server" : "client");
+
+  if (auto s = conn.send(my_auth); !s.ok()) return s.error();
+  auto peer_auth = conn.recv(timeout);
+  if (!peer_auth)
+    return util::Error{util::Errc::timeout, "handshake: no authenticator"};
+  if (*peer_auth != expected_peer_auth)
+    return util::Error{util::Errc::auth_error,
+                       "handshake: peer authentication failed"};
+
+  // Session keys: 2 x (32B cipher key + 4B nonce salt + 32B mac key).
+  util::Bytes ikm = u64_bytes(ephemeral_shared);
+  util::Bytes ss = u64_bytes(static_shared);
+  ikm.insert(ikm.end(), ss.begin(), ss.end());
+  util::Bytes keys = hkdf(transcript_bytes, ikm, "ace-secure-channel", 136);
+
+  auto load_direction = [&](std::size_t offset, DirectionKeys& dir) {
+    std::copy(keys.begin() + offset, keys.begin() + offset + 32,
+              dir.cipher_key.begin());
+    dir.nonce_salt = static_cast<std::uint32_t>(keys[offset + 32]) |
+                     static_cast<std::uint32_t>(keys[offset + 33]) << 8 |
+                     static_cast<std::uint32_t>(keys[offset + 34]) << 16 |
+                     static_cast<std::uint32_t>(keys[offset + 35]) << 24;
+    dir.mac_key.assign(keys.begin() + offset + 36, keys.begin() + offset + 68);
+  };
+  DirectionKeys client_to_server, server_to_client;
+  load_direction(0, client_to_server);
+  load_direction(68, server_to_client);
+
+  state->conn = std::move(conn);
+  state->peer = peer_hello->certificate.subject;
+  state->send_keys = is_client ? client_to_server : server_to_client;
+  state->recv_keys = is_client ? server_to_client : client_to_server;
+
+  SecureChannel ch;
+  ch.state_ = std::move(state);
+  return ch;
+}
+
+util::Status SecureChannel::send(net::Frame frame) {
+  if (!state_) return {util::Errc::invalid, "unconnected channel"};
+  if (!state_->encrypt) return state_->conn.send(std::move(frame));
+
+  std::scoped_lock lock(state_->send_mu);
+  DirectionKeys& keys = state_->send_keys;
+  std::uint64_t seq = keys.sequence++;
+  chacha20_xor(keys.cipher_key, nonce_from_sequence(seq, keys.nonce_salt), 1,
+               frame);
+  util::ByteWriter record;
+  record.u64(seq);
+  record.raw(frame);
+  Digest mac = hmac_sha256(keys.mac_key, record.bytes());
+  record.raw(mac.data(), kMacTagLen);
+  return state_->conn.send(record.take());
+}
+
+std::optional<net::Frame> SecureChannel::recv(net::Duration timeout) {
+  if (!state_) return std::nullopt;
+  if (!state_->encrypt) return state_->conn.recv(timeout);
+
+  auto record = state_->conn.recv(timeout);
+  if (!record) return std::nullopt;
+
+  std::scoped_lock lock(state_->recv_mu);
+  DirectionKeys& keys = state_->recv_keys;
+  if (record->size() < 8 + kMacTagLen) return std::nullopt;
+
+  std::size_t body_len = record->size() - kMacTagLen;
+  util::Bytes body(record->begin(), record->begin() + body_len);
+  Digest mac = hmac_sha256(keys.mac_key, body);
+  for (std::size_t i = 0; i < kMacTagLen; ++i)
+    if ((*record)[body_len + i] != mac[i]) return std::nullopt;  // forged
+
+  util::ByteReader r(body);
+  auto seq = r.u64();
+  if (!seq || *seq != keys.sequence) return std::nullopt;  // replay/reorder
+  keys.sequence++;
+
+  util::Bytes payload(body.begin() + 8, body.end());
+  chacha20_xor(keys.cipher_key, nonce_from_sequence(*seq, keys.nonce_salt), 1,
+               payload);
+  return payload;
+}
+
+void SecureChannel::close() {
+  if (state_) state_->conn.close();
+}
+
+bool SecureChannel::closed() const {
+  return !state_ || state_->conn.closed();
+}
+
+const std::string& SecureChannel::peer_name() const {
+  static const std::string kEmpty;
+  return state_ ? state_->peer : kEmpty;
+}
+
+}  // namespace ace::crypto

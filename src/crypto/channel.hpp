@@ -1,0 +1,88 @@
+// Secure channel over a net::Connection — the simulation's SSL (paper §3.1).
+//
+// Handshake (Noise-KK-like): each side sends {nonce, ephemeral DH public,
+// certificate}; both verify the peer certificate against the CA key, then
+// exchange authenticators HMAC'd under the *static* DH shared secret over the
+// handshake transcript. Session keys are HKDF-derived from the ephemeral and
+// static shared secrets. Records are ChaCha20-encrypted and HMAC-tagged,
+// with per-direction sequence numbers (replay/reorder detection).
+//
+// A plaintext mode exists solely for the E5 security-overhead ablation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "crypto/certificate.hpp"
+#include "crypto/chacha20.hpp"
+#include "net/network.hpp"
+#include "util/result.hpp"
+
+namespace ace::crypto {
+
+struct ChannelOptions {
+  bool encrypt = true;     // false = plaintext passthrough (ablation only)
+  std::uint64_t seed = 0;  // 0 = derive from a process-wide counter
+};
+
+class SecureChannel {
+ public:
+  SecureChannel() = default;
+
+  // Client side of the handshake. Consumes the connection.
+  static util::Result<SecureChannel> connect(net::Connection conn,
+                                             const Identity& self,
+                                             const util::Bytes& ca_key,
+                                             net::Duration timeout,
+                                             ChannelOptions options = {});
+
+  // Server side of the handshake.
+  static util::Result<SecureChannel> accept(net::Connection conn,
+                                            const Identity& self,
+                                            const util::Bytes& ca_key,
+                                            net::Duration timeout,
+                                            ChannelOptions options = {});
+
+  bool valid() const { return state_ != nullptr; }
+
+  util::Status send(net::Frame frame);
+  std::optional<net::Frame> recv(net::Duration timeout);
+  void close();
+  bool closed() const;
+
+  // Authenticated peer principal name (from its certificate); empty in
+  // plaintext mode.
+  const std::string& peer_name() const;
+
+ private:
+  struct DirectionKeys {
+    ChaChaKey cipher_key{};
+    std::uint32_t nonce_salt = 0;
+    util::Bytes mac_key;
+    std::uint64_t sequence = 0;
+  };
+
+  struct State {
+    net::Connection conn;
+    bool encrypt = true;
+    std::string peer;
+    DirectionKeys send_keys;
+    DirectionKeys recv_keys;
+    std::mutex send_mu;
+    std::mutex recv_mu;
+  };
+
+  static util::Result<SecureChannel> handshake(net::Connection conn,
+                                               const Identity& self,
+                                               const util::Bytes& ca_key,
+                                               net::Duration timeout,
+                                               ChannelOptions options,
+                                               bool is_client);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ace::crypto

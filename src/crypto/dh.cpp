@@ -1,0 +1,29 @@
+#include "crypto/dh.hpp"
+
+namespace ace::crypto {
+
+std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp,
+                      std::uint64_t mod) {
+  unsigned __int128 result = 1;
+  unsigned __int128 b = base % mod;
+  while (exp > 0) {
+    if (exp & 1) result = result * b % mod;
+    b = b * b % mod;
+    exp >>= 1;
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+DhKeyPair dh_generate(util::Rng& rng) {
+  DhKeyPair kp;
+  // Private exponent in [2, p-2].
+  kp.private_key = 2 + rng.next_below(kDhPrime - 3);
+  kp.public_key = mod_pow(kDhGenerator, kp.private_key, kDhPrime);
+  return kp;
+}
+
+std::uint64_t dh_shared(std::uint64_t my_private, std::uint64_t peer_public) {
+  return mod_pow(peer_public, my_private, kDhPrime);
+}
+
+}  // namespace ace::crypto

@@ -1,0 +1,31 @@
+// Diffie-Hellman key agreement over the multiplicative group mod the
+// Mersenne prime 2^61 - 1.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): the group is deliberately small — this
+// reproduces the *structure* and cost profile of the paper's SSL key
+// exchange inside the simulation; it is not production-strength crypto.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace ace::crypto {
+
+inline constexpr std::uint64_t kDhPrime = (1ULL << 61) - 1;
+inline constexpr std::uint64_t kDhGenerator = 3;
+
+struct DhKeyPair {
+  std::uint64_t private_key = 0;
+  std::uint64_t public_key = 0;
+};
+
+std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp,
+                      std::uint64_t mod);
+
+DhKeyPair dh_generate(util::Rng& rng);
+
+// shared = peer_public ^ my_private mod p
+std::uint64_t dh_shared(std::uint64_t my_private, std::uint64_t peer_public);
+
+}  // namespace ace::crypto

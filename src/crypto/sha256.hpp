@@ -1,0 +1,48 @@
+// SHA-256, HMAC-SHA256 and a simplified HKDF. Implemented from scratch for
+// the ACE secure-channel substitution of the paper's SSL layer (§3.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace ace::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const std::uint8_t* data, std::size_t n);
+  void update(const util::Bytes& b) { update(b.data(), b.size()); }
+  void update(std::string_view s) {
+    update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+Digest sha256(const util::Bytes& data);
+Digest sha256(std::string_view data);
+
+Digest hmac_sha256(const util::Bytes& key, const util::Bytes& message);
+
+// HKDF-style key derivation: extract with `salt`, expand `length` bytes of
+// output keyed material labelled by `info`.
+util::Bytes hkdf(const util::Bytes& salt, const util::Bytes& ikm,
+                 std::string_view info, std::size_t length);
+
+util::Bytes digest_bytes(const Digest& d);
+
+}  // namespace ace::crypto

@@ -1,0 +1,121 @@
+#include "daemon/client.hpp"
+
+namespace ace::daemon {
+
+namespace {
+// Argument understood by every ServiceDaemon: suppresses the reply frame so
+// fire-and-forget sends do not desynchronise the request/reply channel.
+constexpr const char* kNoReplyArg = "_noreply";
+}  // namespace
+
+AceClient::AceClient(Environment& env, net::Host& from_host,
+                     crypto::Identity identity)
+    : env_(env), host_(from_host), identity_(std::move(identity)) {}
+
+util::Result<std::shared_ptr<AceClient::ChannelEntry>> AceClient::entry_for(
+    const net::Address& to) {
+  std::scoped_lock lock(mu_);
+  auto& slot = channels_[to];
+  if (!slot) slot = std::make_shared<ChannelEntry>();
+  return slot;
+}
+
+// Establishes the channel if needed. Caller must hold entry->call_mu.
+util::Status AceClient::ensure_channel_locked(ChannelEntry& entry,
+                                              const net::Address& to) {
+  if (entry.channel && !entry.channel->closed())
+    return util::Status::ok_status();
+  auto conn = host_.connect(to, env_.default_timeout);
+  if (!conn.ok()) return conn.error();
+  auto ch = crypto::SecureChannel::connect(std::move(conn.value()), identity_,
+                                           env_.ca_key(), env_.default_timeout,
+                                           env_.channel_options());
+  if (!ch.ok()) return ch.error();
+  entry.channel =
+      std::make_shared<crypto::SecureChannel>(std::move(ch.value()));
+  return util::Status::ok_status();
+}
+
+util::Result<cmdlang::CmdLine> AceClient::call(const net::Address& to,
+                                               const cmdlang::CmdLine& cmd) {
+  return call(to, cmd, env_.default_timeout);
+}
+
+util::Result<cmdlang::CmdLine> AceClient::call(
+    const net::Address& to, const cmdlang::CmdLine& cmd,
+    std::chrono::milliseconds timeout) {
+  std::string wire = cmd.to_string();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto entry = entry_for(to);
+    if (!entry.ok()) return entry.error();
+    std::scoped_lock call_lock((*entry)->call_mu);
+    if (auto s = ensure_channel_locked(**entry, to); !s.ok())
+      return s.error();
+    auto channel = (*entry)->channel;
+    auto send = channel->send(util::to_bytes(wire));
+    if (!send.ok()) {
+      channel->close();
+      continue;  // stale cached channel: reconnect once
+    }
+    auto reply = channel->recv(timeout);
+    if (!reply) {
+      channel->close();
+      if (attempt == 0) continue;
+      return util::Error{util::Errc::timeout,
+                         "no reply from " + to.to_string() + " for '" +
+                             cmd.name() + "'"};
+    }
+    return cmdlang::Parser::parse(util::to_string(*reply));
+  }
+  return util::Error{util::Errc::unavailable,
+                     "cannot reach " + to.to_string()};
+}
+
+util::Result<cmdlang::CmdLine> AceClient::call_ok(const net::Address& to,
+                                                  const cmdlang::CmdLine& cmd) {
+  auto reply = call(to, cmd);
+  if (!reply.ok()) return reply;
+  if (cmdlang::is_error(reply.value()))
+    return cmdlang::reply_error(reply.value());
+  return reply;
+}
+
+util::Status AceClient::send_only(const net::Address& to,
+                                  const cmdlang::CmdLine& cmd) {
+  cmdlang::CmdLine marked = cmd;
+  marked.arg(kNoReplyArg, 1);
+  auto entry = entry_for(to);
+  if (!entry.ok()) return entry.error();
+  std::scoped_lock call_lock((*entry)->call_mu);
+  if (auto s = ensure_channel_locked(**entry, to); !s.ok()) return s;
+  auto s = (*entry)->channel->send(util::to_bytes(marked.to_string()));
+  if (!s.ok()) (*entry)->channel->close();
+  return s;
+}
+
+void AceClient::drop_connection(const net::Address& to) {
+  std::shared_ptr<ChannelEntry> entry;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = channels_.find(to);
+    if (it == channels_.end()) return;
+    entry = it->second;
+    channels_.erase(it);
+  }
+  std::scoped_lock call_lock(entry->call_mu);
+  if (entry->channel) entry->channel->close();
+}
+
+void AceClient::close_all() {
+  std::map<net::Address, std::shared_ptr<ChannelEntry>> entries;
+  {
+    std::scoped_lock lock(mu_);
+    entries.swap(channels_);
+  }
+  for (auto& [addr, entry] : entries) {
+    std::scoped_lock call_lock(entry->call_mu);
+    if (entry->channel) entry->channel->close();
+  }
+}
+
+}  // namespace ace::daemon

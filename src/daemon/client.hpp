@@ -1,0 +1,78 @@
+// AceClient — the client side of the ACE command protocol (paper Fig 5):
+// builds an ACECmdLine, serializes it to a string, sends it over a secure
+// channel, and parses the reply command.
+//
+// Connections are cached per destination address and transparently
+// re-established on failure, which is also the hook the mobile-socket
+// extension (paper Ch 9) builds on: when a service instance dies, callers
+// re-resolve through the ASD and resume against a replacement instance.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cmdlang/parser.hpp"
+#include "cmdlang/value.hpp"
+#include "crypto/channel.hpp"
+#include "daemon/environment.hpp"
+
+namespace ace::daemon {
+
+class AceClient {
+ public:
+  // `from_host` is the machine the client runs on; `identity` authenticates
+  // it to peers (services check the certificate subject as the principal).
+  AceClient(Environment& env, net::Host& from_host, crypto::Identity identity);
+
+  AceClient(const AceClient&) = delete;
+  AceClient& operator=(const AceClient&) = delete;
+  AceClient(AceClient&&) = default;
+
+  // Sends `cmd` to `to` and waits for the reply command. Reuses a cached
+  // channel when available; one reconnect attempt on a stale channel.
+  util::Result<cmdlang::CmdLine> call(const net::Address& to,
+                                      const cmdlang::CmdLine& cmd);
+  util::Result<cmdlang::CmdLine> call(const net::Address& to,
+                                      const cmdlang::CmdLine& cmd,
+                                      std::chrono::milliseconds timeout);
+
+  // Like call(), but treats an `error ...;` reply as a util::Error.
+  util::Result<cmdlang::CmdLine> call_ok(const net::Address& to,
+                                         const cmdlang::CmdLine& cmd);
+
+  // Fire-and-forget: sends without waiting for the reply (the reply frame
+  // is drained on the next call on this channel). Used for low-value
+  // notifications and logging.
+  util::Status send_only(const net::Address& to, const cmdlang::CmdLine& cmd);
+
+  void drop_connection(const net::Address& to);
+  void close_all();
+
+  const std::string& principal() const {
+    return identity_.certificate.subject;
+  }
+
+ private:
+  // One cached channel per destination; `call_mu` serializes request/reply
+  // pairs so concurrent calls to the same destination cannot interleave
+  // frames on the shared channel.
+  struct ChannelEntry {
+    std::mutex call_mu;
+    std::shared_ptr<crypto::SecureChannel> channel;
+  };
+
+  util::Result<std::shared_ptr<ChannelEntry>> entry_for(
+      const net::Address& to);
+  util::Status ensure_channel_locked(ChannelEntry& entry,
+                                     const net::Address& to);
+
+  Environment& env_;
+  net::Host& host_;
+  crypto::Identity identity_;
+  std::mutex mu_;
+  std::map<net::Address, std::shared_ptr<ChannelEntry>> channels_;
+};
+
+}  // namespace ace::daemon

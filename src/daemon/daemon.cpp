@@ -1,0 +1,616 @@
+#include "daemon/daemon.hpp"
+
+#include "daemon/host.hpp"
+#include "keynote/checker.hpp"
+#include "util/log.hpp"
+
+namespace ace::daemon {
+
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+using cmdlang::CommandSpec;
+using cmdlang::Word;
+
+namespace {
+
+constexpr const char* kNoReplyArg = "_noreply";
+constexpr auto kPollInterval = 50ms;
+constexpr int kMaxNotifyFailures = 3;
+
+// Removes the transport-level _noreply marker before semantic validation.
+CmdLine strip_noreply(const CmdLine& cmd, bool* noreply) {
+  *noreply = false;
+  CmdLine out(cmd.name());
+  for (const auto& a : cmd.args()) {
+    if (a.name == kNoReplyArg) {
+      *noreply = true;
+      continue;
+    }
+    out.arg(a.name, a.value);
+  }
+  return out;
+}
+
+}  // namespace
+
+ServiceDaemon::ServiceDaemon(Environment& env, DaemonHost& host,
+                             DaemonConfig config)
+    : env_(env),
+      host_(host),
+      config_(std::move(config)),
+      identity_(env.issue_identity("svc/" + config_.name)) {
+  register_builtin_commands();
+}
+
+ServiceDaemon::~ServiceDaemon() { stop(); }
+
+net::Address ServiceDaemon::address() const {
+  return net::Address{host_.name(), config_.port};
+}
+
+net::Address ServiceDaemon::data_address() const {
+  return net::Address{host_.name(), config_.port};
+}
+
+ServiceDaemon::Stats ServiceDaemon::stats() const {
+  std::scoped_lock lock(stats_mu_);
+  return stats_;
+}
+
+void ServiceDaemon::register_command(CommandSpec spec, Handler handler) {
+  // Every command implicitly tolerates the _noreply transport marker by
+  // being validated after the marker is stripped.
+  handlers_[spec.name] = std::move(handler);
+  semantics_.add(std::move(spec));
+}
+
+void ServiceDaemon::register_builtin_commands() {
+  using cmdlang::integer_arg;
+  using cmdlang::string_arg;
+  using cmdlang::text_arg;
+  using cmdlang::word_arg;
+
+  register_command(
+      CommandSpec("ping", "liveness probe"),
+      [](const CmdLine&, const CallerInfo&) { return cmdlang::make_ok(); });
+
+  register_command(
+      CommandSpec("info", "describe this service daemon"),
+      [this](const CmdLine&, const CallerInfo&) {
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("name", config_.name);
+        reply.arg("class", config_.service_class);
+        reply.arg("room", config_.room);
+        reply.arg("host", host_.name());
+        reply.arg("port", static_cast<std::int64_t>(config_.port));
+        reply.arg("commands",
+                  cmdlang::word_vector(semantics_.command_names()));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("help", "describe one command")
+          .arg(word_arg("command")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        const cmdlang::CommandSpec* spec =
+            semantics_.find(cmd.get_text("command"));
+        if (!spec)
+          return cmdlang::make_error(util::Errc::not_found,
+                                     "no such command");
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("command", Word{spec->name});
+        reply.arg("help", spec->help);
+        std::vector<std::string> args;
+        for (const auto& a : spec->args)
+          args.push_back(a.name + ":" + cmdlang::arg_type_name(a.type) +
+                         (a.required ? "" : "?"));
+        reply.arg("args", cmdlang::string_vector(std::move(args)));
+        return reply;
+      });
+
+  // §2.5: "they issue an 'addNotification' command to the notifying
+  // service either at startup or later."
+  register_command(
+      CommandSpec("addNotification",
+                  "notify `service` by invoking `method` whenever `command` "
+                  "is executed here")
+          .arg(word_arg("command"))
+          .arg(string_arg("service"))   // host:port
+          .arg(word_arg("method")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto addr = net::Address::parse(cmd.get_text("service"));
+        if (!addr)
+          return cmdlang::make_error(util::Errc::invalid,
+                                     "service must be host:port");
+        NotificationEntry entry;
+        entry.command = cmd.get_text("command");
+        entry.service = *addr;
+        entry.method = cmd.get_text("method");
+        std::scoped_lock lock(notify_mu_);
+        for (const auto& e : notifications_) {
+          if (e.command == entry.command && e.service == entry.service &&
+              e.method == entry.method)
+            return cmdlang::make_ok();  // idempotent
+        }
+        notifications_.push_back(std::move(entry));
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("removeNotification", "stop notifying `service`")
+          .arg(word_arg("command"))
+          .arg(string_arg("service")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto addr = net::Address::parse(cmd.get_text("service"));
+        if (!addr)
+          return cmdlang::make_error(util::Errc::invalid,
+                                     "service must be host:port");
+        std::string command = cmd.get_text("command");
+        std::scoped_lock lock(notify_mu_);
+        std::erase_if(notifications_, [&](const NotificationEntry& e) {
+          return e.command == command && e.service == *addr;
+        });
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("listNotifications", "list notification subscriptions"),
+      [this](const CmdLine&, const CallerInfo&) {
+        CmdLine reply = cmdlang::make_ok();
+        std::vector<std::string> entries;
+        {
+          std::scoped_lock lock(notify_mu_);
+          for (const auto& e : notifications_)
+            entries.push_back(e.command + ">" + e.service.to_string() + ">" +
+                              e.method);
+        }
+        reply.arg("entries", cmdlang::string_vector(std::move(entries)));
+        return reply;
+      });
+}
+
+// ------------------------------------------------------------------ startup
+
+util::Status ServiceDaemon::run_startup_sequence() {
+  // Fig 9, steps 2-5. Step 1 (launch) is start() itself.
+  const net::Address self = address();
+
+  // Step 2: establish location with the Room Database.
+  if (config_.register_with_room_db && !env_.room_db_address.host.empty() &&
+      env_.room_db_address != self) {
+    CmdLine reg("roomAddService");
+    reg.arg("room", Word{config_.room});
+    reg.arg("name", config_.name);
+    reg.arg("host", host_.name());
+    reg.arg("port", static_cast<std::int64_t>(config_.port));
+    reg.arg("class", config_.service_class);
+    auto r = infra_client_->call_ok(env_.room_db_address, reg);
+    if (!r.ok())
+      util::log_warn(config_.name)
+          << "room database registration failed: " << r.error().to_string();
+  }
+
+  // Step 3: register with the ASD on its well-known socket.
+  if (config_.register_with_asd && !env_.asd_address.host.empty() &&
+      env_.asd_address != self) {
+    CmdLine reg("register");
+    reg.arg("name", config_.name);
+    reg.arg("host", host_.name());
+    reg.arg("port", static_cast<std::int64_t>(config_.port));
+    reg.arg("room", Word{config_.room});
+    reg.arg("class", config_.service_class);
+    reg.arg("lease", static_cast<std::int64_t>(config_.lease.count()));
+    auto r = infra_client_->call_ok(env_.asd_address, reg);
+    if (!r.ok())
+      return util::Error{r.error().code,
+                         "ASD registration failed: " + r.error().message};
+  }
+
+  // Step 4 happens inside the ASD (registration fires its notifications).
+
+  // Step 5: record the start with the Network Logger.
+  net_log("info", "service '" + config_.name + "' started on host '" +
+                      host_.name() + "'");
+  return util::Status::ok_status();
+}
+
+util::Status ServiceDaemon::start() {
+  if (running_.load()) return util::Status::ok_status();
+  stopping_.store(false);
+
+  if (config_.port == 0) config_.port = host_.net_host().ephemeral_port();
+  auto listener = host_.net_host().listen(config_.port);
+  if (!listener.ok()) return listener.error();
+  listener_ = listener.value();
+
+  if (config_.open_data_channel) {
+    auto sock = host_.net_host().open_datagram(config_.port);
+    if (!sock.ok()) return sock.error();
+    data_socket_ = sock.value();
+  }
+
+  control_client_ =
+      std::make_unique<AceClient>(env_, host_.net_host(), identity_);
+  notify_client_ =
+      std::make_unique<AceClient>(env_, host_.net_host(), identity_);
+  infra_client_ =
+      std::make_unique<AceClient>(env_, host_.net_host(), identity_);
+
+  // Serving threads must be live before registration: the ASD may call us
+  // back (and the ASD itself must serve while registering nothing).
+  running_.store(true);
+  accept_thread_ = std::jthread([this](std::stop_token st) { accept_loop(st); });
+  control_thread_ =
+      std::jthread([this](std::stop_token st) { control_loop(st); });
+  notifier_thread_ =
+      std::jthread([this](std::stop_token st) { notifier_loop(st); });
+  if (data_socket_)
+    data_thread_ = std::jthread([this](std::stop_token st) { data_loop(st); });
+
+  if (auto s = run_startup_sequence(); !s.ok()) {
+    stop();
+    return s;
+  }
+  if (auto s = on_start(); !s.ok()) {
+    stop();
+    return s;
+  }
+
+  if (config_.register_with_asd && !env_.asd_address.host.empty() &&
+      env_.asd_address != address()) {
+    lease_thread_ =
+        std::jthread([this](std::stop_token st) { lease_loop(st); });
+  }
+  return util::Status::ok_status();
+}
+
+void ServiceDaemon::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+
+  on_stop();
+
+  // Deregister cleanly (paper §2.4: "Registered services also automatically
+  // remove themselves from the ASD registry upon shutdown").
+  if (config_.register_with_asd && !env_.asd_address.host.empty() &&
+      env_.asd_address != address()) {
+    CmdLine dereg("deregister");
+    dereg.arg("name", config_.name);
+    (void)infra_client_->call(env_.asd_address, dereg, 500ms);
+  }
+  net_log("info", "service '" + config_.name + "' stopped");
+
+  lease_thread_ = {};
+  if (listener_) listener_->close();
+  if (data_socket_) data_socket_->close();
+  control_queue_.close();
+  notify_queue_.close();
+  accept_thread_ = {};
+  control_thread_ = {};
+  notifier_thread_ = {};
+  data_thread_ = {};
+  {
+    std::scoped_lock lock(conn_threads_mu_);
+    for (auto& t : conn_threads_) t.request_stop();
+    conn_threads_.clear();  // joins
+  }
+  if (control_client_) control_client_->close_all();
+  if (notify_client_) notify_client_->close_all();
+  if (infra_client_) infra_client_->close_all();
+  listener_.reset();
+  data_socket_.reset();
+}
+
+void ServiceDaemon::crash() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  // No deregistration, no logging — the ASD must detect this via lease
+  // expiry (paper §2.4).
+  lease_thread_ = {};
+  if (listener_) listener_->close();
+  if (data_socket_) data_socket_->close();
+  control_queue_.close();
+  notify_queue_.close();
+  accept_thread_ = {};
+  control_thread_ = {};
+  notifier_thread_ = {};
+  data_thread_ = {};
+  {
+    std::scoped_lock lock(conn_threads_mu_);
+    for (auto& t : conn_threads_) t.request_stop();
+    conn_threads_.clear();
+  }
+  if (control_client_) control_client_->close_all();
+  if (notify_client_) notify_client_->close_all();
+  if (infra_client_) infra_client_->close_all();
+  listener_.reset();
+  data_socket_.reset();
+}
+
+// ------------------------------------------------------------------- threads
+
+void ServiceDaemon::accept_loop(std::stop_token st) {
+  while (!st.stop_requested()) {
+    auto conn = listener_->accept(kPollInterval);
+    if (!conn) {
+      if (control_queue_.closed()) return;
+      continue;
+    }
+    auto ch = crypto::SecureChannel::accept(std::move(*conn), identity_,
+                                            env_.ca_key(),
+                                            env_.default_timeout,
+                                            env_.channel_options());
+    if (!ch.ok()) {
+      util::log_warn(config_.name)
+          << "handshake failed: " << ch.error().to_string();
+      continue;
+    }
+    {
+      std::scoped_lock lock(stats_mu_);
+      stats_.connections_accepted++;
+    }
+    auto channel =
+        std::make_shared<crypto::SecureChannel>(std::move(ch.value()));
+    std::scoped_lock lock(conn_threads_mu_);
+    conn_threads_.emplace_back([this, channel](std::stop_token cst) {
+      command_loop(cst, channel);
+    });
+  }
+}
+
+void ServiceDaemon::command_loop(
+    std::stop_token st, std::shared_ptr<crypto::SecureChannel> channel) {
+  CallerInfo caller;
+  caller.principal = channel->peer_name();
+  while (!st.stop_requested() && !channel->closed()) {
+    auto frame = channel->recv(kPollInterval);
+    if (!frame) continue;
+    auto parsed = cmdlang::Parser::parse(util::to_string(*frame));
+    if (!parsed.ok()) {
+      {
+        std::scoped_lock lock(stats_mu_);
+        stats_.commands_rejected++;
+      }
+      CmdLine err = cmdlang::make_error(parsed.error().code,
+                                        parsed.error().message);
+      (void)channel->send(util::to_bytes(err.to_string()));
+      continue;
+    }
+    WorkItem item;
+    item.cmd = strip_noreply(parsed.value(), &item.noreply);
+    item.caller = caller;
+    item.channel = channel;
+
+    // Concurrent commands (thread-safe handlers) run right here on the
+    // command thread, so they cannot convoy behind a busy control thread —
+    // essential for peer-to-peer hot paths like store replication.
+    const cmdlang::CommandSpec* spec = semantics_.find(item.cmd.name());
+    if (spec && spec->concurrent) {
+      CmdLine reply = dispatch(item.cmd, item.caller, /*serialize=*/false);
+      if (!item.noreply)
+        (void)channel->send(util::to_bytes(reply.to_string()));
+      continue;
+    }
+    if (!control_queue_.push(std::move(item))) return;  // shutting down
+  }
+}
+
+void ServiceDaemon::control_loop(std::stop_token st) {
+  while (!st.stop_requested()) {
+    auto item = control_queue_.pop_for(kPollInterval);
+    if (!item) {
+      if (control_queue_.closed()) return;
+      continue;
+    }
+    CmdLine reply = dispatch(item->cmd, item->caller);
+    if (item->channel && !item->noreply)
+      (void)item->channel->send(util::to_bytes(reply.to_string()));
+  }
+}
+
+CmdLine ServiceDaemon::execute(const CmdLine& cmd, const CallerInfo& caller) {
+  return dispatch(cmd, caller);
+}
+
+CmdLine ServiceDaemon::dispatch(const CmdLine& cmd, const CallerInfo& caller,
+                                bool serialize) {
+  if (auto s = semantics_.validate(cmd); !s.ok()) {
+    std::scoped_lock lock(stats_mu_);
+    stats_.commands_rejected++;
+    return cmdlang::make_error(s.error().code, s.error().message);
+  }
+  if (auto s = authorize(cmd, caller); !s.ok()) {
+    {
+      std::scoped_lock lock(stats_mu_);
+      stats_.authorizations_denied++;
+    }
+    // §4.14's intrusion example: failed authorization attempts are
+    // reported to the Network Logger so repeated offenders raise alerts.
+    net_log("security", "authorization denied for principal '" +
+                            (caller.principal.empty() ? "anonymous"
+                                                      : caller.principal) +
+                            "' on command '" + cmd.name() + "'");
+    return cmdlang::make_error(s.error().code, s.error().message);
+  }
+  Handler& handler = handlers_.at(cmd.name());
+  CmdLine reply;
+  if (serialize) {
+    std::scoped_lock lock(exec_mu_);
+    reply = handler(cmd, caller);
+  } else {
+    reply = handler(cmd, caller);  // handler declared thread-safe
+  }
+  {
+    std::scoped_lock lock(stats_mu_);
+    stats_.commands_executed++;
+  }
+  if (cmdlang::is_ok(reply)) fire_notifications(cmd);
+  return reply;
+}
+
+util::Status ServiceDaemon::authorize(const CmdLine& cmd,
+                                      const CallerInfo& caller) {
+  if (!config_.enforce_authorization) return util::Status::ok_status();
+
+  std::string principal =
+      caller.principal.empty() ? "anonymous" : caller.principal;
+
+  // Fig 10 step 2-4: fetch the caller's credentials from the
+  // Authorization Database (with a short-lived cache).
+  std::vector<keynote::Assertion> credentials;
+  bool cached = false;
+  {
+    std::scoped_lock lock(cred_mu_);
+    auto it = credential_cache_.find(principal);
+    if (it != credential_cache_.end() &&
+        std::chrono::steady_clock::now() - it->second.fetched <
+            config_.credential_cache_ttl) {
+      credentials = it->second.credentials;
+      cached = true;
+    }
+  }
+  if (!cached && !env_.auth_db_address.host.empty() &&
+      env_.auth_db_address != address()) {
+    CmdLine fetch("getCredentials");
+    fetch.arg("principal", principal);
+    auto reply = control_client_->call_ok(env_.auth_db_address, fetch);
+    if (reply.ok()) {
+      if (auto vec = reply->get_vector("credentials")) {
+        for (const auto& elem : vec->elements) {
+          if (!elem.is_string() && !elem.is_word()) continue;
+          auto a = keynote::Assertion::parse(elem.as_text());
+          if (a.ok()) credentials.push_back(std::move(a.value()));
+        }
+      }
+      std::scoped_lock lock(cred_mu_);
+      credential_cache_[principal] = {credentials,
+                                      std::chrono::steady_clock::now()};
+    }
+  }
+
+  // Fig 10 step 5-6: hand everything to KeyNote.
+  keynote::ComplianceQuery query;
+  query.requester = principal;
+  query.action = {
+      {"app_domain", "ace"},
+      {"service", config_.name},
+      {"service_class", config_.service_class},
+      {"room", config_.room},
+      {"command", cmd.name()},
+      {"principal", principal},
+  };
+  query.policies = env_.policies();
+  query.credentials = std::move(credentials);
+  auto result = keynote::ComplianceChecker::check(query, &env_.keys());
+  if (!result.ok()) return result.error();
+  if (!result->authorized) {
+    return util::Error{util::Errc::auth_error,
+                       "principal '" + principal +
+                           "' is not authorized for command '" + cmd.name() +
+                           "' on service '" + config_.name + "'"};
+  }
+  return util::Status::ok_status();
+}
+
+void ServiceDaemon::fire_notifications(const CmdLine& cmd) {
+  std::scoped_lock lock(notify_mu_);
+  for (const NotificationEntry& e : notifications_) {
+    if (e.command != cmd.name()) continue;
+    NotifyJob job;
+    job.service = e.service;
+    job.method = e.method;
+    job.command = cmd.name();
+    job.detail = cmd.to_string();
+    notify_queue_.push(std::move(job));
+  }
+}
+
+void ServiceDaemon::notifier_loop(std::stop_token st) {
+  while (!st.stop_requested()) {
+    auto job = notify_queue_.pop_for(kPollInterval);
+    if (!job) {
+      if (notify_queue_.closed()) return;
+      continue;
+    }
+    CmdLine notify(job->method);
+    notify.arg("source", config_.name);
+    notify.arg("command", Word{job->command});
+    notify.arg("detail", job->detail);
+    auto s = notify_client_->send_only(job->service, notify);
+    {
+      std::scoped_lock lock(stats_mu_);
+      stats_.notifications_sent++;
+    }
+    if (!s.ok()) {
+      // Drop chronically unreachable subscribers.
+      std::scoped_lock lock(notify_mu_);
+      for (auto& e : notifications_) {
+        if (e.service == job->service && e.command == job->command &&
+            ++e.failures >= kMaxNotifyFailures) {
+          std::erase_if(notifications_, [&](const NotificationEntry& x) {
+            return x.service == job->service && x.command == job->command;
+          });
+          break;
+        }
+      }
+    }
+  }
+}
+
+void ServiceDaemon::data_loop(std::stop_token st) {
+  while (!st.stop_requested()) {
+    auto dg = data_socket_->recv(kPollInterval);
+    if (!dg) {
+      if (control_queue_.closed()) return;
+      continue;
+    }
+    {
+      std::scoped_lock lock(stats_mu_);
+      stats_.datagrams_received++;
+    }
+    on_datagram(*dg);
+  }
+}
+
+void ServiceDaemon::lease_loop(std::stop_token st) {
+  while (!st.stop_requested()) {
+    // Sleep in poll-sized slices so shutdown stays prompt.
+    auto remaining = config_.lease_renew;
+    while (remaining.count() > 0 && !st.stop_requested()) {
+      auto slice = std::min<std::chrono::milliseconds>(
+          remaining, std::chrono::duration_cast<std::chrono::milliseconds>(
+                         kPollInterval));
+      std::this_thread::sleep_for(slice);
+      remaining -= slice;
+    }
+    if (st.stop_requested()) return;
+    CmdLine renew("renew");
+    renew.arg("name", config_.name);
+    auto r = infra_client_->call(env_.asd_address, renew, 500ms);
+    if (!r.ok())
+      util::log_warn(config_.name)
+          << "lease renewal failed: " << r.error().to_string();
+  }
+}
+
+util::Status ServiceDaemon::send_datagram(const net::Address& to,
+                                          net::Frame payload) {
+  if (!data_socket_)
+    return {util::Errc::invalid, "daemon has no data channel"};
+  return data_socket_->send_to(to, std::move(payload));
+}
+
+void ServiceDaemon::net_log(const std::string& level,
+                            const std::string& message) {
+  if (!config_.log_to_net_logger || env_.net_logger_address.host.empty())
+    return;
+  if (env_.net_logger_address == address()) return;
+  if (!infra_client_) return;
+  CmdLine log("log");
+  log.arg("source", config_.name);
+  log.arg("level", Word{level});
+  log.arg("message", message);
+  (void)infra_client_->send_only(env_.net_logger_address, log);
+}
+
+}  // namespace ace::daemon

@@ -1,0 +1,230 @@
+// The ACE service daemon (paper §2.1): the building block of every ACE
+// service. Reproduces the paper's design:
+//
+//  * thread structure (§2.1.1): a main/accept thread, one command thread per
+//    accepted connection, a control thread executing commands, and a data
+//    thread for UDP-style streaming — joined by message queues. (We add a
+//    notifier thread so notification fan-out cannot deadlock two daemons
+//    that notify each other; the paper folds this duty into the control
+//    thread.)
+//  * command language integration (§2.2): incoming strings are parsed and
+//    validated against this daemon's SemanticRegistry before execution.
+//  * service hierarchy (§2.3): subclasses inherit the base "Service"
+//    commands and add their own (see devices.hpp and src/services/).
+//  * notifications (§2.5): addNotification/removeNotification plus fan-out
+//    after successful command execution.
+//  * startup (§2.6, Fig 9): Room Database -> ASD registration (with lease)
+//    -> Network Logger, then periodic lease renewal.
+//  * security (§3): per-connection secure-channel handshake; optional
+//    per-command KeyNote authorization against the Authorization Database.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cmdlang/semantics.hpp"
+#include "cmdlang/value.hpp"
+#include "daemon/client.hpp"
+#include "daemon/environment.hpp"
+
+namespace ace::daemon {
+
+class DaemonHost;
+
+struct DaemonConfig {
+  std::string name;           // unique service instance name, e.g. "asd"
+  std::string service_class;  // hierarchy path, e.g. "Service/Device/PTZCamera/VCC3"
+  std::string room;           // room this service lives in, e.g. "hawk"
+  std::uint16_t port = 0;     // 0 = allocate an ephemeral port
+
+  std::chrono::milliseconds lease{2000};        // requested ASD lease time
+  std::chrono::milliseconds lease_renew{500};   // renewal period
+
+  bool register_with_asd = true;
+  bool register_with_room_db = true;
+  bool log_to_net_logger = true;
+
+  // When true, every command is checked through KeyNote (Fig 10) before
+  // execution, with credentials fetched from the Authorization Database.
+  bool enforce_authorization = false;
+  std::chrono::milliseconds credential_cache_ttl{5000};
+
+  // When true, the daemon opens a datagram socket on its port and runs the
+  // data thread (for streaming services).
+  bool open_data_channel = false;
+};
+
+// Who issued the command (from the secure channel's peer certificate).
+struct CallerInfo {
+  std::string principal;  // certificate subject; empty on plaintext channels
+  net::Address address;
+};
+
+class ServiceDaemon {
+ public:
+  using Handler = std::function<cmdlang::CmdLine(const cmdlang::CmdLine&,
+                                                 const CallerInfo&)>;
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t commands_executed = 0;
+    std::uint64_t commands_rejected = 0;   // parse/semantic failures
+    std::uint64_t authorizations_denied = 0;
+    std::uint64_t notifications_sent = 0;
+    std::uint64_t datagrams_received = 0;
+  };
+
+  ServiceDaemon(Environment& env, DaemonHost& host, DaemonConfig config);
+  virtual ~ServiceDaemon();
+
+  ServiceDaemon(const ServiceDaemon&) = delete;
+  ServiceDaemon& operator=(const ServiceDaemon&) = delete;
+
+  // Runs the Fig 9 startup sequence and spawns the daemon threads.
+  util::Status start();
+
+  // Graceful shutdown: deregisters from the ASD, logs, joins all threads.
+  void stop();
+
+  // Simulated failure: tears everything down abruptly *without*
+  // deregistering, so the ASD only learns of the death via lease expiry.
+  void crash();
+
+  bool running() const { return running_.load(); }
+  const DaemonConfig& config() const { return config_; }
+  net::Address address() const;
+  net::Address data_address() const;
+  Stats stats() const;
+  const cmdlang::SemanticRegistry& semantics() const { return semantics_; }
+
+  // Executes a command locally (same validation/authorization path as a
+  // network command). Used by tests and in-process composition.
+  cmdlang::CmdLine execute(const cmdlang::CmdLine& cmd,
+                           const CallerInfo& caller);
+
+ protected:
+  // Subclass API -----------------------------------------------------------
+  void register_command(cmdlang::CommandSpec spec, Handler handler);
+
+  Environment& env() { return env_; }
+  DaemonHost& host() { return host_; }
+
+  // Client for use from command handlers (control thread).
+  AceClient& control_client() { return *control_client_; }
+
+  // Called after infrastructure registration, before the daemon is
+  // considered started. Subclasses register with peer services here.
+  virtual util::Status on_start() { return util::Status::ok_status(); }
+  virtual void on_stop() {}
+
+  // Data-thread hook: called for each datagram received on the data
+  // channel (requires config.open_data_channel).
+  virtual void on_datagram(const net::Datagram& datagram) { (void)datagram; }
+
+  // Sends a datagram from this daemon's data socket.
+  util::Status send_datagram(const net::Address& to, net::Frame payload);
+
+  // Fans out a notification as if `event` had been executed as a command
+  // (paper §2.5). Used by sensor daemons whose interesting events are
+  // results (e.g. "identified user=john") rather than the triggering
+  // command itself. Safe to call from command handlers.
+  void emit_notification(const cmdlang::CmdLine& event) {
+    fire_notifications(event);
+  }
+
+  // Appends to the ACE Network Logger (fire-and-forget).
+  void net_log(const std::string& level, const std::string& message);
+
+  const crypto::Identity& identity() const { return identity_; }
+
+ private:
+  struct NotificationEntry {
+    std::string command;  // command being listened for
+    net::Address service; // who to notify
+    std::string method;   // command to invoke on the notified service
+    int failures = 0;
+  };
+
+  struct NotifyJob {
+    net::Address service;
+    std::string method;
+    std::string command;  // the command that fired
+    std::string detail;   // serialized original command
+  };
+
+  struct WorkItem {
+    cmdlang::CmdLine cmd;
+    CallerInfo caller;
+    std::shared_ptr<crypto::SecureChannel> channel;  // null for local execute
+    bool noreply = false;
+  };
+
+  void accept_loop(std::stop_token st);
+  void command_loop(std::stop_token st,
+                    std::shared_ptr<crypto::SecureChannel> channel);
+  void control_loop(std::stop_token st);
+  void notifier_loop(std::stop_token st);
+  void data_loop(std::stop_token st);
+  void lease_loop(std::stop_token st);
+
+  cmdlang::CmdLine dispatch(const cmdlang::CmdLine& cmd,
+                            const CallerInfo& caller, bool serialize = true);
+  util::Status authorize(const cmdlang::CmdLine& cmd,
+                         const CallerInfo& caller);
+  void fire_notifications(const cmdlang::CmdLine& cmd);
+  void register_builtin_commands();
+  util::Status run_startup_sequence();
+
+  Environment& env_;
+  DaemonHost& host_;
+  DaemonConfig config_;
+  crypto::Identity identity_;
+
+  cmdlang::SemanticRegistry semantics_;
+  std::map<std::string, Handler> handlers_;
+
+  std::shared_ptr<net::Listener> listener_;
+  std::shared_ptr<net::DatagramSocket> data_socket_;
+
+  std::unique_ptr<AceClient> control_client_;
+  std::unique_ptr<AceClient> notify_client_;
+  std::unique_ptr<AceClient> infra_client_;  // lease renewal + registration
+
+  util::MessageQueue<NotifyJob> notify_queue_;
+  util::MessageQueue<WorkItem> control_queue_;
+  std::mutex exec_mu_;  // serializes dispatch (control thread + local execute)
+
+  mutable std::mutex notify_mu_;
+  std::vector<NotificationEntry> notifications_;
+
+  mutable std::mutex cred_mu_;
+  struct CachedCredentials {
+    std::vector<keynote::Assertion> credentials;
+    std::chrono::steady_clock::time_point fetched;
+  };
+  std::map<std::string, CachedCredentials> credential_cache_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::jthread accept_thread_;
+  std::jthread control_thread_;
+  std::jthread notifier_thread_;
+  std::jthread data_thread_;
+  std::jthread lease_thread_;
+  std::mutex conn_threads_mu_;
+  std::vector<std::jthread> conn_threads_;
+};
+
+}  // namespace ace::daemon

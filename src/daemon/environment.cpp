@@ -1,0 +1,19 @@
+#include "daemon/environment.hpp"
+
+namespace ace::daemon {
+
+Environment::Environment(std::uint64_t seed)
+    : network_(seed), ca_(seed ^ 0xacec0de), seed_rng_(seed ^ 0x5eed) {}
+
+void Environment::add_policy(keynote::Assertion policy) {
+  policies_.push_back(std::move(policy));
+}
+
+util::Bytes Environment::register_principal(const std::string& key_id) {
+  util::Bytes secret(32);
+  for (auto& b : secret) b = static_cast<std::uint8_t>(seed_rng_.next());
+  keys_.register_principal(key_id, secret);
+  return secret;
+}
+
+}  // namespace ace::daemon

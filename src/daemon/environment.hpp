@@ -1,0 +1,80 @@
+// Deployment-wide shared context for one ACE.
+//
+// Holds the simulated network, the certificate authority, the KeyNote key
+// store and policy roots, and the well-known addresses the paper assumes
+// ("the location of which is known to all ACE daemons" — §2.4 for the ASD;
+// likewise the Room Database, Network Logger, and Authorization Database).
+//
+// Configuration is completed before daemons start; afterwards the
+// environment is treated as immutable shared state (thread-safe to read).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/certificate.hpp"
+#include "crypto/channel.hpp"
+#include "keynote/assertion.hpp"
+#include "net/network.hpp"
+
+namespace ace::daemon {
+
+// Well-known ports, mirroring the paper's fixed-socket convention.
+inline constexpr std::uint16_t kAsdPort = 5000;
+inline constexpr std::uint16_t kRoomDbPort = 5001;
+inline constexpr std::uint16_t kNetLoggerPort = 5002;
+inline constexpr std::uint16_t kAuthDbPort = 5003;
+
+class Environment {
+ public:
+  explicit Environment(std::uint64_t seed = 42);
+
+  net::Network& network() { return network_; }
+  crypto::CertificateAuthority& ca() { return ca_; }
+  const util::Bytes& ca_key() const { return ca_.verification_key(); }
+
+  keynote::KeyStore& keys() { return keys_; }
+  const keynote::KeyStore& keys() const { return keys_; }
+
+  // Root POLICY assertions trusted by every daemon that enforces
+  // authorization. Install before starting daemons.
+  void add_policy(keynote::Assertion policy);
+  const std::vector<keynote::Assertion>& policies() const { return policies_; }
+
+  // Registers a principal (user or service) with both the KeyNote key
+  // store and, implicitly, anything needing its signing secret.
+  // Returns the secret so tests can sign credentials with it.
+  util::Bytes register_principal(const std::string& key_id);
+
+  crypto::ChannelOptions& channel_options() { return channel_options_; }
+  const crypto::ChannelOptions& channel_options() const {
+    return channel_options_;
+  }
+
+  // Issues an identity certificate for a daemon or client.
+  crypto::Identity issue_identity(const std::string& subject) {
+    return ca_.issue(subject);
+  }
+
+  // Well-known infrastructure addresses. Empty host = not deployed.
+  net::Address asd_address;
+  net::Address room_db_address;
+  net::Address net_logger_address;
+  net::Address auth_db_address;
+
+  std::chrono::milliseconds default_timeout{2000};
+
+  std::uint64_t next_seed() { return seed_rng_.next(); }
+
+ private:
+  net::Network network_;
+  crypto::CertificateAuthority ca_;
+  keynote::KeyStore keys_;
+  std::vector<keynote::Assertion> policies_;
+  crypto::ChannelOptions channel_options_;
+  util::Rng seed_rng_;
+};
+
+}  // namespace ace::daemon

@@ -1,0 +1,81 @@
+// KeyNote trust-management assertions (after RFC 2704), as integrated into
+// ACE (paper §3.2): "Both users and services shall have credentials and
+// assertions defined for what can and can't be done within an ACE."
+//
+// An assertion states: the AUTHORIZER delegates authority for actions
+// satisfying CONDITIONS to the principals matching LICENSEES. Policy roots
+// use the distinguished authorizer "POLICY" and need no signature;
+// credentials are signed by their authorizer (HMAC tag in this simulation —
+// see DESIGN.md substitutions).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace ace::keynote {
+
+using PrincipalKey = std::string;  // key identifier, e.g. "ace-user:john"
+
+inline constexpr const char* kPolicyAuthorizer = "POLICY";
+
+// Licensee expression tree: a single key, conjunction, disjunction, or
+// k-of-n threshold.
+struct LicenseeExpr {
+  enum class Kind { key, all_of, any_of, threshold };
+
+  Kind kind = Kind::key;
+  PrincipalKey key;                                  // kind == key
+  std::vector<std::shared_ptr<LicenseeExpr>> parts;  // composite kinds
+  int threshold_k = 0;                               // kind == threshold
+
+  std::string to_string() const;
+};
+
+using LicenseePtr = std::shared_ptr<LicenseeExpr>;
+
+LicenseePtr licensee_key(PrincipalKey key);
+LicenseePtr licensee_all(std::vector<LicenseePtr> parts);
+LicenseePtr licensee_any(std::vector<LicenseePtr> parts);
+LicenseePtr licensee_threshold(int k, std::vector<LicenseePtr> parts);
+
+// Parses e.g.: "alice" || ("bob" && "carol") || 2-of("x","y","z")
+util::Result<LicenseePtr> parse_licensees(const std::string& source);
+
+struct Assertion {
+  PrincipalKey authorizer;
+  LicenseePtr licensees;
+  std::string conditions;  // condition-expression source; empty = always true
+  std::string comment;
+  util::Bytes signature;
+
+  bool is_policy() const { return authorizer == kPolicyAuthorizer; }
+
+  // Canonical text form (the signed payload excludes the signature line).
+  std::string body_text() const;
+  std::string serialize() const;
+  static util::Result<Assertion> parse(const std::string& text);
+};
+
+// Principal key registry used to sign and verify credentials. In real
+// KeyNote these are public keys; in the simulation each principal key id
+// maps to an HMAC secret shared with verifiers.
+class KeyStore {
+ public:
+  void register_principal(const PrincipalKey& key, util::Bytes secret);
+  bool known(const PrincipalKey& key) const;
+
+  // Signs the assertion in place with the authorizer's secret.
+  util::Status sign(Assertion& assertion) const;
+  bool verify(const Assertion& assertion) const;
+
+ private:
+  std::map<PrincipalKey, util::Bytes> secrets_;
+};
+
+}  // namespace ace::keynote

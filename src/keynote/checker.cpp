@@ -1,0 +1,131 @@
+#include "keynote/checker.hpp"
+
+#include <map>
+#include <set>
+
+namespace ace::keynote {
+
+namespace {
+
+// Delegation is resolved recursively: a licensee key K "supports" the
+// request if K is the requester itself, or K has issued a (verified)
+// credential whose conditions hold for the action and whose licensee
+// expression is satisfied. Cycles evaluate to false on the in-progress
+// path, which is sound for the monotone two-valued semantics.
+class Resolver {
+ public:
+  Resolver(const ComplianceQuery& query,
+           const std::vector<const Assertion*>& credentials)
+      : query_(query) {
+    for (const Assertion* a : credentials)
+      by_authorizer_[a->authorizer].push_back(a);
+  }
+
+  util::Result<bool> assertion_holds(const Assertion& a) {
+    if (!a.conditions.empty()) {
+      auto cond = ConditionEvaluator::eval(a.conditions, query_.action);
+      if (!cond.ok()) return cond;
+      if (!cond.value()) return false;
+    }
+    if (!a.licensees) return false;
+    return licensee_satisfied(*a.licensees);
+  }
+
+ private:
+  util::Result<bool> licensee_satisfied(const LicenseeExpr& e) {
+    switch (e.kind) {
+      case LicenseeExpr::Kind::key:
+        return key_supports(e.key);
+      case LicenseeExpr::Kind::all_of: {
+        for (const auto& part : e.parts) {
+          auto v = licensee_satisfied(*part);
+          if (!v.ok()) return v;
+          if (!v.value()) return false;
+        }
+        return true;
+      }
+      case LicenseeExpr::Kind::any_of: {
+        for (const auto& part : e.parts) {
+          auto v = licensee_satisfied(*part);
+          if (!v.ok()) return v;
+          if (v.value()) return true;
+        }
+        return false;
+      }
+      case LicenseeExpr::Kind::threshold: {
+        int satisfied = 0;
+        for (const auto& part : e.parts) {
+          auto v = licensee_satisfied(*part);
+          if (!v.ok()) return v;
+          if (v.value()) ++satisfied;
+        }
+        return satisfied >= e.threshold_k;
+      }
+    }
+    return false;
+  }
+
+  util::Result<bool> key_supports(const PrincipalKey& key) {
+    if (key == query_.requester) return true;
+    auto memo = memo_.find(key);
+    if (memo != memo_.end()) return memo->second;
+    if (in_progress_.contains(key)) return false;  // cycle guard
+    in_progress_.insert(key);
+    bool supports = false;
+    auto it = by_authorizer_.find(key);
+    if (it != by_authorizer_.end()) {
+      for (const Assertion* a : it->second) {
+        auto v = assertion_holds(*a);
+        if (!v.ok()) {
+          in_progress_.erase(key);
+          return v;
+        }
+        if (v.value()) {
+          supports = true;
+          break;
+        }
+      }
+    }
+    in_progress_.erase(key);
+    memo_[key] = supports;
+    return supports;
+  }
+
+  const ComplianceQuery& query_;
+  std::map<PrincipalKey, std::vector<const Assertion*>> by_authorizer_;
+  std::map<PrincipalKey, bool> memo_;
+  std::set<PrincipalKey> in_progress_;
+};
+
+}  // namespace
+
+util::Result<ComplianceResult> ComplianceChecker::check(
+    const ComplianceQuery& query, const KeyStore* keys) {
+  ComplianceResult result;
+
+  std::vector<const Assertion*> usable;
+  usable.reserve(query.credentials.size());
+  for (const Assertion& c : query.credentials) {
+    if (c.is_policy()) continue;  // credentials may not claim POLICY
+    if (keys && !keys->verify(c)) {
+      result.rejected_credentials.push_back(c.authorizer + ": " + c.comment);
+      continue;
+    }
+    usable.push_back(&c);
+  }
+
+  Resolver resolver(query, usable);
+  for (const Assertion& policy : query.policies) {
+    if (!policy.is_policy()) continue;
+    auto v = resolver.assertion_holds(policy);
+    if (!v.ok()) return v.error();
+    if (v.value()) {
+      result.authorized = true;
+      return result;
+    }
+  }
+  result.authorized = false;
+  return result;
+}
+
+}  // namespace ace::keynote

@@ -1,0 +1,37 @@
+// KeyNote compliance checker (RFC 2704 query semantics, two compliance
+// values). Answers: do the POLICY assertions, together with the supplied
+// signed credentials, authorize `requester` to perform the action described
+// by the attribute environment? (Paper §3.2, Fig 10: "These assertions are
+// passed onto KeyNote, which is used to determine if a proper assertion or
+// chain of assertions are present".)
+#pragma once
+
+#include <vector>
+
+#include "keynote/assertion.hpp"
+#include "keynote/expr.hpp"
+
+namespace ace::keynote {
+
+struct ComplianceQuery {
+  PrincipalKey requester;
+  ActionEnv action;
+  std::vector<Assertion> policies;     // authorizer == "POLICY", trusted
+  std::vector<Assertion> credentials;  // must verify against the key store
+};
+
+struct ComplianceResult {
+  bool authorized = false;
+  // Diagnostics: credentials rejected because their signature failed.
+  std::vector<std::string> rejected_credentials;
+};
+
+class ComplianceChecker {
+ public:
+  // `keys` verifies credential signatures; pass nullptr to trust all
+  // credentials (testing only).
+  static util::Result<ComplianceResult> check(const ComplianceQuery& query,
+                                              const KeyStore* keys);
+};
+
+}  // namespace ace::keynote

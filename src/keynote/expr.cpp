@@ -1,0 +1,231 @@
+#include "keynote/expr.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+
+#include "util/strings.hpp"
+
+namespace ace::keynote {
+
+namespace {
+
+struct Operand {
+  std::string text;      // resolved value
+  bool from_env = false; // attribute reference (affects nothing further)
+};
+
+class Evaluator {
+ public:
+  Evaluator(const std::string& src, const ActionEnv* env)
+      : src_(src), env_(env) {}
+
+  util::Result<bool> run() {
+    auto v = parse_or();
+    if (!v.ok()) return v;
+    skip_space();
+    if (pos_ != src_.size()) return fail("trailing characters");
+    return v;
+  }
+
+ private:
+  util::Error fail(const std::string& m) const {
+    return util::Error{util::Errc::parse_error,
+                       "conditions: " + m + " (offset " +
+                           std::to_string(pos_) + ")"};
+  }
+
+  void skip_space() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_])))
+      ++pos_;
+  }
+
+  bool peek(const char* tok) {
+    skip_space();
+    return src_.compare(pos_, std::char_traits<char>::length(tok), tok) == 0;
+  }
+
+  bool consume(const char* tok) {
+    if (!peek(tok)) return false;
+    pos_ += std::char_traits<char>::length(tok);
+    return true;
+  }
+
+  util::Result<bool> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.ok()) return lhs;
+    bool value = lhs.value();
+    while (consume("||")) {
+      auto rhs = parse_and();
+      if (!rhs.ok()) return rhs;
+      value = value || rhs.value();
+    }
+    return value;
+  }
+
+  util::Result<bool> parse_and() {
+    auto lhs = parse_not();
+    if (!lhs.ok()) return lhs;
+    bool value = lhs.value();
+    while (consume("&&")) {
+      auto rhs = parse_not();
+      if (!rhs.ok()) return rhs;
+      value = value && rhs.value();
+    }
+    return value;
+  }
+
+  util::Result<bool> parse_not() {
+    if (consume("!")) {
+      auto inner = parse_not();
+      if (!inner.ok()) return inner;
+      return !inner.value();
+    }
+    return parse_primary();
+  }
+
+  util::Result<bool> parse_primary() {
+    skip_space();
+    if (pos_ >= src_.size()) return fail("unexpected end of conditions");
+    if (consume("(")) {
+      auto inner = parse_or();
+      if (!inner.ok()) return inner;
+      if (!consume(")")) return fail("expected ')'");
+      return inner;
+    }
+    // 'true'/'false' literals only when not followed by a comparison op:
+    // handled below via operand parsing + optional comparison.
+    auto lhs = parse_operand();
+    if (!lhs.ok()) return lhs.error();
+
+    skip_space();
+    std::string op;
+    for (const char* candidate :
+         {"==", "!=", "<=", ">=", "~=", "<", ">"}) {
+      if (consume(candidate)) {
+        op = candidate;
+        break;
+      }
+    }
+    if (op.empty()) {
+      // Bare operand: 'true'/'false' keywords, otherwise non-empty test.
+      const std::string& t = lhs.value().text;
+      if (!lhs.value().from_env) {
+        if (t == "true") return true;
+        if (t == "false") return false;
+      }
+      return !t.empty();
+    }
+
+    auto rhs = parse_operand();
+    if (!rhs.ok()) return rhs.error();
+    return compare(lhs.value().text, op, rhs.value().text);
+  }
+
+  static std::optional<double> as_number(const std::string& s) {
+    if (s.empty()) return std::nullopt;
+    char* end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size()) return std::nullopt;
+    return v;
+  }
+
+  static bool compare(const std::string& a, const std::string& op,
+                      const std::string& b) {
+    if (op == "~=") return util::glob_match(b, a);
+    auto na = as_number(a);
+    auto nb = as_number(b);
+    if (na && nb) {
+      if (op == "==") return *na == *nb;
+      if (op == "!=") return *na != *nb;
+      if (op == "<") return *na < *nb;
+      if (op == "<=") return *na <= *nb;
+      if (op == ">") return *na > *nb;
+      if (op == ">=") return *na >= *nb;
+    }
+    if (op == "==") return a == b;
+    if (op == "!=") return a != b;
+    if (op == "<") return a < b;
+    if (op == "<=") return a <= b;
+    if (op == ">") return a > b;
+    if (op == ">=") return a >= b;
+    return false;
+  }
+
+  util::Result<Operand> parse_operand() {
+    skip_space();
+    if (pos_ >= src_.size()) return fail("expected operand");
+    char c = src_[pos_];
+    Operand out;
+    if (c == '"') {
+      ++pos_;
+      while (pos_ < src_.size() && src_[pos_] != '"') {
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+          out.text.push_back(src_[pos_ + 1]);
+          pos_ += 2;
+        } else {
+          out.text.push_back(src_[pos_++]);
+        }
+      }
+      if (pos_ >= src_.size()) return fail("unterminated string");
+      ++pos_;
+      return out;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+        c == '.') {
+      std::size_t start = pos_;
+      ++pos_;
+      while (pos_ < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
+              src_[pos_] == '-' || src_[pos_] == '+'))
+        ++pos_;
+      out.text = src_.substr(start, pos_ - start);
+      return out;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_'))
+        ++pos_;
+      std::string name = src_.substr(start, pos_ - start);
+      if (name == "true" || name == "false") {
+        out.text = name;
+        return out;
+      }
+      out.from_env = true;
+      if (env_) {
+        auto it = env_->find(name);
+        out.text = it == env_->end() ? "" : it->second;
+      }
+      return out;
+    }
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  const std::string& src_;
+  const ActionEnv* env_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<bool> ConditionEvaluator::eval(const std::string& source,
+                                            const ActionEnv& env) {
+  std::string trimmed = util::trim(source);
+  if (trimmed.empty()) return true;
+  return Evaluator(trimmed, &env).run();
+}
+
+util::Status ConditionEvaluator::check_syntax(const std::string& source) {
+  std::string trimmed = util::trim(source);
+  if (trimmed.empty()) return util::Status::ok_status();
+  ActionEnv empty;
+  auto r = Evaluator(trimmed, &empty).run();
+  if (!r.ok()) return r.error();
+  return util::Status::ok_status();
+}
+
+}  // namespace ace::keynote

@@ -1,0 +1,39 @@
+// KeyNote condition-expression language (RFC 2704 §4 subset).
+//
+// Conditions are boolean expressions over the *action attribute set* — the
+// name/value environment describing the attempted action (e.g. app_domain,
+// command, room, duration). Grammar:
+//
+//   expr   := or
+//   or     := and ('||' and)*
+//   and    := not ('&&' not)*
+//   not    := '!' not | primary
+//   primary:= '(' expr ')' | comparison | 'true' | 'false'
+//   cmp    := operand op operand          op in {==,!=,<,<=,>,>=,~=}
+//   operand:= attribute-name | "string" | number
+//
+// '~=' is glob match (pattern on the right). Comparisons are numeric when
+// both operands parse as numbers, lexicographic otherwise. Missing
+// attributes evaluate to the empty string (RFC 2704 behaviour).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace ace::keynote {
+
+using ActionEnv = std::map<std::string, std::string>;
+
+class ConditionEvaluator {
+ public:
+  // Evaluates `source` against `env`. Empty source is vacuously true.
+  static util::Result<bool> eval(const std::string& source,
+                                 const ActionEnv& env);
+
+  // Parses without evaluating (syntax check for stored assertions).
+  static util::Status check_syntax(const std::string& source);
+};
+
+}  // namespace ace::keynote

@@ -1,0 +1,69 @@
+#include "media/audio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ace::media {
+
+util::Bytes AudioFrame::serialize() const {
+  util::ByteWriter w;
+  w.str(stream);
+  w.u32(sequence);
+  w.u32(static_cast<std::uint32_t>(samples.size()));
+  for (std::int16_t s : samples) w.i16(s);
+  return w.take();
+}
+
+std::optional<AudioFrame> AudioFrame::parse(const util::Bytes& data) {
+  util::ByteReader r(data);
+  AudioFrame f;
+  auto stream = r.str();
+  auto seq = r.u32();
+  auto n = r.u32();
+  if (!stream || !seq || !n) return std::nullopt;
+  f.stream = std::move(*stream);
+  f.sequence = *seq;
+  f.samples.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto s = r.i16();
+    if (!s) return std::nullopt;
+    f.samples.push_back(*s);
+  }
+  return f;
+}
+
+std::vector<std::int16_t> sine_wave(double frequency_hz, double amplitude,
+                                    std::size_t n, std::size_t phase_offset) {
+  std::vector<std::int16_t> out(n);
+  const double w = 2.0 * 3.14159265358979323846 * frequency_hz / kSampleRate;
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = amplitude * std::sin(w * static_cast<double>(i + phase_offset));
+    out[i] = static_cast<std::int16_t>(
+        std::clamp(v, -32767.0, 32767.0));
+  }
+  return out;
+}
+
+void mix_into(std::vector<std::int16_t>& acc,
+              const std::vector<std::int16_t>& src, double gain) {
+  if (acc.size() < src.size()) acc.resize(src.size(), 0);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    double v = static_cast<double>(acc[i]) + gain * src[i];
+    acc[i] = static_cast<std::int16_t>(std::clamp(v, -32767.0, 32767.0));
+  }
+}
+
+double rms(const std::vector<std::int16_t>& samples) {
+  if (samples.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::int16_t s : samples) acc += static_cast<double>(s) * s;
+  return std::sqrt(acc / static_cast<double>(samples.size()));
+}
+
+double rms_db(const std::vector<std::int16_t>& samples) {
+  double r = rms(samples);
+  if (r < 1e-9) return -120.0;
+  return 20.0 * std::log10(r / 32767.0);
+}
+
+}  // namespace ace::media

@@ -1,0 +1,35 @@
+// Audio frame model for the ACE media pipeline (paper §4.15, Fig 15).
+// 16-bit mono PCM frames with sequence numbers and stream tags, carried
+// over daemon data channels (UDP-like) as the paper's data threads do.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace ace::media {
+
+inline constexpr int kSampleRate = 8000;          // telephony rate
+inline constexpr std::size_t kFrameSamples = 160; // 20 ms @ 8 kHz
+
+struct AudioFrame {
+  std::string stream;           // stream tag, e.g. "room-hawk-mic"
+  std::uint32_t sequence = 0;
+  std::vector<std::int16_t> samples;
+
+  util::Bytes serialize() const;
+  static std::optional<AudioFrame> parse(const util::Bytes& data);
+};
+
+// Signal helpers shared by capture simulation, tests and benches.
+std::vector<std::int16_t> sine_wave(double frequency_hz, double amplitude,
+                                    std::size_t n, std::size_t phase_offset);
+void mix_into(std::vector<std::int16_t>& acc,
+              const std::vector<std::int16_t>& src, double gain);
+double rms(const std::vector<std::int16_t>& samples);
+double rms_db(const std::vector<std::int16_t>& samples);
+
+}  // namespace ace::media

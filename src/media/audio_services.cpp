@@ -1,0 +1,418 @@
+#include "media/audio_services.hpp"
+
+namespace ace::media {
+
+using cmdlang::CmdLine;
+using cmdlang::CommandSpec;
+using cmdlang::string_arg;
+using cmdlang::Word;
+using daemon::CallerInfo;
+
+namespace {
+daemon::DaemonConfig with_data_channel(daemon::DaemonConfig config) {
+  config.open_data_channel = true;
+  return config;
+}
+}  // namespace
+
+AudioElementDaemon::AudioElementDaemon(daemon::Environment& env,
+                                       daemon::DaemonHost& host,
+                                       daemon::DaemonConfig config)
+    : ServiceDaemon(env, host, with_data_channel(std::move(config))) {
+  register_command(
+      CommandSpec("audioAddSink", "forward output frames to `dest`")
+          .arg(string_arg("dest")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto addr = net::Address::parse(cmd.get_text("dest"));
+        if (!addr)
+          return cmdlang::make_error(util::Errc::invalid,
+                                     "dest must be host:port");
+        add_sink(*addr);
+        return cmdlang::make_ok();
+      });
+  register_command(
+      CommandSpec("audioRemoveSink", "stop forwarding to `dest`")
+          .arg(string_arg("dest")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto addr = net::Address::parse(cmd.get_text("dest"));
+        if (!addr)
+          return cmdlang::make_error(util::Errc::invalid,
+                                     "dest must be host:port");
+        std::scoped_lock lock(sink_mu_);
+        std::erase(sinks_, *addr);
+        return cmdlang::make_ok();
+      });
+  register_command(
+      CommandSpec("audioListSinks", "list forwarding destinations"),
+      [this](const CmdLine&, const CallerInfo&) {
+        CmdLine reply = cmdlang::make_ok();
+        std::vector<std::string> out;
+        for (const auto& s : sinks()) out.push_back(s.to_string());
+        reply.arg("sinks", cmdlang::string_vector(std::move(out)));
+        return reply;
+      });
+}
+
+void AudioElementDaemon::add_sink(const net::Address& sink) {
+  std::scoped_lock lock(sink_mu_);
+  if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end())
+    sinks_.push_back(sink);
+}
+
+std::vector<net::Address> AudioElementDaemon::sinks() const {
+  std::scoped_lock lock(sink_mu_);
+  return sinks_;
+}
+
+void AudioElementDaemon::on_datagram(const net::Datagram& datagram) {
+  auto frame = AudioFrame::parse(datagram.payload);
+  if (!frame) return;
+  on_frame(*frame);
+}
+
+void AudioElementDaemon::forward(const AudioFrame& frame) {
+  util::Bytes wire = frame.serialize();
+  for (const net::Address& sink : sinks()) (void)send_datagram(sink, wire);
+}
+
+// ---------------------------------------------------------------- capture
+
+AudioCaptureDaemon::AudioCaptureDaemon(daemon::Environment& env,
+                                       daemon::DaemonHost& host,
+                                       daemon::DaemonConfig config,
+                                       std::string stream_tag)
+    : AudioElementDaemon(env, host, std::move(config)),
+      stream_tag_(std::move(stream_tag)) {
+  using cmdlang::integer_arg;
+  using cmdlang::real_arg;
+  register_command(
+      CommandSpec("captureGenerate",
+                  "synthesize and emit `frames` frames of a test tone")
+          .arg(integer_arg("frames").range(1, 10000))
+          .arg(real_arg("frequency").optional_arg())
+          .arg(real_arg("amplitude").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::int64_t frames = cmd.get_integer("frames");
+        double freq = cmd.get_real("frequency", 440.0);
+        double amp = cmd.get_real("amplitude", 8000.0);
+        std::size_t phase = 0;
+        for (std::int64_t i = 0; i < frames; ++i) {
+          capture_push(sine_wave(freq, amp, kFrameSamples, phase));
+          phase += kFrameSamples;
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("frames", frames);
+        return reply;
+      });
+}
+
+void AudioCaptureDaemon::capture_push(
+    const std::vector<std::int16_t>& samples) {
+  std::scoped_lock lock(mu_);
+  std::size_t offset = 0;
+  while (offset < samples.size()) {
+    AudioFrame frame;
+    frame.stream = stream_tag_;
+    frame.sequence = sequence_++;
+    std::size_t take = std::min(kFrameSamples, samples.size() - offset);
+    frame.samples.assign(samples.begin() + offset,
+                         samples.begin() + offset + take);
+    frame.samples.resize(kFrameSamples, 0);  // zero-pad the tail frame
+    offset += take;
+    forward(frame);
+  }
+}
+
+// ------------------------------------------------------------------- mixer
+
+AudioMixerDaemon::AudioMixerDaemon(daemon::Environment& env,
+                                   daemon::DaemonHost& host,
+                                   daemon::DaemonConfig config,
+                                   std::string output_tag)
+    : AudioElementDaemon(env, host, std::move(config)),
+      output_tag_(std::move(output_tag)) {
+  register_command(
+      CommandSpec("mixerAddInput", "declare an input stream tag")
+          .arg(string_arg("stream")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        std::string tag = cmd.get_text("stream");
+        if (std::find(inputs_.begin(), inputs_.end(), tag) == inputs_.end())
+          inputs_.push_back(tag);
+        return cmdlang::make_ok();
+      });
+}
+
+void AudioMixerDaemon::on_frame(const AudioFrame& frame) {
+  std::optional<AudioFrame> ready;
+  {
+    std::scoped_lock lock(mu_);
+    if (std::find(inputs_.begin(), inputs_.end(), frame.stream) ==
+        inputs_.end())
+      return;  // undeclared stream
+    auto& slot = pending_[frame.sequence];
+    slot[frame.stream] = frame;
+    if (slot.size() == inputs_.size()) {
+      AudioFrame mixed;
+      mixed.stream = output_tag_;
+      mixed.sequence = out_sequence_++;
+      double gain = 1.0 / static_cast<double>(inputs_.size());
+      for (const auto& [tag, f] : slot)
+        mix_into(mixed.samples, f.samples, gain);
+      pending_.erase(frame.sequence);
+      // Bound memory on lossy streams.
+      while (pending_.size() > 64) pending_.erase(pending_.begin());
+      ready = std::move(mixed);
+    }
+  }
+  if (ready) forward(*ready);
+}
+
+// --------------------------------------------------------- echo cancellation
+
+EchoCancellationDaemon::EchoCancellationDaemon(
+    daemon::Environment& env, daemon::DaemonHost& host,
+    daemon::DaemonConfig config, std::string reference_tag,
+    std::string input_tag, std::string output_tag)
+    : AudioElementDaemon(env, host, std::move(config)),
+      reference_tag_(std::move(reference_tag)),
+      input_tag_(std::move(input_tag)),
+      output_tag_(std::move(output_tag)) {
+  register_command(CommandSpec("ecStats", "report echo-cancellation ERLE"),
+                   [this](const CmdLine&, const CallerInfo&) {
+                     CmdLine reply = cmdlang::make_ok();
+                     reply.arg("erle_db", erle_db());
+                     return reply;
+                   });
+}
+
+double EchoCancellationDaemon::erle_db() const {
+  std::scoped_lock lock(mu_);
+  return canceller_.erle_db();
+}
+
+void EchoCancellationDaemon::on_frame(const AudioFrame& frame) {
+  std::optional<AudioFrame> ready;
+  {
+    std::scoped_lock lock(mu_);
+    if (frame.stream == reference_tag_) {
+      pending_reference_[frame.sequence] = frame;
+    } else if (frame.stream == input_tag_) {
+      pending_input_[frame.sequence] = frame;
+    } else {
+      return;
+    }
+    // Process every sequence for which both halves have arrived, in order.
+    while (!pending_input_.empty()) {
+      auto in_it = pending_input_.begin();
+      auto ref_it = pending_reference_.find(in_it->first);
+      if (ref_it == pending_reference_.end()) break;
+      AudioFrame out;
+      out.stream = output_tag_;
+      out.sequence = in_it->first;
+      out.samples =
+          canceller_.process(ref_it->second.samples, in_it->second.samples);
+      pending_reference_.erase(ref_it);
+      pending_input_.erase(in_it);
+      ready = std::move(out);
+      break;  // forward one per incoming frame; loop resumes on next arrival
+    }
+    while (pending_reference_.size() > 64)
+      pending_reference_.erase(pending_reference_.begin());
+    while (pending_input_.size() > 64)
+      pending_input_.erase(pending_input_.begin());
+  }
+  if (ready) forward(*ready);
+}
+
+// -------------------------------------------------------------------- play
+
+AudioPlayDaemon::AudioPlayDaemon(daemon::Environment& env,
+                                 daemon::DaemonHost& host,
+                                 daemon::DaemonConfig config)
+    : AudioElementDaemon(env, host, std::move(config)) {
+  register_command(CommandSpec("playStats", "report playback statistics"),
+                   [this](const CmdLine&, const CallerInfo&) {
+                     CmdLine reply = cmdlang::make_ok();
+                     std::scoped_lock lock(mu_);
+                     reply.arg("frames",
+                               static_cast<std::int64_t>(frames_));
+                     reply.arg("level_db", rms_db(played_));
+                     return reply;
+                   });
+}
+
+void AudioPlayDaemon::on_frame(const AudioFrame& frame) {
+  {
+    std::scoped_lock lock(mu_);
+    played_.insert(played_.end(), frame.samples.begin(), frame.samples.end());
+    frames_++;
+  }
+  forward(frame);  // a speaker can still feed monitors (e.g. echo reference)
+}
+
+std::vector<std::int16_t> AudioPlayDaemon::played() const {
+  std::scoped_lock lock(mu_);
+  return played_;
+}
+
+std::uint64_t AudioPlayDaemon::frames_played() const {
+  std::scoped_lock lock(mu_);
+  return frames_;
+}
+
+// ----------------------------------------------------------------- recorder
+
+AudioRecorderDaemon::AudioRecorderDaemon(daemon::Environment& env,
+                                         daemon::DaemonHost& host,
+                                         daemon::DaemonConfig config)
+    : AudioElementDaemon(env, host, std::move(config)) {
+  register_command(
+      CommandSpec("recStats", "report recording statistics")
+          .arg(string_arg("stream")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        CmdLine reply = cmdlang::make_ok();
+        std::scoped_lock lock(mu_);
+        auto it = recordings_.find(cmd.get_text("stream"));
+        std::int64_t n =
+            it == recordings_.end()
+                ? 0
+                : static_cast<std::int64_t>(it->second.size());
+        reply.arg("samples", n);
+        return reply;
+      });
+}
+
+void AudioRecorderDaemon::on_frame(const AudioFrame& frame) {
+  std::scoped_lock lock(mu_);
+  auto& rec = recordings_[frame.stream];
+  rec.insert(rec.end(), frame.samples.begin(), frame.samples.end());
+}
+
+std::vector<std::int16_t> AudioRecorderDaemon::recorded(
+    const std::string& stream) const {
+  std::scoped_lock lock(mu_);
+  auto it = recordings_.find(stream);
+  return it == recordings_.end() ? std::vector<std::int16_t>{} : it->second;
+}
+
+std::vector<std::string> AudioRecorderDaemon::recorded_streams() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [tag, rec] : recordings_) out.push_back(tag);
+  return out;
+}
+
+// ----------------------------------------------------------- text-to-speech
+
+TextToSpeechDaemon::TextToSpeechDaemon(daemon::Environment& env,
+                                       daemon::DaemonHost& host,
+                                       daemon::DaemonConfig config,
+                                       std::string stream_tag)
+    : AudioElementDaemon(env, host, std::move(config)),
+      stream_tag_(std::move(stream_tag)) {
+  register_command(
+      CommandSpec("say", "synthesize `text` into the output stream")
+          .arg(string_arg("text")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::vector<std::int16_t> audio = dtmf_encode(cmd.get_text("text"));
+        std::scoped_lock lock(mu_);
+        std::size_t offset = 0;
+        std::int64_t frames = 0;
+        while (offset < audio.size()) {
+          AudioFrame frame;
+          frame.stream = stream_tag_;
+          frame.sequence = sequence_++;
+          std::size_t take = std::min(kFrameSamples, audio.size() - offset);
+          frame.samples.assign(audio.begin() + offset,
+                               audio.begin() + offset + take);
+          frame.samples.resize(kFrameSamples, 0);
+          offset += take;
+          forward(frame);
+          frames++;
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("frames", frames);
+        return reply;
+      });
+}
+
+// -------------------------------------------------------- speech-to-command
+
+SpeechToCommandDaemon::SpeechToCommandDaemon(daemon::Environment& env,
+                                             daemon::DaemonHost& host,
+                                             daemon::DaemonConfig config)
+    : AudioElementDaemon(env, host, std::move(config)) {
+  register_command(
+      CommandSpec("stcSetTarget",
+                  "service that decoded voice commands are executed on")
+          .arg(string_arg("service")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto addr = net::Address::parse(cmd.get_text("service"));
+        if (!addr)
+          return cmdlang::make_error(util::Errc::invalid,
+                                     "service must be host:port");
+        std::scoped_lock lock(mu_);
+        target_ = *addr;
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("stcFlush",
+                  "decode the accumulated audio of `stream` as a command")
+          .arg(string_arg("stream")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::vector<std::int16_t> audio;
+        net::Address target;
+        {
+          std::scoped_lock lock(mu_);
+          auto it = buffers_.find(cmd.get_text("stream"));
+          if (it == buffers_.end() || it->second.empty())
+            return cmdlang::make_error(util::Errc::not_found,
+                                       "no audio buffered for stream");
+          // Trim trailing zero padding introduced by frame alignment.
+          audio = std::move(it->second);
+          buffers_.erase(it);
+          while (!audio.empty() && audio.back() == 0) audio.pop_back();
+          std::size_t stride = kDtmfSymbolSamples + kDtmfGapSamples;
+          audio.resize(((audio.size() + stride - 1) / stride) * stride, 0);
+          target = target_;
+        }
+        auto text = dtmf_decode(audio);
+        if (!text)
+          return cmdlang::make_error(util::Errc::parse_error,
+                                     "could not decode tone sequence");
+        auto parsed = cmdlang::Parser::parse(*text);
+        if (!parsed.ok())
+          return cmdlang::make_error(util::Errc::parse_error,
+                                     "decoded text is not a command: " +
+                                         parsed.error().message);
+        {
+          std::scoped_lock lock(mu_);
+          decoded_.push_back(parsed->to_string());
+        }
+        CmdLine event("voiceCommand");
+        event.arg("text", *text);
+        emit_notification(event);
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("decoded", parsed->to_string());
+        if (!target.host.empty()) {
+          auto result = control_client().call(target, parsed.value());
+          reply.arg("executed", Word{result.ok() ? "yes" : "no"});
+        }
+        return reply;
+      });
+}
+
+void SpeechToCommandDaemon::on_frame(const AudioFrame& frame) {
+  std::scoped_lock lock(mu_);
+  auto& buf = buffers_[frame.stream];
+  buf.insert(buf.end(), frame.samples.begin(), frame.samples.end());
+}
+
+std::vector<std::string> SpeechToCommandDaemon::decoded_commands() const {
+  std::scoped_lock lock(mu_);
+  return decoded_;
+}
+
+}  // namespace ace::media

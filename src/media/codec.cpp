@@ -1,0 +1,180 @@
+#include "media/codec.hpp"
+
+#include <algorithm>
+
+namespace ace::media {
+
+namespace {
+
+constexpr int kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+constexpr int kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                 -1, -1, -1, -1, 2, 4, 6, 8};
+
+std::uint8_t encode_sample(int sample, AdpcmState& st) {
+  int step = kStepTable[st.step_index];
+  int diff = sample - st.predictor;
+  std::uint8_t code = 0;
+  if (diff < 0) {
+    code = 8;
+    diff = -diff;
+  }
+  int delta = step >> 3;
+  if (diff >= step) {
+    code |= 4;
+    diff -= step;
+    delta += step;
+  }
+  step >>= 1;
+  if (diff >= step) {
+    code |= 2;
+    diff -= step;
+    delta += step;
+  }
+  step >>= 1;
+  if (diff >= step) {
+    code |= 1;
+    delta += step;
+  }
+  if (code & 8)
+    st.predictor -= delta;
+  else
+    st.predictor += delta;
+  st.predictor = std::clamp(st.predictor, -32768, 32767);
+  st.step_index = std::clamp(st.step_index + kIndexTable[code], 0, 88);
+  return code;
+}
+
+std::int16_t decode_sample(std::uint8_t code, AdpcmState& st) {
+  int step = kStepTable[st.step_index];
+  int delta = step >> 3;
+  if (code & 4) delta += step;
+  if (code & 2) delta += step >> 1;
+  if (code & 1) delta += step >> 2;
+  if (code & 8)
+    st.predictor -= delta;
+  else
+    st.predictor += delta;
+  st.predictor = std::clamp(st.predictor, -32768, 32767);
+  st.step_index = std::clamp(st.step_index + kIndexTable[code], 0, 88);
+  return static_cast<std::int16_t>(st.predictor);
+}
+
+}  // namespace
+
+util::Bytes adpcm_encode(const std::vector<std::int16_t>& pcm,
+                         AdpcmState& state) {
+  util::Bytes out;
+  out.reserve((pcm.size() + 1) / 2);
+  for (std::size_t i = 0; i < pcm.size(); i += 2) {
+    std::uint8_t lo = encode_sample(pcm[i], state);
+    std::uint8_t hi =
+        i + 1 < pcm.size() ? encode_sample(pcm[i + 1], state) : 0;
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+std::vector<std::int16_t> adpcm_decode(const util::Bytes& data,
+                                       std::size_t sample_count,
+                                       AdpcmState& state) {
+  std::vector<std::int16_t> out;
+  out.reserve(sample_count);
+  for (std::uint8_t byte : data) {
+    if (out.size() < sample_count)
+      out.push_back(decode_sample(byte & 0x0f, state));
+    if (out.size() < sample_count)
+      out.push_back(decode_sample(byte >> 4, state));
+  }
+  return out;
+}
+
+util::Bytes rle_video_encode(const VideoFrame& frame,
+                             const VideoFrame* reference) {
+  util::ByteWriter w;
+  bool inter = reference && reference->width == frame.width &&
+               reference->height == frame.height;
+  w.u8(inter ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(frame.width));
+  w.u32(static_cast<std::uint32_t>(frame.height));
+
+  // Residual (or raw) plane.
+  std::size_t n = frame.pixels.size();
+  util::Bytes plane(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    plane[i] = inter ? static_cast<std::uint8_t>(frame.pixels[i] -
+                                                 reference->pixels[i])
+                     : frame.pixels[i];
+  }
+
+  // Byte-oriented RLE: (count, value) pairs with 255-max runs.
+  std::size_t i = 0;
+  while (i < n) {
+    std::uint8_t value = plane[i];
+    std::size_t run = 1;
+    while (i + run < n && plane[i + run] == value && run < 255) ++run;
+    w.u8(static_cast<std::uint8_t>(run));
+    w.u8(value);
+    i += run;
+  }
+  return w.take();
+}
+
+std::optional<VideoFrame> rle_video_decode(const util::Bytes& data,
+                                           const VideoFrame* reference) {
+  util::ByteReader r(data);
+  auto inter = r.u8();
+  auto width = r.u32();
+  auto height = r.u32();
+  if (!inter || !width || !height) return std::nullopt;
+  VideoFrame frame;
+  frame.width = static_cast<int>(*width);
+  frame.height = static_cast<int>(*height);
+  std::size_t n = static_cast<std::size_t>(*width) * *height;
+  frame.pixels.reserve(n);
+  while (frame.pixels.size() < n) {
+    auto run = r.u8();
+    auto value = r.u8();
+    if (!run || !value || *run == 0) return std::nullopt;
+    for (std::uint8_t k = 0; k < *run && frame.pixels.size() < n; ++k)
+      frame.pixels.push_back(*value);
+  }
+  if (*inter) {
+    if (!reference || reference->pixels.size() != n) return std::nullopt;
+    for (std::size_t i = 0; i < n; ++i)
+      frame.pixels[i] =
+          static_cast<std::uint8_t>(frame.pixels[i] + reference->pixels[i]);
+  }
+  return frame;
+}
+
+VideoFrame synthetic_frame(int width, int height, int t) {
+  VideoFrame f;
+  f.width = width;
+  f.height = height;
+  f.pixels.resize(static_cast<std::size_t>(width) * height);
+  // Static background gradient.
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x)
+      f.pixels[static_cast<std::size_t>(y) * width + x] =
+          static_cast<std::uint8_t>((x + 2 * y) & 0x3f);
+  // Moving bright square.
+  int size = std::max(4, width / 8);
+  int px = (t * 3) % std::max(1, width - size);
+  int py = (t * 2) % std::max(1, height - size);
+  for (int y = py; y < py + size && y < height; ++y)
+    for (int x = px; x < px + size && x < width; ++x)
+      f.pixels[static_cast<std::size_t>(y) * width + x] = 0xe0;
+  return f;
+}
+
+}  // namespace ace::media

@@ -1,0 +1,57 @@
+// Real codecs behind the ACE Converter service (paper §4.12): the paper
+// converts raw camera video to MPEG before storage; we implement working
+// stand-ins with the same role — IMA ADPCM (4:1) for audio and a
+// delta+run-length coder for synthetic video frames (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace ace::media {
+
+// ---------------------------------------------------------------- IMA ADPCM
+
+// Encoder/decoder state carried across frames of one stream.
+struct AdpcmState {
+  int predictor = 0;
+  int step_index = 0;
+};
+
+// Encodes 16-bit PCM to 4-bit IMA ADPCM nibbles (two samples per byte).
+util::Bytes adpcm_encode(const std::vector<std::int16_t>& pcm,
+                         AdpcmState& state);
+std::vector<std::int16_t> adpcm_decode(const util::Bytes& data,
+                                       std::size_t sample_count,
+                                       AdpcmState& state);
+
+// --------------------------------------------------------------- RLE video
+
+// A simple 8-bit grayscale frame.
+struct VideoFrame {
+  int width = 0;
+  int height = 0;
+  util::Bytes pixels;  // width*height bytes
+
+  bool valid() const {
+    return width > 0 && height > 0 &&
+           pixels.size() == static_cast<std::size_t>(width) * height;
+  }
+};
+
+// Intra/inter coder: the first frame is RLE-coded directly; subsequent
+// frames are delta-coded against `reference` then RLE-coded (zero runs
+// compress static content, the dominant case for room cameras).
+util::Bytes rle_video_encode(const VideoFrame& frame,
+                             const VideoFrame* reference);
+std::optional<VideoFrame> rle_video_decode(const util::Bytes& data,
+                                           const VideoFrame* reference);
+
+// Synthetic camera content for tests/benches: a moving bright square over a
+// static background — mimics a conference-room feed.
+VideoFrame synthetic_frame(int width, int height, int t);
+
+}  // namespace ace::media

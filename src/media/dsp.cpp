@@ -1,0 +1,152 @@
+#include "media/dsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "media/audio.hpp"
+
+namespace ace::media {
+
+EchoCanceller::EchoCanceller(std::size_t taps, double mu)
+    : taps_(taps), mu_(mu), weights_(taps, 0.0), history_(taps, 0.0) {}
+
+void EchoCanceller::reset() {
+  std::fill(weights_.begin(), weights_.end(), 0.0);
+  std::fill(history_.begin(), history_.end(), 0.0);
+  in_energy_ = 0.0;
+  out_energy_ = 0.0;
+}
+
+std::vector<std::int16_t> EchoCanceller::process(
+    const std::vector<std::int16_t>& reference,
+    const std::vector<std::int16_t>& input) {
+  std::size_t n = std::min(reference.size(), input.size());
+  std::vector<std::int16_t> out(input.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Shift the reference into the delay line (newest at index 0).
+    for (std::size_t k = taps_ - 1; k > 0; --k)
+      history_[k] = history_[k - 1];
+    history_[0] = static_cast<double>(reference[i]);
+
+    double estimate = 0.0;
+    double energy = 1e-6;
+    for (std::size_t k = 0; k < taps_; ++k) {
+      estimate += weights_[k] * history_[k];
+      energy += history_[k] * history_[k];
+    }
+    double desired = static_cast<double>(input[i]);
+    double err = desired - estimate;
+
+    // NLMS update.
+    double scale = mu_ * err / energy;
+    for (std::size_t k = 0; k < taps_; ++k)
+      weights_[k] += scale * history_[k];
+
+    in_energy_ += desired * desired;
+    out_energy_ += err * err;
+    out[i] = static_cast<std::int16_t>(std::clamp(err, -32767.0, 32767.0));
+  }
+  for (std::size_t i = n; i < input.size(); ++i) out[i] = input[i];
+  return out;
+}
+
+double EchoCanceller::erle_db() const {
+  if (out_energy_ < 1e-9 || in_energy_ < 1e-9) return 0.0;
+  return 10.0 * std::log10(in_energy_ / out_energy_);
+}
+
+double goertzel_power(const std::vector<std::int16_t>& samples,
+                      std::size_t offset, std::size_t length,
+                      double frequency_hz, int sample_rate) {
+  if (offset + length > samples.size()) length = samples.size() - offset;
+  if (length == 0) return 0.0;
+  double w = 2.0 * 3.14159265358979323846 * frequency_hz / sample_rate;
+  double coeff = 2.0 * std::cos(w);
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+  for (std::size_t i = 0; i < length; ++i) {
+    s0 = coeff * s1 - s2 + static_cast<double>(samples[offset + i]);
+    s2 = s1;
+    s1 = s0;
+  }
+  return s1 * s1 + s2 * s2 - coeff * s1 * s2;
+}
+
+namespace {
+
+constexpr double kRows[4] = {697.0, 770.0, 852.0, 941.0};
+constexpr double kCols[4] = {1209.0, 1336.0, 1477.0, 1633.0};
+
+void append_symbol(std::vector<std::int16_t>& out, int symbol,
+                   double amplitude) {
+  double row = kRows[symbol >> 2];
+  double col = kCols[symbol & 3];
+  std::size_t base = out.size();
+  out.resize(base + kDtmfSymbolSamples + kDtmfGapSamples, 0);
+  const double wr = 2.0 * 3.14159265358979323846 * row / kSampleRate;
+  const double wc = 2.0 * 3.14159265358979323846 * col / kSampleRate;
+  for (std::size_t i = 0; i < kDtmfSymbolSamples; ++i) {
+    double v = amplitude * 0.5 * (std::sin(wr * i) + std::sin(wc * i));
+    out[base + i] =
+        static_cast<std::int16_t>(std::clamp(v, -32767.0, 32767.0));
+  }
+}
+
+// Detects the symbol in one window, or -1 when no clean tone pair is found.
+int detect_symbol(const std::vector<std::int16_t>& audio, std::size_t offset) {
+  double row_power[4], col_power[4];
+  for (int i = 0; i < 4; ++i) {
+    row_power[i] =
+        goertzel_power(audio, offset, kDtmfSymbolSamples, kRows[i], kSampleRate);
+    col_power[i] =
+        goertzel_power(audio, offset, kDtmfSymbolSamples, kCols[i], kSampleRate);
+  }
+  int best_row = 0, best_col = 0;
+  for (int i = 1; i < 4; ++i) {
+    if (row_power[i] > row_power[best_row]) best_row = i;
+    if (col_power[i] > col_power[best_col]) best_col = i;
+  }
+  // Require the winning tones to dominate (twist/SNR guard).
+  double row_rest = 0.0, col_rest = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    if (i != best_row) row_rest = std::max(row_rest, row_power[i]);
+    if (i != best_col) col_rest = std::max(col_rest, col_power[i]);
+  }
+  if (row_power[best_row] < 4.0 * row_rest + 1e3) return -1;
+  if (col_power[best_col] < 4.0 * col_rest + 1e3) return -1;
+  return best_row << 2 | best_col;
+}
+
+}  // namespace
+
+std::vector<std::int16_t> dtmf_encode(const std::string& text,
+                                      double amplitude) {
+  std::vector<std::int16_t> out;
+  out.reserve(text.size() * 2 * (kDtmfSymbolSamples + kDtmfGapSamples));
+  for (unsigned char c : text) {
+    append_symbol(out, c >> 4, amplitude);
+    append_symbol(out, c & 0x0f, amplitude);
+  }
+  return out;
+}
+
+std::optional<std::string> dtmf_decode(
+    const std::vector<std::int16_t>& audio) {
+  const std::size_t stride = kDtmfSymbolSamples + kDtmfGapSamples;
+  std::string text;
+  int pending_hi = -1;
+  for (std::size_t offset = 0; offset + kDtmfSymbolSamples <= audio.size();
+       offset += stride) {
+    int symbol = detect_symbol(audio, offset);
+    if (symbol < 0) return std::nullopt;
+    if (pending_hi < 0) {
+      pending_hi = symbol;
+    } else {
+      text.push_back(static_cast<char>(pending_hi << 4 | symbol));
+      pending_hi = -1;
+    }
+  }
+  if (pending_hi >= 0) return std::nullopt;  // odd symbol count
+  return text;
+}
+
+}  // namespace ace::media

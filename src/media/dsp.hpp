@@ -1,0 +1,60 @@
+// DSP primitives for the §4.15 audio pipeline:
+//  * NLMS adaptive echo canceller (the Echo Cancellation service: "removes
+//    redundant audio signals (with an arbitrary amount of delay) from an
+//    input audio signal"),
+//  * Goertzel tone detection and DTMF symbol coding — the working substrate
+//    for the Text-to-Speech / Speech-to-Command simulation (commands are
+//    carried as audible tone sequences and decoded back to ACE commands).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ace::media {
+
+// ------------------------------------------------------ NLMS echo canceller
+
+class EchoCanceller {
+ public:
+  // `taps` bounds the echo-path delay that can be modelled (in samples).
+  explicit EchoCanceller(std::size_t taps = 128, double mu = 0.6);
+
+  // Processes one block: `reference` is the far-end signal being played
+  // locally; `input` is the microphone pickup (near speech + echo).
+  // Returns the echo-cancelled signal.
+  std::vector<std::int16_t> process(const std::vector<std::int16_t>& reference,
+                                    const std::vector<std::int16_t>& input);
+
+  // Echo Return Loss Enhancement over everything processed so far (dB).
+  double erle_db() const;
+
+  void reset();
+
+ private:
+  std::size_t taps_;
+  double mu_;
+  std::vector<double> weights_;
+  std::vector<double> history_;  // reference delay line
+  double in_energy_ = 0.0;
+  double out_energy_ = 0.0;
+};
+
+// --------------------------------------------------------- Goertzel / DTMF
+
+// Power of `frequency_hz` in `samples` via the Goertzel recurrence.
+double goertzel_power(const std::vector<std::int16_t>& samples,
+                      std::size_t offset, std::size_t length,
+                      double frequency_hz, int sample_rate);
+
+inline constexpr std::size_t kDtmfSymbolSamples = 80;  // 10 ms @ 8 kHz
+inline constexpr std::size_t kDtmfGapSamples = 40;
+
+// Encodes arbitrary bytes as a DTMF-16 tone sequence (two symbols per
+// byte); decode inverts it. Empty result on decode failure.
+std::vector<std::int16_t> dtmf_encode(const std::string& text,
+                                      double amplitude = 12000.0);
+std::optional<std::string> dtmf_decode(const std::vector<std::int16_t>& audio);
+
+}  // namespace ace::media

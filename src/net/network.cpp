@@ -1,0 +1,318 @@
+#include "net/network.hpp"
+
+#include <thread>
+
+namespace ace::net {
+
+using Clock = std::chrono::steady_clock;
+
+std::string Address::to_string() const {
+  return host + ":" + std::to_string(port);
+}
+
+std::optional<Address> Address::parse(const std::string& s) {
+  auto pos = s.rfind(':');
+  if (pos == std::string::npos || pos + 1 >= s.size()) return std::nullopt;
+  Address a;
+  a.host = s.substr(0, pos);
+  long port = 0;
+  for (std::size_t i = pos + 1; i < s.size(); ++i) {
+    char c = s[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + (c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  a.port = static_cast<std::uint16_t>(port);
+  return a;
+}
+
+// ---------------------------------------------------------------- Connection
+
+Connection::Connection(std::shared_ptr<detail::ConnState> state, bool is_a,
+                       Network* network)
+    : state_(std::move(state)), is_a_(is_a), network_(network) {}
+
+util::Status Connection::send(Frame frame) {
+  if (!state_) return {util::Errc::invalid, "unconnected"};
+  if (state_->closed.load()) return {util::Errc::closed, "connection closed"};
+  LinkPolicy policy = network_->link(state_->host_a, state_->host_b);
+  if (!policy.up) {
+    // A partitioned link resets the connection, like TCP on a dead path.
+    close();
+    return {util::Errc::io_error, "link partitioned"};
+  }
+  detail::TimedFrame tf{Clock::now() + policy.latency, std::move(frame)};
+  std::size_t bytes = tf.frame.size();
+  auto& queue = is_a_ ? state_->to_b : state_->to_a;
+  if (!queue.push(std::move(tf)))
+    return {util::Errc::closed, "connection closed"};
+  network_->count_frame(bytes);
+  return util::Status::ok_status();
+}
+
+std::optional<Frame> Connection::recv(Duration timeout) {
+  if (!state_) return std::nullopt;
+  auto deadline = Clock::now() + timeout;
+  auto& queue = is_a_ ? state_->to_a : state_->to_b;
+  auto tf = queue.pop_until(deadline);
+  if (!tf) return std::nullopt;
+  // Model link latency: the frame is not visible before its delivery time.
+  std::this_thread::sleep_until(tf->deliver_at);
+  return std::move(tf->frame);
+}
+
+void Connection::close() {
+  if (!state_) return;
+  state_->closed.store(true);
+  state_->to_a.close();
+  state_->to_b.close();
+}
+
+bool Connection::closed() const { return !state_ || state_->closed.load(); }
+
+Address Connection::local_address() const {
+  if (!state_) return {};
+  return is_a_ ? state_->addr_a : state_->addr_b;
+}
+
+Address Connection::peer_address() const {
+  if (!state_) return {};
+  return is_a_ ? state_->addr_b : state_->addr_a;
+}
+
+// ------------------------------------------------------------------ Listener
+
+Listener::Listener(Address address, Network* network)
+    : address_(std::move(address)), network_(network) {}
+
+Listener::~Listener() { close(); }
+
+std::optional<Connection> Listener::accept(Duration timeout) {
+  return pending_.pop_for(timeout);
+}
+
+void Listener::close() {
+  bool was_open = open_.exchange(false);
+  if (!was_open) return;
+  pending_.close();
+  network_->unregister_listener(address_);
+}
+
+// ------------------------------------------------------------ DatagramSocket
+
+DatagramSocket::DatagramSocket(Address address, Network* network)
+    : address_(std::move(address)), network_(network) {}
+
+DatagramSocket::~DatagramSocket() { close(); }
+
+util::Status DatagramSocket::send_to(const Address& to, Frame payload) {
+  if (!open_.load()) return {util::Errc::closed, "socket closed"};
+  return network_->deliver_datagram(address_, to, std::move(payload));
+}
+
+std::optional<Datagram> DatagramSocket::recv(Duration timeout) {
+  auto deadline = Clock::now() + timeout;
+  auto td = inbox_.pop_until(deadline);
+  if (!td) return std::nullopt;
+  std::this_thread::sleep_until(td->deliver_at);
+  return std::move(td->datagram);
+}
+
+void DatagramSocket::close() {
+  bool was_open = open_.exchange(false);
+  if (!was_open) return;
+  inbox_.close();
+  network_->unregister_datagram(address_);
+}
+
+// ---------------------------------------------------------------------- Host
+
+util::Result<std::shared_ptr<Listener>> Host::listen(std::uint16_t port) {
+  std::scoped_lock lock(mu_);
+  if (listeners_.contains(port))
+    return util::Error{util::Errc::conflict, "port in use"};
+  auto listener = std::make_shared<Listener>(Address{name_, port}, network_);
+  listeners_[port] = listener.get();
+  return listener;
+}
+
+util::Result<std::shared_ptr<DatagramSocket>> Host::open_datagram(
+    std::uint16_t port) {
+  std::scoped_lock lock(mu_);
+  if (port == 0) {
+    while (datagram_sockets_.contains(next_ephemeral_)) ++next_ephemeral_;
+    port = next_ephemeral_++;
+  } else if (datagram_sockets_.contains(port)) {
+    return util::Error{util::Errc::conflict, "port in use"};
+  }
+  auto socket =
+      std::make_shared<DatagramSocket>(Address{name_, port}, network_);
+  datagram_sockets_[port] = socket.get();
+  return socket;
+}
+
+util::Result<Connection> Host::connect(const Address& to, Duration timeout) {
+  if (down_.load()) return util::Error{util::Errc::unavailable, "host down"};
+  return network_->do_connect(*this, to, timeout);
+}
+
+std::uint16_t Host::ephemeral_port() {
+  std::scoped_lock lock(mu_);
+  return next_ephemeral_++;
+}
+
+// ------------------------------------------------------------------- Network
+
+Host& Network::add_host(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = hosts_[name];
+  if (!slot) slot = std::make_unique<Host>(name, this);
+  return *slot;
+}
+
+Host* Network::find_host(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto it = hosts_.find(name);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+void Network::set_default_latency(Duration latency) {
+  std::scoped_lock lock(mu_);
+  default_latency_ = latency;
+}
+
+std::string Network::link_key(const std::string& a, const std::string& b) {
+  return a < b ? a + "|" + b : b + "|" + a;
+}
+
+void Network::set_link(const std::string& a, const std::string& b,
+                       LinkPolicy policy) {
+  std::scoped_lock lock(mu_);
+  links_[link_key(a, b)] = policy;
+}
+
+void Network::set_partitioned(const std::string& a, const std::string& b,
+                              bool partitioned) {
+  std::scoped_lock lock(mu_);
+  auto key = link_key(a, b);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    LinkPolicy policy;
+    policy.latency = default_latency_;
+    policy.up = !partitioned;
+    links_[key] = policy;
+  } else {
+    it->second.up = !partitioned;
+  }
+}
+
+LinkPolicy Network::link(const std::string& a, const std::string& b) const {
+  std::scoped_lock lock(mu_);
+  if (a == b) return LinkPolicy{Duration{0}, 0.0, true};  // loopback
+  auto it = links_.find(link_key(a, b));
+  if (it != links_.end()) return it->second;
+  LinkPolicy policy;
+  policy.latency = default_latency_;
+  return policy;
+}
+
+NetworkStats Network::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+util::Result<Connection> Network::do_connect(Host& from, const Address& to,
+                                             Duration timeout) {
+  Listener* listener = nullptr;
+  LinkPolicy policy = link(from.name(), to.host);
+  if (!policy.up)
+    return util::Error{util::Errc::io_error, "link partitioned"};
+  {
+    std::scoped_lock lock(mu_);
+    auto host_it = hosts_.find(to.host);
+    if (host_it == hosts_.end())
+      return util::Error{util::Errc::not_found, "no such host: " + to.host};
+    Host& target = *host_it->second;
+    if (target.down_.load())
+      return util::Error{util::Errc::unavailable, "host down: " + to.host};
+    std::scoped_lock host_lock(target.mu_);
+    auto lst_it = target.listeners_.find(to.port);
+    if (lst_it == target.listeners_.end())
+      return util::Error{util::Errc::refused,
+                         "connection refused: " + to.to_string()};
+    listener = lst_it->second;
+    stats_.connects++;
+  }
+
+  // Model connection-setup latency (one RTT worth of delay, simplified to
+  // one link latency each way via the sleep below plus the accept path).
+  if (policy.latency.count() > 0) std::this_thread::sleep_for(policy.latency);
+
+  auto state = std::make_shared<detail::ConnState>();
+  state->host_a = from.name();
+  state->host_b = to.host;
+  state->addr_a = Address{from.name(), from.ephemeral_port()};
+  state->addr_b = to;
+  Connection client(state, /*is_a=*/true, this);
+  Connection server(state, /*is_a=*/false, this);
+  if (!listener->pending_.push(std::move(server))) {
+    return util::Error{util::Errc::refused, "listener closed"};
+  }
+  (void)timeout;
+  return client;
+}
+
+util::Status Network::deliver_datagram(const Address& from, const Address& to,
+                                       Frame payload) {
+  LinkPolicy policy = link(from.host, to.host);
+  DatagramSocket* socket = nullptr;
+  {
+    std::scoped_lock lock(mu_);
+    stats_.datagrams_sent++;
+    stats_.bytes_sent += payload.size();
+    if (!policy.up || rng_.next_bool(policy.datagram_loss)) {
+      stats_.datagrams_dropped++;
+      return util::Status::ok_status();  // best-effort: silently dropped
+    }
+    auto host_it = hosts_.find(to.host);
+    if (host_it == hosts_.end() || host_it->second->down_.load()) {
+      stats_.datagrams_dropped++;
+      return util::Status::ok_status();
+    }
+    std::scoped_lock host_lock(host_it->second->mu_);
+    auto sock_it = host_it->second->datagram_sockets_.find(to.port);
+    if (sock_it == host_it->second->datagram_sockets_.end()) {
+      stats_.datagrams_dropped++;
+      return util::Status::ok_status();
+    }
+    socket = sock_it->second;
+    detail::TimedDatagram td{Clock::now() + policy.latency,
+                             Datagram{from, std::move(payload)}};
+    if (!socket->inbox_.push(std::move(td))) stats_.datagrams_dropped++;
+  }
+  return util::Status::ok_status();
+}
+
+void Network::unregister_listener(const Address& address) {
+  std::scoped_lock lock(mu_);
+  auto it = hosts_.find(address.host);
+  if (it == hosts_.end()) return;
+  std::scoped_lock host_lock(it->second->mu_);
+  it->second->listeners_.erase(address.port);
+}
+
+void Network::unregister_datagram(const Address& address) {
+  std::scoped_lock lock(mu_);
+  auto it = hosts_.find(address.host);
+  if (it == hosts_.end()) return;
+  std::scoped_lock host_lock(it->second->mu_);
+  it->second->datagram_sockets_.erase(address.port);
+}
+
+void Network::count_frame(std::size_t bytes) {
+  std::scoped_lock lock(mu_);
+  stats_.frames_sent++;
+  stats_.bytes_sent += bytes;
+}
+
+}  // namespace ace::net

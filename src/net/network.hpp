@@ -1,0 +1,238 @@
+// Simulated network substrate.
+//
+// The paper's ACE testbed ran on a campus LAN of Unix hosts. We reproduce
+// that substrate in-process: named hosts with ports, reliable stream
+// connections (TCP-like, used for the ACE command channel), and best-effort
+// datagram channels (UDP-like, used by daemon data threads for media
+// streaming — paper §2.1.1). Per-link latency, datagram loss, partitions and
+// host crashes are injectable so experiments can reproduce LAN/WAN placement
+// effects and the failure behaviours the architecture is designed around.
+//
+// Thread-safety: all classes here are safe to use from multiple threads;
+// blocking calls always accept timeouts.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/queue.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace ace::net {
+
+using Frame = util::Bytes;
+using Duration = std::chrono::microseconds;
+
+struct Address {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string to_string() const;
+  static std::optional<Address> parse(const std::string& s);  // "host:port"
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+};
+
+// Symmetric per-host-pair link behaviour.
+struct LinkPolicy {
+  Duration latency{0};
+  double datagram_loss = 0.0;  // applies to datagrams only; streams are reliable
+  bool up = true;
+};
+
+struct Datagram {
+  Address from;
+  Frame payload;
+};
+
+struct NetworkStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_dropped = 0;
+  std::uint64_t connects = 0;
+};
+
+class Network;
+class Host;
+
+namespace detail {
+struct TimedFrame {
+  std::chrono::steady_clock::time_point deliver_at;
+  Frame frame;
+};
+
+// Shared state of one established stream connection.
+struct ConnState {
+  util::MessageQueue<TimedFrame> to_a;  // frames travelling towards side A
+  util::MessageQueue<TimedFrame> to_b;
+  std::atomic<bool> closed{false};
+  std::string host_a, host_b;
+  Address addr_a, addr_b;
+};
+
+struct TimedDatagram {
+  std::chrono::steady_clock::time_point deliver_at;
+  Datagram datagram;
+};
+}  // namespace detail
+
+// One endpoint of an established bidirectional stream connection.
+class Connection {
+ public:
+  Connection() = default;
+  Connection(std::shared_ptr<detail::ConnState> state, bool is_a,
+             Network* network);
+
+  bool valid() const { return state_ != nullptr; }
+
+  // Sends one frame. Fails with Errc::closed if either side closed, or
+  // Errc::io_error if the link is partitioned (connection is then dropped,
+  // like a TCP reset).
+  util::Status send(Frame frame);
+
+  // Receives the next frame; std::nullopt on timeout or once the
+  // connection is closed and drained.
+  std::optional<Frame> recv(Duration timeout);
+
+  void close();
+  bool closed() const;
+
+  Address local_address() const;
+  Address peer_address() const;
+
+ private:
+  std::shared_ptr<detail::ConnState> state_;
+  bool is_a_ = false;
+  Network* network_ = nullptr;
+};
+
+// A passive listening socket; accept() yields connections.
+class Listener {
+ public:
+  Listener(Address address, Network* network);
+  ~Listener();
+
+  std::optional<Connection> accept(Duration timeout);
+  void close();
+  const Address& address() const { return address_; }
+
+ private:
+  friend class Network;
+  Address address_;
+  Network* network_;
+  util::MessageQueue<Connection> pending_;
+  std::atomic<bool> open_{true};
+};
+
+// Best-effort datagram endpoint (the daemon data channel).
+class DatagramSocket {
+ public:
+  DatagramSocket(Address address, Network* network);
+  ~DatagramSocket();
+
+  util::Status send_to(const Address& to, Frame payload);
+  std::optional<Datagram> recv(Duration timeout);
+  void close();
+  const Address& address() const { return address_; }
+
+ private:
+  friend class Network;
+  Address address_;
+  Network* network_;
+  util::MessageQueue<detail::TimedDatagram> inbox_;
+  std::atomic<bool> open_{true};
+};
+
+// A simulated machine. Owns its port space. Crashing a host (set_down)
+// refuses new connections and silently drops its datagrams, matching the
+// fail-stop behaviour the ACE lease mechanism (paper §2.4) must detect.
+class Host {
+ public:
+  Host(std::string name, Network* network)
+      : name_(std::move(name)), network_(network) {}
+
+  const std::string& name() const { return name_; }
+
+  // Binds a listener; Errc::conflict if the port is taken.
+  util::Result<std::shared_ptr<Listener>> listen(std::uint16_t port);
+
+  // Binds a datagram socket; port 0 picks an ephemeral port.
+  util::Result<std::shared_ptr<DatagramSocket>> open_datagram(
+      std::uint16_t port = 0);
+
+  // Actively connects to a listener elsewhere in the network.
+  util::Result<Connection> connect(const Address& to, Duration timeout);
+
+  void set_down(bool down) { down_.store(down); }
+  bool down() const { return down_.load(); }
+
+  // Picks a free ephemeral port.
+  std::uint16_t ephemeral_port();
+
+ private:
+  friend class Network;
+  std::string name_;
+  Network* network_;
+  std::atomic<bool> down_{false};
+  std::mutex mu_;
+  std::map<std::uint16_t, Listener*> listeners_;
+  std::map<std::uint16_t, DatagramSocket*> datagram_sockets_;
+  std::uint16_t next_ephemeral_ = 40000;
+};
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Host& add_host(const std::string& name);
+  Host* find_host(const std::string& name);
+
+  // Default latency applied to every pair without an explicit policy.
+  void set_default_latency(Duration latency);
+  // Sets a symmetric policy between two hosts.
+  void set_link(const std::string& a, const std::string& b, LinkPolicy policy);
+  void set_partitioned(const std::string& a, const std::string& b,
+                       bool partitioned);
+  LinkPolicy link(const std::string& a, const std::string& b) const;
+
+  NetworkStats stats() const;
+
+ private:
+  friend class Host;
+  friend class Connection;
+  friend class Listener;
+  friend class DatagramSocket;
+
+  util::Result<Connection> do_connect(Host& from, const Address& to,
+                                      Duration timeout);
+  util::Status deliver_datagram(const Address& from, const Address& to,
+                                Frame payload);
+  void unregister_listener(const Address& address);
+  void unregister_datagram(const Address& address);
+  void count_frame(std::size_t bytes);
+
+  static std::string link_key(const std::string& a, const std::string& b);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Host>> hosts_;
+  std::map<std::string, LinkPolicy> links_;
+  Duration default_latency_{0};
+  util::Rng rng_;
+  NetworkStats stats_;
+};
+
+}  // namespace ace::net

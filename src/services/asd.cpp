@@ -1,0 +1,245 @@
+#include "services/asd.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace ace::services {
+
+using cmdlang::CmdLine;
+using cmdlang::CommandSpec;
+using cmdlang::integer_arg;
+using cmdlang::string_arg;
+using cmdlang::Word;
+using cmdlang::word_arg;
+using daemon::CallerInfo;
+
+namespace {
+daemon::DaemonConfig asd_defaults(daemon::DaemonConfig config) {
+  // The directory itself is infrastructure: it neither registers with
+  // itself nor renews leases anywhere.
+  config.register_with_asd = false;
+  if (config.service_class.empty())
+    config.service_class = "Service/ServiceDirectory";
+  return config;
+}
+}  // namespace
+
+AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                     daemon::DaemonConfig config, AsdOptions options)
+    : ServiceDaemon(env, host, asd_defaults(std::move(config))),
+      options_(options) {
+  register_command(
+      CommandSpec("register", "register a service with a liveness lease")
+          .arg(word_arg("name"))
+          .arg(string_arg("host"))
+          .arg(integer_arg("port").range(1, 65535))
+          .arg(word_arg("room").optional_arg())
+          .arg(string_arg("class").optional_arg())
+          .arg(integer_arg("lease").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        Registration r;
+        r.name = cmd.get_text("name");
+        r.host = cmd.get_text("host");
+        r.port = static_cast<std::uint16_t>(cmd.get_integer("port"));
+        r.room = cmd.get_text("room");
+        r.service_class = cmd.get_text("class");
+        auto requested = std::chrono::milliseconds(
+            cmd.get_integer("lease", options_.max_lease.count()));
+        r.lease = std::clamp(requested, options_.min_lease, options_.max_lease);
+        r.expires = std::chrono::steady_clock::now() + r.lease;
+        {
+          std::scoped_lock lock(mu_);
+          registry_[r.name] = r;
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("lease", static_cast<std::int64_t>(r.lease.count()));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("renew", "renew a service lease").arg(word_arg("name")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        auto it = registry_.find(cmd.get_text("name"));
+        if (it == registry_.end())
+          return cmdlang::make_error(util::Errc::not_found,
+                                     "service not registered");
+        it->second.expires = std::chrono::steady_clock::now() +
+                             it->second.lease;
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("expires_in",
+                  static_cast<std::int64_t>(it->second.lease.count()));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("deregister", "remove a service from the directory")
+          .arg(word_arg("name")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        registry_.erase(cmd.get_text("name"));
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("lookup", "find one service by exact name")
+          .arg(word_arg("name")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        auto it = registry_.find(cmd.get_text("name"));
+        if (it == registry_.end() ||
+            it->second.expires < std::chrono::steady_clock::now())
+          return cmdlang::make_error(util::Errc::not_found,
+                                     "no such service");
+        const Registration& r = it->second;
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("name", Word{r.name});
+        reply.arg("host", r.host);
+        reply.arg("port", static_cast<std::int64_t>(r.port));
+        reply.arg("room", r.room);
+        reply.arg("class", r.service_class);
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("query", "find services by glob patterns")
+          .arg(string_arg("name").optional_arg())
+          .arg(string_arg("class").optional_arg())
+          .arg(string_arg("room").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::string name_glob = cmd.get_text("name", "*");
+        std::string class_glob = cmd.get_text("class", "*");
+        std::string room_glob = cmd.get_text("room", "*");
+        auto now = std::chrono::steady_clock::now();
+        std::vector<std::string> entries;
+        {
+          std::scoped_lock lock(mu_);
+          for (const auto& [name, r] : registry_) {
+            if (r.expires < now) continue;
+            if (!util::glob_match(name_glob, r.name)) continue;
+            if (!util::glob_match(class_glob, r.service_class)) continue;
+            if (!util::glob_match(room_glob, r.room)) continue;
+            entries.push_back(encode_entry(r));
+          }
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("services", cmdlang::string_vector(std::move(entries)));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("count", "number of live registrations"),
+      [this](const CmdLine&, const CallerInfo&) {
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("count", static_cast<std::int64_t>(live_count()));
+        return reply;
+      });
+
+  // Internal: executed by the reaper; exists so lease expiry flows through
+  // the normal notification machinery (§2.5) for watchers.
+  register_command(
+      CommandSpec("serviceExpired", "internal lease-expiry event")
+          .arg(word_arg("name"))
+          .arg(string_arg("class").optional_arg())
+          .arg(string_arg("host").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        registry_.erase(cmd.get_text("name"));
+        return cmdlang::make_ok();
+      });
+}
+
+std::string AsdDaemon::encode_entry(const Registration& r) {
+  return r.name + "|" + r.host + ":" + std::to_string(r.port) + "|" + r.room +
+         "|" + r.service_class;
+}
+
+std::size_t AsdDaemon::live_count() const {
+  auto now = std::chrono::steady_clock::now();
+  std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, r] : registry_)
+    if (r.expires >= now) ++n;
+  return n;
+}
+
+std::optional<AsdDaemon::Registration> AsdDaemon::find_registration(
+    const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  auto it = registry_.find(name);
+  if (it == registry_.end()) return std::nullopt;
+  return it->second;
+}
+
+util::Status AsdDaemon::on_start() {
+  reaper_ = std::jthread([this](std::stop_token st) { reaper_loop(st); });
+  return util::Status::ok_status();
+}
+
+void AsdDaemon::on_stop() { reaper_ = {}; }
+
+void AsdDaemon::reaper_loop(std::stop_token st) {
+  while (!st.stop_requested()) {
+    std::this_thread::sleep_for(options_.reap_interval);
+    auto now = std::chrono::steady_clock::now();
+    std::vector<Registration> expired;
+    {
+      std::scoped_lock lock(mu_);
+      for (const auto& [name, r] : registry_)
+        if (r.expires < now) expired.push_back(r);
+    }
+    for (const Registration& r : expired) {
+      CmdLine event("serviceExpired");
+      event.arg("name", Word{r.name});
+      event.arg("class", r.service_class);
+      event.arg("host", r.host + ":" + std::to_string(r.port));
+      // Runs the registered handler (removes the entry) and fires any
+      // `serviceExpired` notifications.
+      (void)execute(event, CallerInfo{"svc/" + config().name, address()});
+      net_log("warn", "lease expired for service '" + r.name + "'");
+    }
+  }
+}
+
+util::Result<ServiceLocation> asd_lookup(daemon::AceClient& client,
+                                         const net::Address& asd,
+                                         const std::string& name) {
+  CmdLine cmd("lookup");
+  cmd.arg("name", Word{name});
+  auto reply = client.call_ok(asd, cmd);
+  if (!reply.ok()) return reply.error();
+  ServiceLocation loc;
+  loc.name = reply->get_text("name");
+  loc.address.host = reply->get_text("host");
+  loc.address.port = static_cast<std::uint16_t>(reply->get_integer("port"));
+  loc.room = reply->get_text("room");
+  loc.service_class = reply->get_text("class");
+  return loc;
+}
+
+util::Result<std::vector<ServiceLocation>> asd_query(
+    daemon::AceClient& client, const net::Address& asd,
+    const std::string& name_glob, const std::string& class_glob,
+    const std::string& room_glob) {
+  CmdLine cmd("query");
+  cmd.arg("name", name_glob);
+  cmd.arg("class", class_glob);
+  cmd.arg("room", room_glob);
+  auto reply = client.call_ok(asd, cmd);
+  if (!reply.ok()) return reply.error();
+  std::vector<ServiceLocation> out;
+  if (auto vec = reply->get_vector("services")) {
+    for (const auto& elem : vec->elements) {
+      if (!elem.is_string() && !elem.is_word()) continue;
+      auto parts = util::split(elem.as_text(), '|');
+      if (parts.size() != 4) continue;
+      auto addr = net::Address::parse(parts[1]);
+      if (!addr) continue;
+      out.push_back(ServiceLocation{parts[0], *addr, parts[2], parts[3]});
+    }
+  }
+  return out;
+}
+
+}  // namespace ace::services

@@ -1,0 +1,84 @@
+// ASD — the ACE Service Directory (paper §2.4, Fig 7): "a central listing
+// or directory of services currently available and running within the ACE
+// environment", with lease-based liveness:
+//
+//   "Upon registration with the ASD, each ACE service is given a lease time
+//    for which they'll be allowed to remain within the ASD listing. If a
+//    registered service fails to renew its service lease with the ASD upon
+//    lease time expiration, this service shall automatically be removed."
+//
+// Command set:
+//   register name= host= port= room= class= lease=;   -> ok lease=granted_ms
+//   renew name=;                                      -> ok expires_in=
+//   deregister name=;                                 -> ok
+//   lookup name=;                                     -> ok host= port= ...
+//   query name=<glob>? class=<glob>? room=<glob>?;    -> ok services={...}
+//   count;                                            -> ok count=
+//
+// Expiry fires the internal `serviceExpired name=;` command, so any service
+// may addNotification on `register`, `deregister` or `serviceExpired` —
+// this is what the Robustness Manager (src/store) listens to.
+#pragma once
+
+#include <map>
+#include <thread>
+
+#include "daemon/daemon.hpp"
+
+namespace ace::services {
+
+struct AsdOptions {
+  std::chrono::milliseconds min_lease{200};
+  std::chrono::milliseconds max_lease{60000};
+  std::chrono::milliseconds reap_interval{50};
+};
+
+class AsdDaemon : public daemon::ServiceDaemon {
+ public:
+  struct Registration {
+    std::string name;
+    std::string host;
+    std::uint16_t port = 0;
+    std::string room;
+    std::string service_class;
+    std::chrono::milliseconds lease{0};
+    std::chrono::steady_clock::time_point expires;
+  };
+
+  AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+            daemon::DaemonConfig config, AsdOptions options = {});
+
+  std::size_t live_count() const;
+  std::optional<Registration> find_registration(const std::string& name) const;
+
+ protected:
+  util::Status on_start() override;
+  void on_stop() override;
+
+ private:
+  void reaper_loop(std::stop_token st);
+  static std::string encode_entry(const Registration& r);
+
+  AsdOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Registration> registry_;
+  std::jthread reaper_;
+};
+
+// Convenience client helpers used across services, examples and benches.
+struct ServiceLocation {
+  std::string name;
+  net::Address address;
+  std::string room;
+  std::string service_class;
+};
+
+util::Result<ServiceLocation> asd_lookup(daemon::AceClient& client,
+                                         const net::Address& asd,
+                                         const std::string& name);
+util::Result<std::vector<ServiceLocation>> asd_query(
+    daemon::AceClient& client, const net::Address& asd,
+    const std::string& name_glob, const std::string& class_glob,
+    const std::string& room_glob);
+
+}  // namespace ace::services

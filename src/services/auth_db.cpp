@@ -1,0 +1,116 @@
+#include "services/auth_db.hpp"
+
+#include "keynote/expr.hpp"
+
+namespace ace::services {
+
+using cmdlang::CmdLine;
+using cmdlang::CommandSpec;
+using cmdlang::string_arg;
+using daemon::CallerInfo;
+
+namespace {
+daemon::DaemonConfig auth_db_defaults(daemon::DaemonConfig config) {
+  if (config.service_class.empty())
+    config.service_class = "Service/Database/AuthorizationDatabase";
+  // The authorization database cannot gate its own reads on itself.
+  config.enforce_authorization = false;
+  return config;
+}
+}  // namespace
+
+AuthDbDaemon::AuthDbDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                           daemon::DaemonConfig config)
+    : ServiceDaemon(env, host, auth_db_defaults(std::move(config))) {
+  register_command(
+      CommandSpec("credAdd", "store a credential assertion for a principal")
+          .arg(string_arg("principal"))
+          .arg(string_arg("assertion")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto parsed = keynote::Assertion::parse(cmd.get_text("assertion"));
+        if (!parsed.ok())
+          return cmdlang::make_error(parsed.error().code,
+                                     parsed.error().message);
+        if (auto s = add_credential(cmd.get_text("principal"),
+                                    parsed.value());
+            !s.ok())
+          return cmdlang::make_error(s.error().code, s.error().message);
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("credRemove", "drop all credentials of a principal")
+          .arg(string_arg("principal")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        credentials_.erase(cmd.get_text("principal"));
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("getCredentials",
+                  "fetch the credential assertions for a principal")
+          .arg(string_arg("principal")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        CmdLine reply = cmdlang::make_ok();
+        std::scoped_lock lock(mu_);
+        auto it = credentials_.find(cmd.get_text("principal"));
+        std::vector<std::string> creds =
+            it == credentials_.end() ? std::vector<std::string>{}
+                                     : it->second;
+        reply.arg("credentials", cmdlang::string_vector(std::move(creds)));
+        return reply;
+      });
+
+  register_command(CommandSpec("credCount", "total stored credentials"),
+                   [this](const CmdLine&, const CallerInfo&) {
+                     CmdLine reply = cmdlang::make_ok();
+                     reply.arg("count", static_cast<std::int64_t>(
+                                            credential_count()));
+                     return reply;
+                   });
+}
+
+util::Status AuthDbDaemon::add_credential(const std::string& principal,
+                                          const keynote::Assertion& a) {
+  if (a.is_policy())
+    return {util::Errc::invalid, "POLICY assertions are not credentials"};
+  if (auto s = keynote::ConditionEvaluator::check_syntax(a.conditions);
+      !s.ok())
+    return s;
+  if (!env().keys().verify(a))
+    return {util::Errc::auth_error, "credential signature invalid"};
+  std::scoped_lock lock(mu_);
+  credentials_[principal].push_back(a.serialize());
+  return util::Status::ok_status();
+}
+
+std::size_t AuthDbDaemon::credential_count() const {
+  std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [p, v] : credentials_) n += v.size();
+  return n;
+}
+
+util::Status grant_credential(daemon::AceClient& client,
+                              const net::Address& auth_db,
+                              daemon::Environment& env,
+                              const std::string& authorizer,
+                              const std::string& licensee,
+                              const std::string& conditions,
+                              const std::string& comment) {
+  keynote::Assertion a;
+  a.authorizer = authorizer;
+  a.licensees = keynote::licensee_key(licensee);
+  a.conditions = conditions;
+  a.comment = comment;
+  if (auto s = env.keys().sign(a); !s.ok()) return s;
+  CmdLine cmd("credAdd");
+  cmd.arg("principal", licensee);
+  cmd.arg("assertion", a.serialize());
+  auto reply = client.call_ok(auth_db, cmd);
+  if (!reply.ok()) return reply.error();
+  return util::Status::ok_status();
+}
+
+}  // namespace ace::services

@@ -1,0 +1,47 @@
+// ACE Authorization Database service (paper §4.10, Fig 10): stores KeyNote
+// credential assertions per principal and serves them to daemons verifying
+// client trust. Assertions are syntax- and signature-checked on insertion.
+//
+// Command set:
+//   credAdd principal= assertion=;        (assertion = serialized KeyNote text)
+//   credRemove principal=;                (drops all credentials of principal)
+//   getCredentials principal=;            -> ok credentials={...}
+//   credCount;                            -> ok count=
+#pragma once
+
+#include <map>
+
+#include "daemon/daemon.hpp"
+#include "keynote/assertion.hpp"
+
+namespace ace::services {
+
+class AuthDbDaemon : public daemon::ServiceDaemon {
+ public:
+  AuthDbDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+               daemon::DaemonConfig config);
+
+  std::size_t credential_count() const;
+
+  // In-process insertion used during environment bootstrap (signs nothing;
+  // the assertion must already carry a valid signature).
+  util::Status add_credential(const std::string& principal,
+                              const keynote::Assertion& assertion);
+
+ private:
+  mutable std::mutex mu_;
+  // principal -> serialized credential assertions naming it as a licensee
+  std::map<std::string, std::vector<std::string>> credentials_;
+};
+
+// Helper: build + sign a credential "authorizer delegates `conditions` to
+// licensee" and store it at the Authorization DB via command.
+util::Status grant_credential(daemon::AceClient& client,
+                              const net::Address& auth_db,
+                              daemon::Environment& env,
+                              const std::string& authorizer,
+                              const std::string& licensee,
+                              const std::string& conditions,
+                              const std::string& comment = {});
+
+}  // namespace ace::services

@@ -1,0 +1,215 @@
+#include "services/launchers.hpp"
+
+#include "services/asd.hpp"
+
+namespace ace::services {
+
+using cmdlang::CmdLine;
+using cmdlang::CommandSpec;
+using cmdlang::integer_arg;
+using cmdlang::real_arg;
+using cmdlang::string_arg;
+using cmdlang::Word;
+using cmdlang::word_arg;
+using daemon::CallerInfo;
+
+namespace {
+daemon::DaemonConfig hal_defaults(daemon::DaemonConfig config) {
+  if (config.service_class.empty())
+    config.service_class = "Service/Launcher/HAL";
+  return config;
+}
+daemon::DaemonConfig sal_defaults(daemon::DaemonConfig config) {
+  if (config.service_class.empty())
+    config.service_class = "Service/Launcher/SAL";
+  return config;
+}
+}  // namespace
+
+HalDaemon::HalDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                     daemon::DaemonConfig config)
+    : ServiceDaemon(env, host, hal_defaults(std::move(config))) {
+  register_command(
+      CommandSpec("halLaunch", "run an application on this host")
+          .arg(string_arg("command"))
+          .arg(real_arg("cpu").optional_arg().range_real(0.0, 16.0))
+          .arg(integer_arg("mem").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        int pid = this->host().launch_process(
+            cmd.get_text("command"), cmd.get_real("cpu", 0.1),
+            static_cast<std::uint64_t>(cmd.get_integer("mem", 1024)));
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("pid", static_cast<std::int64_t>(pid));
+        reply.arg("host", this->host().name());
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("halKill", "terminate a launched application")
+          .arg(integer_arg("pid")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        if (!this->host().kill_process(
+                static_cast<int>(cmd.get_integer("pid"))))
+          return cmdlang::make_error(util::Errc::not_found,
+                                     "no such running process");
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("halRunning", "is a pid still running?")
+          .arg(integer_arg("pid")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("running",
+                  Word{this->host().process_running(
+                           static_cast<int>(cmd.get_integer("pid")))
+                           ? "yes"
+                           : "no"});
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("halList", "list processes on this host"),
+      [this](const CmdLine&, const CallerInfo&) {
+        std::vector<std::string> rows;
+        for (const daemon::ProcessInfo& p : this->host().processes()) {
+          if (!p.running) continue;
+          rows.push_back(std::to_string(p.pid) + "|" + p.command);
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("processes", cmdlang::string_vector(std::move(rows)));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("halLaunchService",
+                  "start a registered launchable service on this host")
+          .arg(word_arg("name")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        ServiceLauncher launcher;
+        {
+          std::scoped_lock lock(mu_);
+          auto it = launchables_.find(cmd.get_text("name"));
+          if (it == launchables_.end())
+            return cmdlang::make_error(util::Errc::not_found,
+                                       "no such launchable service");
+          launcher = it->second;
+        }
+        if (auto s = launcher(); !s.ok())
+          return cmdlang::make_error(s.error().code, s.error().message);
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("host", this->host().name());
+        return reply;
+      });
+}
+
+void HalDaemon::register_launchable(const std::string& name,
+                                    ServiceLauncher launcher) {
+  std::scoped_lock lock(mu_);
+  launchables_[name] = std::move(launcher);
+}
+
+// ---------------------------------------------------------------------- SAL
+
+SalDaemon::SalDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                     daemon::DaemonConfig config)
+    : ServiceDaemon(env, host, sal_defaults(std::move(config))) {
+  register_command(
+      CommandSpec("salLaunch", "launch an application somewhere in the ACE")
+          .arg(string_arg("command"))
+          .arg(real_arg("cpu").optional_arg().range_real(0.0, 16.0))
+          .arg(integer_arg("mem").optional_arg())
+          .arg(word_arg("policy")
+                   .optional_arg()
+                   .choices({"least_loaded", "random", "first"}))
+          .arg(string_arg("host").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::string target = cmd.get_text("host");
+        if (target.empty()) {
+          auto chosen =
+              choose_host(cmd.get_real("cpu", 0.1), cmd.get_integer("mem", 0),
+                          cmd.get_text("policy", "least_loaded"));
+          if (!chosen.ok())
+            return cmdlang::make_error(chosen.error().code,
+                                       chosen.error().message);
+          target = chosen.value();
+        }
+        auto hal = hal_on(target);
+        if (!hal.ok())
+          return cmdlang::make_error(hal.error().code, hal.error().message);
+        CmdLine launch("halLaunch");
+        launch.arg("command", cmd.get_text("command"));
+        launch.arg("cpu", cmd.get_real("cpu", 0.1));
+        launch.arg("mem", cmd.get_integer("mem", 1024));
+        auto reply = control_client().call_ok(hal.value(), launch);
+        if (!reply.ok())
+          return cmdlang::make_error(reply.error().code,
+                                     reply.error().message);
+        CmdLine out = cmdlang::make_ok();
+        out.arg("host", target);
+        out.arg("pid", reply->get_integer("pid"));
+        return out;
+      });
+
+  register_command(
+      CommandSpec("salLaunchService",
+                  "start a launchable service, optionally on a given host")
+          .arg(word_arg("name"))
+          .arg(string_arg("host").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::string target = cmd.get_text("host");
+        if (target.empty()) {
+          auto chosen = choose_host(0.1, 0, "least_loaded");
+          if (!chosen.ok())
+            return cmdlang::make_error(chosen.error().code,
+                                       chosen.error().message);
+          target = chosen.value();
+        }
+        auto hal = hal_on(target);
+        if (!hal.ok())
+          return cmdlang::make_error(hal.error().code, hal.error().message);
+        CmdLine launch("halLaunchService");
+        launch.arg("name", Word{cmd.get_text("name")});
+        auto reply = control_client().call_ok(hal.value(), launch);
+        if (!reply.ok())
+          return cmdlang::make_error(reply.error().code,
+                                     reply.error().message);
+        CmdLine out = cmdlang::make_ok();
+        out.arg("host", target);
+        return out;
+      });
+}
+
+util::Result<net::Address> SalDaemon::hal_on(const std::string& host_name) {
+  auto hals = asd_query(control_client(), env().asd_address, "*",
+                        "Service/Launcher/HAL*", "*");
+  if (!hals.ok()) return hals.error();
+  for (const ServiceLocation& loc : hals.value())
+    if (loc.address.host == host_name) return loc.address;
+  return util::Error{util::Errc::not_found,
+                     "no HAL on host '" + host_name + "'"};
+}
+
+util::Result<std::string> SalDaemon::choose_host(double cpu, std::int64_t mem,
+                                                 const std::string& policy) {
+  // Preferred path: ask the SRM (Fig 11).
+  auto srms = asd_query(control_client(), env().asd_address, "*",
+                        "Service/Monitor/SRM*", "*");
+  if (srms.ok() && !srms->empty()) {
+    CmdLine pick("srmPickHost");
+    pick.arg("cpu", cpu);
+    pick.arg("mem", mem);
+    pick.arg("policy", Word{policy});
+    auto reply = control_client().call_ok(srms->front().address, pick);
+    if (reply.ok()) return reply->get_text("host");
+  }
+  // Fallback: any host that runs a HAL.
+  auto hals = asd_query(control_client(), env().asd_address, "*",
+                        "Service/Launcher/HAL*", "*");
+  if (!hals.ok()) return hals.error();
+  if (hals->empty())
+    return util::Error{util::Errc::unavailable, "no HALs registered"};
+  return hals->front().address.host;
+}
+
+}  // namespace ace::services

@@ -1,0 +1,56 @@
+// HAL and SAL — the application launchers (paper §4.3/§4.4).
+//
+// HAL (Host Application Launcher) "simply runs the requested program on a
+// selected host utilizing the host's local resources" — here, entries in
+// the DaemonHost process table, plus registered *service launchables*: named
+// factory callbacks that (re)create service daemons on this host, which is
+// how the Robustness Manager restarts dead restart/robust services (Ch 9).
+//
+// SAL (System Application Launcher) "finds an appropriate HAL to launch the
+// application (randomly or by resource allocation by communicating with the
+// SRM) and delegates that responsibility to that chosen HAL".
+//
+// HAL commands: halLaunch command= cpu=? mem=?;      -> ok pid=
+//               halKill pid=;  halRunning pid=;  halList;
+//               halLaunchService name=;              -> ok
+// SAL commands: salLaunch command= cpu=? mem=? policy=? host=?;
+//                                                    -> ok host= pid=
+//               salLaunchService name= host=?;       -> ok host=
+#pragma once
+
+#include <functional>
+
+#include "daemon/daemon.hpp"
+#include "daemon/host.hpp"
+
+namespace ace::services {
+
+class HalDaemon : public daemon::ServiceDaemon {
+ public:
+  using ServiceLauncher = std::function<util::Status()>;
+
+  HalDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+            daemon::DaemonConfig config);
+
+  // Registers a named factory that can (re)start a service on this host.
+  void register_launchable(const std::string& name, ServiceLauncher launcher);
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, ServiceLauncher> launchables_;
+};
+
+class SalDaemon : public daemon::ServiceDaemon {
+ public:
+  SalDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+            daemon::DaemonConfig config);
+
+ private:
+  // Finds the HAL on `host_name` through the ASD.
+  util::Result<net::Address> hal_on(const std::string& host_name);
+  // Asks the SRM to choose a host; falls back to any HAL if no SRM.
+  util::Result<std::string> choose_host(double cpu, std::int64_t mem,
+                                        const std::string& policy);
+};
+
+}  // namespace ace::services

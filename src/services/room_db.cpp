@@ -1,0 +1,240 @@
+#include "services/room_db.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace ace::services {
+
+using cmdlang::CmdLine;
+using cmdlang::CommandSpec;
+using cmdlang::integer_arg;
+using cmdlang::real_arg;
+using cmdlang::string_arg;
+using cmdlang::Word;
+using cmdlang::word_arg;
+using daemon::CallerInfo;
+
+namespace {
+daemon::DaemonConfig room_db_defaults(daemon::DaemonConfig config) {
+  config.register_with_room_db = false;  // it *is* the room database
+  if (config.service_class.empty())
+    config.service_class = "Service/Database/RoomDatabase";
+  return config;
+}
+}  // namespace
+
+RoomDbDaemon::RoomDbDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                           daemon::DaemonConfig config)
+    : ServiceDaemon(env, host, room_db_defaults(std::move(config))) {
+  register_command(
+      CommandSpec("roomCreate", "create or update a room record")
+          .arg(word_arg("room"))
+          .arg(string_arg("building").optional_arg())
+          .arg(real_arg("width").optional_arg())
+          .arg(real_arg("depth").optional_arg())
+          .arg(real_arg("height").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        RoomInfo& room = rooms_[cmd.get_text("room")];
+        room.name = cmd.get_text("room");
+        if (cmd.has("building")) room.building = cmd.get_text("building");
+        if (cmd.has("width")) room.width = cmd.get_real("width");
+        if (cmd.has("depth")) room.depth = cmd.get_real("depth");
+        if (cmd.has("height")) room.height = cmd.get_real("height");
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("roomAddService", "record a service's room placement")
+          .arg(word_arg("room"))
+          .arg(word_arg("name"))
+          .arg(string_arg("host"))
+          .arg(integer_arg("port").range(1, 65535))
+          .arg(string_arg("class").optional_arg())
+          .arg(real_arg("x").optional_arg())
+          .arg(real_arg("y").optional_arg())
+          .arg(real_arg("z").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        std::string room_name = cmd.get_text("room");
+        RoomInfo& room = rooms_[room_name];  // rooms auto-create on first use
+        if (room.name.empty()) room.name = room_name;
+        PlacedService svc;
+        svc.name = cmd.get_text("name");
+        svc.host = cmd.get_text("host");
+        svc.port = static_cast<std::uint16_t>(cmd.get_integer("port"));
+        svc.service_class = cmd.get_text("class");
+        if (cmd.has("x") || cmd.has("y") || cmd.has("z")) {
+          svc.x = cmd.get_real("x");
+          svc.y = cmd.get_real("y");
+          svc.z = cmd.get_real("z");
+          svc.located = true;
+        }
+        room.services[svc.name] = std::move(svc);
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("roomRemoveService", "remove a service from a room")
+          .arg(word_arg("room"))
+          .arg(word_arg("name")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        auto it = rooms_.find(cmd.get_text("room"));
+        if (it != rooms_.end()) it->second.services.erase(cmd.get_text("name"));
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("roomSetLocation", "place a service in room coordinates")
+          .arg(word_arg("room"))
+          .arg(word_arg("name"))
+          .arg(real_arg("x"))
+          .arg(real_arg("y"))
+          .arg(real_arg("z").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        auto it = rooms_.find(cmd.get_text("room"));
+        if (it == rooms_.end())
+          return cmdlang::make_error(util::Errc::not_found, "no such room");
+        auto svc = it->second.services.find(cmd.get_text("name"));
+        if (svc == it->second.services.end())
+          return cmdlang::make_error(util::Errc::not_found,
+                                     "service not in room");
+        svc->second.x = cmd.get_real("x");
+        svc->second.y = cmd.get_real("y");
+        svc->second.z = cmd.get_real("z");
+        svc->second.located = true;
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("roomServices", "list services placed in a room")
+          .arg(word_arg("room")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        auto it = rooms_.find(cmd.get_text("room"));
+        if (it == rooms_.end())
+          return cmdlang::make_error(util::Errc::not_found, "no such room");
+        std::vector<std::string> entries;
+        for (const auto& [name, s] : it->second.services)
+          entries.push_back(name + "|" + s.host + ":" +
+                            std::to_string(s.port) + "|" + s.service_class);
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("services", cmdlang::string_vector(std::move(entries)));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("roomInfo", "room metadata and dimensions")
+          .arg(word_arg("room")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        auto it = rooms_.find(cmd.get_text("room"));
+        if (it == rooms_.end())
+          return cmdlang::make_error(util::Errc::not_found, "no such room");
+        const RoomInfo& r = it->second;
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("room", Word{r.name});
+        reply.arg("building", r.building);
+        reply.arg("width", r.width);
+        reply.arg("depth", r.depth);
+        reply.arg("height", r.height);
+        reply.arg("service_count",
+                  static_cast<std::int64_t>(r.services.size()));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("roomOfService", "find which room a service lives in")
+          .arg(word_arg("name")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        std::string name = cmd.get_text("name");
+        for (const auto& [room_name, room] : rooms_) {
+          auto it = room.services.find(name);
+          if (it != room.services.end()) {
+            CmdLine reply = cmdlang::make_ok();
+            reply.arg("room", Word{room_name});
+            if (it->second.located) {
+              reply.arg("x", it->second.x);
+              reply.arg("y", it->second.y);
+              reply.arg("z", it->second.z);
+            }
+            return reply;
+          }
+        }
+        return cmdlang::make_error(util::Errc::not_found,
+                                   "service not placed in any room");
+      });
+
+  // Ch 9 task-automation support ("properly executing the command 'print
+  // this out to the nearest printer'"): nearest service of a class to a
+  // point in a room, by 3D distance over the room's coordinate frame.
+  register_command(
+      CommandSpec("roomNearestService",
+                  "nearest located service of a class to a point")
+          .arg(word_arg("room"))
+          .arg(string_arg("class"))
+          .arg(real_arg("x"))
+          .arg(real_arg("y"))
+          .arg(real_arg("z").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        auto it = rooms_.find(cmd.get_text("room"));
+        if (it == rooms_.end())
+          return cmdlang::make_error(util::Errc::not_found, "no such room");
+        std::string class_glob = cmd.get_text("class");
+        double x = cmd.get_real("x");
+        double y = cmd.get_real("y");
+        double z = cmd.get_real("z");
+        const PlacedService* best = nullptr;
+        double best_d2 = 1e300;
+        for (const auto& [name, svc] : it->second.services) {
+          if (!svc.located) continue;
+          if (!util::glob_match(class_glob, svc.service_class)) continue;
+          double dx = svc.x - x, dy = svc.y - y, dz = svc.z - z;
+          double d2 = dx * dx + dy * dy + dz * dz;
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = &svc;
+          }
+        }
+        if (!best)
+          return cmdlang::make_error(util::Errc::not_found,
+                                     "no located service matches");
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("name", Word{best->name});
+        reply.arg("host", best->host);
+        reply.arg("port", static_cast<std::int64_t>(best->port));
+        reply.arg("distance", std::sqrt(best_d2));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("roomList", "list all known rooms"),
+      [this](const CmdLine&, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        std::vector<std::string> names;
+        for (const auto& [name, room] : rooms_) names.push_back(name);
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("rooms", cmdlang::string_vector(std::move(names)));
+        return reply;
+      });
+}
+
+std::optional<RoomDbDaemon::RoomInfo> RoomDbDaemon::room(
+    const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  auto it = rooms_.find(name);
+  if (it == rooms_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t RoomDbDaemon::room_count() const {
+  std::scoped_lock lock(mu_);
+  return rooms_.size();
+}
+
+}  // namespace ace::services

@@ -1,0 +1,51 @@
+// ACE Room Database service (paper §4.11): spatial awareness for services —
+// buildings, rooms, room dimensions (a 3D coordinate frame for device
+// control such as pointing cameras), and which services live where.
+//
+// Command set:
+//   roomCreate room= building=? width=? depth=? height=?;
+//   roomAddService room= name= host= port= class=? x=? y=? z=?;
+//   roomRemoveService room= name=;
+//   roomSetLocation room= name= x= y= z=?;       (place a device in 3D)
+//   roomServices room=;                          -> ok services={...}
+//   roomInfo room=;                              -> ok building= width= ...
+//   roomOfService name=;                         -> ok room=
+//   roomList;                                    -> ok rooms={...}
+#pragma once
+
+#include <map>
+
+#include "daemon/daemon.hpp"
+
+namespace ace::services {
+
+class RoomDbDaemon : public daemon::ServiceDaemon {
+ public:
+  struct PlacedService {
+    std::string name;
+    std::string host;
+    std::uint16_t port = 0;
+    std::string service_class;
+    double x = 0.0, y = 0.0, z = 0.0;
+    bool located = false;
+  };
+
+  struct RoomInfo {
+    std::string name;
+    std::string building;
+    double width = 0.0, depth = 0.0, height = 0.0;
+    std::map<std::string, PlacedService> services;
+  };
+
+  RoomDbDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+               daemon::DaemonConfig config);
+
+  std::optional<RoomInfo> room(const std::string& name) const;
+  std::size_t room_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, RoomInfo> rooms_;
+};
+
+}  // namespace ace::services

@@ -1,0 +1,308 @@
+#include "services/streaming.hpp"
+
+namespace ace::services {
+
+using cmdlang::CmdLine;
+using cmdlang::CommandSpec;
+using cmdlang::string_arg;
+using cmdlang::Word;
+using cmdlang::word_arg;
+using daemon::CallerInfo;
+
+namespace {
+
+daemon::DaemonConfig converter_defaults(daemon::DaemonConfig config) {
+  config.open_data_channel = true;
+  if (config.service_class.empty())
+    config.service_class = "Service/Stream/Converter";
+  return config;
+}
+daemon::DaemonConfig distribution_defaults(daemon::DaemonConfig config) {
+  config.open_data_channel = true;
+  if (config.service_class.empty())
+    config.service_class = "Service/Stream/Distribution";
+  return config;
+}
+
+const std::vector<std::string> kConversionPairs = {
+    "raw_pcm>adpcm", "adpcm>raw_pcm", "raw_video>rle_video",
+    "rle_video>raw_video", "raw_pcm>raw_pcm"};
+
+bool conversion_supported(const std::string& from, const std::string& to) {
+  for (const std::string& pair : kConversionPairs)
+    if (pair == from + ">" + to) return true;
+  return false;
+}
+
+}  // namespace
+
+util::Bytes MediaPacket::serialize() const {
+  util::ByteWriter w;
+  w.str(stream);
+  w.u32(sequence);
+  w.str(format);
+  w.blob(payload);
+  return w.take();
+}
+
+std::optional<MediaPacket> MediaPacket::parse(const util::Bytes& data) {
+  util::ByteReader r(data);
+  MediaPacket p;
+  auto stream = r.str();
+  auto seq = r.u32();
+  auto format = r.str();
+  auto payload = r.blob();
+  if (!stream || !seq || !format || !payload) return std::nullopt;
+  p.stream = std::move(*stream);
+  p.sequence = *seq;
+  p.format = std::move(*format);
+  p.payload = std::move(*payload);
+  return p;
+}
+
+std::optional<std::string> peek_stream_tag(const util::Bytes& data) {
+  util::ByteReader r(data);
+  return r.str();
+}
+
+// ------------------------------------------------------------------ Converter
+
+ConverterDaemon::ConverterDaemon(daemon::Environment& env,
+                                 daemon::DaemonHost& host,
+                                 daemon::DaemonConfig config)
+    : ServiceDaemon(env, host, converter_defaults(std::move(config))) {
+  register_command(
+      CommandSpec("convRoute", "install a conversion route for a stream")
+          .arg(string_arg("stream"))
+          .arg(word_arg("from"))
+          .arg(word_arg("to"))
+          .arg(string_arg("dest")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::string from = cmd.get_text("from");
+        std::string to = cmd.get_text("to");
+        if (!conversion_supported(from, to))
+          return cmdlang::make_error(util::Errc::invalid,
+                                     "unsupported conversion " + from + ">" +
+                                         to);
+        auto dest = net::Address::parse(cmd.get_text("dest"));
+        if (!dest)
+          return cmdlang::make_error(util::Errc::invalid,
+                                     "dest must be host:port");
+        Route route;
+        route.from = from;
+        route.to = to;
+        route.dest = *dest;
+        std::scoped_lock lock(mu_);
+        routes_[cmd.get_text("stream")] = std::move(route);
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("convFormats", "list supported conversions"),
+      [](const CmdLine&, const CallerInfo&) {
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("pairs", cmdlang::string_vector(kConversionPairs));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("convStats", "per-stream conversion statistics")
+          .arg(string_arg("stream")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto stats = route_stats(cmd.get_text("stream"));
+        if (!stats)
+          return cmdlang::make_error(util::Errc::not_found, "no such route");
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("packets", static_cast<std::int64_t>(stats->packets));
+        reply.arg("in_bytes", static_cast<std::int64_t>(stats->in_bytes));
+        reply.arg("out_bytes", static_cast<std::int64_t>(stats->out_bytes));
+        return reply;
+      });
+}
+
+util::Result<util::Bytes> ConverterDaemon::convert(
+    Route& route, const util::Bytes& payload) {
+  const std::string& from = route.from;
+  const std::string& to = route.to;
+  if (from == to) return payload;
+
+  if (from == "raw_pcm" && to == "adpcm") {
+    // payload = i16 little-endian samples
+    std::vector<std::int16_t> pcm(payload.size() / 2);
+    for (std::size_t i = 0; i < pcm.size(); ++i)
+      pcm[i] = static_cast<std::int16_t>(
+          static_cast<std::uint16_t>(payload[2 * i]) |
+          static_cast<std::uint16_t>(payload[2 * i + 1]) << 8);
+    util::ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(pcm.size()));
+    w.raw(media::adpcm_encode(pcm, route.adpcm_encode_state));
+    return w.take();
+  }
+  if (from == "adpcm" && to == "raw_pcm") {
+    util::ByteReader r(payload);
+    auto count = r.u32();
+    if (!count) return util::Error{util::Errc::parse_error, "bad adpcm"};
+    auto rest = r.raw(r.remaining());
+    std::vector<std::int16_t> pcm =
+        media::adpcm_decode(*rest, *count, route.adpcm_decode_state);
+    util::ByteWriter w;
+    for (std::int16_t s : pcm) w.i16(s);
+    return w.take();
+  }
+  if (from == "raw_video" && to == "rle_video") {
+    util::ByteReader r(payload);
+    auto width = r.u32();
+    auto height = r.u32();
+    if (!width || !height)
+      return util::Error{util::Errc::parse_error, "bad video header"};
+    auto pixels = r.raw(static_cast<std::size_t>(*width) * *height);
+    if (!pixels) return util::Error{util::Errc::parse_error, "short video"};
+    media::VideoFrame frame;
+    frame.width = static_cast<int>(*width);
+    frame.height = static_cast<int>(*height);
+    frame.pixels = std::move(*pixels);
+    util::Bytes encoded = media::rle_video_encode(
+        frame, route.has_reference ? &route.reference : nullptr);
+    route.reference = std::move(frame);
+    route.has_reference = true;
+    return encoded;
+  }
+  if (from == "rle_video" && to == "raw_video") {
+    auto frame = media::rle_video_decode(
+        payload, route.has_reference ? &route.reference : nullptr);
+    if (!frame)
+      return util::Error{util::Errc::parse_error, "undecodable rle video"};
+    util::ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(frame->width));
+    w.u32(static_cast<std::uint32_t>(frame->height));
+    w.raw(frame->pixels);
+    route.reference = std::move(*frame);
+    route.has_reference = true;
+    return w.take();
+  }
+  return util::Error{util::Errc::invalid, "unsupported conversion"};
+}
+
+void ConverterDaemon::on_datagram(const net::Datagram& datagram) {
+  auto packet = MediaPacket::parse(datagram.payload);
+  if (!packet) return;
+  std::optional<net::Address> dest;
+  util::Bytes out_wire;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = routes_.find(packet->stream);
+    if (it == routes_.end()) return;
+    Route& route = it->second;
+    if (packet->format != route.from) return;
+    auto converted = convert(route, packet->payload);
+    if (!converted.ok()) return;
+    MediaPacket out;
+    out.stream = packet->stream;
+    out.sequence = packet->sequence;
+    out.format = route.to;
+    out.payload = std::move(converted.value());
+    out_wire = out.serialize();
+    route.stats.packets++;
+    route.stats.in_bytes += packet->payload.size();
+    route.stats.out_bytes += out.payload.size();
+    dest = route.dest;
+  }
+  if (dest) (void)send_datagram(*dest, std::move(out_wire));
+}
+
+std::optional<ConverterDaemon::RouteStats> ConverterDaemon::route_stats(
+    const std::string& stream) const {
+  std::scoped_lock lock(mu_);
+  auto it = routes_.find(stream);
+  if (it == routes_.end()) return std::nullopt;
+  return it->second.stats;
+}
+
+// --------------------------------------------------------------- Distribution
+
+DistributionDaemon::DistributionDaemon(daemon::Environment& env,
+                                       daemon::DaemonHost& host,
+                                       daemon::DaemonConfig config)
+    : ServiceDaemon(env, host, distribution_defaults(std::move(config))) {
+  register_command(
+      CommandSpec("distAddSink", "forward a stream to another service")
+          .arg(string_arg("stream"))
+          .arg(string_arg("dest")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto dest = net::Address::parse(cmd.get_text("dest"));
+        if (!dest)
+          return cmdlang::make_error(util::Errc::invalid,
+                                     "dest must be host:port");
+        std::scoped_lock lock(mu_);
+        auto& sinks = sinks_[cmd.get_text("stream")];
+        if (std::find(sinks.begin(), sinks.end(), *dest) == sinks.end())
+          sinks.push_back(*dest);
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("distRemoveSink", "stop forwarding a stream to dest")
+          .arg(string_arg("stream"))
+          .arg(string_arg("dest")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto dest = net::Address::parse(cmd.get_text("dest"));
+        if (!dest)
+          return cmdlang::make_error(util::Errc::invalid,
+                                     "dest must be host:port");
+        std::scoped_lock lock(mu_);
+        auto it = sinks_.find(cmd.get_text("stream"));
+        if (it != sinks_.end()) std::erase(it->second, *dest);
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("distSinks", "list sinks of a stream")
+          .arg(string_arg("stream")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::vector<std::string> out;
+        {
+          std::scoped_lock lock(mu_);
+          auto it = sinks_.find(cmd.get_text("stream"));
+          if (it != sinks_.end())
+            for (const auto& a : it->second) out.push_back(a.to_string());
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("sinks", cmdlang::string_vector(std::move(out)));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("distStats", "forwarding statistics"),
+      [this](const CmdLine&, const CallerInfo&) {
+        DistStats s = dist_stats();
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("packets", static_cast<std::int64_t>(s.packets));
+        reply.arg("bytes", static_cast<std::int64_t>(s.bytes));
+        reply.arg("fanout", static_cast<std::int64_t>(s.fanout));
+        return reply;
+      });
+}
+
+void DistributionDaemon::on_datagram(const net::Datagram& datagram) {
+  auto tag = peek_stream_tag(datagram.payload);
+  if (!tag) return;
+  std::vector<net::Address> sinks;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = sinks_.find(*tag);
+    if (it == sinks_.end()) return;
+    sinks = it->second;
+    stats_.packets++;
+    stats_.bytes += datagram.payload.size();
+    stats_.fanout += sinks.size();
+  }
+  for (const net::Address& sink : sinks)
+    (void)send_datagram(sink, datagram.payload);
+}
+
+DistributionDaemon::DistStats DistributionDaemon::dist_stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace ace::services

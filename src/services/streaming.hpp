@@ -1,0 +1,95 @@
+// Converter and Distribution services (paper §4.12/§4.13, Figs 13-14) — the
+// low-level data-movement services that media pipelines are assembled from.
+//
+// Both operate on their daemon data channels. Every media datagram starts
+// with a length-prefixed stream tag (AudioFrame and MediaPacket share this
+// prefix), so the Distribution service can fan out any packet kind without
+// understanding it, exactly as Fig 14 depicts.
+//
+// Converter commands:
+//   convRoute stream= from= to= dest=;    (install a conversion route)
+//   convFormats;                          -> ok pairs={...}
+//   convStats stream=;                    -> ok in_bytes= out_bytes= packets=
+// Distribution commands:
+//   distAddSink stream= dest=;
+//   distRemoveSink stream= dest=;
+//   distSinks stream=;                    -> ok sinks={...}
+//   distStats;                            -> ok packets= bytes=
+#pragma once
+
+#include <map>
+
+#include "daemon/daemon.hpp"
+#include "media/codec.hpp"
+
+namespace ace::services {
+
+// Generic media packet: stream tag + sequence + format + payload.
+struct MediaPacket {
+  std::string stream;
+  std::uint32_t sequence = 0;
+  std::string format;  // "raw_pcm", "adpcm", "raw_video", "rle_video"
+  util::Bytes payload;
+
+  util::Bytes serialize() const;
+  static std::optional<MediaPacket> parse(const util::Bytes& data);
+};
+
+// Reads only the leading stream tag of any media datagram.
+std::optional<std::string> peek_stream_tag(const util::Bytes& data);
+
+class ConverterDaemon : public daemon::ServiceDaemon {
+ public:
+  ConverterDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                  daemon::DaemonConfig config);
+
+  struct RouteStats {
+    std::uint64_t packets = 0;
+    std::uint64_t in_bytes = 0;
+    std::uint64_t out_bytes = 0;
+  };
+  std::optional<RouteStats> route_stats(const std::string& stream) const;
+
+ protected:
+  void on_datagram(const net::Datagram& datagram) override;
+
+ private:
+  struct Route {
+    std::string from;
+    std::string to;
+    net::Address dest;
+    media::AdpcmState adpcm_encode_state;
+    media::AdpcmState adpcm_decode_state;
+    media::VideoFrame reference;  // inter-frame coding state
+    bool has_reference = false;
+    RouteStats stats;
+  };
+
+  util::Result<util::Bytes> convert(Route& route, const util::Bytes& payload);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Route> routes_;  // keyed by stream tag
+};
+
+class DistributionDaemon : public daemon::ServiceDaemon {
+ public:
+  DistributionDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                     daemon::DaemonConfig config);
+
+  struct DistStats {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t fanout = 0;  // total forwarded copies
+  };
+  DistStats dist_stats() const;
+
+ protected:
+  void on_datagram(const net::Datagram& datagram) override;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<net::Address>> sinks_;
+  DistStats stats_;
+};
+
+}  // namespace ace::services

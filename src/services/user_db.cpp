@@ -1,0 +1,217 @@
+#include "services/user_db.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace ace::services {
+
+using cmdlang::CmdLine;
+using cmdlang::CommandSpec;
+using cmdlang::string_arg;
+using cmdlang::Word;
+using cmdlang::word_arg;
+using daemon::CallerInfo;
+
+namespace {
+
+daemon::DaemonConfig aud_defaults(daemon::DaemonConfig config) {
+  if (config.service_class.empty())
+    config.service_class = "Service/Database/UserDatabase";
+  return config;
+}
+
+util::Bytes hash_password(const std::string& password,
+                          const util::Bytes& salt) {
+  util::Bytes input = salt;
+  input.insert(input.end(), password.begin(), password.end());
+  crypto::Digest d = crypto::sha256(input);
+  return util::Bytes(d.begin(), d.end());
+}
+
+}  // namespace
+
+UserDbDaemon::UserDbDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                           daemon::DaemonConfig config)
+    : ServiceDaemon(env, host, aud_defaults(std::move(config))),
+      salt_rng_(env.next_seed()) {
+  auto field_args = [](CommandSpec spec) {
+    return std::move(spec)
+        .arg(string_arg("fullname").optional_arg())
+        .arg(string_arg("password").optional_arg())
+        .arg(string_arg("ibutton").optional_arg())
+        .arg(string_arg("fingerprint").optional_arg())
+        .arg(string_arg("pubkey").optional_arg());
+  };
+
+  register_command(
+      field_args(CommandSpec("userAdd", "register a new ACE user")
+                     .arg(word_arg("username"))),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::string username = cmd.get_text("username");
+        std::scoped_lock lock(mu_);
+        if (users_.contains(username))
+          return cmdlang::make_error(util::Errc::conflict,
+                                     "user already exists");
+        UserRecord u;
+        u.username = username;
+        apply_fields(u, cmd);
+        users_[username] = std::move(u);
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      field_args(CommandSpec("userUpdate", "update user fields")
+                     .arg(word_arg("username"))),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        auto it = users_.find(cmd.get_text("username"));
+        if (it == users_.end())
+          return cmdlang::make_error(util::Errc::not_found, "no such user");
+        apply_fields(it->second, cmd);
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("userGet", "fetch a user record")
+          .arg(word_arg("username")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        auto it = users_.find(cmd.get_text("username"));
+        if (it == users_.end())
+          return cmdlang::make_error(util::Errc::not_found, "no such user");
+        return encode_user(it->second);
+      });
+
+  register_command(
+      CommandSpec("userRemove", "delete a user").arg(word_arg("username")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        users_.erase(cmd.get_text("username"));
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("userExists", "does a user exist?")
+          .arg(word_arg("username")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("exists",
+                  Word{users_.contains(cmd.get_text("username")) ? "yes"
+                                                                 : "no"});
+        return reply;
+      });
+
+  // Scenario 2: "The ID Monitor service then updates John's current
+  // location with the AUD."
+  register_command(
+      CommandSpec("userSetLocation", "record where the user was identified")
+          .arg(word_arg("username"))
+          .arg(word_arg("room"))
+          .arg(string_arg("station").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        auto it = users_.find(cmd.get_text("username"));
+        if (it == users_.end())
+          return cmdlang::make_error(util::Errc::not_found, "no such user");
+        it->second.location_room = cmd.get_text("room");
+        it->second.location_station = cmd.get_text("station");
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("userByIButton", "identify a user by iButton serial")
+          .arg(string_arg("serial")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::string serial = cmd.get_text("serial");
+        std::scoped_lock lock(mu_);
+        for (const auto& [name, u] : users_)
+          if (!u.ibutton_serial.empty() && u.ibutton_serial == serial)
+            return encode_user(u);
+        return cmdlang::make_error(util::Errc::not_found,
+                                   "unknown iButton serial");
+      });
+
+  register_command(
+      CommandSpec("userByFingerprint", "identify a user by FIU template id")
+          .arg(string_arg("template")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::string tmpl = cmd.get_text("template");
+        std::scoped_lock lock(mu_);
+        for (const auto& [name, u] : users_)
+          if (!u.fingerprint_template.empty() &&
+              u.fingerprint_template == tmpl)
+            return encode_user(u);
+        return cmdlang::make_error(util::Errc::not_found,
+                                   "unknown fingerprint template");
+      });
+
+  register_command(
+      CommandSpec("userCheckPassword", "verify a password")
+          .arg(word_arg("username"))
+          .arg(string_arg("password")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        auto it = users_.find(cmd.get_text("username"));
+        CmdLine reply = cmdlang::make_ok();
+        bool valid = false;
+        if (it != users_.end() && !it->second.password_hash.empty()) {
+          valid = hash_password(cmd.get_text("password"),
+                                it->second.password_salt) ==
+                  it->second.password_hash;
+        }
+        reply.arg("valid", Word{valid ? "yes" : "no"});
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("userList", "list all usernames"),
+      [this](const CmdLine&, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        std::vector<std::string> names;
+        for (const auto& [name, u] : users_) names.push_back(name);
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("users", cmdlang::string_vector(std::move(names)));
+        return reply;
+      });
+}
+
+void UserDbDaemon::apply_fields(UserRecord& u, const CmdLine& cmd) {
+  if (cmd.has("fullname")) u.fullname = cmd.get_text("fullname");
+  if (cmd.has("password")) {
+    u.password_salt.resize(16);
+    for (auto& b : u.password_salt)
+      b = static_cast<std::uint8_t>(salt_rng_.next());
+    u.password_hash = hash_password(cmd.get_text("password"), u.password_salt);
+  }
+  if (cmd.has("ibutton")) u.ibutton_serial = cmd.get_text("ibutton");
+  if (cmd.has("fingerprint"))
+    u.fingerprint_template = cmd.get_text("fingerprint");
+  if (cmd.has("pubkey")) u.public_key = cmd.get_text("pubkey");
+}
+
+CmdLine UserDbDaemon::encode_user(const UserRecord& u) {
+  CmdLine reply = cmdlang::make_ok();
+  reply.arg("username", Word{u.username});
+  reply.arg("fullname", u.fullname);
+  reply.arg("ibutton", u.ibutton_serial);
+  reply.arg("fingerprint", u.fingerprint_template);
+  reply.arg("pubkey", u.public_key);
+  reply.arg("room", u.location_room);
+  reply.arg("station", u.location_station);
+  return reply;
+}
+
+std::optional<UserDbDaemon::UserRecord> UserDbDaemon::user(
+    const std::string& username) const {
+  std::scoped_lock lock(mu_);
+  auto it = users_.find(username);
+  if (it == users_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t UserDbDaemon::user_count() const {
+  std::scoped_lock lock(mu_);
+  return users_.size();
+}
+
+}  // namespace ace::services

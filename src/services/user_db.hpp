@@ -1,0 +1,55 @@
+// AUD — ACE User Database service (paper §4.7): "an ACE interface to a
+// database of valid ACE users and their pertinent information ... username,
+// password, full name, identification number (e.g. iButton #, fingerprint
+// scan data, etc), and public key", plus the user's current location (kept
+// up to date by the ID Monitor, Scenario 2).
+//
+// Command set:
+//   userAdd username= fullname=? password=? ibutton=? fingerprint=? pubkey=?;
+//   userUpdate username= <same optional fields>;
+//   userGet username=;
+//   userRemove username=;
+//   userExists username=;                       -> ok exists=yes|no
+//   userSetLocation username= room= station=?;
+//   userByIButton serial=;                      -> ok username= ...
+//   userByFingerprint template=;                -> ok username= ...
+//   userCheckPassword username= password=;      -> ok valid=yes|no
+//   userList;                                   -> ok users={...}
+#pragma once
+
+#include <map>
+
+#include "daemon/daemon.hpp"
+
+namespace ace::services {
+
+class UserDbDaemon : public daemon::ServiceDaemon {
+ public:
+  struct UserRecord {
+    std::string username;
+    std::string fullname;
+    util::Bytes password_hash;  // salted SHA-256
+    util::Bytes password_salt;
+    std::string ibutton_serial;
+    std::string fingerprint_template;  // template id at the FIU
+    std::string public_key;
+    std::string location_room;
+    std::string location_station;  // access point (host) last seen at
+  };
+
+  UserDbDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+               daemon::DaemonConfig config);
+
+  std::optional<UserRecord> user(const std::string& username) const;
+  std::size_t user_count() const;
+
+ private:
+  static cmdlang::CmdLine encode_user(const UserRecord& u);
+  void apply_fields(UserRecord& u, const cmdlang::CmdLine& cmd);
+
+  mutable std::mutex mu_;
+  std::map<std::string, UserRecord> users_;
+  util::Rng salt_rng_;
+};
+
+}  // namespace ace::services

@@ -1,0 +1,215 @@
+#include "services/workspace.hpp"
+
+#include "services/asd.hpp"
+
+namespace ace::services {
+
+using cmdlang::CmdLine;
+using cmdlang::CommandSpec;
+using cmdlang::string_arg;
+using cmdlang::Word;
+using cmdlang::word_arg;
+using daemon::CallerInfo;
+
+namespace {
+daemon::DaemonConfig wss_defaults(daemon::DaemonConfig config) {
+  if (config.service_class.empty())
+    config.service_class = "Service/WorkspaceServer";
+  return config;
+}
+}  // namespace
+
+WssDaemon::WssDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                     daemon::DaemonConfig config)
+    : ServiceDaemon(env, host, wss_defaults(std::move(config))) {
+  backend_ = default_backend();
+
+  register_command(
+      CommandSpec("wssCreate", "create a workspace for a user")
+          .arg(word_arg("owner"))
+          .arg(word_arg("name").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        return do_create(cmd.get_text("owner"),
+                         cmd.get_text("name", "default"));
+      });
+
+  // Scenario 1: the default workspace is created for every new user so
+  // that "he/she may have at least one valid and working workspace".
+  register_command(
+      CommandSpec("wssDefault", "get or create the user's default workspace")
+          .arg(word_arg("owner")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::string owner = cmd.get_text("owner");
+        {
+          std::scoped_lock lock(mu_);
+          auto it = workspaces_.find(owner + "/default");
+          if (it != workspaces_.end()) {
+            CmdLine reply = cmdlang::make_ok();
+            reply.arg("workspace", it->second.id);
+            reply.arg("host", it->second.server.host);
+            reply.arg("port",
+                      static_cast<std::int64_t>(it->second.server.port));
+            return reply;
+          }
+        }
+        return do_create(owner, "default");
+      });
+
+  register_command(
+      CommandSpec("wssList", "list a user's workspaces")
+          .arg(word_arg("owner")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::string owner = cmd.get_text("owner");
+        std::vector<std::string> ids;
+        {
+          std::scoped_lock lock(mu_);
+          for (const auto& [id, w] : workspaces_)
+            if (w.owner == owner) ids.push_back(id);
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("workspaces", cmdlang::string_vector(std::move(ids)));
+        return reply;
+      });
+
+  // Scenario 3: bring the user's workspace up at the current access point.
+  register_command(
+      CommandSpec("wssShow", "open a viewer of the workspace at `location`")
+          .arg(string_arg("workspace"))
+          .arg(string_arg("location")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        WorkspaceRecord record;
+        {
+          std::scoped_lock lock(mu_);
+          auto it = workspaces_.find(cmd.get_text("workspace"));
+          if (it == workspaces_.end())
+            return cmdlang::make_error(util::Errc::not_found,
+                                       "no such workspace");
+          record = it->second;
+        }
+        std::string location = cmd.get_text("location");
+        if (auto s = backend_.show(record.server, location, record.owner);
+            !s.ok())
+          return cmdlang::make_error(s.error().code, s.error().message);
+        {
+          std::scoped_lock lock(mu_);
+          auto it = workspaces_.find(record.id);
+          if (it != workspaces_.end()) it->second.shown_at = location;
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("workspace", record.id);
+        reply.arg("host", record.server.host);
+        reply.arg("port", static_cast<std::int64_t>(record.server.port));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("wssRemove", "destroy a workspace")
+          .arg(string_arg("workspace")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        WorkspaceRecord record;
+        {
+          std::scoped_lock lock(mu_);
+          auto it = workspaces_.find(cmd.get_text("workspace"));
+          if (it == workspaces_.end())
+            return cmdlang::make_error(util::Errc::not_found,
+                                       "no such workspace");
+          record = it->second;
+          workspaces_.erase(it);
+        }
+        if (backend_.destroy) backend_.destroy(record.server);
+        return cmdlang::make_ok();
+      });
+}
+
+cmdlang::CmdLine WssDaemon::do_create(const std::string& owner,
+                                      const std::string& name) {
+  std::string id = owner + "/" + name;
+  {
+    std::scoped_lock lock(mu_);
+    if (workspaces_.contains(id))
+      return cmdlang::make_error(util::Errc::conflict,
+                                 "workspace already exists");
+  }
+  auto server = backend_.create(owner, name);
+  if (!server.ok())
+    return cmdlang::make_error(server.error().code, server.error().message);
+  WorkspaceRecord record;
+  record.id = id;
+  record.owner = owner;
+  record.name = name;
+  record.server = server.value();
+  {
+    std::scoped_lock lock(mu_);
+    workspaces_[id] = record;
+  }
+  CmdLine reply = cmdlang::make_ok();
+  reply.arg("workspace", id);
+  reply.arg("host", record.server.host);
+  reply.arg("port", static_cast<std::int64_t>(record.server.port));
+  return reply;
+}
+
+WorkspaceBackend WssDaemon::default_backend() {
+  // Default: model workspace servers/viewers as SAL-launched processes
+  // (Fig 18's "VNC session ... started somewhere" without the real
+  // framebuffer; src/apps replaces this with the full implementation).
+  WorkspaceBackend backend;
+  backend.create = [this](const std::string& owner,
+                          const std::string& name)
+      -> util::Result<net::Address> {
+    auto sals = asd_query(control_client(), env().asd_address, "*",
+                          "Service/Launcher/SAL*", "*");
+    if (!sals.ok()) return sals.error();
+    if (sals->empty())
+      return util::Error{util::Errc::unavailable, "no SAL registered"};
+    CmdLine launch("salLaunch");
+    launch.arg("command", "vncserver:" + owner + "/" + name);
+    launch.arg("cpu", 0.2);
+    launch.arg("mem", 32 * 1024);
+    auto reply = control_client().call_ok(sals->front().address, launch);
+    if (!reply.ok()) return reply.error();
+    return net::Address{reply->get_text("host"),
+                        static_cast<std::uint16_t>(
+                            reply->get_integer("pid", 1) % 65535)};
+  };
+  backend.show = [this](const net::Address& server,
+                        const std::string& location,
+                        const std::string& owner) -> util::Status {
+    auto sals = asd_query(control_client(), env().asd_address, "*",
+                          "Service/Launcher/SAL*", "*");
+    if (!sals.ok()) return sals.error();
+    if (sals->empty())
+      return {util::Errc::unavailable, "no SAL registered"};
+    CmdLine launch("salLaunch");
+    launch.arg("command",
+               "vncviewer:" + owner + "@" + server.to_string());
+    launch.arg("cpu", 0.05);
+    launch.arg("mem", 8 * 1024);
+    launch.arg("host", location);
+    auto reply = control_client().call_ok(sals->front().address, launch);
+    if (!reply.ok()) return reply.error();
+    return util::Status::ok_status();
+  };
+  backend.destroy = nullptr;
+  return backend;
+}
+
+void WssDaemon::set_backend(WorkspaceBackend backend) {
+  std::scoped_lock lock(mu_);
+  backend_ = std::move(backend);
+}
+
+std::optional<WssDaemon::WorkspaceRecord> WssDaemon::workspace(
+    const std::string& id) const {
+  std::scoped_lock lock(mu_);
+  auto it = workspaces_.find(id);
+  if (it == workspaces_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t WssDaemon::workspace_count() const {
+  std::scoped_lock lock(mu_);
+  return workspaces_.size();
+}
+
+}  // namespace ace::services

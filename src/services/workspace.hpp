@@ -1,0 +1,71 @@
+// WSS — Workspace Server (paper §4.5, §5.4): creates, names, tracks and
+// removes user workspaces, and brings a workspace's viewer up at whatever
+// access point the user was identified at (Scenarios 1, 3 and 4).
+//
+// The WSS manages workspace *records*; the machinery that actually hosts a
+// workspace (the VNC-like server, §5.4) is pluggable via WorkspaceBackend:
+// the default backend launches simulated vncserver/vncviewer processes
+// through the SAL, and src/apps installs a backend backed by the real
+// remote-framebuffer implementation.
+//
+// Command set:
+//   wssCreate owner= name=?;             -> ok workspace= host= port=
+//   wssDefault owner=;                   -> ok workspace= ... (get-or-create)
+//   wssList owner=;                      -> ok workspaces={...}
+//   wssShow workspace= location=;        -> ok   (viewer up at access point)
+//   wssRemove workspace=;
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "daemon/daemon.hpp"
+
+namespace ace::services {
+
+struct WorkspaceBackend {
+  // Creates the hosting server for owner's workspace `name`; returns where
+  // it runs.
+  std::function<util::Result<net::Address>(const std::string& owner,
+                                           const std::string& name)>
+      create;
+  // Brings up a viewer of the workspace at access point `location` (a host
+  // name), authenticating as `owner`.
+  std::function<util::Status(const net::Address& server,
+                             const std::string& location,
+                             const std::string& owner)>
+      show;
+  std::function<void(const net::Address& server)> destroy;
+};
+
+class WssDaemon : public daemon::ServiceDaemon {
+ public:
+  struct WorkspaceRecord {
+    std::string id;  // "owner/name"
+    std::string owner;
+    std::string name;
+    net::Address server;
+    std::string shown_at;  // last access point a viewer was opened on
+  };
+
+  WssDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+            daemon::DaemonConfig config);
+
+  // Replaces the default SAL-process backend (used by src/apps to plug in
+  // the real VNC implementation).
+  void set_backend(WorkspaceBackend backend);
+
+  std::optional<WorkspaceRecord> workspace(const std::string& id) const;
+  std::size_t workspace_count() const;
+
+ private:
+  cmdlang::CmdLine do_create(const std::string& owner,
+                             const std::string& name);
+  WorkspaceBackend default_backend();
+
+  mutable std::mutex mu_;
+  WorkspaceBackend backend_;
+  std::map<std::string, WorkspaceRecord> workspaces_;
+};
+
+}  // namespace ace::services

@@ -1,0 +1,274 @@
+#include "store/persistent_store.hpp"
+
+#include "util/strings.hpp"
+
+namespace ace::store {
+
+using cmdlang::CmdLine;
+using cmdlang::CommandSpec;
+using cmdlang::integer_arg;
+using cmdlang::string_arg;
+using cmdlang::Word;
+using cmdlang::word_arg;
+using daemon::CallerInfo;
+
+namespace {
+daemon::DaemonConfig store_defaults(daemon::DaemonConfig config) {
+  if (config.service_class.empty())
+    config.service_class = "Service/PersistentStore";
+  return config;
+}
+}  // namespace
+
+std::string hex_of(const util::Bytes& data) { return util::hex_encode(data); }
+
+util::Bytes bytes_of_hex(const std::string& hex) {
+  util::Bytes out;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  if (hex.size() % 2 != 0) return out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return {};
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
+                                             daemon::DaemonHost& host,
+                                             daemon::DaemonConfig config,
+                                             int replica_id)
+    : ServiceDaemon(env, host, store_defaults(std::move(config))),
+      replica_id_(replica_id) {
+  register_command(
+      CommandSpec("storePut", "store an object").concurrent_ok()
+          .arg(string_arg("key"))
+          .arg(string_arg("data")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        ObjectRecord record;
+        record.data = bytes_of_hex(cmd.get_text("data"));
+        record.version = next_version();
+        std::string key = cmd.get_text("key");
+        apply(key, record);
+        int acks = replicate(key, record);
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("version", static_cast<std::int64_t>(record.version));
+        reply.arg("acks", static_cast<std::int64_t>(acks));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("storeGet", "fetch an object").concurrent_ok().arg(string_arg("key")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        auto it = objects_.find(cmd.get_text("key"));
+        if (it == objects_.end() || it->second.deleted)
+          return cmdlang::make_error(util::Errc::not_found, "no such object");
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("data", hex_of(it->second.data));
+        reply.arg("version", static_cast<std::int64_t>(it->second.version));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("storeDelete", "remove an object (tombstone)").concurrent_ok()
+          .arg(string_arg("key")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        ObjectRecord record;
+        record.deleted = true;
+        record.version = next_version();
+        std::string key = cmd.get_text("key");
+        apply(key, record);
+        int acks = replicate(key, record);
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("version", static_cast<std::int64_t>(record.version));
+        reply.arg("acks", static_cast<std::int64_t>(acks));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("storeList", "list keys under a namespace prefix").concurrent_ok()
+          .arg(string_arg("prefix").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::string prefix = cmd.get_text("prefix");
+        std::vector<std::string> keys;
+        {
+          std::scoped_lock lock(mu_);
+          for (const auto& [key, record] : objects_) {
+            if (record.deleted) continue;
+            if (util::starts_with(key, prefix)) keys.push_back(key);
+          }
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("keys", cmdlang::string_vector(std::move(keys)));
+        return reply;
+      });
+
+  register_command(CommandSpec("storeCount", "count live objects").concurrent_ok(),
+                   [this](const CmdLine&, const CallerInfo&) {
+                     CmdLine reply = cmdlang::make_ok();
+                     reply.arg("count",
+                               static_cast<std::int64_t>(object_count()));
+                     return reply;
+                   });
+
+  register_command(
+      CommandSpec("storeDigest", "key/version digest for anti-entropy").concurrent_ok(),
+      [this](const CmdLine&, const CallerInfo&) {
+        std::vector<std::string> entries;
+        {
+          std::scoped_lock lock(mu_);
+          for (const auto& [key, record] : objects_)
+            entries.push_back(key + "|" + std::to_string(record.version) +
+                              "|" + (record.deleted ? "d" : "l"));
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("entries", cmdlang::string_vector(std::move(entries)));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("storeSync", "pull newer objects from peer replicas").concurrent_ok(),
+      [this](const CmdLine&, const CallerInfo&) {
+        auto fetched = sync_from_peers();
+        if (!fetched.ok())
+          return cmdlang::make_error(fetched.error().code,
+                                     fetched.error().message);
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("fetched", fetched.value());
+        return reply;
+      });
+
+  // Peer-internal replication message.
+  register_command(
+      CommandSpec("storeReplicate", "apply a replicated write (internal)").concurrent_ok()
+          .arg(string_arg("key"))
+          .arg(integer_arg("version"))
+          .arg(string_arg("data"))
+          .arg(word_arg("deleted").choices({"yes", "no"})),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        ObjectRecord record;
+        record.version = static_cast<std::uint64_t>(cmd.get_integer("version"));
+        record.data = bytes_of_hex(cmd.get_text("data"));
+        record.deleted = cmd.get_text("deleted") == "yes";
+        apply(cmd.get_text("key"), record);
+        return cmdlang::make_ok();
+      });
+}
+
+void PersistentStoreDaemon::set_peers(std::vector<net::Address> peers) {
+  std::scoped_lock lock(mu_);
+  peers_ = std::move(peers);
+}
+
+std::uint64_t PersistentStoreDaemon::next_version() {
+  std::scoped_lock lock(mu_);
+  lamport_++;
+  return lamport_ << 8 | static_cast<std::uint64_t>(replica_id_ & 0xff);
+}
+
+void PersistentStoreDaemon::apply(const std::string& key,
+                                  const ObjectRecord& record) {
+  std::scoped_lock lock(mu_);
+  // Lamport clock absorption: future local writes order after this one.
+  lamport_ = std::max(lamport_, record.version >> 8);
+  auto it = objects_.find(key);
+  if (it == objects_.end() || it->second.version < record.version)
+    objects_[key] = record;
+}
+
+int PersistentStoreDaemon::replicate(const std::string& key,
+                                     const ObjectRecord& record) {
+  std::vector<net::Address> peers;
+  {
+    std::scoped_lock lock(mu_);
+    peers = peers_;
+  }
+  CmdLine rep("storeReplicate");
+  rep.arg("key", key);
+  rep.arg("version", static_cast<std::int64_t>(record.version));
+  rep.arg("data", hex_of(record.data));
+  rep.arg("deleted", Word{record.deleted ? "yes" : "no"});
+  int acks = 0;
+  for (const net::Address& peer : peers) {
+    auto reply = control_client().call(peer, rep,
+                                       std::chrono::milliseconds(300));
+    if (reply.ok() && cmdlang::is_ok(reply.value())) ++acks;
+  }
+  return acks;
+}
+
+std::size_t PersistentStoreDaemon::object_count() const {
+  std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, record] : objects_)
+    if (!record.deleted) ++n;
+  return n;
+}
+
+std::optional<PersistentStoreDaemon::ObjectRecord>
+PersistentStoreDaemon::object(const std::string& key) const {
+  std::scoped_lock lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+util::Result<std::int64_t> PersistentStoreDaemon::sync_from_peers() {
+  std::vector<net::Address> peers;
+  {
+    std::scoped_lock lock(mu_);
+    peers = peers_;
+  }
+  std::int64_t fetched = 0;
+  for (const net::Address& peer : peers) {
+    auto digest = control_client().call(peer, CmdLine("storeDigest"),
+                                        std::chrono::milliseconds(500));
+    if (!digest.ok() || !cmdlang::is_ok(digest.value())) continue;
+    auto entries = digest->get_vector("entries");
+    if (!entries) continue;
+    for (const auto& elem : entries->elements) {
+      if (!elem.is_string() && !elem.is_word()) continue;
+      auto parts = util::split(elem.as_text(), '|');
+      if (parts.size() != 3) continue;
+      const std::string& key = parts[0];
+      std::uint64_t version = std::stoull(parts[1]);
+      bool newer;
+      {
+        std::scoped_lock lock(mu_);
+        auto it = objects_.find(key);
+        newer = it == objects_.end() || it->second.version < version;
+      }
+      if (!newer) continue;
+      if (parts[2] == "d") {
+        ObjectRecord tomb;
+        tomb.version = version;
+        tomb.deleted = true;
+        apply(key, tomb);
+        ++fetched;
+        continue;
+      }
+      CmdLine get("storeGet");
+      get.arg("key", key);
+      auto obj = control_client().call(peer, get,
+                                       std::chrono::milliseconds(500));
+      if (!obj.ok() || !cmdlang::is_ok(obj.value())) continue;
+      ObjectRecord record;
+      record.version =
+          static_cast<std::uint64_t>(obj->get_integer("version"));
+      record.data = bytes_of_hex(obj->get_text("data"));
+      apply(key, record);
+      ++fetched;
+    }
+  }
+  return fetched;
+}
+
+}  // namespace ace::store

@@ -1,0 +1,71 @@
+// ACE Persistent Store (paper Ch 6, Fig 17): "a cluster of three persistent
+// store servers ... completely redundant storage systems guarantee safe and
+// up to date storage of information. If ... one or two of the servers fail
+// or crash, ACE services may still access the stored information."
+//
+// Each replica is an ordinary ACE service daemon holding an
+// object-oriented namespace ("a straightforward object-oriented namespace
+// approach to storing application and program state information"):
+// '/'-separated keys mapping to versioned blobs.
+//
+// Replication: a client writes to any replica; that replica assigns a
+// Lamport-style version (counter, replica-id tiebreak) and synchronously
+// propagates to its peers (best effort — unreachable peers catch up later).
+// Reads go to any replica, which spreads load as the paper argues. A
+// rejoining replica runs anti-entropy (`storeSync`): it pulls peers'
+// digests and fetches every newer object.
+//
+// Command set:
+//   storePut key= data=<hex>;          -> ok version= acks=
+//   storeGet key=;                     -> ok data=<hex> version=
+//   storeDelete key=;                  -> ok version=
+//   storeList prefix=?;                -> ok keys={...}
+//   storeCount;                        -> ok count=
+//   storeDigest;                       -> ok entries={key|version|flag ...}
+//   storeSync;                         -> ok fetched=
+//   storeReplicate key= version= replica= data= deleted=;   (peer internal)
+#pragma once
+
+#include <map>
+
+#include "daemon/daemon.hpp"
+
+namespace ace::store {
+
+class PersistentStoreDaemon : public daemon::ServiceDaemon {
+ public:
+  struct ObjectRecord {
+    std::uint64_t version = 0;   // lamport counter << 8 | replica id
+    util::Bytes data;
+    bool deleted = false;
+  };
+
+  PersistentStoreDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                        daemon::DaemonConfig config, int replica_id);
+
+  // Configures the peer replicas this server synchronizes with.
+  void set_peers(std::vector<net::Address> peers);
+
+  std::size_t object_count() const;  // live (non-tombstone) objects
+  std::optional<ObjectRecord> object(const std::string& key) const;
+
+  // Runs one anti-entropy round against all reachable peers; returns the
+  // number of objects fetched. (Also exposed as the storeSync command.)
+  util::Result<std::int64_t> sync_from_peers();
+
+ private:
+  std::uint64_t next_version();
+  void apply(const std::string& key, const ObjectRecord& record);
+  int replicate(const std::string& key, const ObjectRecord& record);
+
+  int replica_id_;
+  mutable std::mutex mu_;
+  std::map<std::string, ObjectRecord> objects_;
+  std::uint64_t lamport_ = 0;
+  std::vector<net::Address> peers_;
+};
+
+std::string hex_of(const util::Bytes& data);
+util::Bytes bytes_of_hex(const std::string& hex);
+
+}  // namespace ace::store

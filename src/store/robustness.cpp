@@ -1,0 +1,150 @@
+#include "store/robustness.hpp"
+
+#include "services/asd.hpp"
+
+namespace ace::store {
+
+using cmdlang::CmdLine;
+using cmdlang::CommandSpec;
+using cmdlang::string_arg;
+using cmdlang::Word;
+using cmdlang::word_arg;
+using daemon::CallerInfo;
+
+namespace {
+daemon::DaemonConfig rm_defaults(daemon::DaemonConfig config) {
+  if (config.service_class.empty())
+    config.service_class = "Service/Monitor/RobustnessManager";
+  return config;
+}
+}  // namespace
+
+RobustnessManagerDaemon::RobustnessManagerDaemon(daemon::Environment& env,
+                                                 daemon::DaemonHost& host,
+                                                 daemon::DaemonConfig config)
+    : ServiceDaemon(env, host, rm_defaults(std::move(config))) {
+  register_command(
+      CommandSpec("rmRegister", "manage a restart/robust service")
+          .arg(word_arg("name"))
+          .arg(word_arg("kind").choices({"restart", "robust"}))
+          .arg(string_arg("host").optional_arg()),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        ManagedService m;
+        m.name = cmd.get_text("name");
+        m.kind = cmd.get_text("kind");
+        m.host = cmd.get_text("host");
+        std::scoped_lock lock(mu_);
+        managed_[m.name] = std::move(m);
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("rmUnregister", "stop managing a service")
+          .arg(word_arg("name")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        managed_.erase(cmd.get_text("name"));
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("rmNotify", "notification sink for ASD lease expiries")
+          .arg(string_arg("source"))
+          .arg(word_arg("command"))
+          .arg(string_arg("detail")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto detail = cmdlang::Parser::parse(cmd.get_text("detail"));
+        if (!detail.ok())
+          return cmdlang::make_error(util::Errc::parse_error,
+                                     "bad notification detail");
+        if (detail->name() == "serviceExpired")
+          handle_expiry(detail->get_text("name"));
+        return cmdlang::make_ok();
+      });
+
+  register_command(
+      CommandSpec("rmStatus", "managed services and restart counts"),
+      [this](const CmdLine&, const CallerInfo&) {
+        std::vector<std::string> rows;
+        int restarts = 0;
+        {
+          std::scoped_lock lock(mu_);
+          for (const auto& [name, m] : managed_)
+            rows.push_back(name + "|" + m.kind + "|" +
+                           std::to_string(m.restarts));
+          restarts = total_restarts_;
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("managed", cmdlang::string_vector(std::move(rows)));
+        reply.arg("restarts", static_cast<std::int64_t>(restarts));
+        return reply;
+      });
+}
+
+util::Status RobustnessManagerDaemon::on_start() {
+  // The ASD may not be up yet when we boot; watch_asd() can be re-invoked
+  // by the deployer. Try once here, best effort.
+  (void)watch_asd();
+  return util::Status::ok_status();
+}
+
+util::Status RobustnessManagerDaemon::watch_asd() {
+  if (env().asd_address.host.empty())
+    return {util::Errc::invalid, "no ASD configured"};
+  CmdLine sub("addNotification");
+  sub.arg("command", Word{"serviceExpired"});
+  sub.arg("service", address().to_string());
+  sub.arg("method", Word{"rmNotify"});
+  auto reply = control_client().call_ok(env().asd_address, sub);
+  if (!reply.ok()) return reply.error();
+  return util::Status::ok_status();
+}
+
+void RobustnessManagerDaemon::handle_expiry(const std::string& service_name) {
+  std::string host_pref;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = managed_.find(service_name);
+    if (it == managed_.end()) return;  // not ours to manage
+    host_pref = it->second.host;
+  }
+
+  net_log("warn", "managed service '" + service_name +
+                      "' died; relaunching via SAL");
+
+  auto sals = services::asd_query(control_client(), env().asd_address, "*",
+                                  "Service/Launcher/SAL*", "*");
+  if (!sals.ok() || sals->empty()) {
+    net_log("error", "cannot relaunch '" + service_name +
+                         "': no SAL registered");
+    return;
+  }
+  CmdLine launch("salLaunchService");
+  launch.arg("name", Word{service_name});
+  if (!host_pref.empty()) launch.arg("host", host_pref);
+  auto reply = control_client().call_ok(sals->front().address, launch);
+  if (!reply.ok()) {
+    net_log("error", "relaunch of '" + service_name +
+                         "' failed: " + reply.error().to_string());
+    return;
+  }
+  std::scoped_lock lock(mu_);
+  auto it = managed_.find(service_name);
+  if (it != managed_.end()) it->second.restarts++;
+  total_restarts_++;
+}
+
+std::vector<RobustnessManagerDaemon::ManagedService>
+RobustnessManagerDaemon::managed() const {
+  std::scoped_lock lock(mu_);
+  std::vector<ManagedService> out;
+  for (const auto& [name, m] : managed_) out.push_back(m);
+  return out;
+}
+
+int RobustnessManagerDaemon::total_restarts() const {
+  std::scoped_lock lock(mu_);
+  return total_restarts_;
+}
+
+}  // namespace ace::store

@@ -1,0 +1,56 @@
+// Robustness Manager — the watcher/restarter the paper calls for but had
+// not yet built (§5.2: "these applications must be closely watched by other
+// ACE services in order to make sure they are up and running and be
+// restarted in case of a crash. Such a service has not yet been implemented
+// but the ACE infrastructure makes this possible"; Ch 9 lists it as the
+// first piece of future work). We implement it:
+//
+//  * managed services are registered with a kind — `restart` (relaunch on
+//    death) or `robust` (relaunch; the service restores its own state from
+//    the persistent store on startup),
+//  * the manager subscribes to the ASD's `serviceExpired` notifications,
+//  * on expiry of a managed service it relaunches through the SAL
+//    (salLaunchService), optionally pinned to a host.
+//
+// Command set:
+//   rmRegister name= kind=restart|robust host=?;
+//   rmUnregister name=;
+//   rmNotify source= command= detail=;     (notification sink)
+//   rmStatus;                              -> ok managed={...} restarts=
+#pragma once
+
+#include "daemon/daemon.hpp"
+
+namespace ace::store {
+
+class RobustnessManagerDaemon : public daemon::ServiceDaemon {
+ public:
+  struct ManagedService {
+    std::string name;
+    std::string kind;  // "restart" | "robust"
+    std::string host;  // preferred relaunch host ("" = SRM decides)
+    int restarts = 0;
+  };
+
+  RobustnessManagerDaemon(daemon::Environment& env, daemon::DaemonHost& host,
+                          daemon::DaemonConfig config);
+
+  // Subscribes to the ASD's serviceExpired notifications. Call once the
+  // ASD is up (after start()).
+  util::Status watch_asd();
+
+  std::vector<ManagedService> managed() const;
+  int total_restarts() const;
+
+ protected:
+  util::Status on_start() override;
+
+ private:
+  void handle_expiry(const std::string& service_name);
+
+  mutable std::mutex mu_;
+  std::map<std::string, ManagedService> managed_;
+  int total_restarts_ = 0;
+};
+
+}  // namespace ace::store

@@ -1,0 +1,97 @@
+#include "store/store_client.hpp"
+
+#include "store/persistent_store.hpp"
+
+namespace ace::store {
+
+using cmdlang::CmdLine;
+
+StoreClient::StoreClient(daemon::AceClient& client,
+                         std::vector<net::Address> replicas)
+    : client_(client), replicas_(std::move(replicas)) {}
+
+void StoreClient::rotate() {
+  if (!replicas_.empty()) preferred_ = (preferred_ + 1) % replicas_.size();
+}
+
+util::Status StoreClient::put(const std::string& key,
+                              const util::Bytes& data) {
+  CmdLine cmd("storePut");
+  cmd.arg("key", key);
+  cmd.arg("data", hex_of(data));
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const net::Address& replica =
+        replicas_[(preferred_ + i) % replicas_.size()];
+    auto reply = client_.call(replica, cmd, std::chrono::milliseconds(800));
+    if (reply.ok() && cmdlang::is_ok(reply.value()))
+      return util::Status::ok_status();
+  }
+  return {util::Errc::unavailable, "no persistent-store replica reachable"};
+}
+
+util::Result<util::Bytes> StoreClient::get(const std::string& key) {
+  CmdLine cmd("storeGet");
+  cmd.arg("key", key);
+  util::Error last{util::Errc::unavailable, "no replica reachable"};
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const net::Address& replica =
+        replicas_[(preferred_ + i) % replicas_.size()];
+    auto reply = client_.call(replica, cmd, std::chrono::milliseconds(800));
+    if (!reply.ok()) {
+      last = reply.error();
+      continue;
+    }
+    if (cmdlang::is_error(reply.value())) {
+      // A definitive not_found from a live replica is authoritative enough
+      // for the simulation's read semantics.
+      return cmdlang::reply_error(reply.value());
+    }
+    return bytes_of_hex(reply->get_text("data"));
+  }
+  return last;
+}
+
+util::Status StoreClient::remove(const std::string& key) {
+  CmdLine cmd("storeDelete");
+  cmd.arg("key", key);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const net::Address& replica =
+        replicas_[(preferred_ + i) % replicas_.size()];
+    auto reply = client_.call(replica, cmd, std::chrono::milliseconds(800));
+    if (reply.ok() && cmdlang::is_ok(reply.value()))
+      return util::Status::ok_status();
+  }
+  return {util::Errc::unavailable, "no persistent-store replica reachable"};
+}
+
+util::Result<std::vector<std::string>> StoreClient::list(
+    const std::string& prefix) {
+  CmdLine cmd("storeList");
+  cmd.arg("prefix", prefix);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const net::Address& replica =
+        replicas_[(preferred_ + i) % replicas_.size()];
+    auto reply = client_.call(replica, cmd, std::chrono::milliseconds(800));
+    if (!reply.ok() || !cmdlang::is_ok(reply.value())) continue;
+    std::vector<std::string> keys;
+    if (auto vec = reply->get_vector("keys")) {
+      for (const auto& elem : vec->elements)
+        if (elem.is_string() || elem.is_word()) keys.push_back(elem.as_text());
+    }
+    return keys;
+  }
+  return util::Error{util::Errc::unavailable, "no replica reachable"};
+}
+
+util::Status StoreClient::save_state(const std::string& service,
+                                     const std::string& key,
+                                     const util::Bytes& state) {
+  return put("state/" + service + "/" + key, state);
+}
+
+util::Result<util::Bytes> StoreClient::load_state(const std::string& service,
+                                                  const std::string& key) {
+  return get("state/" + service + "/" + key);
+}
+
+}  // namespace ace::store

@@ -1,0 +1,42 @@
+// StoreClient — failover client for the replicated persistent store, and
+// the checkpoint API that restart/robust applications use (paper §5.2/§5.3):
+// state is written under "state/<service>/<key>" so that a restarted
+// instance "can quickly be recovered to their last known state".
+//
+// Writes go to the first reachable replica (that replica propagates to its
+// peers); reads fail over across replicas, which both tolerates 1-2 replica
+// failures and spreads read load (Ch 6).
+#pragma once
+
+#include "daemon/client.hpp"
+
+namespace ace::store {
+
+class StoreClient {
+ public:
+  StoreClient(daemon::AceClient& client, std::vector<net::Address> replicas);
+
+  util::Status put(const std::string& key, const util::Bytes& data);
+  util::Result<util::Bytes> get(const std::string& key);
+  util::Status remove(const std::string& key);
+  util::Result<std::vector<std::string>> list(const std::string& prefix);
+
+  // Checkpoint helpers for robust applications.
+  util::Status save_state(const std::string& service, const std::string& key,
+                          const util::Bytes& state);
+  util::Result<util::Bytes> load_state(const std::string& service,
+                                       const std::string& key);
+
+  // Rotates the preferred read replica (deterministic round-robin), which
+  // is how read load is spread across the cluster.
+  void rotate();
+
+  const std::vector<net::Address>& replicas() const { return replicas_; }
+
+ private:
+  daemon::AceClient& client_;
+  std::vector<net::Address> replicas_;
+  std::size_t preferred_ = 0;
+};
+
+}  // namespace ace::store

@@ -1,0 +1,146 @@
+#include "util/bytes.hpp"
+
+namespace ace::util {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void ByteWriter::blob(const Bytes& b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  raw(b);
+}
+
+void ByteWriter::raw(const std::uint8_t* data, std::size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+bool ByteReader::need(std::size_t n) {
+  if (failed_ || size_ - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint8_t> ByteReader::u8() {
+  if (!need(1)) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint16_t> ByteReader::u16() {
+  if (!need(2)) return std::nullopt;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> ByteReader::u32() {
+  if (!need(4)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::u64() {
+  if (!need(8)) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::optional<std::int64_t> ByteReader::i64() {
+  auto v = u64();
+  if (!v) return std::nullopt;
+  return static_cast<std::int64_t>(*v);
+}
+
+std::optional<std::int32_t> ByteReader::i32() {
+  auto v = u32();
+  if (!v) return std::nullopt;
+  return static_cast<std::int32_t>(*v);
+}
+
+std::optional<std::int16_t> ByteReader::i16() {
+  auto v = u16();
+  if (!v) return std::nullopt;
+  return static_cast<std::int16_t>(*v);
+}
+
+std::optional<double> ByteReader::f64() {
+  auto bits = u64();
+  if (!bits) return std::nullopt;
+  double v;
+  std::memcpy(&v, &*bits, sizeof(v));
+  return v;
+}
+
+std::optional<std::string> ByteReader::str() {
+  auto n = u32();
+  if (!n || !need(*n)) return std::nullopt;
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), *n);
+  pos_ += *n;
+  return s;
+}
+
+std::optional<Bytes> ByteReader::blob() {
+  auto n = u32();
+  if (!n) return std::nullopt;
+  return raw(*n);
+}
+
+std::optional<Bytes> ByteReader::raw(std::size_t n) {
+  if (!need(n)) return std::nullopt;
+  Bytes b(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return b;
+}
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+std::string hex_encode(const Bytes& b) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t c : b) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace ace::util

@@ -1,0 +1,82 @@
+// Byte-buffer reader/writer used for wire framing, codecs, and the
+// persistent-store object namespace. Little-endian fixed-width integers
+// plus length-prefixed strings/blobs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ace::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  // Length-prefixed (u32) string.
+  void str(std::string_view s);
+  // Length-prefixed (u32) blob.
+  void blob(const Bytes& b);
+  // Raw bytes, no prefix.
+  void raw(const std::uint8_t* data, std::size_t n);
+  void raw(const Bytes& b) { raw(b.data(), b.size()); }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+// Non-owning reader. All accessors return std::nullopt on underflow and
+// poison the reader (subsequent reads also fail) so callers can check once.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& b) : data_(b.data()), size_(b.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<std::int64_t> i64();
+  std::optional<std::int32_t> i32();
+  std::optional<std::int16_t> i16();
+  std::optional<double> f64();
+  std::optional<std::string> str();
+  std::optional<Bytes> blob();
+  std::optional<Bytes> raw(std::size_t n);
+
+  bool failed() const { return failed_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool at_end() const { return pos_ == size_; }
+
+ private:
+  bool need(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+Bytes to_bytes(std::string_view s);
+std::string to_string(const Bytes& b);
+std::string hex_encode(const Bytes& b);
+
+}  // namespace ace::util

@@ -1,0 +1,104 @@
+// Blocking multi-producer/multi-consumer message queue.
+//
+// This is the inter-thread fabric required by the ACE daemon design
+// (paper §2.1.1): "All communications between these threads are carried
+// out over message queues that trigger actions as these messages are
+// sent from one thread to another."
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ace::util {
+
+template <typename T>
+class MessageQueue {
+ public:
+  explicit MessageQueue(std::size_t max_size = 0) : max_size_(max_size) {}
+
+  MessageQueue(const MessageQueue&) = delete;
+  MessageQueue& operator=(const MessageQueue&) = delete;
+
+  // Enqueues a message. Returns false if the queue has been closed or is
+  // bounded and full (messages are never silently dropped on a live queue).
+  bool push(T value) {
+    {
+      std::scoped_lock lock(mu_);
+      if (closed_) return false;
+      if (max_size_ != 0 && items_.size() >= max_size_) return false;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until a message is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return take_locked();
+  }
+
+  // Blocks up to `timeout`; std::nullopt on timeout or closed-and-drained.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+    return take_locked();
+  }
+
+  // Blocks until `deadline` on a steady clock.
+  std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock lock(mu_);
+    cv_.wait_until(lock, deadline,
+                   [&] { return !items_.empty() || closed_; });
+    return take_locked();
+  }
+
+  std::optional<T> try_pop() {
+    std::scoped_lock lock(mu_);
+    return take_locked();
+  }
+
+  // Closes the queue: pending messages may still be popped; pushes fail.
+  void close() {
+    {
+      std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::optional<T> take_locked() {
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    return out;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  std::size_t max_size_;
+  bool closed_ = false;
+};
+
+}  // namespace ace::util

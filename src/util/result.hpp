@@ -1,0 +1,118 @@
+// Minimal expected/Result type used for fallible operations across ACE.
+// (gcc 12 lacks std::expected; this covers the subset we need.)
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ace::util {
+
+// Error codes shared across the ACE libraries. Kept coarse on purpose:
+// command-level failures carry their detail in the reply command itself.
+enum class Errc {
+  ok = 0,
+  closed,          // peer or queue closed
+  timeout,         // deadline elapsed
+  not_found,       // name/service/key lookup failed
+  refused,         // connection or permission refused
+  parse_error,     // command language syntax error
+  semantic_error,  // command language semantic violation
+  auth_error,      // authentication / authorization failure
+  conflict,        // version conflict, duplicate registration
+  unavailable,     // service/replica down or partitioned
+  invalid,         // invalid argument or state
+  io_error,        // generic transport failure
+};
+
+const char* errc_name(Errc c);
+
+struct Error {
+  Errc code = Errc::ok;
+  std::string message;
+
+  std::string to_string() const {
+    std::string s = errc_name(code);
+    if (!message.empty()) {
+      s += ": ";
+      s += message;
+    }
+    return s;
+  }
+};
+
+inline const char* errc_name(Errc c) {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::closed: return "closed";
+    case Errc::timeout: return "timeout";
+    case Errc::not_found: return "not_found";
+    case Errc::refused: return "refused";
+    case Errc::parse_error: return "parse_error";
+    case Errc::semantic_error: return "semantic_error";
+    case Errc::auth_error: return "auth_error";
+    case Errc::conflict: return "conflict";
+    case Errc::unavailable: return "unavailable";
+    case Errc::invalid: return "invalid";
+    case Errc::io_error: return "io_error";
+  }
+  return "unknown";
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}        // NOLINT(implicit)
+  Result(Error error) : state_(std::move(error)) {}    // NOLINT(implicit)
+  Result(Errc code, std::string message = {})
+      : state_(Error{code, std::move(message)}) {}
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(implicit)
+  Status(Errc code, std::string message = {})
+      : error_(Error{code, std::move(message)}) {}
+
+  static Status ok_status() { return Status(); }
+
+  bool ok() const { return error_.code == Errc::ok; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const { return error_; }
+
+ private:
+  Error error_{};
+};
+
+}  // namespace ace::util

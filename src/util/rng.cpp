@@ -1,0 +1,50 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace ace::util {
+
+std::uint64_t Rng::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_gaussian() {
+  double u1 = next_double();
+  double u2 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+std::string Rng::next_name(std::size_t n) {
+  static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    s.push_back(kAlpha[next_below(sizeof(kAlpha) - 1)]);
+  return s;
+}
+
+}  // namespace ace::util

@@ -1,0 +1,38 @@
+// Deterministic seedable RNG (splitmix64-based) used everywhere randomness
+// is needed: simulated sensors, packet loss, placement tie-breaks, workload
+// generators. Deterministic seeds keep tests and benches reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ace::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  // Standard-normal via Box-Muller.
+  double next_gaussian();
+
+  bool next_bool(double p_true);
+
+  // Random lowercase alphanumeric identifier of length n.
+  std::string next_name(std::size_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ace::util

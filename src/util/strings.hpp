@@ -1,0 +1,21 @@
+// Small string helpers shared across the ACE libraries.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ace::util {
+
+std::vector<std::string> split(std::string_view s, char sep);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string trim(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+std::string to_lower(std::string_view s);
+
+// Case-sensitive glob match supporting '*' (any run) and '?' (any one char).
+// Used by directory queries and notification filters.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+}  // namespace ace::util

@@ -1,0 +1,74 @@
+// Shared test deployment: one infrastructure host running the ASD, Room
+// Database, Network Logger and Authorization Database — the well-known
+// services every daemon's startup sequence (paper Fig 9) talks to.
+#pragma once
+
+#include <memory>
+
+#include "daemon/environment.hpp"
+#include "daemon/host.hpp"
+#include "services/asd.hpp"
+#include "services/auth_db.hpp"
+#include "services/net_logger.hpp"
+#include "services/room_db.hpp"
+
+namespace ace::testenv {
+
+struct AceTestEnv {
+  explicit AceTestEnv(std::uint64_t seed = 42, bool encrypt = true)
+      : env(seed) {
+    env.channel_options().encrypt = encrypt;
+    infra_host = std::make_unique<daemon::DaemonHost>(env, "infra");
+
+    env.asd_address = {"infra", daemon::kAsdPort};
+    env.room_db_address = {"infra", daemon::kRoomDbPort};
+    env.net_logger_address = {"infra", daemon::kNetLoggerPort};
+    env.auth_db_address = {"infra", daemon::kAuthDbPort};
+
+    daemon::DaemonConfig asd_config;
+    asd_config.name = "asd";
+    asd_config.port = daemon::kAsdPort;
+    asd_config.room = "machine-room";
+    asd_config.register_with_room_db = false;  // boots before the Room DB
+    asd = &infra_host->add_daemon<services::AsdDaemon>(asd_config,
+                                                       services::AsdOptions{});
+
+    daemon::DaemonConfig room_config;
+    room_config.name = "room-db";
+    room_config.port = daemon::kRoomDbPort;
+    room_config.room = "machine-room";
+    room_db = &infra_host->add_daemon<services::RoomDbDaemon>(room_config);
+
+    daemon::DaemonConfig log_config;
+    log_config.name = "net-logger";
+    log_config.port = daemon::kNetLoggerPort;
+    log_config.room = "machine-room";
+    net_logger = &infra_host->add_daemon<services::NetLoggerDaemon>(
+        log_config, services::NetLoggerOptions{});
+
+    daemon::DaemonConfig auth_config;
+    auth_config.name = "auth-db";
+    auth_config.port = daemon::kAuthDbPort;
+    auth_config.room = "machine-room";
+    auth_db = &infra_host->add_daemon<services::AuthDbDaemon>(auth_config);
+  }
+
+  util::Status start() { return infra_host->start_all(); }
+
+  // A client on its own access-point host.
+  std::unique_ptr<daemon::AceClient> make_client(const std::string& host_name,
+                                                 const std::string& principal) {
+    auto& host = env.network().add_host(host_name);
+    return std::make_unique<daemon::AceClient>(
+        env, host, env.issue_identity(principal));
+  }
+
+  daemon::Environment env;
+  std::unique_ptr<daemon::DaemonHost> infra_host;
+  services::AsdDaemon* asd = nullptr;
+  services::RoomDbDaemon* room_db = nullptr;
+  services::NetLoggerDaemon* net_logger = nullptr;
+  services::AuthDbDaemon* auth_db = nullptr;
+};
+
+}  // namespace ace::testenv

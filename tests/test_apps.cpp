@@ -1,0 +1,461 @@
+// Tests for user applications (paper Ch 5): the VNC workspace system
+// (§5.4 Fig 16), the WSS-VNC glue with invisible password management, the
+// O-Phone (§5.5), the mobile-socket client (Ch 9) and the admin GUI model
+// (§1.2 Fig 2).
+#include <gtest/gtest.h>
+
+#include "ace_test_env.hpp"
+#include "apps/admin_gui.hpp"
+#include "apps/framebuffer.hpp"
+#include "apps/mobile.hpp"
+#include "apps/ophone.hpp"
+#include "apps/vnc.hpp"
+#include "apps/workspace_backend.hpp"
+#include "daemon/devices.hpp"
+#include "media/dsp.hpp"
+#include "services/monitors.hpp"
+#include "services/workspace.hpp"
+#include "store/persistent_store.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+// -------------------------------------------------------------- framebuffer
+
+TEST(Framebuffer, FillAndPixelAccess) {
+  apps::Framebuffer fb(64, 48);
+  fb.fill_rect({10, 10, 5, 5}, 0x80);
+  EXPECT_EQ(fb.pixel(12, 12), 0x80);
+  EXPECT_EQ(fb.pixel(9, 12), 0);
+  EXPECT_EQ(fb.pixel(100, 100), 0);  // out of bounds reads zero
+}
+
+TEST(Framebuffer, DirtyTrackingCoversWrites) {
+  apps::Framebuffer fb(64, 48);
+  EXPECT_FALSE(fb.has_dirty());
+  fb.set_pixel(20, 20, 5);
+  EXPECT_TRUE(fb.has_dirty());
+  auto rects = fb.dirty_rects();
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_LE(rects[0].x, 20);
+  EXPECT_LE(rects[0].y, 20);
+  fb.clear_dirty();
+  EXPECT_FALSE(fb.has_dirty());
+}
+
+TEST(Framebuffer, NoOpWriteDoesNotDirty) {
+  apps::Framebuffer fb(32, 32);
+  fb.set_pixel(5, 5, 0);  // already 0
+  EXPECT_FALSE(fb.has_dirty());
+}
+
+TEST(Framebuffer, IncrementalUpdatesReproduceContent) {
+  apps::Framebuffer server(64, 48), viewer(64, 48);
+  server.fill_rect({0, 0, 64, 48}, 0x20);
+  ASSERT_TRUE(viewer.apply_updates(server.encode_updates(true)));
+  server.clear_dirty();
+  EXPECT_EQ(viewer.content_hash(), server.content_hash());
+
+  server.fill_rect({30, 20, 10, 8}, 0xd0);
+  server.draw_label(2, 2, "hello", 0xff);
+  util::Bytes delta = server.encode_updates(false);
+  server.clear_dirty();
+  ASSERT_TRUE(viewer.apply_updates(delta));
+  EXPECT_EQ(viewer.content_hash(), server.content_hash());
+}
+
+TEST(Framebuffer, DirtyUpdatesSmallerThanFullFrame) {
+  apps::Framebuffer fb(320, 240);
+  fb.fill_rect({0, 0, 320, 240}, 0x11);
+  fb.clear_dirty();
+  fb.fill_rect({10, 10, 16, 16}, 0x99);
+  EXPECT_LT(fb.encode_updates(false).size(),
+            fb.encode_updates(true).size() / 4);
+}
+
+// --------------------------------------------------------------------- VNC
+
+class VncTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<testenv::AceTestEnv>();
+    ASSERT_TRUE(deployment_->start().ok());
+    client_ = deployment_->make_client("laptop", "user/john");
+    server_host_ =
+        std::make_unique<daemon::DaemonHost>(deployment_->env, "vnc-host");
+    ap1_ = std::make_unique<daemon::DaemonHost>(deployment_->env, "podium");
+    ap2_ = std::make_unique<daemon::DaemonHost>(deployment_->env, "office");
+  }
+
+  daemon::DaemonConfig cfg(const std::string& name) {
+    daemon::DaemonConfig c;
+    c.name = name;
+    c.room = "hawk";
+    return c;
+  }
+
+  apps::VncServerDaemon& make_server() {
+    auto& server = server_host_->add_daemon<apps::VncServerDaemon>(
+        cfg("vnc-john"), "john", "default");
+    server.set_password("s3cret");
+    EXPECT_TRUE(server.start().ok());
+    return server;
+  }
+
+  apps::VncViewerDaemon& make_viewer(daemon::DaemonHost& host,
+                                     const std::string& name) {
+    auto& viewer = host.add_daemon<apps::VncViewerDaemon>(cfg(name));
+    EXPECT_TRUE(viewer.start().ok());
+    return viewer;
+  }
+
+  static bool converged(const apps::VncServerDaemon& server,
+                        const apps::VncViewerDaemon& viewer,
+                        std::chrono::milliseconds timeout = 2s) {
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (server.framebuffer_hash() == viewer.framebuffer_hash()) return true;
+      std::this_thread::sleep_for(10ms);
+    }
+    return false;
+  }
+
+  std::unique_ptr<testenv::AceTestEnv> deployment_;
+  std::unique_ptr<daemon::AceClient> client_;
+  std::unique_ptr<daemon::DaemonHost> server_host_;
+  std::unique_ptr<daemon::DaemonHost> ap1_, ap2_;
+};
+
+TEST_F(VncTest, AttachRequiresPassword) {
+  auto& server = make_server();
+  auto& viewer = make_viewer(*ap1_, "viewer1");
+  EXPECT_FALSE(viewer.attach(server.address(), "wrong").ok());
+  EXPECT_EQ(server.viewer_count(), 0u);
+  EXPECT_TRUE(viewer.attach(server.address(), "s3cret").ok());
+  EXPECT_EQ(server.viewer_count(), 1u);
+}
+
+TEST_F(VncTest, ViewerMirrorsServerContent) {
+  auto& server = make_server();
+  auto& viewer = make_viewer(*ap1_, "viewer1");
+  ASSERT_TRUE(viewer.attach(server.address(), "s3cret").ok());
+  EXPECT_TRUE(converged(server, viewer));
+
+  // Run an app; the incremental update reaches the viewer.
+  CmdLine run("vncRunApp");
+  run.arg("command", "editor");
+  ASSERT_TRUE(client_->call_ok(server.address(), run).ok());
+  EXPECT_TRUE(converged(server, viewer));
+  EXPECT_GE(viewer.updates_received(), 2u);
+}
+
+TEST_F(VncTest, StatePreservedAcrossAccessPointMoves) {
+  // §1.3: "upon leaving ... the workspace and its current state are
+  // maintained. The user can then pick up where he/she left off at another
+  // access point."
+  auto& server = make_server();
+  auto& viewer1 = make_viewer(*ap1_, "viewer-podium");
+  ASSERT_TRUE(viewer1.attach(server.address(), "s3cret").ok());
+
+  CmdLine run("vncRunApp");
+  run.arg("command", "presentation");
+  ASSERT_TRUE(client_->call_ok(server.address(), run).ok());
+  CmdLine type("vncInput");
+  type.arg("kind", Word{"key"});
+  type.arg("key", "x");
+  ASSERT_TRUE(client_->call_ok(server.address(), type).ok());
+
+  std::uint64_t state_before = server.framebuffer_hash();
+  ASSERT_TRUE(viewer1.detach().ok());
+
+  // Reattach from a different access point: identical content, and the
+  // application windows survived.
+  auto& viewer2 = make_viewer(*ap2_, "viewer-office");
+  ASSERT_TRUE(viewer2.attach(server.address(), "s3cret").ok());
+  EXPECT_TRUE(converged(server, viewer2));
+  EXPECT_EQ(server.framebuffer_hash(), state_before);
+  ASSERT_EQ(server.windows().size(), 1u);
+  EXPECT_EQ(server.windows()[0].command, "presentation");
+}
+
+TEST_F(VncTest, MultipleViewersReceiveSameUpdates) {
+  auto& server = make_server();
+  auto& v1 = make_viewer(*ap1_, "v1");
+  auto& v2 = make_viewer(*ap2_, "v2");
+  ASSERT_TRUE(v1.attach(server.address(), "s3cret").ok());
+  ASSERT_TRUE(v2.attach(server.address(), "s3cret").ok());
+  CmdLine run("vncRunApp");
+  run.arg("command", "shared-doc");
+  ASSERT_TRUE(client_->call_ok(server.address(), run).ok());
+  EXPECT_TRUE(converged(server, v1));
+  EXPECT_TRUE(converged(server, v2));
+}
+
+TEST_F(VncTest, CheckpointRestoreThroughPersistentStore) {
+  // One store replica suffices for the mechanism.
+  daemon::DaemonConfig sc = cfg("store1");
+  auto& replica =
+      server_host_->add_daemon<store::PersistentStoreDaemon>(sc, 1);
+  ASSERT_TRUE(replica.start().ok());
+
+  auto& server = make_server();
+  server.enable_persistence({replica.address()});
+
+  CmdLine run("vncRunApp");
+  run.arg("command", "notes");
+  ASSERT_TRUE(client_->call_ok(server.address(), run).ok());
+  std::uint64_t hash = server.framebuffer_hash();
+  ASSERT_TRUE(client_->call_ok(server.address(), CmdLine("vncCheckpoint")).ok());
+
+  // Wreck the workspace, then restore.
+  CmdLine wreck("vncInput");
+  wreck.arg("kind", Word{"pointer"});
+  wreck.arg("x", 50);
+  wreck.arg("y", 50);
+  ASSERT_TRUE(client_->call_ok(server.address(), wreck).ok());
+  EXPECT_NE(server.framebuffer_hash(), hash);
+
+  ASSERT_TRUE(client_->call_ok(server.address(), CmdLine("vncRestore")).ok());
+  EXPECT_EQ(server.framebuffer_hash(), hash);
+  ASSERT_EQ(server.windows().size(), 1u);
+  EXPECT_EQ(server.windows()[0].command, "notes");
+}
+
+// --------------------------------------------------------- WSS-VNC factory
+
+TEST_F(VncTest, WssFactoryManagesPasswordsInvisibly) {
+  auto& wss = server_host_->add_daemon<services::WssDaemon>(cfg("wss"));
+  ASSERT_TRUE(wss.start().ok());
+
+  apps::VncWorkspaceFactory factory(
+      deployment_->env, {server_host_.get()},
+      {{"podium", ap1_.get()}, {"office", ap2_.get()}});
+  factory.install(wss);
+
+  CmdLine create("wssDefault");
+  create.arg("owner", Word{"kate"});
+  auto ws = client_->call_ok(wss.address(), create);
+  ASSERT_TRUE(ws.ok()) << ws.error().to_string();
+  net::Address server_addr{ws->get_text("host"),
+                           static_cast<std::uint16_t>(ws->get_integer("port"))};
+
+  auto* server = factory.server_at(server_addr);
+  ASSERT_NE(server, nullptr);
+  EXPECT_FALSE(server->password().empty());  // generated, never shown
+
+  // Show at the podium: the factory attaches a viewer with the managed
+  // password; the user never typed one (§5.4).
+  CmdLine show("wssShow");
+  show.arg("workspace", "kate/default");
+  show.arg("location", "podium");
+  ASSERT_TRUE(client_->call_ok(wss.address(), show).ok());
+  auto* viewer = factory.viewer_on("podium");
+  ASSERT_NE(viewer, nullptr);
+  EXPECT_TRUE(converged(*server, *viewer));
+
+  // Move to the office access point (Scenario 3's "pick up where he left
+  // off").
+  CmdLine run("vncRunApp");
+  run.arg("command", "spreadsheet");
+  ASSERT_TRUE(client_->call_ok(server_addr, run).ok());
+  CmdLine show2("wssShow");
+  show2.arg("workspace", "kate/default");
+  show2.arg("location", "office");
+  ASSERT_TRUE(client_->call_ok(wss.address(), show2).ok());
+  auto* viewer2 = factory.viewer_on("office");
+  ASSERT_NE(viewer2, nullptr);
+  EXPECT_TRUE(converged(*server, *viewer2));
+}
+
+// ------------------------------------------------------------------ O-Phone
+
+class OPhoneTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<testenv::AceTestEnv>();
+    ASSERT_TRUE(deployment_->start().ok());
+    client_ = deployment_->make_client("laptop", "user/caller");
+    h1_ = std::make_unique<daemon::DaemonHost>(deployment_->env, "office-a");
+    h2_ = std::make_unique<daemon::DaemonHost>(deployment_->env, "office-b");
+
+    daemon::DaemonConfig c1;
+    c1.name = "phone-a";
+    c1.room = "office-a";
+    phone_a_ = &h1_->add_daemon<apps::OPhoneDaemon>(c1, true);
+    daemon::DaemonConfig c2;
+    c2.name = "phone-b";
+    c2.room = "office-b";
+    phone_b_ = &h2_->add_daemon<apps::OPhoneDaemon>(c2, true);
+    ASSERT_TRUE(phone_a_->start().ok());
+    ASSERT_TRUE(phone_b_->start().ok());
+  }
+
+  std::unique_ptr<testenv::AceTestEnv> deployment_;
+  std::unique_ptr<daemon::AceClient> client_;
+  std::unique_ptr<daemon::DaemonHost> h1_, h2_;
+  apps::OPhoneDaemon* phone_a_ = nullptr;
+  apps::OPhoneDaemon* phone_b_ = nullptr;
+};
+
+TEST_F(OPhoneTest, DialConnectsBothEnds) {
+  CmdLine dial("phoneDial");
+  dial.arg("peer", phone_b_->address().to_string());
+  ASSERT_TRUE(client_->call_ok(phone_a_->address(), dial).ok());
+  EXPECT_EQ(phone_a_->state(), apps::OPhoneDaemon::State::in_call);
+  EXPECT_EQ(phone_b_->state(), apps::OPhoneDaemon::State::in_call);
+}
+
+TEST_F(OPhoneTest, FullDuplexVoiceFlows) {
+  CmdLine dial("phoneDial");
+  dial.arg("peer", phone_b_->address().to_string());
+  ASSERT_TRUE(client_->call_ok(phone_a_->address(), dial).ok());
+
+  auto voice_a = media::sine_wave(300, 9000, 10 * media::kFrameSamples, 0);
+  auto voice_b = media::sine_wave(500, 9000, 10 * media::kFrameSamples, 0);
+  ASSERT_TRUE(phone_a_->speak(voice_a).ok());
+  ASSERT_TRUE(phone_b_->speak(voice_b).ok());
+
+  auto deadline = std::chrono::steady_clock::now() + 2s;
+  while ((phone_a_->frames_received() < 10 ||
+          phone_b_->frames_received() < 10) &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(10ms);
+  EXPECT_GE(phone_a_->frames_received(), 10u);
+  EXPECT_GE(phone_b_->frames_received(), 10u);
+
+  // What B hears is A's tone (ADPCM round-trip preserved the pitch).
+  auto heard_by_b = phone_b_->drain_audio();
+  ASSERT_GE(heard_by_b.size(), 800u);
+  double p300 = media::goertzel_power(heard_by_b, 0, 800, 300,
+                                      media::kSampleRate);
+  double p500 = media::goertzel_power(heard_by_b, 0, 800, 500,
+                                      media::kSampleRate);
+  EXPECT_GT(p300, 10.0 * p500);
+}
+
+TEST_F(OPhoneTest, BusyPhoneRejectsSecondCall) {
+  CmdLine dial("phoneDial");
+  dial.arg("peer", phone_b_->address().to_string());
+  ASSERT_TRUE(client_->call_ok(phone_a_->address(), dial).ok());
+
+  daemon::DaemonHost h3(deployment_->env, "office-c");
+  daemon::DaemonConfig c3;
+  c3.name = "phone-c";
+  c3.room = "office-c";
+  auto& phone_c = h3.add_daemon<apps::OPhoneDaemon>(c3, true);
+  ASSERT_TRUE(phone_c.start().ok());
+
+  CmdLine dial2("phoneDial");
+  dial2.arg("peer", phone_b_->address().to_string());
+  auto r = client_->call(phone_c.address(), dial2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(cmdlang::is_error(r.value()));
+}
+
+TEST_F(OPhoneTest, HangupStopsAudio) {
+  CmdLine dial("phoneDial");
+  dial.arg("peer", phone_b_->address().to_string());
+  ASSERT_TRUE(client_->call_ok(phone_a_->address(), dial).ok());
+  ASSERT_TRUE(client_->call_ok(phone_b_->address(), CmdLine("phoneHangup")).ok());
+  EXPECT_EQ(phone_b_->state(), apps::OPhoneDaemon::State::idle);
+  // Speaking into a hung-up call is still "sent" but discarded by the peer.
+  auto before = phone_b_->frames_received();
+  (void)phone_a_->speak(media::sine_wave(300, 5000, media::kFrameSamples, 0));
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(phone_b_->frames_received(), before);
+}
+
+// ------------------------------------------------------------ mobile client
+
+TEST(MobileClient, FailsOverToReplacementInstance) {
+  testenv::AceTestEnv deployment;
+  ASSERT_TRUE(deployment.start().ok());
+  auto client = deployment.make_client("laptop", "user/roamer");
+
+  daemon::DaemonHost h1(deployment.env, "host1");
+  daemon::DaemonHost h2(deployment.env, "host2");
+  daemon::DaemonConfig c1;
+  c1.name = "hrm-1";
+  c1.room = "hawk";
+  c1.lease = 400ms;
+  c1.lease_renew = 100ms;
+  auto& svc1 = h1.add_daemon<services::HrmDaemon>(c1);
+  daemon::DaemonConfig c2;
+  c2.name = "hrm-2";
+  c2.room = "hawk";
+  auto& svc2 = h2.add_daemon<services::HrmDaemon>(c2);
+  ASSERT_TRUE(svc1.start().ok());
+  ASSERT_TRUE(svc2.start().ok());
+
+  apps::MobileServiceClient mobile(deployment.env, *client,
+                                   "Service/Monitor/HRM*");
+  auto r1 = mobile.call(CmdLine("hrmStatus"));
+  ASSERT_TRUE(r1.ok());
+  net::Address first = mobile.bound();
+
+  // Kill whichever instance the client bound to.
+  (first == svc1.address() ? svc1 : svc2).crash();
+  // Wait for the ASD to reap it so rebinding cannot pick it again.
+  std::this_thread::sleep_for(700ms);
+
+  auto r2 = mobile.call(CmdLine("hrmStatus"));
+  ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+  EXPECT_NE(mobile.bound(), first);
+  EXPECT_EQ(mobile.failovers(), 1);
+}
+
+// ---------------------------------------------------------------- admin GUI
+
+TEST(AdminGui, TreeGroupsByRoomWithParameterControls) {
+  testenv::AceTestEnv deployment;
+  ASSERT_TRUE(deployment.start().ok());
+  auto client = deployment.make_client("admin-pc", "user/admin");
+
+  daemon::DaemonHost hawk(deployment.env, "hawk-box");
+  daemon::DaemonConfig cam_cfg;
+  cam_cfg.name = "cam1";
+  cam_cfg.room = "hawk";
+  auto& camera =
+      hawk.add_daemon<daemon::PtzCameraDaemon>(cam_cfg, daemon::vcc4_spec());
+  daemon::DaemonConfig proj_cfg;
+  proj_cfg.name = "proj1";
+  proj_cfg.room = "hawk";
+  auto& projector = hawk.add_daemon<daemon::ProjectorDaemon>(
+      proj_cfg, daemon::epson7350_spec());
+  ASSERT_TRUE(camera.start().ok());
+  ASSERT_TRUE(projector.start().ok());
+
+  apps::AdminGuiModel gui(deployment.env, *client);
+  ASSERT_TRUE(gui.refresh().ok());
+
+  // Fig 2's left side: services grouped by room.
+  const apps::ServiceNode* cam = gui.find_service("cam1");
+  ASSERT_NE(cam, nullptr);
+  bool hawk_room_found = false;
+  for (const auto& room : gui.tree()) {
+    if (room.room != "hawk") continue;
+    hawk_room_found = true;
+    EXPECT_GE(room.services.size(), 2u);
+  }
+  EXPECT_TRUE(hawk_room_found);
+
+  // Fig 2's right side: the camera's parameter controls include ptzMove
+  // with its typed arguments.
+  bool has_move = false;
+  for (const auto& control : cam->controls) {
+    if (control.command != "ptzMove") continue;
+    has_move = true;
+    EXPECT_FALSE(control.arguments.empty());
+  }
+  EXPECT_TRUE(has_move);
+
+  // "Clicking" the on/off button and a slider.
+  ASSERT_TRUE(gui.invoke("cam1", CmdLine("deviceOn")).ok());
+  CmdLine move("ptzMove");
+  move.arg("pan", -20.0);
+  move.arg("tilt", 5.0);
+  ASSERT_TRUE(gui.invoke("cam1", move).ok());
+  EXPECT_DOUBLE_EQ(camera.ptz_state().pan, -20.0);
+}

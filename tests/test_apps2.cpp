@@ -1,0 +1,212 @@
+// Second applications suite: the full robust-workspace recovery story
+// (Ch 6's reason for existing: "if user workspaces, applications, and
+// robust services fail, they can quickly be recovered to their last known
+// state"), O-Phone behaviour on lossy links, VNC input paths, and error
+// paths of the mobile client and admin GUI.
+#include <gtest/gtest.h>
+
+#include "ace_test_env.hpp"
+#include "apps/admin_gui.hpp"
+#include "apps/mobile.hpp"
+#include "apps/ophone.hpp"
+#include "apps/vnc.hpp"
+#include "media/audio.hpp"
+#include "media/dsp.hpp"
+#include "store/persistent_store.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+class Apps2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<testenv::AceTestEnv>();
+    ASSERT_TRUE(deployment_->start().ok());
+    client_ = deployment_->make_client("laptop", "user/john");
+  }
+
+  daemon::DaemonConfig cfg(const std::string& name,
+                           const std::string& room = "hawk") {
+    daemon::DaemonConfig c;
+    c.name = name;
+    c.room = room;
+    return c;
+  }
+
+  std::unique_ptr<testenv::AceTestEnv> deployment_;
+  std::unique_ptr<daemon::AceClient> client_;
+};
+
+// ------------------------------------------------- robust workspace recovery
+
+TEST_F(Apps2Test, WorkspaceSurvivesServerCrashViaPersistentStore) {
+  daemon::DaemonHost store_host(deployment_->env, "store-host");
+  daemon::DaemonConfig sc = cfg("store1", "machine-room");
+  sc.port = 6000;
+  auto& replica = store_host.add_daemon<store::PersistentStoreDaemon>(sc, 1);
+  ASSERT_TRUE(replica.start().ok());
+
+  // Incarnation 1 of John's workspace, with persistence enabled.
+  daemon::DaemonHost host1(deployment_->env, "ws-host-1");
+  auto& server1 = host1.add_daemon<apps::VncServerDaemon>(
+      cfg("vnc-john-1", "machine-room"), "john", "default");
+  server1.set_password("pw");
+  server1.enable_persistence({replica.address()});
+  ASSERT_TRUE(server1.start().ok());
+
+  // John works: apps open, input typed, then the state is checkpointed.
+  for (const char* app : {"editor", "slides", "terminal"}) {
+    CmdLine run("vncRunApp");
+    run.arg("command", app);
+    ASSERT_TRUE(client_->call_ok(server1.address(), run).ok());
+  }
+  CmdLine type("vncInput");
+  type.arg("kind", Word{"key"});
+  type.arg("key", "q");
+  ASSERT_TRUE(client_->call_ok(server1.address(), type).ok());
+  std::uint64_t golden = server1.framebuffer_hash();
+  ASSERT_TRUE(
+      client_->call_ok(server1.address(), CmdLine("vncCheckpoint")).ok());
+
+  // The workspace host dies.
+  host1.fail();
+
+  // A replacement incarnation comes up elsewhere and restores from the
+  // store: same owner/name -> same state namespace.
+  daemon::DaemonHost host2(deployment_->env, "ws-host-2");
+  auto& server2 = host2.add_daemon<apps::VncServerDaemon>(
+      cfg("vnc-john-2", "machine-room"), "john", "default");
+  server2.enable_persistence({replica.address()});
+  ASSERT_TRUE(server2.start().ok());
+  ASSERT_TRUE(client_->call_ok(server2.address(), CmdLine("vncRestore")).ok());
+
+  EXPECT_EQ(server2.framebuffer_hash(), golden);
+  EXPECT_EQ(server2.windows().size(), 3u);
+  // The restored password file works too (§5.4's WSS-managed passwords).
+  EXPECT_EQ(server2.password(), "pw");
+
+  // And a viewer can attach to the reincarnation and see the old content.
+  daemon::DaemonHost ap(deployment_->env, "podium");
+  auto& viewer = ap.add_daemon<apps::VncViewerDaemon>(cfg("viewer", "hall"));
+  ASSERT_TRUE(viewer.start().ok());
+  ASSERT_TRUE(viewer.attach(server2.address(), "pw").ok());
+  auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (viewer.framebuffer_hash() != golden &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(viewer.framebuffer_hash(), golden);
+}
+
+// ----------------------------------------------------- O-Phone on lossy link
+
+TEST_F(Apps2Test, OPhoneCountsLossAndKeepsTalking) {
+  daemon::DaemonHost h1(deployment_->env, "office-a");
+  daemon::DaemonHost h2(deployment_->env, "office-b");
+  net::LinkPolicy lossy;
+  lossy.datagram_loss = 0.3;
+  deployment_->env.network().set_link("office-a", "office-b", lossy);
+
+  auto& phone_a =
+      h1.add_daemon<apps::OPhoneDaemon>(cfg("phone-a", "office-a"), true);
+  auto& phone_b =
+      h2.add_daemon<apps::OPhoneDaemon>(cfg("phone-b", "office-b"), true);
+  ASSERT_TRUE(phone_a.start().ok());
+  ASSERT_TRUE(phone_b.start().ok());
+
+  CmdLine dial("phoneDial");
+  dial.arg("peer", phone_b.address().to_string());
+  ASSERT_TRUE(client_->call_ok(phone_a.address(), dial).ok());
+
+  constexpr int kFrames = 100;
+  ASSERT_TRUE(phone_a
+                  .speak(media::sine_wave(300, 9000,
+                                          kFrames * media::kFrameSamples, 0))
+                  .ok());
+  auto deadline = std::chrono::steady_clock::now() + 3s;
+  while (phone_b.frames_received() + phone_b.frames_lost() <
+             static_cast<std::uint64_t>(kFrames) * 6 / 10 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(10ms);
+
+  // Roughly 30% loss: some frames counted lost, most delivered, and the
+  // voice that does arrive still carries the speaker's pitch.
+  EXPECT_GT(phone_b.frames_received(), kFrames / 3u);
+  EXPECT_GT(phone_b.frames_lost(), 5u);
+  auto heard = phone_b.drain_audio(200);
+  ASSERT_GE(heard.size(), 800u);
+  double p300 =
+      media::goertzel_power(heard, 0, 800, 300, media::kSampleRate);
+  double p700 =
+      media::goertzel_power(heard, 0, 800, 700, media::kSampleRate);
+  EXPECT_GT(p300, 5.0 * p700);
+}
+
+// -------------------------------------------------------------- VNC details
+
+TEST_F(Apps2Test, PointerAndKeyInputReachViewers) {
+  daemon::DaemonHost host(deployment_->env, "ws-host");
+  auto& server = host.add_daemon<apps::VncServerDaemon>(
+      cfg("vnc", "machine-room"), "kate", "default");
+  server.set_password("pw");
+  ASSERT_TRUE(server.start().ok());
+  auto& viewer = host.add_daemon<apps::VncViewerDaemon>(cfg("viewer"));
+  ASSERT_TRUE(viewer.start().ok());
+  ASSERT_TRUE(viewer.attach(server.address(), "pw").ok());
+
+  CmdLine pointer("vncInput");
+  pointer.arg("kind", Word{"pointer"});
+  pointer.arg("x", 80);
+  pointer.arg("y", 60);
+  ASSERT_TRUE(client_->call_ok(server.address(), pointer).ok());
+  CmdLine key("vncInput");
+  key.arg("kind", Word{"key"});
+  key.arg("key", "a");
+  ASSERT_TRUE(client_->call_ok(server.address(), key).ok());
+
+  auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (viewer.framebuffer_hash() != server.framebuffer_hash() &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(viewer.framebuffer_hash(), server.framebuffer_hash());
+  EXPECT_GE(viewer.updates_received(), 3u);  // initial + 2 input deltas
+  EXPECT_GT(viewer.update_bytes_received(), 0u);
+}
+
+TEST_F(Apps2Test, SnapshotReportsAppsAndOwner) {
+  daemon::DaemonHost host(deployment_->env, "ws-host");
+  auto& server = host.add_daemon<apps::VncServerDaemon>(
+      cfg("vnc", "machine-room"), "kate", "slides");
+  ASSERT_TRUE(server.start().ok());
+  CmdLine run("vncRunApp");
+  run.arg("command", "deck");
+  ASSERT_TRUE(client_->call_ok(server.address(), run).ok());
+
+  auto snap = client_->call_ok(server.address(), CmdLine("vncSnapshot"));
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->get_text("owner"), "kate");
+  EXPECT_EQ(snap->get_text("name"), "slides");
+  auto apps = snap->get_vector("apps");
+  ASSERT_TRUE(apps.has_value());
+  ASSERT_EQ(apps->elements.size(), 1u);
+  EXPECT_NE(apps->elements[0].as_text().find("deck"), std::string::npos);
+}
+
+// ----------------------------------------------------------- error paths
+
+TEST_F(Apps2Test, MobileClientReportsNoInstances) {
+  apps::MobileServiceClient mobile(deployment_->env, *client_,
+                                   "Service/Nothing/Like/This*");
+  auto r = mobile.call(CmdLine("ping"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, util::Errc::unavailable);
+}
+
+TEST_F(Apps2Test, AdminGuiRejectsUnknownService) {
+  apps::AdminGuiModel gui(deployment_->env, *client_);
+  ASSERT_TRUE(gui.refresh().ok());
+  auto r = gui.invoke("does-not-exist", CmdLine("ping"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, util::Errc::not_found);
+}

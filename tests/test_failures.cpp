@@ -1,0 +1,380 @@
+// Failure injection and property-style tests across the stack:
+//  * network partitions between daemons and the ASD (lease expiry path),
+//  * dead notification subscribers being dropped,
+//  * randomized command-language round trips (property: parse(serialize(x))
+//    == x for arbitrary generated commands),
+//  * store convergence under concurrent writers through different replicas,
+//  * datagram loss on media streams.
+#include <gtest/gtest.h>
+
+#include "ace_test_env.hpp"
+#include "cmdlang/parser.hpp"
+#include "media/audio_services.hpp"
+#include "services/monitors.hpp"
+#include "store/persistent_store.hpp"
+#include "store/store_client.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+// ------------------------------------------------ cmdlang round-trip property
+
+namespace {
+
+// Generates a random but grammatically valid command from a seed.
+cmdlang::CmdLine random_command(util::Rng& rng) {
+  auto random_word = [&] {
+    std::string w = "w";
+    w += rng.next_name(1 + rng.next_below(8));
+    return w;
+  };
+  auto random_scalar = [&]() -> cmdlang::Value {
+    switch (rng.next_below(4)) {
+      case 0: return cmdlang::Value(rng.next_range(-1000000, 1000000));
+      case 1: return cmdlang::Value(rng.next_gaussian() * 1000.0);
+      case 2: return cmdlang::Value(cmdlang::Word{random_word()});
+      default: {
+        std::string s;
+        std::size_t n = rng.next_below(20);
+        for (std::size_t i = 0; i < n; ++i)
+          s.push_back(static_cast<char>(32 + rng.next_below(95)));
+        return cmdlang::Value(s);
+      }
+    }
+  };
+  auto random_vector = [&] {
+    cmdlang::Vector v;
+    std::size_t n = 1 + rng.next_below(5);
+    switch (rng.next_below(3)) {
+      case 0: {
+        v.element_type = cmdlang::ValueType::integer;
+        for (std::size_t i = 0; i < n; ++i)
+          v.elements.emplace_back(rng.next_range(-100, 100));
+        break;
+      }
+      case 1: {
+        v.element_type = cmdlang::ValueType::real;
+        for (std::size_t i = 0; i < n; ++i)
+          v.elements.emplace_back(rng.next_double() * 100.0);
+        break;
+      }
+      default: {
+        v.element_type = cmdlang::ValueType::word;
+        for (std::size_t i = 0; i < n; ++i)
+          v.elements.emplace_back(cmdlang::Word{random_word()});
+      }
+    }
+    return v;
+  };
+
+  cmdlang::CmdLine cmd(random_word());
+  std::size_t args = rng.next_below(8);
+  for (std::size_t i = 0; i < args; ++i) {
+    std::string name = "a" + std::to_string(i);
+    switch (rng.next_below(6)) {
+      case 0:
+      case 1:
+      case 2:
+        cmd.arg(name, random_scalar());
+        break;
+      case 3:
+      case 4:
+        cmd.arg(name, random_vector());
+        break;
+      default: {
+        cmdlang::Array arr;
+        std::size_t vectors = 1 + rng.next_below(3);
+        for (std::size_t k = 0; k < vectors; ++k)
+          arr.vectors.push_back(random_vector());
+        cmd.arg(name, std::move(arr));
+      }
+    }
+  }
+  return cmd;
+}
+
+}  // namespace
+
+class CmdLangRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CmdLangRoundTripProperty, ParseSerializeIsIdentity) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  for (int i = 0; i < 50; ++i) {
+    cmdlang::CmdLine original = random_command(rng);
+    std::string wire = original.to_string();
+    auto parsed = cmdlang::Parser::parse(wire);
+    ASSERT_TRUE(parsed.ok()) << wire << " : " << parsed.error().to_string();
+    // Value identity modulo the word/string quoting rule: re-serialize and
+    // compare strings (stable fixed point).
+    EXPECT_EQ(parsed->to_string(), wire) << wire;
+    auto reparsed = cmdlang::Parser::parse(parsed->to_string());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed.value(), parsed.value()) << wire;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CmdLangRoundTripProperty,
+                         ::testing::Range(0, 10));
+
+// -------------------------------------------------------- partition failures
+
+class FailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<testenv::AceTestEnv>();
+    ASSERT_TRUE(deployment_->start().ok());
+    client_ = deployment_->make_client("laptop", "user/tester");
+  }
+
+  daemon::DaemonConfig config(const std::string& name) {
+    daemon::DaemonConfig c;
+    c.name = name;
+    c.room = "hawk";
+    return c;
+  }
+
+  std::unique_ptr<testenv::AceTestEnv> deployment_;
+  std::unique_ptr<daemon::AceClient> client_;
+};
+
+TEST_F(FailureTest, PartitionFromAsdExpiresLease) {
+  daemon::DaemonHost host(deployment_->env, "island");
+  daemon::DaemonConfig c = config("islander");
+  c.lease = 300ms;
+  c.lease_renew = 100ms;
+  auto& svc = host.add_daemon<services::HrmDaemon>(c);
+  ASSERT_TRUE(svc.start().ok());
+  ASSERT_TRUE(services::asd_lookup(*client_, deployment_->env.asd_address,
+                                   "islander")
+                  .ok());
+
+  // The daemon still runs, but its renewals can no longer reach the ASD.
+  deployment_->env.network().set_partitioned("island", "infra", true);
+  std::this_thread::sleep_for(700ms);
+  EXPECT_TRUE(svc.running());  // alive...
+  EXPECT_FALSE(services::asd_lookup(*client_, deployment_->env.asd_address,
+                                    "islander")
+                   .ok());  // ...but reaped (paper §2.4 failure model)
+
+  // Healing the partition lets the next renewal fail (not registered), but
+  // the service remains reachable directly.
+  deployment_->env.network().set_partitioned("island", "infra", false);
+  auto direct = client_->call_ok(svc.address(), CmdLine("hrmStatus"));
+  EXPECT_TRUE(direct.ok());
+}
+
+TEST_F(FailureTest, DeadNotificationSubscriberIsDropped) {
+  daemon::DaemonHost host(deployment_->env, "work");
+  auto& source = host.add_daemon<services::HrmDaemon>(config("src"));
+  auto& sink = host.add_daemon<services::HrmDaemon>(config("snk"));
+  ASSERT_TRUE(source.start().ok());
+  ASSERT_TRUE(sink.start().ok());
+
+  CmdLine sub("addNotification");
+  sub.arg("command", Word{"hrmStatus"});
+  sub.arg("service", sink.address().to_string());
+  sub.arg("method", Word{"ping"});
+  ASSERT_TRUE(client_->call_ok(source.address(), sub).ok());
+
+  auto entries = [&] {
+    auto r = client_->call_ok(source.address(), CmdLine("listNotifications"));
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? r->get_vector("entries")->elements.size() : 0u;
+  };
+  EXPECT_EQ(entries(), 1u);
+
+  // Kill the subscriber; repeated notification failures must eventually
+  // clean up the subscription list.
+  sink.crash();
+  for (int i = 0; i < 10 && entries() > 0; ++i) {
+    (void)client_->call_ok(source.address(), CmdLine("hrmStatus"));
+    std::this_thread::sleep_for(100ms);
+  }
+  EXPECT_EQ(entries(), 0u);
+}
+
+TEST_F(FailureTest, NoReplyCommandsLeaveChannelUsable) {
+  daemon::DaemonHost host(deployment_->env, "work");
+  auto& svc = host.add_daemon<services::HrmDaemon>(config("quiet"));
+  ASSERT_TRUE(svc.start().ok());
+
+  // Interleave fire-and-forget sends with normal calls on one channel.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client_->send_only(svc.address(), CmdLine("ping")).ok());
+    auto r = client_->call_ok(svc.address(), CmdLine("hrmStatus"));
+    ASSERT_TRUE(r.ok()) << "iteration " << i;
+    EXPECT_EQ(r->get_text("host"), "work");
+  }
+}
+
+TEST_F(FailureTest, AnonymousPlaintextCallerIsDeniedUnderAuthorization) {
+  // Plaintext channels carry no certificate: the caller is "anonymous"
+  // and must be denied when authorization is enforced.
+  deployment_->env.channel_options().encrypt = false;
+  keynote::Assertion policy;
+  policy.authorizer = keynote::kPolicyAuthorizer;
+  policy.licensees = keynote::licensee_key("user/tester");
+  deployment_->env.add_policy(policy);
+
+  daemon::DaemonHost host(deployment_->env, "work");
+  daemon::DaemonConfig c = config("guarded");
+  c.enforce_authorization = true;
+  auto& svc = host.add_daemon<services::HrmDaemon>(c);
+  ASSERT_TRUE(svc.start().ok());
+
+  auto anon = deployment_->make_client("anon-pc", "user/tester");
+  auto r = anon->call(svc.address(), CmdLine("hrmStatus"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(cmdlang::is_error(r.value()));
+  EXPECT_EQ(cmdlang::reply_error(r.value()).code, util::Errc::auth_error);
+}
+
+// ----------------------------------------------------- store under contention
+
+TEST_F(FailureTest, StoreConvergesUnderConcurrentWriters) {
+  std::vector<std::unique_ptr<daemon::DaemonHost>> hosts;
+  std::vector<store::PersistentStoreDaemon*> replicas;
+  for (int i = 0; i < 3; ++i) {
+    hosts.push_back(std::make_unique<daemon::DaemonHost>(
+        deployment_->env, "store" + std::to_string(i)));
+    daemon::DaemonConfig c = config("store" + std::to_string(i));
+    c.port = 6000;
+    replicas.push_back(
+        &hosts.back()->add_daemon<store::PersistentStoreDaemon>(c, i + 1));
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::vector<net::Address> peers;
+    for (int j = 0; j < 3; ++j)
+      if (j != i) peers.push_back(replicas[j]->address());
+    replicas[i]->set_peers(peers);
+    ASSERT_TRUE(replicas[i]->start().ok());
+  }
+
+  // Three writers, each bound to a different replica, hammer the same keys.
+  std::vector<std::jthread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&, w] {
+      auto client = deployment_->make_client("writer" + std::to_string(w),
+                                             "svc/writer");
+      store::StoreClient store(*client, {replicas[w]->address()});
+      for (int i = 0; i < 50; ++i) {
+        (void)store.put("shared" + std::to_string(i % 5),
+                        util::to_bytes("w" + std::to_string(w) + "-" +
+                                       std::to_string(i)));
+      }
+    });
+  }
+  writers.clear();  // join
+
+  // Anti-entropy pass to settle any replication lost to races.
+  for (auto* r : replicas) (void)r->sync_from_peers();
+
+  // Convergence: all replicas agree on version and content of every key.
+  for (int k = 0; k < 5; ++k) {
+    std::string key = "shared" + std::to_string(k);
+    auto expected = replicas[0]->object(key);
+    ASSERT_TRUE(expected.has_value()) << key;
+    for (int i = 1; i < 3; ++i) {
+      auto got = replicas[i]->object(key);
+      ASSERT_TRUE(got.has_value()) << key;
+      EXPECT_EQ(got->version, expected->version) << key;
+      EXPECT_EQ(got->data, expected->data) << key;
+    }
+  }
+}
+
+// ------------------------------------------------------- lossy media streams
+
+TEST_F(FailureTest, AudioPipelineSurvivesDatagramLoss) {
+  daemon::DaemonHost host(deployment_->env, "av");
+  // 20% loss on the loopback path is impossible (loopback is clean), so
+  // run capture and play on different hosts with a lossy link.
+  daemon::DaemonHost far_host(deployment_->env, "far");
+  net::LinkPolicy lossy;
+  lossy.datagram_loss = 0.2;
+  deployment_->env.network().set_link("av", "far", lossy);
+
+  auto& cap = host.add_daemon<media::AudioCaptureDaemon>(config("cap"),
+                                                         "mic");
+  auto& play = far_host.add_daemon<media::AudioPlayDaemon>(config("spk"));
+  ASSERT_TRUE(cap.start().ok());
+  ASSERT_TRUE(play.start().ok());
+  cap.add_sink(play.data_address());
+
+  constexpr int kFrames = 200;
+  cap.capture_push(
+      media::sine_wave(440, 8000, kFrames * media::kFrameSamples, 0));
+  std::this_thread::sleep_for(500ms);
+  std::uint64_t delivered = play.frames_played();
+  // Best-effort: most frames arrive, some are lost, nothing wedges.
+  EXPECT_GT(delivered, kFrames / 2u);
+  EXPECT_LT(delivered, static_cast<std::uint64_t>(kFrames));
+}
+
+// ------------------------------------------------ authorization lifecycles
+
+TEST_F(FailureTest, RepeatedAuthDenialsRaiseSecurityAlert) {
+  keynote::Assertion policy;
+  policy.authorizer = keynote::kPolicyAuthorizer;
+  policy.licensees = keynote::licensee_key("user/alice");
+  deployment_->env.add_policy(policy);
+
+  daemon::DaemonHost host(deployment_->env, "work");
+  daemon::DaemonConfig c = config("guarded");
+  c.enforce_authorization = true;
+  auto& svc = host.add_daemon<services::HrmDaemon>(c);
+  ASSERT_TRUE(svc.start().ok());
+
+  auto mallory = deployment_->make_client("mallory-pc", "user/mallory");
+  for (int i = 0; i < 3; ++i) {
+    auto r = mallory->call(svc.address(), CmdLine("hrmStatus"));
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(cmdlang::is_error(r.value()));
+  }
+
+  // The denials reach the Network Logger as security events, which raises
+  // an alert after the configured threshold (paper §4.14).
+  bool alerted = false;
+  for (int i = 0; i < 200 && !alerted; ++i) {
+    alerted = deployment_->net_logger->alerts_raised() > 0;
+    if (!alerted) std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_TRUE(alerted);
+}
+
+TEST_F(FailureTest, CredentialCacheExpiresAndRevocationTakesEffect) {
+  deployment_->env.register_principal("admin-key");
+  keynote::Assertion policy;
+  policy.authorizer = keynote::kPolicyAuthorizer;
+  policy.licensees = keynote::licensee_key("admin-key");
+  deployment_->env.add_policy(policy);
+  ASSERT_TRUE(services::grant_credential(
+                  *client_, deployment_->env.auth_db_address,
+                  deployment_->env, "admin-key", "user/bob", "")
+                  .ok());
+
+  daemon::DaemonHost host(deployment_->env, "work");
+  daemon::DaemonConfig c = config("guarded");
+  c.enforce_authorization = true;
+  c.credential_cache_ttl = 200ms;
+  auto& svc = host.add_daemon<services::HrmDaemon>(c);
+  ASSERT_TRUE(svc.start().ok());
+
+  auto bob = deployment_->make_client("bob-pc", "user/bob");
+  auto allowed = bob->call_ok(svc.address(), CmdLine("hrmStatus"));
+  ASSERT_TRUE(allowed.ok()) << (allowed.ok() ? "" : allowed.error().to_string());
+
+  // Revoke at the Authorization DB. Within the cache TTL the old grant may
+  // still apply; after expiry it must not.
+  CmdLine revoke("credRemove");
+  revoke.arg("principal", "user/bob");
+  ASSERT_TRUE(
+      client_->call_ok(deployment_->env.auth_db_address, revoke).ok());
+  std::this_thread::sleep_for(300ms);
+  auto denied = bob->call(svc.address(), CmdLine("hrmStatus"));
+  ASSERT_TRUE(denied.ok());
+  EXPECT_TRUE(cmdlang::is_error(denied.value()));
+  EXPECT_EQ(cmdlang::reply_error(denied.value()).code, util::Errc::auth_error);
+}

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "keynote/assertion.hpp"
+#include "keynote/checker.hpp"
+#include "keynote/expr.hpp"
+
+using namespace ace;
+using namespace ace::keynote;
+
+// ----------------------------------------------------- condition language
+
+struct CondCase {
+  const char* name;
+  const char* expr;
+  bool expect;
+};
+
+class ConditionTest : public ::testing::TestWithParam<CondCase> {
+ protected:
+  static ActionEnv env() {
+    return {{"app_domain", "ace"},
+            {"command", "ptzMove"},
+            {"room", "hawk"},
+            {"duration", "120"},
+            {"level", "3.5"}};
+  }
+};
+
+TEST_P(ConditionTest, Evaluates) {
+  auto r = ConditionEvaluator::eval(GetParam().expr, env());
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value(), GetParam().expect) << GetParam().expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, ConditionTest,
+    ::testing::Values(
+        CondCase{"eq_true", "app_domain == \"ace\"", true},
+        CondCase{"eq_false", "app_domain == \"web\"", false},
+        CondCase{"neq", "command != \"shutdown\"", true},
+        CondCase{"numeric_lt", "duration < 200", true},
+        CondCase{"numeric_ge", "duration >= 120", true},
+        CondCase{"numeric_float", "level > 3", true},
+        CondCase{"and_both", "app_domain == \"ace\" && room == \"hawk\"", true},
+        CondCase{"and_short", "app_domain == \"web\" && room == \"hawk\"",
+                 false},
+        CondCase{"or_second", "room == \"dove\" || room == \"hawk\"", true},
+        CondCase{"not", "!(room == \"dove\")", true},
+        CondCase{"parens", "(duration < 60 || duration > 100) && level < 4",
+                 true},
+        CondCase{"glob", "command ~= \"ptz*\"", true},
+        CondCase{"glob_false", "command ~= \"proj*\"", false},
+        CondCase{"missing_attr_empty", "nothere == \"\"", true},
+        CondCase{"missing_attr_bare", "nothere", false},
+        CondCase{"bare_attr_nonempty", "room", true},
+        CondCase{"true_literal", "true", true},
+        CondCase{"false_literal", "false", false},
+        CondCase{"string_order", "room < \"zebra\"", true},
+        CondCase{"numeric_eq_string_form", "duration == 120", true}),
+    [](const ::testing::TestParamInfo<CondCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Conditions, EmptyIsVacuouslyTrue) {
+  auto r = ConditionEvaluator::eval("", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());
+}
+
+TEST(Conditions, SyntaxErrors) {
+  EXPECT_FALSE(ConditionEvaluator::check_syntax("a ==").ok());
+  EXPECT_FALSE(ConditionEvaluator::check_syntax("(a == b").ok());
+  EXPECT_FALSE(ConditionEvaluator::check_syntax("a == \"unterminated").ok());
+  EXPECT_FALSE(ConditionEvaluator::check_syntax("&& b").ok());
+  EXPECT_TRUE(ConditionEvaluator::check_syntax("a == b && c > 2").ok());
+}
+
+// ---------------------------------------------------- licensee expressions
+
+TEST(Licensees, ParseSingleKey) {
+  auto e = parse_licensees("\"alice\"");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, LicenseeExpr::Kind::key);
+  EXPECT_EQ((*e)->key, "alice");
+}
+
+TEST(Licensees, ParseBareWordKey) {
+  auto e = parse_licensees("ace-user:john");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->key, "ace-user:john");
+}
+
+TEST(Licensees, ParseDisjunctionConjunction) {
+  auto e = parse_licensees("\"a\" || (\"b\" && \"c\")");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, LicenseeExpr::Kind::any_of);
+  ASSERT_EQ((*e)->parts.size(), 2u);
+  EXPECT_EQ((*e)->parts[1]->kind, LicenseeExpr::Kind::all_of);
+}
+
+TEST(Licensees, ParseThreshold) {
+  auto e = parse_licensees("2-of(\"a\",\"b\",\"c\")");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, LicenseeExpr::Kind::threshold);
+  EXPECT_EQ((*e)->threshold_k, 2);
+  EXPECT_EQ((*e)->parts.size(), 3u);
+}
+
+TEST(Licensees, ThresholdOutOfRangeRejected) {
+  EXPECT_FALSE(parse_licensees("4-of(\"a\",\"b\")").ok());
+  EXPECT_FALSE(parse_licensees("0-of(\"a\")").ok());
+}
+
+TEST(Licensees, RoundTripThroughToString) {
+  auto e = parse_licensees("\"a\" || 2-of(\"b\",\"c\",\"d\") && \"e\"");
+  ASSERT_TRUE(e.ok());
+  auto again = parse_licensees((*e)->to_string());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->to_string(), (*e)->to_string());
+}
+
+// -------------------------------------------------------------- assertions
+
+TEST(Assertions, SerializeParseRoundTrip) {
+  Assertion a;
+  a.authorizer = "POLICY";
+  a.licensees = licensee_any({licensee_key("admin"), licensee_key("ops")});
+  a.conditions = "app_domain == \"ace\" && command ~= \"ptz*\"";
+  a.comment = "camera policy";
+  auto parsed = Assertion::parse(a.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed->authorizer, "POLICY");
+  EXPECT_EQ(parsed->conditions, a.conditions);
+  EXPECT_EQ(parsed->comment, a.comment);
+  EXPECT_EQ(parsed->licensees->to_string(), a.licensees->to_string());
+}
+
+TEST(Assertions, SignAndVerify) {
+  KeyStore keys;
+  keys.register_principal("admin", util::to_bytes("admin-secret"));
+  Assertion a;
+  a.authorizer = "admin";
+  a.licensees = licensee_key("john");
+  a.conditions = "command == \"ping\"";
+  ASSERT_TRUE(keys.sign(a).ok());
+  EXPECT_TRUE(keys.verify(a));
+
+  a.conditions = "command == \"shutdown\"";  // tamper after signing
+  EXPECT_FALSE(keys.verify(a));
+}
+
+TEST(Assertions, SignatureSurvivesSerialization) {
+  KeyStore keys;
+  keys.register_principal("admin", util::to_bytes("s3cret"));
+  Assertion a;
+  a.authorizer = "admin";
+  a.licensees = licensee_key("john");
+  ASSERT_TRUE(keys.sign(a).ok());
+  auto parsed = Assertion::parse(a.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(keys.verify(parsed.value()));
+}
+
+TEST(Assertions, UnknownAuthorizerCannotSign) {
+  KeyStore keys;
+  Assertion a;
+  a.authorizer = "ghost";
+  a.licensees = licensee_key("x");
+  EXPECT_FALSE(keys.sign(a).ok());
+}
+
+// -------------------------------------------------------------- compliance
+
+class ComplianceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    keys_.register_principal("admin", util::to_bytes("admin-key"));
+    keys_.register_principal("dept-head", util::to_bytes("dept-key"));
+  }
+
+  Assertion policy(const std::string& licensees,
+                   const std::string& conditions) {
+    Assertion a;
+    a.authorizer = kPolicyAuthorizer;
+    a.licensees = parse_licensees(licensees).value();
+    a.conditions = conditions;
+    return a;
+  }
+
+  Assertion credential(const std::string& authorizer,
+                       const std::string& licensees,
+                       const std::string& conditions) {
+    Assertion a;
+    a.authorizer = authorizer;
+    a.licensees = parse_licensees(licensees).value();
+    a.conditions = conditions;
+    EXPECT_TRUE(keys_.sign(a).ok());
+    return a;
+  }
+
+  bool check(const std::string& requester,
+             std::vector<Assertion> policies,
+             std::vector<Assertion> credentials,
+             ActionEnv action = {{"app_domain", "ace"},
+                                 {"command", "ptzMove"}}) {
+    ComplianceQuery q;
+    q.requester = requester;
+    q.action = std::move(action);
+    q.policies = std::move(policies);
+    q.credentials = std::move(credentials);
+    auto r = ComplianceChecker::check(q, &keys_);
+    EXPECT_TRUE(r.ok());
+    return r.ok() && r->authorized;
+  }
+
+  KeyStore keys_;
+};
+
+TEST_F(ComplianceTest, DirectPolicyAuthorization) {
+  EXPECT_TRUE(check("admin", {policy("\"admin\"", "")}, {}));
+  EXPECT_FALSE(check("mallory", {policy("\"admin\"", "")}, {}));
+}
+
+TEST_F(ComplianceTest, PolicyConditionsGateAuthorization) {
+  auto p = policy("\"admin\"", "command == \"ptzMove\"");
+  EXPECT_TRUE(check("admin", {p}, {}));
+  EXPECT_FALSE(check("admin", {p}, {},
+                     {{"app_domain", "ace"}, {"command", "shutdown"}}));
+}
+
+TEST_F(ComplianceTest, OneHopDelegation) {
+  auto p = policy("\"admin\"", "");
+  auto c = credential("admin", "\"john\"", "command ~= \"ptz*\"");
+  EXPECT_TRUE(check("john", {p}, {c}));
+  EXPECT_FALSE(check("john", {p}, {c},
+                     {{"app_domain", "ace"}, {"command", "shutdown"}}));
+}
+
+TEST_F(ComplianceTest, TwoHopDelegationChain) {
+  auto p = policy("\"admin\"", "");
+  auto c1 = credential("admin", "\"dept-head\"", "");
+  auto c2 = credential("dept-head", "\"john\"", "");
+  EXPECT_TRUE(check("john", {p}, {c1, c2}));
+  // Without the middle link the chain is broken.
+  EXPECT_FALSE(check("john", {p}, {c2}));
+}
+
+TEST_F(ComplianceTest, ForgedCredentialRejected) {
+  auto p = policy("\"admin\"", "");
+  auto c = credential("admin", "\"john\"", "");
+  c.conditions = "true";  // tamper -> signature mismatch
+  ComplianceQuery q;
+  q.requester = "john";
+  q.action = {{"command", "ptzMove"}};
+  q.policies = {p};
+  q.credentials = {c};
+  auto r = ComplianceChecker::check(q, &keys_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->authorized);
+  EXPECT_EQ(r->rejected_credentials.size(), 1u);
+}
+
+TEST_F(ComplianceTest, CredentialCannotClaimPolicy) {
+  Assertion fake;
+  fake.authorizer = kPolicyAuthorizer;
+  fake.licensees = licensee_key("mallory");
+  EXPECT_FALSE(check("mallory", {policy("\"admin\"", "")}, {fake}));
+}
+
+TEST_F(ComplianceTest, ConjunctionRequiresBothBranches) {
+  keys_.register_principal("a", util::to_bytes("ka"));
+  keys_.register_principal("b", util::to_bytes("kb"));
+  auto p = policy("\"a\" && \"b\"", "");
+  auto ca = credential("a", "\"john\"", "");
+  auto cb = credential("b", "\"john\"", "");
+  EXPECT_TRUE(check("john", {p}, {ca, cb}));
+  EXPECT_FALSE(check("john", {p}, {ca}));
+}
+
+TEST_F(ComplianceTest, ThresholdLicensees) {
+  keys_.register_principal("a", util::to_bytes("ka"));
+  keys_.register_principal("b", util::to_bytes("kb"));
+  keys_.register_principal("c", util::to_bytes("kc"));
+  auto p = policy("2-of(\"a\",\"b\",\"c\")", "");
+  auto ca = credential("a", "\"john\"", "");
+  auto cb = credential("b", "\"john\"", "");
+  EXPECT_FALSE(check("john", {p}, {ca}));
+  EXPECT_TRUE(check("john", {p}, {ca, cb}));
+}
+
+TEST_F(ComplianceTest, DelegationCycleTerminates) {
+  keys_.register_principal("x", util::to_bytes("kx"));
+  keys_.register_principal("y", util::to_bytes("ky"));
+  auto p = policy("\"x\"", "");
+  auto cx = credential("x", "\"y\"", "");
+  auto cy = credential("y", "\"x\"", "");  // cycle x -> y -> x
+  EXPECT_FALSE(check("john", {p}, {cx, cy}));
+  // But the cycle must not break legitimate resolution.
+  auto cj = credential("y", "\"john\"", "");
+  EXPECT_TRUE(check("john", {p}, {cx, cy, cj}));
+}
+
+TEST_F(ComplianceTest, MultiplePoliciesAnyMaySucceed) {
+  auto p1 = policy("\"admin\"", "command == \"never\"");
+  auto p2 = policy("\"admin\"", "");
+  EXPECT_TRUE(check("admin", {p1, p2}, {}));
+}

@@ -1,0 +1,390 @@
+// Tests for the media substrate and the §4.15 audio pipeline services:
+// ADPCM and RLE-video codecs, DTMF/Goertzel voice-command path, NLMS echo
+// cancellation, and the capture->mix->play daemon graph.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ace_test_env.hpp"
+#include "daemon/devices.hpp"
+#include "media/audio.hpp"
+#include "media/audio_services.hpp"
+#include "media/codec.hpp"
+#include "media/dsp.hpp"
+
+using namespace ace;
+using namespace ace::media;
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+
+// ------------------------------------------------------------- audio frame
+
+TEST(AudioFrame, SerializeParseRoundTrip) {
+  AudioFrame f;
+  f.stream = "mic-hawk";
+  f.sequence = 42;
+  f.samples = sine_wave(440, 10000, kFrameSamples, 0);
+  auto parsed = AudioFrame::parse(f.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->stream, f.stream);
+  EXPECT_EQ(parsed->sequence, f.sequence);
+  EXPECT_EQ(parsed->samples, f.samples);
+}
+
+TEST(AudioFrame, ParseRejectsTruncated) {
+  AudioFrame f;
+  f.stream = "x";
+  f.samples.assign(kFrameSamples, 100);
+  auto wire = f.serialize();
+  wire.resize(wire.size() / 2);
+  EXPECT_FALSE(AudioFrame::parse(wire).has_value());
+}
+
+TEST(AudioHelpers, MixSaturates) {
+  std::vector<std::int16_t> acc(4, 30000);
+  std::vector<std::int16_t> add(4, 30000);
+  mix_into(acc, add, 1.0);
+  for (auto s : acc) EXPECT_EQ(s, 32767);
+}
+
+TEST(AudioHelpers, RmsDbOfSilenceIsFloor) {
+  std::vector<std::int16_t> silence(100, 0);
+  EXPECT_DOUBLE_EQ(rms_db(silence), -120.0);
+  EXPECT_GT(rms_db(sine_wave(440, 20000, 800, 0)), -10.0);
+}
+
+// ------------------------------------------------------------------- ADPCM
+
+TEST(Adpcm, CompressesFourToOne) {
+  auto pcm = sine_wave(440, 12000, 1600, 0);
+  AdpcmState enc;
+  auto encoded = adpcm_encode(pcm, enc);
+  EXPECT_EQ(encoded.size(), pcm.size() / 2);  // 4 bits per 16-bit sample
+}
+
+TEST(Adpcm, ReconstructionSnrIsUsable) {
+  auto pcm = sine_wave(440, 12000, 8000, 0);
+  AdpcmState enc, dec;
+  auto decoded = adpcm_decode(adpcm_encode(pcm, enc), pcm.size(), dec);
+  ASSERT_EQ(decoded.size(), pcm.size());
+  double signal = 0, noise = 0;
+  for (std::size_t i = 0; i < pcm.size(); ++i) {
+    signal += static_cast<double>(pcm[i]) * pcm[i];
+    double e = static_cast<double>(pcm[i]) - decoded[i];
+    noise += e * e;
+  }
+  double snr_db = 10.0 * std::log10(signal / (noise + 1e-9));
+  EXPECT_GT(snr_db, 20.0);  // telephony-grade
+}
+
+TEST(Adpcm, StreamingStateMatchesOneShot) {
+  auto pcm = sine_wave(300, 9000, 960, 0);
+  AdpcmState enc1, dec1;
+  auto one_shot = adpcm_decode(adpcm_encode(pcm, enc1), pcm.size(), dec1);
+
+  AdpcmState enc2, dec2;
+  std::vector<std::int16_t> chunked;
+  for (std::size_t off = 0; off < pcm.size(); off += kFrameSamples) {
+    std::vector<std::int16_t> chunk(pcm.begin() + off,
+                                    pcm.begin() + off + kFrameSamples);
+    auto part = adpcm_decode(adpcm_encode(chunk, enc2), chunk.size(), dec2);
+    chunked.insert(chunked.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(one_shot, chunked);  // state carries across frame boundaries
+}
+
+// --------------------------------------------------------------- RLE video
+
+TEST(RleVideo, IntraFrameRoundTrip) {
+  VideoFrame f = synthetic_frame(64, 48, 0);
+  auto encoded = rle_video_encode(f, nullptr);
+  auto decoded = rle_video_decode(encoded, nullptr);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->pixels, f.pixels);
+}
+
+TEST(RleVideo, InterFrameRoundTripAndCompression) {
+  VideoFrame f0 = synthetic_frame(64, 48, 0);
+  VideoFrame f1 = synthetic_frame(64, 48, 1);
+  auto intra = rle_video_encode(f1, nullptr);
+  auto inter = rle_video_encode(f1, &f0);
+  // Static background delta-codes to zero runs: inter beats intra.
+  EXPECT_LT(inter.size(), intra.size());
+  auto decoded = rle_video_decode(inter, &f0);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->pixels, f1.pixels);
+}
+
+TEST(RleVideo, DecodeRejectsGarbage) {
+  util::Bytes garbage{1, 2, 3};
+  EXPECT_FALSE(rle_video_decode(garbage, nullptr).has_value());
+}
+
+// ------------------------------------------------------------ DTMF/Goertzel
+
+TEST(Dtmf, EncodeDecodeRoundTrip) {
+  for (const char* text :
+       {"a", "deviceOn;", "ptzMove pan=10 tilt=5;", "hello world 123"}) {
+    auto audio = dtmf_encode(text);
+    auto decoded = dtmf_decode(audio);
+    ASSERT_TRUE(decoded.has_value()) << text;
+    EXPECT_EQ(*decoded, text);
+  }
+}
+
+TEST(Dtmf, DecodeSurvivesAdditiveNoise) {
+  auto audio = dtmf_encode("projSetInput input=vga;");
+  util::Rng rng(3);
+  for (auto& s : audio) {
+    double noisy = s + rng.next_gaussian() * 300.0;
+    s = static_cast<std::int16_t>(std::clamp(noisy, -32767.0, 32767.0));
+  }
+  auto decoded = dtmf_decode(audio);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, "projSetInput input=vga;");
+}
+
+TEST(Dtmf, GarbageAudioRejected) {
+  auto noise = sine_wave(523, 9000, 6 * (kDtmfSymbolSamples + kDtmfGapSamples),
+                         0);
+  EXPECT_FALSE(dtmf_decode(noise).has_value());
+}
+
+TEST(Goertzel, DetectsTargetFrequency) {
+  auto tone = sine_wave(770, 10000, 400, 0);
+  double at_target = goertzel_power(tone, 0, 200, 770, kSampleRate);
+  double off_target = goertzel_power(tone, 0, 200, 1336, kSampleRate);
+  EXPECT_GT(at_target, 100.0 * off_target);
+}
+
+// -------------------------------------------------------------------- NLMS
+
+TEST(EchoCanceller, ConvergesOnDelayedEcho) {
+  EchoCanceller ec(64, 0.6);
+  util::Rng rng(17);
+  constexpr std::size_t kDelay = 23;
+  constexpr double kEchoGain = 0.6;
+  std::vector<std::int16_t> far(8000);
+  for (auto& s : far)
+    s = static_cast<std::int16_t>(rng.next_gaussian() * 6000.0);
+
+  // Mic hears only the delayed, attenuated far-end (no near speech).
+  std::vector<std::int16_t> mic(far.size(), 0);
+  for (std::size_t i = kDelay; i < far.size(); ++i)
+    mic[i] = static_cast<std::int16_t>(kEchoGain * far[i - kDelay]);
+
+  // Feed in frames; after convergence the residual should be tiny.
+  for (std::size_t off = 0; off + kFrameSamples <= far.size();
+       off += kFrameSamples) {
+    std::vector<std::int16_t> fr(far.begin() + off,
+                                 far.begin() + off + kFrameSamples);
+    std::vector<std::int16_t> mr(mic.begin() + off,
+                                 mic.begin() + off + kFrameSamples);
+    ec.process(fr, mr);
+  }
+  EXPECT_GT(ec.erle_db(), 10.0);
+
+  // Steady state: a fresh block is almost fully cancelled.
+  std::vector<std::int16_t> fr(far.begin(), far.begin() + kFrameSamples);
+  std::vector<std::int16_t> mr(mic.begin(), mic.begin() + kFrameSamples);
+  auto out = ec.process(fr, mr);
+  EXPECT_LT(rms(out), rms(mr) * 0.7);
+}
+
+TEST(EchoCanceller, PreservesNearEndSpeech) {
+  EchoCanceller ec(64, 0.5);
+  util::Rng rng(19);
+  std::vector<std::int16_t> far(4000), near(4000);
+  for (auto& s : far)
+    s = static_cast<std::int16_t>(rng.next_gaussian() * 5000.0);
+  auto speech = sine_wave(250, 6000, near.size(), 0);
+  std::vector<std::int16_t> mic(near.size());
+  for (std::size_t i = 0; i < mic.size(); ++i) {
+    double echo = i >= 10 ? 0.5 * far[i - 10] : 0.0;
+    mic[i] = static_cast<std::int16_t>(
+        std::clamp(echo + speech[i], -32767.0, 32767.0));
+  }
+  std::vector<std::int16_t> out_all;
+  for (std::size_t off = 0; off + kFrameSamples <= mic.size();
+       off += kFrameSamples) {
+    std::vector<std::int16_t> fr(far.begin() + off,
+                                 far.begin() + off + kFrameSamples);
+    std::vector<std::int16_t> mr(mic.begin() + off,
+                                 mic.begin() + off + kFrameSamples);
+    auto out = ec.process(fr, mr);
+    out_all.insert(out_all.end(), out.begin(), out.end());
+  }
+  // The near-end tone must survive: residual power is dominated by it.
+  std::vector<std::int16_t> tail(out_all.end() - 800, out_all.end());
+  double tone_power = goertzel_power(tail, 0, 800, 250, kSampleRate);
+  double other_power = goertzel_power(tail, 0, 800, 900, kSampleRate);
+  EXPECT_GT(tone_power, 5.0 * other_power);
+}
+
+// --------------------------------------------------------- pipeline daemons
+
+class AudioPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<testenv::AceTestEnv>();
+    ASSERT_TRUE(deployment_->start().ok());
+    host_ = std::make_unique<daemon::DaemonHost>(deployment_->env, "av-box");
+    client_ = deployment_->make_client("laptop", "user/tester");
+  }
+
+  daemon::DaemonConfig config(const std::string& name) {
+    daemon::DaemonConfig c;
+    c.name = name;
+    c.room = "hawk";
+    return c;
+  }
+
+  template <typename T>
+  static bool wait_until(T predicate, std::chrono::milliseconds timeout) {
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (predicate()) return true;
+      std::this_thread::sleep_for(10ms);
+    }
+    return predicate();
+  }
+
+  std::unique_ptr<testenv::AceTestEnv> deployment_;
+  std::unique_ptr<daemon::DaemonHost> host_;
+  std::unique_ptr<daemon::AceClient> client_;
+};
+
+TEST_F(AudioPipelineTest, CaptureStreamsToPlay) {
+  auto& capture = host_->add_daemon<media::AudioCaptureDaemon>(
+      config("cap"), "mic1");
+  auto& play = host_->add_daemon<media::AudioPlayDaemon>(config("spk"));
+  ASSERT_TRUE(capture.start().ok());
+  ASSERT_TRUE(play.start().ok());
+  capture.add_sink(play.data_address());
+
+  CmdLine gen("captureGenerate");
+  gen.arg("frames", 10);
+  gen.arg("frequency", 440.0);
+  ASSERT_TRUE(client_->call_ok(capture.address(), gen).ok());
+
+  ASSERT_TRUE(wait_until([&] { return play.frames_played() >= 10; }, 2s));
+  EXPECT_GT(rms(play.played()), 1000.0);
+}
+
+TEST_F(AudioPipelineTest, MixerCombinesDeclaredInputs) {
+  auto& cap_a = host_->add_daemon<media::AudioCaptureDaemon>(
+      config("cap-a"), "micA");
+  auto& cap_b = host_->add_daemon<media::AudioCaptureDaemon>(
+      config("cap-b"), "micB");
+  auto& mixer = host_->add_daemon<media::AudioMixerDaemon>(
+      config("mix"), "mixed");
+  auto& recorder =
+      host_->add_daemon<media::AudioRecorderDaemon>(config("rec"));
+  ASSERT_TRUE(cap_a.start().ok());
+  ASSERT_TRUE(cap_b.start().ok());
+  ASSERT_TRUE(mixer.start().ok());
+  ASSERT_TRUE(recorder.start().ok());
+
+  cap_a.add_sink(mixer.data_address());
+  cap_b.add_sink(mixer.data_address());
+  mixer.add_sink(recorder.data_address());
+  for (const char* tag : {"micA", "micB"}) {
+    CmdLine add("mixerAddInput");
+    add.arg("stream", tag);
+    ASSERT_TRUE(client_->call_ok(mixer.address(), add).ok());
+  }
+
+  cap_a.capture_push(sine_wave(440, 8000, 5 * kFrameSamples, 0));
+  cap_b.capture_push(sine_wave(880, 8000, 5 * kFrameSamples, 0));
+
+  ASSERT_TRUE(wait_until(
+      [&] { return recorder.recorded("mixed").size() >= 5 * kFrameSamples; },
+      2s));
+  auto mixed = recorder.recorded("mixed");
+  // Both tones present in the mix.
+  double p440 = goertzel_power(mixed, 0, 400, 440, kSampleRate);
+  double p880 = goertzel_power(mixed, 0, 400, 880, kSampleRate);
+  double p660 = goertzel_power(mixed, 0, 400, 660, kSampleRate);
+  EXPECT_GT(p440, 10.0 * p660);
+  EXPECT_GT(p880, 10.0 * p660);
+}
+
+TEST_F(AudioPipelineTest, SpeechToCommandExecutesDecodedCommand) {
+  // Fig 15's right edge: text-to-speech -> (audio) -> speech-to-command ->
+  // ACE command execution on a target service.
+  auto& tts = host_->add_daemon<media::TextToSpeechDaemon>(
+      config("tts"), "voice");
+  auto& stc =
+      host_->add_daemon<media::SpeechToCommandDaemon>(config("stc"));
+  auto& camera = host_->add_daemon<daemon::PtzCameraDaemon>(
+      config("cam"), daemon::vcc4_spec());
+  ASSERT_TRUE(tts.start().ok());
+  ASSERT_TRUE(stc.start().ok());
+  ASSERT_TRUE(camera.start().ok());
+  tts.add_sink(stc.data_address());
+
+  CmdLine target("stcSetTarget");
+  target.arg("service", camera.address().to_string());
+  ASSERT_TRUE(client_->call_ok(stc.address(), target).ok());
+
+  CmdLine say("say");
+  say.arg("text", "deviceOn;");
+  auto said = client_->call_ok(tts.address(), say);
+  ASSERT_TRUE(said.ok());
+  std::int64_t frames = said->get_integer("frames");
+
+  ASSERT_TRUE(wait_until(
+      [&] { return stc.stats().datagrams_received >= static_cast<std::uint64_t>(frames); },
+      2s));
+
+  CmdLine flush("stcFlush");
+  flush.arg("stream", "voice");
+  auto r = client_->call_ok(stc.address(), flush);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r->get_text("decoded"), "deviceOn;");
+  EXPECT_EQ(r->get_text("executed"), "yes");
+  EXPECT_TRUE(camera.powered());
+}
+
+TEST_F(AudioPipelineTest, EchoCancellationDaemonImprovesErle) {
+  auto& ec = host_->add_daemon<media::EchoCancellationDaemon>(
+      config("ec"), "farend", "mic", "clean");
+  auto& recorder =
+      host_->add_daemon<media::AudioRecorderDaemon>(config("rec"));
+  ASSERT_TRUE(ec.start().ok());
+  ASSERT_TRUE(recorder.start().ok());
+  ec.add_sink(recorder.data_address());
+
+  // Far-end reference and mic-with-echo streams, aligned by sequence.
+  util::Rng rng(23);
+  auto socket = host_->net_host().open_datagram();
+  ASSERT_TRUE(socket.ok());
+  std::vector<std::int16_t> delay_line(40, 0);
+  for (std::uint32_t seq = 0; seq < 50; ++seq) {
+    AudioFrame far;
+    far.stream = "farend";
+    far.sequence = seq;
+    far.samples.resize(kFrameSamples);
+    for (auto& s : far.samples)
+      s = static_cast<std::int16_t>(rng.next_gaussian() * 5000.0);
+
+    AudioFrame mic;
+    mic.stream = "mic";
+    mic.sequence = seq;
+    mic.samples.resize(kFrameSamples);
+    for (std::size_t i = 0; i < kFrameSamples; ++i) {
+      delay_line.push_back(far.samples[i]);
+      mic.samples[i] = static_cast<std::int16_t>(0.5 * delay_line.front());
+      delay_line.erase(delay_line.begin());
+    }
+    ASSERT_TRUE(
+        (*socket)->send_to(ec.data_address(), far.serialize()).ok());
+    ASSERT_TRUE(
+        (*socket)->send_to(ec.data_address(), mic.serialize()).ok());
+  }
+
+  ASSERT_TRUE(wait_until(
+      [&] { return recorder.recorded("clean").size() >= 49 * kFrameSamples; },
+      3s));
+  EXPECT_GT(ec.erle_db(), 6.0);
+}

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/network.hpp"
+
+using namespace ace;
+using namespace ace::net;
+using namespace std::chrono_literals;
+
+namespace {
+Frame frame_of(const char* s) { return util::to_bytes(s); }
+}  // namespace
+
+TEST(Network, ConnectSendRecv) {
+  Network network;
+  Host& a = network.add_host("a");
+  Host& b = network.add_host("b");
+  auto listener = b.listen(100);
+  ASSERT_TRUE(listener.ok());
+
+  auto client = a.connect({"b", 100}, 1s);
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->accept(1s);
+  ASSERT_TRUE(server.has_value());
+
+  ASSERT_TRUE(client->send(frame_of("hello")).ok());
+  auto got = server->recv(1s);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(util::to_string(*got), "hello");
+
+  ASSERT_TRUE(server->send(frame_of("world")).ok());
+  got = client->recv(1s);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(util::to_string(*got), "world");
+}
+
+TEST(Network, ConnectionRefusedWithoutListener) {
+  Network network;
+  Host& a = network.add_host("a");
+  network.add_host("b");
+  auto conn = a.connect({"b", 9}, 100ms);
+  EXPECT_FALSE(conn.ok());
+  EXPECT_EQ(conn.error().code, util::Errc::refused);
+}
+
+TEST(Network, UnknownHost) {
+  Network network;
+  Host& a = network.add_host("a");
+  auto conn = a.connect({"ghost", 9}, 100ms);
+  EXPECT_FALSE(conn.ok());
+  EXPECT_EQ(conn.error().code, util::Errc::not_found);
+}
+
+TEST(Network, DownHostRefusesConnections) {
+  Network network;
+  Host& a = network.add_host("a");
+  Host& b = network.add_host("b");
+  auto listener = b.listen(100);
+  ASSERT_TRUE(listener.ok());
+  b.set_down(true);
+  auto conn = a.connect({"b", 100}, 100ms);
+  EXPECT_FALSE(conn.ok());
+  EXPECT_EQ(conn.error().code, util::Errc::unavailable);
+  b.set_down(false);
+  EXPECT_TRUE(a.connect({"b", 100}, 100ms).ok());
+}
+
+TEST(Network, PortConflict) {
+  Network network;
+  Host& a = network.add_host("a");
+  auto first = a.listen(5);  // must stay alive to hold the port
+  ASSERT_TRUE(first.ok());
+  auto second = a.listen(5);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, util::Errc::conflict);
+}
+
+TEST(Network, ListenerCloseFreesPort) {
+  Network network;
+  Host& a = network.add_host("a");
+  {
+    auto listener = a.listen(5);
+    ASSERT_TRUE(listener.ok());
+    (*listener)->close();
+  }
+  EXPECT_TRUE(a.listen(5).ok());
+}
+
+TEST(Network, CloseMakesPeerRecvFail) {
+  Network network;
+  Host& a = network.add_host("a");
+  Host& b = network.add_host("b");
+  auto listener = b.listen(100);
+  ASSERT_TRUE(listener.ok());
+  auto client = a.connect({"b", 100}, 1s);
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->accept(1s);
+  ASSERT_TRUE(server.has_value());
+
+  client->close();
+  EXPECT_FALSE(server->recv(100ms).has_value());
+  EXPECT_FALSE(server->send(frame_of("x")).ok());
+}
+
+TEST(Network, LinkLatencyDelaysDelivery) {
+  Network network;
+  Host& a = network.add_host("a");
+  Host& b = network.add_host("b");
+  LinkPolicy slow;
+  slow.latency = 20ms;
+  network.set_link("a", "b", slow);
+
+  auto listener = b.listen(100);
+  ASSERT_TRUE(listener.ok());
+  auto client = a.connect({"b", 100}, 1s);
+  ASSERT_TRUE(client.ok());
+  auto server = (*listener)->accept(1s);
+  ASSERT_TRUE(server.has_value());
+
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(client->send(frame_of("ping")).ok());
+  auto got = server->recv(1s);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(got.has_value());
+  EXPECT_GE(elapsed, 18ms);
+}
+
+TEST(Network, PartitionResetsConnection) {
+  Network network;
+  Host& a = network.add_host("a");
+  Host& b = network.add_host("b");
+  auto listener = b.listen(100);
+  ASSERT_TRUE(listener.ok());
+  auto client = a.connect({"b", 100}, 1s);
+  ASSERT_TRUE(client.ok());
+
+  network.set_partitioned("a", "b", true);
+  auto status = client->send(frame_of("x"));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::Errc::io_error);
+  EXPECT_TRUE(client->closed());
+
+  // New connections are also refused while partitioned.
+  auto again = a.connect({"b", 100}, 100ms);
+  EXPECT_FALSE(again.ok());
+  network.set_partitioned("a", "b", false);
+  EXPECT_TRUE(a.connect({"b", 100}, 100ms).ok());
+}
+
+TEST(Network, DatagramDelivery) {
+  Network network;
+  Host& a = network.add_host("a");
+  Host& b = network.add_host("b");
+  auto sa = a.open_datagram(200);
+  auto sb = b.open_datagram(200);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+
+  ASSERT_TRUE((*sa)->send_to({"b", 200}, frame_of("dgram")).ok());
+  auto got = (*sb)->recv(1s);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(util::to_string(got->payload), "dgram");
+  EXPECT_EQ(got->from.host, "a");
+}
+
+TEST(Network, DatagramToMissingSocketSilentlyDropped) {
+  Network network;
+  Host& a = network.add_host("a");
+  network.add_host("b");
+  auto sa = a.open_datagram(200);
+  ASSERT_TRUE(sa.ok());
+  EXPECT_TRUE((*sa)->send_to({"b", 999}, frame_of("x")).ok());
+  EXPECT_EQ(network.stats().datagrams_dropped, 1u);
+}
+
+TEST(Network, DatagramLossRate) {
+  Network network(/*seed=*/99);
+  Host& a = network.add_host("a");
+  Host& b = network.add_host("b");
+  LinkPolicy lossy;
+  lossy.datagram_loss = 0.5;
+  network.set_link("a", "b", lossy);
+
+  auto sa = a.open_datagram(200);
+  auto sb = b.open_datagram(200);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+
+  constexpr int kSent = 400;
+  for (int i = 0; i < kSent; ++i)
+    ASSERT_TRUE((*sa)->send_to({"b", 200}, frame_of("x")).ok());
+  int received = 0;
+  while ((*sb)->recv(20ms)) received++;
+  // ~50% loss with generous tolerance.
+  EXPECT_GT(received, kSent / 4);
+  EXPECT_LT(received, 3 * kSent / 4);
+  EXPECT_EQ(network.stats().datagrams_dropped + received,
+            static_cast<std::uint64_t>(kSent));
+}
+
+TEST(Network, EphemeralDatagramPortsAreDistinct) {
+  Network network;
+  Host& a = network.add_host("a");
+  auto s1 = a.open_datagram();
+  auto s2 = a.open_datagram();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_NE((*s1)->address().port, (*s2)->address().port);
+}
+
+TEST(Network, StatsCountFramesAndBytes) {
+  Network network;
+  Host& a = network.add_host("a");
+  Host& b = network.add_host("b");
+  auto listener = b.listen(100);
+  ASSERT_TRUE(listener.ok());
+  auto client = a.connect({"b", 100}, 1s);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->send(Frame(128, 0)).ok());
+  auto stats = network.stats();
+  EXPECT_EQ(stats.frames_sent, 1u);
+  EXPECT_EQ(stats.bytes_sent, 128u);
+  EXPECT_EQ(stats.connects, 1u);
+}
+
+TEST(Address, ParseAndFormat) {
+  auto addr = Address::parse("hawk:1234");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->host, "hawk");
+  EXPECT_EQ(addr->port, 1234);
+  EXPECT_EQ(addr->to_string(), "hawk:1234");
+
+  EXPECT_FALSE(Address::parse("no-port").has_value());
+  EXPECT_FALSE(Address::parse("h:99999").has_value());
+  EXPECT_FALSE(Address::parse("h:12x").has_value());
+  EXPECT_FALSE(Address::parse("h:").has_value());
+}
+
+TEST(Network, LoopbackHasZeroLatency) {
+  Network network;
+  network.set_default_latency(50ms);
+  auto policy = network.link("same", "same");
+  EXPECT_EQ(policy.latency.count(), 0);
+}

@@ -1,0 +1,272 @@
+// Tests for the persistent store (Ch 6, Fig 17): 3-replica redundancy,
+// availability under 1-2 failures, anti-entropy resync, the checkpoint API,
+// and the Robustness Manager (restart/robust applications, §5.2-5.3/Ch 9).
+#include <gtest/gtest.h>
+
+#include "ace_test_env.hpp"
+#include "services/launchers.hpp"
+#include "services/monitors.hpp"
+#include "store/persistent_store.hpp"
+#include "store/robustness.hpp"
+#include "store/store_client.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<testenv::AceTestEnv>();
+    ASSERT_TRUE(deployment_->start().ok());
+    client_ = deployment_->make_client("app-host", "svc/app");
+
+    // Three replicas on three hosts, fully meshed (Fig 17).
+    for (int i = 0; i < 3; ++i) {
+      hosts_.push_back(std::make_unique<daemon::DaemonHost>(
+          deployment_->env, "store" + std::to_string(i + 1)));
+      daemon::DaemonConfig c;
+      c.name = "store" + std::to_string(i + 1);
+      c.room = "machine-room";
+      c.port = 6000;
+      replicas_.push_back(
+          &hosts_.back()->add_daemon<store::PersistentStoreDaemon>(c, i + 1));
+    }
+    for (int i = 0; i < 3; ++i) {
+      std::vector<net::Address> peers;
+      for (int j = 0; j < 3; ++j)
+        if (j != i) peers.push_back(replicas_[j]->address());
+      replicas_[i]->set_peers(peers);
+      ASSERT_TRUE(replicas_[i]->start().ok());
+    }
+    for (auto* r : replicas_) addresses_.push_back(r->address());
+  }
+
+  std::unique_ptr<testenv::AceTestEnv> deployment_;
+  std::unique_ptr<daemon::AceClient> client_;
+  std::vector<std::unique_ptr<daemon::DaemonHost>> hosts_;
+  std::vector<store::PersistentStoreDaemon*> replicas_;
+  std::vector<net::Address> addresses_;
+};
+
+TEST_F(StoreTest, WriteReplicatesToAllThreeServers) {
+  store::StoreClient store(*client_, addresses_);
+  ASSERT_TRUE(store.put("ns/app/config", util::to_bytes("v1")).ok());
+  for (auto* r : replicas_) {
+    auto obj = r->object("ns/app/config");
+    ASSERT_TRUE(obj.has_value());
+    EXPECT_EQ(util::to_string(obj->data), "v1");
+  }
+}
+
+TEST_F(StoreTest, ReadsServedFromAnyReplica) {
+  store::StoreClient store(*client_, addresses_);
+  ASSERT_TRUE(store.put("k", util::to_bytes("value")).ok());
+  for (int i = 0; i < 3; ++i) {
+    auto got = store.get("k");
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(util::to_string(got.value()), "value");
+    store.rotate();  // spread reads (Ch 6 bottleneck argument)
+  }
+}
+
+TEST_F(StoreTest, LastWriteWinsAcrossReplicas) {
+  store::StoreClient store(*client_, addresses_);
+  ASSERT_TRUE(store.put("k", util::to_bytes("one")).ok());
+  store.rotate();  // write the update through a different replica
+  ASSERT_TRUE(store.put("k", util::to_bytes("two")).ok());
+  for (auto* r : replicas_) {
+    auto obj = r->object("k");
+    ASSERT_TRUE(obj.has_value());
+    EXPECT_EQ(util::to_string(obj->data), "two");
+  }
+}
+
+TEST_F(StoreTest, DeleteTombstonesEverywhere) {
+  store::StoreClient store(*client_, addresses_);
+  ASSERT_TRUE(store.put("gone", util::to_bytes("x")).ok());
+  ASSERT_TRUE(store.remove("gone").ok());
+  auto got = store.get("gone");
+  EXPECT_FALSE(got.ok());
+  for (auto* r : replicas_) EXPECT_EQ(r->object_count(), 0u);
+}
+
+TEST_F(StoreTest, ListByNamespacePrefix) {
+  store::StoreClient store(*client_, addresses_);
+  ASSERT_TRUE(store.put("state/wss/a", util::to_bytes("1")).ok());
+  ASSERT_TRUE(store.put("state/wss/b", util::to_bytes("2")).ok());
+  ASSERT_TRUE(store.put("state/aud/c", util::to_bytes("3")).ok());
+  auto keys = store.list("state/wss/");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->size(), 2u);
+}
+
+TEST_F(StoreTest, SurvivesOneReplicaFailure) {
+  store::StoreClient store(*client_, addresses_);
+  ASSERT_TRUE(store.put("k", util::to_bytes("before")).ok());
+
+  hosts_[0]->fail();  // replica 1 crashes
+
+  // Paper: "If ... one or two of the servers fail or crash, ACE services
+  // may still access the stored information."
+  auto got = store.get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(util::to_string(got.value()), "before");
+
+  // Writes also continue (to the surviving pair).
+  ASSERT_TRUE(store.put("k2", util::to_bytes("during")).ok());
+  EXPECT_TRUE(replicas_[1]->object("k2").has_value());
+  EXPECT_TRUE(replicas_[2]->object("k2").has_value());
+}
+
+TEST_F(StoreTest, SurvivesTwoReplicaFailures) {
+  store::StoreClient store(*client_, addresses_);
+  ASSERT_TRUE(store.put("k", util::to_bytes("precious")).ok());
+  hosts_[0]->fail();
+  hosts_[1]->fail();
+  auto got = store.get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(util::to_string(got.value()), "precious");
+  ASSERT_TRUE(store.put("k2", util::to_bytes("solo")).ok());
+}
+
+TEST_F(StoreTest, RejoiningReplicaCatchesUpViaSync) {
+  store::StoreClient store(*client_, addresses_);
+  ASSERT_TRUE(store.put("old", util::to_bytes("seen-by-all")).ok());
+
+  hosts_[2]->fail();
+  ASSERT_TRUE(store.put("new1", util::to_bytes("missed")).ok());
+  ASSERT_TRUE(store.put("new2", util::to_bytes("also-missed")).ok());
+  ASSERT_TRUE(store.remove("old").ok());
+  EXPECT_FALSE(replicas_[2]->object("new1").has_value());
+
+  // Rejoin: the replica process survived (host network was down); restore
+  // connectivity and run anti-entropy.
+  hosts_[2]->restore();
+  auto fetched = replicas_[2]->sync_from_peers();
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_GE(fetched.value(), 3);  // two new keys + one tombstone
+
+  EXPECT_EQ(util::to_string(replicas_[2]->object("new1")->data), "missed");
+  EXPECT_TRUE(replicas_[2]->object("old")->deleted);
+}
+
+TEST_F(StoreTest, CheckpointApiStoresServiceState) {
+  store::StoreClient store(*client_, addresses_);
+  ASSERT_TRUE(
+      store.save_state("wss", "workspaces", util::to_bytes("blob")).ok());
+  auto loaded = store.load_state("wss", "workspaces");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(util::to_string(loaded.value()), "blob");
+  auto keys = store.list("state/wss/");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->size(), 1u);
+}
+
+TEST_F(StoreTest, BinaryDataSurvivesHexTransport) {
+  store::StoreClient store(*client_, addresses_);
+  util::Bytes binary(257);
+  for (std::size_t i = 0; i < binary.size(); ++i)
+    binary[i] = static_cast<std::uint8_t>(i);
+  ASSERT_TRUE(store.put("bin", binary).ok());
+  auto got = store.get("bin");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), binary);
+}
+
+// --------------------------------------------------------------- robustness
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<testenv::AceTestEnv>();
+    ASSERT_TRUE(deployment_->start().ok());
+    client_ = deployment_->make_client("ops", "user/ops");
+    work_host_ =
+        std::make_unique<daemon::DaemonHost>(deployment_->env, "worker");
+
+    auto& hal = work_host_->add_daemon<services::HalDaemon>(cfg("hal"));
+    auto& sal = work_host_->add_daemon<services::SalDaemon>(cfg("sal"));
+    ASSERT_TRUE(hal.start().ok());
+    ASSERT_TRUE(sal.start().ok());
+    hal_ = &hal;
+  }
+
+  daemon::DaemonConfig cfg(const std::string& name) {
+    daemon::DaemonConfig c;
+    c.name = name;
+    c.room = "machine-room";
+    return c;
+  }
+
+  std::unique_ptr<testenv::AceTestEnv> deployment_;
+  std::unique_ptr<daemon::AceClient> client_;
+  std::unique_ptr<daemon::DaemonHost> work_host_;
+  services::HalDaemon* hal_ = nullptr;
+};
+
+TEST_F(RobustnessTest, RestartServiceIsRelaunchedAfterCrash) {
+  // The managed "fragile" service: each relaunch constructs a fresh daemon.
+  daemon::DaemonConfig fragile_cfg = cfg("fragile");
+  fragile_cfg.lease = 300ms;
+  fragile_cfg.lease_renew = 100ms;
+  auto* fragile = &work_host_->add_daemon<services::HrmDaemon>(fragile_cfg);
+  ASSERT_TRUE(fragile->start().ok());
+
+  std::atomic<int> launches{0};
+  hal_->register_launchable("fragile", [&]() -> util::Status {
+    daemon::DaemonConfig c = cfg("fragile");
+    c.lease = 300ms;
+    c.lease_renew = 100ms;
+    c.port = 0;
+    auto& revived = work_host_->add_daemon<services::HrmDaemon>(c);
+    launches++;
+    return revived.start();
+  });
+
+  auto& rm = work_host_->add_daemon<store::RobustnessManagerDaemon>(cfg("rm"));
+  ASSERT_TRUE(rm.start().ok());
+
+  CmdLine manage("rmRegister");
+  manage.arg("name", Word{"fragile"});
+  manage.arg("kind", Word{"restart"});
+  manage.arg("host", "worker");
+  ASSERT_TRUE(client_->call_ok(rm.address(), manage).ok());
+
+  fragile->crash();
+
+  // Lease expiry -> ASD serviceExpired notification -> RM -> SAL -> HAL.
+  bool relaunched = false;
+  for (int i = 0; i < 400 && !relaunched; ++i) {
+    relaunched = launches.load() > 0;
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_TRUE(relaunched);
+  EXPECT_GE(rm.total_restarts(), 1);
+
+  // The revived instance is findable through the ASD again.
+  bool visible = false;
+  for (int i = 0; i < 200 && !visible; ++i) {
+    visible = services::asd_lookup(*client_, deployment_->env.asd_address,
+                                   "fragile")
+                  .ok();
+    if (!visible) std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_TRUE(visible);
+}
+
+TEST_F(RobustnessTest, UnmanagedServicesAreNotRelaunched) {
+  daemon::DaemonConfig c = cfg("unmanaged");
+  c.lease = 300ms;
+  c.lease_renew = 100ms;
+  auto* svc = &work_host_->add_daemon<services::HrmDaemon>(c);
+  ASSERT_TRUE(svc->start().ok());
+
+  auto& rm = work_host_->add_daemon<store::RobustnessManagerDaemon>(cfg("rm"));
+  ASSERT_TRUE(rm.start().ok());
+
+  svc->crash();
+  std::this_thread::sleep_for(800ms);
+  EXPECT_EQ(rm.total_restarts(), 0);
+}

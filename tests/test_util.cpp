@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/bytes.hpp"
+#include "util/queue.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+using namespace ace::util;
+using namespace std::chrono_literals;
+
+// ----------------------------------------------------------- MessageQueue
+
+TEST(MessageQueue, FifoOrder) {
+  MessageQueue<int> q;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+TEST(MessageQueue, PopForTimesOutWhenEmpty) {
+  MessageQueue<int> q;
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(30ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 25ms);
+}
+
+TEST(MessageQueue, CloseDrainsPendingThenReturnsNullopt) {
+  MessageQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MessageQueue, CloseWakesBlockedConsumer) {
+  MessageQueue<int> q;
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(20ms);
+  q.close();
+  consumer.join();
+}
+
+TEST(MessageQueue, BoundedQueueRejectsWhenFull) {
+  MessageQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_FALSE(q.push(3));
+  q.pop();
+  EXPECT_TRUE(q.push(3));
+}
+
+TEST(MessageQueue, ManyProducersManyConsumers) {
+  MessageQueue<int> q;
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::atomic<int> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) sum += *v;
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  threads[kProducers].join();
+  threads[kProducers + 1].join();
+  EXPECT_EQ(sum.load(), kProducers * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+// ------------------------------------------------------------------ Bytes
+
+TEST(Bytes, RoundTripAllTypes) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.str("hello world");
+  w.blob({1, 2, 3});
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8().value(), 0xab);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.f64().value(), 3.14159);
+  EXPECT_EQ(r.str().value(), "hello world");
+  EXPECT_EQ(r.blob().value(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, UnderflowPoisonsReader) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(r.u32().has_value());
+  EXPECT_TRUE(r.failed());
+  EXPECT_FALSE(r.u8().has_value());  // stays failed
+}
+
+TEST(Bytes, EmptyStringAndBlob) {
+  ByteWriter w;
+  w.str("");
+  w.blob({});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str().value(), "");
+  EXPECT_TRUE(r.blob().value().empty());
+}
+
+TEST(Bytes, HexEncode) {
+  EXPECT_EQ(hex_encode({0x00, 0xff, 0x0a}), "00ff0a");
+  EXPECT_EQ(hex_encode({}), "");
+}
+
+// -------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.next_gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NameLengthAndCharset) {
+  Rng rng(17);
+  auto name = rng.next_name(12);
+  EXPECT_EQ(name.size(), 12u);
+  for (char c : name)
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'));
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\nhi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+}
+
+struct GlobCase {
+  const char* pattern;
+  const char* text;
+  bool expect;
+};
+
+class GlobTest : public ::testing::TestWithParam<GlobCase> {};
+
+TEST_P(GlobTest, Matches) {
+  const GlobCase& c = GetParam();
+  EXPECT_EQ(glob_match(c.pattern, c.text), c.expect)
+      << c.pattern << " vs " << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, GlobTest,
+    ::testing::Values(
+        GlobCase{"*", "", true}, GlobCase{"*", "anything", true},
+        GlobCase{"abc", "abc", true}, GlobCase{"abc", "abd", false},
+        GlobCase{"a*c", "abc", true}, GlobCase{"a*c", "ac", true},
+        GlobCase{"a*c", "abdc", true}, GlobCase{"a*c", "abcd", false},
+        GlobCase{"Service/*", "Service/Device/PTZ", true},
+        GlobCase{"Service/Device/*", "Service/Monitor/HRM", false},
+        GlobCase{"*HRM*", "Service/Monitor/HRM", true},
+        GlobCase{"a?c", "abc", true}, GlobCase{"a?c", "ac", false},
+        GlobCase{"**", "x", true}, GlobCase{"", "", true},
+        GlobCase{"", "x", false}));
+
+// ------------------------------------------------------------------ Result
+
+TEST(Result, ValueAndError) {
+  Result<int> ok_value(7);
+  EXPECT_TRUE(ok_value.ok());
+  EXPECT_EQ(*ok_value, 7);
+
+  Result<int> err(Errc::not_found, "missing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, Errc::not_found);
+  EXPECT_EQ(err.error().to_string(), "not_found: missing");
+  EXPECT_EQ(err.value_or(42), 42);
+}
+
+TEST(Result, StatusDefaultsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  Status bad(Errc::timeout, "late");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, Errc::timeout);
+}
