@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_asd.dir/bench_asd.cpp.o"
+  "CMakeFiles/bench_asd.dir/bench_asd.cpp.o.d"
+  "bench_asd"
+  "bench_asd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

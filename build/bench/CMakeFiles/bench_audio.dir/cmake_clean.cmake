@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_audio.dir/bench_audio.cpp.o"
+  "CMakeFiles/bench_audio.dir/bench_audio.cpp.o.d"
+  "bench_audio"
+  "bench_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

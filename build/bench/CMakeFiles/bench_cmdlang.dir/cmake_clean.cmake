@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cmdlang.dir/bench_cmdlang.cpp.o"
+  "CMakeFiles/bench_cmdlang.dir/bench_cmdlang.cpp.o.d"
+  "bench_cmdlang"
+  "bench_cmdlang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmdlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_notify.cpp" "bench/CMakeFiles/bench_notify.dir/bench_notify.cpp.o" "gcc" "bench/CMakeFiles/bench_notify.dir/bench_notify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ace_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ace_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmdlang/CMakeFiles/ace_cmdlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/keynote/CMakeFiles/ace_keynote.dir/DependInfo.cmake"
+  "/root/repo/build/src/daemon/CMakeFiles/ace_daemon.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/ace_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/ace_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/ace_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ace_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ace_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workspace.dir/bench_workspace.cpp.o"
+  "CMakeFiles/bench_workspace.dir/bench_workspace.cpp.o.d"
+  "bench_workspace"
+  "bench_workspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_shell.dir/ace_shell.cpp.o"
+  "CMakeFiles/ace_shell.dir/ace_shell.cpp.o.d"
+  "ace_shell"
+  "ace_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_conferencing.dir/audio_conferencing.cpp.o"
+  "CMakeFiles/audio_conferencing.dir/audio_conferencing.cpp.o.d"
+  "audio_conferencing"
+  "audio_conferencing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_conferencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conference_room.dir/conference_room.cpp.o"
+  "CMakeFiles/conference_room.dir/conference_room.cpp.o.d"
+  "conference_room"
+  "conference_room.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conference_room.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

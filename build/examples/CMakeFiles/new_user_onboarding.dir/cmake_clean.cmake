@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/new_user_onboarding.dir/new_user_onboarding.cpp.o"
+  "CMakeFiles/new_user_onboarding.dir/new_user_onboarding.cpp.o.d"
+  "new_user_onboarding"
+  "new_user_onboarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/new_user_onboarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_failover.dir/robust_failover.cpp.o"
+  "CMakeFiles/robust_failover.dir/robust_failover.cpp.o.d"
+  "robust_failover"
+  "robust_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("crypto")
+subdirs("cmdlang")
+subdirs("keynote")
+subdirs("daemon")
+subdirs("media")
+subdirs("services")
+subdirs("store")
+subdirs("apps")
+subdirs("baselines")

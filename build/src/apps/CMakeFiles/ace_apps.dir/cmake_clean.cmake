@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_apps.dir/admin_gui.cpp.o"
+  "CMakeFiles/ace_apps.dir/admin_gui.cpp.o.d"
+  "CMakeFiles/ace_apps.dir/framebuffer.cpp.o"
+  "CMakeFiles/ace_apps.dir/framebuffer.cpp.o.d"
+  "CMakeFiles/ace_apps.dir/mobile.cpp.o"
+  "CMakeFiles/ace_apps.dir/mobile.cpp.o.d"
+  "CMakeFiles/ace_apps.dir/ophone.cpp.o"
+  "CMakeFiles/ace_apps.dir/ophone.cpp.o.d"
+  "CMakeFiles/ace_apps.dir/vnc.cpp.o"
+  "CMakeFiles/ace_apps.dir/vnc.cpp.o.d"
+  "CMakeFiles/ace_apps.dir/workspace_backend.cpp.o"
+  "CMakeFiles/ace_apps.dir/workspace_backend.cpp.o.d"
+  "libace_apps.a"
+  "libace_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

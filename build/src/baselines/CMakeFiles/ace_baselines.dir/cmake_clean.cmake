@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_baselines.dir/centralized.cpp.o"
+  "CMakeFiles/ace_baselines.dir/centralized.cpp.o.d"
+  "CMakeFiles/ace_baselines.dir/jini.cpp.o"
+  "CMakeFiles/ace_baselines.dir/jini.cpp.o.d"
+  "CMakeFiles/ace_baselines.dir/rmi.cpp.o"
+  "CMakeFiles/ace_baselines.dir/rmi.cpp.o.d"
+  "libace_baselines.a"
+  "libace_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

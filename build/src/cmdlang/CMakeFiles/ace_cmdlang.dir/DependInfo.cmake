@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cmdlang/parser.cpp" "src/cmdlang/CMakeFiles/ace_cmdlang.dir/parser.cpp.o" "gcc" "src/cmdlang/CMakeFiles/ace_cmdlang.dir/parser.cpp.o.d"
+  "/root/repo/src/cmdlang/semantics.cpp" "src/cmdlang/CMakeFiles/ace_cmdlang.dir/semantics.cpp.o" "gcc" "src/cmdlang/CMakeFiles/ace_cmdlang.dir/semantics.cpp.o.d"
+  "/root/repo/src/cmdlang/value.cpp" "src/cmdlang/CMakeFiles/ace_cmdlang.dir/value.cpp.o" "gcc" "src/cmdlang/CMakeFiles/ace_cmdlang.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_cmdlang.dir/parser.cpp.o"
+  "CMakeFiles/ace_cmdlang.dir/parser.cpp.o.d"
+  "CMakeFiles/ace_cmdlang.dir/semantics.cpp.o"
+  "CMakeFiles/ace_cmdlang.dir/semantics.cpp.o.d"
+  "CMakeFiles/ace_cmdlang.dir/value.cpp.o"
+  "CMakeFiles/ace_cmdlang.dir/value.cpp.o.d"
+  "libace_cmdlang.a"
+  "libace_cmdlang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_cmdlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/certificate.cpp" "src/crypto/CMakeFiles/ace_crypto.dir/certificate.cpp.o" "gcc" "src/crypto/CMakeFiles/ace_crypto.dir/certificate.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/ace_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/ace_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/channel.cpp" "src/crypto/CMakeFiles/ace_crypto.dir/channel.cpp.o" "gcc" "src/crypto/CMakeFiles/ace_crypto.dir/channel.cpp.o.d"
+  "/root/repo/src/crypto/dh.cpp" "src/crypto/CMakeFiles/ace_crypto.dir/dh.cpp.o" "gcc" "src/crypto/CMakeFiles/ace_crypto.dir/dh.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/ace_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/ace_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ace_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ace_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_crypto.dir/certificate.cpp.o"
+  "CMakeFiles/ace_crypto.dir/certificate.cpp.o.d"
+  "CMakeFiles/ace_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/ace_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/ace_crypto.dir/channel.cpp.o"
+  "CMakeFiles/ace_crypto.dir/channel.cpp.o.d"
+  "CMakeFiles/ace_crypto.dir/dh.cpp.o"
+  "CMakeFiles/ace_crypto.dir/dh.cpp.o.d"
+  "CMakeFiles/ace_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/ace_crypto.dir/sha256.cpp.o.d"
+  "libace_crypto.a"
+  "libace_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

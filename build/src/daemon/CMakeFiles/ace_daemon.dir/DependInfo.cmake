@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/daemon/client.cpp" "src/daemon/CMakeFiles/ace_daemon.dir/client.cpp.o" "gcc" "src/daemon/CMakeFiles/ace_daemon.dir/client.cpp.o.d"
+  "/root/repo/src/daemon/daemon.cpp" "src/daemon/CMakeFiles/ace_daemon.dir/daemon.cpp.o" "gcc" "src/daemon/CMakeFiles/ace_daemon.dir/daemon.cpp.o.d"
+  "/root/repo/src/daemon/devices.cpp" "src/daemon/CMakeFiles/ace_daemon.dir/devices.cpp.o" "gcc" "src/daemon/CMakeFiles/ace_daemon.dir/devices.cpp.o.d"
+  "/root/repo/src/daemon/environment.cpp" "src/daemon/CMakeFiles/ace_daemon.dir/environment.cpp.o" "gcc" "src/daemon/CMakeFiles/ace_daemon.dir/environment.cpp.o.d"
+  "/root/repo/src/daemon/host.cpp" "src/daemon/CMakeFiles/ace_daemon.dir/host.cpp.o" "gcc" "src/daemon/CMakeFiles/ace_daemon.dir/host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ace_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ace_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmdlang/CMakeFiles/ace_cmdlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/keynote/CMakeFiles/ace_keynote.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

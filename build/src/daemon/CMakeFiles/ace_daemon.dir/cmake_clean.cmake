@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_daemon.dir/client.cpp.o"
+  "CMakeFiles/ace_daemon.dir/client.cpp.o.d"
+  "CMakeFiles/ace_daemon.dir/daemon.cpp.o"
+  "CMakeFiles/ace_daemon.dir/daemon.cpp.o.d"
+  "CMakeFiles/ace_daemon.dir/devices.cpp.o"
+  "CMakeFiles/ace_daemon.dir/devices.cpp.o.d"
+  "CMakeFiles/ace_daemon.dir/environment.cpp.o"
+  "CMakeFiles/ace_daemon.dir/environment.cpp.o.d"
+  "CMakeFiles/ace_daemon.dir/host.cpp.o"
+  "CMakeFiles/ace_daemon.dir/host.cpp.o.d"
+  "libace_daemon.a"
+  "libace_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ace_daemon.
+# This may be replaced when dependencies are built.

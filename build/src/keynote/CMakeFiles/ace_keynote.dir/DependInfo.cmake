@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/keynote/assertion.cpp" "src/keynote/CMakeFiles/ace_keynote.dir/assertion.cpp.o" "gcc" "src/keynote/CMakeFiles/ace_keynote.dir/assertion.cpp.o.d"
+  "/root/repo/src/keynote/checker.cpp" "src/keynote/CMakeFiles/ace_keynote.dir/checker.cpp.o" "gcc" "src/keynote/CMakeFiles/ace_keynote.dir/checker.cpp.o.d"
+  "/root/repo/src/keynote/expr.cpp" "src/keynote/CMakeFiles/ace_keynote.dir/expr.cpp.o" "gcc" "src/keynote/CMakeFiles/ace_keynote.dir/expr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ace_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ace_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ace_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

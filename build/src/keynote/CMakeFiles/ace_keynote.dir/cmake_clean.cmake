@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_keynote.dir/assertion.cpp.o"
+  "CMakeFiles/ace_keynote.dir/assertion.cpp.o.d"
+  "CMakeFiles/ace_keynote.dir/checker.cpp.o"
+  "CMakeFiles/ace_keynote.dir/checker.cpp.o.d"
+  "CMakeFiles/ace_keynote.dir/expr.cpp.o"
+  "CMakeFiles/ace_keynote.dir/expr.cpp.o.d"
+  "libace_keynote.a"
+  "libace_keynote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_keynote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

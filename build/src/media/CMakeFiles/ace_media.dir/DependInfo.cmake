@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/audio.cpp" "src/media/CMakeFiles/ace_media.dir/audio.cpp.o" "gcc" "src/media/CMakeFiles/ace_media.dir/audio.cpp.o.d"
+  "/root/repo/src/media/audio_services.cpp" "src/media/CMakeFiles/ace_media.dir/audio_services.cpp.o" "gcc" "src/media/CMakeFiles/ace_media.dir/audio_services.cpp.o.d"
+  "/root/repo/src/media/codec.cpp" "src/media/CMakeFiles/ace_media.dir/codec.cpp.o" "gcc" "src/media/CMakeFiles/ace_media.dir/codec.cpp.o.d"
+  "/root/repo/src/media/dsp.cpp" "src/media/CMakeFiles/ace_media.dir/dsp.cpp.o" "gcc" "src/media/CMakeFiles/ace_media.dir/dsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/daemon/CMakeFiles/ace_daemon.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmdlang/CMakeFiles/ace_cmdlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/keynote/CMakeFiles/ace_keynote.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ace_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_media.dir/audio.cpp.o"
+  "CMakeFiles/ace_media.dir/audio.cpp.o.d"
+  "CMakeFiles/ace_media.dir/audio_services.cpp.o"
+  "CMakeFiles/ace_media.dir/audio_services.cpp.o.d"
+  "CMakeFiles/ace_media.dir/codec.cpp.o"
+  "CMakeFiles/ace_media.dir/codec.cpp.o.d"
+  "CMakeFiles/ace_media.dir/dsp.cpp.o"
+  "CMakeFiles/ace_media.dir/dsp.cpp.o.d"
+  "libace_media.a"
+  "libace_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

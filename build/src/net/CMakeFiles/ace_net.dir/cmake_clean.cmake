@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_net.dir/network.cpp.o"
+  "CMakeFiles/ace_net.dir/network.cpp.o.d"
+  "libace_net.a"
+  "libace_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

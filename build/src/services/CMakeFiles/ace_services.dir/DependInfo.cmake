@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/asd.cpp" "src/services/CMakeFiles/ace_services.dir/asd.cpp.o" "gcc" "src/services/CMakeFiles/ace_services.dir/asd.cpp.o.d"
+  "/root/repo/src/services/auth_db.cpp" "src/services/CMakeFiles/ace_services.dir/auth_db.cpp.o" "gcc" "src/services/CMakeFiles/ace_services.dir/auth_db.cpp.o.d"
+  "/root/repo/src/services/identification.cpp" "src/services/CMakeFiles/ace_services.dir/identification.cpp.o" "gcc" "src/services/CMakeFiles/ace_services.dir/identification.cpp.o.d"
+  "/root/repo/src/services/launchers.cpp" "src/services/CMakeFiles/ace_services.dir/launchers.cpp.o" "gcc" "src/services/CMakeFiles/ace_services.dir/launchers.cpp.o.d"
+  "/root/repo/src/services/monitors.cpp" "src/services/CMakeFiles/ace_services.dir/monitors.cpp.o" "gcc" "src/services/CMakeFiles/ace_services.dir/monitors.cpp.o.d"
+  "/root/repo/src/services/net_logger.cpp" "src/services/CMakeFiles/ace_services.dir/net_logger.cpp.o" "gcc" "src/services/CMakeFiles/ace_services.dir/net_logger.cpp.o.d"
+  "/root/repo/src/services/room_db.cpp" "src/services/CMakeFiles/ace_services.dir/room_db.cpp.o" "gcc" "src/services/CMakeFiles/ace_services.dir/room_db.cpp.o.d"
+  "/root/repo/src/services/streaming.cpp" "src/services/CMakeFiles/ace_services.dir/streaming.cpp.o" "gcc" "src/services/CMakeFiles/ace_services.dir/streaming.cpp.o.d"
+  "/root/repo/src/services/tracking.cpp" "src/services/CMakeFiles/ace_services.dir/tracking.cpp.o" "gcc" "src/services/CMakeFiles/ace_services.dir/tracking.cpp.o.d"
+  "/root/repo/src/services/user_db.cpp" "src/services/CMakeFiles/ace_services.dir/user_db.cpp.o" "gcc" "src/services/CMakeFiles/ace_services.dir/user_db.cpp.o.d"
+  "/root/repo/src/services/workspace.cpp" "src/services/CMakeFiles/ace_services.dir/workspace.cpp.o" "gcc" "src/services/CMakeFiles/ace_services.dir/workspace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/daemon/CMakeFiles/ace_daemon.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/ace_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmdlang/CMakeFiles/ace_cmdlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/keynote/CMakeFiles/ace_keynote.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ace_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_services.dir/asd.cpp.o"
+  "CMakeFiles/ace_services.dir/asd.cpp.o.d"
+  "CMakeFiles/ace_services.dir/auth_db.cpp.o"
+  "CMakeFiles/ace_services.dir/auth_db.cpp.o.d"
+  "CMakeFiles/ace_services.dir/identification.cpp.o"
+  "CMakeFiles/ace_services.dir/identification.cpp.o.d"
+  "CMakeFiles/ace_services.dir/launchers.cpp.o"
+  "CMakeFiles/ace_services.dir/launchers.cpp.o.d"
+  "CMakeFiles/ace_services.dir/monitors.cpp.o"
+  "CMakeFiles/ace_services.dir/monitors.cpp.o.d"
+  "CMakeFiles/ace_services.dir/net_logger.cpp.o"
+  "CMakeFiles/ace_services.dir/net_logger.cpp.o.d"
+  "CMakeFiles/ace_services.dir/room_db.cpp.o"
+  "CMakeFiles/ace_services.dir/room_db.cpp.o.d"
+  "CMakeFiles/ace_services.dir/streaming.cpp.o"
+  "CMakeFiles/ace_services.dir/streaming.cpp.o.d"
+  "CMakeFiles/ace_services.dir/tracking.cpp.o"
+  "CMakeFiles/ace_services.dir/tracking.cpp.o.d"
+  "CMakeFiles/ace_services.dir/user_db.cpp.o"
+  "CMakeFiles/ace_services.dir/user_db.cpp.o.d"
+  "CMakeFiles/ace_services.dir/workspace.cpp.o"
+  "CMakeFiles/ace_services.dir/workspace.cpp.o.d"
+  "libace_services.a"
+  "libace_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_store.dir/persistent_store.cpp.o"
+  "CMakeFiles/ace_store.dir/persistent_store.cpp.o.d"
+  "CMakeFiles/ace_store.dir/robustness.cpp.o"
+  "CMakeFiles/ace_store.dir/robustness.cpp.o.d"
+  "CMakeFiles/ace_store.dir/store_client.cpp.o"
+  "CMakeFiles/ace_store.dir/store_client.cpp.o.d"
+  "libace_store.a"
+  "libace_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

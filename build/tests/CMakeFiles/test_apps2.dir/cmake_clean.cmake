@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps2.dir/test_apps2.cpp.o"
+  "CMakeFiles/test_apps2.dir/test_apps2.cpp.o.d"
+  "test_apps2"
+  "test_apps2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmdlang.dir/test_cmdlang.cpp.o"
+  "CMakeFiles/test_cmdlang.dir/test_cmdlang.cpp.o.d"
+  "test_cmdlang"
+  "test_cmdlang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmdlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

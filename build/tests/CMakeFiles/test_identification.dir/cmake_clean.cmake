@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_identification.dir/test_identification.cpp.o"
+  "CMakeFiles/test_identification.dir/test_identification.cpp.o.d"
+  "test_identification"
+  "test_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keynote.dir/test_keynote.cpp.o"
+  "CMakeFiles/test_keynote.dir/test_keynote.cpp.o.d"
+  "test_keynote"
+  "test_keynote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keynote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_services2.dir/test_services2.cpp.o"
+  "CMakeFiles/test_services2.dir/test_services2.cpp.o.d"
+  "test_services2"
+  "test_services2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_services2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
