@@ -24,7 +24,7 @@ void register_synthetic(daemon::AceClient& client, const net::Address& asd,
   reg.arg("room", Word{"room" + std::to_string(index % 16)});
   reg.arg("class", "Service/Synthetic/Kind" + std::to_string(index % 8));
   reg.arg("lease", lease_ms);
-  auto r = client.call_ok(asd, reg);
+  auto r = client.call(asd, reg, daemon::kCallOk);
   if (!r.ok()) std::fprintf(stderr, "register failed: %s\n",
                             r.error().to_string().c_str());
 }
@@ -46,14 +46,13 @@ void lookup_latency_vs_directory_size() {
       std::string name =
           "svc" + std::to_string(rng.next_below(static_cast<std::uint64_t>(n)));
       auto start = bench::Clock::now();
-      auto r = services::asd_lookup(*client, deployment.env.asd_address, name);
+      auto r = services::AsdClient(*client, deployment.env.asd_address).lookup(name);
       lookup_us.add(bench::us_since(start));
       if (!r.ok()) std::fprintf(stderr, "lookup failed\n");
     }
     for (int i = 0; i < 50; ++i) {
       auto start = bench::Clock::now();
-      auto r = services::asd_query(*client, deployment.env.asd_address, "*",
-                                   "Service/Synthetic/Kind3", "*");
+      auto r = services::AsdClient(*client, deployment.env.asd_address).query("*", "Service/Synthetic/Kind3", "*");
       query_us.add(bench::us_since(start));
       if (!r.ok()) std::fprintf(stderr, "query failed\n");
     }
@@ -74,6 +73,9 @@ void registration_throughput() {
   double total_us = bench::us_since(start);
   std::printf("  %d registrations in %.1f ms -> %.0f registrations/s\n",
               kCount, total_us / 1000.0, kCount / (total_us / 1e6));
+  // Dump the deployment-wide obs snapshot (asd.registrations,
+  // daemon.cmd.* latency histograms, net.* counters) as a JSON artifact.
+  bench::export_metrics_json("bench_asd", deployment.env.metrics().snapshot());
 }
 
 void lease_expiry_ablation() {
@@ -94,7 +96,7 @@ void lease_expiry_ablation() {
       // until the directory stops returning it.
       auto start = bench::Clock::now();
       std::string name = "svc" + std::to_string(trial);
-      while (services::asd_lookup(*client, deployment.env.asd_address, name)
+      while (services::AsdClient(*client, deployment.env.asd_address).lookup(name)
                  .ok()) {
         std::this_thread::sleep_for(5ms);
       }

@@ -38,7 +38,7 @@ void pipeline_latency() {
   mixer.add_sink(recorder.data_address());
   CmdLine add("mixerAddInput");
   add.arg("stream", "mic");
-  if (!client->call_ok(mixer.address(), add).ok()) return;
+  if (!client->call(mixer.address(), add, daemon::kCallOk).ok()) return;
 
   bench::Series latency_ms;
   std::size_t expected = 0;

@@ -144,11 +144,31 @@ void print_size_table() {
   }
 }
 
+// Replays serialize+parse round trips through the obs layer so the run
+// leaves a bench_cmdlang.metrics.json artifact with a
+// cmdlang.roundtrip.latency_us histogram (process-global registry: this
+// tool runs no deployment).
+void record_roundtrip_metrics() {
+  auto& registry = obs::MetricsRegistry::global();
+  auto& roundtrips = registry.counter("cmdlang.roundtrips");
+  for (int args : {1, 4, 16, 64}) {
+    auto cmd = make_ace_command(args);
+    for (int i = 0; i < 1000; ++i) {
+      obs::Span span(registry, "cmdlang", "roundtrip");
+      auto parsed = cmdlang::Parser::parse(cmd.to_string());
+      span.set_ok(parsed.ok());
+      roundtrips.inc();
+    }
+  }
+  bench::export_metrics_json("bench_cmdlang", registry.snapshot());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_size_table();
+  record_roundtrip_metrics();
   return 0;
 }

@@ -3,10 +3,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "ace_test_env.hpp"
+#include "obs/metrics.hpp"
 
 namespace ace::bench {
 
@@ -41,6 +44,21 @@ struct Series {
 
 inline void header(const char* experiment, const char* title) {
   std::printf("\n=== %s: %s ===\n", experiment, title);
+}
+
+// Writes a metrics snapshot to `<name>.metrics.json` in the working
+// directory, so benchmark runs leave a machine-readable artifact alongside
+// their stdout tables (same shape as the daemon's `metrics;` command).
+inline void export_metrics_json(const std::string& name,
+                                const obs::MetricsSnapshot& snapshot) {
+  const std::string path = name + ".metrics.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << obs::to_json(snapshot) << '\n';
+  std::printf("  metrics exported to %s\n", path.c_str());
 }
 
 }  // namespace ace::bench

@@ -42,7 +42,7 @@ void discovery_comparison() {
     reg.arg("host", segment[hosts / 2]);
     reg.arg("port", 99);
     reg.arg("class", "Service/Device/Printer");
-    if (!client->call_ok(deployment.env.asd_address, reg).ok()) return;
+    if (!client->call(deployment.env.asd_address, reg, daemon::kCallOk).ok()) return;
 
     daemon::DaemonHost lookup_host(deployment.env,
                                    "seg" + std::to_string(hosts / 2));
@@ -55,8 +55,7 @@ void discovery_comparison() {
     bench::Series ace_us;
     for (int i = 0; i < 50; ++i) {
       auto start = bench::Clock::now();
-      auto r = services::asd_lookup(*client, deployment.env.asd_address,
-                                    "printer");
+      auto r = services::AsdClient(*client, deployment.env.asd_address).lookup("printer");
       ace_us.add(bench::us_since(start));
       if (!r.ok()) return;
     }

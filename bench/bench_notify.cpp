@@ -76,7 +76,7 @@ void fanout_latency() {
       sub.arg("command", Word{"fire"});
       sub.arg("service", sink.address().to_string());
       sub.arg("method", Word{"onFire"});
-      auto r = client->call_ok(source.address(), sub);
+      auto r = client->call(source.address(), sub, daemon::kCallOk);
       if (!r.ok()) return;
     }
 
@@ -85,7 +85,7 @@ void fanout_latency() {
     for (int round = 0; round < kRounds; ++round) {
       int target = (round + 1) * subscribers;
       auto start = bench::Clock::now();
-      auto r = client->call_ok(source.address(), CmdLine("fire"));
+      auto r = client->call(source.address(), CmdLine("fire"), daemon::kCallOk);
       reply_us.add(bench::us_since(start));
       if (!r.ok()) return;
       while (delivered.load() < target) std::this_thread::sleep_for(200us);

@@ -76,7 +76,7 @@ void placement_policy_ablation() {
       launch.arg("command", "app" + std::to_string(i));
       launch.arg("cpu", 0.05 + 0.1 * rng.next_double());
       launch.arg("policy", Word{policy});
-      auto r = client->call_ok(d.sal, launch);
+      auto r = client->call(d.sal, launch, daemon::kCallOk);
       if (!r.ok()) {
         std::fprintf(stderr, "launch failed: %s\n",
                      r.error().to_string().c_str());
@@ -106,15 +106,14 @@ void hrm_query_rate() {
   Deployment d = make_deployment(91);
   if (!d.env) return;
   auto client = d.env->make_client("bench", "user/bench");
-  auto hrms = services::asd_query(*client, d.env->env.asd_address, "*",
-                                  "Service/Monitor/HRM*", "*");
+  auto hrms = services::AsdClient(*client, d.env->env.asd_address).query("*", "Service/Monitor/HRM*", "*");
   if (!hrms.ok() || hrms->empty()) return;
   auto target = hrms->front().address;
   (void)client->call(target, CmdLine("hrmStatus"));
   constexpr int kQueries = 2000;
   auto start = bench::Clock::now();
   for (int i = 0; i < kQueries; ++i)
-    if (!client->call_ok(target, CmdLine("hrmStatus")).ok()) return;
+    if (!client->call(target, CmdLine("hrmStatus"), daemon::kCallOk).ok()) return;
   double total_us = bench::us_since(start);
   std::printf("  %d queries in %.1f ms -> %.0f queries/s\n", kQueries,
               total_us / 1000.0, kQueries / (total_us / 1e6));

@@ -37,7 +37,7 @@ void asd_under_load() {
       reg.arg("port", std::int64_t{1000 + i % 60000});
       reg.arg("class", "Service/Load/Kind" + std::to_string(i % 10));
       reg.arg("lease", std::int64_t{60000});
-      if (!loader->call_ok(deployment.env.asd_address, reg).ok()) return;
+      if (!loader->call(deployment.env.asd_address, reg, daemon::kCallOk).ok()) return;
     }
   }
 
@@ -56,10 +56,10 @@ void asd_under_load() {
         if (i % 4 == 0) {
           CmdLine renew("renew");
           renew.arg("name", Word{name});
-          if (!client->call_ok(deployment.env.asd_address, renew).ok())
+          if (!client->call(deployment.env.asd_address, renew, daemon::kCallOk).ok())
             failures++;
         } else {
-          if (!services::asd_lookup(*client, deployment.env.asd_address, name)
+          if (!services::AsdClient(*client, deployment.env.asd_address).lookup(name)
                    .ok())
             failures++;
         }
@@ -94,7 +94,7 @@ void aud_with_thousands_of_users() {
     CmdLine add("userAdd");
     add.arg("username", Word{"user" + std::to_string(i)});
     add.arg("ibutton", "IB-" + std::to_string(i));
-    if (!client->call_ok(aud.address(), add).ok()) return;
+    if (!client->call(aud.address(), add, daemon::kCallOk).ok()) return;
   }
 
   bench::Series get_us, by_button_us;
@@ -104,13 +104,13 @@ void aud_with_thousands_of_users() {
     CmdLine get("userGet");
     get.arg("username", Word{user});
     auto start = bench::Clock::now();
-    if (!client->call_ok(aud.address(), get).ok()) return;
+    if (!client->call(aud.address(), get, daemon::kCallOk).ok()) return;
     get_us.add(bench::us_since(start));
 
     CmdLine find("userByIButton");
     find.arg("serial", "IB-" + std::to_string(rng.next_below(kUsers)));
     start = bench::Clock::now();
-    if (!client->call_ok(aud.address(), find).ok()) return;
+    if (!client->call(aud.address(), find, daemon::kCallOk).ok()) return;
     by_button_us.add(bench::us_since(start));
   }
   std::printf("  userGet:       p50=%.1f us  p95=%.1f us\n",
@@ -164,7 +164,7 @@ void distribution_throughput() {
     CmdLine add("distAddSink");
     add.arg("stream", "feed");
     add.arg("dest", "stream-box:" + std::to_string(9000 + i));
-    if (!client->call_ok(dist.address(), add).ok()) return;
+    if (!client->call(dist.address(), add, daemon::kCallOk).ok()) return;
   }
 
   auto src = host.net_host().open_datagram(8999);

@@ -100,14 +100,14 @@ void scenario1_provisioning() {
     add.arg("fullname", "User " + std::to_string(u));
     add.arg("password", "pw");
     add.arg("fingerprint", "fp_" + username);
-    if (!a.admin->call_ok(a.aud->address(), add).ok()) return;
+    if (!a.admin->call(a.aud->address(), add, daemon::kCallOk).ok()) return;
     CmdLine enroll("fiuEnroll");
     enroll.arg("template", Word{"fp_" + username});
     enroll.arg("features", finger(u));
-    if (!a.admin->call_ok(a.fiu->address(), enroll).ok()) return;
+    if (!a.admin->call(a.fiu->address(), enroll, daemon::kCallOk).ok()) return;
     CmdLine ws("wssDefault");
     ws.arg("owner", Word{username});
-    if (!a.admin->call_ok(a.wss->address(), ws).ok()) return;
+    if (!a.admin->call(a.wss->address(), ws, daemon::kCallOk).ok()) return;
     provision_ms.add(bench::us_since(start) / 1000.0);
   }
   std::printf("  account + enrollment + live workspace server: p50=%.1f ms "
@@ -125,17 +125,17 @@ void scenario23_identification_to_screen() {
     CmdLine add("userAdd");
     add.arg("username", Word{"john"});
     add.arg("fingerprint", "fp_john");
-    if (!a.admin->call_ok(a.aud->address(), add).ok()) return;
+    if (!a.admin->call(a.aud->address(), add, daemon::kCallOk).ok()) return;
     CmdLine enroll("fiuEnroll");
     enroll.arg("template", Word{"fp_john"});
     enroll.arg("features", finger(3));
-    if (!a.admin->call_ok(a.fiu->address(), enroll).ok()) return;
+    if (!a.admin->call(a.fiu->address(), enroll, daemon::kCallOk).ok()) return;
 
     auto start = bench::Clock::now();
     CmdLine scan("fiuScan");
     scan.arg("features", finger(3));
     scan.arg("station", "podium");
-    auto r = a.admin->call_ok(a.fiu->address(), scan);
+    auto r = a.admin->call(a.fiu->address(), scan, daemon::kCallOk);
     if (!r.ok()) return;
     id_ms.add(bench::us_since(start) / 1000.0);
 
@@ -171,14 +171,14 @@ void scenario4_workspace_switch() {
   if (!a.admin) return;
   CmdLine add("userAdd");
   add.arg("username", Word{"john"});
-  if (!a.admin->call_ok(a.aud->address(), add).ok()) return;
+  if (!a.admin->call(a.aud->address(), add, daemon::kCallOk).ok()) return;
   CmdLine ws1("wssDefault");
   ws1.arg("owner", Word{"john"});
-  if (!a.admin->call_ok(a.wss->address(), ws1).ok()) return;
+  if (!a.admin->call(a.wss->address(), ws1, daemon::kCallOk).ok()) return;
   CmdLine ws2("wssCreate");
   ws2.arg("owner", Word{"john"});
   ws2.arg("name", Word{"slides"});
-  if (!a.admin->call_ok(a.wss->address(), ws2).ok()) return;
+  if (!a.admin->call(a.wss->address(), ws2, daemon::kCallOk).ok()) return;
 
   bench::Series switch_ms;
   const char* targets[] = {"john/default", "john/slides"};
@@ -187,7 +187,7 @@ void scenario4_workspace_switch() {
     CmdLine show("wssShow");
     show.arg("workspace", targets[i % 2]);
     show.arg("location", "podium");
-    if (!a.admin->call_ok(a.wss->address(), show).ok()) return;
+    if (!a.admin->call(a.wss->address(), show, daemon::kCallOk).ok()) return;
     switch_ms.add(bench::us_since(start) / 1000.0);
   }
   std::printf("  selector switch (wssShow): p50=%.1f ms  p95=%.1f ms\n",

@@ -46,7 +46,7 @@ void bringup_latency() {
   for (int i = 0; i < 6; ++i) {
     CmdLine run("vncRunApp");
     run.arg("command", "app" + std::to_string(i));
-    (void)client->call_ok(server.address(), run);
+    (void)client->call(server.address(), run, daemon::kCallOk);
   }
 
   bench::Series bringup_ms;
@@ -86,7 +86,7 @@ void state_preserved_across_moves() {
     // Mutate state at this access point.
     CmdLine run("vncRunApp");
     run.arg("command", "doc" + std::to_string(i));
-    (void)client->call_ok(server.address(), run);
+    (void)client->call(server.address(), run, daemon::kCallOk);
     std::uint64_t before = server.framebuffer_hash();
 
     daemon::DaemonHost ap(deployment.env, "move-ap" + std::to_string(i));

@@ -43,7 +43,7 @@ void run_line(daemon::Environment& env, daemon::AceClient& client,
   if (line.empty() || line[0] == '#') return;
   if (line == ".quit") std::exit(0);
   if (line == ".services") {
-    auto all = services::asd_query(client, env.asd_address, "*", "*", "*");
+    auto all = services::AsdClient(client, env.asd_address).query("*", "*", "*");
     if (!all.ok()) {
       std::printf("! %s\n", all.error().to_string().c_str());
       return;
@@ -83,7 +83,7 @@ void run_line(daemon::Environment& env, daemon::AceClient& client,
   } else if (service == "auth-db") {
     target = env.auth_db_address;
   } else {
-    auto loc = services::asd_lookup(client, env.asd_address, service);
+    auto loc = services::AsdClient(client, env.asd_address).lookup(service);
     if (!loc.ok()) {
       std::printf("! no such service '%s' in the ASD\n", service.c_str());
       return;

@@ -104,7 +104,7 @@ int main() {
   for (const char* tag : {"micA1", "micA2"}) {
     CmdLine add("mixerAddInput");
     add.arg("stream", tag);
-    if (!client.call_ok(mixer_a.address(), add).ok()) return 1;
+    if (!client.call(mixer_a.address(), add, daemon::kCallOk).ok()) return 1;
   }
   mixer_a.add_sink(dist.data_address());
   mic_b.add_sink(dist.data_address());
@@ -120,7 +120,7 @@ int main() {
     CmdLine add("distAddSink");
     add.arg("stream", stream);
     add.arg("dest", dest.to_string());
-    if (!client.call_ok(dist.address(), add).ok()) return 1;
+    if (!client.call(dist.address(), add, daemon::kCallOk).ok()) return 1;
   }
   std::puts("[setup] graph wired: mics -> mixer -> distribution -> speakers"
             " + recorder + speech-to-command");
@@ -142,18 +142,18 @@ int main() {
   // A spoken command travels the same audio path and lands on the camera.
   CmdLine target("stcSetTarget");
   target.arg("service", camera_b.address().to_string());
-  (void)client.call_ok(stc.address(), target);
-  (void)client.call_ok(camera_b.address(), CmdLine("deviceOn"));
+  (void)client.call(stc.address(), target, daemon::kCallOk);
+  (void)client.call(camera_b.address(), CmdLine("deviceOn"), daemon::kCallOk);
 
   std::puts("[voice] announcing 'ptzMove pan=15 tilt=5;' over the conference"
             " audio...");
   CmdLine say("say");
   say.arg("text", "ptzMove pan=15 tilt=5;");
-  (void)client.call_ok(tts.address(), say);
+  (void)client.call(tts.address(), say, daemon::kCallOk);
   std::this_thread::sleep_for(300ms);
   CmdLine flush("stcFlush");
   flush.arg("stream", "announce");
-  auto decoded = client.call_ok(stc.address(), flush);
+  auto decoded = client.call(stc.address(), flush, daemon::kCallOk);
   if (decoded.ok()) {
     std::printf("[voice] speech-to-command decoded: %s (executed: %s)\n",
                 decoded->get_text("decoded").c_str(),

@@ -108,11 +108,11 @@ int main() {
   add.arg("username", Word{"john"});
   add.arg("fullname", "John Doe");
   add.arg("fingerprint", "fp_john");
-  (void)admin.call_ok(aud.address(), add);
+  (void)admin.call(aud.address(), add, daemon::kCallOk);
   CmdLine enroll("fiuEnroll");
   enroll.arg("template", Word{"fp_john"});
   enroll.arg("features", cmdlang::real_vector({0.12, 0.88, 0.34, 0.56}));
-  (void)admin.call_ok(fiu.address(), enroll);
+  (void)admin.call(fiu.address(), enroll, daemon::kCallOk);
   std::puts("[setup] John registered with the AUD and enrolled at the FIU");
 
   // --- Scenario 2: identification at the podium ---------------------------
@@ -120,7 +120,7 @@ int main() {
   CmdLine scan("fiuScan");
   scan.arg("features", cmdlang::real_vector({0.12, 0.88, 0.34, 0.56}));
   scan.arg("station", "podium");
-  auto id = admin.call_ok(fiu.address(), scan);
+  auto id = admin.call(fiu.address(), scan, daemon::kCallOk);
   if (!id.ok()) {
     std::fprintf(stderr, "identification failed\n");
     return 1;

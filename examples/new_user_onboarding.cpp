@@ -97,14 +97,14 @@ int main() {
   add.arg("password", "welcome1");
   add.arg("fingerprint", "fp_john");
   add.arg("pubkey", "user/john");
-  if (!admin.call_ok(aud.address(), add).ok()) return 1;
+  if (!admin.call(aud.address(), add, daemon::kCallOk).ok()) return 1;
   std::puts("[1] administrator added John to the ACE User Database");
 
   // 2. Fingerprint enrollment at the FIU.
   CmdLine enroll("fiuEnroll");
   enroll.arg("template", Word{"fp_john"});
   enroll.arg("features", cmdlang::real_vector({0.3, 0.6, 0.1, 0.8, 0.5}));
-  if (!admin.call_ok(fiu.address(), enroll).ok()) return 1;
+  if (!admin.call(fiu.address(), enroll, daemon::kCallOk).ok()) return 1;
   std::puts("[2] fingerprint scanned and enrolled at the FIU");
 
   // 3. KeyNote credentials: admin delegates device control to John.
@@ -123,7 +123,7 @@ int main() {
   // 4. Default workspace: WSS -> SAL -> SRM -> HAL on the best host.
   CmdLine ws("wssDefault");
   ws.arg("owner", Word{"john"});
-  auto created = admin.call_ok(wss.address(), ws);
+  auto created = admin.call(wss.address(), ws, daemon::kCallOk);
   if (!created.ok()) {
     std::fprintf(stderr, "workspace creation failed: %s\n",
                  created.error().to_string().c_str());

@@ -73,7 +73,7 @@ int main() {
   auto& laptop = env.network().add_host("laptop");
   daemon::AceClient client(env, laptop, env.issue_identity("user/you"));
 
-  auto found = services::asd_lookup(client, env.asd_address, "hawk_camera");
+  auto found = services::AsdClient(client, env.asd_address).lookup("hawk_camera");
   if (!found.ok()) {
     std::fprintf(stderr, "lookup failed: %s\n",
                  found.error().to_string().c_str());
@@ -83,20 +83,20 @@ int main() {
               found->address.to_string().c_str(),
               found->service_class.c_str());
 
-  (void)client.call_ok(found->address, CmdLine("deviceOn"));
+  (void)client.call(found->address, CmdLine("deviceOn"), daemon::kCallOk);
   CmdLine move("ptzMove");
   move.arg("pan", 25.0);
   move.arg("tilt", 10.0);
   move.arg("zoom", 4.0);
   std::printf("[4] sending: %s\n", move.to_string().c_str());
-  auto reply = client.call_ok(found->address, move);
+  auto reply = client.call(found->address, move, daemon::kCallOk);
   if (!reply.ok()) {
     std::fprintf(stderr, "command failed: %s\n",
                  reply.error().to_string().c_str());
     return 1;
   }
 
-  auto state = client.call_ok(found->address, CmdLine("ptzGet"));
+  auto state = client.call(found->address, CmdLine("ptzGet"), daemon::kCallOk);
   if (state.ok()) {
     std::printf("[5] camera now at pan=%.1f tilt=%.1f zoom=%.1f (model %s)\n",
                 state->get_real("pan"), state->get_real("tilt"),

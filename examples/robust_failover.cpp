@@ -122,7 +122,7 @@ int main() {
   manage.arg("name", Word{"telemetry"});
   manage.arg("kind", Word{"restart"});
   manage.arg("host", "worker");
-  if (!client.call_ok(rm.address(), manage).ok()) return 1;
+  if (!client.call(rm.address(), manage, daemon::kCallOk).ok()) return 1;
   std::puts("[4] 'telemetry' registered as a restart application");
 
   // The mobile client binds by class, not address.

@@ -13,8 +13,7 @@ AdminGuiModel::AdminGuiModel(daemon::Environment& env,
     : env_(env), client_(client) {}
 
 util::Status AdminGuiModel::refresh() {
-  auto services = services::asd_query(client_, env_.asd_address, "*", "*",
-                                      "*");
+  auto services = services::AsdClient(client_, env_.asd_address).query("*", "*", "*");
   if (!services.ok()) return services.error();
 
   std::map<std::string, RoomNode> rooms;
@@ -25,14 +24,14 @@ util::Status AdminGuiModel::refresh() {
     node.service_class = loc.service_class;
 
     // Pull the service's command list, then each command's schema.
-    auto info = client_.call_ok(loc.address, CmdLine("info"));
+    auto info = client_.call(loc.address, CmdLine("info"), daemon::kCallOk);
     if (info.ok()) {
       if (auto commands = info->get_vector("commands")) {
         for (const auto& elem : commands->elements) {
           if (!elem.is_word() && !elem.is_string()) continue;
           CmdLine help("help");
           help.arg("command", Word{elem.as_text()});
-          auto schema = client_.call_ok(loc.address, help);
+          auto schema = client_.call(loc.address, help, daemon::kCallOk);
           if (!schema.ok()) continue;
           ParameterControl control;
           control.command = elem.as_text();
@@ -76,7 +75,7 @@ util::Result<cmdlang::CmdLine> AdminGuiModel::invoke(
   if (!svc)
     return util::Error{util::Errc::not_found,
                        "service not in GUI tree: " + service_name};
-  return client_.call_ok(svc->address, cmd);
+  return client_.call(svc->address, cmd, daemon::kCallOk);
 }
 
 }  // namespace ace::apps

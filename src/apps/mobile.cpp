@@ -9,8 +9,7 @@ MobileServiceClient::MobileServiceClient(daemon::Environment& env,
 
 util::Status MobileServiceClient::rebind(
     const std::set<std::string>& exclude) {
-  auto candidates = services::asd_query(client_, env_.asd_address, "*",
-                                        class_glob_, "*");
+  auto candidates = services::AsdClient(client_, env_.asd_address).query("*", class_glob_, "*");
   if (!candidates.ok()) return candidates.error();
   for (const services::ServiceLocation& loc : candidates.value()) {
     if (exclude.contains(loc.address.to_string())) continue;
@@ -30,7 +29,9 @@ util::Result<cmdlang::CmdLine> MobileServiceClient::call(
   }
   // One attempt per distinct instance, until the directory runs dry.
   for (;;) {
-    auto reply = client_.call(bound_, cmd, std::chrono::milliseconds(500));
+    auto reply = client_.call(
+        bound_, cmd,
+        daemon::CallOptions{.timeout = std::chrono::milliseconds(500)});
     if (reply.ok()) return reply;
     tried.insert(bound_.to_string());
     client_.drop_connection(bound_);

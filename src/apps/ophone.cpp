@@ -39,7 +39,7 @@ OPhoneDaemon::OPhoneDaemon(daemon::Environment& env, daemon::DaemonHost& host,
         }
         CmdLine ring("phoneRing");
         ring.arg("from", address().to_string());
-        auto reply = control_client().call_ok(*peer, ring);
+        auto reply = control_client().call(*peer, ring, daemon::kCallOk);
         std::scoped_lock lock(mu_);
         if (!reply.ok()) {
           state_ = State::idle;

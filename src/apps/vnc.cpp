@@ -329,7 +329,7 @@ util::Status VncViewerDaemon::attach(const net::Address& server,
   CmdLine cmd("vncAttach");
   cmd.arg("password", password);
   cmd.arg("viewer", data_address().to_string());
-  auto reply = control_client().call_ok(server, cmd);
+  auto reply = control_client().call(server, cmd, daemon::kCallOk);
   if (!reply.ok()) return reply.error();
   std::scoped_lock lock(mu_);
   server_ = server;

@@ -47,12 +47,11 @@ daemon::DaemonHost* VncWorkspaceFactory::pick_server_host() {
           env_, server_pool_.front()->net_host(),
           env_.issue_identity("svc/vnc-factory"));
     }
-    auto srms = services::asd_query(*client_, env_.asd_address, "*",
-                                    "Service/Monitor/SRM*", "*");
+    auto srms = services::AsdClient(*client_, env_.asd_address).query("*", "Service/Monitor/SRM*", "*");
     if (srms.ok() && !srms->empty()) {
       cmdlang::CmdLine pick("srmPickHost");
       pick.arg("cpu", 0.2);
-      auto reply = client_->call_ok(srms->front().address, pick);
+      auto reply = client_->call(srms->front().address, pick, daemon::kCallOk);
       if (reply.ok()) {
         std::string chosen = reply->get_text("host");
         for (daemon::DaemonHost* host : server_pool_)

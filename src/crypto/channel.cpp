@@ -55,8 +55,17 @@ util::Result<SecureChannel> SecureChannel::connect(net::Connection conn,
                                                    const util::Bytes& ca_key,
                                                    net::Duration timeout,
                                                    ChannelOptions options) {
-  return handshake(std::move(conn), self, ca_key, timeout, options,
-                   /*is_client=*/true);
+  if (!options.metrics)
+    return handshake(std::move(conn), self, ca_key, timeout, options,
+                     /*is_client=*/true);
+  obs::Span span(*options.metrics, "crypto", "handshake");
+  auto r = handshake(std::move(conn), self, ca_key, timeout, options,
+                     /*is_client=*/true);
+  span.set_ok(r.ok());
+  options.metrics
+      ->counter(r.ok() ? "crypto.handshakes" : "crypto.handshake_failures")
+      .inc();
+  return r;
 }
 
 util::Result<SecureChannel> SecureChannel::accept(net::Connection conn,
@@ -64,8 +73,17 @@ util::Result<SecureChannel> SecureChannel::accept(net::Connection conn,
                                                   const util::Bytes& ca_key,
                                                   net::Duration timeout,
                                                   ChannelOptions options) {
-  return handshake(std::move(conn), self, ca_key, timeout, options,
-                   /*is_client=*/false);
+  if (!options.metrics)
+    return handshake(std::move(conn), self, ca_key, timeout, options,
+                     /*is_client=*/false);
+  obs::Span span(*options.metrics, "crypto", "handshake");
+  auto r = handshake(std::move(conn), self, ca_key, timeout, options,
+                     /*is_client=*/false);
+  span.set_ok(r.ok());
+  options.metrics
+      ->counter(r.ok() ? "crypto.handshakes" : "crypto.handshake_failures")
+      .inc();
+  return r;
 }
 
 util::Result<SecureChannel> SecureChannel::handshake(

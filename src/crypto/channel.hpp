@@ -19,6 +19,7 @@
 #include "crypto/certificate.hpp"
 #include "crypto/chacha20.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "util/result.hpp"
 
 namespace ace::crypto {
@@ -26,6 +27,9 @@ namespace ace::crypto {
 struct ChannelOptions {
   bool encrypt = true;     // false = plaintext passthrough (ablation only)
   std::uint64_t seed = 0;  // 0 = derive from a process-wide counter
+  // Handshake outcomes and latency land here under `crypto.*` names
+  // (daemon::Environment wires its registry in automatically).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class SecureChannel {

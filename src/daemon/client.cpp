@@ -10,7 +10,13 @@ constexpr const char* kNoReplyArg = "_noreply";
 
 AceClient::AceClient(Environment& env, net::Host& from_host,
                      crypto::Identity identity)
-    : env_(env), host_(from_host), identity_(std::move(identity)) {}
+    : env_(env),
+      host_(from_host),
+      identity_(std::move(identity)),
+      calls_(&env.metrics().counter("client.calls")),
+      reconnects_(&env.metrics().counter("client.reconnects")),
+      timeouts_(&env.metrics().counter("client.timeouts")),
+      errors_(&env.metrics().counter("client.errors")) {}
 
 util::Result<std::shared_ptr<AceClient::ChannelEntry>> AceClient::entry_for(
     const net::Address& to) {
@@ -37,47 +43,60 @@ util::Status AceClient::ensure_channel_locked(ChannelEntry& entry,
 }
 
 util::Result<cmdlang::CmdLine> AceClient::call(const net::Address& to,
-                                               const cmdlang::CmdLine& cmd) {
-  return call(to, cmd, env_.default_timeout);
-}
-
-util::Result<cmdlang::CmdLine> AceClient::call(
-    const net::Address& to, const cmdlang::CmdLine& cmd,
-    std::chrono::milliseconds timeout) {
+                                               const cmdlang::CmdLine& cmd,
+                                               const CallOptions& options) {
+  obs::Span span(env_.metrics(), "client", "call");
+  calls_->inc();
+  const auto timeout = options.timeout.value_or(env_.default_timeout);
+  const int attempts = options.retries < 0 ? 1 : options.retries + 1;
   std::string wire = cmd.to_string();
-  for (int attempt = 0; attempt < 2; ++attempt) {
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) reconnects_->inc();
     auto entry = entry_for(to);
-    if (!entry.ok()) return entry.error();
+    if (!entry.ok()) {
+      span.fail();
+      errors_->inc();
+      return entry.error();
+    }
     std::scoped_lock call_lock((*entry)->call_mu);
-    if (auto s = ensure_channel_locked(**entry, to); !s.ok())
+    if (auto s = ensure_channel_locked(**entry, to); !s.ok()) {
+      span.fail();
+      errors_->inc();
       return s.error();
+    }
     auto channel = (*entry)->channel;
     auto send = channel->send(util::to_bytes(wire));
     if (!send.ok()) {
       channel->close();
-      continue;  // stale cached channel: reconnect once
+      continue;  // stale cached channel: reconnect
     }
     auto reply = channel->recv(timeout);
     if (!reply) {
       channel->close();
-      if (attempt == 0) continue;
+      if (attempt + 1 < attempts) continue;
+      span.fail();
+      timeouts_->inc();
       return util::Error{util::Errc::timeout,
                          "no reply from " + to.to_string() + " for '" +
                              cmd.name() + "'"};
     }
-    return cmdlang::Parser::parse(util::to_string(*reply));
+    auto parsed = cmdlang::Parser::parse(util::to_string(*reply));
+    if (!parsed.ok()) {
+      span.fail();
+      errors_->inc();
+      return parsed;
+    }
+    if (options.require_ok && cmdlang::is_error(parsed.value())) {
+      span.fail();
+      errors_->inc();
+      return cmdlang::reply_error(parsed.value());
+    }
+    return parsed;
   }
+  span.fail();
+  errors_->inc();
   return util::Error{util::Errc::unavailable,
                      "cannot reach " + to.to_string()};
-}
-
-util::Result<cmdlang::CmdLine> AceClient::call_ok(const net::Address& to,
-                                                  const cmdlang::CmdLine& cmd) {
-  auto reply = call(to, cmd);
-  if (!reply.ok()) return reply;
-  if (cmdlang::is_error(reply.value()))
-    return cmdlang::reply_error(reply.value());
-  return reply;
 }
 
 util::Status AceClient::send_only(const net::Address& to,

@@ -6,19 +6,45 @@
 // re-established on failure, which is also the hook the mobile-socket
 // extension (paper Ch 9) builds on: when a service instance dies, callers
 // re-resolve through the ASD and resume against a replacement instance.
+//
+// All request/reply traffic funnels through the single
+// call(to, cmd, CallOptions) entry point, so call latency, reconnects and
+// timeouts are instrumented (and future retry policy lives) in exactly one
+// place. The historical call(to, cmd, timeout) / call_ok(to, cmd) overloads
+// survive one release as deprecated forwarders.
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "cmdlang/parser.hpp"
 #include "cmdlang/value.hpp"
 #include "crypto/channel.hpp"
 #include "daemon/environment.hpp"
+#include "obs/metrics.hpp"
 
 namespace ace::daemon {
+
+// Per-call knobs for AceClient::call.
+struct CallOptions {
+  // Reply deadline; defaults to the environment's default_timeout.
+  std::optional<std::chrono::milliseconds> timeout{};
+  // Treat an `error ...;` reply as a util::Error instead of a result.
+  bool require_ok = false;
+  // Extra attempts after a stale-channel send failure or a reply timeout
+  // (each retry reconnects). 1 preserves the historical behaviour of one
+  // transparent reconnect.
+  int retries = 1;
+};
+
+// Shorthand for the common "call and insist on an ok reply" pattern.
+inline constexpr CallOptions kCallOk{.timeout = std::nullopt,
+                                     .require_ok = true,
+                                     .retries = 1};
 
 class AceClient {
  public:
@@ -31,16 +57,25 @@ class AceClient {
   AceClient(AceClient&&) = default;
 
   // Sends `cmd` to `to` and waits for the reply command. Reuses a cached
-  // channel when available; one reconnect attempt on a stale channel.
-  util::Result<cmdlang::CmdLine> call(const net::Address& to,
-                                      const cmdlang::CmdLine& cmd);
+  // channel when available, reconnecting up to options.retries times on a
+  // stale channel or reply timeout. With options.require_ok, an `error ...;`
+  // reply comes back as a util::Error.
   util::Result<cmdlang::CmdLine> call(const net::Address& to,
                                       const cmdlang::CmdLine& cmd,
-                                      std::chrono::milliseconds timeout);
+                                      const CallOptions& options = {});
 
-  // Like call(), but treats an `error ...;` reply as a util::Error.
+  // Deprecated forwarders (kept for one PR; migrate to CallOptions).
+  [[deprecated("use call(to, cmd, CallOptions{.timeout = ...})")]]
+  util::Result<cmdlang::CmdLine> call(const net::Address& to,
+                                      const cmdlang::CmdLine& cmd,
+                                      std::chrono::milliseconds timeout) {
+    return call(to, cmd, CallOptions{.timeout = timeout});
+  }
+  [[deprecated("use call(to, cmd, kCallOk)")]]
   util::Result<cmdlang::CmdLine> call_ok(const net::Address& to,
-                                         const cmdlang::CmdLine& cmd);
+                                         const cmdlang::CmdLine& cmd) {
+    return call(to, cmd, kCallOk);
+  }
 
   // Fire-and-forget: sends without waiting for the reply (the reply frame
   // is drained on the next call on this channel). Used for low-value
@@ -73,6 +108,12 @@ class AceClient {
   crypto::Identity identity_;
   std::mutex mu_;
   std::map<net::Address, std::shared_ptr<ChannelEntry>> channels_;
+
+  // Cached obs cells (deployment registry, `client.*` names).
+  obs::Counter* calls_;
+  obs::Counter* reconnects_;
+  obs::Counter* timeouts_;
+  obs::Counter* errors_;
 };
 
 }  // namespace ace::daemon

@@ -33,12 +33,47 @@ CmdLine strip_noreply(const CmdLine& cmd, bool* noreply) {
 
 }  // namespace
 
+cmdlang::CmdLine encode_metrics_reply(const obs::MetricsSnapshot& snapshot) {
+  CmdLine reply = cmdlang::make_ok();
+  std::vector<std::string> counters, gauges, histograms;
+  counters.reserve(snapshot.counters.size());
+  for (const auto& c : snapshot.counters)
+    counters.push_back(c.name + "=" + std::to_string(c.value));
+  gauges.reserve(snapshot.gauges.size());
+  for (const auto& g : snapshot.gauges)
+    gauges.push_back(g.name + "=" + std::to_string(g.value));
+  histograms.reserve(snapshot.histograms.size());
+  for (const auto& h : snapshot.histograms) {
+    std::string entry = h.name + "|count=" + std::to_string(h.hist.count) +
+                        "|sum_us=" + std::to_string(h.hist.sum_us);
+    for (std::size_t i = 0; i < obs::Histogram::kBucketBoundsUs.size(); ++i)
+      entry += "|le_" + std::to_string(obs::Histogram::kBucketBoundsUs[i]) +
+               "=" + std::to_string(h.hist.buckets[i]);
+    entry += "|le_inf=" +
+             std::to_string(h.hist.buckets[obs::Histogram::kBucketCount - 1]);
+    histograms.push_back(std::move(entry));
+  }
+  reply.arg("counters", cmdlang::string_vector(std::move(counters)));
+  reply.arg("gauges", cmdlang::string_vector(std::move(gauges)));
+  reply.arg("histograms", cmdlang::string_vector(std::move(histograms)));
+  reply.arg("spans", static_cast<std::int64_t>(snapshot.spans_recorded));
+  return reply;
+}
+
 ServiceDaemon::ServiceDaemon(Environment& env, DaemonHost& host,
                              DaemonConfig config)
     : env_(env),
       host_(host),
       config_(std::move(config)),
-      identity_(env.issue_identity("svc/" + config_.name)) {
+      identity_(env.issue_identity("svc/" + config_.name)),
+      obs_cmd_executed_(&env.metrics().counter("daemon.cmd.executed")),
+      obs_cmd_rejected_(&env.metrics().counter("daemon.cmd.rejected")),
+      obs_auth_denied_(&env.metrics().counter("daemon.auth.denied")),
+      obs_notify_sent_(&env.metrics().counter("daemon.notify.sent")),
+      obs_conn_accepted_(&env.metrics().counter("daemon.conn.accepted")),
+      obs_datagrams_(&env.metrics().counter("daemon.data.datagrams")),
+      obs_control_depth_(&env.metrics().gauge("daemon.queue.control_depth")),
+      obs_notify_depth_(&env.metrics().gauge("daemon.queue.notify_depth")) {
   register_builtin_commands();
 }
 
@@ -59,8 +94,11 @@ ServiceDaemon::Stats ServiceDaemon::stats() const {
 
 void ServiceDaemon::register_command(CommandSpec spec, Handler handler) {
   // Every command implicitly tolerates the _noreply transport marker by
-  // being validated after the marker is stripped.
-  handlers_[spec.name] = std::move(handler);
+  // being validated after the marker is stripped. The per-verb latency
+  // histogram is resolved once here so dispatch touches only atomics.
+  handlers_[spec.name] = HandlerEntry{
+      std::move(handler),
+      &env_.metrics().histogram("daemon.cmd." + spec.name + ".latency_us")};
   semantics_.add(std::move(spec));
 }
 
@@ -153,6 +191,15 @@ void ServiceDaemon::register_builtin_commands() {
         return cmdlang::make_ok();
       });
 
+  // Observability scrape point: every daemon inherits `metrics;`, so the
+  // ACE shell and tests can pull the deployment's metric snapshot from any
+  // service remotely. Thread-safe (registry snapshot), hence concurrent.
+  register_command(
+      CommandSpec("metrics", "deployment metrics snapshot").concurrent_ok(),
+      [this](const CmdLine&, const CallerInfo&) {
+        return encode_metrics_reply(env_.metrics().snapshot());
+      });
+
   register_command(
       CommandSpec("listNotifications", "list notification subscriptions"),
       [this](const CmdLine&, const CallerInfo&) {
@@ -184,7 +231,7 @@ util::Status ServiceDaemon::run_startup_sequence() {
     reg.arg("host", host_.name());
     reg.arg("port", static_cast<std::int64_t>(config_.port));
     reg.arg("class", config_.service_class);
-    auto r = infra_client_->call_ok(env_.room_db_address, reg);
+    auto r = infra_client_->call(env_.room_db_address, reg, kCallOk);
     if (!r.ok())
       util::log_warn(config_.name)
           << "room database registration failed: " << r.error().to_string();
@@ -200,7 +247,7 @@ util::Status ServiceDaemon::run_startup_sequence() {
     reg.arg("room", Word{config_.room});
     reg.arg("class", config_.service_class);
     reg.arg("lease", static_cast<std::int64_t>(config_.lease.count()));
-    auto r = infra_client_->call_ok(env_.asd_address, reg);
+    auto r = infra_client_->call(env_.asd_address, reg, kCallOk);
     if (!r.ok())
       return util::Error{r.error().code,
                          "ASD registration failed: " + r.error().message};
@@ -276,7 +323,8 @@ void ServiceDaemon::stop() {
       env_.asd_address != address()) {
     CmdLine dereg("deregister");
     dereg.arg("name", config_.name);
-    (void)infra_client_->call(env_.asd_address, dereg, 500ms);
+    (void)infra_client_->call(env_.asd_address, dereg,
+                              CallOptions{.timeout = 500ms});
   }
   net_log("info", "service '" + config_.name + "' stopped");
 
@@ -349,6 +397,7 @@ void ServiceDaemon::accept_loop(std::stop_token st) {
       std::scoped_lock lock(stats_mu_);
       stats_.connections_accepted++;
     }
+    obs_conn_accepted_->inc();
     auto channel =
         std::make_shared<crypto::SecureChannel>(std::move(ch.value()));
     std::scoped_lock lock(conn_threads_mu_);
@@ -392,6 +441,7 @@ void ServiceDaemon::command_loop(
       continue;
     }
     if (!control_queue_.push(std::move(item))) return;  // shutting down
+    obs_control_depth_->set(static_cast<std::int64_t>(control_queue_.size()));
   }
 }
 
@@ -402,6 +452,7 @@ void ServiceDaemon::control_loop(std::stop_token st) {
       if (control_queue_.closed()) return;
       continue;
     }
+    obs_control_depth_->set(static_cast<std::int64_t>(control_queue_.size()));
     CmdLine reply = dispatch(item->cmd, item->caller);
     if (item->channel && !item->noreply)
       (void)item->channel->send(util::to_bytes(reply.to_string()));
@@ -414,12 +465,18 @@ CmdLine ServiceDaemon::execute(const CmdLine& cmd, const CallerInfo& caller) {
 
 CmdLine ServiceDaemon::dispatch(const CmdLine& cmd, const CallerInfo& caller,
                                 bool serialize) {
+  obs::Span span(env_.metrics(), "daemon", "cmd");
+  const auto started = std::chrono::steady_clock::now();
   if (auto s = semantics_.validate(cmd); !s.ok()) {
+    span.fail();
+    obs_cmd_rejected_->inc();
     std::scoped_lock lock(stats_mu_);
     stats_.commands_rejected++;
     return cmdlang::make_error(s.error().code, s.error().message);
   }
   if (auto s = authorize(cmd, caller); !s.ok()) {
+    span.fail();
+    obs_auth_denied_->inc();
     {
       std::scoped_lock lock(stats_mu_);
       stats_.authorizations_denied++;
@@ -432,14 +489,17 @@ CmdLine ServiceDaemon::dispatch(const CmdLine& cmd, const CallerInfo& caller,
                             "' on command '" + cmd.name() + "'");
     return cmdlang::make_error(s.error().code, s.error().message);
   }
-  Handler& handler = handlers_.at(cmd.name());
+  HandlerEntry& handler = handlers_.at(cmd.name());
   CmdLine reply;
   if (serialize) {
     std::scoped_lock lock(exec_mu_);
-    reply = handler(cmd, caller);
+    reply = handler.fn(cmd, caller);
   } else {
-    reply = handler(cmd, caller);  // handler declared thread-safe
+    reply = handler.fn(cmd, caller);  // handler declared thread-safe
   }
+  handler.latency->observe(std::chrono::steady_clock::now() - started);
+  obs_cmd_executed_->inc();
+  span.set_ok(cmdlang::is_ok(reply));
   {
     std::scoped_lock lock(stats_mu_);
     stats_.commands_executed++;
@@ -473,7 +533,7 @@ util::Status ServiceDaemon::authorize(const CmdLine& cmd,
       env_.auth_db_address != address()) {
     CmdLine fetch("getCredentials");
     fetch.arg("principal", principal);
-    auto reply = control_client_->call_ok(env_.auth_db_address, fetch);
+    auto reply = control_client_->call(env_.auth_db_address, fetch, kCallOk);
     if (reply.ok()) {
       if (auto vec = reply->get_vector("credentials")) {
         for (const auto& elem : vec->elements) {
@@ -522,6 +582,7 @@ void ServiceDaemon::fire_notifications(const CmdLine& cmd) {
     job.command = cmd.name();
     job.detail = cmd.to_string();
     notify_queue_.push(std::move(job));
+    obs_notify_depth_->set(static_cast<std::int64_t>(notify_queue_.size()));
   }
 }
 
@@ -536,7 +597,9 @@ void ServiceDaemon::notifier_loop(std::stop_token st) {
     notify.arg("source", config_.name);
     notify.arg("command", Word{job->command});
     notify.arg("detail", job->detail);
+    obs_notify_depth_->set(static_cast<std::int64_t>(notify_queue_.size()));
     auto s = notify_client_->send_only(job->service, notify);
+    obs_notify_sent_->inc();
     {
       std::scoped_lock lock(stats_mu_);
       stats_.notifications_sent++;
@@ -568,6 +631,7 @@ void ServiceDaemon::data_loop(std::stop_token st) {
       std::scoped_lock lock(stats_mu_);
       stats_.datagrams_received++;
     }
+    obs_datagrams_->inc();
     on_datagram(*dg);
   }
 }
@@ -586,7 +650,8 @@ void ServiceDaemon::lease_loop(std::stop_token st) {
     if (st.stop_requested()) return;
     CmdLine renew("renew");
     renew.arg("name", config_.name);
-    auto r = infra_client_->call(env_.asd_address, renew, 500ms);
+    auto r = infra_client_->call(env_.asd_address, renew,
+                                 CallOptions{.timeout = 500ms});
     if (!r.ok())
       util::log_warn(config_.name)
           << "lease renewal failed: " << r.error().to_string();

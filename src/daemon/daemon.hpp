@@ -34,10 +34,19 @@
 #include "cmdlang/value.hpp"
 #include "daemon/client.hpp"
 #include "daemon/environment.hpp"
+#include "obs/metrics.hpp"
 
 namespace ace::daemon {
 
 class DaemonHost;
+
+// Renders a metrics snapshot as the reply of the inherited `metrics;`
+// command: `ok counters={...} gauges={...} histograms={...} spans=N;` with
+// one `name=value` string per counter/gauge and one
+// `name|count=..|sum_us=..|le_<bound>=..|..|le_inf=..` string per
+// histogram. Shared by the daemon builtin and by tools that re-encode
+// scraped snapshots.
+cmdlang::CmdLine encode_metrics_reply(const obs::MetricsSnapshot& snapshot);
 
 struct DaemonConfig {
   std::string name;           // unique service instance name, e.g. "asd"
@@ -189,7 +198,11 @@ class ServiceDaemon {
   crypto::Identity identity_;
 
   cmdlang::SemanticRegistry semantics_;
-  std::map<std::string, Handler> handlers_;
+  struct HandlerEntry {
+    Handler fn;
+    obs::Histogram* latency = nullptr;  // daemon.cmd.<verb>.latency_us
+  };
+  std::map<std::string, HandlerEntry> handlers_;
 
   std::shared_ptr<net::Listener> listener_;
   std::shared_ptr<net::DatagramSocket> data_socket_;
@@ -214,6 +227,16 @@ class ServiceDaemon {
 
   mutable std::mutex stats_mu_;
   Stats stats_;
+
+  // Cached obs cells (deployment registry, `daemon.*` names).
+  obs::Counter* obs_cmd_executed_;
+  obs::Counter* obs_cmd_rejected_;
+  obs::Counter* obs_auth_denied_;
+  obs::Counter* obs_notify_sent_;
+  obs::Counter* obs_conn_accepted_;
+  obs::Counter* obs_datagrams_;
+  obs::Gauge* obs_control_depth_;
+  obs::Gauge* obs_notify_depth_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

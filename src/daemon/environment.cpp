@@ -3,7 +3,11 @@
 namespace ace::daemon {
 
 Environment::Environment(std::uint64_t seed)
-    : network_(seed), ca_(seed ^ 0xacec0de), seed_rng_(seed ^ 0x5eed) {}
+    : network_(seed, &metrics_),
+      ca_(seed ^ 0xacec0de),
+      seed_rng_(seed ^ 0x5eed) {
+  channel_options_.metrics = &metrics_;
+}
 
 void Environment::add_policy(keynote::Assertion policy) {
   policies_.push_back(std::move(policy));

@@ -18,6 +18,7 @@
 #include "crypto/channel.hpp"
 #include "keynote/assertion.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace ace::daemon {
 
@@ -32,6 +33,13 @@ class Environment {
   explicit Environment(std::uint64_t seed = 42);
 
   net::Network& network() { return network_; }
+
+  // Deployment-wide metrics/span registry. The network, secure channels,
+  // clients and daemons all record here; any daemon's `metrics;` command
+  // returns a snapshot of it.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   crypto::CertificateAuthority& ca() { return ca_; }
   const util::Bytes& ca_key() const { return ca_.verification_key(); }
 
@@ -69,6 +77,7 @@ class Environment {
   std::uint64_t next_seed() { return seed_rng_.next(); }
 
  private:
+  obs::MetricsRegistry metrics_;  // must outlive (so precede) network_
   net::Network network_;
   crypto::CertificateAuthority ca_;
   keynote::KeyStore keys_;

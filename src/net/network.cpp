@@ -58,6 +58,7 @@ std::optional<Frame> Connection::recv(Duration timeout) {
   if (!tf) return std::nullopt;
   // Model link latency: the frame is not visible before its delivery time.
   std::this_thread::sleep_until(tf->deliver_at);
+  network_->count_frame_received(tf->frame.size());
   return std::move(tf->frame);
 }
 
@@ -115,6 +116,7 @@ std::optional<Datagram> DatagramSocket::recv(Duration timeout) {
   auto td = inbox_.pop_until(deadline);
   if (!td) return std::nullopt;
   std::this_thread::sleep_until(td->deliver_at);
+  network_->count_datagram_delivered();
   return std::move(td->datagram);
 }
 
@@ -162,6 +164,21 @@ std::uint16_t Host::ephemeral_port() {
 }
 
 // ------------------------------------------------------------------- Network
+
+Network::Network(std::uint64_t seed, obs::MetricsRegistry* metrics)
+    : rng_(seed),
+      owned_metrics_(metrics ? nullptr
+                             : std::make_unique<obs::MetricsRegistry>()),
+      metrics_(metrics ? metrics : owned_metrics_.get()) {
+  cells_.frames_sent = &metrics_->counter("net.frames_sent");
+  cells_.bytes_sent = &metrics_->counter("net.bytes_sent");
+  cells_.frames_received = &metrics_->counter("net.frames_received");
+  cells_.bytes_received = &metrics_->counter("net.bytes_received");
+  cells_.datagrams_sent = &metrics_->counter("net.datagrams_sent");
+  cells_.datagrams_delivered = &metrics_->counter("net.datagrams_delivered");
+  cells_.datagrams_dropped = &metrics_->counter("net.datagrams_dropped");
+  cells_.connects = &metrics_->counter("net.connects");
+}
 
 Host& Network::add_host(const std::string& name) {
   std::scoped_lock lock(mu_);
@@ -217,8 +234,16 @@ LinkPolicy Network::link(const std::string& a, const std::string& b) const {
 }
 
 NetworkStats Network::stats() const {
-  std::scoped_lock lock(mu_);
-  return stats_;
+  NetworkStats s;
+  s.frames_sent = cells_.frames_sent->value();
+  s.bytes_sent = cells_.bytes_sent->value();
+  s.frames_received = cells_.frames_received->value();
+  s.bytes_received = cells_.bytes_received->value();
+  s.datagrams_sent = cells_.datagrams_sent->value();
+  s.datagrams_delivered = cells_.datagrams_delivered->value();
+  s.datagrams_dropped = cells_.datagrams_dropped->value();
+  s.connects = cells_.connects->value();
+  return s;
 }
 
 util::Result<Connection> Network::do_connect(Host& from, const Address& to,
@@ -241,8 +266,8 @@ util::Result<Connection> Network::do_connect(Host& from, const Address& to,
       return util::Error{util::Errc::refused,
                          "connection refused: " + to.to_string()};
     listener = lst_it->second;
-    stats_.connects++;
   }
+  cells_.connects->inc();
 
   // Model connection-setup latency (one RTT worth of delay, simplified to
   // one link latency each way via the sleep below plus the accept path).
@@ -266,29 +291,35 @@ util::Status Network::deliver_datagram(const Address& from, const Address& to,
                                        Frame payload) {
   LinkPolicy policy = link(from.host, to.host);
   DatagramSocket* socket = nullptr;
+  cells_.datagrams_sent->inc();
+  cells_.bytes_sent->inc(payload.size());
   {
     std::scoped_lock lock(mu_);
-    stats_.datagrams_sent++;
-    stats_.bytes_sent += payload.size();
     if (!policy.up || rng_.next_bool(policy.datagram_loss)) {
-      stats_.datagrams_dropped++;
+      cells_.datagrams_dropped->inc();
+      count_link_drop(from.host, to.host);
       return util::Status::ok_status();  // best-effort: silently dropped
     }
     auto host_it = hosts_.find(to.host);
     if (host_it == hosts_.end() || host_it->second->down_.load()) {
-      stats_.datagrams_dropped++;
+      cells_.datagrams_dropped->inc();
+      count_link_drop(from.host, to.host);
       return util::Status::ok_status();
     }
     std::scoped_lock host_lock(host_it->second->mu_);
     auto sock_it = host_it->second->datagram_sockets_.find(to.port);
     if (sock_it == host_it->second->datagram_sockets_.end()) {
-      stats_.datagrams_dropped++;
+      cells_.datagrams_dropped->inc();
+      count_link_drop(from.host, to.host);
       return util::Status::ok_status();
     }
     socket = sock_it->second;
     detail::TimedDatagram td{Clock::now() + policy.latency,
                              Datagram{from, std::move(payload)}};
-    if (!socket->inbox_.push(std::move(td))) stats_.datagrams_dropped++;
+    if (!socket->inbox_.push(std::move(td))) {
+      cells_.datagrams_dropped->inc();
+      count_link_drop(from.host, to.host);
+    }
   }
   return util::Status::ok_status();
 }
@@ -310,9 +341,23 @@ void Network::unregister_datagram(const Address& address) {
 }
 
 void Network::count_frame(std::size_t bytes) {
-  std::scoped_lock lock(mu_);
-  stats_.frames_sent++;
-  stats_.bytes_sent += bytes;
+  cells_.frames_sent->inc();
+  cells_.bytes_sent->inc(bytes);
+}
+
+void Network::count_frame_received(std::size_t bytes) {
+  cells_.frames_received->inc();
+  cells_.bytes_received->inc(bytes);
+}
+
+void Network::count_datagram_delivered() {
+  cells_.datagrams_delivered->inc();
+}
+
+// Drop attribution per host pair; the registry lookup is acceptable here
+// because drops are the exception path.
+void Network::count_link_drop(const std::string& a, const std::string& b) {
+  metrics_->counter("net.link_drops." + link_key(a, b)).inc();
 }
 
 }  // namespace ace::net

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 #include "util/queue.hpp"
 #include "util/result.hpp"
@@ -55,10 +56,17 @@ struct Datagram {
   Frame payload;
 };
 
+// Snapshot of the network's obs counters (see Network::stats()). Each field
+// is read atomically; the set is assembled without pausing traffic, so
+// counters that move together (e.g. frames/bytes) may be skewed by at most
+// the in-flight operations of the instant the snapshot was taken.
 struct NetworkStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;
   std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_delivered = 0;
   std::uint64_t datagrams_dropped = 0;
   std::uint64_t connects = 0;
 };
@@ -193,7 +201,12 @@ class Host {
 
 class Network {
  public:
-  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+  // Counters land in `metrics` under `net.*` names; when none is supplied
+  // the network owns a private registry (standalone/test use). A deployed
+  // network shares its Environment's registry so daemons' `metrics;`
+  // snapshots include the substrate.
+  explicit Network(std::uint64_t seed = 1,
+                   obs::MetricsRegistry* metrics = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -209,7 +222,10 @@ class Network {
                        bool partitioned);
   LinkPolicy link(const std::string& a, const std::string& b) const;
 
+  // Consistent-at-a-point snapshot of the `net.*` obs counters.
   NetworkStats stats() const;
+
+  obs::MetricsRegistry& metrics() { return *metrics_; }
 
  private:
   friend class Host;
@@ -224,6 +240,9 @@ class Network {
   void unregister_listener(const Address& address);
   void unregister_datagram(const Address& address);
   void count_frame(std::size_t bytes);
+  void count_frame_received(std::size_t bytes);
+  void count_datagram_delivered();
+  void count_link_drop(const std::string& a, const std::string& b);
 
   static std::string link_key(const std::string& a, const std::string& b);
 
@@ -232,7 +251,20 @@ class Network {
   std::map<std::string, LinkPolicy> links_;
   Duration default_latency_{0};
   util::Rng rng_;
-  NetworkStats stats_;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  // Cached cells: the hot paths touch only these atomics, no registry map.
+  struct {
+    obs::Counter* frames_sent;
+    obs::Counter* bytes_sent;
+    obs::Counter* frames_received;
+    obs::Counter* bytes_received;
+    obs::Counter* datagrams_sent;
+    obs::Counter* datagrams_delivered;
+    obs::Counter* datagrams_dropped;
+    obs::Counter* connects;
+  } cells_{};
 };
 
 }  // namespace ace::net

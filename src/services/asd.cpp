@@ -28,7 +28,14 @@ daemon::DaemonConfig asd_defaults(daemon::DaemonConfig config) {
 AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
                      daemon::DaemonConfig config, AsdOptions options)
     : ServiceDaemon(env, host, asd_defaults(std::move(config))),
-      options_(options) {
+      options_(options),
+      obs_registrations_(&env.metrics().counter("asd.registrations")),
+      obs_renewals_(&env.metrics().counter("asd.renewals")),
+      obs_deregistrations_(&env.metrics().counter("asd.deregistrations")),
+      obs_expirations_(&env.metrics().counter("asd.expirations")),
+      obs_lookups_(&env.metrics().counter("asd.lookups")),
+      obs_queries_(&env.metrics().counter("asd.queries")),
+      obs_live_count_(&env.metrics().gauge("asd.live_count")) {
   register_command(
       CommandSpec("register", "register a service with a liveness lease")
           .arg(word_arg("name"))
@@ -51,7 +58,9 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
         {
           std::scoped_lock lock(mu_);
           registry_[r.name] = r;
+          update_live_gauge_locked();
         }
+        obs_registrations_->inc();
         CmdLine reply = cmdlang::make_ok();
         reply.arg("lease", static_cast<std::int64_t>(r.lease.count()));
         return reply;
@@ -67,6 +76,7 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
                                      "service not registered");
         it->second.expires = std::chrono::steady_clock::now() +
                              it->second.lease;
+        obs_renewals_->inc();
         CmdLine reply = cmdlang::make_ok();
         reply.arg("expires_in",
                   static_cast<std::int64_t>(it->second.lease.count()));
@@ -77,8 +87,12 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
       CommandSpec("deregister", "remove a service from the directory")
           .arg(word_arg("name")),
       [this](const CmdLine& cmd, const CallerInfo&) {
-        std::scoped_lock lock(mu_);
-        registry_.erase(cmd.get_text("name"));
+        {
+          std::scoped_lock lock(mu_);
+          registry_.erase(cmd.get_text("name"));
+          update_live_gauge_locked();
+        }
+        obs_deregistrations_->inc();
         return cmdlang::make_ok();
       });
 
@@ -86,6 +100,7 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
       CommandSpec("lookup", "find one service by exact name")
           .arg(word_arg("name")),
       [this](const CmdLine& cmd, const CallerInfo&) {
+        obs_lookups_->inc();
         std::scoped_lock lock(mu_);
         auto it = registry_.find(cmd.get_text("name"));
         if (it == registry_.end() ||
@@ -108,6 +123,7 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
           .arg(string_arg("class").optional_arg())
           .arg(string_arg("room").optional_arg()),
       [this](const CmdLine& cmd, const CallerInfo&) {
+        obs_queries_->inc();
         std::string name_glob = cmd.get_text("name", "*");
         std::string class_glob = cmd.get_text("class", "*");
         std::string room_glob = cmd.get_text("room", "*");
@@ -144,10 +160,22 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
           .arg(string_arg("class").optional_arg())
           .arg(string_arg("host").optional_arg()),
       [this](const CmdLine& cmd, const CallerInfo&) {
-        std::scoped_lock lock(mu_);
-        registry_.erase(cmd.get_text("name"));
+        {
+          std::scoped_lock lock(mu_);
+          registry_.erase(cmd.get_text("name"));
+          update_live_gauge_locked();
+        }
+        obs_expirations_->inc();
         return cmdlang::make_ok();
       });
+}
+
+void AsdDaemon::update_live_gauge_locked() {
+  auto now = std::chrono::steady_clock::now();
+  std::int64_t n = 0;
+  for (const auto& [name, r] : registry_)
+    if (r.expires >= now) ++n;
+  obs_live_count_->set(n);
 }
 
 std::string AsdDaemon::encode_entry(const Registration& r) {
@@ -202,12 +230,10 @@ void AsdDaemon::reaper_loop(std::stop_token st) {
   }
 }
 
-util::Result<ServiceLocation> asd_lookup(daemon::AceClient& client,
-                                         const net::Address& asd,
-                                         const std::string& name) {
+util::Result<ServiceLocation> AsdClient::lookup(const std::string& name) {
   CmdLine cmd("lookup");
   cmd.arg("name", Word{name});
-  auto reply = client.call_ok(asd, cmd);
+  auto reply = client_.call(asd_, cmd, daemon::kCallOk);
   if (!reply.ok()) return reply.error();
   ServiceLocation loc;
   loc.name = reply->get_text("name");
@@ -218,15 +244,14 @@ util::Result<ServiceLocation> asd_lookup(daemon::AceClient& client,
   return loc;
 }
 
-util::Result<std::vector<ServiceLocation>> asd_query(
-    daemon::AceClient& client, const net::Address& asd,
+util::Result<std::vector<ServiceLocation>> AsdClient::query(
     const std::string& name_glob, const std::string& class_glob,
     const std::string& room_glob) {
   CmdLine cmd("query");
   cmd.arg("name", name_glob);
   cmd.arg("class", class_glob);
   cmd.arg("room", room_glob);
-  auto reply = client.call_ok(asd, cmd);
+  auto reply = client_.call(asd_, cmd, daemon::kCallOk);
   if (!reply.ok()) return reply.error();
   std::vector<ServiceLocation> out;
   if (auto vec = reply->get_vector("services")) {
@@ -240,6 +265,44 @@ util::Result<std::vector<ServiceLocation>> asd_query(
     }
   }
   return out;
+}
+
+util::Result<std::chrono::milliseconds> AsdClient::register_service(
+    const ServiceRegistration& registration) {
+  CmdLine cmd("register");
+  cmd.arg("name", Word{registration.name});
+  cmd.arg("host", registration.address.host);
+  cmd.arg("port", static_cast<std::int64_t>(registration.address.port));
+  if (!registration.room.empty()) cmd.arg("room", Word{registration.room});
+  if (!registration.service_class.empty())
+    cmd.arg("class", registration.service_class);
+  if (registration.lease)
+    cmd.arg("lease", static_cast<std::int64_t>(registration.lease->count()));
+  auto reply = client_.call(asd_, cmd, daemon::kCallOk);
+  if (!reply.ok()) return reply.error();
+  return std::chrono::milliseconds(reply->get_integer("lease"));
+}
+
+util::Status AsdClient::renew(const std::string& name) {
+  CmdLine cmd("renew");
+  cmd.arg("name", Word{name});
+  auto reply = client_.call(asd_, cmd, daemon::kCallOk);
+  if (!reply.ok()) return reply.error();
+  return util::Status::ok_status();
+}
+
+util::Status AsdClient::deregister(const std::string& name) {
+  CmdLine cmd("deregister");
+  cmd.arg("name", Word{name});
+  auto reply = client_.call(asd_, cmd, daemon::kCallOk);
+  if (!reply.ok()) return reply.error();
+  return util::Status::ok_status();
+}
+
+util::Result<std::size_t> AsdClient::count() {
+  auto reply = client_.call(asd_, CmdLine("count"), daemon::kCallOk);
+  if (!reply.ok()) return reply.error();
+  return static_cast<std::size_t>(reply->get_integer("count"));
 }
 
 }  // namespace ace::services

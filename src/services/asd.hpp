@@ -21,7 +21,9 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <thread>
+#include <vector>
 
 #include "daemon/daemon.hpp"
 
@@ -58,14 +60,26 @@ class AsdDaemon : public daemon::ServiceDaemon {
  private:
   void reaper_loop(std::stop_token st);
   static std::string encode_entry(const Registration& r);
+  // Refreshes the asd.live_count gauge; caller must hold mu_ (which is
+  // non-recursive, so this must not go through live_count()).
+  void update_live_gauge_locked();
 
   AsdOptions options_;
   mutable std::mutex mu_;
   std::map<std::string, Registration> registry_;
   std::jthread reaper_;
+
+  // Cached obs cells (deployment registry, `asd.*` names).
+  obs::Counter* obs_registrations_;
+  obs::Counter* obs_renewals_;
+  obs::Counter* obs_deregistrations_;
+  obs::Counter* obs_expirations_;
+  obs::Counter* obs_lookups_;
+  obs::Counter* obs_queries_;
+  obs::Gauge* obs_live_count_;
 };
 
-// Convenience client helpers used across services, examples and benches.
+// A service's location as reported by the directory.
 struct ServiceLocation {
   std::string name;
   net::Address address;
@@ -73,12 +87,67 @@ struct ServiceLocation {
   std::string service_class;
 };
 
-util::Result<ServiceLocation> asd_lookup(daemon::AceClient& client,
-                                         const net::Address& asd,
-                                         const std::string& name);
-util::Result<std::vector<ServiceLocation>> asd_query(
+// Parameters for AsdClient::register_service (mirrors the `register`
+// command's arguments; lease empty = let the directory pick).
+struct ServiceRegistration {
+  std::string name;
+  net::Address address;
+  std::string room;
+  std::string service_class;
+  std::optional<std::chrono::milliseconds> lease{};
+};
+
+// Client facade over the ASD command set. Binds a transport client and the
+// directory's address once so call sites speak in terms of directory
+// operations instead of hand-built CmdLines. Replaces the old asd_lookup /
+// asd_query free functions, which survive one release as deprecated
+// forwarders below.
+class AsdClient {
+ public:
+  AsdClient(daemon::AceClient& client, net::Address asd)
+      : client_(client), asd_(asd) {}
+
+  const net::Address& directory_address() const { return asd_; }
+
+  // `lookup name=;` — exact-name resolution.
+  util::Result<ServiceLocation> lookup(const std::string& name);
+
+  // `query name= class= room=;` — glob-pattern search.
+  util::Result<std::vector<ServiceLocation>> query(
+      const std::string& name_glob = "*", const std::string& class_glob = "*",
+      const std::string& room_glob = "*");
+
+  // `register ...;` — returns the lease granted by the directory.
+  util::Result<std::chrono::milliseconds> register_service(
+      const ServiceRegistration& registration);
+
+  // `renew name=;`
+  util::Status renew(const std::string& name);
+
+  // `deregister name=;`
+  util::Status deregister(const std::string& name);
+
+  // `count;` — number of live registrations.
+  util::Result<std::size_t> count();
+
+ private:
+  daemon::AceClient& client_;
+  net::Address asd_;
+};
+
+// Deprecated forwarders (kept for one PR; migrate to AsdClient).
+[[deprecated("use AsdClient(client, asd).lookup(name)")]]
+inline util::Result<ServiceLocation> asd_lookup(daemon::AceClient& client,
+                                                const net::Address& asd,
+                                                const std::string& name) {
+  return AsdClient(client, asd).lookup(name);
+}
+[[deprecated("use AsdClient(client, asd).query(...)")]]
+inline util::Result<std::vector<ServiceLocation>> asd_query(
     daemon::AceClient& client, const net::Address& asd,
     const std::string& name_glob, const std::string& class_glob,
-    const std::string& room_glob);
+    const std::string& room_glob) {
+  return AsdClient(client, asd).query(name_glob, class_glob, room_glob);
+}
 
 }  // namespace ace::services

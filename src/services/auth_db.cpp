@@ -108,7 +108,7 @@ util::Status grant_credential(daemon::AceClient& client,
   CmdLine cmd("credAdd");
   cmd.arg("principal", licensee);
   cmd.arg("assertion", a.serialize());
-  auto reply = client.call_ok(auth_db, cmd);
+  auto reply = client.call(auth_db, cmd, daemon::kCallOk);
   if (!reply.ok()) return reply.error();
   return util::Status::ok_status();
 }

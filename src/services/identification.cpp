@@ -130,12 +130,11 @@ cmdlang::CmdLine FiuDaemon::identify(const FingerprintFeatures& scan,
 
   // Resolve the template to a user through the AUD (Fig 18).
   std::string username;
-  auto auds = asd_query(control_client(), env().asd_address, "*",
-                        "Service/Database/UserDatabase*", "*");
+  auto auds = AsdClient(control_client(), env().asd_address).query("*", "Service/Database/UserDatabase*", "*");
   if (auds.ok() && !auds->empty()) {
     CmdLine find("userByFingerprint");
     find.arg("template", best_template);
-    auto user = control_client().call_ok(auds->front().address, find);
+    auto user = control_client().call(auds->front().address, find, daemon::kCallOk);
     if (user.ok()) username = user->get_text("username");
   }
   if (username.empty()) {
@@ -178,12 +177,11 @@ IButtonDaemon::IButtonDaemon(daemon::Environment& env,
         std::string serial = cmd.get_text("serial");
         std::string station = cmd.get_text("station");
         std::string username;
-        auto auds = asd_query(control_client(), this->env().asd_address,
-                              "*", "Service/Database/UserDatabase*", "*");
+        auto auds = AsdClient(control_client(), this->env().asd_address).query("*", "Service/Database/UserDatabase*", "*");
         if (auds.ok() && !auds->empty()) {
           CmdLine find("userByIButton");
           find.arg("serial", serial);
-          auto user = control_client().call_ok(auds->front().address, find);
+          auto user = control_client().call(auds->front().address, find, daemon::kCallOk);
           if (user.ok()) username = user->get_text("username");
         }
         if (username.empty()) {
@@ -254,7 +252,7 @@ util::Status IdMonitorDaemon::watch_device(const net::Address& device) {
     sub.arg("command", Word{event});
     sub.arg("service", address().to_string());
     sub.arg("method", Word{"idNotify"});
-    auto reply = control_client().call_ok(device, sub);
+    auto reply = control_client().call(device, sub, daemon::kCallOk);
     if (!reply.ok()) return reply.error();
   }
   return util::Status::ok_status();
@@ -275,8 +273,7 @@ void IdMonitorDaemon::handle_identified(const cmdlang::CmdLine& detail) {
   if (!e.positive || e.user.empty()) return;
 
   // Scenario 2: update the user's current location with the AUD.
-  auto auds = asd_query(control_client(), env().asd_address, "*",
-                        "Service/Database/UserDatabase*", "*");
+  auto auds = AsdClient(control_client(), env().asd_address).query("*", "Service/Database/UserDatabase*", "*");
   if (auds.ok() && !auds->empty()) {
     CmdLine loc("userSetLocation");
     loc.arg("username", Word{e.user});
@@ -287,13 +284,12 @@ void IdMonitorDaemon::handle_identified(const cmdlang::CmdLine& detail) {
 
   // Scenario 3: bring the user's default workspace up at the access point.
   if (options_.auto_show_workspace && !e.station.empty()) {
-    auto wsses = asd_query(control_client(), env().asd_address, "*",
-                           "Service/WorkspaceServer*", "*");
+    auto wsses = AsdClient(control_client(), env().asd_address).query("*", "Service/WorkspaceServer*", "*");
     if (wsses.ok() && !wsses->empty()) {
       const net::Address wss = wsses->front().address;
       CmdLine def("wssDefault");
       def.arg("owner", Word{e.user});
-      auto ws = control_client().call_ok(wss, def);
+      auto ws = control_client().call(wss, def, daemon::kCallOk);
       if (ws.ok()) {
         CmdLine show("wssShow");
         show.arg("workspace", ws->get_text("workspace"));

@@ -141,7 +141,7 @@ SalDaemon::SalDaemon(daemon::Environment& env, daemon::DaemonHost& host,
         launch.arg("command", cmd.get_text("command"));
         launch.arg("cpu", cmd.get_real("cpu", 0.1));
         launch.arg("mem", cmd.get_integer("mem", 1024));
-        auto reply = control_client().call_ok(hal.value(), launch);
+        auto reply = control_client().call(hal.value(), launch, daemon::kCallOk);
         if (!reply.ok())
           return cmdlang::make_error(reply.error().code,
                                      reply.error().message);
@@ -170,7 +170,7 @@ SalDaemon::SalDaemon(daemon::Environment& env, daemon::DaemonHost& host,
           return cmdlang::make_error(hal.error().code, hal.error().message);
         CmdLine launch("halLaunchService");
         launch.arg("name", Word{cmd.get_text("name")});
-        auto reply = control_client().call_ok(hal.value(), launch);
+        auto reply = control_client().call(hal.value(), launch, daemon::kCallOk);
         if (!reply.ok())
           return cmdlang::make_error(reply.error().code,
                                      reply.error().message);
@@ -181,8 +181,7 @@ SalDaemon::SalDaemon(daemon::Environment& env, daemon::DaemonHost& host,
 }
 
 util::Result<net::Address> SalDaemon::hal_on(const std::string& host_name) {
-  auto hals = asd_query(control_client(), env().asd_address, "*",
-                        "Service/Launcher/HAL*", "*");
+  auto hals = AsdClient(control_client(), env().asd_address).query("*", "Service/Launcher/HAL*", "*");
   if (!hals.ok()) return hals.error();
   for (const ServiceLocation& loc : hals.value())
     if (loc.address.host == host_name) return loc.address;
@@ -193,19 +192,17 @@ util::Result<net::Address> SalDaemon::hal_on(const std::string& host_name) {
 util::Result<std::string> SalDaemon::choose_host(double cpu, std::int64_t mem,
                                                  const std::string& policy) {
   // Preferred path: ask the SRM (Fig 11).
-  auto srms = asd_query(control_client(), env().asd_address, "*",
-                        "Service/Monitor/SRM*", "*");
+  auto srms = AsdClient(control_client(), env().asd_address).query("*", "Service/Monitor/SRM*", "*");
   if (srms.ok() && !srms->empty()) {
     CmdLine pick("srmPickHost");
     pick.arg("cpu", cpu);
     pick.arg("mem", mem);
     pick.arg("policy", Word{policy});
-    auto reply = control_client().call_ok(srms->front().address, pick);
+    auto reply = control_client().call(srms->front().address, pick, daemon::kCallOk);
     if (reply.ok()) return reply->get_text("host");
   }
   // Fallback: any host that runs a HAL.
-  auto hals = asd_query(control_client(), env().asd_address, "*",
-                        "Service/Launcher/HAL*", "*");
+  auto hals = AsdClient(control_client(), env().asd_address).query("*", "Service/Launcher/HAL*", "*");
   if (!hals.ok()) return hals.error();
   if (hals->empty())
     return util::Error{util::Errc::unavailable, "no HALs registered"};

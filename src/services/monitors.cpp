@@ -125,13 +125,12 @@ std::vector<SrmDaemon::HostSnapshot> SrmDaemon::snapshots() {
   }
 
   std::vector<HostSnapshot> out;
-  auto hrms = asd_query(control_client(), env().asd_address, "*",
-                        options_.hrm_class_glob, "*");
+  auto hrms = AsdClient(control_client(), env().asd_address).query("*", options_.hrm_class_glob, "*");
   if (hrms.ok()) {
     for (const ServiceLocation& loc : hrms.value()) {
       HostSnapshot s;
       s.hrm = loc.address;
-      auto status = control_client().call_ok(loc.address, CmdLine("hrmStatus"));
+      auto status = control_client().call(loc.address, CmdLine("hrmStatus"), daemon::kCallOk);
       if (status.ok()) {
         s.host = status->get_text("host");
         s.cpu_load = status->get_real("cpu_load");

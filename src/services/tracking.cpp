@@ -119,8 +119,7 @@ TrackerDaemon::TrackerDaemon(daemon::Environment& env,
 }
 
 util::Result<std::int64_t> TrackerDaemon::watch_all_devices() {
-  auto devices = asd_query(control_client(), env().asd_address, "*",
-                           "Service/Device/Identification*", "*");
+  auto devices = AsdClient(control_client(), env().asd_address).query("*", "Service/Device/Identification*", "*");
   if (!devices.ok()) return devices.error();
   std::int64_t subscribed = 0;
   for (const ServiceLocation& loc : devices.value()) {
@@ -128,7 +127,7 @@ util::Result<std::int64_t> TrackerDaemon::watch_all_devices() {
     sub.arg("command", Word{"identified"});
     sub.arg("service", address().to_string());
     sub.arg("method", Word{"trackNotify"});
-    auto r = control_client().call_ok(loc.address, sub);
+    auto r = control_client().call(loc.address, sub, daemon::kCallOk);
     if (r.ok()) ++subscribed;
   }
   return subscribed;

@@ -157,8 +157,7 @@ WorkspaceBackend WssDaemon::default_backend() {
   backend.create = [this](const std::string& owner,
                           const std::string& name)
       -> util::Result<net::Address> {
-    auto sals = asd_query(control_client(), env().asd_address, "*",
-                          "Service/Launcher/SAL*", "*");
+    auto sals = AsdClient(control_client(), env().asd_address).query("*", "Service/Launcher/SAL*", "*");
     if (!sals.ok()) return sals.error();
     if (sals->empty())
       return util::Error{util::Errc::unavailable, "no SAL registered"};
@@ -166,7 +165,7 @@ WorkspaceBackend WssDaemon::default_backend() {
     launch.arg("command", "vncserver:" + owner + "/" + name);
     launch.arg("cpu", 0.2);
     launch.arg("mem", 32 * 1024);
-    auto reply = control_client().call_ok(sals->front().address, launch);
+    auto reply = control_client().call(sals->front().address, launch, daemon::kCallOk);
     if (!reply.ok()) return reply.error();
     return net::Address{reply->get_text("host"),
                         static_cast<std::uint16_t>(
@@ -175,8 +174,7 @@ WorkspaceBackend WssDaemon::default_backend() {
   backend.show = [this](const net::Address& server,
                         const std::string& location,
                         const std::string& owner) -> util::Status {
-    auto sals = asd_query(control_client(), env().asd_address, "*",
-                          "Service/Launcher/SAL*", "*");
+    auto sals = AsdClient(control_client(), env().asd_address).query("*", "Service/Launcher/SAL*", "*");
     if (!sals.ok()) return sals.error();
     if (sals->empty())
       return {util::Errc::unavailable, "no SAL registered"};
@@ -186,7 +184,7 @@ WorkspaceBackend WssDaemon::default_backend() {
     launch.arg("cpu", 0.05);
     launch.arg("mem", 8 * 1024);
     launch.arg("host", location);
-    auto reply = control_client().call_ok(sals->front().address, launch);
+    auto reply = control_client().call(sals->front().address, launch, daemon::kCallOk);
     if (!reply.ok()) return reply.error();
     return util::Status::ok_status();
   };

@@ -46,7 +46,9 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
                                              daemon::DaemonConfig config,
                                              int replica_id)
     : ServiceDaemon(env, host, store_defaults(std::move(config))),
-      replica_id_(replica_id) {
+      replica_id_(replica_id),
+      obs_writes_(&env.metrics().counter("store.writes")),
+      obs_replica_acks_(&env.metrics().counter("store.replica_acks")) {
   register_command(
       CommandSpec("storePut", "store an object").concurrent_ok()
           .arg(string_arg("key"))
@@ -180,12 +182,15 @@ void PersistentStoreDaemon::apply(const std::string& key,
   // Lamport clock absorption: future local writes order after this one.
   lamport_ = std::max(lamport_, record.version >> 8);
   auto it = objects_.find(key);
-  if (it == objects_.end() || it->second.version < record.version)
+  if (it == objects_.end() || it->second.version < record.version) {
     objects_[key] = record;
+    obs_writes_->inc();
+  }
 }
 
 int PersistentStoreDaemon::replicate(const std::string& key,
                                      const ObjectRecord& record) {
+  obs::Span span(env().metrics(), "store", "replicate");
   std::vector<net::Address> peers;
   {
     std::scoped_lock lock(mu_);
@@ -198,10 +203,13 @@ int PersistentStoreDaemon::replicate(const std::string& key,
   rep.arg("deleted", Word{record.deleted ? "yes" : "no"});
   int acks = 0;
   for (const net::Address& peer : peers) {
-    auto reply = control_client().call(peer, rep,
-                                       std::chrono::milliseconds(300));
+    auto reply = control_client().call(
+        peer, rep,
+        daemon::CallOptions{.timeout = std::chrono::milliseconds(300)});
     if (reply.ok() && cmdlang::is_ok(reply.value())) ++acks;
   }
+  obs_replica_acks_->inc(static_cast<std::uint64_t>(acks));
+  span.set_ok(static_cast<std::size_t>(acks) == peers.size());
   return acks;
 }
 
@@ -229,8 +237,9 @@ util::Result<std::int64_t> PersistentStoreDaemon::sync_from_peers() {
   }
   std::int64_t fetched = 0;
   for (const net::Address& peer : peers) {
-    auto digest = control_client().call(peer, CmdLine("storeDigest"),
-                                        std::chrono::milliseconds(500));
+    auto digest = control_client().call(
+        peer, CmdLine("storeDigest"),
+        daemon::CallOptions{.timeout = std::chrono::milliseconds(500)});
     if (!digest.ok() || !cmdlang::is_ok(digest.value())) continue;
     auto entries = digest->get_vector("entries");
     if (!entries) continue;
@@ -257,8 +266,9 @@ util::Result<std::int64_t> PersistentStoreDaemon::sync_from_peers() {
       }
       CmdLine get("storeGet");
       get.arg("key", key);
-      auto obj = control_client().call(peer, get,
-                                       std::chrono::milliseconds(500));
+      auto obj = control_client().call(
+          peer, get,
+          daemon::CallOptions{.timeout = std::chrono::milliseconds(500)});
       if (!obj.ok() || !cmdlang::is_ok(obj.value())) continue;
       ObjectRecord record;
       record.version =

@@ -63,6 +63,10 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
   std::map<std::string, ObjectRecord> objects_;
   std::uint64_t lamport_ = 0;
   std::vector<net::Address> peers_;
+
+  // Cached obs cells (deployment registry, `store.*` names).
+  obs::Counter* obs_writes_;
+  obs::Counter* obs_replica_acks_;
 };
 
 std::string hex_of(const util::Bytes& data);

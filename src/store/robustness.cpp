@@ -95,7 +95,7 @@ util::Status RobustnessManagerDaemon::watch_asd() {
   sub.arg("command", Word{"serviceExpired"});
   sub.arg("service", address().to_string());
   sub.arg("method", Word{"rmNotify"});
-  auto reply = control_client().call_ok(env().asd_address, sub);
+  auto reply = control_client().call(env().asd_address, sub, daemon::kCallOk);
   if (!reply.ok()) return reply.error();
   return util::Status::ok_status();
 }
@@ -112,8 +112,7 @@ void RobustnessManagerDaemon::handle_expiry(const std::string& service_name) {
   net_log("warn", "managed service '" + service_name +
                       "' died; relaunching via SAL");
 
-  auto sals = services::asd_query(control_client(), env().asd_address, "*",
-                                  "Service/Launcher/SAL*", "*");
+  auto sals = services::AsdClient(control_client(), env().asd_address).query("*", "Service/Launcher/SAL*", "*");
   if (!sals.ok() || sals->empty()) {
     net_log("error", "cannot relaunch '" + service_name +
                          "': no SAL registered");
@@ -122,7 +121,7 @@ void RobustnessManagerDaemon::handle_expiry(const std::string& service_name) {
   CmdLine launch("salLaunchService");
   launch.arg("name", Word{service_name});
   if (!host_pref.empty()) launch.arg("host", host_pref);
-  auto reply = control_client().call_ok(sals->front().address, launch);
+  auto reply = control_client().call(sals->front().address, launch, daemon::kCallOk);
   if (!reply.ok()) {
     net_log("error", "relaunch of '" + service_name +
                          "' failed: " + reply.error().to_string());

@@ -22,7 +22,9 @@ util::Status StoreClient::put(const std::string& key,
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     const net::Address& replica =
         replicas_[(preferred_ + i) % replicas_.size()];
-    auto reply = client_.call(replica, cmd, std::chrono::milliseconds(800));
+    auto reply = client_.call(
+        replica, cmd,
+        daemon::CallOptions{.timeout = std::chrono::milliseconds(800)});
     if (reply.ok() && cmdlang::is_ok(reply.value()))
       return util::Status::ok_status();
   }
@@ -36,7 +38,9 @@ util::Result<util::Bytes> StoreClient::get(const std::string& key) {
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     const net::Address& replica =
         replicas_[(preferred_ + i) % replicas_.size()];
-    auto reply = client_.call(replica, cmd, std::chrono::milliseconds(800));
+    auto reply = client_.call(
+        replica, cmd,
+        daemon::CallOptions{.timeout = std::chrono::milliseconds(800)});
     if (!reply.ok()) {
       last = reply.error();
       continue;
@@ -57,7 +61,9 @@ util::Status StoreClient::remove(const std::string& key) {
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     const net::Address& replica =
         replicas_[(preferred_ + i) % replicas_.size()];
-    auto reply = client_.call(replica, cmd, std::chrono::milliseconds(800));
+    auto reply = client_.call(
+        replica, cmd,
+        daemon::CallOptions{.timeout = std::chrono::milliseconds(800)});
     if (reply.ok() && cmdlang::is_ok(reply.value()))
       return util::Status::ok_status();
   }
@@ -71,7 +77,9 @@ util::Result<std::vector<std::string>> StoreClient::list(
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     const net::Address& replica =
         replicas_[(preferred_ + i) % replicas_.size()];
-    auto reply = client_.call(replica, cmd, std::chrono::milliseconds(800));
+    auto reply = client_.call(
+        replica, cmd,
+        daemon::CallOptions{.timeout = std::chrono::milliseconds(800)});
     if (!reply.ok() || !cmdlang::is_ok(reply.value())) continue;
     std::vector<std::string> keys;
     if (auto vec = reply->get_vector("keys")) {

@@ -146,7 +146,7 @@ TEST_F(VncTest, ViewerMirrorsServerContent) {
   // Run an app; the incremental update reaches the viewer.
   CmdLine run("vncRunApp");
   run.arg("command", "editor");
-  ASSERT_TRUE(client_->call_ok(server.address(), run).ok());
+  ASSERT_TRUE(client_->call(server.address(), run, daemon::kCallOk).ok());
   EXPECT_TRUE(converged(server, viewer));
   EXPECT_GE(viewer.updates_received(), 2u);
 }
@@ -161,11 +161,11 @@ TEST_F(VncTest, StatePreservedAcrossAccessPointMoves) {
 
   CmdLine run("vncRunApp");
   run.arg("command", "presentation");
-  ASSERT_TRUE(client_->call_ok(server.address(), run).ok());
+  ASSERT_TRUE(client_->call(server.address(), run, daemon::kCallOk).ok());
   CmdLine type("vncInput");
   type.arg("kind", Word{"key"});
   type.arg("key", "x");
-  ASSERT_TRUE(client_->call_ok(server.address(), type).ok());
+  ASSERT_TRUE(client_->call(server.address(), type, daemon::kCallOk).ok());
 
   std::uint64_t state_before = server.framebuffer_hash();
   ASSERT_TRUE(viewer1.detach().ok());
@@ -188,7 +188,7 @@ TEST_F(VncTest, MultipleViewersReceiveSameUpdates) {
   ASSERT_TRUE(v2.attach(server.address(), "s3cret").ok());
   CmdLine run("vncRunApp");
   run.arg("command", "shared-doc");
-  ASSERT_TRUE(client_->call_ok(server.address(), run).ok());
+  ASSERT_TRUE(client_->call(server.address(), run, daemon::kCallOk).ok());
   EXPECT_TRUE(converged(server, v1));
   EXPECT_TRUE(converged(server, v2));
 }
@@ -205,19 +205,19 @@ TEST_F(VncTest, CheckpointRestoreThroughPersistentStore) {
 
   CmdLine run("vncRunApp");
   run.arg("command", "notes");
-  ASSERT_TRUE(client_->call_ok(server.address(), run).ok());
+  ASSERT_TRUE(client_->call(server.address(), run, daemon::kCallOk).ok());
   std::uint64_t hash = server.framebuffer_hash();
-  ASSERT_TRUE(client_->call_ok(server.address(), CmdLine("vncCheckpoint")).ok());
+  ASSERT_TRUE(client_->call(server.address(), CmdLine("vncCheckpoint"), daemon::kCallOk).ok());
 
   // Wreck the workspace, then restore.
   CmdLine wreck("vncInput");
   wreck.arg("kind", Word{"pointer"});
   wreck.arg("x", 50);
   wreck.arg("y", 50);
-  ASSERT_TRUE(client_->call_ok(server.address(), wreck).ok());
+  ASSERT_TRUE(client_->call(server.address(), wreck, daemon::kCallOk).ok());
   EXPECT_NE(server.framebuffer_hash(), hash);
 
-  ASSERT_TRUE(client_->call_ok(server.address(), CmdLine("vncRestore")).ok());
+  ASSERT_TRUE(client_->call(server.address(), CmdLine("vncRestore"), daemon::kCallOk).ok());
   EXPECT_EQ(server.framebuffer_hash(), hash);
   ASSERT_EQ(server.windows().size(), 1u);
   EXPECT_EQ(server.windows()[0].command, "notes");
@@ -236,7 +236,7 @@ TEST_F(VncTest, WssFactoryManagesPasswordsInvisibly) {
 
   CmdLine create("wssDefault");
   create.arg("owner", Word{"kate"});
-  auto ws = client_->call_ok(wss.address(), create);
+  auto ws = client_->call(wss.address(), create, daemon::kCallOk);
   ASSERT_TRUE(ws.ok()) << ws.error().to_string();
   net::Address server_addr{ws->get_text("host"),
                            static_cast<std::uint16_t>(ws->get_integer("port"))};
@@ -250,7 +250,7 @@ TEST_F(VncTest, WssFactoryManagesPasswordsInvisibly) {
   CmdLine show("wssShow");
   show.arg("workspace", "kate/default");
   show.arg("location", "podium");
-  ASSERT_TRUE(client_->call_ok(wss.address(), show).ok());
+  ASSERT_TRUE(client_->call(wss.address(), show, daemon::kCallOk).ok());
   auto* viewer = factory.viewer_on("podium");
   ASSERT_NE(viewer, nullptr);
   EXPECT_TRUE(converged(*server, *viewer));
@@ -259,11 +259,11 @@ TEST_F(VncTest, WssFactoryManagesPasswordsInvisibly) {
   // off").
   CmdLine run("vncRunApp");
   run.arg("command", "spreadsheet");
-  ASSERT_TRUE(client_->call_ok(server_addr, run).ok());
+  ASSERT_TRUE(client_->call(server_addr, run, daemon::kCallOk).ok());
   CmdLine show2("wssShow");
   show2.arg("workspace", "kate/default");
   show2.arg("location", "office");
-  ASSERT_TRUE(client_->call_ok(wss.address(), show2).ok());
+  ASSERT_TRUE(client_->call(wss.address(), show2, daemon::kCallOk).ok());
   auto* viewer2 = factory.viewer_on("office");
   ASSERT_NE(viewer2, nullptr);
   EXPECT_TRUE(converged(*server, *viewer2));
@@ -302,7 +302,7 @@ class OPhoneTest : public ::testing::Test {
 TEST_F(OPhoneTest, DialConnectsBothEnds) {
   CmdLine dial("phoneDial");
   dial.arg("peer", phone_b_->address().to_string());
-  ASSERT_TRUE(client_->call_ok(phone_a_->address(), dial).ok());
+  ASSERT_TRUE(client_->call(phone_a_->address(), dial, daemon::kCallOk).ok());
   EXPECT_EQ(phone_a_->state(), apps::OPhoneDaemon::State::in_call);
   EXPECT_EQ(phone_b_->state(), apps::OPhoneDaemon::State::in_call);
 }
@@ -310,7 +310,7 @@ TEST_F(OPhoneTest, DialConnectsBothEnds) {
 TEST_F(OPhoneTest, FullDuplexVoiceFlows) {
   CmdLine dial("phoneDial");
   dial.arg("peer", phone_b_->address().to_string());
-  ASSERT_TRUE(client_->call_ok(phone_a_->address(), dial).ok());
+  ASSERT_TRUE(client_->call(phone_a_->address(), dial, daemon::kCallOk).ok());
 
   auto voice_a = media::sine_wave(300, 9000, 10 * media::kFrameSamples, 0);
   auto voice_b = media::sine_wave(500, 9000, 10 * media::kFrameSamples, 0);
@@ -338,7 +338,7 @@ TEST_F(OPhoneTest, FullDuplexVoiceFlows) {
 TEST_F(OPhoneTest, BusyPhoneRejectsSecondCall) {
   CmdLine dial("phoneDial");
   dial.arg("peer", phone_b_->address().to_string());
-  ASSERT_TRUE(client_->call_ok(phone_a_->address(), dial).ok());
+  ASSERT_TRUE(client_->call(phone_a_->address(), dial, daemon::kCallOk).ok());
 
   daemon::DaemonHost h3(deployment_->env, "office-c");
   daemon::DaemonConfig c3;
@@ -357,8 +357,8 @@ TEST_F(OPhoneTest, BusyPhoneRejectsSecondCall) {
 TEST_F(OPhoneTest, HangupStopsAudio) {
   CmdLine dial("phoneDial");
   dial.arg("peer", phone_b_->address().to_string());
-  ASSERT_TRUE(client_->call_ok(phone_a_->address(), dial).ok());
-  ASSERT_TRUE(client_->call_ok(phone_b_->address(), CmdLine("phoneHangup")).ok());
+  ASSERT_TRUE(client_->call(phone_a_->address(), dial, daemon::kCallOk).ok());
+  ASSERT_TRUE(client_->call(phone_b_->address(), CmdLine("phoneHangup"), daemon::kCallOk).ok());
   EXPECT_EQ(phone_b_->state(), apps::OPhoneDaemon::State::idle);
   // Speaking into a hung-up call is still "sent" but discarded by the peer.
   auto before = phone_b_->frames_received();

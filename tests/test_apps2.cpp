@@ -60,15 +60,15 @@ TEST_F(Apps2Test, WorkspaceSurvivesServerCrashViaPersistentStore) {
   for (const char* app : {"editor", "slides", "terminal"}) {
     CmdLine run("vncRunApp");
     run.arg("command", app);
-    ASSERT_TRUE(client_->call_ok(server1.address(), run).ok());
+    ASSERT_TRUE(client_->call(server1.address(), run, daemon::kCallOk).ok());
   }
   CmdLine type("vncInput");
   type.arg("kind", Word{"key"});
   type.arg("key", "q");
-  ASSERT_TRUE(client_->call_ok(server1.address(), type).ok());
+  ASSERT_TRUE(client_->call(server1.address(), type, daemon::kCallOk).ok());
   std::uint64_t golden = server1.framebuffer_hash();
   ASSERT_TRUE(
-      client_->call_ok(server1.address(), CmdLine("vncCheckpoint")).ok());
+      client_->call(server1.address(), CmdLine("vncCheckpoint"), daemon::kCallOk).ok());
 
   // The workspace host dies.
   host1.fail();
@@ -80,7 +80,7 @@ TEST_F(Apps2Test, WorkspaceSurvivesServerCrashViaPersistentStore) {
       cfg("vnc-john-2", "machine-room"), "john", "default");
   server2.enable_persistence({replica.address()});
   ASSERT_TRUE(server2.start().ok());
-  ASSERT_TRUE(client_->call_ok(server2.address(), CmdLine("vncRestore")).ok());
+  ASSERT_TRUE(client_->call(server2.address(), CmdLine("vncRestore"), daemon::kCallOk).ok());
 
   EXPECT_EQ(server2.framebuffer_hash(), golden);
   EXPECT_EQ(server2.windows().size(), 3u);
@@ -117,7 +117,7 @@ TEST_F(Apps2Test, OPhoneCountsLossAndKeepsTalking) {
 
   CmdLine dial("phoneDial");
   dial.arg("peer", phone_b.address().to_string());
-  ASSERT_TRUE(client_->call_ok(phone_a.address(), dial).ok());
+  ASSERT_TRUE(client_->call(phone_a.address(), dial, daemon::kCallOk).ok());
 
   constexpr int kFrames = 100;
   ASSERT_TRUE(phone_a
@@ -159,11 +159,11 @@ TEST_F(Apps2Test, PointerAndKeyInputReachViewers) {
   pointer.arg("kind", Word{"pointer"});
   pointer.arg("x", 80);
   pointer.arg("y", 60);
-  ASSERT_TRUE(client_->call_ok(server.address(), pointer).ok());
+  ASSERT_TRUE(client_->call(server.address(), pointer, daemon::kCallOk).ok());
   CmdLine key("vncInput");
   key.arg("kind", Word{"key"});
   key.arg("key", "a");
-  ASSERT_TRUE(client_->call_ok(server.address(), key).ok());
+  ASSERT_TRUE(client_->call(server.address(), key, daemon::kCallOk).ok());
 
   auto deadline = std::chrono::steady_clock::now() + 2s;
   while (viewer.framebuffer_hash() != server.framebuffer_hash() &&
@@ -181,9 +181,9 @@ TEST_F(Apps2Test, SnapshotReportsAppsAndOwner) {
   ASSERT_TRUE(server.start().ok());
   CmdLine run("vncRunApp");
   run.arg("command", "deck");
-  ASSERT_TRUE(client_->call_ok(server.address(), run).ok());
+  ASSERT_TRUE(client_->call(server.address(), run, daemon::kCallOk).ok());
 
-  auto snap = client_->call_ok(server.address(), CmdLine("vncSnapshot"));
+  auto snap = client_->call(server.address(), CmdLine("vncSnapshot"), daemon::kCallOk);
   ASSERT_TRUE(snap.ok());
   EXPECT_EQ(snap->get_text("owner"), "kate");
   EXPECT_EQ(snap->get_text("name"), "slides");

@@ -146,11 +146,11 @@ TEST(Jini, JoinAndLookupByAttributes) {
   join.arg("host", "print-host");
   join.arg("port", 99);
   join.arg("attributes", "device/printer/laser");
-  ASSERT_TRUE(client->call_ok(lookup.address(), join).ok());
+  ASSERT_TRUE(client->call(lookup.address(), join, daemon::kCallOk).ok());
 
   cmdlang::CmdLine find("jiniLookup");
   find.arg("attributes", "device/printer/*");
-  auto r = client->call_ok(lookup.address(), find);
+  auto r = client->call(lookup.address(), find, daemon::kCallOk);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->get_vector("services")->elements.size(), 1u);
 }

@@ -105,10 +105,10 @@ TEST_F(DaemonTest, BuiltinPingInfoHelp) {
   auto& echo = host_->add_daemon<EchoDaemon>(config("echo1"));
   ASSERT_TRUE(echo.start().ok());
 
-  auto ping = client_->call_ok(echo.address(), CmdLine("ping"));
+  auto ping = client_->call(echo.address(), CmdLine("ping"), daemon::kCallOk);
   ASSERT_TRUE(ping.ok());
 
-  auto info = client_->call_ok(echo.address(), CmdLine("info"));
+  auto info = client_->call(echo.address(), CmdLine("info"), daemon::kCallOk);
   ASSERT_TRUE(info.ok());
   EXPECT_EQ(info->get_text("name"), "echo1");
   EXPECT_EQ(info->get_text("room"), "hawk");
@@ -118,7 +118,7 @@ TEST_F(DaemonTest, BuiltinPingInfoHelp) {
 
   CmdLine help("help");
   help.arg("command", Word{"echo"});
-  auto h = client_->call_ok(echo.address(), help);
+  auto h = client_->call(echo.address(), help, daemon::kCallOk);
   ASSERT_TRUE(h.ok());
   EXPECT_EQ(h->get_text("command"), "echo");
 }
@@ -128,7 +128,7 @@ TEST_F(DaemonTest, CustomCommandRoundTrip) {
   ASSERT_TRUE(echo.start().ok());
   CmdLine cmd("echo");
   cmd.arg("text", "hello ace");
-  auto reply = client_->call_ok(echo.address(), cmd);
+  auto reply = client_->call(echo.address(), cmd, daemon::kCallOk);
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(reply->get_text("text"), "hello ace");
 }
@@ -136,7 +136,7 @@ TEST_F(DaemonTest, CustomCommandRoundTrip) {
 TEST_F(DaemonTest, CallerPrincipalFromCertificate) {
   auto& echo = host_->add_daemon<EchoDaemon>(config("echo3"));
   ASSERT_TRUE(echo.start().ok());
-  auto reply = client_->call_ok(echo.address(), CmdLine("whoami"));
+  auto reply = client_->call(echo.address(), CmdLine("whoami"), daemon::kCallOk);
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(reply->get_text("principal"), "user/tester");
 }
@@ -168,11 +168,11 @@ TEST_F(DaemonTest, NotificationsFireOnCommandExecution) {
   sub.arg("command", Word{"echo"});
   sub.arg("service", sink.address().to_string());
   sub.arg("method", Word{"sink"});
-  ASSERT_TRUE(client_->call_ok(echo.address(), sub).ok());
+  ASSERT_TRUE(client_->call(echo.address(), sub, daemon::kCallOk).ok());
 
   CmdLine cmd("echo");
   cmd.arg("text", "notify me");
-  ASSERT_TRUE(client_->call_ok(echo.address(), cmd).ok());
+  ASSERT_TRUE(client_->call(echo.address(), cmd, daemon::kCallOk).ok());
 
   ASSERT_TRUE(sink.wait_for(1, 2s));
   auto received = sink.received();
@@ -194,16 +194,16 @@ TEST_F(DaemonTest, RemoveNotificationStopsDelivery) {
   sub.arg("command", Word{"echo"});
   sub.arg("service", sink.address().to_string());
   sub.arg("method", Word{"sink"});
-  ASSERT_TRUE(client_->call_ok(echo.address(), sub).ok());
+  ASSERT_TRUE(client_->call(echo.address(), sub, daemon::kCallOk).ok());
 
   CmdLine unsub("removeNotification");
   unsub.arg("command", Word{"echo"});
   unsub.arg("service", sink.address().to_string());
-  ASSERT_TRUE(client_->call_ok(echo.address(), unsub).ok());
+  ASSERT_TRUE(client_->call(echo.address(), unsub, daemon::kCallOk).ok());
 
   CmdLine cmd("echo");
   cmd.arg("text", "should not notify");
-  ASSERT_TRUE(client_->call_ok(echo.address(), cmd).ok());
+  ASSERT_TRUE(client_->call(echo.address(), cmd, daemon::kCallOk).ok());
   EXPECT_FALSE(sink.wait_for(1, 300ms));
 }
 
@@ -217,7 +217,7 @@ TEST_F(DaemonTest, FailingCommandDoesNotNotify) {
   sub.arg("command", Word{"echo"});
   sub.arg("service", sink.address().to_string());
   sub.arg("method", Word{"sink"});
-  ASSERT_TRUE(client_->call_ok(echo.address(), sub).ok());
+  ASSERT_TRUE(client_->call(echo.address(), sub, daemon::kCallOk).ok());
 
   (void)client_->call(echo.address(), CmdLine("echo"));  // missing arg
   EXPECT_FALSE(sink.wait_for(1, 300ms));
@@ -258,7 +258,7 @@ TEST_F(DaemonTest, AuthorizationDeniesUnauthorizedPrincipal) {
   auto alice = deployment_->make_client("alice-pc", "user/alice");
   CmdLine cmd("echo");
   cmd.arg("text", "hi");
-  auto allowed = alice->call_ok(echo.address(), cmd);
+  auto allowed = alice->call(echo.address(), cmd, daemon::kCallOk);
   EXPECT_TRUE(allowed.ok()) << (allowed.ok() ? "" : allowed.error().to_string());
 
   auto mallory = deployment_->make_client("mallory-pc", "user/mallory");
@@ -292,7 +292,7 @@ TEST_F(DaemonTest, AuthorizationViaAuthDbCredential) {
   auto bob = deployment_->make_client("bob-pc", "user/bob");
   CmdLine cmd("echo");
   cmd.arg("text", "hi");
-  auto allowed = bob->call_ok(echo.address(), cmd);
+  auto allowed = bob->call(echo.address(), cmd, daemon::kCallOk);
   EXPECT_TRUE(allowed.ok()) << (allowed.ok() ? "" : allowed.error().to_string());
 
   // The credential is command-scoped: ping is not covered.
@@ -305,7 +305,7 @@ TEST_F(DaemonTest, StatsCountConnectionsAndCommands) {
   auto& echo = host_->add_daemon<EchoDaemon>(config("counted"));
   ASSERT_TRUE(echo.start().ok());
   for (int i = 0; i < 5; ++i)
-    ASSERT_TRUE(client_->call_ok(echo.address(), CmdLine("ping")).ok());
+    ASSERT_TRUE(client_->call(echo.address(), CmdLine("ping"), daemon::kCallOk).ok());
   auto stats = echo.stats();
   EXPECT_EQ(stats.connections_accepted, 1u);  // cached channel reused
   EXPECT_EQ(stats.commands_executed, 5u);
@@ -320,10 +320,10 @@ TEST_F(DaemonTest, DeviceInheritsBaseAndAddsPower) {
   ASSERT_TRUE(camera.start().ok());
 
   // Inherited Service-level command.
-  ASSERT_TRUE(client_->call_ok(camera.address(), CmdLine("ping")).ok());
+  ASSERT_TRUE(client_->call(camera.address(), CmdLine("ping"), daemon::kCallOk).ok());
 
   // Device-level power command.
-  auto status = client_->call_ok(camera.address(), CmdLine("deviceStatus"));
+  auto status = client_->call(camera.address(), CmdLine("deviceStatus"), daemon::kCallOk);
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(status->get_text("powered"), "off");
 
@@ -335,8 +335,8 @@ TEST_F(DaemonTest, DeviceInheritsBaseAndAddsPower) {
   ASSERT_TRUE(rejected.ok());
   EXPECT_TRUE(cmdlang::is_error(rejected.value()));
 
-  ASSERT_TRUE(client_->call_ok(camera.address(), CmdLine("deviceOn")).ok());
-  EXPECT_TRUE(client_->call_ok(camera.address(), move).ok());
+  ASSERT_TRUE(client_->call(camera.address(), CmdLine("deviceOn"), daemon::kCallOk).ok());
+  EXPECT_TRUE(client_->call(camera.address(), move, daemon::kCallOk).ok());
 }
 
 TEST_F(DaemonTest, ModelSpecsDifferVcc3Vcc4) {
@@ -346,8 +346,8 @@ TEST_F(DaemonTest, ModelSpecsDifferVcc3Vcc4) {
                                                           daemon::vcc4_spec());
   ASSERT_TRUE(vcc3.start().ok());
   ASSERT_TRUE(vcc4.start().ok());
-  ASSERT_TRUE(client_->call_ok(vcc3.address(), CmdLine("deviceOn")).ok());
-  ASSERT_TRUE(client_->call_ok(vcc4.address(), CmdLine("deviceOn")).ok());
+  ASSERT_TRUE(client_->call(vcc3.address(), CmdLine("deviceOn"), daemon::kCallOk).ok());
+  ASSERT_TRUE(client_->call(vcc4.address(), CmdLine("deviceOn"), daemon::kCallOk).ok());
 
   // pan=95 is inside the VCC4 envelope but outside the VCC3's.
   CmdLine move("ptzMove");
@@ -356,27 +356,27 @@ TEST_F(DaemonTest, ModelSpecsDifferVcc3Vcc4) {
   auto r3 = client_->call(vcc3.address(), move);
   ASSERT_TRUE(r3.ok());
   EXPECT_TRUE(cmdlang::is_error(r3.value()));
-  EXPECT_TRUE(client_->call_ok(vcc4.address(), move).ok());
+  EXPECT_TRUE(client_->call(vcc4.address(), move, daemon::kCallOk).ok());
 }
 
 TEST_F(DaemonTest, ProjectorStateMachine) {
   auto& proj = host_->add_daemon<daemon::ProjectorDaemon>(
       config("proj"), daemon::epson7350_spec());
   ASSERT_TRUE(proj.start().ok());
-  ASSERT_TRUE(client_->call_ok(proj.address(), CmdLine("deviceOn")).ok());
+  ASSERT_TRUE(client_->call(proj.address(), CmdLine("deviceOn"), daemon::kCallOk).ok());
 
   CmdLine input("projSetInput");
   input.arg("input", Word{"network"});
-  ASSERT_TRUE(client_->call_ok(proj.address(), input).ok());
+  ASSERT_TRUE(client_->call(proj.address(), input, daemon::kCallOk).ok());
 
   CmdLine display("projDisplay");
   display.arg("source", "workspace/john/default");
-  ASSERT_TRUE(client_->call_ok(proj.address(), display).ok());
+  ASSERT_TRUE(client_->call(proj.address(), display, daemon::kCallOk).ok());
 
   CmdLine pip("projPictureInPicture");
   pip.arg("source", "camera1");
   pip.arg("enable", Word{"on"});
-  ASSERT_TRUE(client_->call_ok(proj.address(), pip).ok());
+  ASSERT_TRUE(client_->call(proj.address(), pip, daemon::kCallOk).ok());
 
   auto state = proj.projector_state();
   EXPECT_EQ(state.input, "network");
@@ -388,10 +388,11 @@ TEST_F(DaemonTest, ProjectorStateMachine) {
 TEST_F(DaemonTest, StoppedDaemonRefusesConnections) {
   auto& echo = host_->add_daemon<EchoDaemon>(config("stopping"));
   ASSERT_TRUE(echo.start().ok());
-  ASSERT_TRUE(client_->call_ok(echo.address(), CmdLine("ping")).ok());
+  ASSERT_TRUE(client_->call(echo.address(), CmdLine("ping"), daemon::kCallOk).ok());
   net::Address addr = echo.address();
   echo.stop();
   client_->drop_connection(addr);
-  auto reply = client_->call(addr, CmdLine("ping"), 200ms);
+  auto reply =
+      client_->call(addr, CmdLine("ping"), daemon::CallOptions{.timeout = 200ms});
   EXPECT_FALSE(reply.ok());
 }

@@ -47,21 +47,21 @@ TEST_F(ExtensionsTest, CameraReportsMovingDuringSlew) {
   auto& camera = host_->add_daemon<daemon::PtzCameraDaemon>(config("cam"),
                                                             slow);
   ASSERT_TRUE(camera.start().ok());
-  ASSERT_TRUE(client_->call_ok(camera.address(), CmdLine("deviceOn")).ok());
+  ASSERT_TRUE(client_->call(camera.address(), CmdLine("deviceOn"), daemon::kCallOk).ok());
 
   CmdLine move("ptzMove");
   move.arg("pan", 90.0);
   move.arg("tilt", 0.0);
-  ASSERT_TRUE(client_->call_ok(camera.address(), move).ok());
+  ASSERT_TRUE(client_->call(camera.address(), move, daemon::kCallOk).ok());
   EXPECT_TRUE(camera.moving());
-  auto state = client_->call_ok(camera.address(), CmdLine("ptzGet"));
+  auto state = client_->call(camera.address(), CmdLine("ptzGet"), daemon::kCallOk);
   ASSERT_TRUE(state.ok());
   EXPECT_EQ(state->get_text("moving"), "yes");
 
   // Wait past the slew time: settled.
   std::this_thread::sleep_for(1000ms);
   EXPECT_FALSE(camera.moving());
-  state = client_->call_ok(camera.address(), CmdLine("ptzGet"));
+  state = client_->call(camera.address(), CmdLine("ptzGet"), daemon::kCallOk);
   ASSERT_TRUE(state.ok());
   EXPECT_EQ(state->get_text("moving"), "no");
 }
@@ -76,13 +76,13 @@ TEST_F(ExtensionsTest, FasterModelSettlesSooner) {
   ASSERT_TRUE(vcc3.start().ok());
   ASSERT_TRUE(vcc4.start().ok());
   for (auto* cam : {&vcc3, &vcc4})
-    ASSERT_TRUE(client_->call_ok(cam->address(), CmdLine("deviceOn")).ok());
+    ASSERT_TRUE(client_->call(cam->address(), CmdLine("deviceOn"), daemon::kCallOk).ok());
 
   CmdLine move("ptzMove");
   move.arg("pan", 60.0);
   move.arg("tilt", 0.0);
-  ASSERT_TRUE(client_->call_ok(vcc3.address(), move).ok());
-  ASSERT_TRUE(client_->call_ok(vcc4.address(), move).ok());
+  ASSERT_TRUE(client_->call(vcc3.address(), move, daemon::kCallOk).ok());
+  ASSERT_TRUE(client_->call(vcc4.address(), move, daemon::kCallOk).ok());
   // 60/300 = 0.2 s for VCC4; 60/70 = 0.86 s for VCC3.
   std::this_thread::sleep_for(400ms);
   EXPECT_FALSE(vcc4.moving());
@@ -102,7 +102,7 @@ TEST_F(ExtensionsTest, RoomDbFindsNearestPrinter) {
     add.arg("x", x);
     add.arg("y", y);
     add.arg("z", 0.0);
-    ASSERT_TRUE(client_->call_ok(deployment_->env.room_db_address, add).ok());
+    ASSERT_TRUE(client_->call(deployment_->env.room_db_address, add, daemon::kCallOk).ok());
   };
   place("printer_near", "Service/Device/Printer", 1.0, 1.0);
   place("printer_far", "Service/Device/Printer", 9.0, 9.0);
@@ -114,7 +114,7 @@ TEST_F(ExtensionsTest, RoomDbFindsNearestPrinter) {
   nearest.arg("class", "Service/Device/Printer*");
   nearest.arg("x", 0.0);
   nearest.arg("y", 0.0);
-  auto r = client_->call_ok(deployment_->env.room_db_address, nearest);
+  auto r = client_->call(deployment_->env.room_db_address, nearest, daemon::kCallOk);
   ASSERT_TRUE(r.ok()) << r.error().to_string();
   EXPECT_EQ(r->get_text("name"), "printer_near");
   EXPECT_NEAR(r->get_real("distance"), std::sqrt(2.0), 1e-9);
@@ -125,7 +125,7 @@ TEST_F(ExtensionsTest, RoomDbFindsNearestPrinter) {
   nearest2.arg("class", "Service/Device/Printer*");
   nearest2.arg("x", 10.0);
   nearest2.arg("y", 10.0);
-  auto r2 = client_->call_ok(deployment_->env.room_db_address, nearest2);
+  auto r2 = client_->call(deployment_->env.room_db_address, nearest2, daemon::kCallOk);
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(r2->get_text("name"), "printer_far");
 
@@ -141,7 +141,7 @@ TEST_F(ExtensionsTest, NearestServiceIgnoresUnlocatedServices) {
   add.arg("port", 1);
   add.arg("class", "Service/Device/Printer");
   // no coordinates
-  ASSERT_TRUE(client_->call_ok(deployment_->env.room_db_address, add).ok());
+  ASSERT_TRUE(client_->call(deployment_->env.room_db_address, add, daemon::kCallOk).ok());
 
   CmdLine nearest("roomNearestService");
   nearest.arg("room", Word{"hawk"});
@@ -165,7 +165,7 @@ class TrackerTest : public ExtensionsTest {
       CmdLine add("userAdd");
       add.arg("username", Word{user});
       add.arg("ibutton", std::string("IB-") + user);
-      ASSERT_TRUE(client_->call_ok(aud_->address(), add).ok());
+      ASSERT_TRUE(client_->call(aud_->address(), add, daemon::kCallOk).ok());
     }
   }
 
@@ -186,8 +186,8 @@ TEST_F(TrackerTest, TracksUsersAcrossRooms) {
       config("tracker", "machine-room"));
   ASSERT_TRUE(tracker.start().ok());
 
-  auto subscribed = client_->call_ok(tracker.address(),
-                                     CmdLine("trackWatchAll"));
+  auto subscribed = client_->call(tracker.address(),
+                                     CmdLine("trackWatchAll"), daemon::kCallOk);
   ASSERT_TRUE(subscribed.ok());
   EXPECT_EQ(subscribed->get_integer("devices"), 2);
 
@@ -196,7 +196,7 @@ TEST_F(TrackerTest, TracksUsersAcrossRooms) {
     CmdLine read("ibuttonRead");
     read.arg("serial", serial);
     read.arg("station", station);
-    ASSERT_TRUE(client_->call_ok(reader.address(), read).ok());
+    ASSERT_TRUE(client_->call(reader.address(), read, daemon::kCallOk).ok());
   };
   badge(door_hawk, "IB-kate", "hawk-door");
   badge(door_dove, "IB-john", "dove-door");
@@ -213,26 +213,26 @@ TEST_F(TrackerTest, TracksUsersAcrossRooms) {
 
   CmdLine where("trackWhereIs");
   where.arg("user", Word{"kate"});
-  auto r = client_->call_ok(tracker.address(), where);
+  auto r = client_->call(tracker.address(), where, daemon::kCallOk);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->get_text("room"), "dove");
   EXPECT_EQ(r->get_integer("sightings"), 2);
 
   CmdLine history("trackHistory");
   history.arg("user", Word{"kate"});
-  auto h = client_->call_ok(tracker.address(), history);
+  auto h = client_->call(tracker.address(), history, daemon::kCallOk);
   ASSERT_TRUE(h.ok());
   EXPECT_EQ(h->get_vector("entries")->elements.size(), 2u);
 
   // Presence: kate and john are both last seen in dove.
   CmdLine present("trackPresent");
   present.arg("room", Word{"dove"});
-  auto p = client_->call_ok(tracker.address(), present);
+  auto p = client_->call(tracker.address(), present, daemon::kCallOk);
   ASSERT_TRUE(p.ok());
   EXPECT_EQ(p->get_vector("users")->elements.size(), 2u);
   CmdLine present_hawk("trackPresent");
   present_hawk.arg("room", Word{"hawk"});
-  auto ph = client_->call_ok(tracker.address(), present_hawk);
+  auto ph = client_->call(tracker.address(), present_hawk, daemon::kCallOk);
   ASSERT_TRUE(ph.ok());
   EXPECT_TRUE(ph->get_vector("users")->elements.empty());
 }
@@ -253,8 +253,8 @@ TEST_F(TrackerTest, FailedIdentificationsAreNotTracked) {
   auto& tracker = host_->add_daemon<services::TrackerDaemon>(
       config("tracker", "machine-room"));
   ASSERT_TRUE(tracker.start().ok());
-  ASSERT_TRUE(client_->call_ok(tracker.address(),
-                               CmdLine("trackWatchAll")).ok());
+  ASSERT_TRUE(client_->call(tracker.address(),
+                               CmdLine("trackWatchAll"), daemon::kCallOk).ok());
 
   CmdLine read("ibuttonRead");
   read.arg("serial", "IB-unknown");

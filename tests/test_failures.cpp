@@ -146,22 +146,20 @@ TEST_F(FailureTest, PartitionFromAsdExpiresLease) {
   c.lease_renew = 100ms;
   auto& svc = host.add_daemon<services::HrmDaemon>(c);
   ASSERT_TRUE(svc.start().ok());
-  ASSERT_TRUE(services::asd_lookup(*client_, deployment_->env.asd_address,
-                                   "islander")
+  ASSERT_TRUE(services::AsdClient(*client_, deployment_->env.asd_address).lookup("islander")
                   .ok());
 
   // The daemon still runs, but its renewals can no longer reach the ASD.
   deployment_->env.network().set_partitioned("island", "infra", true);
   std::this_thread::sleep_for(700ms);
   EXPECT_TRUE(svc.running());  // alive...
-  EXPECT_FALSE(services::asd_lookup(*client_, deployment_->env.asd_address,
-                                    "islander")
+  EXPECT_FALSE(services::AsdClient(*client_, deployment_->env.asd_address).lookup("islander")
                    .ok());  // ...but reaped (paper §2.4 failure model)
 
   // Healing the partition lets the next renewal fail (not registered), but
   // the service remains reachable directly.
   deployment_->env.network().set_partitioned("island", "infra", false);
-  auto direct = client_->call_ok(svc.address(), CmdLine("hrmStatus"));
+  auto direct = client_->call(svc.address(), CmdLine("hrmStatus"), daemon::kCallOk);
   EXPECT_TRUE(direct.ok());
 }
 
@@ -176,10 +174,10 @@ TEST_F(FailureTest, DeadNotificationSubscriberIsDropped) {
   sub.arg("command", Word{"hrmStatus"});
   sub.arg("service", sink.address().to_string());
   sub.arg("method", Word{"ping"});
-  ASSERT_TRUE(client_->call_ok(source.address(), sub).ok());
+  ASSERT_TRUE(client_->call(source.address(), sub, daemon::kCallOk).ok());
 
   auto entries = [&] {
-    auto r = client_->call_ok(source.address(), CmdLine("listNotifications"));
+    auto r = client_->call(source.address(), CmdLine("listNotifications"), daemon::kCallOk);
     EXPECT_TRUE(r.ok());
     return r.ok() ? r->get_vector("entries")->elements.size() : 0u;
   };
@@ -189,7 +187,7 @@ TEST_F(FailureTest, DeadNotificationSubscriberIsDropped) {
   // clean up the subscription list.
   sink.crash();
   for (int i = 0; i < 10 && entries() > 0; ++i) {
-    (void)client_->call_ok(source.address(), CmdLine("hrmStatus"));
+    (void)client_->call(source.address(), CmdLine("hrmStatus"), daemon::kCallOk);
     std::this_thread::sleep_for(100ms);
   }
   EXPECT_EQ(entries(), 0u);
@@ -203,7 +201,7 @@ TEST_F(FailureTest, NoReplyCommandsLeaveChannelUsable) {
   // Interleave fire-and-forget sends with normal calls on one channel.
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(client_->send_only(svc.address(), CmdLine("ping")).ok());
-    auto r = client_->call_ok(svc.address(), CmdLine("hrmStatus"));
+    auto r = client_->call(svc.address(), CmdLine("hrmStatus"), daemon::kCallOk);
     ASSERT_TRUE(r.ok()) << "iteration " << i;
     EXPECT_EQ(r->get_text("host"), "work");
   }
@@ -363,7 +361,7 @@ TEST_F(FailureTest, CredentialCacheExpiresAndRevocationTakesEffect) {
   ASSERT_TRUE(svc.start().ok());
 
   auto bob = deployment_->make_client("bob-pc", "user/bob");
-  auto allowed = bob->call_ok(svc.address(), CmdLine("hrmStatus"));
+  auto allowed = bob->call(svc.address(), CmdLine("hrmStatus"), daemon::kCallOk);
   ASSERT_TRUE(allowed.ok()) << (allowed.ok() ? "" : allowed.error().to_string());
 
   // Revoke at the Authorization DB. Within the cache TTL the old grant may
@@ -371,7 +369,7 @@ TEST_F(FailureTest, CredentialCacheExpiresAndRevocationTakesEffect) {
   CmdLine revoke("credRemove");
   revoke.arg("principal", "user/bob");
   ASSERT_TRUE(
-      client_->call_ok(deployment_->env.auth_db_address, revoke).ok());
+      client_->call(deployment_->env.auth_db_address, revoke, daemon::kCallOk).ok());
   std::this_thread::sleep_for(300ms);
   auto denied = bob->call(svc.address(), CmdLine("hrmStatus"));
   ASSERT_TRUE(denied.ok());

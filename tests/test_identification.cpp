@@ -37,7 +37,7 @@ class IdentificationTest : public ::testing::Test {
     add.arg("fullname", "John Doe");
     add.arg("fingerprint", "fp-john");
     add.arg("ibutton", "IB-77");
-    ASSERT_TRUE(client_->call_ok(aud_->address(), add).ok());
+    ASSERT_TRUE(client_->call(aud_->address(), add, daemon::kCallOk).ok());
   }
 
   daemon::DaemonConfig config(const std::string& name) {
@@ -60,18 +60,18 @@ TEST_F(IdentificationTest, FiuEnrollAndExactScan) {
   CmdLine enroll("fiuEnroll");
   enroll.arg("template", Word{"fp_john"});
   enroll.arg("features", features({0.1, 0.9, 0.3, 0.7}));
-  ASSERT_TRUE(client_->call_ok(fiu.address(), enroll).ok());
+  ASSERT_TRUE(client_->call(fiu.address(), enroll, daemon::kCallOk).ok());
 
   // The AUD knows the template as "fp-john"; re-register to match.
   CmdLine fix("userUpdate");
   fix.arg("username", Word{"john"});
   fix.arg("fingerprint", "fp_john");
-  ASSERT_TRUE(client_->call_ok(aud_->address(), fix).ok());
+  ASSERT_TRUE(client_->call(aud_->address(), fix, daemon::kCallOk).ok());
 
   CmdLine scan("fiuScan");
   scan.arg("features", features({0.1, 0.9, 0.3, 0.7}));
   scan.arg("station", "podium");
-  auto r = client_->call_ok(fiu.address(), scan);
+  auto r = client_->call(fiu.address(), scan, daemon::kCallOk);
   ASSERT_TRUE(r.ok()) << r.error().to_string();
   EXPECT_EQ(r->get_text("user"), "john");
   EXPECT_NEAR(r->get_real("distance"), 0.0, 1e-9);
@@ -86,17 +86,17 @@ TEST_F(IdentificationTest, FiuToleratesSensorNoiseWithinThreshold) {
   CmdLine fix("userUpdate");
   fix.arg("username", Word{"john"});
   fix.arg("fingerprint", "fp_john");
-  ASSERT_TRUE(client_->call_ok(aud_->address(), fix).ok());
+  ASSERT_TRUE(client_->call(aud_->address(), fix, daemon::kCallOk).ok());
 
   CmdLine enroll("fiuEnroll");
   enroll.arg("template", Word{"fp_john"});
   enroll.arg("features", features({0.5, 0.5, 0.5, 0.5}));
-  ASSERT_TRUE(client_->call_ok(fiu.address(), enroll).ok());
+  ASSERT_TRUE(client_->call(fiu.address(), enroll, daemon::kCallOk).ok());
 
   // Slightly noisy scan still matches.
   CmdLine scan("fiuScan");
   scan.arg("features", features({0.55, 0.45, 0.52, 0.48}));
-  auto r = client_->call_ok(fiu.address(), scan);
+  auto r = client_->call(fiu.address(), scan, daemon::kCallOk);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->get_text("user"), "john");
 
@@ -135,7 +135,7 @@ TEST_F(IdentificationTest, IButtonResolvesSerialThroughAud) {
   CmdLine read("ibuttonRead");
   read.arg("serial", "IB-77");
   read.arg("station", "door");
-  auto r = client_->call_ok(reader.address(), read);
+  auto r = client_->call(reader.address(), read, daemon::kCallOk);
   ASSERT_TRUE(r.ok()) << r.error().to_string();
   EXPECT_EQ(r->get_text("user"), "john");
 
@@ -165,17 +165,17 @@ TEST_F(IdentificationTest, IdMonitorUpdatesLocationAndShowsWorkspace) {
   CmdLine fix("userUpdate");
   fix.arg("username", Word{"john"});
   fix.arg("fingerprint", "fp_john");
-  ASSERT_TRUE(client_->call_ok(aud_->address(), fix).ok());
+  ASSERT_TRUE(client_->call(aud_->address(), fix, daemon::kCallOk).ok());
 
   CmdLine enroll("fiuEnroll");
   enroll.arg("template", Word{"fp_john"});
   enroll.arg("features", features({0.2, 0.4, 0.6}));
-  ASSERT_TRUE(client_->call_ok(fiu.address(), enroll).ok());
+  ASSERT_TRUE(client_->call(fiu.address(), enroll, daemon::kCallOk).ok());
 
   CmdLine scan("fiuScan");
   scan.arg("features", features({0.2, 0.4, 0.6}));
   scan.arg("station", "hawk-box");
-  ASSERT_TRUE(client_->call_ok(fiu.address(), scan).ok());
+  ASSERT_TRUE(client_->call(fiu.address(), scan, daemon::kCallOk).ok());
 
   // The chain is asynchronous (notification + monitor actions): poll.
   bool located = false;
@@ -227,8 +227,8 @@ TEST_F(IdentificationTest, PoweredOffDevicesRefuseScans) {
   ASSERT_TRUE(reader.start().ok());
 
   // Identification devices come up powered; power them down.
-  ASSERT_TRUE(client_->call_ok(fiu.address(), CmdLine("deviceOff")).ok());
-  ASSERT_TRUE(client_->call_ok(reader.address(), CmdLine("deviceOff")).ok());
+  ASSERT_TRUE(client_->call(fiu.address(), CmdLine("deviceOff"), daemon::kCallOk).ok());
+  ASSERT_TRUE(client_->call(reader.address(), CmdLine("deviceOff"), daemon::kCallOk).ok());
 
   CmdLine scan("fiuScan");
   scan.arg("features", features({0.1, 0.2}));
@@ -243,8 +243,8 @@ TEST_F(IdentificationTest, PoweredOffDevicesRefuseScans) {
   EXPECT_TRUE(cmdlang::is_error(r2.value()));
 
   // Power restored: the reader resolves John again.
-  ASSERT_TRUE(client_->call_ok(reader.address(), CmdLine("deviceOn")).ok());
-  auto r3 = client_->call_ok(reader.address(), read);
+  ASSERT_TRUE(client_->call(reader.address(), CmdLine("deviceOn"), daemon::kCallOk).ok());
+  auto r3 = client_->call(reader.address(), read, daemon::kCallOk);
   ASSERT_TRUE(r3.ok());
   EXPECT_EQ(r3->get_text("user"), "john");
 }

@@ -265,7 +265,7 @@ TEST_F(AudioPipelineTest, CaptureStreamsToPlay) {
   CmdLine gen("captureGenerate");
   gen.arg("frames", 10);
   gen.arg("frequency", 440.0);
-  ASSERT_TRUE(client_->call_ok(capture.address(), gen).ok());
+  ASSERT_TRUE(client_->call(capture.address(), gen, daemon::kCallOk).ok());
 
   ASSERT_TRUE(wait_until([&] { return play.frames_played() >= 10; }, 2s));
   EXPECT_GT(rms(play.played()), 1000.0);
@@ -291,7 +291,7 @@ TEST_F(AudioPipelineTest, MixerCombinesDeclaredInputs) {
   for (const char* tag : {"micA", "micB"}) {
     CmdLine add("mixerAddInput");
     add.arg("stream", tag);
-    ASSERT_TRUE(client_->call_ok(mixer.address(), add).ok());
+    ASSERT_TRUE(client_->call(mixer.address(), add, daemon::kCallOk).ok());
   }
 
   cap_a.capture_push(sine_wave(440, 8000, 5 * kFrameSamples, 0));
@@ -325,11 +325,11 @@ TEST_F(AudioPipelineTest, SpeechToCommandExecutesDecodedCommand) {
 
   CmdLine target("stcSetTarget");
   target.arg("service", camera.address().to_string());
-  ASSERT_TRUE(client_->call_ok(stc.address(), target).ok());
+  ASSERT_TRUE(client_->call(stc.address(), target, daemon::kCallOk).ok());
 
   CmdLine say("say");
   say.arg("text", "deviceOn;");
-  auto said = client_->call_ok(tts.address(), say);
+  auto said = client_->call(tts.address(), say, daemon::kCallOk);
   ASSERT_TRUE(said.ok());
   std::int64_t frames = said->get_integer("frames");
 
@@ -339,7 +339,7 @@ TEST_F(AudioPipelineTest, SpeechToCommandExecutesDecodedCommand) {
 
   CmdLine flush("stcFlush");
   flush.arg("stream", "voice");
-  auto r = client_->call_ok(stc.address(), flush);
+  auto r = client_->call(stc.address(), flush, daemon::kCallOk);
   ASSERT_TRUE(r.ok()) << r.error().to_string();
   EXPECT_EQ(r->get_text("decoded"), "deviceOn;");
   EXPECT_EQ(r->get_text("executed"), "yes");

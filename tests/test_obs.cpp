@@ -1,0 +1,231 @@
+// Tests for the ace::obs observability layer: registry concurrency,
+// histogram bucketing, span ring wraparound, and an end-to-end `metrics;`
+// scrape of a live deployment.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <thread>
+
+#include "ace_test_env.hpp"
+#include "cmdlang/parser.hpp"
+#include "obs/metrics.hpp"
+#include "util/strings.hpp"
+
+using namespace ace;
+using namespace std::chrono_literals;
+using cmdlang::CmdLine;
+using cmdlang::Word;
+
+namespace {
+
+TEST(MetricsRegistry, CounterConcurrentIncrementsAreExact) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("test.hits");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.inc();
+    });
+  threads.clear();  // join
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(registry.snapshot().counter_value("test.hits"),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameCell) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("test.cell");
+  obs::Counter& b = registry.counter("test.cell");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  obs::Gauge& g = registry.gauge("test.depth");
+  g.set(7);
+  g.add(-2);
+  EXPECT_EQ(registry.snapshot().gauge_value("test.depth"), 5);
+}
+
+TEST(MetricsRegistry, HistogramBucketBoundariesAreUpperInclusive) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("test.latency_us");
+
+  // A sample exactly on a bound lands in that bound's bucket; one past it
+  // lands in the next.
+  h.observe_us(10);    // -> le_10
+  h.observe_us(11);    // -> le_25
+  h.observe_us(0);     // -> le_10
+  h.observe_us(250000);   // -> le_250000 (last finite bound)
+  h.observe_us(250001);   // -> +inf
+  auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum_us, 10u + 11u + 0u + 250000u + 250001u);
+  EXPECT_EQ(snap.buckets[0], 2u);   // le_10
+  EXPECT_EQ(snap.buckets[1], 1u);   // le_25
+  EXPECT_EQ(snap.buckets[obs::Histogram::kBucketCount - 2], 1u);
+  EXPECT_EQ(snap.buckets[obs::Histogram::kBucketCount - 1], 1u);  // +inf
+  EXPECT_DOUBLE_EQ(snap.mean_us(), (10.0 + 11 + 0 + 250000 + 250001) / 5);
+}
+
+TEST(MetricsRegistry, SpanFeedsHistogramAndRing) {
+  obs::MetricsRegistry registry;
+  {
+    obs::Span span(registry, "test", "op");
+  }
+  {
+    obs::Span span(registry, "test", "op");
+    span.fail();
+  }
+  auto snap = registry.snapshot();
+  const auto* hist = snap.histogram("test.op.latency_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2u);
+  auto spans = registry.spans().recent();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].component, "test");
+  EXPECT_EQ(spans[0].name, "op");
+  EXPECT_TRUE(spans[0].ok);
+  EXPECT_FALSE(spans[1].ok);
+}
+
+TEST(SpanBuffer, RingWrapsAndKeepsCounting) {
+  obs::SpanBuffer ring(4);
+  for (int i = 0; i < 10; ++i)
+    ring.record(obs::SpanRecord{"test", "s" + std::to_string(i),
+                                static_cast<std::uint64_t>(i), true});
+  EXPECT_EQ(ring.total_recorded(), 10u);
+  auto recent = ring.recent();
+  ASSERT_EQ(recent.size(), 4u);  // capped at capacity
+  // Oldest-first among the survivors: s6 s7 s8 s9.
+  EXPECT_EQ(recent.front().name, "s6");
+  EXPECT_EQ(recent.back().name, "s9");
+}
+
+// --- End-to-end: scrape a live deployment through the inherited command ---
+
+class ObsEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<testenv::AceTestEnv>(42);
+    ASSERT_TRUE(deployment_->start().ok());
+    client_ = deployment_->make_client("ap", "user/obs-test");
+  }
+
+  // Scrapes `metrics;` from the ASD and returns the named counter, if any.
+  std::optional<std::uint64_t> scrape_counter(const std::string& name) {
+    auto reply = client_->call(deployment_->env.asd_address, CmdLine("metrics"),
+                               daemon::kCallOk);
+    if (!reply.ok()) return std::nullopt;
+    auto counters = reply->get_vector("counters");
+    if (!counters) return std::nullopt;
+    for (const auto& elem : counters->elements) {
+      if (!elem.is_string() && !elem.is_word()) continue;
+      auto parts = util::split(elem.as_text(), '=');
+      if (parts.size() == 2 && parts[0] == name) return std::stoull(parts[1]);
+    }
+    return std::nullopt;
+  }
+
+  std::unique_ptr<testenv::AceTestEnv> deployment_;
+  std::unique_ptr<daemon::AceClient> client_;
+};
+
+TEST_F(ObsEndToEndTest, MetricsCommandReportsRegistrations) {
+  auto before = scrape_counter("asd.registrations");
+  ASSERT_TRUE(before.has_value());
+
+  CmdLine reg("register");
+  reg.arg("name", Word{"obs_probe"});
+  reg.arg("host", "ap");
+  reg.arg("port", std::int64_t{4242});
+  reg.arg("class", "Service/Synthetic");
+  ASSERT_TRUE(
+      client_->call(deployment_->env.asd_address, reg, daemon::kCallOk).ok());
+
+  auto after = scrape_counter("asd.registrations");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(*after, *before + 1);
+}
+
+TEST_F(ObsEndToEndTest, MetricsCommandReportsGaugesHistogramsAndNet) {
+  CmdLine reg("register");
+  reg.arg("name", Word{"obs_probe"});
+  reg.arg("host", "ap");
+  reg.arg("port", std::int64_t{4242});
+  ASSERT_TRUE(
+      client_->call(deployment_->env.asd_address, reg, daemon::kCallOk).ok());
+
+  auto reply = client_->call(deployment_->env.asd_address, CmdLine("metrics"),
+                             daemon::kCallOk);
+  ASSERT_TRUE(reply.ok());
+
+  // Gauge: the probe registration is live.
+  auto gauges = reply->get_vector("gauges");
+  ASSERT_TRUE(gauges);
+  bool live_count_positive = false;
+  for (const auto& elem : gauges->elements) {
+    auto parts = util::split(elem.as_text(), '=');
+    if (parts.size() == 2 && parts[0] == "asd.live_count")
+      live_count_positive = std::stoll(parts[1]) >= 1;
+  }
+  EXPECT_TRUE(live_count_positive);
+
+  // Histogram: dispatch latency has recorded the commands we just ran.
+  auto histograms = reply->get_vector("histograms");
+  ASSERT_TRUE(histograms);
+  bool cmd_latency_seen = false;
+  for (const auto& elem : histograms->elements) {
+    auto fields = util::split(elem.as_text(), '|');
+    if (fields.empty() || fields[0] != "daemon.cmd.latency_us") continue;
+    for (const auto& field : fields) {
+      auto kv = util::split(field, '=');
+      if (kv.size() == 2 && kv[0] == "count")
+        cmd_latency_seen = std::stoull(kv[1]) > 0;
+    }
+  }
+  EXPECT_TRUE(cmd_latency_seen);
+
+  // Network counters flow into the same deployment registry.
+  auto frames = scrape_counter("net.frames_sent");
+  ASSERT_TRUE(frames.has_value());
+  EXPECT_GT(*frames, 0u);
+
+  // The in-process view agrees with the scraped one.
+  auto snapshot = deployment_->env.metrics().snapshot();
+  EXPECT_GT(snapshot.counter_value("daemon.cmd.executed"), 0u);
+  EXPECT_GT(snapshot.counter_value("client.calls"), 0u);
+  EXPECT_GT(snapshot.counter_value("crypto.handshakes"), 0u);
+  EXPECT_GT(snapshot.spans_recorded, 0u);
+}
+
+TEST_F(ObsEndToEndTest, NetworkStatsSnapshotIsConsistent) {
+  // One request/reply exchange moves frames both ways.
+  ASSERT_TRUE(client_
+                  ->call(deployment_->env.asd_address, CmdLine("count"),
+                         daemon::kCallOk)
+                  .ok());
+  net::NetworkStats stats = deployment_->env.network().stats();
+  EXPECT_GT(stats.frames_sent, 0u);
+  EXPECT_GT(stats.bytes_sent, 0u);
+  EXPECT_GT(stats.frames_received, 0u);
+  EXPECT_GT(stats.bytes_received, 0u);
+  // No sent>=received comparison here: lease-renewal traffic is in flight
+  // and the per-counter relaxed loads give no cross-counter ordering.
+}
+
+TEST(ObsJson, SnapshotRendersAllSections) {
+  obs::MetricsRegistry registry;
+  registry.counter("a.hits").inc(2);
+  registry.gauge("a.depth").set(-3);
+  registry.histogram("a.latency_us").observe_us(42);
+  { obs::Span span(registry, "a", "op"); }
+  std::string json = obs::to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"a.hits\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"a.depth\": -3"), std::string::npos);
+  EXPECT_NE(json.find("\"a.latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans_recorded\": 1"), std::string::npos);
+}
+
+}  // namespace

@@ -134,16 +134,16 @@ class ScenarioTest : public ::testing::Test {
     add.arg("fullname", "John Doe");
     add.arg("password", "new-hire");
     add.arg("fingerprint", "fp_john");
-    ASSERT_TRUE(admin_->call_ok(aud_->address(), add).ok());
+    ASSERT_TRUE(admin_->call(aud_->address(), add, daemon::kCallOk).ok());
 
     CmdLine enroll("fiuEnroll");
     enroll.arg("template", Word{"fp_john"});
     enroll.arg("features", john_finger());
-    ASSERT_TRUE(admin_->call_ok(fiu_->address(), enroll).ok());
+    ASSERT_TRUE(admin_->call(fiu_->address(), enroll, daemon::kCallOk).ok());
 
     CmdLine ws("wssDefault");
     ws.arg("owner", Word{"john"});
-    ASSERT_TRUE(admin_->call_ok(wss_->address(), ws).ok());
+    ASSERT_TRUE(admin_->call(wss_->address(), ws, daemon::kCallOk).ok());
   }
 
   std::unique_ptr<testenv::AceTestEnv> deployment_;
@@ -177,7 +177,7 @@ TEST_F(ScenarioTest, Scenario2FingerprintIdentificationUpdatesLocation) {
   CmdLine scan("fiuScan");
   scan.arg("features", john_finger());
   scan.arg("station", "podium");
-  auto r = admin_->call_ok(fiu_->address(), scan);
+  auto r = admin_->call(fiu_->address(), scan, daemon::kCallOk);
   ASSERT_TRUE(r.ok()) << r.error().to_string();
   EXPECT_EQ(r->get_text("user"), "john");
 
@@ -192,7 +192,7 @@ TEST_F(ScenarioTest, Scenario3WorkspaceAppearsAtAccessPoint) {
   CmdLine scan("fiuScan");
   scan.arg("features", john_finger());
   scan.arg("station", "podium");
-  ASSERT_TRUE(admin_->call_ok(fiu_->address(), scan).ok());
+  ASSERT_TRUE(admin_->call(fiu_->address(), scan, daemon::kCallOk).ok());
 
   // The ID monitor drives WSS -> VNC: a viewer on the podium converges to
   // the workspace server's framebuffer.
@@ -217,12 +217,12 @@ TEST_F(ScenarioTest, Scenario4MultipleWorkspacesSelectable) {
   CmdLine extra("wssCreate");
   extra.arg("owner", Word{"john"});
   extra.arg("name", Word{"slides"});
-  ASSERT_TRUE(admin_->call_ok(wss_->address(), extra).ok());
+  ASSERT_TRUE(admin_->call(wss_->address(), extra, daemon::kCallOk).ok());
 
   // The workspace selector lists both.
   CmdLine list("wssList");
   list.arg("owner", Word{"john"});
-  auto l = admin_->call_ok(wss_->address(), list);
+  auto l = admin_->call(wss_->address(), list, daemon::kCallOk);
   ASSERT_TRUE(l.ok());
   EXPECT_EQ(l->get_vector("workspaces")->elements.size(), 2u);
 
@@ -230,7 +230,7 @@ TEST_F(ScenarioTest, Scenario4MultipleWorkspacesSelectable) {
   CmdLine show("wssShow");
   show.arg("workspace", "john/slides");
   show.arg("location", "podium");
-  ASSERT_TRUE(admin_->call_ok(wss_->address(), show).ok());
+  ASSERT_TRUE(admin_->call(wss_->address(), show, daemon::kCallOk).ok());
   auto slides = wss_->workspace("john/slides");
   ASSERT_TRUE(slides.has_value());
   EXPECT_EQ(slides->shown_at, "podium");
@@ -251,13 +251,13 @@ TEST_F(ScenarioTest, Scenario5DeviceControlThroughRoomAndGui) {
   place.arg("x", 3.0);
   place.arg("y", 1.0);
   place.arg("z", 2.4);
-  ASSERT_TRUE(admin_->call_ok(deployment_->env.room_db_address, place).ok());
+  ASSERT_TRUE(admin_->call(deployment_->env.room_db_address, place, daemon::kCallOk).ok());
 
   // The device GUI discovers what is in the room (Fig 2 / Scenario 5).
   CmdLine in_room("roomServices");
   in_room.arg("room", Word{"hawk"});
   auto services_here =
-      admin_->call_ok(deployment_->env.room_db_address, in_room);
+      admin_->call(deployment_->env.room_db_address, in_room, daemon::kCallOk);
   ASSERT_TRUE(services_here.ok());
   EXPECT_GE(services_here->get_vector("services")->elements.size(), 2u);
 

@@ -46,21 +46,19 @@ TEST_F(ServicesTest, AsdRegisterLookupDeregister) {
   reg.arg("room", Word{"hawk"});
   reg.arg("class", "Service/Test");
   reg.arg("lease", 5000);
-  auto r = client_->call_ok(deployment_->env.asd_address, reg);
+  auto r = client_->call(deployment_->env.asd_address, reg, daemon::kCallOk);
   ASSERT_TRUE(r.ok());
   EXPECT_GT(r->get_integer("lease"), 0);
 
-  auto found = services::asd_lookup(*client_, deployment_->env.asd_address,
-                                    "svc1");
+  auto found = services::AsdClient(*client_, deployment_->env.asd_address).lookup("svc1");
   ASSERT_TRUE(found.ok());
   EXPECT_EQ(found->address.to_string(), "box:1234");
   EXPECT_EQ(found->service_class, "Service/Test");
 
   CmdLine dereg("deregister");
   dereg.arg("name", Word{"svc1"});
-  ASSERT_TRUE(client_->call_ok(deployment_->env.asd_address, dereg).ok());
-  EXPECT_FALSE(services::asd_lookup(*client_, deployment_->env.asd_address,
-                                    "svc1")
+  ASSERT_TRUE(client_->call(deployment_->env.asd_address, dereg, daemon::kCallOk).ok());
+  EXPECT_FALSE(services::AsdClient(*client_, deployment_->env.asd_address).lookup("svc1")
                    .ok());
 }
 
@@ -72,24 +70,21 @@ TEST_F(ServicesTest, AsdQueryByClassAndRoomGlobs) {
     reg.arg("port", 1000);
     reg.arg("room", Word{room});
     reg.arg("class", cls);
-    ASSERT_TRUE(client_->call_ok(deployment_->env.asd_address, reg).ok());
+    ASSERT_TRUE(client_->call(deployment_->env.asd_address, reg, daemon::kCallOk).ok());
   };
   add("cam1", "hawk", "Service/Device/PTZCamera/VCC3");
   add("cam2", "dove", "Service/Device/PTZCamera/VCC4");
   add("proj1", "hawk", "Service/Device/Projector/Epson7350");
 
-  auto cameras = services::asd_query(*client_, deployment_->env.asd_address,
-                                     "*", "Service/Device/PTZCamera*", "*");
+  auto cameras = services::AsdClient(*client_, deployment_->env.asd_address).query("*", "Service/Device/PTZCamera*", "*");
   ASSERT_TRUE(cameras.ok());
   EXPECT_EQ(cameras->size(), 2u);
 
-  auto hawk_devices = services::asd_query(
-      *client_, deployment_->env.asd_address, "*", "Service/Device*", "hawk");
+  auto hawk_devices = services::AsdClient(*client_, deployment_->env.asd_address).query("*", "Service/Device*", "hawk");
   ASSERT_TRUE(hawk_devices.ok());
   EXPECT_EQ(hawk_devices->size(), 2u);
 
-  auto by_name = services::asd_query(*client_, deployment_->env.asd_address,
-                                     "cam*", "*", "*");
+  auto by_name = services::AsdClient(*client_, deployment_->env.asd_address).query("cam*", "*", "*");
   ASSERT_TRUE(by_name.ok());
   EXPECT_EQ(by_name->size(), 2u);
 }
@@ -100,25 +95,22 @@ TEST_F(ServicesTest, AsdLeaseExpiryReapsSilentService) {
   reg.arg("host", "box");
   reg.arg("port", 1);
   reg.arg("lease", 250);
-  ASSERT_TRUE(client_->call_ok(deployment_->env.asd_address, reg).ok());
-  ASSERT_TRUE(services::asd_lookup(*client_, deployment_->env.asd_address,
-                                   "shortlived")
+  ASSERT_TRUE(client_->call(deployment_->env.asd_address, reg, daemon::kCallOk).ok());
+  ASSERT_TRUE(services::AsdClient(*client_, deployment_->env.asd_address).lookup("shortlived")
                   .ok());
 
   // Renew once: survives past the original expiry.
   std::this_thread::sleep_for(150ms);
   CmdLine renew("renew");
   renew.arg("name", Word{"shortlived"});
-  ASSERT_TRUE(client_->call_ok(deployment_->env.asd_address, renew).ok());
+  ASSERT_TRUE(client_->call(deployment_->env.asd_address, renew, daemon::kCallOk).ok());
   std::this_thread::sleep_for(150ms);
-  EXPECT_TRUE(services::asd_lookup(*client_, deployment_->env.asd_address,
-                                   "shortlived")
+  EXPECT_TRUE(services::AsdClient(*client_, deployment_->env.asd_address).lookup("shortlived")
                   .ok());
 
   // Stop renewing: reaped.
   std::this_thread::sleep_for(400ms);
-  EXPECT_FALSE(services::asd_lookup(*client_, deployment_->env.asd_address,
-                                    "shortlived")
+  EXPECT_FALSE(services::AsdClient(*client_, deployment_->env.asd_address).lookup("shortlived")
                    .ok());
   EXPECT_FALSE(deployment_->asd->find_registration("shortlived").has_value());
 }
@@ -140,7 +132,7 @@ TEST_F(ServicesTest, RoomDbStoresDimensionsAndPlacements) {
   create.arg("width", 8.0);
   create.arg("depth", 6.0);
   create.arg("height", 3.0);
-  ASSERT_TRUE(client_->call_ok(deployment_->env.room_db_address, create).ok());
+  ASSERT_TRUE(client_->call(deployment_->env.room_db_address, create, daemon::kCallOk).ok());
 
   CmdLine add("roomAddService");
   add.arg("room", Word{"hawk"});
@@ -151,11 +143,11 @@ TEST_F(ServicesTest, RoomDbStoresDimensionsAndPlacements) {
   add.arg("x", 4.0);
   add.arg("y", 0.5);
   add.arg("z", 2.5);
-  ASSERT_TRUE(client_->call_ok(deployment_->env.room_db_address, add).ok());
+  ASSERT_TRUE(client_->call(deployment_->env.room_db_address, add, daemon::kCallOk).ok());
 
   CmdLine info("roomInfo");
   info.arg("room", Word{"hawk"});
-  auto r = client_->call_ok(deployment_->env.room_db_address, info);
+  auto r = client_->call(deployment_->env.room_db_address, info, daemon::kCallOk);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->get_text("building"), "Nichols Hall");
   EXPECT_DOUBLE_EQ(r->get_real("width"), 8.0);
@@ -163,7 +155,7 @@ TEST_F(ServicesTest, RoomDbStoresDimensionsAndPlacements) {
 
   CmdLine where("roomOfService");
   where.arg("name", Word{"cam1"});
-  auto loc = client_->call_ok(deployment_->env.room_db_address, where);
+  auto loc = client_->call(deployment_->env.room_db_address, where, daemon::kCallOk);
   ASSERT_TRUE(loc.ok());
   EXPECT_EQ(loc->get_text("room"), "hawk");
   EXPECT_DOUBLE_EQ(loc->get_real("x"), 4.0);
@@ -175,19 +167,19 @@ TEST_F(ServicesTest, RoomDbRemoveAndList) {
   add.arg("name", Word{"svc"});
   add.arg("host", "h");
   add.arg("port", 1);
-  ASSERT_TRUE(client_->call_ok(deployment_->env.room_db_address, add).ok());
+  ASSERT_TRUE(client_->call(deployment_->env.room_db_address, add, daemon::kCallOk).ok());
 
   CmdLine list("roomServices");
   list.arg("room", Word{"dove"});
-  auto r = client_->call_ok(deployment_->env.room_db_address, list);
+  auto r = client_->call(deployment_->env.room_db_address, list, daemon::kCallOk);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->get_vector("services")->elements.size(), 1u);
 
   CmdLine remove("roomRemoveService");
   remove.arg("room", Word{"dove"});
   remove.arg("name", Word{"svc"});
-  ASSERT_TRUE(client_->call_ok(deployment_->env.room_db_address, remove).ok());
-  r = client_->call_ok(deployment_->env.room_db_address, list);
+  ASSERT_TRUE(client_->call(deployment_->env.room_db_address, remove, daemon::kCallOk).ok());
+  r = client_->call(deployment_->env.room_db_address, list, daemon::kCallOk);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->get_vector("services")->elements.empty());
 }
@@ -201,17 +193,17 @@ TEST_F(ServicesTest, NetLoggerStoresAndQueries) {
     log.arg("level", Word{i % 2 ? "warn" : "info"});
     log.arg("message", "event " + std::to_string(i));
     ASSERT_TRUE(
-        client_->call_ok(deployment_->env.net_logger_address, log).ok());
+        client_->call(deployment_->env.net_logger_address, log, daemon::kCallOk).ok());
   }
   CmdLine query("queryLog");
   query.arg("source", "svc1");
-  auto r = client_->call_ok(deployment_->env.net_logger_address, query);
+  auto r = client_->call(deployment_->env.net_logger_address, query, daemon::kCallOk);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->get_vector("entries")->elements.size(), 2u);
 
   CmdLine count("logCount");
   count.arg("level", Word{"warn"});
-  auto c = client_->call_ok(deployment_->env.net_logger_address, count);
+  auto c = client_->call(deployment_->env.net_logger_address, count, daemon::kCallOk);
   ASSERT_TRUE(c.ok());
   EXPECT_EQ(c->get_integer("count"), 2);
 }
@@ -224,7 +216,7 @@ TEST_F(ServicesTest, NetLoggerRaisesSecurityAlertAfterRepeatedFailures) {
     log.arg("level", Word{"security"});
     log.arg("message", "invalid identification attempt");
     ASSERT_TRUE(
-        client_->call_ok(deployment_->env.net_logger_address, log).ok());
+        client_->call(deployment_->env.net_logger_address, log, daemon::kCallOk).ok());
   }
   EXPECT_EQ(deployment_->net_logger->alerts_raised(), 1u);
 }
@@ -242,7 +234,7 @@ TEST_F(ServicesTest, UserDatabaseLifecycle) {
   add.arg("password", "hunter2");
   add.arg("ibutton", "IB-0042");
   add.arg("fingerprint", "fp-john-1");
-  ASSERT_TRUE(client_->call_ok(aud.address(), add).ok());
+  ASSERT_TRUE(client_->call(aud.address(), add, daemon::kCallOk).ok());
 
   // Duplicate rejected.
   auto dup = client_->call(aud.address(), add);
@@ -251,27 +243,27 @@ TEST_F(ServicesTest, UserDatabaseLifecycle) {
 
   CmdLine get("userGet");
   get.arg("username", Word{"john"});
-  auto r = client_->call_ok(aud.address(), get);
+  auto r = client_->call(aud.address(), get, daemon::kCallOk);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->get_text("fullname"), "John Doe");
   EXPECT_EQ(r->get_text("ibutton"), "IB-0042");
 
   CmdLine by_button("userByIButton");
   by_button.arg("serial", "IB-0042");
-  auto byb = client_->call_ok(aud.address(), by_button);
+  auto byb = client_->call(aud.address(), by_button, daemon::kCallOk);
   ASSERT_TRUE(byb.ok());
   EXPECT_EQ(byb->get_text("username"), "john");
 
   CmdLine check("userCheckPassword");
   check.arg("username", Word{"john"});
   check.arg("password", "hunter2");
-  auto good = client_->call_ok(aud.address(), check);
+  auto good = client_->call(aud.address(), check, daemon::kCallOk);
   ASSERT_TRUE(good.ok());
   EXPECT_EQ(good->get_text("valid"), "yes");
   check = CmdLine("userCheckPassword");
   check.arg("username", Word{"john"});
   check.arg("password", "wrong");
-  auto bad = client_->call_ok(aud.address(), check);
+  auto bad = client_->call(aud.address(), check, daemon::kCallOk);
   ASSERT_TRUE(bad.ok());
   EXPECT_EQ(bad->get_text("valid"), "no");
 
@@ -279,12 +271,12 @@ TEST_F(ServicesTest, UserDatabaseLifecycle) {
   loc.arg("username", Word{"john"});
   loc.arg("room", Word{"hawk"});
   loc.arg("station", "podium");
-  ASSERT_TRUE(client_->call_ok(aud.address(), loc).ok());
+  ASSERT_TRUE(client_->call(aud.address(), loc, daemon::kCallOk).ok());
   EXPECT_EQ(aud.user("john")->location_room, "hawk");
 
   CmdLine remove("userRemove");
   remove.arg("username", Word{"john"});
-  ASSERT_TRUE(client_->call_ok(aud.address(), remove).ok());
+  ASSERT_TRUE(client_->call(aud.address(), remove, daemon::kCallOk).ok());
   EXPECT_EQ(aud.user_count(), 0u);
 }
 
@@ -323,7 +315,7 @@ TEST_F(ServicesTest, AuthDbStoresAndServesCredentials) {
                   .ok());
   CmdLine get("getCredentials");
   get.arg("principal", "user/kate");
-  auto r = client_->call_ok(deployment_->env.auth_db_address, get);
+  auto r = client_->call(deployment_->env.auth_db_address, get, daemon::kCallOk);
   ASSERT_TRUE(r.ok());
   auto creds = r->get_vector("credentials");
   ASSERT_TRUE(creds.has_value());
@@ -345,7 +337,7 @@ TEST_F(ServicesTest, HrmReportsHostResources) {
 
   host.launch_process("simulation", 0.75, 100 * 1024);
 
-  auto r = client_->call_ok(hrm.address(), CmdLine("hrmStatus"));
+  auto r = client_->call(hrm.address(), CmdLine("hrmStatus"), daemon::kCallOk);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->get_text("host"), "big-box");
   EXPECT_DOUBLE_EQ(r->get_real("cpu_load"), 0.75);
@@ -369,13 +361,13 @@ TEST_F(ServicesTest, SrmAggregatesAndPicksLeastLoaded) {
   auto& srm = mon.add_daemon<services::SrmDaemon>(config("srm"), options);
   ASSERT_TRUE(srm.start().ok());
 
-  auto status = client_->call_ok(srm.address(), CmdLine("srmStatus"));
+  auto status = client_->call(srm.address(), CmdLine("srmStatus"), daemon::kCallOk);
   ASSERT_TRUE(status.ok());
   EXPECT_EQ(status->get_vector("hosts")->elements.size(), 2u);
 
   CmdLine pick("srmPickHost");
   pick.arg("cpu", 0.2);
-  auto r = client_->call_ok(srm.address(), pick);
+  auto r = client_->call(srm.address(), pick, daemon::kCallOk);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->get_text("host"), "idle");
 }
@@ -401,7 +393,7 @@ TEST_F(ServicesTest, SrmHonoursMemoryRequirement) {
   CmdLine pick("srmPickHost");
   pick.arg("cpu", 0.1);
   pick.arg("mem", 128 * 1024);  // does not fit on "tiny"
-  auto r = client_->call_ok(srm.address(), pick);
+  auto r = client_->call(srm.address(), pick, daemon::kCallOk);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->get_text("host"), "roomy");
 }
@@ -417,20 +409,20 @@ TEST_F(ServicesTest, HalLaunchKillAndList) {
   launch.arg("command", "text-editor");
   launch.arg("cpu", 0.25);
   launch.arg("mem", 2048);
-  auto r = client_->call_ok(hal.address(), launch);
+  auto r = client_->call(hal.address(), launch, daemon::kCallOk);
   ASSERT_TRUE(r.ok());
   int pid = static_cast<int>(r->get_integer("pid"));
   EXPECT_TRUE(host.process_running(pid));
 
   CmdLine running("halRunning");
   running.arg("pid", pid);
-  auto alive = client_->call_ok(hal.address(), running);
+  auto alive = client_->call(hal.address(), running, daemon::kCallOk);
   ASSERT_TRUE(alive.ok());
   EXPECT_EQ(alive->get_text("running"), "yes");
 
   CmdLine kill("halKill");
   kill.arg("pid", pid);
-  ASSERT_TRUE(client_->call_ok(hal.address(), kill).ok());
+  ASSERT_TRUE(client_->call(hal.address(), kill, daemon::kCallOk).ok());
   EXPECT_FALSE(host.process_running(pid));
 }
 
@@ -459,7 +451,7 @@ TEST_F(ServicesTest, SalDelegatesToLeastLoadedHal) {
   CmdLine launch("salLaunch");
   launch.arg("command", "vncserver:john/default");
   launch.arg("cpu", 0.2);
-  auto r = client_->call_ok(sal.address(), launch);
+  auto r = client_->call(sal.address(), launch, daemon::kCallOk);
   ASSERT_TRUE(r.ok()) << r.error().to_string();
   EXPECT_EQ(r->get_text("host"), "host2");
   EXPECT_EQ(h2.processes().size(), 1u);
@@ -469,7 +461,7 @@ TEST_F(ServicesTest, SalDelegatesToLeastLoadedHal) {
   CmdLine pinned("salLaunch");
   pinned.arg("command", "monitor-agent");
   pinned.arg("host", "host1");
-  auto p = client_->call_ok(sal.address(), pinned);
+  auto p = client_->call(sal.address(), pinned, daemon::kCallOk);
   ASSERT_TRUE(p.ok());
   EXPECT_EQ(p->get_text("host"), "host1");
   EXPECT_EQ(h1.processes().size(), 1u);
@@ -488,12 +480,12 @@ TEST_F(ServicesTest, WssDefaultBackendCreatesAndShowsWorkspaces) {
 
   CmdLine create("wssDefault");
   create.arg("owner", Word{"john"});
-  auto r = client_->call_ok(wss.address(), create);
+  auto r = client_->call(wss.address(), create, daemon::kCallOk);
   ASSERT_TRUE(r.ok()) << r.error().to_string();
   EXPECT_EQ(r->get_text("workspace"), "john/default");
 
   // Idempotent: second wssDefault returns the same workspace.
-  auto again = client_->call_ok(wss.address(), create);
+  auto again = client_->call(wss.address(), create, daemon::kCallOk);
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again->get_text("workspace"), "john/default");
   EXPECT_EQ(wss.workspace_count(), 1u);
@@ -502,10 +494,10 @@ TEST_F(ServicesTest, WssDefaultBackendCreatesAndShowsWorkspaces) {
   CmdLine named("wssCreate");
   named.arg("owner", Word{"john"});
   named.arg("name", Word{"slides"});
-  ASSERT_TRUE(client_->call_ok(wss.address(), named).ok());
+  ASSERT_TRUE(client_->call(wss.address(), named, daemon::kCallOk).ok());
   CmdLine list("wssList");
   list.arg("owner", Word{"john"});
-  auto l = client_->call_ok(wss.address(), list);
+  auto l = client_->call(wss.address(), list, daemon::kCallOk);
   ASSERT_TRUE(l.ok());
   EXPECT_EQ(l->get_vector("workspaces")->elements.size(), 2u);
 
@@ -513,7 +505,7 @@ TEST_F(ServicesTest, WssDefaultBackendCreatesAndShowsWorkspaces) {
   CmdLine show("wssShow");
   show.arg("workspace", "john/default");
   show.arg("location", "ws-host");
-  ASSERT_TRUE(client_->call_ok(wss.address(), show).ok());
+  ASSERT_TRUE(client_->call(wss.address(), show, daemon::kCallOk).ok());
   bool viewer_running = false;
   for (const auto& p : h1.processes())
     viewer_running |= p.running && p.command.find("vncviewer") == 0;
@@ -536,7 +528,7 @@ TEST_F(ServicesTest, ConverterAdpcmRouteCompressesAudio) {
   route.arg("from", Word{"raw_pcm"});
   route.arg("to", Word{"adpcm"});
   route.arg("dest", "stream-box:9000");
-  ASSERT_TRUE(client_->call_ok(conv.address(), route).ok());
+  ASSERT_TRUE(client_->call(conv.address(), route, daemon::kCallOk).ok());
 
   // Send raw PCM packets from a source socket.
   auto src = host.net_host().open_datagram(9001);
@@ -587,7 +579,7 @@ TEST_F(ServicesTest, DistributionFansOutToAllSinks) {
     CmdLine add("distAddSink");
     add.arg("stream", "video1");
     add.arg("dest", "dist-box:" + std::to_string(port));
-    ASSERT_TRUE(client_->call_ok(dist.address(), add).ok());
+    ASSERT_TRUE(client_->call(dist.address(), add, daemon::kCallOk).ok());
   }
 
   auto src = host.net_host().open_datagram(9102);

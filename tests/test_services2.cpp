@@ -96,7 +96,7 @@ class Services2Test : public ::testing::Test {
     sub.arg("command", Word{command});
     sub.arg("service", sink.address().to_string());
     sub.arg("method", Word{"onEvent"});
-    ASSERT_TRUE(client_->call_ok(notifier, sub).ok());
+    ASSERT_TRUE(client_->call(notifier, sub, daemon::kCallOk).ok());
   }
 
   std::unique_ptr<testenv::AceTestEnv> deployment_;
@@ -170,7 +170,7 @@ TEST_F(Services2Test, SecurityAlertNotificationReachesSubscribers) {
     log.arg("level", Word{"security"});
     log.arg("message", "invalid identification attempt");
     ASSERT_TRUE(
-        client_->call_ok(deployment_->env.net_logger_address, log).ok());
+        client_->call(deployment_->env.net_logger_address, log, daemon::kCallOk).ok());
   }
   ASSERT_TRUE(sink.wait_count("securityAlert", 1));
   auto detail = cmdlang::Parser::parse(sink.last_detail());
@@ -188,7 +188,7 @@ TEST_F(Services2Test, SalFallsBackToHalHostWithoutSrm) {
   // No SRM/HRM anywhere: SAL must still place via any registered HAL.
   CmdLine launch("salLaunch");
   launch.arg("command", "lonely-app");
-  auto r = client_->call_ok(sal.address(), launch);
+  auto r = client_->call(sal.address(), launch, daemon::kCallOk);
   ASSERT_TRUE(r.ok()) << r.error().to_string();
   EXPECT_EQ(r->get_text("host"), "work");
   EXPECT_EQ(host_->processes().size(), 1u);
@@ -217,7 +217,7 @@ TEST_F(Services2Test, ConverterVideoRouteCompressesAndDecodes) {
   route.arg("from", Word{"raw_video"});
   route.arg("to", Word{"rle_video"});
   route.arg("dest", "work:9300");
-  ASSERT_TRUE(client_->call_ok(conv.address(), route).ok());
+  ASSERT_TRUE(client_->call(conv.address(), route, daemon::kCallOk).ok());
 
   auto src = host_->net_host().open_datagram(9301);
   ASSERT_TRUE(src.ok());
@@ -287,12 +287,13 @@ TEST_F(Services2Test, ControlCommandsStayResponsiveUnderStoreLoad) {
         CmdLine put("storePut");
         put.arg("key", "k" + std::to_string(i++ % 20));
         put.arg("data", "abcd");
-        (void)wc->call(replica.address(), put, 500ms);
+        (void)wc->call(replica.address(), put,
+                       daemon::CallOptions{.timeout = 500ms});
       }
     });
   }
   for (int i = 0; i < 20; ++i) {
-    auto r = client_->call_ok(replica.address(), CmdLine("info"));
+    auto r = client_->call(replica.address(), CmdLine("info"), daemon::kCallOk);
     ASSERT_TRUE(r.ok()) << "control path wedged at iteration " << i;
   }
   stop.store(true);
@@ -311,7 +312,7 @@ TEST_F(Services2Test, WssRemoveDestroysVncServer) {
   CmdLine create("wssCreate");
   create.arg("owner", Word{"kate"});
   create.arg("name", Word{"scratch"});
-  auto ws = client_->call_ok(wss.address(), create);
+  auto ws = client_->call(wss.address(), create, daemon::kCallOk);
   ASSERT_TRUE(ws.ok());
   net::Address server_addr{ws->get_text("host"),
                            static_cast<std::uint16_t>(ws->get_integer("port"))};
@@ -321,7 +322,7 @@ TEST_F(Services2Test, WssRemoveDestroysVncServer) {
 
   CmdLine remove("wssRemove");
   remove.arg("workspace", "kate/scratch");
-  ASSERT_TRUE(client_->call_ok(wss.address(), remove).ok());
+  ASSERT_TRUE(client_->call(wss.address(), remove, daemon::kCallOk).ok());
   EXPECT_FALSE(server->running());
   EXPECT_EQ(factory.server_at(server_addr), nullptr);
 }
@@ -335,13 +336,12 @@ TEST_F(Services2Test, AsdReRegistrationReplacesStaleEntry) {
     r.arg("host", host_name);
     r.arg("port", std::int64_t{port});
     r.arg("lease", std::int64_t{60000});
-    ASSERT_TRUE(client_->call_ok(deployment_->env.asd_address, r).ok());
+    ASSERT_TRUE(client_->call(deployment_->env.asd_address, r, daemon::kCallOk).ok());
   };
   reg("old-host", 1000);
   reg("new-host", 2000);  // restart elsewhere
 
-  auto found = services::asd_lookup(*client_, deployment_->env.asd_address,
-                                    "phoenix");
+  auto found = services::AsdClient(*client_, deployment_->env.asd_address).lookup("phoenix");
   ASSERT_TRUE(found.ok());
   EXPECT_EQ(found->address.to_string(), "new-host:2000");
   EXPECT_EQ(deployment_->asd->live_count(), 4u);  // 3 infra + 1, not 5

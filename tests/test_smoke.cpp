@@ -49,16 +49,15 @@ TEST(Smoke, DeviceDaemonFullLifecycle) {
 
   // Drive the device over the network.
   auto client = deployment.make_client("laptop", "user/tester");
-  auto found = services::asd_lookup(*client, deployment.env.asd_address,
-                                    "camera1");
+  auto found = services::AsdClient(*client, deployment.env.asd_address).lookup("camera1");
   ASSERT_TRUE(found.ok()) << found.error().to_string();
 
-  ASSERT_TRUE(client->call_ok(found->address, cmdlang::CmdLine("deviceOn")).ok());
+  ASSERT_TRUE(client->call(found->address, cmdlang::CmdLine("deviceOn"), daemon::kCallOk).ok());
   cmdlang::CmdLine move("ptzMove");
   move.arg("pan", 30.0);
   move.arg("tilt", 10.0);
   move.arg("zoom", 2.5);
-  auto moved = client->call_ok(found->address, move);
+  auto moved = client->call(found->address, move, daemon::kCallOk);
   ASSERT_TRUE(moved.ok()) << moved.error().to_string();
 
   auto state = camera.ptz_state();

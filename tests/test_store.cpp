@@ -232,7 +232,7 @@ TEST_F(RobustnessTest, RestartServiceIsRelaunchedAfterCrash) {
   manage.arg("name", Word{"fragile"});
   manage.arg("kind", Word{"restart"});
   manage.arg("host", "worker");
-  ASSERT_TRUE(client_->call_ok(rm.address(), manage).ok());
+  ASSERT_TRUE(client_->call(rm.address(), manage, daemon::kCallOk).ok());
 
   fragile->crash();
 
@@ -248,8 +248,7 @@ TEST_F(RobustnessTest, RestartServiceIsRelaunchedAfterCrash) {
   // The revived instance is findable through the ASD again.
   bool visible = false;
   for (int i = 0; i < 200 && !visible; ++i) {
-    visible = services::asd_lookup(*client_, deployment_->env.asd_address,
-                                   "fragile")
+    visible = services::AsdClient(*client_, deployment_->env.asd_address).lookup("fragile")
                   .ok();
     if (!visible) std::this_thread::sleep_for(10ms);
   }
