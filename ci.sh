@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 verification in two configurations:
+#   1. Release        — the build users get (catches optimizer-visible bugs)
+#   2. ThreadSanitizer — shakes out data races in the daemon/client thread
+#      structure (accept/handshake/command/control threads, client demux)
+#
+# Usage: ./ci.sh [release|tsan]     (no argument = both)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "=== ${name}: configure ==="
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== ${name}: build ==="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== ${name}: ctest ==="
+  (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+want="${1:-all}"
+
+case "${want}" in
+  release|all)
+    run_config "release" build-ci -DCMAKE_BUILD_TYPE=Release
+    ;;&
+  tsan|all)
+    run_config "tsan" build-tsan -DACE_SANITIZE=thread
+    ;;&
+  release|tsan|all) ;;
+  *)
+    echo "usage: $0 [release|tsan]" >&2
+    exit 2
+    ;;
+esac
+
+echo "ci.sh: all requested configurations passed"

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cmdlang/value.hpp"
+#include "util/bytes.hpp"
 #include "util/result.hpp"
 
 namespace ace::cmdlang {
@@ -28,6 +29,12 @@ class Parser {
  public:
   // Parses exactly one command terminated by ';'.
   static util::Result<CmdLine> parse(std::string_view input);
+
+  // Copy-free entry point for wire frames: parses directly out of the
+  // received byte buffer instead of requiring a Bytes→string conversion.
+  static util::Result<CmdLine> parse(const util::Bytes& input) {
+    return parse(util::to_string_view(input));
+  }
 
   // Parses a ';'-separated sequence of commands (e.g. a script).
   static util::Result<std::vector<CmdLine>> parse_all(std::string_view input);

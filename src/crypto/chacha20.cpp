@@ -57,11 +57,16 @@ void chacha20_block(const ChaChaKey& key, const ChaChaNonce& nonce,
 
 void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
                   std::uint32_t counter, util::Bytes& data) {
+  chacha20_xor(key, nonce, counter, data.data(), data.size());
+}
+
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t counter, std::uint8_t* data, std::size_t n) {
   std::uint8_t keystream[64];
   std::size_t offset = 0;
-  while (offset < data.size()) {
+  while (offset < n) {
     chacha20_block(key, nonce, counter++, keystream);
-    std::size_t take = std::min<std::size_t>(64, data.size() - offset);
+    std::size_t take = std::min<std::size_t>(64, n - offset);
     for (std::size_t i = 0; i < take; ++i) data[offset + i] ^= keystream[i];
     offset += take;
   }

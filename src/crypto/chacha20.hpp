@@ -15,6 +15,9 @@ using ChaChaNonce = std::array<std::uint8_t, 12>;
 // XORs the ChaCha20 keystream into `data` in place (encrypt == decrypt).
 void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
                   std::uint32_t counter, util::Bytes& data);
+// Range form: decrypts a sub-span of a frame in place (no payload copy).
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t counter, std::uint8_t* data, std::size_t n);
 
 // Convenience: builds a nonce from a 64-bit sequence number (little endian
 // in the low 8 bytes), as the channel record layer does.

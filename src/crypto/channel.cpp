@@ -1,5 +1,6 @@
 #include "crypto/channel.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 namespace ace::crypto {
@@ -23,12 +24,17 @@ struct Hello {
   util::Bytes nonce;  // 16 bytes
   std::uint64_t ephemeral_public = 0;
   Certificate certificate;
+  std::uint8_t protocol = 1;
 
   util::Bytes serialize() const {
     util::ByteWriter w;
     w.blob(nonce);
     w.u64(ephemeral_public);
     w.blob(certificate.serialize());
+    // Version negotiation rides as a trailing byte: v1 peers parse only
+    // the three fields above and ignore the tail, so a v2 hello is still a
+    // valid v1 hello. A v1 hello simply omits the byte.
+    if (protocol > 1) w.u8(protocol);
     return w.take();
   }
 
@@ -44,6 +50,7 @@ struct Hello {
     h.nonce = std::move(*nonce);
     h.ephemeral_public = *eph;
     h.certificate = std::move(*cert);
+    if (r.remaining() >= 1) h.protocol = std::max<std::uint8_t>(1, *r.u8());
     return h;
   }
 };
@@ -93,8 +100,11 @@ util::Result<SecureChannel> SecureChannel::handshake(
   state->encrypt = options.encrypt;
 
   if (!options.encrypt) {
-    // Plaintext ablation mode: no handshake, raw frames pass through.
+    // Plaintext ablation mode: no handshake, raw frames pass through. No
+    // negotiation either — the configured protocol is taken on trust
+    // (see ChannelOptions::protocol).
     state->conn = std::move(conn);
+    state->version = std::max<std::uint8_t>(1, options.protocol);
     SecureChannel ch;
     ch.state_ = std::move(state);
     return ch;
@@ -108,6 +118,7 @@ util::Result<SecureChannel> SecureChannel::handshake(
   DhKeyPair ephemeral = dh_generate(rng);
   mine.ephemeral_public = ephemeral.public_key;
   mine.certificate = self.certificate;
+  mine.protocol = std::max<std::uint8_t>(1, options.protocol);
   util::Bytes my_hello = mine.serialize();
 
   util::Bytes peer_hello_bytes;
@@ -182,6 +193,7 @@ util::Result<SecureChannel> SecureChannel::handshake(
 
   state->conn = std::move(conn);
   state->peer = peer_hello->certificate.subject;
+  state->version = std::min(mine.protocol, peer_hello->protocol);
   state->send_keys = is_client ? client_to_server : server_to_client;
   state->recv_keys = is_client ? server_to_client : client_to_server;
 
@@ -218,21 +230,24 @@ std::optional<net::Frame> SecureChannel::recv(net::Duration timeout) {
   DirectionKeys& keys = state_->recv_keys;
   if (record->size() < 8 + kMacTagLen) return std::nullopt;
 
+  // Verify and decrypt in place: the MAC runs over the record prefix and
+  // the payload is decrypted where it lies, so the only data movement is
+  // one memmove dropping the 8-byte header (no body/payload copies).
   std::size_t body_len = record->size() - kMacTagLen;
-  util::Bytes body(record->begin(), record->begin() + body_len);
-  Digest mac = hmac_sha256(keys.mac_key, body);
+  Digest mac = hmac_sha256(keys.mac_key, record->data(), body_len);
   for (std::size_t i = 0; i < kMacTagLen; ++i)
     if ((*record)[body_len + i] != mac[i]) return std::nullopt;  // forged
 
-  util::ByteReader r(body);
+  util::ByteReader r(record->data(), 8);
   auto seq = r.u64();
   if (!seq || *seq != keys.sequence) return std::nullopt;  // replay/reorder
   keys.sequence++;
 
-  util::Bytes payload(body.begin() + 8, body.end());
   chacha20_xor(keys.cipher_key, nonce_from_sequence(*seq, keys.nonce_salt), 1,
-               payload);
-  return payload;
+               record->data() + 8, body_len - 8);
+  record->erase(record->begin(), record->begin() + 8);
+  record->resize(body_len - 8);
+  return std::move(*record);
 }
 
 void SecureChannel::close() {
@@ -246,6 +261,10 @@ bool SecureChannel::closed() const {
 const std::string& SecureChannel::peer_name() const {
   static const std::string kEmpty;
   return state_ ? state_->peer : kEmpty;
+}
+
+std::uint8_t SecureChannel::negotiated_version() const {
+  return state_ ? state_->version : 1;
 }
 
 }  // namespace ace::crypto

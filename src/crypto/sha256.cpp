@@ -109,6 +109,11 @@ Digest sha256(std::string_view data) {
 }
 
 Digest hmac_sha256(const util::Bytes& key, const util::Bytes& message) {
+  return hmac_sha256(key, message.data(), message.size());
+}
+
+Digest hmac_sha256(const util::Bytes& key, const std::uint8_t* message,
+                   std::size_t n) {
   util::Bytes k = key;
   if (k.size() > 64) {
     Digest d = sha256(k);
@@ -122,7 +127,7 @@ Digest hmac_sha256(const util::Bytes& key, const util::Bytes& message) {
   }
   Sha256 inner;
   inner.update(ipad);
-  inner.update(message);
+  inner.update(message, n);
   Digest inner_digest = inner.finish();
   Sha256 outer;
   outer.update(opad);

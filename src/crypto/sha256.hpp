@@ -37,6 +37,9 @@ Digest sha256(const util::Bytes& data);
 Digest sha256(std::string_view data);
 
 Digest hmac_sha256(const util::Bytes& key, const util::Bytes& message);
+// Range form, for MACing a prefix of a buffer without copying it out.
+Digest hmac_sha256(const util::Bytes& key, const std::uint8_t* message,
+                   std::size_t n);
 
 // HKDF-style key derivation: extract with `salt`, expand `length` bytes of
 // output keyed material labelled by `info`.

@@ -1,12 +1,23 @@
 #include "daemon/client.hpp"
 
+#include "daemon/wire.hpp"
+
 namespace ace::daemon {
 
 namespace {
-// Argument understood by every ServiceDaemon: suppresses the reply frame so
-// fire-and-forget sends do not desynchronise the request/reply channel.
-constexpr const char* kNoReplyArg = "_noreply";
+
+// Demux reader cadence: how long one recv poll blocks, and how long a
+// reader with nothing in flight lingers before tearing itself down.
+constexpr std::chrono::milliseconds kReaderPoll{20};
+constexpr std::chrono::milliseconds kReaderIdle{2000};
+
 }  // namespace
+
+void AceClient::complete(PendingCall& slot, util::Result<cmdlang::CmdLine> r) {
+  std::scoped_lock lk(slot.mu);
+  if (!slot.result) slot.result.emplace(std::move(r));
+  slot.cv.notify_all();
+}
 
 AceClient::AceClient(Environment& env, net::Host& from_host,
                      crypto::Identity identity)
@@ -16,9 +27,12 @@ AceClient::AceClient(Environment& env, net::Host& from_host,
       calls_(&env.metrics().counter("client.calls")),
       reconnects_(&env.metrics().counter("client.reconnects")),
       timeouts_(&env.metrics().counter("client.timeouts")),
-      errors_(&env.metrics().counter("client.errors")) {}
+      errors_(&env.metrics().counter("client.errors")),
+      inflight_(&env.metrics().gauge("client.inflight")) {}
 
-util::Result<std::shared_ptr<AceClient::ChannelEntry>> AceClient::entry_for(
+AceClient::~AceClient() { close_all(); }
+
+std::shared_ptr<AceClient::ChannelEntry> AceClient::entry_for(
     const net::Address& to) {
   std::scoped_lock lock(mu_);
   auto& slot = channels_[to];
@@ -26,20 +40,110 @@ util::Result<std::shared_ptr<AceClient::ChannelEntry>> AceClient::entry_for(
   return slot;
 }
 
-// Establishes the channel if needed. Caller must hold entry->call_mu.
+// Establishes the channel if needed. Caller must hold entry.mu.
 util::Status AceClient::ensure_channel_locked(ChannelEntry& entry,
                                               const net::Address& to) {
+  // A shut-down entry is already unlinked from channels_; refusing to
+  // reconnect here sends the caller back through entry_for (the error is
+  // retryable), which hands out a fresh entry.
+  if (entry.closed)
+    return {util::Errc::closed, "connection to " + to.to_string() + " dropped"};
   if (entry.channel && !entry.channel->closed())
     return util::Status::ok_status();
+  // Replacing a dead channel orphans whatever was still pending on it.
+  if (!entry.pending.empty())
+    fail_pending_locked(entry, util::Error{util::Errc::closed,
+                                           "channel to " + to.to_string() +
+                                               " died mid-call"});
   auto conn = host_.connect(to, env_.default_timeout);
   if (!conn.ok()) return conn.error();
+  auto options = env_.channel_options();
+  if (auto offer = protocol_offer_.load(std::memory_order_relaxed); offer != 0)
+    options.protocol = offer;
   auto ch = crypto::SecureChannel::connect(std::move(conn.value()), identity_,
                                            env_.ca_key(), env_.default_timeout,
-                                           env_.channel_options());
+                                           options);
   if (!ch.ok()) return ch.error();
   entry.channel =
       std::make_shared<crypto::SecureChannel>(std::move(ch.value()));
   return util::Status::ok_status();
+}
+
+// Caller must hold entry.mu. Spawning is lazy (first pipelined call on the
+// entry) and readers retire themselves when idle; reader_active is the
+// handoff flag — a retired reader never touches the entry after clearing
+// it, so move-assigning over the old jthread only joins its exit path.
+void AceClient::ensure_reader_locked(ChannelEntry& entry) {
+  if (entry.reader_active) return;
+  entry.reader =
+      std::jthread([this, e = &entry](std::stop_token st) { reader_loop(e, st); });
+  entry.reader_active = true;
+}
+
+// Caller must hold entry.mu.
+void AceClient::fail_pending_locked(ChannelEntry& entry,
+                                    const util::Error& error) {
+  for (auto& [id, slot] : entry.pending) complete(*slot, error);
+  inflight_->add(-static_cast<std::int64_t>(entry.pending.size()));
+  entry.pending.clear();
+}
+
+// Per-destination demux: drains reply frames off the entry's channel and
+// routes each to its call-id's completion slot. Runs detached from any one
+// channel generation — it re-reads entry->channel every iteration, so it
+// survives reconnects and notices channel death on behalf of the waiters.
+void AceClient::reader_loop(ChannelEntry* entry, std::stop_token st) {
+  auto idle_since = std::chrono::steady_clock::now();
+  while (!st.stop_requested()) {
+    std::shared_ptr<crypto::SecureChannel> channel;
+    {
+      std::scoped_lock lk(entry->mu);
+      channel = entry->channel;
+    }
+    if (!channel || channel->closed()) {
+      {
+        std::scoped_lock lk(entry->mu);
+        // Only fail pending calls that belong to this dead channel; a
+        // reconnect may already have swapped a live one in.
+        if (entry->channel == channel && !entry->pending.empty())
+          fail_pending_locked(
+              *entry, util::Error{util::Errc::closed, "channel died mid-call"});
+        if (entry->pending.empty() &&
+            std::chrono::steady_clock::now() - idle_since > kReaderIdle) {
+          entry->reader_active = false;
+          return;
+        }
+      }
+      std::this_thread::sleep_for(kReaderPoll);
+      continue;
+    }
+    auto frame = channel->recv(kReaderPoll);
+    if (!frame) {
+      std::scoped_lock lk(entry->mu);
+      if (!entry->pending.empty()) {
+        idle_since = std::chrono::steady_clock::now();
+      } else if (std::chrono::steady_clock::now() - idle_since > kReaderIdle) {
+        entry->reader_active = false;
+        return;
+      }
+      continue;
+    }
+    idle_since = std::chrono::steady_clock::now();
+    auto decoded = wire::decode_frame(*frame);
+    if (!decoded) continue;  // malformed reply frame: drop
+    std::shared_ptr<PendingCall> slot;
+    {
+      std::scoped_lock lk(entry->mu);
+      auto it = entry->pending.find(decoded->call_id);
+      if (it != entry->pending.end()) {
+        slot = std::move(it->second);
+        entry->pending.erase(it);
+        inflight_->add(-1);
+      }
+    }
+    if (!slot) continue;  // late reply for a withdrawn call: drop
+    complete(*slot, cmdlang::Parser::parse(decoded->body));
+  }
 }
 
 util::Result<cmdlang::CmdLine> AceClient::call(const net::Address& to,
@@ -49,49 +153,56 @@ util::Result<cmdlang::CmdLine> AceClient::call(const net::Address& to,
   calls_->inc();
   const auto timeout = options.timeout.value_or(env_.default_timeout);
   const int attempts = options.retries < 0 ? 1 : options.retries + 1;
-  std::string wire = cmd.to_string();
+  const std::string wire_text = cmd.to_string();
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) reconnects_->inc();
     auto entry = entry_for(to);
-    if (!entry.ok()) {
+    std::shared_ptr<crypto::SecureChannel> channel;
+    std::shared_ptr<PendingCall> slot;
+    std::uint64_t call_id = 0;
+    {
+      std::scoped_lock lk(entry->mu);
+      if (auto s = ensure_channel_locked(*entry, to); !s.ok()) {
+        span.fail();
+        errors_->inc();
+        return s.error();
+      }
+      channel = entry->channel;
+      if (channel->negotiated_version() >= wire::kProtocolV2) {
+        call_id = entry->next_call_id++;
+        slot = std::make_shared<PendingCall>();
+        entry->pending.emplace(call_id, slot);
+        inflight_->add(1);
+        ensure_reader_locked(*entry);
+      }
+    }
+    auto reply = slot ? exchange_v2(*entry, channel, call_id, slot, wire_text,
+                                    timeout, cmd.name(), to)
+                      : exchange_v1(*entry, channel, wire_text, timeout,
+                                    cmd.name(), to);
+    if (!reply.ok()) {
+      const auto code = reply.error().code;
+      const bool retryable = code == util::Errc::closed ||
+                             code == util::Errc::io_error ||
+                             code == util::Errc::timeout;
+      if (retryable && attempt + 1 < attempts) continue;
+      span.fail();
+      if (code == util::Errc::timeout) {
+        timeouts_->inc();
+        return reply;
+      }
+      errors_->inc();
+      if (retryable)  // exhausted reconnect attempts
+        return util::Error{util::Errc::unavailable,
+                           "cannot reach " + to.to_string()};
+      return reply;
+    }
+    if (options.require_ok && cmdlang::is_error(reply.value())) {
       span.fail();
       errors_->inc();
-      return entry.error();
+      return cmdlang::reply_error(reply.value());
     }
-    std::scoped_lock call_lock((*entry)->call_mu);
-    if (auto s = ensure_channel_locked(**entry, to); !s.ok()) {
-      span.fail();
-      errors_->inc();
-      return s.error();
-    }
-    auto channel = (*entry)->channel;
-    auto send = channel->send(util::to_bytes(wire));
-    if (!send.ok()) {
-      channel->close();
-      continue;  // stale cached channel: reconnect
-    }
-    auto reply = channel->recv(timeout);
-    if (!reply) {
-      channel->close();
-      if (attempt + 1 < attempts) continue;
-      span.fail();
-      timeouts_->inc();
-      return util::Error{util::Errc::timeout,
-                         "no reply from " + to.to_string() + " for '" +
-                             cmd.name() + "'"};
-    }
-    auto parsed = cmdlang::Parser::parse(util::to_string(*reply));
-    if (!parsed.ok()) {
-      span.fail();
-      errors_->inc();
-      return parsed;
-    }
-    if (options.require_ok && cmdlang::is_error(parsed.value())) {
-      span.fail();
-      errors_->inc();
-      return cmdlang::reply_error(parsed.value());
-    }
-    return parsed;
+    return reply;
   }
   span.fail();
   errors_->inc();
@@ -99,17 +210,114 @@ util::Result<cmdlang::CmdLine> AceClient::call(const net::Address& to,
                      "cannot reach " + to.to_string()};
 }
 
+// v1 peer: the channel carries bare command text with no demux header, so
+// the whole round trip is serialized under call_mu exactly as before v2.
+util::Result<cmdlang::CmdLine> AceClient::exchange_v1(
+    ChannelEntry& entry, const std::shared_ptr<crypto::SecureChannel>& ch,
+    const std::string& wire_text, std::chrono::milliseconds timeout,
+    const std::string& verb, const net::Address& to) {
+  std::scoped_lock call_lock(entry.call_mu);
+  if (auto s = ch->send(util::to_bytes(wire_text)); !s.ok()) {
+    ch->close();
+    return util::Error{util::Errc::closed,
+                       "stale channel to " + to.to_string()};
+  }
+  auto reply = ch->recv(timeout);
+  if (!reply) {
+    // No way to tell a late reply from the next call's reply without
+    // call-ids, so the channel cannot be reused after a timeout.
+    ch->close();
+    return util::Error{util::Errc::timeout, "no reply from " + to.to_string() +
+                                                " for '" + verb + "'"};
+  }
+  return cmdlang::Parser::parse(*reply);
+}
+
+// v2 peer: send the framed request without holding any entry-wide lock
+// across the round trip, then park on the completion slot until the demux
+// reader resolves it (or the deadline passes).
+util::Result<cmdlang::CmdLine> AceClient::exchange_v2(
+    ChannelEntry& entry, const std::shared_ptr<crypto::SecureChannel>& ch,
+    std::uint64_t call_id, const std::shared_ptr<PendingCall>& slot,
+    const std::string& wire_text, std::chrono::milliseconds timeout,
+    const std::string& verb, const net::Address& to) {
+  if (auto s = ch->send(wire::encode_frame(call_id, 0, wire_text)); !s.ok()) {
+    ch->close();
+    std::scoped_lock lk(entry.mu);
+    if (entry.pending.erase(call_id) > 0) inflight_->add(-1);
+    return util::Error{util::Errc::closed,
+                       "stale channel to " + to.to_string()};
+  }
+  {
+    std::unique_lock lk(slot->mu);
+    if (slot->cv.wait_for(lk, timeout, [&] { return slot->result.has_value(); }))
+      return std::move(*slot->result);
+  }
+  // Deadline passed: withdraw the slot so a late reply is dropped by the
+  // reader. The channel stays open — unlike v1, call-ids make a late reply
+  // harmless, and other calls are still in flight on it.
+  {
+    std::scoped_lock lk(entry.mu);
+    if (entry.pending.erase(call_id) > 0) inflight_->add(-1);
+  }
+  {
+    std::scoped_lock lk(slot->mu);
+    if (slot->result)  // reply landed while we were withdrawing
+      return std::move(*slot->result);
+  }
+  return util::Error{util::Errc::timeout, "no reply from " + to.to_string() +
+                                              " for '" + verb + "'"};
+}
+
 util::Status AceClient::send_only(const net::Address& to,
                                   const cmdlang::CmdLine& cmd) {
-  cmdlang::CmdLine marked = cmd;
-  marked.arg(kNoReplyArg, 1);
   auto entry = entry_for(to);
-  if (!entry.ok()) return entry.error();
-  std::scoped_lock call_lock((*entry)->call_mu);
-  if (auto s = ensure_channel_locked(**entry, to); !s.ok()) return s;
-  auto s = (*entry)->channel->send(util::to_bytes(marked.to_string()));
-  if (!s.ok()) (*entry)->channel->close();
+  std::shared_ptr<crypto::SecureChannel> channel;
+  {
+    std::scoped_lock lk(entry->mu);
+    if (auto s = ensure_channel_locked(*entry, to); !s.ok()) {
+      errors_->inc();
+      return s;
+    }
+    channel = entry->channel;
+  }
+  util::Status s = util::Status::ok_status();
+  if (channel->negotiated_version() >= wire::kProtocolV2) {
+    // The noreply marker is a frame flag under v2: no CmdLine copy, and the
+    // call-id is unused because no reply will ever reference it.
+    s = channel->send(wire::encode_frame(0, wire::kFlagNoReply,
+                                         cmd.to_string()));
+  } else {
+    cmdlang::CmdLine marked = cmd;
+    marked.arg(wire::kNoReplyArg, 1);
+    std::scoped_lock call_lock(entry->call_mu);
+    s = channel->send(util::to_bytes(marked.to_string()));
+  }
+  if (!s.ok()) {
+    channel->close();
+    errors_->inc();
+  }
   return s;
+}
+
+// Closes the entry's channel, fails its in-flight calls, and retires its
+// demux reader. The entry must already be unlinked from channels_. The
+// jthread is moved out under entry.mu — ensure_reader_locked assigns it
+// under the same lock — and only then stopped and joined, lock-free, so
+// the reader can still take entry.mu on its way out.
+void AceClient::shutdown_entry(const std::shared_ptr<ChannelEntry>& entry) {
+  std::jthread reader;
+  {
+    std::scoped_lock lk(entry->mu);
+    entry->closed = true;
+    if (entry->channel) entry->channel->close();
+    entry->channel.reset();
+    fail_pending_locked(
+        *entry, util::Error{util::Errc::closed, "connection dropped"});
+    reader = std::move(entry->reader);
+  }
+  reader.request_stop();
+  if (reader.joinable()) reader.join();
 }
 
 void AceClient::drop_connection(const net::Address& to) {
@@ -121,8 +329,7 @@ void AceClient::drop_connection(const net::Address& to) {
     entry = it->second;
     channels_.erase(it);
   }
-  std::scoped_lock call_lock(entry->call_mu);
-  if (entry->channel) entry->channel->close();
+  shutdown_entry(entry);
 }
 
 void AceClient::close_all() {
@@ -131,10 +338,7 @@ void AceClient::close_all() {
     std::scoped_lock lock(mu_);
     entries.swap(channels_);
   }
-  for (auto& [addr, entry] : entries) {
-    std::scoped_lock call_lock(entry->call_mu);
-    if (entry->channel) entry->channel->close();
-  }
+  for (auto& [addr, entry] : entries) shutdown_entry(entry);
 }
 
 }  // namespace ace::daemon

@@ -7,19 +7,30 @@
 // extension (paper Ch 9) builds on: when a service instance dies, callers
 // re-resolve through the ASD and resume against a replacement instance.
 //
+// Since wire protocol v2 the cached channel is *pipelined*: every request
+// frame carries a call-id (see daemon/wire.hpp), senders hold only a brief
+// bookkeeping lock, and a lazily spawned per-destination demux reader
+// routes reply frames to per-call completion slots. N threads calling the
+// same daemon share one secure channel with N requests in flight instead
+// of N serialized round trips. Peers that negotiated v1 at the handshake
+// fall back to the historical exchange: one outstanding call per
+// destination, serialized by a per-entry mutex held across the round trip.
+//
 // All request/reply traffic funnels through the single
-// call(to, cmd, CallOptions) entry point, so call latency, reconnects and
-// timeouts are instrumented (and future retry policy lives) in exactly one
-// place. The historical call(to, cmd, timeout) / call_ok(to, cmd) overloads
-// survive one release as deprecated forwarders.
+// call(to, cmd, CallOptions) entry point, so call latency, reconnects,
+// timeouts and retry policy are instrumented in exactly one place.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "cmdlang/parser.hpp"
 #include "cmdlang/value.hpp"
@@ -35,9 +46,9 @@ struct CallOptions {
   std::optional<std::chrono::milliseconds> timeout{};
   // Treat an `error ...;` reply as a util::Error instead of a result.
   bool require_ok = false;
-  // Extra attempts after a stale-channel send failure or a reply timeout
-  // (each retry reconnects). 1 preserves the historical behaviour of one
-  // transparent reconnect.
+  // Extra attempts after a stale-channel send failure, a mid-flight channel
+  // death, or a reply timeout (reconnecting if the channel is gone).
+  // 1 preserves the historical behaviour of one transparent reconnect.
   int retries = 1;
 };
 
@@ -51,35 +62,23 @@ class AceClient {
   // `from_host` is the machine the client runs on; `identity` authenticates
   // it to peers (services check the certificate subject as the principal).
   AceClient(Environment& env, net::Host& from_host, crypto::Identity identity);
+  ~AceClient();  // closes every channel and joins the demux readers
 
   AceClient(const AceClient&) = delete;
   AceClient& operator=(const AceClient&) = delete;
-  AceClient(AceClient&&) = default;
 
   // Sends `cmd` to `to` and waits for the reply command. Reuses a cached
-  // channel when available, reconnecting up to options.retries times on a
-  // stale channel or reply timeout. With options.require_ok, an `error ...;`
-  // reply comes back as a util::Error.
+  // channel when available, retrying up to options.retries times on a
+  // stale channel, a channel death mid-flight, or a reply timeout. With
+  // options.require_ok, an `error ...;` reply comes back as a util::Error.
+  // Thread-safe; concurrent calls to the same destination pipeline on one
+  // channel when the peer speaks protocol v2.
   util::Result<cmdlang::CmdLine> call(const net::Address& to,
                                       const cmdlang::CmdLine& cmd,
                                       const CallOptions& options = {});
 
-  // Deprecated forwarders (kept for one PR; migrate to CallOptions).
-  [[deprecated("use call(to, cmd, CallOptions{.timeout = ...})")]]
-  util::Result<cmdlang::CmdLine> call(const net::Address& to,
-                                      const cmdlang::CmdLine& cmd,
-                                      std::chrono::milliseconds timeout) {
-    return call(to, cmd, CallOptions{.timeout = timeout});
-  }
-  [[deprecated("use call(to, cmd, kCallOk)")]]
-  util::Result<cmdlang::CmdLine> call_ok(const net::Address& to,
-                                         const cmdlang::CmdLine& cmd) {
-    return call(to, cmd, kCallOk);
-  }
-
-  // Fire-and-forget: sends without waiting for the reply (the reply frame
-  // is drained on the next call on this channel). Used for low-value
-  // notifications and logging.
+  // Fire-and-forget: sends without waiting for the reply. Under v2 the
+  // noreply marker is a frame flag; v1 peers get the `_noreply` argument.
   util::Status send_only(const net::Address& to, const cmdlang::CmdLine& cmd);
 
   void drop_connection(const net::Address& to);
@@ -89,23 +88,64 @@ class AceClient {
     return identity_.certificate.subject;
   }
 
+  // Overrides the protocol version offered on channels opened after this
+  // call (testing and the bench_rpc pipelining ablation: 1 forces the
+  // serialized v1 exchange even against a v2 daemon). 0 = offer the
+  // environment's configured version.
+  void set_protocol_offer(std::uint8_t version) {
+    protocol_offer_.store(version, std::memory_order_relaxed);
+  }
+
  private:
-  // One cached channel per destination; `call_mu` serializes request/reply
-  // pairs so concurrent calls to the same destination cannot interleave
-  // frames on the shared channel.
-  struct ChannelEntry {
-    std::mutex call_mu;
-    std::shared_ptr<crypto::SecureChannel> channel;
+  // One in-flight v2 call awaiting its reply from the demux reader.
+  struct PendingCall {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<util::Result<cmdlang::CmdLine>> result;
   };
 
-  util::Result<std::shared_ptr<ChannelEntry>> entry_for(
-      const net::Address& to);
+  // One cached channel per destination. `mu` guards every field and is
+  // only ever held for brief bookkeeping (never across a round trip).
+  // `call_mu` survives solely for v1 peers, whose unframed replies cannot
+  // interleave: it serializes the whole send->recv exchange as before.
+  // Lock order: call_mu -> mu -> PendingCall::mu, later locks optional.
+  struct ChannelEntry {
+    std::mutex mu;
+    std::shared_ptr<crypto::SecureChannel> channel;
+    std::uint64_t next_call_id = 1;
+    std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending;
+    bool reader_active = false;
+    bool closed = false;  // entry was shut down; never reconnect through it
+    std::mutex call_mu;
+    std::jthread reader;  // last member: joined before the fields it uses die
+  };
+
+  // Resolves a finished call into its completion slot and wakes the waiter.
+  // First writer wins; a second resolution (e.g. a reply racing a timeout
+  // withdrawal) is dropped.
+  static void complete(PendingCall& slot, util::Result<cmdlang::CmdLine> r);
+
+  std::shared_ptr<ChannelEntry> entry_for(const net::Address& to);
   util::Status ensure_channel_locked(ChannelEntry& entry,
                                      const net::Address& to);
+  void ensure_reader_locked(ChannelEntry& entry);
+  void reader_loop(ChannelEntry* entry, std::stop_token st);
+  void fail_pending_locked(ChannelEntry& entry, const util::Error& error);
+  void shutdown_entry(const std::shared_ptr<ChannelEntry>& entry);
+  util::Result<cmdlang::CmdLine> exchange_v1(
+      ChannelEntry& entry, const std::shared_ptr<crypto::SecureChannel>& ch,
+      const std::string& wire_text, std::chrono::milliseconds timeout,
+      const std::string& verb, const net::Address& to);
+  util::Result<cmdlang::CmdLine> exchange_v2(
+      ChannelEntry& entry, const std::shared_ptr<crypto::SecureChannel>& ch,
+      std::uint64_t call_id, const std::shared_ptr<PendingCall>& slot,
+      const std::string& wire_text, std::chrono::milliseconds timeout,
+      const std::string& verb, const net::Address& to);
 
   Environment& env_;
   net::Host& host_;
   crypto::Identity identity_;
+  std::atomic<std::uint8_t> protocol_offer_{0};
   std::mutex mu_;
   std::map<net::Address, std::shared_ptr<ChannelEntry>> channels_;
 
@@ -114,6 +154,7 @@ class AceClient {
   obs::Counter* reconnects_;
   obs::Counter* timeouts_;
   obs::Counter* errors_;
+  obs::Gauge* inflight_;
 };
 
 }  // namespace ace::daemon

@@ -1,6 +1,7 @@
 #include "daemon/daemon.hpp"
 
 #include "daemon/host.hpp"
+#include "daemon/wire.hpp"
 #include "keynote/checker.hpp"
 #include "util/log.hpp"
 
@@ -13,22 +14,37 @@ using cmdlang::Word;
 
 namespace {
 
-constexpr const char* kNoReplyArg = "_noreply";
 constexpr auto kPollInterval = 50ms;
 constexpr int kMaxNotifyFailures = 3;
 
-// Removes the transport-level _noreply marker before semantic validation.
+// Handshake workers per daemon. Two is enough to keep one slow connector
+// from stalling everyone else without paying a thread-per-daemon army; the
+// simulated DH exchange is CPU-light, so depth matters more than width.
+constexpr int kHandshakePoolSize = 2;
+
+// Removes the v1 transport-level _noreply marker before semantic
+// validation (v2 carries the marker as a frame flag instead).
 CmdLine strip_noreply(const CmdLine& cmd, bool* noreply) {
   *noreply = false;
   CmdLine out(cmd.name());
   for (const auto& a : cmd.args()) {
-    if (a.name == kNoReplyArg) {
+    if (a.name == wire::kNoReplyArg) {
       *noreply = true;
       continue;
     }
     out.arg(a.name, a.value);
   }
   return out;
+}
+
+// Replies in the channel's negotiated framing: v2 echoes the request's
+// call-id so the client demux can route it; v1 sends the bare text.
+void send_reply(crypto::SecureChannel& ch, bool v2, std::uint64_t call_id,
+                const CmdLine& reply) {
+  if (v2)
+    (void)ch.send(wire::encode_frame(call_id, 0, reply.to_string()));
+  else
+    (void)ch.send(util::to_bytes(reply.to_string()));
 }
 
 }  // namespace
@@ -73,7 +89,8 @@ ServiceDaemon::ServiceDaemon(Environment& env, DaemonHost& host,
       obs_conn_accepted_(&env.metrics().counter("daemon.conn.accepted")),
       obs_datagrams_(&env.metrics().counter("daemon.data.datagrams")),
       obs_control_depth_(&env.metrics().gauge("daemon.queue.control_depth")),
-      obs_notify_depth_(&env.metrics().gauge("daemon.queue.notify_depth")) {
+      obs_notify_depth_(&env.metrics().gauge("daemon.queue.notify_depth")),
+      obs_handshake_queued_(&env.metrics().gauge("daemon.handshake.queued")) {
   register_builtin_commands();
 }
 
@@ -287,6 +304,10 @@ util::Status ServiceDaemon::start() {
   // back (and the ASD itself must serve while registering nothing).
   running_.store(true);
   accept_thread_ = std::jthread([this](std::stop_token st) { accept_loop(st); });
+  handshake_threads_.reserve(kHandshakePoolSize);
+  for (int i = 0; i < kHandshakePoolSize; ++i)
+    handshake_threads_.emplace_back(
+        [this](std::stop_token st) { handshake_loop(st); });
   control_thread_ =
       std::jthread([this](std::stop_token st) { control_loop(st); });
   notifier_thread_ =
@@ -333,7 +354,9 @@ void ServiceDaemon::stop() {
   if (data_socket_) data_socket_->close();
   control_queue_.close();
   notify_queue_.close();
+  handshake_queue_.close();
   accept_thread_ = {};
+  handshake_threads_.clear();  // joins; no conn thread spawns after this
   control_thread_ = {};
   notifier_thread_ = {};
   data_thread_ = {};
@@ -359,7 +382,9 @@ void ServiceDaemon::crash() {
   if (data_socket_) data_socket_->close();
   control_queue_.close();
   notify_queue_.close();
+  handshake_queue_.close();
   accept_thread_ = {};
+  handshake_threads_.clear();  // joins
   control_thread_ = {};
   notifier_thread_ = {};
   data_thread_ = {};
@@ -384,6 +409,24 @@ void ServiceDaemon::accept_loop(std::stop_token st) {
       if (control_queue_.closed()) return;
       continue;
     }
+    // The DH + certificate exchange is several round trips; running it
+    // inline here would let one slow (or hostile) connector starve every
+    // other connection attempt. Hand the raw connection to the pool.
+    if (!handshake_queue_.push(std::move(*conn))) continue;  // shutting down
+    obs_handshake_queued_->set(
+        static_cast<std::int64_t>(handshake_queue_.size()));
+  }
+}
+
+void ServiceDaemon::handshake_loop(std::stop_token st) {
+  while (!st.stop_requested()) {
+    auto conn = handshake_queue_.pop_for(kPollInterval);
+    if (!conn) {
+      if (handshake_queue_.closed()) return;
+      continue;
+    }
+    obs_handshake_queued_->set(
+        static_cast<std::int64_t>(handshake_queue_.size()));
     auto ch = crypto::SecureChannel::accept(std::move(*conn), identity_,
                                             env_.ca_key(),
                                             env_.default_timeout,
@@ -411,24 +454,45 @@ void ServiceDaemon::command_loop(
     std::stop_token st, std::shared_ptr<crypto::SecureChannel> channel) {
   CallerInfo caller;
   caller.principal = channel->peer_name();
+  const bool v2 = channel->negotiated_version() >= wire::kProtocolV2;
   while (!st.stop_requested() && !channel->closed()) {
     auto frame = channel->recv(kPollInterval);
     if (!frame) continue;
-    auto parsed = cmdlang::Parser::parse(util::to_string(*frame));
+    std::uint64_t call_id = 0;
+    bool flag_noreply = false;
+    std::string_view body;
+    if (v2) {
+      auto decoded = wire::decode_frame(*frame);
+      if (!decoded) {  // truncated demux header: no id to reply to
+        std::scoped_lock lock(stats_mu_);
+        stats_.commands_rejected++;
+        continue;
+      }
+      call_id = decoded->call_id;
+      flag_noreply = (decoded->flags & wire::kFlagNoReply) != 0;
+      body = decoded->body;
+    } else {
+      body = util::to_string_view(*frame);
+    }
+    auto parsed = cmdlang::Parser::parse(body);
     if (!parsed.ok()) {
       {
         std::scoped_lock lock(stats_mu_);
         stats_.commands_rejected++;
       }
-      CmdLine err = cmdlang::make_error(parsed.error().code,
-                                        parsed.error().message);
-      (void)channel->send(util::to_bytes(err.to_string()));
+      if (!flag_noreply)
+        send_reply(*channel, v2, call_id,
+                   cmdlang::make_error(parsed.error().code,
+                                       parsed.error().message));
       continue;
     }
     WorkItem item;
     item.cmd = strip_noreply(parsed.value(), &item.noreply);
+    item.noreply = item.noreply || flag_noreply;
     item.caller = caller;
     item.channel = channel;
+    item.call_id = call_id;
+    item.v2 = v2;
 
     // Concurrent commands (thread-safe handlers) run right here on the
     // command thread, so they cannot convoy behind a busy control thread —
@@ -436,8 +500,7 @@ void ServiceDaemon::command_loop(
     const cmdlang::CommandSpec* spec = semantics_.find(item.cmd.name());
     if (spec && spec->concurrent) {
       CmdLine reply = dispatch(item.cmd, item.caller, /*serialize=*/false);
-      if (!item.noreply)
-        (void)channel->send(util::to_bytes(reply.to_string()));
+      if (!item.noreply) send_reply(*channel, v2, call_id, reply);
       continue;
     }
     if (!control_queue_.push(std::move(item))) return;  // shutting down
@@ -455,7 +518,7 @@ void ServiceDaemon::control_loop(std::stop_token st) {
     obs_control_depth_->set(static_cast<std::int64_t>(control_queue_.size()));
     CmdLine reply = dispatch(item->cmd, item->caller);
     if (item->channel && !item->noreply)
-      (void)item->channel->send(util::to_bytes(reply.to_string()));
+      send_reply(*item->channel, item->v2, item->call_id, reply);
   }
 }
 

@@ -34,7 +34,9 @@
 #include "cmdlang/value.hpp"
 #include "daemon/client.hpp"
 #include "daemon/environment.hpp"
+#include "net/network.hpp"
 #include "obs/metrics.hpp"
+#include "util/queue.hpp"
 
 namespace ace::daemon {
 
@@ -174,9 +176,12 @@ class ServiceDaemon {
     CallerInfo caller;
     std::shared_ptr<crypto::SecureChannel> channel;  // null for local execute
     bool noreply = false;
+    std::uint64_t call_id = 0;  // echoed on the reply frame (protocol v2)
+    bool v2 = false;            // frame the reply with the demux header
   };
 
   void accept_loop(std::stop_token st);
+  void handshake_loop(std::stop_token st);
   void command_loop(std::stop_token st,
                     std::shared_ptr<crypto::SecureChannel> channel);
   void control_loop(std::stop_token st);
@@ -213,6 +218,10 @@ class ServiceDaemon {
 
   util::MessageQueue<NotifyJob> notify_queue_;
   util::MessageQueue<WorkItem> control_queue_;
+  // Raw accepted connections awaiting their secure-channel handshake. The
+  // accept thread only enqueues; a small worker pool runs the DH/certificate
+  // exchange so one slow connector cannot starve the accept path.
+  util::MessageQueue<net::Connection> handshake_queue_;
   std::mutex exec_mu_;  // serializes dispatch (control thread + local execute)
 
   mutable std::mutex notify_mu_;
@@ -237,11 +246,13 @@ class ServiceDaemon {
   obs::Counter* obs_datagrams_;
   obs::Gauge* obs_control_depth_;
   obs::Gauge* obs_notify_depth_;
+  obs::Gauge* obs_handshake_queued_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
   std::jthread accept_thread_;
+  std::vector<std::jthread> handshake_threads_;
   std::jthread control_thread_;
   std::jthread notifier_thread_;
   std::jthread data_thread_;

@@ -1,0 +1,28 @@
+#include "daemon/wire.hpp"
+
+namespace ace::daemon::wire {
+
+util::Bytes encode_frame(std::uint64_t call_id, std::uint8_t flags,
+                         std::string_view body) {
+  util::ByteWriter w;
+  w.varint(call_id);
+  w.u8(flags);
+  w.raw(reinterpret_cast<const std::uint8_t*>(body.data()), body.size());
+  return w.take();
+}
+
+std::optional<Frame> decode_frame(const util::Bytes& frame) {
+  util::ByteReader r(frame);
+  Frame f;
+  auto id = r.varint();
+  auto flags = r.u8();
+  if (!id || !flags) return std::nullopt;
+  f.call_id = *id;
+  f.flags = *flags;
+  std::size_t header = frame.size() - r.remaining();
+  f.body = std::string_view(
+      reinterpret_cast<const char*>(frame.data()) + header, r.remaining());
+  return f;
+}
+
+}  // namespace ace::daemon::wire

@@ -99,9 +99,7 @@ struct ServiceRegistration {
 
 // Client facade over the ASD command set. Binds a transport client and the
 // directory's address once so call sites speak in terms of directory
-// operations instead of hand-built CmdLines. Replaces the old asd_lookup /
-// asd_query free functions, which survive one release as deprecated
-// forwarders below.
+// operations instead of hand-built CmdLines.
 class AsdClient {
  public:
   AsdClient(daemon::AceClient& client, net::Address asd)
@@ -134,20 +132,5 @@ class AsdClient {
   daemon::AceClient& client_;
   net::Address asd_;
 };
-
-// Deprecated forwarders (kept for one PR; migrate to AsdClient).
-[[deprecated("use AsdClient(client, asd).lookup(name)")]]
-inline util::Result<ServiceLocation> asd_lookup(daemon::AceClient& client,
-                                                const net::Address& asd,
-                                                const std::string& name) {
-  return AsdClient(client, asd).lookup(name);
-}
-[[deprecated("use AsdClient(client, asd).query(...)")]]
-inline util::Result<std::vector<ServiceLocation>> asd_query(
-    daemon::AceClient& client, const net::Address& asd,
-    const std::string& name_glob, const std::string& class_glob,
-    const std::string& room_glob) {
-  return AsdClient(client, asd).query(name_glob, class_glob, room_glob);
-}
 
 }  // namespace ace::services

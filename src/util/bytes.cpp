@@ -24,6 +24,14 @@ void ByteWriter::f64(double v) {
   u64(bits);
 }
 
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
 void ByteWriter::str(std::string_view s) {
   u32(static_cast<std::uint32_t>(s.size()));
   raw(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
@@ -103,6 +111,18 @@ std::optional<double> ByteReader::f64() {
   return v;
 }
 
+std::optional<std::uint64_t> ByteReader::varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    auto b = u8();
+    if (!b) return std::nullopt;
+    v |= static_cast<std::uint64_t>(*b & 0x7f) << shift;
+    if ((*b & 0x80) == 0) return v;
+  }
+  failed_ = true;  // > 10 continuation bytes: malformed
+  return std::nullopt;
+}
+
 std::optional<std::string> ByteReader::str() {
   auto n = u32();
   if (!n || !need(*n)) return std::nullopt;
@@ -130,6 +150,11 @@ Bytes to_bytes(std::string_view s) {
 
 std::string to_string(const Bytes& b) {
   return std::string(b.begin(), b.end());
+}
+
+std::string_view to_string_view(const Bytes& b) {
+  if (b.empty()) return {};
+  return std::string_view(reinterpret_cast<const char*>(b.data()), b.size());
 }
 
 std::string hex_encode(const Bytes& b) {

@@ -26,6 +26,9 @@ class ByteWriter {
   void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
   void f64(double v);
+  // Unsigned LEB128 (7 bits per byte, low group first). One byte for
+  // values < 128 — the common case for wire call-ids.
+  void varint(std::uint64_t v);
   // Length-prefixed (u32) string.
   void str(std::string_view s);
   // Length-prefixed (u32) blob.
@@ -58,6 +61,7 @@ class ByteReader {
   std::optional<std::int32_t> i32();
   std::optional<std::int16_t> i16();
   std::optional<double> f64();
+  std::optional<std::uint64_t> varint();
   std::optional<std::string> str();
   std::optional<Bytes> blob();
   std::optional<Bytes> raw(std::size_t n);
@@ -77,6 +81,8 @@ class ByteReader {
 
 Bytes to_bytes(std::string_view s);
 std::string to_string(const Bytes& b);
+// Non-owning text view over a byte buffer (copy-free frame decode).
+std::string_view to_string_view(const Bytes& b);
 std::string hex_encode(const Bytes& b);
 
 }  // namespace ace::util

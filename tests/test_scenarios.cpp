@@ -127,6 +127,13 @@ class ScenarioTest : public ::testing::Test {
     ASSERT_TRUE(projector_->start().ok());
   }
 
+  void TearDown() override {
+    // The WSS holds backend callbacks into factory_, and factory_ is
+    // destroyed before the daemon hosts. Stop the WSS first so no
+    // callback can be mid-dispatch when the factory goes away.
+    if (wss_) wss_->stop();
+  }
+
   // Scenario 1's administrator flow.
   void provision_john() {
     CmdLine add("userAdd");

@@ -237,9 +237,12 @@ TEST_F(RobustnessTest, RestartServiceIsRelaunchedAfterCrash) {
   fragile->crash();
 
   // Lease expiry -> ASD serviceExpired notification -> RM -> SAL -> HAL.
+  // `launches` flips as soon as the HAL launchable runs, but the RM only
+  // counts the restart once the salLaunchService reply makes it back up
+  // the chain — poll for both before asserting.
   bool relaunched = false;
   for (int i = 0; i < 400 && !relaunched; ++i) {
-    relaunched = launches.load() > 0;
+    relaunched = launches.load() > 0 && rm.total_restarts() >= 1;
     std::this_thread::sleep_for(10ms);
   }
   EXPECT_TRUE(relaunched);

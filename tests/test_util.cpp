@@ -120,6 +120,51 @@ TEST(Bytes, EmptyStringAndBlob) {
   EXPECT_TRUE(r.blob().value().empty());
 }
 
+TEST(Bytes, VarintRoundTrip) {
+  const std::uint64_t cases[] = {0,        1,
+                                 127,      128,  // 1-byte/2-byte boundary
+                                 300,      16383,
+                                 16384,    0xdeadbeef,
+                                 (1ULL << 63),   std::uint64_t(-1)};
+  for (std::uint64_t v : cases) {
+    ByteWriter w;
+    w.varint(v);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.varint().value(), v) << v;
+    EXPECT_TRUE(r.at_end()) << v;
+  }
+}
+
+TEST(Bytes, VarintEncodingIsCompact) {
+  ByteWriter w;
+  w.varint(5);  // the common wire call-id case
+  EXPECT_EQ(w.bytes().size(), 1u);
+  ByteWriter w2;
+  w2.varint(128);
+  EXPECT_EQ(w2.bytes().size(), 2u);
+}
+
+TEST(Bytes, VarintTruncatedAndOverlong) {
+  // Truncated: continuation bit set but no next byte.
+  Bytes truncated{0x80};
+  ByteReader r(truncated);
+  EXPECT_FALSE(r.varint().has_value());
+  // Overlong: more than ten continuation bytes poisons the reader.
+  Bytes overlong(11, 0x80);
+  ByteReader r2(overlong);
+  EXPECT_FALSE(r2.varint().has_value());
+  EXPECT_TRUE(r2.failed());
+}
+
+TEST(Bytes, ToStringViewIsCopyFree) {
+  Bytes b = to_bytes("view me");
+  std::string_view v = to_string_view(b);
+  EXPECT_EQ(v, "view me");
+  EXPECT_EQ(static_cast<const void*>(v.data()),
+            static_cast<const void*>(b.data()));
+  EXPECT_TRUE(to_string_view(Bytes{}).empty());
+}
+
 TEST(Bytes, HexEncode) {
   EXPECT_EQ(hex_encode({0x00, 0xff, 0x0a}), "00ff0a");
   EXPECT_EQ(hex_encode({}), "");
