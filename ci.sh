@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verification in two configurations:
-#   1. Release        — the build users get (catches optimizer-visible bugs)
+# Tier-1 verification in three configurations:
+#   1. Release         — the build users get (catches optimizer-visible bugs)
 #   2. ThreadSanitizer — shakes out data races in the daemon/client thread
-#      structure (accept/handshake/command/control threads, client demux)
+#      structure (accept/handshake/command/control threads, client demux),
+#      plus a chaos seed sweep: the fault-injection tests replayed under
+#      several ACE_CHAOS_SEED values so each CI run exercises distinct
+#      crash/partition interleavings under the race detector
+#   3. AddressSanitizer — lifetime bugs on the crash/restart paths the chaos
+#      engine drives (daemon teardown, channel close, queue reopen)
 #
-# Usage: ./ci.sh [release|tsan]     (no argument = both)
+# Usage: ./ci.sh [release|tsan|asan]     (no argument = all)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -21,6 +26,18 @@ run_config() {
   (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}")
 }
 
+# Replays the chaos suites (schedule properties + live fault injection)
+# under a handful of fixed seeds. Fixed rather than random so a CI failure
+# is reproducible by running the same seed locally.
+chaos_seed_sweep() {
+  local build_dir="$1"
+  for seed in 1 7 42; do
+    echo "=== chaos seed sweep: ACE_CHAOS_SEED=${seed} ==="
+    ACE_CHAOS_SEED="${seed}" \
+      "${build_dir}/tests/test_failures" --gtest_filter='Chaos*'
+  done
+}
+
 want="${1:-all}"
 
 case "${want}" in
@@ -29,10 +46,14 @@ case "${want}" in
     ;;&
   tsan|all)
     run_config "tsan" build-tsan -DACE_SANITIZE=thread
+    chaos_seed_sweep build-tsan
     ;;&
-  release|tsan|all) ;;
+  asan|all)
+    run_config "asan" build-asan -DACE_SANITIZE=address
+    ;;&
+  release|tsan|asan|all) ;;
   *)
-    echo "usage: $0 [release|tsan]" >&2
+    echo "usage: $0 [release|tsan|asan]" >&2
     exit 2
     ;;
 esac

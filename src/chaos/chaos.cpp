@@ -1,0 +1,369 @@
+#include "chaos/chaos.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace ace::chaos {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::service_crash: return "service_crash";
+    case FaultKind::service_restart: return "service_restart";
+    case FaultKind::link_down: return "link_down";
+    case FaultKind::link_up: return "link_up";
+    case FaultKind::host_isolate: return "host_isolate";
+    case FaultKind::host_heal: return "host_heal";
+    case FaultKind::latency_spike: return "latency_spike";
+    case FaultKind::latency_restore: return "latency_restore";
+    case FaultKind::loss_burst: return "loss_burst";
+    case FaultKind::loss_restore: return "loss_restore";
+  }
+  return "?";
+}
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream out;
+  out << "+" << at.count() << "ms " << chaos::to_string(kind) << " " << a;
+  if (!b.empty()) out << "<->" << b;
+  if (kind == FaultKind::latency_spike) out << " latency=" << latency.count() << "us";
+  if (kind == FaultKind::loss_burst) out << " loss=" << loss;
+  return out.str();
+}
+
+namespace {
+
+std::string pair_key(const std::string& a, const std::string& b) {
+  return a < b ? a + "|" + b : b + "|" + a;
+}
+
+// Busy-until bookkeeping: at most one fault at a time per service, per
+// link, and per host, so every heal event restores exactly the state its
+// fault displaced and the end-of-schedule network is provably whole.
+struct BusyMaps {
+  std::map<std::string, milliseconds> service;
+  std::map<std::string, milliseconds> host;
+  std::map<std::string, milliseconds> link;
+
+  static bool free_at(const std::map<std::string, milliseconds>& m,
+                      const std::string& key, milliseconds t) {
+    auto it = m.find(key);
+    return it == m.end() || it->second <= t;
+  }
+
+  bool link_free(const std::string& a, const std::string& b,
+                 milliseconds t) const {
+    return free_at(link, pair_key(a, b), t) && free_at(host, a, t) &&
+           free_at(host, b, t);
+  }
+};
+
+}  // namespace
+
+Schedule generate_schedule(std::uint64_t seed, const ScheduleParams& params,
+                           const Targets& targets) {
+  Schedule schedule;
+  schedule.seed = seed;
+  schedule.duration = params.duration;
+  schedule.targets = targets;
+
+  util::Rng rng(seed);
+  // [lo, hi) in whole milliseconds; collapses to lo when the range is empty.
+  auto uniform_ms = [&rng](milliseconds lo, milliseconds hi) {
+    if (hi <= lo) return lo;
+    return lo + milliseconds(static_cast<std::int64_t>(
+                    rng.next_below(static_cast<std::uint64_t>(
+                        (hi - lo).count()))));
+  };
+
+  BusyMaps busy;
+  const auto& hosts = targets.hosts;
+
+  milliseconds t =
+      uniform_ms(params.mean_interval / 2, params.mean_interval * 3 / 2);
+  while (t < params.duration) {
+    milliseconds room = params.duration - t;
+    if (room <= params.min_fault) break;
+    milliseconds max_len = std::min(params.max_fault, room - milliseconds(1));
+
+    // Deterministically enumerate what each class could hit right now.
+    std::vector<std::string> idle_services;
+    for (const auto& s : targets.services)
+      if (BusyMaps::free_at(busy.service, s, t)) idle_services.push_back(s);
+
+    std::vector<std::pair<std::string, std::string>> idle_links;
+    for (std::size_t i = 0; i < hosts.size(); ++i)
+      for (std::size_t j = i + 1; j < hosts.size(); ++j)
+        if (busy.link_free(hosts[i], hosts[j], t))
+          idle_links.emplace_back(hosts[i], hosts[j]);
+
+    std::vector<std::string> idle_hosts;
+    for (const auto& h : hosts) {
+      if (hosts.size() < 2 || !BusyMaps::free_at(busy.host, h, t)) continue;
+      bool links_free = true;
+      for (const auto& other : hosts)
+        if (other != h && !busy.link_free(h, other, t)) links_free = false;
+      if (links_free) idle_hosts.push_back(h);
+    }
+
+    struct Option {
+      FaultKind kind;
+      int weight;
+    };
+    std::vector<Option> options;
+    if (!idle_services.empty() && params.weight_service_crash > 0)
+      options.push_back({FaultKind::service_crash, params.weight_service_crash});
+    if (!idle_links.empty()) {
+      if (params.weight_link_down > 0)
+        options.push_back({FaultKind::link_down, params.weight_link_down});
+      if (params.weight_latency_spike > 0)
+        options.push_back(
+            {FaultKind::latency_spike, params.weight_latency_spike});
+      if (params.weight_loss_burst > 0)
+        options.push_back({FaultKind::loss_burst, params.weight_loss_burst});
+    }
+    if (!idle_hosts.empty() && params.weight_host_isolate > 0)
+      options.push_back({FaultKind::host_isolate, params.weight_host_isolate});
+
+    if (options.empty()) {
+      t += uniform_ms(params.mean_interval / 2, params.mean_interval * 3 / 2);
+      continue;
+    }
+
+    int total = 0;
+    for (const auto& o : options) total += o.weight;
+    auto pick = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(total)));
+    FaultKind kind = options.back().kind;
+    for (const auto& o : options) {
+      if (pick < o.weight) {
+        kind = o.kind;
+        break;
+      }
+      pick -= o.weight;
+    }
+
+    milliseconds len = max_len <= params.min_fault
+                           ? max_len
+                           : uniform_ms(params.min_fault, max_len);
+
+    switch (kind) {
+      case FaultKind::service_crash: {
+        const auto& name =
+            idle_services[rng.next_below(idle_services.size())];
+        schedule.events.push_back({t, FaultKind::service_crash, name});
+        if (params.restart_services)
+          schedule.events.push_back(
+              {t + len, FaultKind::service_restart, name});
+        busy.service[name] =
+            t + (params.restart_services ? len : milliseconds(0)) +
+            params.service_cooldown;
+        break;
+      }
+      case FaultKind::link_down: {
+        const auto& [a, b] = idle_links[rng.next_below(idle_links.size())];
+        schedule.events.push_back({t, FaultKind::link_down, a, b});
+        schedule.events.push_back({t + len, FaultKind::link_up, a, b});
+        busy.link[pair_key(a, b)] = t + len;
+        break;
+      }
+      case FaultKind::latency_spike: {
+        const auto& [a, b] = idle_links[rng.next_below(idle_links.size())];
+        schedule.events.push_back(
+            {t, FaultKind::latency_spike, a, b, params.spike_latency});
+        schedule.events.push_back({t + len, FaultKind::latency_restore, a, b});
+        busy.link[pair_key(a, b)] = t + len;
+        break;
+      }
+      case FaultKind::loss_burst: {
+        const auto& [a, b] = idle_links[rng.next_below(idle_links.size())];
+        FaultEvent burst{t, FaultKind::loss_burst, a, b};
+        burst.loss = params.burst_loss;
+        schedule.events.push_back(burst);
+        schedule.events.push_back({t + len, FaultKind::loss_restore, a, b});
+        busy.link[pair_key(a, b)] = t + len;
+        break;
+      }
+      case FaultKind::host_isolate: {
+        const auto& h = idle_hosts[rng.next_below(idle_hosts.size())];
+        schedule.events.push_back({t, FaultKind::host_isolate, h});
+        schedule.events.push_back({t + len, FaultKind::host_heal, h});
+        busy.host[h] = t + len;
+        break;
+      }
+      default:
+        break;
+    }
+
+    t += uniform_ms(params.mean_interval / 2, params.mean_interval * 3 / 2);
+  }
+
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  return schedule;
+}
+
+ChaosEngine::ChaosEngine(daemon::Environment& env, Schedule schedule)
+    : env_(env), schedule_(std::move(schedule)) {
+  auto& m = env_.metrics();
+  obs_events_ = &m.counter("chaos.events");
+  obs_crashes_ = &m.counter("chaos.service_crashes");
+  obs_restarts_ = &m.counter("chaos.service_restarts");
+  obs_link_faults_ = &m.counter("chaos.link_faults");
+  obs_latency_spikes_ = &m.counter("chaos.latency_spikes");
+  obs_loss_bursts_ = &m.counter("chaos.loss_bursts");
+  obs_active_faults_ = &m.gauge("chaos.active_faults");
+}
+
+ChaosEngine::~ChaosEngine() { stop(); }
+
+void ChaosEngine::add_service(const std::string& name,
+                              daemon::ServiceDaemon* daemon) {
+  services_[name] = daemon;
+}
+
+void ChaosEngine::start() {
+  if (injector_.joinable()) return;
+  done_.store(false);
+  injector_ = std::jthread([this](std::stop_token st) { run(st); });
+}
+
+void ChaosEngine::join() {
+  if (injector_.joinable()) injector_.join();
+}
+
+void ChaosEngine::stop() {
+  if (injector_.joinable()) {
+    injector_.request_stop();
+    injector_.join();
+  }
+}
+
+std::vector<ChaosEngine::AppliedEvent> ChaosEngine::log() const {
+  std::scoped_lock lock(mu_);
+  return log_;
+}
+
+void ChaosEngine::run(std::stop_token st) {
+  const auto start = steady_clock::now();
+  for (const auto& event : schedule_.events) {
+    const auto due = start + event.at;
+    while (!st.stop_requested()) {
+      auto now = steady_clock::now();
+      if (now >= due) break;
+      std::this_thread::sleep_for(
+          std::min<steady_clock::duration>(due - now, milliseconds(10)));
+    }
+    if (st.stop_requested()) break;
+
+    AppliedEvent record;
+    record.event = event;
+    apply(event, record);
+    record.applied_at = std::chrono::duration_cast<milliseconds>(
+        steady_clock::now() - start);
+    std::scoped_lock lock(mu_);
+    log_.push_back(std::move(record));
+  }
+  done_.store(true);
+}
+
+void ChaosEngine::set_partition(const std::string& a, const std::string& b,
+                                bool down) {
+  env_.network().set_partitioned(a, b, down);
+}
+
+void ChaosEngine::apply(const FaultEvent& event, AppliedEvent& out) {
+  obs_events_->inc();
+  auto& net = env_.network();
+  switch (event.kind) {
+    case FaultKind::service_crash: {
+      auto it = services_.find(event.a);
+      if (it == services_.end() || !it->second->running()) break;
+      it->second->crash();
+      obs_crashes_->inc();
+      obs_active_faults_->add(1);
+      out.applied = true;
+      break;
+    }
+    case FaultKind::service_restart: {
+      auto it = services_.find(event.a);
+      if (it == services_.end() || it->second->running()) break;
+      out.applied = it->second->start().ok();
+      if (out.applied) {
+        obs_restarts_->inc();
+        obs_active_faults_->add(-1);
+      }
+      break;
+    }
+    case FaultKind::link_down:
+      set_partition(event.a, event.b, true);
+      obs_link_faults_->inc();
+      obs_active_faults_->add(1);
+      out.applied = true;
+      break;
+    case FaultKind::link_up:
+      set_partition(event.a, event.b, false);
+      obs_active_faults_->add(-1);
+      out.applied = true;
+      break;
+    case FaultKind::host_isolate:
+      for (const auto& other : schedule_.targets.hosts)
+        if (other != event.a) set_partition(event.a, other, true);
+      obs_link_faults_->inc();
+      obs_active_faults_->add(1);
+      out.applied = true;
+      break;
+    case FaultKind::host_heal:
+      for (const auto& other : schedule_.targets.hosts)
+        if (other != event.a) set_partition(event.a, other, false);
+      obs_active_faults_->add(-1);
+      out.applied = true;
+      break;
+    case FaultKind::latency_spike: {
+      auto saved = net.link(event.a, event.b);
+      saved_links_[pair_key(event.a, event.b)] = saved;
+      net::LinkPolicy spiked = saved;
+      spiked.latency = event.latency;
+      net.set_link(event.a, event.b, spiked);
+      obs_latency_spikes_->inc();
+      obs_active_faults_->add(1);
+      out.applied = true;
+      break;
+    }
+    case FaultKind::loss_burst: {
+      auto saved = net.link(event.a, event.b);
+      saved_links_[pair_key(event.a, event.b)] = saved;
+      net::LinkPolicy lossy = saved;
+      lossy.datagram_loss = event.loss;
+      net.set_link(event.a, event.b, lossy);
+      obs_loss_bursts_->inc();
+      obs_active_faults_->add(1);
+      out.applied = true;
+      break;
+    }
+    case FaultKind::latency_restore:
+    case FaultKind::loss_restore: {
+      auto it = saved_links_.find(pair_key(event.a, event.b));
+      if (it == saved_links_.end()) break;
+      net.set_link(event.a, event.b, it->second);
+      saved_links_.erase(it);
+      obs_active_faults_->add(-1);
+      out.applied = true;
+      break;
+    }
+  }
+}
+
+std::uint64_t seed_from_env(std::uint64_t fallback) {
+  const char* raw = std::getenv("ACE_CHAOS_SEED");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  std::uint64_t parsed = std::strtoull(raw, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace ace::chaos

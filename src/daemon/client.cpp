@@ -1,5 +1,7 @@
 #include "daemon/client.hpp"
 
+#include <algorithm>
+
 #include "daemon/wire.hpp"
 
 namespace ace::daemon {
@@ -10,6 +12,21 @@ namespace {
 // reader with nothing in flight lingers before tearing itself down.
 constexpr std::chrono::milliseconds kReaderPoll{20};
 constexpr std::chrono::milliseconds kReaderIdle{2000};
+
+// Transport-level failure: the destination was unreachable or the exchange
+// died under us. These retry (with backoff) and feed the circuit breaker;
+// anything else is a caller/protocol problem that retrying cannot fix.
+bool transport_errc(util::Errc code) {
+  return code == util::Errc::closed || code == util::Errc::io_error ||
+         code == util::Errc::timeout || code == util::Errc::unavailable ||
+         code == util::Errc::refused;
+}
+
+// Decorrelates the jitter streams of clients that share a process.
+std::uint64_t next_jitter_seed() {
+  static std::atomic<std::uint64_t> counter{0x51ed2701u};
+  return counter.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed);
+}
 
 }  // namespace
 
@@ -24,11 +41,17 @@ AceClient::AceClient(Environment& env, net::Host& from_host,
     : env_(env),
       host_(from_host),
       identity_(std::move(identity)),
+      jitter_rng_(next_jitter_seed()),
       calls_(&env.metrics().counter("client.calls")),
       reconnects_(&env.metrics().counter("client.reconnects")),
+      retries_(&env.metrics().counter("client.retries")),
       timeouts_(&env.metrics().counter("client.timeouts")),
       errors_(&env.metrics().counter("client.errors")),
-      inflight_(&env.metrics().gauge("client.inflight")) {}
+      breaker_trips_(&env.metrics().counter("client.breaker_trips")),
+      breaker_rejected_(&env.metrics().counter("client.breaker_rejected")),
+      breaker_closes_(&env.metrics().counter("client.breaker_closes")),
+      inflight_(&env.metrics().gauge("client.inflight")),
+      breaker_open_(&env.metrics().gauge("client.breaker_open")) {}
 
 AceClient::~AceClient() { close_all(); }
 
@@ -155,48 +178,66 @@ util::Result<cmdlang::CmdLine> AceClient::call(const net::Address& to,
   const int attempts = options.retries < 0 ? 1 : options.retries + 1;
   const std::string wire_text = cmd.to_string();
   for (int attempt = 0; attempt < attempts; ++attempt) {
-    if (attempt > 0) reconnects_->inc();
+    if (attempt > 0) {
+      reconnects_->inc();
+      retries_->inc();
+      backoff_sleep(options, attempt);
+    }
     auto entry = entry_for(to);
+    bool probe = false;
+    if (auto admitted = breaker_admit(*entry, to, probe); !admitted.ok()) {
+      span.fail();
+      errors_->inc();
+      return admitted.error();
+    }
+
     std::shared_ptr<crypto::SecureChannel> channel;
     std::shared_ptr<PendingCall> slot;
     std::uint64_t call_id = 0;
+    std::optional<util::Error> connect_error;
     {
       std::scoped_lock lk(entry->mu);
       if (auto s = ensure_channel_locked(*entry, to); !s.ok()) {
-        span.fail();
-        errors_->inc();
-        return s.error();
-      }
-      channel = entry->channel;
-      if (channel->negotiated_version() >= wire::kProtocolV2) {
-        call_id = entry->next_call_id++;
-        slot = std::make_shared<PendingCall>();
-        entry->pending.emplace(call_id, slot);
-        inflight_->add(1);
-        ensure_reader_locked(*entry);
+        connect_error = s.error();
+      } else {
+        channel = entry->channel;
+        if (channel->negotiated_version() >= wire::kProtocolV2) {
+          call_id = entry->next_call_id++;
+          slot = std::make_shared<PendingCall>();
+          entry->pending.emplace(call_id, slot);
+          inflight_->add(1);
+          ensure_reader_locked(*entry);
+        }
       }
     }
-    auto reply = slot ? exchange_v2(*entry, channel, call_id, slot, wire_text,
-                                    timeout, cmd.name(), to)
-                      : exchange_v1(*entry, channel, wire_text, timeout,
-                                    cmd.name(), to);
+    auto reply =
+        connect_error
+            ? util::Result<cmdlang::CmdLine>(*connect_error)
+        : slot ? exchange_v2(*entry, channel, call_id, slot, wire_text,
+                             timeout, cmd.name(), to)
+               : exchange_v1(*entry, channel, wire_text, timeout, cmd.name(),
+                             to);
     if (!reply.ok()) {
       const auto code = reply.error().code;
-      const bool retryable = code == util::Errc::closed ||
-                             code == util::Errc::io_error ||
-                             code == util::Errc::timeout;
-      if (retryable && attempt + 1 < attempts) continue;
+      const bool retryable = transport_errc(code);
+      // Only transport faults feed the breaker; if this failure opened it,
+      // stop burning the remaining retries against a known-dead peer.
+      const bool open_now =
+          retryable && breaker_record_failure(*entry, probe);
+      if (retryable && !open_now && attempt + 1 < attempts) continue;
       span.fail();
       if (code == util::Errc::timeout) {
         timeouts_->inc();
         return reply;
       }
       errors_->inc();
-      if (retryable)  // exhausted reconnect attempts
+      if (code == util::Errc::closed ||
+          code == util::Errc::io_error)  // exhausted reconnect attempts
         return util::Error{util::Errc::unavailable,
                            "cannot reach " + to.to_string()};
       return reply;
     }
+    breaker_record_success(*entry, probe);
     if (options.require_ok && cmdlang::is_error(reply.value())) {
       span.fail();
       errors_->inc();
@@ -208,6 +249,71 @@ util::Result<cmdlang::CmdLine> AceClient::call(const net::Address& to,
   errors_->inc();
   return util::Error{util::Errc::unavailable,
                      "cannot reach " + to.to_string()};
+}
+
+util::Status AceClient::breaker_admit(ChannelEntry& entry,
+                                      const net::Address& to, bool& probe) {
+  std::scoped_lock lk(entry.mu);
+  if (!entry.breaker_open) return util::Status::ok_status();
+  const auto now = std::chrono::steady_clock::now();
+  if (now < entry.open_until || entry.probe_inflight) {
+    breaker_rejected_->inc();
+    return {util::Errc::unavailable,
+            "circuit breaker open for " + to.to_string()};
+  }
+  // Cooldown over: this call becomes the single half-open probe.
+  entry.probe_inflight = true;
+  probe = true;
+  return util::Status::ok_status();
+}
+
+bool AceClient::breaker_record_failure(ChannelEntry& entry, bool probe) {
+  std::scoped_lock lk(entry.mu);
+  ++entry.consecutive_failures;
+  if (probe) entry.probe_inflight = false;
+  const auto now = std::chrono::steady_clock::now();
+  if (entry.breaker_open) {
+    // Failed half-open probe (or a straggler admitted before the trip):
+    // re-arm the cooldown.
+    entry.open_until = now + breaker_policy_.cooldown;
+    return true;
+  }
+  if (breaker_policy_.failure_threshold > 0 &&
+      entry.consecutive_failures >= breaker_policy_.failure_threshold) {
+    entry.breaker_open = true;
+    entry.open_until = now + breaker_policy_.cooldown;
+    breaker_trips_->inc();
+    breaker_open_->add(1);
+    return true;
+  }
+  return false;
+}
+
+void AceClient::breaker_record_success(ChannelEntry& entry, bool probe) {
+  std::scoped_lock lk(entry.mu);
+  if (probe) entry.probe_inflight = false;
+  entry.consecutive_failures = 0;
+  if (entry.breaker_open) {
+    entry.breaker_open = false;
+    breaker_closes_->inc();
+    breaker_open_->add(-1);
+  }
+}
+
+void AceClient::backoff_sleep(const CallOptions& options, int attempt) {
+  if (options.backoff.count() <= 0) return;
+  const int exponent = std::min(attempt - 1, 16);
+  auto delay = options.backoff * (std::int64_t{1} << exponent);
+  if (options.backoff_cap.count() > 0 && delay > options.backoff_cap)
+    delay = options.backoff_cap;
+  double jitter;
+  {
+    std::scoped_lock lk(jitter_mu_);
+    jitter = 0.5 + jitter_rng_.next_double();  // uniform [0.5, 1.5)
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(
+          static_cast<double>(delay.count()) * jitter));
 }
 
 // v1 peer: the channel carries bare command text with no demux header, so
@@ -314,6 +420,10 @@ void AceClient::shutdown_entry(const std::shared_ptr<ChannelEntry>& entry) {
     entry->channel.reset();
     fail_pending_locked(
         *entry, util::Error{util::Errc::closed, "connection dropped"});
+    if (entry->breaker_open) {  // keep the open-breaker gauge honest
+      entry->breaker_open = false;
+      breaker_open_->add(-1);
+    }
     reader = std::move(entry->reader);
   }
   reader.request_stop();

@@ -37,6 +37,7 @@
 #include "crypto/channel.hpp"
 #include "daemon/environment.hpp"
 #include "obs/metrics.hpp"
+#include "util/rng.hpp"
 
 namespace ace::daemon {
 
@@ -47,15 +48,34 @@ struct CallOptions {
   // Treat an `error ...;` reply as a util::Error instead of a result.
   bool require_ok = false;
   // Extra attempts after a stale-channel send failure, a mid-flight channel
-  // death, or a reply timeout (reconnecting if the channel is gone).
-  // 1 preserves the historical behaviour of one transparent reconnect.
+  // death, a reply timeout, or a failed connect (reconnecting if the
+  // channel is gone). 1 preserves the historical behaviour of one
+  // transparent reconnect.
   int retries = 1;
+  // Base delay inserted before retry k: backoff * 2^(k-1), scaled by a
+  // uniform [0.5, 1.5) jitter and capped at backoff_cap, so concurrent
+  // callers hammering a dead destination spread out instead of busy-
+  // spinning in lockstep. 0 disables the delay.
+  std::chrono::milliseconds backoff{10};
+  std::chrono::milliseconds backoff_cap{500};
 };
 
 // Shorthand for the common "call and insist on an ok reply" pattern.
 inline constexpr CallOptions kCallOk{.timeout = std::nullopt,
                                      .require_ok = true,
                                      .retries = 1};
+
+// Per-destination circuit breaker (closed -> open -> half-open -> closed).
+// After `failure_threshold` consecutive transport-level failures the
+// destination's breaker opens: calls fail fast with Errc::unavailable for
+// `cooldown`, after which exactly one probe call is let through. A probe
+// success closes the breaker (and resets the failure count); a probe
+// failure re-opens it for another cooldown. Application-level `error ...;`
+// replies never trip it — only transport faults do.
+struct BreakerPolicy {
+  int failure_threshold = 4;
+  std::chrono::milliseconds cooldown{250};
+};
 
 class AceClient {
  public:
@@ -83,6 +103,11 @@ class AceClient {
 
   void drop_connection(const net::Address& to);
   void close_all();
+
+  // Replaces the circuit-breaker policy. Configure before issuing calls;
+  // not synchronized against concurrent call() traffic.
+  void set_breaker_policy(BreakerPolicy policy) { breaker_policy_ = policy; }
+  const BreakerPolicy& breaker_policy() const { return breaker_policy_; }
 
   const std::string& principal() const {
     return identity_.certificate.subject;
@@ -116,6 +141,11 @@ class AceClient {
     std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending;
     bool reader_active = false;
     bool closed = false;  // entry was shut down; never reconnect through it
+    // Circuit-breaker state (guarded by `mu`; see BreakerPolicy).
+    int consecutive_failures = 0;
+    bool breaker_open = false;
+    bool probe_inflight = false;  // the single half-open probe is out
+    std::chrono::steady_clock::time_point open_until{};
     std::mutex call_mu;
     std::jthread reader;  // last member: joined before the fields it uses die
   };
@@ -128,6 +158,17 @@ class AceClient {
   std::shared_ptr<ChannelEntry> entry_for(const net::Address& to);
   util::Status ensure_channel_locked(ChannelEntry& entry,
                                      const net::Address& to);
+  // Breaker hooks around one call attempt. admit fails fast with
+  // Errc::unavailable while the destination's breaker is open (setting
+  // `probe` when this attempt is the half-open probe); record_failure
+  // returns true when the breaker is open afterwards, telling the retry
+  // loop to stop hammering.
+  util::Status breaker_admit(ChannelEntry& entry, const net::Address& to,
+                             bool& probe);
+  bool breaker_record_failure(ChannelEntry& entry, bool probe);
+  void breaker_record_success(ChannelEntry& entry, bool probe);
+  // Jittered exponential delay before retry attempt `attempt` (>= 1).
+  void backoff_sleep(const CallOptions& options, int attempt);
   void ensure_reader_locked(ChannelEntry& entry);
   void reader_loop(ChannelEntry* entry, std::stop_token st);
   void fail_pending_locked(ChannelEntry& entry, const util::Error& error);
@@ -146,15 +187,23 @@ class AceClient {
   net::Host& host_;
   crypto::Identity identity_;
   std::atomic<std::uint8_t> protocol_offer_{0};
+  BreakerPolicy breaker_policy_;
   std::mutex mu_;
   std::map<net::Address, std::shared_ptr<ChannelEntry>> channels_;
+  std::mutex jitter_mu_;
+  util::Rng jitter_rng_;
 
   // Cached obs cells (deployment registry, `client.*` names).
   obs::Counter* calls_;
   obs::Counter* reconnects_;
+  obs::Counter* retries_;
   obs::Counter* timeouts_;
   obs::Counter* errors_;
+  obs::Counter* breaker_trips_;
+  obs::Counter* breaker_rejected_;
+  obs::Counter* breaker_closes_;
   obs::Gauge* inflight_;
+  obs::Gauge* breaker_open_;  // destinations currently open
 };
 
 }  // namespace ace::daemon

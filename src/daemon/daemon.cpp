@@ -257,17 +257,9 @@ util::Status ServiceDaemon::run_startup_sequence() {
   // Step 3: register with the ASD on its well-known socket.
   if (config_.register_with_asd && !env_.asd_address.host.empty() &&
       env_.asd_address != self) {
-    CmdLine reg("register");
-    reg.arg("name", config_.name);
-    reg.arg("host", host_.name());
-    reg.arg("port", static_cast<std::int64_t>(config_.port));
-    reg.arg("room", Word{config_.room});
-    reg.arg("class", config_.service_class);
-    reg.arg("lease", static_cast<std::int64_t>(config_.lease.count()));
-    auto r = infra_client_->call(env_.asd_address, reg, kCallOk);
-    if (!r.ok())
-      return util::Error{r.error().code,
-                         "ASD registration failed: " + r.error().message};
+    if (auto s = register_with_asd(); !s.ok())
+      return util::Error{s.error().code,
+                         "ASD registration failed: " + s.error().message};
   }
 
   // Step 4 happens inside the ASD (registration fires its notifications).
@@ -278,9 +270,27 @@ util::Status ServiceDaemon::run_startup_sequence() {
   return util::Status::ok_status();
 }
 
+util::Status ServiceDaemon::register_with_asd() {
+  CmdLine reg("register");
+  reg.arg("name", config_.name);
+  reg.arg("host", host_.name());
+  reg.arg("port", static_cast<std::int64_t>(config_.port));
+  reg.arg("room", Word{config_.room});
+  reg.arg("class", config_.service_class);
+  reg.arg("lease", static_cast<std::int64_t>(config_.lease.count()));
+  auto r = infra_client_->call(env_.asd_address, reg, kCallOk);
+  if (!r.ok()) return r.error();
+  return util::Status::ok_status();
+}
+
 util::Status ServiceDaemon::start() {
   if (running_.load()) return util::Status::ok_status();
   stopping_.store(false);
+  // A prior stop()/crash() on this object closed the work queues; a
+  // relaunch needs them accepting again (stale leftovers are dropped).
+  control_queue_.reopen();
+  notify_queue_.reopen();
+  handshake_queue_.reopen();
 
   if (config_.port == 0) config_.port = host_.net_host().ephemeral_port();
   auto listener = host_.net_host().listen(config_.port);
@@ -398,6 +408,19 @@ void ServiceDaemon::crash() {
   if (infra_client_) infra_client_->close_all();
   listener_.reset();
   data_socket_.reset();
+  // A real crash loses the process's volatile state. Anything re-derivable
+  // (subscriptions, cached credentials, subclass soft state) must be
+  // re-established by peers after a restart — which is exactly what the
+  // self-healing paths (RM watchdog, lease re-registration) exercise.
+  {
+    std::scoped_lock lock(notify_mu_);
+    notifications_.clear();
+  }
+  {
+    std::scoped_lock lock(cred_mu_);
+    credential_cache_.clear();
+  }
+  on_crash();
 }
 
 // ------------------------------------------------------------------- threads
@@ -503,9 +526,14 @@ void ServiceDaemon::command_loop(
       if (!item.noreply) send_reply(*channel, v2, call_id, reply);
       continue;
     }
-    if (!control_queue_.push(std::move(item))) return;  // shutting down
+    if (!control_queue_.push(std::move(item))) break;  // shutting down
     obs_control_depth_->set(static_cast<std::int64_t>(control_queue_.size()));
   }
+  // Mirror a real socket: when the serving thread dies (stop or crash),
+  // the connection dies with it. Without this, a peer of a crashed daemon
+  // sees eternal silence instead of a closed channel and times out every
+  // call rather than failing fast and reconnecting after a relaunch.
+  channel->close();
 }
 
 void ServiceDaemon::control_loop(std::stop_token st) {
@@ -713,11 +741,22 @@ void ServiceDaemon::lease_loop(std::stop_token st) {
     if (st.stop_requested()) return;
     CmdLine renew("renew");
     renew.arg("name", config_.name);
-    auto r = infra_client_->call(env_.asd_address, renew,
-                                 CallOptions{.timeout = 500ms});
-    if (!r.ok())
-      util::log_warn(config_.name)
-          << "lease renewal failed: " << r.error().to_string();
+    auto r = infra_client_->call(
+        env_.asd_address, renew,
+        CallOptions{.timeout = 500ms, .require_ok = true});
+    if (r.ok()) continue;
+    util::log_warn(config_.name)
+        << "lease renewal failed: " << r.error().to_string();
+    // `not_found` means the ASD has no lease for us — it crashed and came
+    // back with an empty registry. Renewing harder cannot fix that; only a
+    // fresh registration (Fig 9 step 3) heals the directory entry.
+    if (r.error().code == util::Errc::not_found) {
+      if (register_with_asd().ok()) {
+        env_.metrics().counter("daemon.lease.reregistered").inc();
+        net_log("info", "service '" + config_.name +
+                            "' re-registered after ASD state loss");
+      }
+    }
   }
 }
 

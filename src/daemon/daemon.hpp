@@ -107,6 +107,10 @@ class ServiceDaemon {
 
   // Simulated failure: tears everything down abruptly *without*
   // deregistering, so the ASD only learns of the death via lease expiry.
+  // Volatile in-memory state dies with the "process": notification
+  // subscriptions and cached credentials are wiped here, and subclasses
+  // drop their own soft state in on_crash(). A later start() on the same
+  // object models relaunching the binary on the same machine.
   void crash();
 
   bool running() const { return running_.load(); }
@@ -135,6 +139,11 @@ class ServiceDaemon {
   // considered started. Subclasses register with peer services here.
   virtual util::Status on_start() { return util::Status::ok_status(); }
   virtual void on_stop() {}
+
+  // Called at the end of crash(), after every thread is torn down: drop
+  // whatever in-memory state a real process death would lose. The base
+  // class has already cleared subscriptions and credential caches.
+  virtual void on_crash() {}
 
   // Data-thread hook: called for each datagram received on the data
   // channel (requires config.open_data_channel).
@@ -196,6 +205,7 @@ class ServiceDaemon {
   void fire_notifications(const cmdlang::CmdLine& cmd);
   void register_builtin_commands();
   util::Status run_startup_sequence();
+  util::Status register_with_asd();
 
   Environment& env_;
   DaemonHost& host_;

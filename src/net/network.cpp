@@ -354,10 +354,18 @@ void Network::count_datagram_delivered() {
   cells_.datagrams_delivered->inc();
 }
 
-// Drop attribution per host pair; the registry lookup is acceptable here
-// because drops are the exception path.
+// Drop attribution per host pair. Caller must hold mu_. The counter cell
+// is resolved through the registry once per pair and cached: under a chaos
+// loss burst a link can shed thousands of datagrams per second, and paying
+// a string-key build plus the registry mutex for every one of them turned
+// the drop path into a contention point.
 void Network::count_link_drop(const std::string& a, const std::string& b) {
-  metrics_->counter("net.link_drops." + link_key(a, b)).inc();
+  const std::string& lo = a < b ? a : b;
+  const std::string& hi = a < b ? b : a;
+  obs::Counter*& cell = drop_cells_[lo][hi];
+  if (cell == nullptr)
+    cell = &metrics_->counter("net.link_drops." + link_key(a, b));
+  cell->inc();
 }
 
 }  // namespace ace::net

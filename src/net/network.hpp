@@ -249,6 +249,9 @@ class Network {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Host>> hosts_;
   std::map<std::string, LinkPolicy> links_;
+  // Cached per-host-pair drop counters, [lesser][greater] (guarded by mu_;
+  // see count_link_drop).
+  std::map<std::string, std::map<std::string, obs::Counter*>> drop_cells_;
   Duration default_latency_{0};
   util::Rng rng_;
 

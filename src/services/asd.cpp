@@ -207,6 +207,13 @@ util::Status AsdDaemon::on_start() {
 
 void AsdDaemon::on_stop() { reaper_ = {}; }
 
+void AsdDaemon::on_crash() {
+  reaper_ = {};
+  std::scoped_lock lock(mu_);
+  registry_.clear();
+  update_live_gauge_locked();
+}
+
 void AsdDaemon::reaper_loop(std::stop_token st) {
   while (!st.stop_requested()) {
     std::this_thread::sleep_for(options_.reap_interval);

@@ -56,6 +56,10 @@ class AsdDaemon : public daemon::ServiceDaemon {
  protected:
   util::Status on_start() override;
   void on_stop() override;
+  // A crashed directory loses its in-memory registry: services must
+  // re-register (the lease loop does this on `not_found` renewals) and
+  // watchers must re-subscribe (the Robustness Manager watchdog does).
+  void on_crash() override;
 
  private:
   void reaper_loop(std::stop_token st);

@@ -44,11 +44,14 @@ util::Bytes bytes_of_hex(const std::string& hex) {
 PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
                                              daemon::DaemonHost& host,
                                              daemon::DaemonConfig config,
-                                             int replica_id)
+                                             int replica_id,
+                                             StoreOptions options)
     : ServiceDaemon(env, host, store_defaults(std::move(config))),
       replica_id_(replica_id),
+      options_(options),
       obs_writes_(&env.metrics().counter("store.writes")),
-      obs_replica_acks_(&env.metrics().counter("store.replica_acks")) {
+      obs_replica_acks_(&env.metrics().counter("store.replica_acks")),
+      obs_rejoin_syncs_(&env.metrics().counter("store.rejoin_syncs")) {
   register_command(
       CommandSpec("storePut", "store an object").concurrent_ok()
           .arg(string_arg("key"))
@@ -168,6 +171,68 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
 void PersistentStoreDaemon::set_peers(std::vector<net::Address> peers) {
   std::scoped_lock lock(mu_);
   peers_ = std::move(peers);
+}
+
+util::Status PersistentStoreDaemon::on_start() {
+  monitor_ = std::jthread([this](std::stop_token st) { monitor_loop(st); });
+  return util::Status::ok_status();
+}
+
+void PersistentStoreDaemon::on_stop() { monitor_ = {}; }
+
+void PersistentStoreDaemon::on_crash() { monitor_ = {}; }
+
+// Peer liveness monitor: detects rejoins (peer restart or partition heal,
+// from either side) and runs anti-entropy so the cluster converges without
+// a manual storeSync. The first iteration doubles as the boot catch-up
+// sync a rejoining replica needs.
+void PersistentStoreDaemon::monitor_loop(std::stop_token st) {
+  const auto slice = std::chrono::milliseconds(25);
+  std::map<net::Address, bool> peer_up;
+  bool first = true;
+  while (!st.stop_requested()) {
+    if (!first) {
+      auto remaining = options_.probe_interval;
+      while (remaining.count() > 0 && !st.stop_requested()) {
+        std::this_thread::sleep_for(std::min(remaining, slice));
+        remaining -= slice;
+      }
+      if (st.stop_requested()) return;
+    }
+
+    std::vector<net::Address> peers;
+    {
+      std::scoped_lock lock(mu_);
+      peers = peers_;
+    }
+    bool rejoined = false;
+    for (const net::Address& peer : peers) {
+      auto pong = control_client().call(
+          peer, CmdLine("ping"),
+          daemon::CallOptions{.timeout = options_.probe_timeout,
+                              .require_ok = true,
+                              .retries = 0,
+                              .backoff = std::chrono::milliseconds(0)});
+      const bool up = pong.ok();
+      auto it = peer_up.find(peer);
+      if (it == peer_up.end()) {
+        peer_up[peer] = up;
+      } else {
+        if (!it->second && up) rejoined = true;
+        it->second = up;
+      }
+    }
+    if (st.stop_requested()) return;
+    if (first || rejoined) {
+      auto fetched = sync_from_peers();
+      if (!first && fetched.ok()) {
+        obs_rejoin_syncs_->inc();
+        net_log("info", "peer rejoin detected; anti-entropy fetched " +
+                            std::to_string(fetched.value()) + " objects");
+      }
+    }
+    first = false;
+  }
 }
 
 std::uint64_t PersistentStoreDaemon::next_version() {

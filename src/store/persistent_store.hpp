@@ -32,6 +32,15 @@
 
 namespace ace::store {
 
+struct StoreOptions {
+  // Peer liveness probe cadence. Each replica pings its peers; a peer
+  // transitioning unreachable -> reachable (either side of a partition
+  // heal, or a peer restart) triggers an automatic anti-entropy round, so
+  // replicas converge without anyone calling storeSync by hand.
+  std::chrono::milliseconds probe_interval{250};
+  std::chrono::milliseconds probe_timeout{150};
+};
+
 class PersistentStoreDaemon : public daemon::ServiceDaemon {
  public:
   struct ObjectRecord {
@@ -41,7 +50,8 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
   };
 
   PersistentStoreDaemon(daemon::Environment& env, daemon::DaemonHost& host,
-                        daemon::DaemonConfig config, int replica_id);
+                        daemon::DaemonConfig config, int replica_id,
+                        StoreOptions options = {});
 
   // Configures the peer replicas this server synchronizes with.
   void set_peers(std::vector<net::Address> peers);
@@ -50,23 +60,33 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
   std::optional<ObjectRecord> object(const std::string& key) const;
 
   // Runs one anti-entropy round against all reachable peers; returns the
-  // number of objects fetched. (Also exposed as the storeSync command.)
+  // number of objects fetched. (Also exposed as the storeSync command, and
+  // triggered automatically on boot and on peer-rejoin detection.)
   util::Result<std::int64_t> sync_from_peers();
+
+ protected:
+  util::Status on_start() override;
+  void on_stop() override;
+  void on_crash() override;
 
  private:
   std::uint64_t next_version();
   void apply(const std::string& key, const ObjectRecord& record);
   int replicate(const std::string& key, const ObjectRecord& record);
+  void monitor_loop(std::stop_token st);
 
   int replica_id_;
+  StoreOptions options_;
   mutable std::mutex mu_;
   std::map<std::string, ObjectRecord> objects_;
   std::uint64_t lamport_ = 0;
   std::vector<net::Address> peers_;
+  std::jthread monitor_;
 
   // Cached obs cells (deployment registry, `store.*` names).
   obs::Counter* obs_writes_;
   obs::Counter* obs_replica_acks_;
+  obs::Counter* obs_rejoin_syncs_;
 };
 
 std::string hex_of(const util::Bytes& data);

@@ -1,5 +1,7 @@
 #include "store/robustness.hpp"
 
+#include <algorithm>
+
 #include "services/asd.hpp"
 
 namespace ace::store {
@@ -21,8 +23,14 @@ daemon::DaemonConfig rm_defaults(daemon::DaemonConfig config) {
 
 RobustnessManagerDaemon::RobustnessManagerDaemon(daemon::Environment& env,
                                                  daemon::DaemonHost& host,
-                                                 daemon::DaemonConfig config)
-    : ServiceDaemon(env, host, rm_defaults(std::move(config))) {
+                                                 daemon::DaemonConfig config,
+                                                 RobustnessOptions options)
+    : ServiceDaemon(env, host, rm_defaults(std::move(config))),
+      options_(options),
+      obs_restarts_(&env.metrics().counter("rm.restarts")),
+      obs_restart_failures_(&env.metrics().counter("rm.restart_failures")),
+      obs_resubscribes_(&env.metrics().counter("rm.resubscribes")),
+      obs_pending_(&env.metrics().gauge("rm.pending_relaunches")) {
   register_command(
       CommandSpec("rmRegister", "manage a restart/robust service")
           .arg(word_arg("name"))
@@ -34,6 +42,11 @@ RobustnessManagerDaemon::RobustnessManagerDaemon(daemon::Environment& env,
         m.kind = cmd.get_text("kind");
         m.host = cmd.get_text("host");
         std::scoped_lock lock(mu_);
+        // Fresh registration starts from a clean slate: no stale relaunch
+        // backoff, and a grace window so the sweep does not immediately
+        // flag a service that registered with the RM before the ASD.
+        pending_.erase(m.name);
+        last_success_[m.name] = std::chrono::steady_clock::now();
         managed_[m.name] = std::move(m);
         return cmdlang::make_ok();
       });
@@ -43,7 +56,11 @@ RobustnessManagerDaemon::RobustnessManagerDaemon(daemon::Environment& env,
           .arg(word_arg("name")),
       [this](const CmdLine& cmd, const CallerInfo&) {
         std::scoped_lock lock(mu_);
-        managed_.erase(cmd.get_text("name"));
+        const std::string name = cmd.get_text("name");
+        managed_.erase(name);
+        pending_.erase(name);
+        last_success_.erase(name);
+        obs_pending_->set(static_cast<std::int64_t>(pending_.size()));
         return cmdlang::make_ok();
       });
 
@@ -83,9 +100,25 @@ RobustnessManagerDaemon::RobustnessManagerDaemon(daemon::Environment& env,
 
 util::Status RobustnessManagerDaemon::on_start() {
   // The ASD may not be up yet when we boot; watch_asd() can be re-invoked
-  // by the deployer. Try once here, best effort.
+  // by the deployer. Try once here, best effort — the watchdog keeps
+  // retrying until the subscription sticks.
   (void)watch_asd();
+  watchdog_ =
+      std::jthread([this](std::stop_token st) { watchdog_loop(st); });
   return util::Status::ok_status();
+}
+
+void RobustnessManagerDaemon::on_stop() { watchdog_ = {}; }
+
+void RobustnessManagerDaemon::on_crash() {
+  watchdog_ = {};
+  // The managed-service table is this process's volatile state; a relaunch
+  // starts unconfigured until operators rmRegister again.
+  std::scoped_lock lock(mu_);
+  managed_.clear();
+  pending_.clear();
+  last_success_.clear();
+  obs_pending_->set(0);
 }
 
 util::Status RobustnessManagerDaemon::watch_asd() {
@@ -100,37 +133,149 @@ util::Status RobustnessManagerDaemon::watch_asd() {
   return util::Status::ok_status();
 }
 
+bool RobustnessManagerDaemon::subscription_alive() {
+  auto reply = control_client().call(env().asd_address,
+                                     CmdLine("listNotifications"),
+                                     daemon::kCallOk);
+  if (!reply.ok()) return true;  // can't tell; don't thrash while ASD is down
+  const std::string wanted =
+      "serviceExpired>" + address().to_string() + ">rmNotify";
+  if (auto vec = reply->get_vector("entries")) {
+    for (const auto& elem : vec->elements) {
+      if ((elem.is_string() || elem.is_word()) && elem.as_text() == wanted)
+        return true;
+    }
+  }
+  return false;
+}
+
 void RobustnessManagerDaemon::handle_expiry(const std::string& service_name) {
+  {
+    std::scoped_lock lock(mu_);
+    if (!managed_.contains(service_name)) return;  // not ours to manage
+  }
+  net_log("warn", "managed service '" + service_name +
+                      "' died; relaunching via SAL");
+  schedule_relaunch(service_name);
+}
+
+void RobustnessManagerDaemon::schedule_relaunch(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  if (pending_.contains(name)) return;  // attempt already in flight
+  pending_[name] =
+      PendingRelaunch{std::chrono::steady_clock::now(), /*failures=*/0};
+  obs_pending_->set(static_cast<std::int64_t>(pending_.size()));
+}
+
+bool RobustnessManagerDaemon::try_relaunch(const std::string& name) {
   std::string host_pref;
   {
     std::scoped_lock lock(mu_);
-    auto it = managed_.find(service_name);
-    if (it == managed_.end()) return;  // not ours to manage
+    auto it = managed_.find(name);
+    if (it == managed_.end()) {  // unmanaged while queued
+      pending_.erase(name);
+      obs_pending_->set(static_cast<std::int64_t>(pending_.size()));
+      return true;
+    }
     host_pref = it->second.host;
   }
 
-  net_log("warn", "managed service '" + service_name +
-                      "' died; relaunching via SAL");
+  auto fail = [&](const std::string& why) {
+    obs_restart_failures_->inc();
+    std::scoped_lock lock(mu_);
+    auto& p = pending_[name];
+    p.failures++;
+    const int exponent = std::min(p.failures - 1, 16);
+    auto delay = options_.retry_base * (std::int64_t{1} << exponent);
+    delay = std::min(delay, options_.retry_cap);
+    p.next_attempt = std::chrono::steady_clock::now() + delay;
+    net_log(p.failures >= options_.escalate_after ? "critical" : "error",
+            "relaunch of '" + name + "' failed (" +
+                std::to_string(p.failures) + "x): " + why);
+    return false;
+  };
 
-  auto sals = services::AsdClient(control_client(), env().asd_address).query("*", "Service/Launcher/SAL*", "*");
-  if (!sals.ok() || sals->empty()) {
-    net_log("error", "cannot relaunch '" + service_name +
-                         "': no SAL registered");
-    return;
-  }
+  auto sals = services::AsdClient(control_client(), env().asd_address)
+                  .query("*", "Service/Launcher/SAL*", "*");
+  if (!sals.ok()) return fail("SAL query failed: " + sals.error().to_string());
+  if (sals->empty()) return fail("no SAL registered");
+
   CmdLine launch("salLaunchService");
-  launch.arg("name", Word{service_name});
+  launch.arg("name", Word{name});
   if (!host_pref.empty()) launch.arg("host", host_pref);
-  auto reply = control_client().call(sals->front().address, launch, daemon::kCallOk);
-  if (!reply.ok()) {
-    net_log("error", "relaunch of '" + service_name +
-                         "' failed: " + reply.error().to_string());
-    return;
-  }
+  auto reply =
+      control_client().call(sals->front().address, launch, daemon::kCallOk);
+  if (!reply.ok()) return fail(reply.error().to_string());
+
+  obs_restarts_->inc();
   std::scoped_lock lock(mu_);
-  auto it = managed_.find(service_name);
+  auto it = managed_.find(name);
   if (it != managed_.end()) it->second.restarts++;
   total_restarts_++;
+  pending_.erase(name);
+  last_success_[name] = std::chrono::steady_clock::now();
+  obs_pending_->set(static_cast<std::int64_t>(pending_.size()));
+  return true;
+}
+
+void RobustnessManagerDaemon::watchdog_loop(std::stop_token st) {
+  const auto slice = std::chrono::milliseconds(25);
+  while (!st.stop_requested()) {
+    auto remaining = options_.watch_interval;
+    while (remaining.count() > 0 && !st.stop_requested()) {
+      std::this_thread::sleep_for(std::min(remaining, slice));
+      remaining -= slice;
+    }
+    if (st.stop_requested()) return;
+    if (env().asd_address.host.empty()) continue;  // nothing to watch
+
+    // 1. Self-heal the watching: an ASD that crashed and came back has an
+    // empty notification table, so our serviceExpired subscription — the
+    // entire restart mechanism — is gone. Detect and re-subscribe.
+    if (!subscription_alive() && watch_asd().ok()) {
+      obs_resubscribes_->inc();
+      net_log("info", "re-subscribed serviceExpired after ASD restart");
+    }
+
+    // 2. Sweep for silent deaths: when the ASD dies *before* a managed
+    // service's lease ran out, the expiry notification is never fired, so
+    // directory absence is the only remaining death signal.
+    std::vector<std::string> names;
+    {
+      std::scoped_lock lock(mu_);
+      const auto now = std::chrono::steady_clock::now();
+      for (const auto& [name, m] : managed_) {
+        if (pending_.contains(name)) continue;  // already being handled
+        auto ls = last_success_.find(name);
+        if (ls != last_success_.end() &&
+            now - ls->second < options_.relaunch_grace)
+          continue;  // just (re)launched; give it time to re-register
+        names.push_back(name);
+      }
+    }
+    for (const auto& name : names) {
+      auto loc = services::AsdClient(control_client(), env().asd_address)
+                     .lookup(name);
+      if (!loc.ok() && loc.error().code == util::Errc::not_found) {
+        net_log("warn", "managed service '" + name +
+                            "' missing from directory; relaunching");
+        schedule_relaunch(name);
+      }
+    }
+
+    // 3. Drain due relaunch attempts (with their capped backoff).
+    std::vector<std::string> due;
+    {
+      std::scoped_lock lock(mu_);
+      const auto now = std::chrono::steady_clock::now();
+      for (const auto& [name, p] : pending_)
+        if (p.next_attempt <= now) due.push_back(name);
+    }
+    for (const auto& name : due) {
+      if (st.stop_requested()) return;
+      (void)try_relaunch(name);
+    }
+  }
 }
 
 std::vector<RobustnessManagerDaemon::ManagedService>

@@ -12,6 +12,22 @@
 //  * on expiry of a managed service it relaunches through the SAL
 //    (salLaunchService), optionally pinned to a host.
 //
+// The manager must survive the infrastructure failing around it, so a
+// watchdog thread self-heals the watching itself:
+//
+//  * the `serviceExpired` subscription lives in the ASD's volatile memory —
+//    after an ASD crash+restart it is gone and every managed service would
+//    silently lose its safety net. The watchdog polls the ASD's
+//    listNotifications and re-subscribes whenever its entry is missing
+//    (`rm.resubscribes`).
+//  * an expiry notification can be lost outright (e.g. the ASD died before
+//    the managed service's lease ran out and restarted knowing nothing).
+//    The watchdog sweeps the directory for each managed name and treats
+//    `not_found` as a death.
+//  * relaunches that fail (SAL down, partition) are retried with capped
+//    exponential backoff instead of being dropped; repeated failures are
+//    escalated to the Network Logger (`rm.restart_failures`).
+//
 // Command set:
 //   rmRegister name= kind=restart|robust host=?;
 //   rmUnregister name=;
@@ -23,6 +39,20 @@
 
 namespace ace::store {
 
+struct RobustnessOptions {
+  // Watchdog tick: subscription check, directory sweep, and retry drain.
+  std::chrono::milliseconds watch_interval{250};
+  // Relaunch retry backoff: base * 2^(failures-1), capped.
+  std::chrono::milliseconds retry_base{200};
+  std::chrono::milliseconds retry_cap{2000};
+  // After a successful relaunch, leave the service alone for this long so
+  // the sweep does not double-launch an instance that is still booting and
+  // has not yet re-registered.
+  std::chrono::milliseconds relaunch_grace{1500};
+  // Consecutive failures after which the escalation is logged as critical.
+  int escalate_after = 5;
+};
+
 class RobustnessManagerDaemon : public daemon::ServiceDaemon {
  public:
   struct ManagedService {
@@ -33,10 +63,12 @@ class RobustnessManagerDaemon : public daemon::ServiceDaemon {
   };
 
   RobustnessManagerDaemon(daemon::Environment& env, daemon::DaemonHost& host,
-                          daemon::DaemonConfig config);
+                          daemon::DaemonConfig config,
+                          RobustnessOptions options = {});
 
   // Subscribes to the ASD's serviceExpired notifications. Call once the
-  // ASD is up (after start()).
+  // ASD is up (after start()). The watchdog re-invokes this whenever the
+  // subscription disappears from the directory.
   util::Status watch_asd();
 
   std::vector<ManagedService> managed() const;
@@ -44,13 +76,40 @@ class RobustnessManagerDaemon : public daemon::ServiceDaemon {
 
  protected:
   util::Status on_start() override;
+  void on_stop() override;
+  void on_crash() override;
 
  private:
-  void handle_expiry(const std::string& service_name);
+  // One relaunch in (possibly repeated) flight.
+  struct PendingRelaunch {
+    std::chrono::steady_clock::time_point next_attempt;
+    int failures = 0;
+  };
 
+  void handle_expiry(const std::string& service_name);
+  // Queues `name` for relaunch at the watchdog's next tick (idempotent
+  // while an attempt is already pending).
+  void schedule_relaunch(const std::string& name);
+  // One salLaunchService attempt. Returns false (and re-arms the backoff)
+  // on failure.
+  bool try_relaunch(const std::string& name);
+  void watchdog_loop(std::stop_token st);
+  // True when the ASD still lists our serviceExpired subscription.
+  bool subscription_alive();
+
+  RobustnessOptions options_;
   mutable std::mutex mu_;
   std::map<std::string, ManagedService> managed_;
+  std::map<std::string, PendingRelaunch> pending_;
+  std::map<std::string, std::chrono::steady_clock::time_point> last_success_;
   int total_restarts_ = 0;
+  std::jthread watchdog_;
+
+  // Cached obs cells (deployment registry, `rm.*` names).
+  obs::Counter* obs_restarts_;
+  obs::Counter* obs_restart_failures_;
+  obs::Counter* obs_resubscribes_;
+  obs::Gauge* obs_pending_;
 };
 
 }  // namespace ace::store

@@ -79,6 +79,14 @@ class MessageQueue {
     return closed_;
   }
 
+  // Reverts close() and discards anything left unconsumed, so the queue
+  // can serve a fresh start() after a stop()/crash() of its owner.
+  void reopen() {
+    std::scoped_lock lock(mu_);
+    closed_ = false;
+    items_.clear();
+  }
+
   std::size_t size() const {
     std::scoped_lock lock(mu_);
     return items_.size();

@@ -7,11 +7,16 @@
 //  * datagram loss on media streams.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "ace_test_env.hpp"
+#include "chaos/chaos.hpp"
 #include "cmdlang/parser.hpp"
 #include "media/audio_services.hpp"
+#include "services/launchers.hpp"
 #include "services/monitors.hpp"
 #include "store/persistent_store.hpp"
+#include "store/robustness.hpp"
 #include "store/store_client.hpp"
 
 using namespace ace;
@@ -340,6 +345,351 @@ TEST_F(FailureTest, RepeatedAuthDenialsRaiseSecurityAlert) {
     if (!alerted) std::this_thread::sleep_for(10ms);
   }
   EXPECT_TRUE(alerted);
+}
+
+// --------------------------------------------- chaos: schedule determinism
+
+TEST(ChaosSchedule, SameSeedYieldsIdenticalTimeline) {
+  chaos::ScheduleParams params;
+  params.duration = 10s;
+  chaos::Targets targets;
+  targets.services = {"svc-a", "svc-b", "svc-c"};
+  targets.hosts = {"h1", "h2", "h3", "h4"};
+
+  const std::uint64_t seed = chaos::seed_from_env(0xace5eed);
+  auto s1 = chaos::generate_schedule(seed, params, targets);
+  auto s2 = chaos::generate_schedule(seed, params, targets);
+  EXPECT_EQ(s1.events, s2.events);  // pure function of (seed, params, targets)
+  ASSERT_FALSE(s1.events.empty());
+
+  auto s3 = chaos::generate_schedule(seed + 1, params, targets);
+  EXPECT_NE(s1.events, s3.events);
+}
+
+namespace {
+
+// The open/close bookkeeping key for a fault event, or "" for heal kinds.
+std::string fault_open_key(const chaos::FaultEvent& e) {
+  using chaos::FaultKind;
+  switch (e.kind) {
+    case FaultKind::service_crash: return "svc|" + e.a;
+    case FaultKind::link_down: return "link|" + e.a + "|" + e.b;
+    case FaultKind::host_isolate: return "host|" + e.a;
+    case FaultKind::latency_spike: return "lat|" + e.a + "|" + e.b;
+    case FaultKind::loss_burst: return "loss|" + e.a + "|" + e.b;
+    default: return "";
+  }
+}
+
+std::string fault_close_key(const chaos::FaultEvent& e) {
+  using chaos::FaultKind;
+  switch (e.kind) {
+    case FaultKind::service_restart: return "svc|" + e.a;
+    case FaultKind::link_up: return "link|" + e.a + "|" + e.b;
+    case FaultKind::host_heal: return "host|" + e.a;
+    case FaultKind::latency_restore: return "lat|" + e.a + "|" + e.b;
+    case FaultKind::loss_restore: return "loss|" + e.a + "|" + e.b;
+    default: return "";
+  }
+}
+
+}  // namespace
+
+TEST(ChaosSchedule, EveryFaultIsHealedInsideTheHorizon) {
+  chaos::ScheduleParams params;
+  params.duration = 8s;
+  chaos::Targets targets;
+  targets.services = {"s1", "s2"};
+  targets.hosts = {"h1", "h2", "h3"};
+
+  for (std::uint64_t base : {1u, 7u, 42u, 1337u}) {
+    auto sched =
+        chaos::generate_schedule(chaos::seed_from_env(base), params, targets);
+    ASSERT_FALSE(sched.events.empty()) << "seed " << base;
+    std::set<std::string> open;
+    std::chrono::milliseconds prev{0};
+    for (const auto& e : sched.events) {
+      EXPECT_GE(e.at, prev) << e.to_string();  // sorted
+      EXPECT_LT(e.at, params.duration) << e.to_string();
+      prev = e.at;
+      if (auto k = fault_open_key(e); !k.empty()) {
+        EXPECT_TRUE(open.insert(k).second)
+            << "fault injected twice without heal: " << e.to_string();
+      }
+      if (auto k = fault_close_key(e); !k.empty()) {
+        EXPECT_EQ(open.erase(k), 1u)
+            << "heal without matching fault: " << e.to_string();
+      }
+    }
+    EXPECT_TRUE(open.empty()) << "unhealed faults left at schedule end";
+  }
+}
+
+TEST(ChaosSchedule, NoRestartModeLeavesRecoveryToTheFabric) {
+  chaos::ScheduleParams params;
+  params.duration = 8s;
+  params.restart_services = false;
+  chaos::Targets targets;
+  targets.services = {"s1", "s2"};
+
+  auto sched = chaos::generate_schedule(5, params, targets);
+  ASSERT_FALSE(sched.events.empty());
+  int crashes = 0;
+  for (const auto& e : sched.events) {
+    EXPECT_NE(e.kind, chaos::FaultKind::service_restart) << e.to_string();
+    if (e.kind == chaos::FaultKind::service_crash) ++crashes;
+  }
+  EXPECT_GT(crashes, 0);
+}
+
+// ------------------------------------------------- chaos: live deployments
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    deployment_ = std::make_unique<testenv::AceTestEnv>();
+    ASSERT_TRUE(deployment_->start().ok());
+    client_ = deployment_->make_client("ops", "user/ops");
+  }
+
+  daemon::DaemonConfig cfg(const std::string& name) {
+    daemon::DaemonConfig c;
+    c.name = name;
+    c.room = "machine-room";
+    return c;
+  }
+
+  std::unique_ptr<testenv::AceTestEnv> deployment_;
+  std::unique_ptr<daemon::AceClient> client_;
+};
+
+TEST_F(ChaosTest, CircuitBreakerOpensHalfOpensAndCloses) {
+  daemon::DaemonHost host(deployment_->env, "brittle");
+  auto& svc = host.add_daemon<services::HrmDaemon>(cfg("brittle-svc"));
+  ASSERT_TRUE(svc.start().ok());
+  const net::Address addr = svc.address();
+
+  auto& metrics = deployment_->env.metrics();
+  const auto trips0 = metrics.counter("client.breaker_trips").value();
+  const auto closes0 = metrics.counter("client.breaker_closes").value();
+
+  ASSERT_TRUE(client_->call(addr, CmdLine("ping"), daemon::kCallOk).ok());
+  svc.crash();
+
+  // Each failed call (no retries, so one attempt each) feeds the breaker;
+  // at the threshold it trips open.
+  const daemon::CallOptions one_shot{
+      .timeout = 300ms, .require_ok = true, .retries = 0, .backoff = 1ms};
+  const int threshold = client_->breaker_policy().failure_threshold;
+  for (int i = 0; i < threshold; ++i)
+    EXPECT_FALSE(client_->call(addr, CmdLine("ping"), one_shot).ok());
+  EXPECT_EQ(metrics.counter("client.breaker_trips").value(), trips0 + 1);
+  EXPECT_EQ(metrics.gauge("client.breaker_open").value(), 1);
+
+  // While open, calls fail fast without touching the dead destination.
+  const auto rejected0 = metrics.counter("client.breaker_rejected").value();
+  auto fast = client_->call(addr, CmdLine("ping"), one_shot);
+  ASSERT_FALSE(fast.ok());
+  EXPECT_EQ(fast.error().code, util::Errc::unavailable);
+  EXPECT_GT(metrics.counter("client.breaker_rejected").value(), rejected0);
+
+  // Relaunch the service; after the cooldown the half-open probe goes
+  // through, succeeds, and the breaker closes again.
+  ASSERT_TRUE(svc.start().ok());
+  std::this_thread::sleep_for(client_->breaker_policy().cooldown + 50ms);
+  bool recovered = false;
+  for (int i = 0; i < 100 && !recovered; ++i) {
+    recovered = client_->call(addr, CmdLine("ping"), one_shot).ok();
+    if (!recovered) std::this_thread::sleep_for(20ms);
+  }
+  EXPECT_TRUE(recovered);
+  EXPECT_EQ(metrics.gauge("client.breaker_open").value(), 0);
+  EXPECT_EQ(metrics.counter("client.breaker_closes").value(), closes0 + 1);
+}
+
+TEST_F(ChaosTest, RetriesAreSpacedByJitteredBackoff) {
+  // Refused immediately (no listener on that port), so elapsed time is
+  // dominated by the backoff sleeps, not connect timeouts.
+  const net::Address dead{"ops", 9999};
+  client_->set_breaker_policy({.failure_threshold = 0});  // isolate backoff
+
+  auto& metrics = deployment_->env.metrics();
+  const auto retries0 = metrics.counter("client.retries").value();
+
+  const daemon::CallOptions opts{.timeout = 300ms,
+                                 .require_ok = true,
+                                 .retries = 3,
+                                 .backoff = 60ms,
+                                 .backoff_cap = 1000ms};
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = client_->call(dead, CmdLine("ping"), opts);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(r.ok());
+  // Jitter lower bound is 0.5x: at least 0.5 * (60 + 120 + 240) = 210ms.
+  EXPECT_GE(elapsed, 200ms);
+  EXPECT_GE(metrics.counter("client.retries").value(), retries0 + 3);
+}
+
+TEST_F(ChaosTest, AsdRestartDoesNotOrphanTheRobustnessManager) {
+  daemon::DaemonHost work(deployment_->env, "worker");
+  auto& hal = work.add_daemon<services::HalDaemon>(cfg("hal"));
+  auto& sal = work.add_daemon<services::SalDaemon>(cfg("sal"));
+  ASSERT_TRUE(hal.start().ok());
+  ASSERT_TRUE(sal.start().ok());
+
+  daemon::DaemonConfig fragile_cfg = cfg("fragile");
+  fragile_cfg.lease = 300ms;
+  fragile_cfg.lease_renew = 100ms;
+  auto* fragile = &work.add_daemon<services::HrmDaemon>(fragile_cfg);
+  ASSERT_TRUE(fragile->start().ok());
+
+  std::atomic<int> launches{0};
+  hal.register_launchable("fragile", [&]() -> util::Status {
+    daemon::DaemonConfig c = cfg("fragile");
+    c.lease = 300ms;
+    c.lease_renew = 100ms;
+    auto& revived = work.add_daemon<services::HrmDaemon>(c);
+    launches++;
+    return revived.start();
+  });
+
+  store::RobustnessOptions rm_opts;
+  rm_opts.watch_interval = 100ms;
+  auto& rm =
+      work.add_daemon<store::RobustnessManagerDaemon>(cfg("rm"), rm_opts);
+  ASSERT_TRUE(rm.start().ok());
+
+  CmdLine manage("rmRegister");
+  manage.arg("name", Word{"fragile"});
+  manage.arg("kind", Word{"restart"});
+  manage.arg("host", "worker");
+  ASSERT_TRUE(client_->call(rm.address(), manage, daemon::kCallOk).ok());
+
+  // Kill and relaunch the ASD. Its registry and notification table — the
+  // RM's serviceExpired subscription included — are volatile and are gone
+  // after the restart.
+  auto& metrics = deployment_->env.metrics();
+  const auto resub0 = metrics.counter("rm.resubscribes").value();
+  deployment_->asd->crash();
+  ASSERT_TRUE(deployment_->asd->start().ok());
+
+  // The RM watchdog notices the missing subscription and re-subscribes.
+  bool resubscribed = false;
+  for (int i = 0; i < 400 && !resubscribed; ++i) {
+    resubscribed = metrics.counter("rm.resubscribes").value() > resub0;
+    if (!resubscribed) std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_TRUE(resubscribed);
+
+  // Wait for the fabric to re-register with the fresh ASD (lease renewals
+  // bounce with not_found and trigger re-registration).
+  auto registered = [&](const std::string& name) {
+    return services::AsdClient(*client_, deployment_->env.asd_address)
+        .lookup(name)
+        .ok();
+  };
+  bool fabric_back = false;
+  for (int i = 0; i < 400 && !fabric_back; ++i) {
+    fabric_back = registered("fragile") && registered("sal");
+    if (!fabric_back) std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_TRUE(fabric_back);
+
+  // A crash *after* the ASD restart still runs the full chain: lease
+  // expiry -> serviceExpired to the re-subscribed RM -> SAL -> HAL.
+  fragile->crash();
+  bool relaunched = false;
+  for (int i = 0; i < 600 && !relaunched; ++i) {
+    relaunched = launches.load() > 0 && rm.total_restarts() >= 1;
+    if (!relaunched) std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_TRUE(relaunched);
+}
+
+TEST_F(ChaosTest, StoreConvergesAfterAChaosRun) {
+  std::vector<std::unique_ptr<daemon::DaemonHost>> hosts;
+  std::vector<store::PersistentStoreDaemon*> replicas;
+  std::vector<net::Address> addrs;
+  for (int i = 0; i < 3; ++i) {
+    hosts.push_back(std::make_unique<daemon::DaemonHost>(
+        deployment_->env, "store" + std::to_string(i + 1)));
+    daemon::DaemonConfig c = cfg("store" + std::to_string(i + 1));
+    c.port = 6000;
+    replicas.push_back(
+        &hosts.back()->add_daemon<store::PersistentStoreDaemon>(c, i + 1));
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::vector<net::Address> peers;
+    for (int j = 0; j < 3; ++j)
+      if (j != i) peers.push_back(replicas[j]->address());
+    replicas[i]->set_peers(peers);
+    ASSERT_TRUE(replicas[i]->start().ok());
+    addrs.push_back(replicas[i]->address());
+  }
+
+  chaos::ScheduleParams params;
+  params.duration = 3000ms;
+  params.mean_interval = 250ms;
+  params.min_fault = 150ms;
+  params.max_fault = 600ms;
+  params.service_cooldown = 1200ms;
+  chaos::Targets targets;
+  targets.services = {"store1", "store2", "store3"};
+  targets.hosts = {"store1", "store2", "store3"};
+
+  chaos::Schedule schedule =
+      chaos::generate_schedule(chaos::seed_from_env(99), params, targets);
+  chaos::ChaosEngine engine(deployment_->env, schedule);
+  for (int i = 0; i < 3; ++i)
+    engine.add_service("store" + std::to_string(i + 1), replicas[i]);
+
+  // A writer hammers the store for the whole run; individual puts may fail
+  // against a crashed or partitioned replica — that is the point.
+  auto wclient = deployment_->make_client("chaos-writer", "svc/writer");
+  std::atomic<bool> stop_writer{false};
+  std::jthread writer([&] {
+    store::StoreClient store(*wclient, addrs);
+    for (int i = 0; !stop_writer.load(); ++i) {
+      (void)store.put("chaos/k" + std::to_string(i % 8),
+                      util::to_bytes("v" + std::to_string(i)));
+      if (i % 5 == 0) store.rotate();
+      std::this_thread::sleep_for(20ms);
+    }
+  });
+
+  engine.start();
+  engine.join();
+  stop_writer = true;
+  writer.join();
+
+  EXPECT_TRUE(engine.done());
+  EXPECT_EQ(engine.log().size(), schedule.events.size());
+
+  // The schedule heals everything it broke: every replica is running.
+  for (auto* r : replicas) EXPECT_TRUE(r->running());
+
+  // Drive anti-entropy until all three replicas agree on every key.
+  auto converged = [&] {
+    for (int k = 0; k < 8; ++k) {
+      const std::string key = "chaos/k" + std::to_string(k);
+      auto a = replicas[0]->object(key);
+      auto b = replicas[1]->object(key);
+      auto c = replicas[2]->object(key);
+      if (b.has_value() != a.has_value() || c.has_value() != a.has_value())
+        return false;
+      if (!a) continue;
+      if (a->version != b->version || a->version != c->version) return false;
+      if (a->data != b->data || a->data != c->data) return false;
+    }
+    return true;
+  };
+  bool ok = false;
+  for (int i = 0; i < 100 && !ok; ++i) {
+    for (auto* r : replicas) (void)r->sync_from_peers();
+    ok = converged();
+    if (!ok) std::this_thread::sleep_for(50ms);
+  }
+  EXPECT_TRUE(ok);
 }
 
 TEST_F(FailureTest, CredentialCacheExpiresAndRevocationTakesEffect) {

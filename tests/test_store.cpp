@@ -142,14 +142,48 @@ TEST_F(StoreTest, RejoiningReplicaCatchesUpViaSync) {
   EXPECT_FALSE(replicas_[2]->object("new1").has_value());
 
   // Rejoin: the replica process survived (host network was down); restore
-  // connectivity and run anti-entropy.
+  // connectivity and run anti-entropy. The peer monitor may notice the
+  // rejoin and sync first, so the explicit call must succeed but may find
+  // nothing left to fetch — assert on converged content, not fetch counts.
   hosts_[2]->restore();
   auto fetched = replicas_[2]->sync_from_peers();
   ASSERT_TRUE(fetched.ok());
-  EXPECT_GE(fetched.value(), 3);  // two new keys + one tombstone
 
+  ASSERT_TRUE(replicas_[2]->object("new1").has_value());
   EXPECT_EQ(util::to_string(replicas_[2]->object("new1")->data), "missed");
+  ASSERT_TRUE(replicas_[2]->object("new2").has_value());
+  ASSERT_TRUE(replicas_[2]->object("old").has_value());
   EXPECT_TRUE(replicas_[2]->object("old")->deleted);
+}
+
+TEST_F(StoreTest, PeerRejoinTriggersAutomaticAntiEntropy) {
+  store::StoreClient store(*client_, addresses_);
+  auto& net = deployment_->env.network();
+
+  // Cut replica 3 off from its peers (the daemon itself stays alive, so
+  // its peer monitor keeps probing and sees the outage). Hold the
+  // partition across a few probe rounds — rejoin detection is a down->up
+  // transition, so the monitor must observe the outage first.
+  net.set_partitioned("store3", "store1", true);
+  net.set_partitioned("store3", "store2", true);
+  ASSERT_TRUE(store.put("while-away", util::to_bytes("v")).ok());
+  std::this_thread::sleep_for(600ms);
+  EXPECT_FALSE(replicas_[2]->object("while-away").has_value());
+
+  net.set_partitioned("store3", "store1", false);
+  net.set_partitioned("store3", "store2", false);
+
+  // No manual storeSync: the monitor notices its peers transition back to
+  // reachable and runs an anti-entropy round on its own.
+  bool converged = false;
+  for (int i = 0; i < 600 && !converged; ++i) {
+    converged = replicas_[2]->object("while-away").has_value();
+    if (!converged) std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_TRUE(converged);
+  EXPECT_EQ(util::to_string(replicas_[2]->object("while-away")->data), "v");
+  EXPECT_GE(deployment_->env.metrics().counter("store.rejoin_syncs").value(),
+            1u);
 }
 
 TEST_F(StoreTest, CheckpointApiStoresServiceState) {
