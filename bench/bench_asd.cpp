@@ -1,12 +1,23 @@
 // E2 — ASD registration/lookup and lease behaviour (paper §2.4, Fig 7).
+// E15 — directory scalability: indexed snapshot reads vs linear scan under
+//       churn, client-side lookup caching, and batched lease renewal.
 //
-// Reproduces the Fig 7 interaction quantitatively: how long a lookup takes
-// as the directory grows, registration throughput, and the claim that
-// crashed services are removed automatically on lease expiry (including a
-// lease-interval ablation: shorter leases -> faster stale-entry removal at
-// the cost of more renewal traffic).
+// E2 reproduces the Fig 7 interaction quantitatively. E15 measures the
+// AsdIndex rework: query throughput and tail latency at 1k/10k/50k
+// registrations with a concurrent writer churning the directory, the
+// indexed vs. linear-scan ablation (AsdOptions.use_index), cached vs.
+// uncached AsdClient lookups, and per-lease vs. batched renewal traffic.
+//
+// `--smoke` runs a seconds-scale subset (used by ci.sh bench-smoke) and
+// still exports bench_asd.metrics.json.
+#include <atomic>
+#include <cstring>
+#include <thread>
+
 #include "bench_common.hpp"
 #include "services/asd.hpp"
+#include "services/monitors.hpp"
+#include "util/rng.hpp"
 
 using namespace ace;
 using namespace std::chrono_literals;
@@ -73,9 +84,6 @@ void registration_throughput() {
   double total_us = bench::us_since(start);
   std::printf("  %d registrations in %.1f ms -> %.0f registrations/s\n",
               kCount, total_us / 1000.0, kCount / (total_us / 1e6));
-  // Dump the deployment-wide obs snapshot (asd.registrations,
-  // daemon.cmd.* latency histograms, net.* counters) as a JSON artifact.
-  bench::export_metrics_json("bench_asd", deployment.env.metrics().snapshot());
 }
 
 void lease_expiry_ablation() {
@@ -112,11 +120,234 @@ void lease_expiry_ablation() {
       "   failure detection with proportionally more renewal traffic)\n");
 }
 
+// ------------------------------------------------------------------- E15a
+
+struct QueryBenchResult {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+// Drives the directory core directly (execute(); transport cost is E13's
+// subject, not this experiment's): seeds `n` registrations, then hammers
+// class-constrained queries from `readers` threads while one writer churns
+// re-registrations and renewals. Class cardinality scales with n so bucket
+// sizes stay realistic (many small classes, not 8 giant ones).
+QueryBenchResult run_query_config(int n, bool use_index, int readers,
+                                  std::chrono::milliseconds duration,
+                                  obs::MetricsSnapshot* snapshot_out = nullptr) {
+  daemon::Environment env(7);
+  daemon::DaemonHost host(env, "bench-dir");
+  daemon::DaemonConfig c;
+  c.name = "asd";
+  c.room = "machine-room";
+  c.register_with_asd = false;
+  c.register_with_room_db = false;
+  c.log_to_net_logger = false;
+  services::AsdOptions opts;
+  opts.use_index = use_index;
+  auto& asd = host.add_daemon<services::AsdDaemon>(c, opts);
+  const daemon::CallerInfo caller{"bench", {}};
+
+  const int classes = std::max(8, n / 64);
+  const int rooms = std::max(4, n / 256);
+  auto register_one = [&](int i, std::int64_t port_salt) {
+    CmdLine reg("register");
+    reg.arg("name", Word{"svc" + std::to_string(i)});
+    reg.arg("host", "host" + std::to_string(i % 32));
+    reg.arg("port", std::int64_t{1 + (i + port_salt) % 60000});
+    reg.arg("room", Word{"room" + std::to_string(i % rooms)});
+    reg.arg("class", "Service/Synthetic/Kind" + std::to_string(i % classes));
+    reg.arg("lease", std::int64_t{60000});
+    (void)asd.execute(reg, caller);
+  };
+  for (int i = 0; i < n; ++i) register_one(i, 0);
+
+  // Writer churn: steady re-registrations (which move index buckets) and
+  // renewals (which push expiry-heap nodes) throughout the read window.
+  std::atomic<bool> stop{false};
+  std::jthread churn([&] {
+    util::Rng rng(99);
+    while (!stop.load()) {
+      const int i = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+      register_one(i, static_cast<std::int64_t>(rng.next_below(50000)));
+      CmdLine renew("renew");
+      renew.arg("name",
+                Word{"svc" + std::to_string(rng.next_below(
+                         static_cast<std::uint64_t>(n)))});
+      (void)asd.execute(renew, caller);
+    }
+  });
+
+  std::vector<bench::Series> latencies(static_cast<std::size_t>(readers));
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(readers), 0);
+  std::vector<std::jthread> threads;
+  const auto deadline = bench::Clock::now() + duration;
+  for (int t = 0; t < readers; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng rng(1000 + static_cast<std::uint64_t>(t));
+      while (bench::Clock::now() < deadline) {
+        CmdLine query("query");
+        query.arg("name", "*");
+        query.arg("class",
+                  "Service/Synthetic/Kind" +
+                      std::to_string(rng.next_below(
+                          static_cast<std::uint64_t>(classes))));
+        query.arg("room", "*");
+        auto start = bench::Clock::now();
+        (void)asd.execute(query, caller);
+        latencies[static_cast<std::size_t>(t)].add(bench::us_since(start));
+        counts[static_cast<std::size_t>(t)]++;
+      }
+    });
+  }
+  threads.clear();  // join readers
+  stop.store(true);
+  churn = {};
+
+  bench::Series merged;
+  std::uint64_t total = 0;
+  for (int t = 0; t < readers; ++t) {
+    total += counts[static_cast<std::size_t>(t)];
+    for (double v : latencies[static_cast<std::size_t>(t)].samples)
+      merged.add(v);
+  }
+  QueryBenchResult result;
+  result.qps = static_cast<double>(total) /
+               std::chrono::duration<double>(duration).count();
+  result.p50_us = merged.percentile(50);
+  result.p99_us = merged.percentile(99);
+  if (snapshot_out) *snapshot_out = env.metrics().snapshot();
+  return result;
+}
+
+void query_scaling(bool smoke) {
+  bench::header("E15a",
+                "query throughput under churn: indexed vs linear scan");
+  std::printf("%10s %8s %14s %12s %12s %10s\n", "services", "index",
+              "queries/s", "p50_us", "p99_us", "speedup");
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{500} : std::vector<int>{1000, 10000, 50000};
+  const auto duration = smoke ? 150ms : 400ms;
+  const int readers = 4;
+  obs::MetricsSnapshot exported;
+  for (int n : sizes) {
+    obs::MetricsSnapshot snap;
+    auto indexed = run_query_config(n, true, readers, duration, &snap);
+    auto linear = run_query_config(n, false, readers, duration);
+    exported = snap;  // keep the largest indexed run's counters
+    std::printf("%10d %8s %14.0f %12.1f %12.1f %10s\n", n, "on", indexed.qps,
+                indexed.p50_us, indexed.p99_us, "");
+    std::printf("%10d %8s %14.0f %12.1f %12.1f %9.1fx\n", n, "off",
+                linear.qps, linear.p50_us, linear.p99_us,
+                indexed.qps / std::max(1.0, linear.qps));
+  }
+  std::printf(
+      "  (speedup = indexed qps / linear qps at equal size and churn)\n");
+  // The machine-readable artifact carries the proof the index served the
+  // queries: asd.query_index_hits / asd.query_scans from the indexed run.
+  bench::export_metrics_json("bench_asd", exported);
+}
+
+// ------------------------------------------------------------------- E15b
+
+void client_cache(bool smoke) {
+  bench::header("E15b", "client lookup cache: cached vs uncached AsdClient");
+  testenv::AceTestEnv deployment(45);
+  if (!deployment.start().ok()) return;
+  auto client = deployment.make_client("bench", "user/bench");
+  for (int i = 0; i < 64; ++i)
+    register_synthetic(*client, deployment.env.asd_address, i);
+
+  const int lookups = smoke ? 500 : 5000;
+  // Skewed workload: most lookups go to a handful of hot services, as when
+  // every application in a room resolves the same camera and display.
+  auto run = [&](services::AsdClient& asd, const char* label) {
+    util::Rng rng(11);
+    bench::Series lat;
+    auto start = bench::Clock::now();
+    for (int i = 0; i < lookups; ++i) {
+      const std::uint64_t idx = rng.next_below(100) < 90
+                                    ? rng.next_below(5)
+                                    : rng.next_below(64);
+      auto t0 = bench::Clock::now();
+      auto r = asd.lookup("svc" + std::to_string(idx));
+      lat.add(bench::us_since(t0));
+      if (!r.ok()) std::fprintf(stderr, "lookup failed\n");
+    }
+    double total_s = bench::us_since(start) / 1e6;
+    std::printf("  %-10s %10.0f lookups/s   p50=%.2f us  p99=%.2f us\n",
+                label, lookups / total_s, lat.percentile(50),
+                lat.percentile(99));
+  };
+
+  services::AsdClient uncached(*client, deployment.env.asd_address);
+  run(uncached, "uncached");
+  services::AsdClient cached(*client, deployment.env.asd_address,
+                             services::AsdCacheOptions{.enabled = true});
+  run(cached, "cached");
+  auto& m = deployment.env.metrics();
+  std::printf("  cache: %lld hits / %lld misses\n",
+              static_cast<long long>(m.counter("asd_client.cache_hits").value()),
+              static_cast<long long>(
+                  m.counter("asd_client.cache_misses").value()));
+}
+
+// ------------------------------------------------------------------- E15c
+
+void renewal_batching(bool smoke) {
+  bench::header("E15c",
+                "renewal traffic: per-lease RPCs vs one renewBatch per host");
+  const auto window = smoke ? 600ms : 2s;
+  const int workers = 10;
+  std::printf("%12s %16s %18s\n", "scheme", "renew_rpcs/s",
+              "renewals/interval");
+  double rates[2] = {0, 0};
+  for (int scheme = 0; scheme < 2; ++scheme) {
+    const bool batched = scheme == 1;
+    testenv::AceTestEnv deployment(46);
+    if (!deployment.start().ok()) return;
+    daemon::DaemonHost host(deployment.env, "workstation");
+    for (int i = 0; i < workers; ++i) {
+      daemon::DaemonConfig c;
+      c.name = "w" + std::to_string(i);
+      c.room = "hawk";
+      c.lease = 1000ms;
+      c.lease_renew = 100ms;
+      c.batch_renew = batched;
+      host.add_daemon<services::HrmDaemon>(c);
+    }
+    if (!host.start_all().ok()) return;
+    auto& rpcs = deployment.env.metrics().counter("asd.renew_rpcs");
+    const auto before = rpcs.value();
+    std::this_thread::sleep_for(window);
+    const double per_s =
+        static_cast<double>(rpcs.value() - before) /
+        std::chrono::duration<double>(window).count();
+    rates[scheme] = per_s;
+    std::printf("%12s %16.1f %18.1f\n", batched ? "batched" : "per-lease",
+                per_s, per_s * 0.1);
+    host.stop_all();
+  }
+  if (rates[1] > 0)
+    std::printf("  reduction: %.1fx fewer renewal RPCs for a %d-service host\n",
+                rates[0] / rates[1], workers);
+}
+
 }  // namespace
 
-int main() {
-  lookup_latency_vs_directory_size();
-  registration_throughput();
-  lease_expiry_ablation();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  if (!smoke) {
+    lookup_latency_vs_directory_size();
+    registration_throughput();
+    lease_expiry_ablation();
+  }
+  query_scaling(smoke);
+  client_cache(smoke);
+  renewal_batching(smoke);
   return 0;
 }

@@ -26,6 +26,30 @@ run_config() {
   (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}")
 }
 
+# Runs bench_asd at its smallest scale and validates the exported metrics
+# artifact, so bench bit-rot (bench doesn't build, doesn't run, or stops
+# exporting the counters E15 reads) is caught before anyone needs a full
+# run. The checked counters are the ones the experiment's claims rest on.
+bench_smoke() {
+  local build_dir="$1"
+  echo "=== bench-smoke: bench_asd --smoke ==="
+  (cd "${build_dir}/bench" && rm -f bench_asd.metrics.json && ./bench_asd --smoke)
+  python3 - "${build_dir}/bench/bench_asd.metrics.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    snapshot = json.load(f)
+counters = snapshot["counters"]
+for name in ("asd.registrations", "asd.queries", "asd.query_index_hits",
+             "asd.renewals"):
+    if counters.get(name, 0) <= 0:
+        sys.exit(f"bench-smoke: counter {name!r} missing or zero in {path}")
+print(f"bench-smoke: {path} ok "
+      f"({counters['asd.queries']} queries, "
+      f"{counters['asd.query_index_hits']} index hits)")
+EOF
+}
+
 # Replays the chaos suites (schedule properties + live fault injection)
 # under a handful of fixed seeds. Fixed rather than random so a CI failure
 # is reproducible by running the same seed locally.
@@ -43,6 +67,7 @@ want="${1:-all}"
 case "${want}" in
   release|all)
     run_config "release" build-ci -DCMAKE_BUILD_TYPE=Release
+    bench_smoke build-ci
     ;;&
   tsan|all)
     run_config "tsan" build-tsan -DACE_SANITIZE=thread

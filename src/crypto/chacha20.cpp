@@ -1,5 +1,7 @@
 #include "crypto/chacha20.hpp"
 
+#include <cstring>
+
 namespace ace::crypto {
 
 namespace {
@@ -67,7 +69,19 @@ void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
   while (offset < n) {
     chacha20_block(key, nonce, counter++, keystream);
     std::size_t take = std::min<std::size_t>(64, n - offset);
-    for (std::size_t i = 0; i < take; ++i) data[offset + i] ^= keystream[i];
+    // XOR the keystream in 8-byte words. memcpy keeps it alignment-safe
+    // (data may sit at any offset inside a frame) and compiles to plain
+    // word loads/stores.
+    std::uint8_t* out = data + offset;
+    std::size_t i = 0;
+    for (; i + sizeof(std::uint64_t) <= take; i += sizeof(std::uint64_t)) {
+      std::uint64_t d, k;
+      std::memcpy(&d, out + i, sizeof(d));
+      std::memcpy(&k, keystream + i, sizeof(k));
+      d ^= k;
+      std::memcpy(out + i, &d, sizeof(d));
+    }
+    for (; i < take; ++i) out[i] ^= keystream[i];
     offset += take;
   }
 }

@@ -113,6 +113,9 @@ class AceClient {
     return identity_.certificate.subject;
   }
 
+  // The environment this client was built against (metrics, logging).
+  Environment& env() { return env_; }
+
   // Overrides the protocol version offered on channels opened after this
   // call (testing and the bench_rpc pipelining ablation: 1 forces the
   // serialized v1 exchange even against a v2 daemon). 0 = offer the

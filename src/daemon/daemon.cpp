@@ -1,6 +1,7 @@
 #include "daemon/daemon.hpp"
 
 #include "daemon/host.hpp"
+#include "daemon/lease.hpp"
 #include "daemon/wire.hpp"
 #include "keynote/checker.hpp"
 #include "util/log.hpp"
@@ -336,8 +337,11 @@ util::Status ServiceDaemon::start() {
 
   if (config_.register_with_asd && !env_.asd_address.host.empty() &&
       env_.asd_address != address()) {
-    lease_thread_ =
-        std::jthread([this](std::stop_token st) { lease_loop(st); });
+    if (config_.batch_renew)
+      host_.leases().enroll(*this);
+    else
+      lease_thread_ =
+          std::jthread([this](std::stop_token st) { lease_loop(st); });
   }
   return util::Status::ok_status();
 }
@@ -345,6 +349,11 @@ util::Status ServiceDaemon::start() {
 void ServiceDaemon::stop() {
   if (!running_.exchange(false)) return;
   stopping_.store(true);
+
+  // Leave the host's renewal batch before anything is torn down — after
+  // withdraw() returns, no coordinator tick can call back into us, and a
+  // stray renewal cannot resurrect the entry we deregister below.
+  if (config_.batch_renew) host_.leases_withdraw(config_.name);
 
   on_stop();
 
@@ -386,7 +395,9 @@ void ServiceDaemon::crash() {
   if (!running_.exchange(false)) return;
   stopping_.store(true);
   // No deregistration, no logging — the ASD must detect this via lease
-  // expiry (paper §2.4).
+  // expiry (paper §2.4). A crashed process is no longer resident, so the
+  // host's coordinator stops renewing for it and the lease lapses.
+  if (config_.batch_renew) host_.leases_withdraw(config_.name);
   lease_thread_ = {};
   if (listener_) listener_->close();
   if (data_socket_) data_socket_->close();
@@ -551,7 +562,11 @@ void ServiceDaemon::control_loop(std::stop_token st) {
 }
 
 CmdLine ServiceDaemon::execute(const CmdLine& cmd, const CallerInfo& caller) {
-  return dispatch(cmd, caller);
+  // Mirror the network path: commands declared concurrent_ok run without
+  // the exec_mu_ serialization, so in-process callers (tests, benches,
+  // composition) see the same concurrency the wire sees.
+  const cmdlang::CommandSpec* spec = semantics_.find(cmd.name());
+  return dispatch(cmd, caller, /*serialize=*/!(spec && spec->concurrent));
 }
 
 CmdLine ServiceDaemon::dispatch(const CmdLine& cmd, const CallerInfo& caller,
@@ -757,6 +772,17 @@ void ServiceDaemon::lease_loop(std::stop_token st) {
                             "' re-registered after ASD state loss");
       }
     }
+  }
+}
+
+void ServiceDaemon::handle_lease_lost() {
+  // Called from the host's LeaseCoordinator when a batched renewal came
+  // back `not_found` — same healing as the per-daemon loop above.
+  if (!running_.load() || stopping_.load()) return;
+  if (register_with_asd().ok()) {
+    env_.metrics().counter("daemon.lease.reregistered").inc();
+    net_log("info", "service '" + config_.name +
+                        "' re-registered after ASD state loss");
   }
 }
 

@@ -63,6 +63,12 @@ struct DaemonConfig {
   bool register_with_room_db = true;
   bool log_to_net_logger = true;
 
+  // true: this daemon's lease rides the host's LeaseCoordinator — one
+  // `renewBatch` RPC per host per interval. false: the original scheme, a
+  // dedicated lease thread and one `renew` RPC per service per interval
+  // (kept for the E15c renewal-traffic ablation).
+  bool batch_renew = true;
+
   // When true, every command is checked through KeyNote (Fig 10) before
   // execution, with credentials fetched from the Authorization Database.
   bool enforce_authorization = false;
@@ -166,6 +172,11 @@ class ServiceDaemon {
   const crypto::Identity& identity() const { return identity_; }
 
  private:
+  // The host's LeaseCoordinator renews this daemon's lease and reports a
+  // lost one (directory restarted empty) via handle_lease_lost().
+  friend class LeaseCoordinator;
+  void handle_lease_lost();
+
   struct NotificationEntry {
     std::string command;  // command being listened for
     net::Address service; // who to notify

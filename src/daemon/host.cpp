@@ -1,6 +1,7 @@
 #include "daemon/host.hpp"
 
 #include "daemon/daemon.hpp"
+#include "daemon/lease.hpp"
 
 namespace ace::daemon {
 
@@ -101,6 +102,21 @@ void DaemonHost::stop_all() {
   }
   // Stop in reverse start order so dependents go first.
   for (auto it = to_stop.rbegin(); it != to_stop.rend(); ++it) (*it)->stop();
+}
+
+LeaseCoordinator& DaemonHost::leases() {
+  std::scoped_lock lock(mu_);
+  if (!leases_) leases_ = std::make_unique<LeaseCoordinator>(env_, *this);
+  return *leases_;
+}
+
+void DaemonHost::leases_withdraw(const std::string& name) {
+  LeaseCoordinator* leases = nullptr;
+  {
+    std::scoped_lock lock(mu_);
+    leases = leases_.get();
+  }
+  if (leases) leases->withdraw(name);
 }
 
 ServiceDaemon* DaemonHost::find_daemon(const std::string& name) {

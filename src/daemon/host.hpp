@@ -24,6 +24,7 @@
 
 namespace ace::daemon {
 
+class LeaseCoordinator;
 class ServiceDaemon;
 
 struct HostSpec {
@@ -99,6 +100,13 @@ class DaemonHost {
   void stop_all();
   ServiceDaemon* find_daemon(const std::string& name);
 
+  // The host's batched lease renewer (lease.hpp), created on first use —
+  // daemons with config.batch_renew enroll here instead of running their
+  // own lease thread. leases_withdraw() is the removal path that does NOT
+  // conjure a coordinator into existence just to leave it.
+  LeaseCoordinator& leases();
+  void leases_withdraw(const std::string& name);
+
   // Host failure: drops off the network and crashes all daemons; restore()
   // brings the network interface back (daemons must be restarted).
   void fail();
@@ -116,6 +124,9 @@ class DaemonHost {
   int next_pid_ = 100;
   double net_load_ = 0.0;
   double base_load_ = 0.0;
+  // Declared before daemons_: daemon destructors call stop(), which
+  // withdraws from the coordinator, so it must outlive them.
+  std::unique_ptr<LeaseCoordinator> leases_;
   std::vector<std::unique_ptr<ServiceDaemon>> daemons_;
 };
 

@@ -1,0 +1,81 @@
+// LeaseCoordinator — host-level batched lease renewal.
+//
+// With per-daemon renewal (DaemonConfig::batch_renew = false, the original
+// scheme) every resident service runs its own lease thread and sends its
+// own `renew` RPC each period: a host with ten services costs the directory
+// ten RPCs per interval. The coordinator replaces those threads with one
+// per-host loop that renews every resident lease in a single `renewBatch`
+// RPC — the renewal traffic a directory sees scales with hosts, not with
+// services (E15c measures the ratio).
+//
+// A daemon enrolls after its Fig 9 registration and withdraws on stop() and
+// on crash(): a crashed process no longer renews, so its lease lapses and
+// the directory detects the death exactly as before (paper §2.4). Per-name
+// statuses in the batch reply let one lost lease (directory restarted with
+// an empty registry) trigger that daemon's re-registration without
+// disturbing its neighbours.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "daemon/client.hpp"
+#include "daemon/environment.hpp"
+
+namespace ace::daemon {
+
+class DaemonHost;
+class ServiceDaemon;
+
+class LeaseCoordinator {
+ public:
+  LeaseCoordinator(Environment& env, DaemonHost& host);
+  ~LeaseCoordinator();
+
+  LeaseCoordinator(const LeaseCoordinator&) = delete;
+  LeaseCoordinator& operator=(const LeaseCoordinator&) = delete;
+
+  // Adds `daemon` to the renewal batch. The renewal interval tightens to
+  // the smallest lease_renew among enrolled daemons. Starts the loop on
+  // first enrollment.
+  void enroll(ServiceDaemon& daemon);
+
+  // Removes `name` from the batch. Blocks until any in-flight tick has
+  // finished, so after this returns the coordinator will never touch the
+  // withdrawn daemon again (its stop()/crash() may proceed to tear down).
+  void withdraw(const std::string& name);
+
+  std::size_t enrolled_count() const;
+
+ private:
+  void renew_loop(std::stop_token st);
+  void tick();
+  std::chrono::milliseconds interval_locked() const;
+
+  Environment& env_;
+  DaemonHost& host_;
+  std::unique_ptr<AceClient> client_;
+
+  obs::Counter* obs_batches_;   // daemon.lease.batches
+  obs::Counter* obs_renewed_;   // daemon.lease.renewed
+  obs::Counter* obs_lost_;      // daemon.lease.lost
+
+  // mu_ guards the roster; tick_mu_ is held across a whole tick (RPC +
+  // lost-lease callbacks). Lock order: tick_mu_ before mu_. withdraw()
+  // takes both so it cannot interleave with a tick that might still call
+  // into the withdrawing daemon.
+  mutable std::mutex mu_;
+  std::mutex tick_mu_;
+  std::map<std::string, ServiceDaemon*> enrolled_;
+
+  std::mutex wait_mu_;  // cv sleep only; never nested with the others
+  std::condition_variable_any cv_;
+  std::jthread thread_;
+};
+
+}  // namespace ace::daemon

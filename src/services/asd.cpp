@@ -6,10 +6,12 @@
 
 namespace ace::services {
 
+using cmdlang::ArgType;
 using cmdlang::CmdLine;
 using cmdlang::CommandSpec;
 using cmdlang::integer_arg;
 using cmdlang::string_arg;
+using cmdlang::vector_arg;
 using cmdlang::Word;
 using cmdlang::word_arg;
 using daemon::CallerInfo;
@@ -23,6 +25,12 @@ daemon::DaemonConfig asd_defaults(daemon::DaemonConfig config) {
     config.service_class = "Service/ServiceDirectory";
   return config;
 }
+
+std::int64_t remaining_ms(std::chrono::steady_clock::time_point expires,
+                          std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(expires - now)
+      .count();
+}
 }  // namespace
 
 AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
@@ -31,11 +39,20 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
       options_(options),
       obs_registrations_(&env.metrics().counter("asd.registrations")),
       obs_renewals_(&env.metrics().counter("asd.renewals")),
+      obs_renew_rpcs_(&env.metrics().counter("asd.renew_rpcs")),
+      obs_renew_batches_(&env.metrics().counter("asd.renew_batches")),
       obs_deregistrations_(&env.metrics().counter("asd.deregistrations")),
       obs_expirations_(&env.metrics().counter("asd.expirations")),
       obs_lookups_(&env.metrics().counter("asd.lookups")),
       obs_queries_(&env.metrics().counter("asd.queries")),
-      obs_live_count_(&env.metrics().gauge("asd.live_count")) {
+      obs_index_hits_(&env.metrics().counter("asd.query_index_hits")),
+      obs_scans_(&env.metrics().counter("asd.query_scans")),
+      obs_live_count_(&env.metrics().gauge("asd.live_count")),
+      index_(options.use_index,
+             AsdIndexObs{obs_index_hits_, obs_scans_, obs_live_count_}) {
+  // Every directory command runs concurrently against the synchronized
+  // index: readers share the index lock instead of convoying behind the
+  // daemon's control thread (see asd_index.hpp).
   register_command(
       CommandSpec("register", "register a service with a liveness lease")
           .arg(word_arg("name"))
@@ -43,7 +60,8 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
           .arg(integer_arg("port").range(1, 65535))
           .arg(word_arg("room").optional_arg())
           .arg(string_arg("class").optional_arg())
-          .arg(integer_arg("lease").optional_arg()),
+          .arg(integer_arg("lease").optional_arg())
+          .concurrent_ok(),
       [this](const CmdLine& cmd, const CallerInfo&) {
         Registration r;
         r.name = cmd.get_text("name");
@@ -55,65 +73,93 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
             cmd.get_integer("lease", options_.max_lease.count()));
         r.lease = std::clamp(requested, options_.min_lease, options_.max_lease);
         r.expires = std::chrono::steady_clock::now() + r.lease;
-        {
-          std::scoped_lock lock(mu_);
-          registry_[r.name] = r;
-          update_live_gauge_locked();
-        }
+        auto granted = r.lease;
+        index_.upsert(std::move(r));
         obs_registrations_->inc();
         CmdLine reply = cmdlang::make_ok();
-        reply.arg("lease", static_cast<std::int64_t>(r.lease.count()));
+        reply.arg("lease", static_cast<std::int64_t>(granted.count()));
         return reply;
       });
 
   register_command(
-      CommandSpec("renew", "renew a service lease").arg(word_arg("name")),
+      CommandSpec("renew", "renew a service lease")
+          .arg(word_arg("name"))
+          .concurrent_ok(),
       [this](const CmdLine& cmd, const CallerInfo&) {
-        std::scoped_lock lock(mu_);
-        auto it = registry_.find(cmd.get_text("name"));
-        if (it == registry_.end())
+        obs_renew_rpcs_->inc();
+        auto lease = index_.renew(cmd.get_text("name"),
+                                  std::chrono::steady_clock::now());
+        if (!lease)
           return cmdlang::make_error(util::Errc::not_found,
                                      "service not registered");
-        it->second.expires = std::chrono::steady_clock::now() +
-                             it->second.lease;
         obs_renewals_->inc();
         CmdLine reply = cmdlang::make_ok();
-        reply.arg("expires_in",
-                  static_cast<std::int64_t>(it->second.lease.count()));
+        reply.arg("expires_in", static_cast<std::int64_t>(lease->count()));
+        return reply;
+      });
+
+  // One RPC per host per renewal interval instead of one per lease: a
+  // DaemonHost's LeaseCoordinator sends every resident service name here
+  // (daemon/lease.hpp). Per-name statuses let one lost lease trigger one
+  // re-registration without failing the whole batch.
+  register_command(
+      CommandSpec("renewBatch", "renew many service leases in one RPC")
+          .arg(vector_arg("names", ArgType::vector_string))
+          .concurrent_ok(),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        obs_renew_rpcs_->inc();
+        obs_renew_batches_->inc();
+        auto now = std::chrono::steady_clock::now();
+        std::vector<std::string> statuses;
+        if (auto names = cmd.get_vector("names")) {
+          statuses.reserve(names->elements.size());
+          for (const auto& elem : names->elements) {
+            if (!elem.is_string() && !elem.is_word()) continue;
+            const std::string& name = elem.as_text();
+            if (auto lease = index_.renew(name, now)) {
+              obs_renewals_->inc();
+              statuses.push_back(name + "|ok|" +
+                                 std::to_string(lease->count()));
+            } else {
+              statuses.push_back(name + "|not_found");
+            }
+          }
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("statuses", cmdlang::string_vector(std::move(statuses)));
         return reply;
       });
 
   register_command(
       CommandSpec("deregister", "remove a service from the directory")
-          .arg(word_arg("name")),
+          .arg(word_arg("name"))
+          .concurrent_ok(),
       [this](const CmdLine& cmd, const CallerInfo&) {
-        {
-          std::scoped_lock lock(mu_);
-          registry_.erase(cmd.get_text("name"));
-          update_live_gauge_locked();
-        }
+        index_.erase(cmd.get_text("name"));
         obs_deregistrations_->inc();
         return cmdlang::make_ok();
       });
 
   register_command(
       CommandSpec("lookup", "find one service by exact name")
-          .arg(word_arg("name")),
+          .arg(word_arg("name"))
+          .concurrent_ok(),
       [this](const CmdLine& cmd, const CallerInfo&) {
         obs_lookups_->inc();
-        std::scoped_lock lock(mu_);
-        auto it = registry_.find(cmd.get_text("name"));
-        if (it == registry_.end() ||
-            it->second.expires < std::chrono::steady_clock::now())
+        auto now = std::chrono::steady_clock::now();
+        auto r = index_.find(cmd.get_text("name"));
+        if (!r || r->expires < now)
           return cmdlang::make_error(util::Errc::not_found,
                                      "no such service");
-        const Registration& r = it->second;
         CmdLine reply = cmdlang::make_ok();
-        reply.arg("name", Word{r.name});
-        reply.arg("host", r.host);
-        reply.arg("port", static_cast<std::int64_t>(r.port));
-        reply.arg("room", r.room);
-        reply.arg("class", r.service_class);
+        reply.arg("name", Word{r->name});
+        reply.arg("host", r->host);
+        reply.arg("port", static_cast<std::int64_t>(r->port));
+        reply.arg("room", r->room);
+        reply.arg("class", r->service_class);
+        // Remaining lease: the horizon a client-side cache may serve this
+        // entry to without risking staleness beyond the lease contract.
+        reply.arg("expires_in", remaining_ms(r->expires, now));
         return reply;
       });
 
@@ -121,83 +167,51 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
       CommandSpec("query", "find services by glob patterns")
           .arg(string_arg("name").optional_arg())
           .arg(string_arg("class").optional_arg())
-          .arg(string_arg("room").optional_arg()),
+          .arg(string_arg("room").optional_arg())
+          .concurrent_ok(),
       [this](const CmdLine& cmd, const CallerInfo&) {
         obs_queries_->inc();
-        std::string name_glob = cmd.get_text("name", "*");
-        std::string class_glob = cmd.get_text("class", "*");
-        std::string room_glob = cmd.get_text("room", "*");
-        auto now = std::chrono::steady_clock::now();
-        std::vector<std::string> entries;
-        {
-          std::scoped_lock lock(mu_);
-          for (const auto& [name, r] : registry_) {
-            if (r.expires < now) continue;
-            if (!util::glob_match(name_glob, r.name)) continue;
-            if (!util::glob_match(class_glob, r.service_class)) continue;
-            if (!util::glob_match(room_glob, r.room)) continue;
-            entries.push_back(encode_entry(r));
-          }
-        }
+        auto entries = index_.query(cmd.get_text("name", "*"),
+                                    cmd.get_text("class", "*"),
+                                    cmd.get_text("room", "*"),
+                                    std::chrono::steady_clock::now());
+        std::vector<std::string> encoded;
+        encoded.reserve(entries.size());
+        for (const Registration& r : entries)
+          encoded.push_back(encode_entry(r));
         CmdLine reply = cmdlang::make_ok();
-        reply.arg("services", cmdlang::string_vector(std::move(entries)));
+        reply.arg("services", cmdlang::string_vector(std::move(encoded)));
         return reply;
       });
 
   register_command(
-      CommandSpec("count", "number of live registrations"),
+      CommandSpec("count", "number of live registrations").concurrent_ok(),
       [this](const CmdLine&, const CallerInfo&) {
         CmdLine reply = cmdlang::make_ok();
-        reply.arg("count", static_cast<std::int64_t>(live_count()));
+        reply.arg("count", static_cast<std::int64_t>(index_.size()));
         return reply;
       });
 
   // Internal: executed by the reaper; exists so lease expiry flows through
-  // the normal notification machinery (§2.5) for watchers.
+  // the normal notification machinery (§2.5) for watchers. Removes the
+  // entry only if it is still expired — a renewal racing the reaper wins.
   register_command(
       CommandSpec("serviceExpired", "internal lease-expiry event")
           .arg(word_arg("name"))
           .arg(string_arg("class").optional_arg())
-          .arg(string_arg("host").optional_arg()),
+          .arg(string_arg("host").optional_arg())
+          .concurrent_ok(),
       [this](const CmdLine& cmd, const CallerInfo&) {
-        {
-          std::scoped_lock lock(mu_);
-          registry_.erase(cmd.get_text("name"));
-          update_live_gauge_locked();
-        }
-        obs_expirations_->inc();
+        if (index_.erase_expired(cmd.get_text("name"),
+                                 std::chrono::steady_clock::now()))
+          obs_expirations_->inc();
         return cmdlang::make_ok();
       });
-}
-
-void AsdDaemon::update_live_gauge_locked() {
-  auto now = std::chrono::steady_clock::now();
-  std::int64_t n = 0;
-  for (const auto& [name, r] : registry_)
-    if (r.expires >= now) ++n;
-  obs_live_count_->set(n);
 }
 
 std::string AsdDaemon::encode_entry(const Registration& r) {
   return r.name + "|" + r.host + ":" + std::to_string(r.port) + "|" + r.room +
          "|" + r.service_class;
-}
-
-std::size_t AsdDaemon::live_count() const {
-  auto now = std::chrono::steady_clock::now();
-  std::scoped_lock lock(mu_);
-  std::size_t n = 0;
-  for (const auto& [name, r] : registry_)
-    if (r.expires >= now) ++n;
-  return n;
-}
-
-std::optional<AsdDaemon::Registration> AsdDaemon::find_registration(
-    const std::string& name) const {
-  std::scoped_lock lock(mu_);
-  auto it = registry_.find(name);
-  if (it == registry_.end()) return std::nullopt;
-  return it->second;
 }
 
 util::Status AsdDaemon::on_start() {
@@ -209,45 +223,126 @@ void AsdDaemon::on_stop() { reaper_ = {}; }
 
 void AsdDaemon::on_crash() {
   reaper_ = {};
-  std::scoped_lock lock(mu_);
-  registry_.clear();
-  update_live_gauge_locked();
+  index_.clear();
 }
 
 void AsdDaemon::reaper_loop(std::stop_token st) {
+  std::unique_lock lock(reaper_mu_);
   while (!st.stop_requested()) {
-    std::this_thread::sleep_for(options_.reap_interval);
-    auto now = std::chrono::steady_clock::now();
-    std::vector<Registration> expired;
-    {
-      std::scoped_lock lock(mu_);
-      for (const auto& [name, r] : registry_)
-        if (r.expires < now) expired.push_back(r);
-    }
+    // Interruptible wait: the jthread's stop request wakes this
+    // immediately, so shutdown never stalls for a whole reap interval.
+    reaper_cv_.wait_for(lock, st, options_.reap_interval,
+                        [] { return false; });
+    if (st.stop_requested()) return;
+    // O(k log n): pops only the due entries off the expiry heap instead of
+    // sweeping the registry.
+    auto expired = index_.collect_expired(std::chrono::steady_clock::now());
     for (const Registration& r : expired) {
       CmdLine event("serviceExpired");
       event.arg("name", Word{r.name});
       event.arg("class", r.service_class);
       event.arg("host", r.host + ":" + std::to_string(r.port));
-      // Runs the registered handler (removes the entry) and fires any
-      // `serviceExpired` notifications.
+      // Runs the registered handler (removes the entry if still expired)
+      // and fires any `serviceExpired` notifications.
       (void)execute(event, CallerInfo{"svc/" + config().name, address()});
       net_log("warn", "lease expired for service '" + r.name + "'");
     }
   }
 }
 
+// ----------------------------------------------------------------- client
+
+AsdClient::AsdClient(daemon::AceClient& client, net::Address asd,
+                     AsdCacheOptions cache)
+    : client_(client), asd_(asd) {
+  if (cache.enabled) {
+    cache_ = std::make_unique<CacheState>();
+    cache_->options = cache;
+    cache_->hits = &client.env().metrics().counter("asd_client.cache_hits");
+    cache_->misses =
+        &client.env().metrics().counter("asd_client.cache_misses");
+  }
+}
+
+std::optional<util::Result<ServiceLocation>> AsdClient::cache_get(
+    const std::string& name) {
+  auto now = std::chrono::steady_clock::now();
+  std::scoped_lock lock(cache_->mu);
+  auto it = cache_->entries.find(name);
+  if (it == cache_->entries.end() || it->second.valid_until <= now) {
+    if (it != cache_->entries.end()) cache_->entries.erase(it);
+    cache_->misses->inc();
+    return std::nullopt;
+  }
+  cache_->hits->inc();
+  if (!it->second.location)
+    return util::Result<ServiceLocation>(
+        util::Error{util::Errc::not_found, "no such service (cached)"});
+  return util::Result<ServiceLocation>(*it->second.location);
+}
+
+void AsdClient::cache_put(const std::string& name,
+                          std::optional<ServiceLocation> loc,
+                          std::chrono::milliseconds ttl) {
+  if (ttl.count() <= 0) return;
+  auto now = std::chrono::steady_clock::now();
+  std::scoped_lock lock(cache_->mu);
+  if (cache_->entries.size() >= cache_->options.max_entries &&
+      !cache_->entries.contains(name)) {
+    // Capped size: drop dead entries first, then the soonest-expiring one
+    // (it carries the least remaining usefulness).
+    std::erase_if(cache_->entries,
+                  [&](const auto& kv) { return kv.second.valid_until <= now; });
+    if (cache_->entries.size() >= cache_->options.max_entries) {
+      auto victim = cache_->entries.begin();
+      for (auto it = cache_->entries.begin(); it != cache_->entries.end(); ++it)
+        if (it->second.valid_until < victim->second.valid_until) victim = it;
+      cache_->entries.erase(victim);
+    }
+  }
+  cache_->entries[name] = CacheEntry{std::move(loc), now + ttl};
+}
+
+void AsdClient::invalidate(const std::string& name) {
+  if (!cache_) return;
+  std::scoped_lock lock(cache_->mu);
+  cache_->entries.erase(name);
+}
+
+void AsdClient::invalidate_all() {
+  if (!cache_) return;
+  std::scoped_lock lock(cache_->mu);
+  cache_->entries.clear();
+}
+
 util::Result<ServiceLocation> AsdClient::lookup(const std::string& name) {
+  if (cache_) {
+    if (auto cached = cache_get(name)) return std::move(*cached);
+  }
   CmdLine cmd("lookup");
   cmd.arg("name", Word{name});
   auto reply = client_.call(asd_, cmd, daemon::kCallOk);
-  if (!reply.ok()) return reply.error();
+  if (!reply.ok()) {
+    // Negative caching: a directory miss is re-served for a short window
+    // so retry storms (e.g. a crashed dependency being polled) cost one
+    // RPC per negative_ttl instead of one per poll.
+    if (cache_ && reply.error().code == util::Errc::not_found)
+      cache_put(name, std::nullopt, cache_->options.negative_ttl);
+    return reply.error();
+  }
   ServiceLocation loc;
   loc.name = reply->get_text("name");
   loc.address.host = reply->get_text("host");
   loc.address.port = static_cast<std::uint16_t>(reply->get_integer("port"));
   loc.room = reply->get_text("room");
   loc.service_class = reply->get_text("class");
+  if (cache_) {
+    // Lease-bounded TTL: never serve the entry past the lease the
+    // directory itself would hold it for. Replies without expires_in
+    // (pre-v2 directories) are simply not cached.
+    auto ttl = std::chrono::milliseconds(reply->get_integer("expires_in", 0));
+    cache_put(name, loc, ttl);
+  }
   return loc;
 }
 
@@ -296,6 +391,25 @@ util::Status AsdClient::renew(const std::string& name) {
   auto reply = client_.call(asd_, cmd, daemon::kCallOk);
   if (!reply.ok()) return reply.error();
   return util::Status::ok_status();
+}
+
+util::Result<std::vector<RenewOutcome>> AsdClient::renew_batch(
+    const std::vector<std::string>& names) {
+  CmdLine cmd("renewBatch");
+  cmd.arg("names", cmdlang::string_vector(names));
+  auto reply = client_.call(asd_, cmd, daemon::kCallOk);
+  if (!reply.ok()) return reply.error();
+  std::vector<RenewOutcome> out;
+  out.reserve(names.size());
+  if (auto vec = reply->get_vector("statuses")) {
+    for (const auto& elem : vec->elements) {
+      if (!elem.is_string() && !elem.is_word()) continue;
+      auto parts = util::split(elem.as_text(), '|');
+      if (parts.size() < 2) continue;
+      out.push_back(RenewOutcome{parts[0], parts[1] == "ok"});
+    }
+  }
+  return out;
 }
 
 util::Status AsdClient::deregister(const std::string& name) {

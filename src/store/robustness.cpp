@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "daemon/host.hpp"
 #include "services/asd.hpp"
 
 namespace ace::store {
@@ -30,6 +31,7 @@ RobustnessManagerDaemon::RobustnessManagerDaemon(daemon::Environment& env,
       obs_restarts_(&env.metrics().counter("rm.restarts")),
       obs_restart_failures_(&env.metrics().counter("rm.restart_failures")),
       obs_resubscribes_(&env.metrics().counter("rm.resubscribes")),
+      obs_cache_invalidations_(&env.metrics().counter("rm.cache_invalidations")),
       obs_pending_(&env.metrics().gauge("rm.pending_relaunches")) {
   register_command(
       CommandSpec("rmRegister", "manage a restart/robust service")
@@ -74,8 +76,17 @@ RobustnessManagerDaemon::RobustnessManagerDaemon(daemon::Environment& env,
         if (!detail.ok())
           return cmdlang::make_error(util::Errc::parse_error,
                                      "bad notification detail");
-        if (detail->name() == "serviceExpired")
-          handle_expiry(detail->get_text("name"));
+        if (detail->name() == "serviceExpired") {
+          const std::string name = detail->get_text("name");
+          // Evict before acting: the relaunch path must re-resolve through
+          // the directory, never through a cache entry for the dead
+          // instance.
+          if (auto dir = directory()) {
+            dir->asd.invalidate(name);
+            obs_cache_invalidations_->inc();
+          }
+          handle_expiry(name);
+        }
         return cmdlang::make_ok();
       });
 
@@ -98,7 +109,26 @@ RobustnessManagerDaemon::RobustnessManagerDaemon(daemon::Environment& env,
       });
 }
 
+std::shared_ptr<RobustnessManagerDaemon::DirectoryClient>
+RobustnessManagerDaemon::directory() {
+  std::scoped_lock lock(asd_mu_);
+  return asd_;
+}
+
 util::Status RobustnessManagerDaemon::on_start() {
+  if (!env().asd_address.host.empty()) {
+    // Fresh client each life (a restart is a new process; nothing cached
+    // survives). The old one, if any, dies when its last user lets go.
+    auto transport = std::make_unique<daemon::AceClient>(
+        env(), host().net_host(), identity());
+    daemon::AceClient& t = *transport;
+    auto fresh = std::make_shared<DirectoryClient>(DirectoryClient{
+        std::move(transport),
+        services::AsdClient(t, env().asd_address,
+                            services::AsdCacheOptions{.enabled = true})});
+    std::scoped_lock lock(asd_mu_);
+    asd_ = std::move(fresh);
+  }
   // The ASD may not be up yet when we boot; watch_asd() can be re-invoked
   // by the deployer. Try once here, best effort — the watchdog keeps
   // retrying until the subscription sticks.
@@ -195,8 +225,9 @@ bool RobustnessManagerDaemon::try_relaunch(const std::string& name) {
     return false;
   };
 
-  auto sals = services::AsdClient(control_client(), env().asd_address)
-                  .query("*", "Service/Launcher/SAL*", "*");
+  auto dir = directory();
+  if (!dir) return fail("no ASD configured");
+  auto sals = dir->asd.query("*", "Service/Launcher/SAL*", "*");
   if (!sals.ok()) return fail("SAL query failed: " + sals.error().to_string());
   if (sals->empty()) return fail("no SAL registered");
 
@@ -253,9 +284,13 @@ void RobustnessManagerDaemon::watchdog_loop(std::stop_token st) {
         names.push_back(name);
       }
     }
+    auto dir = directory();
+    if (!dir) continue;
     for (const auto& name : names) {
-      auto loc = services::AsdClient(control_client(), env().asd_address)
-                     .lookup(name);
+      // Cached lookups: a hit is lease-bounded, so a dead service is never
+      // reported live past the instant the directory itself would have
+      // dropped it — the sweep loses no detection latency to the cache.
+      auto loc = dir->asd.lookup(name);
       if (!loc.ok() && loc.error().code == util::Errc::not_found) {
         net_log("warn", "managed service '" + name +
                             "' missing from directory; relaunching");

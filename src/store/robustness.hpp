@@ -36,6 +36,7 @@
 #pragma once
 
 #include "daemon/daemon.hpp"
+#include "services/asd.hpp"
 
 namespace ace::store {
 
@@ -97,6 +98,18 @@ class RobustnessManagerDaemon : public daemon::ServiceDaemon {
   // True when the ASD still lists our serviceExpired subscription.
   bool subscription_alive();
 
+  // The manager's cached directory client with the transport it rides on
+  // (owned together: the base class replaces control_client() on every
+  // start(), so a cache built over it would dangle across a restart).
+  struct DirectoryClient {
+    std::unique_ptr<daemon::AceClient> transport;
+    services::AsdClient asd;
+  };
+  // Snapshot of the current client; null before the first start or when no
+  // ASD is configured. Callers keep the snapshot alive across their calls,
+  // so a concurrent restart swapping in a fresh client never pulls the rug.
+  std::shared_ptr<DirectoryClient> directory();
+
   RobustnessOptions options_;
   mutable std::mutex mu_;
   std::map<std::string, ManagedService> managed_;
@@ -105,10 +118,19 @@ class RobustnessManagerDaemon : public daemon::ServiceDaemon {
   int total_restarts_ = 0;
   std::jthread watchdog_;
 
+  // The watchdog sweeps the directory every tick for every managed name,
+  // which made the manager the chattiest ASD reader in the deployment. A
+  // lease-bounded lookup cache absorbs most of that traffic, and the
+  // rmNotify handler evicts on serviceExpired so a death is acted on the
+  // moment the directory announces it rather than a TTL later.
+  std::mutex asd_mu_;  // guards the asd_ pointer swap only
+  std::shared_ptr<DirectoryClient> asd_;
+
   // Cached obs cells (deployment registry, `rm.*` names).
   obs::Counter* obs_restarts_;
   obs::Counter* obs_restart_failures_;
   obs::Counter* obs_resubscribes_;
+  obs::Counter* obs_cache_invalidations_;
   obs::Gauge* obs_pending_;
 };
 

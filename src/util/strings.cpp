@@ -49,6 +49,21 @@ std::string to_lower(std::string_view s) {
 }
 
 bool glob_match(std::string_view pattern, std::string_view text) {
+  // Fast paths for the pattern shapes that dominate directory queries
+  // ("*", exact names, class-prefix globs); anything else falls through to
+  // the general matcher. `?` disqualifies every shortcut since it needs
+  // positional matching.
+  if (pattern == "*") return true;
+  const std::size_t first_wild = pattern.find_first_of("*?");
+  if (first_wild == std::string_view::npos) return pattern == text;
+  if (pattern.find_first_of("*?", first_wild + 1) == std::string_view::npos &&
+      pattern[first_wild] == '*') {
+    if (first_wild == pattern.size() - 1)  // "prefix*"
+      return starts_with(text, pattern.substr(0, first_wild));
+    if (first_wild == 0)  // "*suffix"
+      return ends_with(text, pattern.substr(1));
+  }
+
   // Iterative wildcard match with backtracking on the last '*'.
   std::size_t p = 0, t = 0;
   std::size_t star = std::string_view::npos, mark = 0;

@@ -15,7 +15,8 @@
 namespace ace::testenv {
 
 struct AceTestEnv {
-  explicit AceTestEnv(std::uint64_t seed = 42, bool encrypt = true)
+  explicit AceTestEnv(std::uint64_t seed = 42, bool encrypt = true,
+                      services::AsdOptions asd_options = {})
       : env(seed) {
     env.channel_options().encrypt = encrypt;
     infra_host = std::make_unique<daemon::DaemonHost>(env, "infra");
@@ -31,7 +32,7 @@ struct AceTestEnv {
     asd_config.room = "machine-room";
     asd_config.register_with_room_db = false;  // boots before the Room DB
     asd = &infra_host->add_daemon<services::AsdDaemon>(asd_config,
-                                                       services::AsdOptions{});
+                                                       asd_options);
 
     daemon::DaemonConfig room_config;
     room_config.name = "room-db";

@@ -271,7 +271,57 @@ INSTANTIATE_TEST_SUITE_P(
         GlobCase{"*HRM*", "Service/Monitor/HRM", true},
         GlobCase{"a?c", "abc", true}, GlobCase{"a?c", "ac", false},
         GlobCase{"**", "x", true}, GlobCase{"", "", true},
-        GlobCase{"", "x", false}));
+        GlobCase{"", "x", false},
+        // Fast-path shapes: exact, "prefix*", "*suffix" — and near misses
+        // that must still take the general matcher ('?' anywhere, interior
+        // or multiple '*').
+        GlobCase{"exact-name", "exact-name", true},
+        GlobCase{"exact-name", "exact-name2", false},
+        GlobCase{"exact-name", "exact-nam", false},
+        GlobCase{"room-*", "room-db", true},
+        GlobCase{"room-*", "room-", true},
+        GlobCase{"room-*", "roomdb", false},
+        GlobCase{"room-*", "room", false},
+        GlobCase{"*-db", "room-db", true},
+        GlobCase{"*-db", "-db", true},
+        GlobCase{"*-db", "db", false},
+        GlobCase{"*?", "", false}, GlobCase{"*?", "x", true},
+        GlobCase{"?*", "", false}, GlobCase{"?*", "xy", true}));
+
+// Each fast path in glob_match must agree with the general backtracking
+// matcher (reproduced here as the reference) on every pattern/text pair.
+TEST(Strings, GlobFastPathsMatchGeneralMatcher) {
+  auto reference = [](std::string_view pattern, std::string_view text) {
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string_view::npos, mark = 0;
+    while (t < text.size()) {
+      if (p < pattern.size() &&
+          (pattern[p] == '?' || pattern[p] == text[t])) {
+        ++p;
+        ++t;
+      } else if (p < pattern.size() && pattern[p] == '*') {
+        star = p++;
+        mark = t;
+      } else if (star != std::string_view::npos) {
+        p = star + 1;
+        t = ++mark;
+      } else {
+        return false;
+      }
+    }
+    while (p < pattern.size() && pattern[p] == '*') ++p;
+    return p == pattern.size();
+  };
+  const std::vector<std::string> patterns = {
+      "*",        "abc",   "abc*", "*abc", "a*c",  "*a*", "a?c",
+      "Service/*", "*/HRM", "",     "?",    "ab*",  "*ab", "room-db"};
+  const std::vector<std::string> texts = {
+      "",      "a",        "abc",         "abcd",    "xabc", "room-db",
+      "ab",    "Service/", "Service/HRM", "a/HRM",   "ac",   "axc"};
+  for (const auto& p : patterns)
+    for (const auto& t : texts)
+      EXPECT_EQ(glob_match(p, t), reference(p, t)) << p << " vs " << t;
+}
 
 // ------------------------------------------------------------------ Result
 
