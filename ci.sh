@@ -26,10 +26,10 @@ run_config() {
   (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}")
 }
 
-# Runs bench_asd at its smallest scale and validates the exported metrics
+# Runs each bench at its smallest scale and validates the exported metrics
 # artifact, so bench bit-rot (bench doesn't build, doesn't run, or stops
-# exporting the counters E15 reads) is caught before anyone needs a full
-# run. The checked counters are the ones the experiment's claims rest on.
+# exporting the counters E15/E16 read) is caught before anyone needs a full
+# run. The checked counters are the ones the experiments' claims rest on.
 bench_smoke() {
   local build_dir="$1"
   echo "=== bench-smoke: bench_asd --smoke ==="
@@ -47,6 +47,23 @@ for name in ("asd.registrations", "asd.queries", "asd.query_index_hits",
 print(f"bench-smoke: {path} ok "
       f"({counters['asd.queries']} queries, "
       f"{counters['asd.query_index_hits']} index hits)")
+EOF
+  echo "=== bench-smoke: bench_store --smoke ==="
+  (cd "${build_dir}/bench" && rm -f bench_store.metrics.json && ./bench_store --smoke)
+  python3 - "${build_dir}/bench/bench_store.metrics.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    snapshot = json.load(f)
+counters = snapshot["counters"]
+for name in ("store.writes", "store.replica_acks", "store.batch_records",
+             "store.sync_tree_rpcs"):
+    if counters.get(name, 0) <= 0:
+        sys.exit(f"bench-smoke: counter {name!r} missing or zero in {path}")
+print(f"bench-smoke: {path} ok "
+      f"({counters['store.writes']} writes, "
+      f"{counters['store.batch_records']} batched records, "
+      f"{counters['store.sync_tree_rpcs']} merkle tree rpcs)")
 EOF
 }
 

@@ -80,6 +80,9 @@ Schedule generate_schedule(std::uint64_t seed, const ScheduleParams& params,
   };
 
   BusyMaps busy;
+  // When a crash window is open (crash emitted, restart not yet due) the
+  // service counts against params.max_concurrent_crashes.
+  std::map<std::string, milliseconds> crash_down_until;
   const auto& hosts = targets.hosts;
 
   milliseconds t =
@@ -113,8 +116,14 @@ Schedule generate_schedule(std::uint64_t seed, const ScheduleParams& params,
       FaultKind kind;
       int weight;
     };
+    int active_crashes = 0;
+    for (const auto& [name, until] : crash_down_until)
+      if (until > t) ++active_crashes;
+
     std::vector<Option> options;
-    if (!idle_services.empty() && params.weight_service_crash > 0)
+    if (!idle_services.empty() && params.weight_service_crash > 0 &&
+        (params.max_concurrent_crashes <= 0 ||
+         active_crashes < params.max_concurrent_crashes))
       options.push_back({FaultKind::service_crash, params.weight_service_crash});
     if (!idle_links.empty()) {
       if (params.weight_link_down > 0)
@@ -160,6 +169,8 @@ Schedule generate_schedule(std::uint64_t seed, const ScheduleParams& params,
         busy.service[name] =
             t + (params.restart_services ? len : milliseconds(0)) +
             params.service_cooldown;
+        crash_down_until[name] =
+            params.restart_services ? t + len : params.duration;
         break;
       }
       case FaultKind::link_down: {

@@ -87,6 +87,11 @@ struct ScheduleParams {
   // After crashing a service, leave it alone for this long (gives the
   // fabric's detection+relaunch path room before the next hit).
   std::chrono::milliseconds service_cooldown{4000};
+  // Cap on services down (crashed, not yet restarted) at the same instant;
+  // 0 = unlimited. Lets quorum experiments torture an N-replica cluster
+  // while guaranteeing the fault floor a W-quorum needs (e.g. cap 1 keeps
+  // 2 of 3 store replicas alive through any schedule).
+  int max_concurrent_crashes = 0;
   // Relative weights of the fault classes (0 disables a class).
   int weight_service_crash = 4;
   int weight_link_down = 3;

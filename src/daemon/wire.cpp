@@ -25,4 +25,41 @@ std::optional<Frame> decode_frame(const util::Bytes& frame) {
   return f;
 }
 
+std::string pack_batch(const std::vector<std::string>& records) {
+  std::size_t total = 0;
+  for (const auto& r : records) total += r.size() + 24;
+  std::string out;
+  out.reserve(total);
+  for (const auto& r : records) {
+    out += std::to_string(r.size());
+    out += ':';
+    out += r;
+    out += ',';
+  }
+  return out;
+}
+
+std::optional<std::vector<std::string>> unpack_batch(std::string_view packed) {
+  std::vector<std::string> records;
+  std::size_t pos = 0;
+  while (pos < packed.size()) {
+    std::size_t len = 0;
+    std::size_t digits = 0;
+    while (pos < packed.size() && packed[pos] >= '0' && packed[pos] <= '9') {
+      len = len * 10 + static_cast<std::size_t>(packed[pos] - '0');
+      ++pos;
+      if (++digits > 12) return std::nullopt;  // implausible length
+    }
+    if (digits == 0 || pos >= packed.size() || packed[pos] != ':')
+      return std::nullopt;
+    ++pos;  // ':'
+    if (packed.size() - pos < len + 1) return std::nullopt;
+    records.emplace_back(packed.substr(pos, len));
+    pos += len;
+    if (packed[pos] != ',') return std::nullopt;
+    ++pos;
+  }
+  return records;
+}
+
 }  // namespace ace::daemon::wire

@@ -17,7 +17,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/bytes.hpp"
 
@@ -46,5 +48,14 @@ struct Frame {
 };
 
 std::optional<Frame> decode_frame(const util::Bytes& frame);
+
+// Batch payload packing: concatenates opaque records into one string-arg
+// payload using netstring framing (`<decimal length>:<bytes>,`), so a
+// group-committed replication round trip carries many records in a single
+// v2 frame without per-record quoting/escaping overhead. Records may
+// contain any bytes; nesting is fine (a record can itself be a packed
+// batch of fields).
+std::string pack_batch(const std::vector<std::string>& records);
+std::optional<std::vector<std::string>> unpack_batch(std::string_view packed);
 
 }  // namespace ace::daemon::wire

@@ -1,5 +1,9 @@
 #include "store/persistent_store.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
+#include "daemon/wire.hpp"
 #include "util/strings.hpp"
 
 namespace ace::store {
@@ -11,13 +15,39 @@ using cmdlang::string_arg;
 using cmdlang::Word;
 using cmdlang::word_arg;
 using daemon::CallerInfo;
+using std::chrono::steady_clock;
 
 namespace {
+
 daemon::DaemonConfig store_defaults(daemon::DaemonConfig config) {
   if (config.service_class.empty())
     config.service_class = "Service/PersistentStore";
   return config;
 }
+
+// One replicated record on the wire: a netstring-packed field tuple
+// [key, version, d|l, hex data, hint owner or ""], nested inside the
+// storeReplicateBatch `entries` payload (daemon/wire.hpp pack_batch).
+std::string encode_replica_entry(const std::string& key,
+                                 const PersistentStoreDaemon::ObjectRecord& r,
+                                 const std::string& hint) {
+  return daemon::wire::pack_batch({key, std::to_string(r.version),
+                                   r.deleted ? "d" : "l", hex_of(r.data),
+                                   hint});
+}
+
+CmdLine make_replicate_cmd(const std::string& key,
+                           const PersistentStoreDaemon::ObjectRecord& r,
+                           const std::string& hint) {
+  CmdLine rep("storeReplicate");
+  rep.arg("key", key);
+  rep.arg("version", static_cast<std::int64_t>(r.version));
+  rep.arg("data", hex_of(r.data));
+  rep.arg("deleted", Word{r.deleted ? "yes" : "no"});
+  if (!hint.empty()) rep.arg("hint", hint);
+  return rep;
+}
+
 }  // namespace
 
 std::string hex_of(const util::Bytes& data) { return util::hex_encode(data); }
@@ -49,11 +79,19 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
     : ServiceDaemon(env, host, store_defaults(std::move(config))),
       replica_id_(replica_id),
       options_(options),
+      tree_(options.merkle_depth),
+      bucket_keys_(tree_.leaf_count()),
       obs_writes_(&env.metrics().counter("store.writes")),
       obs_replica_acks_(&env.metrics().counter("store.replica_acks")),
-      obs_rejoin_syncs_(&env.metrics().counter("store.rejoin_syncs")) {
+      obs_rejoin_syncs_(&env.metrics().counter("store.rejoin_syncs")),
+      obs_hints_recorded_(&env.metrics().counter("store.hints_recorded")),
+      obs_hints_drained_(&env.metrics().counter("store.hints_drained")),
+      obs_quorum_failures_(&env.metrics().counter("store.quorum_failures")),
+      obs_tree_rpcs_(&env.metrics().counter("store.sync_tree_rpcs")),
+      obs_bucket_rpcs_(&env.metrics().counter("store.sync_bucket_rpcs")),
+      obs_sync_fetched_(&env.metrics().counter("store.sync_fetched")) {
   register_command(
-      CommandSpec("storePut", "store an object").concurrent_ok()
+      CommandSpec("storePut", "store an object (quorum write)").concurrent_ok()
           .arg(string_arg("key"))
           .arg(string_arg("data")),
       [this](const CmdLine& cmd, const CallerInfo&) {
@@ -61,25 +99,37 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
         record.data = bytes_of_hex(cmd.get_text("data"));
         record.version = next_version();
         std::string key = cmd.get_text("key");
-        apply(key, record);
-        int acks = replicate(key, record);
+        WriteOutcome out = coordinate_write(key, record);
+        if (!out.quorum_met)
+          return cmdlang::make_error(
+              util::Errc::unavailable,
+              "write quorum not met (acks=" + std::to_string(out.acks) + ")");
         CmdLine reply = cmdlang::make_ok();
         reply.arg("version", static_cast<std::int64_t>(record.version));
-        reply.arg("acks", static_cast<std::int64_t>(acks));
+        reply.arg("acks", static_cast<std::int64_t>(out.acks));
         return reply;
       });
 
   register_command(
-      CommandSpec("storeGet", "fetch an object").concurrent_ok().arg(string_arg("key")),
+      CommandSpec("storeGet", "fetch an object (quorum read)").concurrent_ok()
+          .arg(string_arg("key"))
+          .arg(word_arg("scope").optional_arg().choices({"cluster", "local"})),
       [this](const CmdLine& cmd, const CallerInfo&) {
-        std::scoped_lock lock(mu_);
-        auto it = objects_.find(cmd.get_text("key"));
-        if (it == objects_.end() || it->second.deleted)
-          return cmdlang::make_error(util::Errc::not_found, "no such object");
-        CmdLine reply = cmdlang::make_ok();
-        reply.arg("data", hex_of(it->second.data));
-        reply.arg("version", static_cast<std::int64_t>(it->second.version));
-        return reply;
+        const std::string key = cmd.get_text("key");
+        if (cmd.get_text("scope") == "local") {
+          std::scoped_lock lock(mu_);
+          auto it = objects_.find(key);
+          if (it == objects_.end())
+            return cmdlang::make_error(util::Errc::not_found,
+                                       "no such object");
+          CmdLine reply = cmdlang::make_ok();
+          reply.arg("data", hex_of(it->second.data));
+          reply.arg("version",
+                    static_cast<std::int64_t>(it->second.version));
+          reply.arg("deleted", Word{it->second.deleted ? "yes" : "no"});
+          return reply;
+        }
+        return coordinate_read(key);
       });
 
   register_command(
@@ -90,33 +140,62 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
         record.deleted = true;
         record.version = next_version();
         std::string key = cmd.get_text("key");
-        apply(key, record);
-        int acks = replicate(key, record);
+        WriteOutcome out = coordinate_write(key, record);
+        if (!out.quorum_met)
+          return cmdlang::make_error(
+              util::Errc::unavailable,
+              "write quorum not met (acks=" + std::to_string(out.acks) + ")");
         CmdLine reply = cmdlang::make_ok();
         reply.arg("version", static_cast<std::int64_t>(record.version));
-        reply.arg("acks", static_cast<std::int64_t>(acks));
+        reply.arg("acks", static_cast<std::int64_t>(out.acks));
         return reply;
       });
 
   register_command(
       CommandSpec("storeList", "list keys under a namespace prefix").concurrent_ok()
-          .arg(string_arg("prefix").optional_arg()),
+          .arg(string_arg("prefix").optional_arg())
+          .arg(word_arg("scope").optional_arg().choices({"cluster", "local"})),
       [this](const CmdLine& cmd, const CallerInfo&) {
-        std::string prefix = cmd.get_text("prefix");
-        std::vector<std::string> keys;
+        const std::string prefix = cmd.get_text("prefix");
+        std::set<std::string> keys;
         {
           std::scoped_lock lock(mu_);
           for (const auto& [key, record] : objects_) {
             if (record.deleted) continue;
-            if (util::starts_with(key, prefix)) keys.push_back(key);
+            if (util::starts_with(key, prefix)) keys.insert(key);
+          }
+        }
+        if (cmd.get_text("scope") != "local") {
+          // Cluster scope: union the shards (a prefix does not map to one
+          // ring arc, so every node is consulted; unreachable peers are
+          // skipped, best effort).
+          std::vector<net::Address> peers;
+          {
+            std::scoped_lock lock(mu_);
+            peers = peers_;
+          }
+          CmdLine sub("storeList");
+          sub.arg("prefix", prefix);
+          sub.arg("scope", Word{"local"});
+          for (const net::Address& peer : peers) {
+            auto reply = control_client().call(
+                peer, sub,
+                daemon::CallOptions{.timeout = options_.replicate_timeout,
+                                    .retries = 0});
+            if (!reply.ok() || !cmdlang::is_ok(reply.value())) continue;
+            if (auto vec = reply->get_vector("keys"))
+              for (const auto& elem : vec->elements)
+                if (elem.is_string() || elem.is_word())
+                  keys.insert(elem.as_text());
           }
         }
         CmdLine reply = cmdlang::make_ok();
-        reply.arg("keys", cmdlang::string_vector(std::move(keys)));
+        reply.arg("keys", cmdlang::string_vector(
+                              {keys.begin(), keys.end()}));
         return reply;
       });
 
-  register_command(CommandSpec("storeCount", "count live objects").concurrent_ok(),
+  register_command(CommandSpec("storeCount", "count live objects (this replica)").concurrent_ok(),
                    [this](const CmdLine&, const CallerInfo&) {
                      CmdLine reply = cmdlang::make_ok();
                      reply.arg("count",
@@ -125,7 +204,7 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
                    });
 
   register_command(
-      CommandSpec("storeDigest", "key/version digest for anti-entropy").concurrent_ok(),
+      CommandSpec("storeDigest", "full key/version digest (anti-entropy ablation)").concurrent_ok(),
       [this](const CmdLine&, const CallerInfo&) {
         std::vector<std::string> entries;
         {
@@ -133,6 +212,52 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
           for (const auto& [key, record] : objects_)
             entries.push_back(key + "|" + std::to_string(record.version) +
                               "|" + (record.deleted ? "d" : "l"));
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("entries", cmdlang::string_vector(std::move(entries)));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("storeDigestTree", "Merkle digest-tree hashes for anti-entropy").concurrent_ok()
+          .arg(string_arg("nodes")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::vector<std::string> hashes;
+        std::size_t served = 0;
+        {
+          std::scoped_lock lock(mu_);
+          for (const std::string& tok :
+               util::split(cmd.get_text("nodes"), ' ')) {
+            if (tok.empty()) continue;
+            if (++served > 2048) break;  // request-size cap
+            const std::size_t id = std::strtoull(tok.c_str(), nullptr, 10);
+            hashes.push_back(tok + "|" + std::to_string(tree_.node(id)));
+          }
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("depth", static_cast<std::int64_t>(tree_.depth()));
+        reply.arg("leaves", static_cast<std::int64_t>(tree_.leaf_count()));
+        reply.arg("hashes", cmdlang::string_vector(std::move(hashes)));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("storeDigestBucket", "key/version digest of one Merkle bucket").concurrent_ok()
+          .arg(integer_arg("bucket")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        const auto bucket = static_cast<std::size_t>(
+            std::max<std::int64_t>(0, cmd.get_integer("bucket")));
+        std::vector<std::string> entries;
+        {
+          std::scoped_lock lock(mu_);
+          if (bucket < bucket_keys_.size())
+            for (const std::string& key : bucket_keys_[bucket]) {
+              auto it = objects_.find(key);
+              if (it == objects_.end()) continue;
+              entries.push_back(key + "|" +
+                                std::to_string(it->second.version) + "|" +
+                                (it->second.deleted ? "d" : "l"));
+            }
         }
         CmdLine reply = cmdlang::make_ok();
         reply.arg("entries", cmdlang::string_vector(std::move(entries)));
@@ -151,41 +276,103 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
         return reply;
       });
 
-  // Peer-internal replication message.
+  // Peer-internal replication message. `hint` names the intended owner
+  // when this replica is a sloppy-quorum stand-in for a downed peer.
   register_command(
       CommandSpec("storeReplicate", "apply a replicated write (internal)").concurrent_ok()
           .arg(string_arg("key"))
           .arg(integer_arg("version"))
           .arg(string_arg("data"))
-          .arg(word_arg("deleted").choices({"yes", "no"})),
+          .arg(word_arg("deleted").choices({"yes", "no"}))
+          .arg(string_arg("hint").optional_arg()),
       [this](const CmdLine& cmd, const CallerInfo&) {
         ObjectRecord record;
         record.version = static_cast<std::uint64_t>(cmd.get_integer("version"));
         record.data = bytes_of_hex(cmd.get_text("data"));
         record.deleted = cmd.get_text("deleted") == "yes";
-        apply(cmd.get_text("key"), record);
+        const std::string key = cmd.get_text("key");
+        apply(key, record);
+        if (auto intended = net::Address::parse(cmd.get_text("hint")))
+          record_hint(*intended, key, record.version);
         return cmdlang::make_ok();
+      });
+
+  // Peer-internal group commit: one frame carrying many replicated writes
+  // (daemon/wire.hpp pack_batch of encode_replica_entry records).
+  register_command(
+      CommandSpec("storeReplicateBatch", "apply a batch of replicated writes (internal)").concurrent_ok()
+          .arg(string_arg("entries")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        auto records = daemon::wire::unpack_batch(cmd.get_text("entries"));
+        if (!records)
+          return cmdlang::make_error(util::Errc::semantic_error,
+                                     "malformed batch payload");
+        std::int64_t applied = 0;
+        for (const std::string& packed : *records) {
+          auto fields = daemon::wire::unpack_batch(packed);
+          if (!fields || fields->size() != 5) continue;
+          ObjectRecord record;
+          record.version = std::strtoull((*fields)[1].c_str(), nullptr, 10);
+          record.deleted = (*fields)[2] == "d";
+          record.data = bytes_of_hex((*fields)[3]);
+          apply((*fields)[0], record);
+          if (auto intended = net::Address::parse((*fields)[4]))
+            record_hint(*intended, (*fields)[0], record.version);
+          ++applied;
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("applied", applied);
+        return reply;
       });
 }
 
 void PersistentStoreDaemon::set_peers(std::vector<net::Address> peers) {
+  {
+    std::scoped_lock lock(mu_);
+    peers_ = std::move(peers);
+  }
+  rebuild_ring();
+}
+
+void PersistentStoreDaemon::rebuild_ring() {
   std::scoped_lock lock(mu_);
-  peers_ = std::move(peers);
+  std::vector<net::Address> nodes = peers_;
+  nodes.push_back(address());
+  ring_ = Ring(std::move(nodes), options_.vnodes);
 }
 
 util::Status PersistentStoreDaemon::on_start() {
+  rebuild_ring();  // the listen port is final now
+  {
+    std::scoped_lock lock(mu_);
+    batcher_ = std::make_shared<ReplicationBatcher>(
+        env().metrics(), control_client(),
+        BatcherOptions{.flush_interval = options_.flush_interval,
+                       .call_timeout = options_.replicate_timeout});
+  }
   monitor_ = std::jthread([this](std::stop_token st) { monitor_loop(st); });
   return util::Status::ok_status();
 }
 
-void PersistentStoreDaemon::on_stop() { monitor_ = {}; }
+void PersistentStoreDaemon::on_stop() {
+  monitor_ = {};
+  std::shared_ptr<ReplicationBatcher> batcher;
+  {
+    std::scoped_lock lock(mu_);
+    batcher = batcher_;
+  }
+  // Left in place (inert) — command handlers may still be draining and
+  // submit() must fast-fail rather than touch a dead object.
+  if (batcher) batcher->shutdown();
+}
 
-void PersistentStoreDaemon::on_crash() { monitor_ = {}; }
+void PersistentStoreDaemon::on_crash() { on_stop(); }
 
 // Peer liveness monitor: detects rejoins (peer restart or partition heal,
-// from either side) and runs anti-entropy so the cluster converges without
-// a manual storeSync. The first iteration doubles as the boot catch-up
-// sync a rejoining replica needs.
+// from either side), runs anti-entropy so the cluster converges without a
+// manual storeSync, and pushes hinted-handoff writes back to their owners.
+// The first iteration doubles as the boot catch-up sync a rejoining
+// replica needs.
 void PersistentStoreDaemon::monitor_loop(std::stop_token st) {
   const auto slice = std::chrono::milliseconds(25);
   std::map<net::Address, bool> peer_up;
@@ -206,6 +393,7 @@ void PersistentStoreDaemon::monitor_loop(std::stop_token st) {
       peers = peers_;
     }
     bool rejoined = false;
+    std::vector<net::Address> reachable;
     for (const net::Address& peer : peers) {
       auto pong = control_client().call(
           peer, CmdLine("ping"),
@@ -214,6 +402,7 @@ void PersistentStoreDaemon::monitor_loop(std::stop_token st) {
                               .retries = 0,
                               .backoff = std::chrono::milliseconds(0)});
       const bool up = pong.ok();
+      if (up) reachable.push_back(peer);
       auto it = peer_up.find(peer);
       if (it == peer_up.end()) {
         peer_up[peer] = up;
@@ -223,6 +412,7 @@ void PersistentStoreDaemon::monitor_loop(std::stop_token st) {
       }
     }
     if (st.stop_requested()) return;
+    for (const net::Address& peer : reachable) drain_hints(peer);
     if (first || rejoined) {
       auto fetched = sync_from_peers();
       if (!first && fetched.ok()) {
@@ -236,8 +426,17 @@ void PersistentStoreDaemon::monitor_loop(std::stop_token st) {
 }
 
 std::uint64_t PersistentStoreDaemon::next_version() {
+  // Hybrid clock: wall microseconds, bumped past anything already seen
+  // (Lamport absorption in apply()), replica id as tiebreak. The wall
+  // component keeps versions monotone across coordinator failover — a
+  // freshly restarted coordinator must not issue versions that lose LWW
+  // to writes it never saw.
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          steady_clock::now().time_since_epoch())
+          .count());
   std::scoped_lock lock(mu_);
-  lamport_++;
+  lamport_ = std::max(lamport_ + 1, now);
   return lamport_ << 8 | static_cast<std::uint64_t>(replica_id_ & 0xff);
 }
 
@@ -247,35 +446,281 @@ void PersistentStoreDaemon::apply(const std::string& key,
   // Lamport clock absorption: future local writes order after this one.
   lamport_ = std::max(lamport_, record.version >> 8);
   auto it = objects_.find(key);
-  if (it == objects_.end() || it->second.version < record.version) {
-    objects_[key] = record;
-    obs_writes_->inc();
+  if (it != objects_.end() && it->second.version >= record.version) return;
+  const std::uint64_t pos = Ring::hash_key(key);
+  std::uint64_t old_hash = 0;
+  if (it != objects_.end()) {
+    old_hash =
+        MerkleTree::entry_hash(key, it->second.version, it->second.deleted);
+  } else {
+    bucket_keys_[tree_.bucket_of(pos)].insert(key);
+  }
+  tree_.update(pos, old_hash,
+               MerkleTree::entry_hash(key, record.version, record.deleted));
+  objects_[key] = record;
+  obs_writes_->inc();
+}
+
+void PersistentStoreDaemon::erase_local(const std::string& key) {
+  std::scoped_lock lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return;
+  const std::uint64_t pos = Ring::hash_key(key);
+  tree_.update(pos,
+               MerkleTree::entry_hash(key, it->second.version,
+                                      it->second.deleted),
+               0);
+  bucket_keys_[tree_.bucket_of(pos)].erase(key);
+  objects_.erase(it);
+}
+
+bool PersistentStoreDaemon::owns(const std::string& key) const {
+  std::scoped_lock lock(mu_);
+  if (ring_.empty()) return true;
+  const auto n =
+      static_cast<std::size_t>(std::max(1, options_.replication));
+  for (const net::Address& node : ring_.preference_list(key, n))
+    if (node == address()) return true;
+  return false;
+}
+
+void PersistentStoreDaemon::record_hint(const net::Address& intended,
+                                        const std::string& key,
+                                        std::uint64_t version) {
+  if (intended == address()) return;
+  std::scoped_lock lock(mu_);
+  std::uint64_t& slot = hints_[intended][key];
+  slot = std::max(slot, version);
+  obs_hints_recorded_->inc();
+}
+
+void PersistentStoreDaemon::drain_hints(const net::Address& peer) {
+  std::map<std::string, std::uint64_t> batch;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = hints_.find(peer);
+    if (it == hints_.end() || it->second.empty()) return;
+    batch.swap(it->second);
+    hints_.erase(it);
+  }
+  for (const auto& [key, version] : batch) {
+    ObjectRecord record;
+    bool have = false;
+    {
+      std::scoped_lock lock(mu_);
+      auto it = objects_.find(key);
+      if (it != objects_.end() && it->second.version >= version) {
+        record = it->second;
+        have = true;
+      }
+    }
+    if (!have) continue;  // superseded locally; anti-entropy covers the rest
+    auto reply = control_client().call(
+        peer, make_replicate_cmd(key, record, ""),
+        daemon::CallOptions{.timeout = options_.replicate_timeout,
+                            .retries = 0});
+    if (reply.ok() && cmdlang::is_ok(reply.value())) {
+      obs_hints_drained_->inc();
+      // A stand-in that is not in the key's preference list sheds its
+      // temporary copy once the owner has it.
+      if (!owns(key)) erase_local(key);
+    } else {
+      std::scoped_lock lock(mu_);
+      std::uint64_t& slot = hints_[peer][key];
+      slot = std::max(slot, version);  // retry next probe round
+    }
   }
 }
 
-int PersistentStoreDaemon::replicate(const std::string& key,
-                                     const ObjectRecord& record) {
+std::size_t PersistentStoreDaemon::hints_pending() const {
+  std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [peer, keys] : hints_) n += keys.size();
+  return n;
+}
+
+std::uint64_t PersistentStoreDaemon::merkle_root() const {
+  std::scoped_lock lock(mu_);
+  return tree_.root();
+}
+
+PersistentStoreDaemon::WriteOutcome PersistentStoreDaemon::coordinate_write(
+    const std::string& key, const ObjectRecord& record) {
   obs::Span span(env().metrics(), "store", "replicate");
-  std::vector<net::Address> peers;
+  std::vector<net::Address> order;
+  std::shared_ptr<ReplicationBatcher> batcher;
   {
     std::scoped_lock lock(mu_);
-    peers = peers_;
+    order = ring_.walk(key);
+    batcher = batcher_;
   }
-  CmdLine rep("storeReplicate");
-  rep.arg("key", key);
-  rep.arg("version", static_cast<std::int64_t>(record.version));
-  rep.arg("data", hex_of(record.data));
-  rep.arg("deleted", Word{record.deleted ? "yes" : "no"});
+  const net::Address self = address();
+  if (order.empty()) order.push_back(self);
+  const auto n = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(1, options_.replication)),
+      order.size());
+  const int w_eff =
+      options_.write_quorum <= 0
+          ? 0
+          : std::min(options_.write_quorum, static_cast<int>(n));
+
+  std::vector<net::Address> targets;
+  bool self_owner = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (order[i] == self)
+      self_owner = true;
+    else
+      targets.push_back(order[i]);
+  }
+
   int acks = 0;
-  for (const net::Address& peer : peers) {
-    auto reply = control_client().call(
-        peer, rep,
-        daemon::CallOptions{.timeout = std::chrono::milliseconds(300)});
-    if (reply.ok() && cmdlang::is_ok(reply.value())) ++acks;
+  int peer_acks = 0;
+  if (self_owner) {
+    apply(key, record);
+    ++acks;
   }
-  obs_replica_acks_->inc(static_cast<std::uint64_t>(acks));
-  span.set_ok(static_cast<std::size_t>(acks) == peers.size());
-  return acks;
+
+  const auto deadline = steady_clock::now() + options_.replicate_timeout;
+  std::vector<net::Address> failed;
+  if (batcher && options_.group_commit) {
+    std::vector<std::pair<net::Address,
+                          std::shared_ptr<ReplicationBatcher::Pending>>>
+        inflight;
+    inflight.reserve(targets.size());
+    const std::string entry = encode_replica_entry(key, record, "");
+    for (const net::Address& t : targets)
+      inflight.emplace_back(t, batcher->submit(t, entry));
+    for (auto& [t, pending] : inflight) {
+      // Every attempt is awaited even once W acks are in: a miss must be
+      // *observed* to leave a hint behind, and that hint is what makes the
+      // downed replica converge on heal. The per-peer circuit breaker
+      // keeps waits on a dead peer cheap after the first few timeouts.
+      if (pending->wait_until(deadline)) {
+        ++acks;
+        ++peer_acks;
+      } else {
+        failed.push_back(t);
+      }
+    }
+  } else {
+    // Ablation path: the seed's sequential per-write fan-out.
+    CmdLine rep = make_replicate_cmd(key, record, "");
+    for (const net::Address& t : targets) {
+      auto reply = control_client().call(
+          t, rep,
+          daemon::CallOptions{.timeout = options_.replicate_timeout,
+                              .retries = 0});
+      if (reply.ok() && cmdlang::is_ok(reply.value())) {
+        ++acks;
+        ++peer_acks;
+      } else {
+        failed.push_back(t);
+      }
+    }
+  }
+
+  // Sloppy quorum: each unreachable owner's copy is handed to the next
+  // ring successor, tagged with the intended owner so the stand-in can
+  // push it home on heal. When the ring is exhausted (e.g. the 3-node
+  // cluster, where there is no one left), an owning coordinator keeps a
+  // local hint instead — targeted anti-entropy for the downed peer.
+  std::size_t fallback_index = n;
+  for (const net::Address& dead : failed) {
+    bool handed = false;
+    while (fallback_index < order.size() && !handed) {
+      const net::Address fb = order[fallback_index++];
+      if (fb == self) {
+        apply(key, record);
+        record_hint(dead, key, record.version);
+        ++acks;
+        handed = true;
+        break;
+      }
+      auto reply = control_client().call(
+          fb, make_replicate_cmd(key, record, dead.to_string()),
+          daemon::CallOptions{.timeout = options_.replicate_timeout,
+                              .retries = 0});
+      if (reply.ok() && cmdlang::is_ok(reply.value())) {
+        ++acks;
+        ++peer_acks;
+        handed = true;
+      }
+    }
+    if (!handed && self_owner) record_hint(dead, key, record.version);
+  }
+
+  obs_replica_acks_->inc(static_cast<std::uint64_t>(peer_acks));
+
+  WriteOutcome out;
+  out.acks = acks;
+  out.quorum_met = w_eff == 0 || acks >= w_eff;
+  if (!out.quorum_met) obs_quorum_failures_->inc();
+  span.set_ok(out.quorum_met && failed.empty());
+  return out;
+}
+
+CmdLine PersistentStoreDaemon::coordinate_read(const std::string& key) {
+  std::vector<net::Address> prefs;
+  {
+    std::scoped_lock lock(mu_);
+    prefs = ring_.preference_list(
+        key, static_cast<std::size_t>(std::max(1, options_.replication)));
+  }
+  const net::Address self = address();
+  const int r_eff = std::max(
+      1, std::min(options_.read_quorum, static_cast<int>(prefs.size())));
+
+  int replies = 0;
+  std::optional<ObjectRecord> best;
+  auto offer = [&best](ObjectRecord candidate) {
+    if (!best || candidate.version > best->version)
+      best = std::move(candidate);
+  };
+
+  for (const net::Address& node : prefs) {
+    if (node != self) continue;
+    std::scoped_lock lock(mu_);
+    ++replies;  // an owner's authoritative answer, even "absent"
+    auto it = objects_.find(key);
+    if (it != objects_.end()) offer(it->second);
+  }
+
+  if (replies < r_eff) {
+    CmdLine sub("storeGet");
+    sub.arg("key", key);
+    sub.arg("scope", Word{"local"});
+    for (const net::Address& node : prefs) {
+      if (node == self) continue;
+      if (replies >= r_eff) break;
+      auto reply = control_client().call(
+          node, sub,
+          daemon::CallOptions{.timeout = options_.replicate_timeout,
+                              .retries = 0});
+      if (!reply.ok()) continue;
+      if (cmdlang::is_ok(reply.value())) {
+        ObjectRecord candidate;
+        candidate.version =
+            static_cast<std::uint64_t>(reply->get_integer("version"));
+        candidate.deleted = reply->get_text("deleted") == "yes";
+        candidate.data = bytes_of_hex(reply->get_text("data"));
+        ++replies;
+        offer(std::move(candidate));
+      } else if (cmdlang::reply_error(reply.value()).code ==
+                 util::Errc::not_found) {
+        ++replies;  // authoritative absence
+      }
+    }
+  }
+
+  if (replies == 0)
+    return cmdlang::make_error(util::Errc::unavailable,
+                               "no replica for key reachable");
+  if (!best || best->deleted)
+    return cmdlang::make_error(util::Errc::not_found, "no such object");
+  CmdLine reply = cmdlang::make_ok();
+  reply.arg("data", hex_of(best->data));
+  reply.arg("version", static_cast<std::int64_t>(best->version));
+  return reply;
 }
 
 std::size_t PersistentStoreDaemon::object_count() const {
@@ -294,6 +739,131 @@ PersistentStoreDaemon::object(const std::string& key) const {
   return it->second;
 }
 
+std::int64_t PersistentStoreDaemon::ingest_digest_entry(
+    const net::Address& peer, const std::string& entry) {
+  auto parts = util::split(entry, '|');
+  if (parts.size() != 3) return 0;
+  const std::string& key = parts[0];
+  const std::uint64_t version = std::strtoull(parts[1].c_str(), nullptr, 10);
+  bool newer;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = objects_.find(key);
+    newer = it == objects_.end() || it->second.version < version;
+  }
+  if (!newer) return 0;
+  // Sharded clusters: do not hoard keys this replica is not an owner of.
+  if (!owns(key)) return 0;
+  if (parts[2] == "d") {
+    ObjectRecord tomb;
+    tomb.version = version;
+    tomb.deleted = true;
+    apply(key, tomb);
+    obs_sync_fetched_->inc();
+    return 1;
+  }
+  CmdLine get("storeGet");
+  get.arg("key", key);
+  get.arg("scope", Word{"local"});
+  auto obj = control_client().call(
+      peer, get, daemon::CallOptions{.timeout = std::chrono::milliseconds(500),
+                                     .retries = 0});
+  if (!obj.ok() || !cmdlang::is_ok(obj.value())) return 0;
+  ObjectRecord record;
+  record.version = static_cast<std::uint64_t>(obj->get_integer("version"));
+  record.data = bytes_of_hex(obj->get_text("data"));
+  record.deleted = obj->get_text("deleted") == "yes";
+  apply(key, record);
+  obs_sync_fetched_->inc();
+  return 1;
+}
+
+std::int64_t PersistentStoreDaemon::sync_with_peer_full(
+    const net::Address& peer) {
+  std::int64_t fetched = 0;
+  auto digest = control_client().call(
+      peer, CmdLine("storeDigest"),
+      daemon::CallOptions{.timeout = std::chrono::milliseconds(500),
+                          .retries = 0});
+  if (!digest.ok() || !cmdlang::is_ok(digest.value())) return 0;
+  auto entries = digest->get_vector("entries");
+  if (!entries) return 0;
+  for (const auto& elem : entries->elements) {
+    if (!elem.is_string() && !elem.is_word()) continue;
+    fetched += ingest_digest_entry(peer, elem.as_text());
+  }
+  return fetched;
+}
+
+std::int64_t PersistentStoreDaemon::sync_with_peer_merkle(
+    const net::Address& peer) {
+  std::int64_t fetched = 0;
+  std::vector<std::size_t> frontier{1};
+  std::vector<std::size_t> divergent_buckets;
+  const std::size_t first_leaf = tree_.first_leaf();
+
+  while (!frontier.empty()) {
+    std::vector<std::size_t> divergent;
+    for (std::size_t chunk = 0; chunk < frontier.size(); chunk += 256) {
+      const std::size_t end = std::min(frontier.size(), chunk + 256);
+      std::string ids;
+      for (std::size_t i = chunk; i < end; ++i) {
+        if (!ids.empty()) ids += ' ';
+        ids += std::to_string(frontier[i]);
+      }
+      CmdLine req("storeDigestTree");
+      req.arg("nodes", ids);
+      auto reply = control_client().call(
+          peer, req,
+          daemon::CallOptions{.timeout = std::chrono::milliseconds(500),
+                              .retries = 0});
+      obs_tree_rpcs_->inc();
+      if (!reply.ok() || !cmdlang::is_ok(reply.value())) return fetched;
+      if (static_cast<int>(reply->get_integer("depth")) != tree_.depth())
+        return fetched + sync_with_peer_full(peer);  // incompatible layout
+      auto hashes = reply->get_vector("hashes");
+      if (!hashes) return fetched;
+      std::scoped_lock lock(mu_);
+      for (const auto& elem : hashes->elements) {
+        if (!elem.is_string() && !elem.is_word()) continue;
+        auto parts = util::split(elem.as_text(), '|');
+        if (parts.size() != 2) continue;
+        const std::size_t id = std::strtoull(parts[0].c_str(), nullptr, 10);
+        const std::uint64_t theirs =
+            std::strtoull(parts[1].c_str(), nullptr, 10);
+        if (tree_.node(id) != theirs) divergent.push_back(id);
+      }
+    }
+    frontier.clear();
+    for (std::size_t id : divergent) {
+      if (id >= first_leaf) {
+        divergent_buckets.push_back(id - first_leaf);
+      } else {
+        frontier.push_back(2 * id);
+        frontier.push_back(2 * id + 1);
+      }
+    }
+  }
+
+  for (std::size_t bucket : divergent_buckets) {
+    CmdLine req("storeDigestBucket");
+    req.arg("bucket", static_cast<std::int64_t>(bucket));
+    auto reply = control_client().call(
+        peer, req,
+        daemon::CallOptions{.timeout = std::chrono::milliseconds(500),
+                            .retries = 0});
+    obs_bucket_rpcs_->inc();
+    if (!reply.ok() || !cmdlang::is_ok(reply.value())) continue;
+    auto entries = reply->get_vector("entries");
+    if (!entries) continue;
+    for (const auto& elem : entries->elements) {
+      if (!elem.is_string() && !elem.is_word()) continue;
+      fetched += ingest_digest_entry(peer, elem.as_text());
+    }
+  }
+  return fetched;
+}
+
 util::Result<std::int64_t> PersistentStoreDaemon::sync_from_peers() {
   std::vector<net::Address> peers;
   {
@@ -301,48 +871,9 @@ util::Result<std::int64_t> PersistentStoreDaemon::sync_from_peers() {
     peers = peers_;
   }
   std::int64_t fetched = 0;
-  for (const net::Address& peer : peers) {
-    auto digest = control_client().call(
-        peer, CmdLine("storeDigest"),
-        daemon::CallOptions{.timeout = std::chrono::milliseconds(500)});
-    if (!digest.ok() || !cmdlang::is_ok(digest.value())) continue;
-    auto entries = digest->get_vector("entries");
-    if (!entries) continue;
-    for (const auto& elem : entries->elements) {
-      if (!elem.is_string() && !elem.is_word()) continue;
-      auto parts = util::split(elem.as_text(), '|');
-      if (parts.size() != 3) continue;
-      const std::string& key = parts[0];
-      std::uint64_t version = std::stoull(parts[1]);
-      bool newer;
-      {
-        std::scoped_lock lock(mu_);
-        auto it = objects_.find(key);
-        newer = it == objects_.end() || it->second.version < version;
-      }
-      if (!newer) continue;
-      if (parts[2] == "d") {
-        ObjectRecord tomb;
-        tomb.version = version;
-        tomb.deleted = true;
-        apply(key, tomb);
-        ++fetched;
-        continue;
-      }
-      CmdLine get("storeGet");
-      get.arg("key", key);
-      auto obj = control_client().call(
-          peer, get,
-          daemon::CallOptions{.timeout = std::chrono::milliseconds(500)});
-      if (!obj.ok() || !cmdlang::is_ok(obj.value())) continue;
-      ObjectRecord record;
-      record.version =
-          static_cast<std::uint64_t>(obj->get_integer("version"));
-      record.data = bytes_of_hex(obj->get_text("data"));
-      apply(key, record);
-      ++fetched;
-    }
-  }
+  for (const net::Address& peer : peers)
+    fetched += options_.merkle_sync ? sync_with_peer_merkle(peer)
+                                    : sync_with_peer_full(peer);
   return fetched;
 }
 

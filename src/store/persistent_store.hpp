@@ -8,43 +8,99 @@
 // approach to storing application and program state information"):
 // '/'-separated keys mapping to versioned blobs.
 //
-// Replication: a client writes to any replica; that replica assigns a
-// Lamport-style version (counter, replica-id tiebreak) and synchronously
-// propagates to its peers (best effort — unreachable peers catch up later).
-// Reads go to any replica, which spreads load as the paper argues. A
-// rejoining replica runs anti-entropy (`storeSync`): it pulls peers'
-// digests and fetches every newer object.
+// Scaled-out design (Dynamo-shaped; see docs/store.md for the operator
+// guide):
+//   * Sharding — a consistent-hash ring (store/ring.hpp) assigns every key
+//     a preference list of N replicas. With N >= cluster size this reduces
+//     to the paper's "3 copies of everything"; with more nodes the
+//     namespace shards and capacity scales horizontally.
+//   * Quorum replication — any replica coordinates a write: it applies
+//     locally when it owns the key and fans the record out to the rest of
+//     the preference list. `StoreOptions.write_quorum` (W) picks the ack
+//     count that makes the write durable-acknowledged; reads consult
+//     `read_quorum` (R) copies and return the newest version.
+//   * Sloppy quorum + hinted handoff — when a preference-list peer is
+//     down, the coordinator hands the write to the next ring successor (or
+//     keeps a local hint when the ring is exhausted) tagged with the
+//     intended owner; hints drain automatically when the owner returns.
+//     This is how the Fig 17 "1 or 2 of 3 may fail" availability claim
+//     survives sharding.
+//   * Group commit — replica fan-out rides a per-peer batcher
+//     (store/batch.hpp) that coalesces concurrent writes into one framed
+//     `storeReplicateBatch` per peer per flush, on the v2 pipelined
+//     channel.
+//   * Merkle anti-entropy — a rejoining replica compares O(log n) digest
+//     tree hashes (`storeDigestTree`) against each peer and fetches only
+//     divergent buckets, replacing the O(n) full `storeDigest` exchange
+//     (kept as an ablation/back-compat path).
 //
-// Command set:
+// Command set (docs/commands.md is the cross-checked reference):
 //   storePut key= data=<hex>;          -> ok version= acks=
-//   storeGet key=;                     -> ok data=<hex> version=
-//   storeDelete key=;                  -> ok version=
-//   storeList prefix=?;                -> ok keys={...}
-//   storeCount;                        -> ok count=
+//   storeGet key= scope=?;             -> ok data=<hex> version=
+//   storeDelete key=;                  -> ok version= acks=
+//   storeList prefix=? scope=?;        -> ok keys={...}
+//   storeCount;                        -> ok count=        (this replica)
 //   storeDigest;                       -> ok entries={key|version|flag ...}
+//   storeDigestTree nodes=;            -> ok depth= leaves= hashes={id|hash}
+//   storeDigestBucket bucket=;         -> ok entries={key|version|flag ...}
 //   storeSync;                         -> ok fetched=
-//   storeReplicate key= version= replica= data= deleted=;   (peer internal)
+//   storeReplicate key= version= data= deleted= hint=?;           (internal)
+//   storeReplicateBatch entries=;      -> ok applied=              (internal)
 #pragma once
 
 #include <map>
+#include <set>
 
 #include "daemon/daemon.hpp"
+#include "store/batch.hpp"
+#include "store/merkle.hpp"
+#include "store/ring.hpp"
 
 namespace ace::store {
 
 struct StoreOptions {
   // Peer liveness probe cadence. Each replica pings its peers; a peer
   // transitioning unreachable -> reachable (either side of a partition
-  // heal, or a peer restart) triggers an automatic anti-entropy round, so
-  // replicas converge without anyone calling storeSync by hand.
+  // heal, or a peer restart) triggers an automatic anti-entropy round and
+  // drains any hinted-handoff writes held for that peer.
   std::chrono::milliseconds probe_interval{250};
   std::chrono::milliseconds probe_timeout{150};
+
+  // N: replicas per key (clamped to cluster size). With the default 3 and
+  // a 3-node cluster, every node owns every key (Fig 17).
+  int replication = 3;
+  // W: acknowledgements required before a write returns ok. 0 keeps the
+  // seed's best-effort semantics: wait for every preference-list attempt,
+  // then succeed regardless of the ack count. W > 0 is a strict sloppy
+  // quorum: ok once W replicas (owners or hinted fallbacks) hold the
+  // write, error `unavailable` otherwise.
+  int write_quorum = 0;
+  // R: copies consulted per cluster-scope read; the newest version wins.
+  // 1 serves straight from local state when this replica owns the key.
+  int read_quorum = 1;
+  // Virtual nodes per replica on the consistent-hash ring.
+  int vnodes = kDefaultVnodes;
+  // Merkle digest tree depth: 2^depth anti-entropy buckets.
+  int merkle_depth = 12;
+
+  // Group-commit replication (false: seed-style sequential per-write
+  // storeReplicate RPCs — kept as the E16 ablation baseline).
+  bool group_commit = true;
+  // Extra batcher coalescing wait before each flush (0 = flush when idle;
+  // the in-flight RPC is the natural batching window).
+  std::chrono::milliseconds flush_interval{0};
+  // Per-peer replication deadline (batched and direct).
+  std::chrono::milliseconds replicate_timeout{300};
+
+  // Merkle-tree anti-entropy (false: full storeDigest scan — ablation).
+  bool merkle_sync = true;
 };
 
 class PersistentStoreDaemon : public daemon::ServiceDaemon {
  public:
   struct ObjectRecord {
-    std::uint64_t version = 0;   // lamport counter << 8 | replica id
+    // hybrid clock (wall microseconds, Lamport-absorbed) << 8 | replica id
+    std::uint64_t version = 0;
     util::Bytes data;
     bool deleted = false;
   };
@@ -53,7 +109,8 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
                         daemon::DaemonConfig config, int replica_id,
                         StoreOptions options = {});
 
-  // Configures the peer replicas this server synchronizes with.
+  // Configures the peer replicas this server synchronizes with (self is
+  // added to the ring implicitly).
   void set_peers(std::vector<net::Address> peers);
 
   std::size_t object_count() const;  // live (non-tombstone) objects
@@ -61,8 +118,14 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
 
   // Runs one anti-entropy round against all reachable peers; returns the
   // number of objects fetched. (Also exposed as the storeSync command, and
-  // triggered automatically on boot and on peer-rejoin detection.)
+  // triggered automatically on boot and on peer-rejoin detection.) Uses the
+  // Merkle digest tree unless StoreOptions.merkle_sync is off.
   util::Result<std::int64_t> sync_from_peers();
+
+  // Introspection for tests and benches.
+  const Ring& ring() const { return ring_; }
+  std::uint64_t merkle_root() const;
+  std::size_t hints_pending() const;  // hinted writes awaiting handoff
 
  protected:
   util::Status on_start() override;
@@ -70,9 +133,35 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
   void on_crash() override;
 
  private:
+  struct WriteOutcome {
+    int acks = 0;
+    bool quorum_met = false;
+  };
+
   std::uint64_t next_version();
   void apply(const std::string& key, const ObjectRecord& record);
-  int replicate(const std::string& key, const ObjectRecord& record);
+  void erase_local(const std::string& key);  // drained hint, not an owner
+  void rebuild_ring();
+
+  // Coordinates one write: local apply (when owner) + preference-list
+  // fan-out + sloppy-quorum fallback with hinted handoff.
+  WriteOutcome coordinate_write(const std::string& key,
+                                const ObjectRecord& record);
+  // Cluster-scope read gathering up to R copies; newest version wins.
+  cmdlang::CmdLine coordinate_read(const std::string& key);
+
+  bool owns(const std::string& key) const;
+  void record_hint(const net::Address& intended, const std::string& key,
+                   std::uint64_t version);
+  void drain_hints(const net::Address& peer);
+
+  std::int64_t sync_with_peer_full(const net::Address& peer);
+  std::int64_t sync_with_peer_merkle(const net::Address& peer);
+  // Applies one "key|version|flag" digest entry, fetching the payload from
+  // `peer` when it is newer than local state. Returns 1 if applied.
+  std::int64_t ingest_digest_entry(const net::Address& peer,
+                                   const std::string& entry);
+
   void monitor_loop(std::stop_token st);
 
   int replica_id_;
@@ -81,12 +170,25 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
   std::map<std::string, ObjectRecord> objects_;
   std::uint64_t lamport_ = 0;
   std::vector<net::Address> peers_;
+  Ring ring_;  // self + peers; rebuilt by set_peers and on_start
+  MerkleTree tree_;
+  // Per-bucket key index so storeDigestBucket answers in O(bucket size).
+  std::vector<std::set<std::string>> bucket_keys_;
+  // Hinted handoff ledger: intended owner -> key -> version it still needs.
+  std::map<net::Address, std::map<std::string, std::uint64_t>> hints_;
+  std::shared_ptr<ReplicationBatcher> batcher_;  // swapped per start
   std::jthread monitor_;
 
   // Cached obs cells (deployment registry, `store.*` names).
   obs::Counter* obs_writes_;
   obs::Counter* obs_replica_acks_;
   obs::Counter* obs_rejoin_syncs_;
+  obs::Counter* obs_hints_recorded_;
+  obs::Counter* obs_hints_drained_;
+  obs::Counter* obs_quorum_failures_;
+  obs::Counter* obs_tree_rpcs_;
+  obs::Counter* obs_bucket_rpcs_;
+  obs::Counter* obs_sync_fetched_;
 };
 
 std::string hex_of(const util::Bytes& data);

@@ -1,0 +1,76 @@
+#include "store/ring.hpp"
+
+#include <algorithm>
+
+namespace ace::store {
+
+namespace {
+
+// FNV-1a over the bytes, then a splitmix64 finalizer so nearby inputs
+// (store1:6000, store2:6000, ...) land far apart on the circle.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Ring::hash_key(std::string_view key) {
+  return mix(fnv1a(key));
+}
+
+Ring::Ring(std::vector<net::Address> nodes, int vnodes_per_node) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  nodes_ = std::move(nodes);
+  if (vnodes_per_node < 1) vnodes_per_node = 1;
+  points_.reserve(nodes_.size() * static_cast<std::size_t>(vnodes_per_node));
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const std::string base = nodes_[i].to_string();
+    for (int v = 0; v < vnodes_per_node; ++v)
+      points_.emplace_back(hash_key(base + "#" + std::to_string(v)), i);
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::vector<net::Address> Ring::walk(std::string_view key) const {
+  std::vector<net::Address> out;
+  if (points_.empty()) return out;
+  out.reserve(nodes_.size());
+  std::vector<bool> seen(nodes_.size(), false);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(hash_key(key), std::uint32_t{0}));
+  for (std::size_t steps = 0;
+       steps < points_.size() && out.size() < nodes_.size(); ++steps, ++it) {
+    if (it == points_.end()) it = points_.begin();
+    if (seen[it->second]) continue;
+    seen[it->second] = true;
+    out.push_back(nodes_[it->second]);
+  }
+  return out;
+}
+
+std::vector<net::Address> Ring::preference_list(std::string_view key,
+                                                std::size_t n) const {
+  auto order = walk(key);
+  if (order.size() > n) order.resize(n);
+  return order;
+}
+
+bool Ring::contains(const net::Address& node) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node);
+}
+
+}  // namespace ace::store

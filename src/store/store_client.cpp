@@ -1,5 +1,7 @@
 #include "store/store_client.hpp"
 
+#include <algorithm>
+
 #include "store/persistent_store.hpp"
 
 namespace ace::store {
@@ -7,11 +9,26 @@ namespace ace::store {
 using cmdlang::CmdLine;
 
 StoreClient::StoreClient(daemon::AceClient& client,
-                         std::vector<net::Address> replicas)
-    : client_(client), replicas_(std::move(replicas)) {}
+                         std::vector<net::Address> replicas, int replication)
+    : client_(client),
+      replicas_(std::move(replicas)),
+      ring_(replicas_, kDefaultVnodes),
+      replication_(static_cast<std::size_t>(std::max(1, replication))) {}
 
 void StoreClient::rotate() {
   if (!replicas_.empty()) preferred_ = (preferred_ + 1) % replicas_.size();
+}
+
+std::vector<net::Address> StoreClient::route(const std::string& key) const {
+  std::vector<net::Address> order = ring_.preference_list(key, replication_);
+  if (order.empty()) order = replicas_;
+  if (!order.empty())
+    std::rotate(order.begin(), order.begin() + preferred_ % order.size(),
+                order.end());
+  for (const net::Address& replica : replicas_)
+    if (std::find(order.begin(), order.end(), replica) == order.end())
+      order.push_back(replica);
+  return order;
 }
 
 util::Status StoreClient::put(const std::string& key,
@@ -19,9 +36,7 @@ util::Status StoreClient::put(const std::string& key,
   CmdLine cmd("storePut");
   cmd.arg("key", key);
   cmd.arg("data", hex_of(data));
-  for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    const net::Address& replica =
-        replicas_[(preferred_ + i) % replicas_.size()];
+  for (const net::Address& replica : route(key)) {
     auto reply = client_.call(
         replica, cmd,
         daemon::CallOptions{.timeout = std::chrono::milliseconds(800)});
@@ -35,9 +50,7 @@ util::Result<util::Bytes> StoreClient::get(const std::string& key) {
   CmdLine cmd("storeGet");
   cmd.arg("key", key);
   util::Error last{util::Errc::unavailable, "no replica reachable"};
-  for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    const net::Address& replica =
-        replicas_[(preferred_ + i) % replicas_.size()];
+  for (const net::Address& replica : route(key)) {
     auto reply = client_.call(
         replica, cmd,
         daemon::CallOptions{.timeout = std::chrono::milliseconds(800)});
@@ -46,9 +59,16 @@ util::Result<util::Bytes> StoreClient::get(const std::string& key) {
       continue;
     }
     if (cmdlang::is_error(reply.value())) {
+      const util::Error err = cmdlang::reply_error(reply.value());
+      if (err.code == util::Errc::unavailable) {
+        // The coordinator answered but could not reach the key's owners;
+        // another coordinator may sit on the right side of a partition.
+        last = err;
+        continue;
+      }
       // A definitive not_found from a live replica is authoritative enough
       // for the simulation's read semantics.
-      return cmdlang::reply_error(reply.value());
+      return err;
     }
     return bytes_of_hex(reply->get_text("data"));
   }
@@ -58,9 +78,7 @@ util::Result<util::Bytes> StoreClient::get(const std::string& key) {
 util::Status StoreClient::remove(const std::string& key) {
   CmdLine cmd("storeDelete");
   cmd.arg("key", key);
-  for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    const net::Address& replica =
-        replicas_[(preferred_ + i) % replicas_.size()];
+  for (const net::Address& replica : route(key)) {
     auto reply = client_.call(
         replica, cmd,
         daemon::CallOptions{.timeout = std::chrono::milliseconds(800)});
@@ -74,6 +92,8 @@ util::Result<std::vector<std::string>> StoreClient::list(
     const std::string& prefix) {
   CmdLine cmd("storeList");
   cmd.arg("prefix", prefix);
+  // A prefix spans ring arcs, so any replica works as the aggregation
+  // coordinator; plain failover order.
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     const net::Address& replica =
         replicas_[(preferred_ + i) % replicas_.size()];

@@ -1,20 +1,31 @@
-// StoreClient — failover client for the replicated persistent store, and
-// the checkpoint API that restart/robust applications use (paper §5.2/§5.3):
-// state is written under "state/<service>/<key>" so that a restarted
-// instance "can quickly be recovered to their last known state".
+// StoreClient — ring-routing failover client for the sharded persistent
+// store, and the checkpoint API that restart/robust applications use
+// (paper §5.2/§5.3): state is written under "state/<service>/<key>" so that
+// a restarted instance "can quickly be recovered to their last known
+// state".
 //
-// Writes go to the first reachable replica (that replica propagates to its
-// peers); reads fail over across replicas, which both tolerates 1-2 replica
-// failures and spreads read load (Ch 6).
+// The client derives the same consistent-hash layout the servers use
+// (store/ring.hpp is deterministic in the member set), so each request is
+// sent to a replica that owns the key — a one-hop read, and a write whose
+// coordinator applies locally instead of forwarding. Non-owners still
+// accept and coordinate any request, so the owners are merely *preferred*:
+// on failure the client falls over to the key's remaining owners, then to
+// every other replica, which is what tolerates 1-2 replica failures
+// (Ch 6, Fig 17).
 #pragma once
 
 #include "daemon/client.hpp"
+#include "store/ring.hpp"
 
 namespace ace::store {
 
 class StoreClient {
  public:
-  StoreClient(daemon::AceClient& client, std::vector<net::Address> replicas);
+  // `replication` must match the cluster's StoreOptions.replication for
+  // routing to hit owners on the first try (a mismatch only costs extra
+  // hops, never correctness).
+  StoreClient(daemon::AceClient& client, std::vector<net::Address> replicas,
+              int replication = 3);
 
   util::Status put(const std::string& key, const util::Bytes& data);
   util::Result<util::Bytes> get(const std::string& key);
@@ -27,15 +38,21 @@ class StoreClient {
   util::Result<util::Bytes> load_state(const std::string& service,
                                        const std::string& key);
 
-  // Rotates the preferred read replica (deterministic round-robin), which
-  // is how read load is spread across the cluster.
+  // Rotates the preferred replica among each key's owners (deterministic
+  // round-robin), which is how read load is spread across the cluster.
   void rotate();
 
   const std::vector<net::Address>& replicas() const { return replicas_; }
 
  private:
+  // The key's owners (rotated by `preferred_`) followed by every other
+  // replica — the failover order for one request.
+  std::vector<net::Address> route(const std::string& key) const;
+
   daemon::AceClient& client_;
   std::vector<net::Address> replicas_;
+  Ring ring_;
+  std::size_t replication_;
   std::size_t preferred_ = 0;
 };
 

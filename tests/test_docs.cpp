@@ -1,0 +1,226 @@
+// docs/commands.md is a machine-checked reference: this test
+// instantiates every command-registering daemon class and diffs the
+// commands documented under its `## `ClassName`` section (plus the
+// sections of its bases) against semantics().command_names(). A command
+// added, removed or renamed in code without a matching doc edit fails
+// here — and so does a documented command no daemon registers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/ophone.hpp"
+#include "apps/vnc.hpp"
+#include "baselines/jini.hpp"
+#include "daemon/devices.hpp"
+#include "daemon/environment.hpp"
+#include "daemon/host.hpp"
+#include "media/audio_services.hpp"
+#include "services/asd.hpp"
+#include "services/auth_db.hpp"
+#include "services/identification.hpp"
+#include "services/launchers.hpp"
+#include "services/monitors.hpp"
+#include "services/net_logger.hpp"
+#include "services/room_db.hpp"
+#include "services/streaming.hpp"
+#include "services/tracking.hpp"
+#include "services/user_db.hpp"
+#include "services/workspace.hpp"
+#include "store/persistent_store.hpp"
+#include "store/robustness.hpp"
+
+#ifndef ACE_DOCS_COMMANDS_MD
+#error "build must define ACE_DOCS_COMMANDS_MD (path to docs/commands.md)"
+#endif
+
+namespace {
+
+using ace::daemon::DaemonConfig;
+
+// Extracts the first `backticked` token of a markdown heading line.
+std::string backticked(const std::string& line) {
+  auto open = line.find('`');
+  if (open == std::string::npos) return "";
+  auto close = line.find('`', open + 1);
+  if (close == std::string::npos) return "";
+  return line.substr(open + 1, close - open - 1);
+}
+
+// Section name -> set of `### `-documented command names.
+std::map<std::string, std::set<std::string>> parse_reference(
+    const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::map<std::string, std::set<std::string>> sections;
+  std::string line, section;
+  while (std::getline(in, line)) {
+    if (line.rfind("## ", 0) == 0 && line.rfind("### ", 0) != 0) {
+      section = backticked(line);
+      EXPECT_FALSE(section.empty()) << "unbackticked section: " << line;
+      EXPECT_FALSE(sections.count(section))
+          << "duplicate section: " << section;
+      sections[section];
+    } else if (line.rfind("### ", 0) == 0) {
+      std::string cmd = backticked(line);
+      EXPECT_FALSE(cmd.empty()) << "unbackticked command: " << line;
+      EXPECT_FALSE(section.empty()) << "command before any section: " << cmd;
+      if (section.empty()) continue;
+      EXPECT_TRUE(sections[section].insert(cmd).second)
+          << "duplicate command " << cmd << " in section " << section;
+    }
+  }
+  return sections;
+}
+
+std::string join(const std::set<std::string>& names) {
+  std::ostringstream out;
+  for (const auto& n : names) out << n << " ";
+  return out.str();
+}
+
+class CommandReferenceTest : public ::testing::Test {
+ protected:
+  CommandReferenceTest() : env_(42), host_(env_, "doc-host") {}
+
+  DaemonConfig config(const std::string& name) {
+    DaemonConfig c;
+    c.name = name;
+    c.port = next_port_++;
+    c.room = "doc-room";
+    return c;
+  }
+
+  // Diffs one daemon's registered commands against the union of the
+  // named doc sections (the class's own section plus inherited bases).
+  void check(const ace::daemon::ServiceDaemon& d,
+             const std::vector<std::string>& section_names) {
+    std::set<std::string> documented;
+    for (const auto& s : section_names) {
+      ASSERT_TRUE(docs_.count(s)) << "docs/commands.md has no section `" << s
+                                  << "` (needed by a registered daemon)";
+      used_sections_.insert(s);
+      documented.insert(docs_[s].begin(), docs_[s].end());
+    }
+    std::set<std::string> registered;
+    for (const auto& n : d.semantics().command_names()) registered.insert(n);
+
+    std::set<std::string> undocumented, stale;
+    std::set_difference(registered.begin(), registered.end(),
+                        documented.begin(), documented.end(),
+                        std::inserter(undocumented, undocumented.end()));
+    std::set_difference(documented.begin(), documented.end(),
+                        registered.begin(), registered.end(),
+                        std::inserter(stale, stale.end()));
+    EXPECT_TRUE(undocumented.empty())
+        << section_names.front() << ": registered but not in "
+        << "docs/commands.md: " << join(undocumented);
+    EXPECT_TRUE(stale.empty())
+        << section_names.front() << ": documented but not registered: "
+        << join(stale);
+  }
+
+  ace::daemon::Environment env_;
+  ace::daemon::DaemonHost host_;
+  int next_port_ = 7000;
+  std::map<std::string, std::set<std::string>> docs_ =
+      parse_reference(ACE_DOCS_COMMANDS_MD);
+  std::set<std::string> used_sections_;
+};
+
+TEST_F(CommandReferenceTest, EveryDaemonMatchesItsDocumentedCommandSet) {
+  const std::vector<std::string> base = {"ServiceDaemon"};
+  auto with = [&](const char* cls,
+                  std::vector<std::string> extra =
+                      {}) -> std::vector<std::string> {
+    std::vector<std::string> out = {cls};
+    out.insert(out.end(), extra.begin(), extra.end());
+    out.push_back("ServiceDaemon");
+    return out;
+  };
+
+  using namespace ace;
+  check(host_.add_daemon<services::AsdDaemon>(config("asd")), with("AsdDaemon"));
+  check(host_.add_daemon<services::AuthDbDaemon>(config("auth")),
+        with("AuthDbDaemon"));
+  check(host_.add_daemon<services::UserDbDaemon>(config("users")),
+        with("UserDbDaemon"));
+  check(host_.add_daemon<services::RoomDbDaemon>(config("rooms")),
+        with("RoomDbDaemon"));
+  check(host_.add_daemon<services::TrackerDaemon>(config("tracker")),
+        with("TrackerDaemon"));
+  check(host_.add_daemon<services::FiuDaemon>(config("fiu")),
+        with("FiuDaemon", {"DeviceDaemon"}));
+  check(host_.add_daemon<services::IButtonDaemon>(config("ibutton")),
+        with("IButtonDaemon", {"DeviceDaemon"}));
+  check(host_.add_daemon<services::IdMonitorDaemon>(config("idmon")),
+        with("IdMonitorDaemon"));
+  check(host_.add_daemon<services::HrmDaemon>(config("hrm")),
+        with("HrmDaemon"));
+  check(host_.add_daemon<services::SrmDaemon>(config("srm")),
+        with("SrmDaemon"));
+  check(host_.add_daemon<services::HalDaemon>(config("hal")),
+        with("HalDaemon"));
+  check(host_.add_daemon<services::SalDaemon>(config("sal")),
+        with("SalDaemon"));
+  check(host_.add_daemon<services::NetLoggerDaemon>(config("logger")),
+        with("NetLoggerDaemon"));
+  check(host_.add_daemon<services::ConverterDaemon>(config("conv")),
+        with("ConverterDaemon"));
+  check(host_.add_daemon<services::DistributionDaemon>(config("dist")),
+        with("DistributionDaemon"));
+  check(host_.add_daemon<services::WssDaemon>(config("wss")),
+        with("WssDaemon"));
+  check(host_.add_daemon<store::PersistentStoreDaemon>(config("store"), 1),
+        with("PersistentStoreDaemon"));
+  check(host_.add_daemon<store::RobustnessManagerDaemon>(config("rm")),
+        with("RobustnessManagerDaemon"));
+  check(host_.add_daemon<baselines::JiniLookupDaemon>(config("jini")),
+        with("JiniLookupDaemon"));
+  check(host_.add_daemon<daemon::PtzCameraDaemon>(config("ptz"),
+                                                  daemon::vcc4_spec()),
+        with("PtzCameraDaemon", {"DeviceDaemon"}));
+  check(host_.add_daemon<daemon::ProjectorDaemon>(config("proj"),
+                                                  daemon::epson7350_spec()),
+        with("ProjectorDaemon", {"DeviceDaemon"}));
+  check(host_.add_daemon<media::AudioCaptureDaemon>(config("capture"), "s1"),
+        with("AudioCaptureDaemon", {"AudioElementDaemon"}));
+  check(host_.add_daemon<media::AudioMixerDaemon>(config("mixer"), "s2"),
+        with("AudioMixerDaemon", {"AudioElementDaemon"}));
+  check(host_.add_daemon<media::EchoCancellationDaemon>(config("ec"), "ref",
+                                                        "in", "out"),
+        with("EchoCancellationDaemon", {"AudioElementDaemon"}));
+  check(host_.add_daemon<media::AudioPlayDaemon>(config("play")),
+        with("AudioPlayDaemon", {"AudioElementDaemon"}));
+  check(host_.add_daemon<media::AudioRecorderDaemon>(config("rec")),
+        with("AudioRecorderDaemon", {"AudioElementDaemon"}));
+  check(host_.add_daemon<media::TextToSpeechDaemon>(config("tts"), "s3"),
+        with("TextToSpeechDaemon", {"AudioElementDaemon"}));
+  check(host_.add_daemon<media::SpeechToCommandDaemon>(config("stc")),
+        with("SpeechToCommandDaemon", {"AudioElementDaemon"}));
+  check(host_.add_daemon<apps::VncServerDaemon>(config("vnc"), "alice",
+                                                "main"),
+        with("VncServerDaemon"));
+  check(host_.add_daemon<apps::OPhoneDaemon>(config("phone")),
+        with("OPhoneDaemon"));
+
+  // A daemon that registers nothing beyond the built-ins keeps the
+  // built-ins section honest on its own.
+  check(host_.add_daemon<apps::VncViewerDaemon>(config("viewer")), base);
+
+  // Every documented section must belong to some daemon above — a
+  // section left behind after a class removal fails here.
+  std::set<std::string> unclaimed;
+  for (const auto& [name, cmds] : docs_)
+    if (!used_sections_.count(name)) unclaimed.insert(name);
+  EXPECT_TRUE(unclaimed.empty())
+      << "docs/commands.md sections no daemon accounts for: "
+      << join(unclaimed);
+}
+
+}  // namespace

@@ -1,12 +1,20 @@
 // Tests for the persistent store (Ch 6, Fig 17): 3-replica redundancy,
 // availability under 1-2 failures, anti-entropy resync, the checkpoint API,
 // and the Robustness Manager (restart/robust applications, §5.2-5.3/Ch 9).
+// Plus the scaled-out store machinery: consistent-hash ring, Merkle digest
+// tree, sharding, sloppy quorums with hinted handoff, and a chaos-driven
+// quorum torture run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "ace_test_env.hpp"
+#include "chaos/chaos.hpp"
 #include "services/launchers.hpp"
 #include "services/monitors.hpp"
+#include "store/merkle.hpp"
 #include "store/persistent_store.hpp"
+#include "store/ring.hpp"
 #include "store/robustness.hpp"
 #include "store/store_client.hpp"
 
@@ -160,18 +168,21 @@ TEST_F(StoreTest, PeerRejoinTriggersAutomaticAntiEntropy) {
   store::StoreClient store(*client_, addresses_);
   auto& net = deployment_->env.network();
 
-  // Cut replica 3 off from its peers (the daemon itself stays alive, so
-  // its peer monitor keeps probing and sees the outage). Hold the
-  // partition across a few probe rounds — rejoin detection is a down->up
-  // transition, so the monitor must observe the outage first.
+  // Cut replica 3 off from its peers AND from the client (the daemon
+  // itself stays alive, so its peer monitor keeps probing and sees the
+  // outage; the client cut keeps it from coordinating the write itself).
+  // Hold the partition across a few probe rounds — rejoin detection is a
+  // down->up transition, so the monitor must observe the outage first.
   net.set_partitioned("store3", "store1", true);
   net.set_partitioned("store3", "store2", true);
+  net.set_partitioned("store3", "app-host", true);
   ASSERT_TRUE(store.put("while-away", util::to_bytes("v")).ok());
   std::this_thread::sleep_for(600ms);
   EXPECT_FALSE(replicas_[2]->object("while-away").has_value());
 
   net.set_partitioned("store3", "store1", false);
   net.set_partitioned("store3", "store2", false);
+  net.set_partitioned("store3", "app-host", false);
 
   // No manual storeSync: the monitor notices its peers transition back to
   // reachable and runs an anti-entropy round on its own.
@@ -207,6 +218,369 @@ TEST_F(StoreTest, BinaryDataSurvivesHexTransport) {
   auto got = store.get("bin");
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(got.value(), binary);
+}
+
+// --------------------------------------------------------- ring and merkle
+
+TEST(RingTest, LayoutIsDeterministicAcrossParties) {
+  std::vector<net::Address> nodes = {
+      {"s1", 6000}, {"s2", 6000}, {"s3", 6000}, {"s4", 6000}};
+  std::vector<net::Address> shuffled = {
+      {"s3", 6000}, {"s1", 6000}, {"s4", 6000}, {"s2", 6000}};
+  store::Ring a(nodes, store::kDefaultVnodes);
+  store::Ring b(shuffled, store::kDefaultVnodes);  // order must not matter
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "k/" + std::to_string(i);
+    EXPECT_EQ(a.preference_list(key, 3), b.preference_list(key, 3)) << key;
+  }
+}
+
+TEST(RingTest, PreferenceListsAreDistinctAndCapped) {
+  std::vector<net::Address> nodes = {
+      {"s1", 6000}, {"s2", 6000}, {"s3", 6000}, {"s4", 6000}, {"s5", 6000}};
+  store::Ring ring(nodes, store::kDefaultVnodes);
+  for (int i = 0; i < 50; ++i) {
+    auto prefs = ring.preference_list("k/" + std::to_string(i), 3);
+    ASSERT_EQ(prefs.size(), 3u);
+    EXPECT_NE(prefs[0], prefs[1]);
+    EXPECT_NE(prefs[0], prefs[2]);
+    EXPECT_NE(prefs[1], prefs[2]);
+    // Asking for more than the cluster yields everyone, once each.
+    auto all = ring.preference_list("k/" + std::to_string(i), 99);
+    EXPECT_EQ(all.size(), nodes.size());
+  }
+}
+
+TEST(RingTest, VirtualNodesSpreadOwnership) {
+  std::vector<net::Address> nodes = {
+      {"s1", 6000}, {"s2", 6000}, {"s3", 6000}, {"s4", 6000}, {"s5", 6000}};
+  store::Ring ring(nodes, store::kDefaultVnodes);
+  std::map<std::string, int> primary_count;
+  for (int i = 0; i < 1000; ++i)
+    primary_count[ring.preference_list("obj/" + std::to_string(i), 1)[0]
+                       .to_string()]++;
+  ASSERT_EQ(primary_count.size(), nodes.size());  // everyone owns something
+  for (const auto& [node, count] : primary_count)
+    EXPECT_GT(count, 50) << node;  // no starved node (fair share is 200)
+}
+
+TEST(MerkleTest, RootDependsOnContentNotHistory) {
+  store::MerkleTree a(10);
+  store::MerkleTree b(10);
+  auto put = [](store::MerkleTree& t, const std::string& key,
+                std::uint64_t version) {
+    t.update(store::Ring::hash_key(key), 0,
+             store::MerkleTree::entry_hash(key, version, false));
+  };
+  put(a, "x", 1);
+  put(a, "y", 2);
+  put(b, "y", 2);  // same entries, other order
+  put(b, "x", 1);
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_NE(a.root(), store::MerkleTree(10).root());
+
+  // An update replaces the old entry hash; both trees track it.
+  const std::uint64_t pos = store::Ring::hash_key("x");
+  a.update(pos, store::MerkleTree::entry_hash("x", 1, false),
+           store::MerkleTree::entry_hash("x", 7, false));
+  EXPECT_NE(a.root(), b.root());
+  b.update(pos, store::MerkleTree::entry_hash("x", 1, false),
+           store::MerkleTree::entry_hash("x", 7, false));
+  EXPECT_EQ(a.root(), b.root());
+}
+
+TEST(MerkleTest, DivergenceIsLocalizedToOneBucketPath) {
+  store::MerkleTree a(10);
+  store::MerkleTree b(10);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "k/" + std::to_string(i);
+    const auto h = store::MerkleTree::entry_hash(key, 1, false);
+    a.update(store::Ring::hash_key(key), 0, h);
+    b.update(store::Ring::hash_key(key), 0, h);
+  }
+  const std::uint64_t pos = store::Ring::hash_key("k/42");
+  b.update(pos, store::MerkleTree::entry_hash("k/42", 1, false),
+           store::MerkleTree::entry_hash("k/42", 9, false));
+  ASSERT_NE(a.root(), b.root());
+  // Exactly one leaf differs: the changed key's bucket.
+  std::size_t differing = 0;
+  for (std::size_t leaf = 0; leaf < a.leaf_count(); ++leaf)
+    if (a.node(a.first_leaf() + leaf) != b.node(b.first_leaf() + leaf))
+      ++differing;
+  EXPECT_EQ(differing, 1u);
+  EXPECT_NE(a.node(a.first_leaf() + a.bucket_of(pos)),
+            b.node(b.first_leaf() + b.bucket_of(pos)));
+}
+
+// -------------------------------------------------------- sharded clusters
+
+class ShardedStoreTest : public ::testing::Test {
+ protected:
+  static constexpr int kNodes = 5;
+
+  void SetUp() override {
+    deployment_ = std::make_unique<testenv::AceTestEnv>();
+    ASSERT_TRUE(deployment_->start().ok());
+    client_ = deployment_->make_client("app-host", "svc/app");
+    for (int i = 0; i < kNodes; ++i) {
+      hosts_.push_back(std::make_unique<daemon::DaemonHost>(
+          deployment_->env, "shard" + std::to_string(i + 1)));
+      daemon::DaemonConfig c;
+      c.name = "shard" + std::to_string(i + 1);
+      c.room = "machine-room";
+      c.port = 6000;
+      replicas_.push_back(
+          &hosts_.back()->add_daemon<store::PersistentStoreDaemon>(c, i + 1));
+    }
+    for (int i = 0; i < kNodes; ++i) {
+      std::vector<net::Address> peers;
+      for (int j = 0; j < kNodes; ++j)
+        if (j != i) peers.push_back(replicas_[j]->address());
+      replicas_[i]->set_peers(peers);
+      ASSERT_TRUE(replicas_[i]->start().ok());
+    }
+    for (auto* r : replicas_) addresses_.push_back(r->address());
+  }
+
+  std::unique_ptr<testenv::AceTestEnv> deployment_;
+  std::unique_ptr<daemon::AceClient> client_;
+  std::vector<std::unique_ptr<daemon::DaemonHost>> hosts_;
+  std::vector<store::PersistentStoreDaemon*> replicas_;
+  std::vector<net::Address> addresses_;
+};
+
+TEST_F(ShardedStoreTest, EachKeyLandsOnExactlyItsPreferenceList) {
+  store::StoreClient store(*client_, addresses_);
+  const int kKeys = 30;
+  for (int i = 0; i < kKeys; ++i)
+    ASSERT_TRUE(
+        store.put("obj/" + std::to_string(i), util::to_bytes("v")).ok());
+
+  const store::Ring& ring = replicas_[0]->ring();
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "obj/" + std::to_string(i);
+    auto owners = ring.preference_list(key, 3);
+    int holders = 0;
+    for (int r = 0; r < kNodes; ++r) {
+      const bool holds = replicas_[r]->object(key).has_value();
+      const bool owner = std::find(owners.begin(), owners.end(),
+                                   addresses_[r]) != owners.end();
+      EXPECT_EQ(holds, owner) << key << " on replica " << (r + 1);
+      if (holds) ++holders;
+    }
+    EXPECT_EQ(holders, 3) << key;
+  }
+
+  // Sharding means nobody stores the whole namespace.
+  for (int r = 0; r < kNodes; ++r)
+    EXPECT_LT(replicas_[r]->object_count(), static_cast<std::size_t>(kKeys));
+
+  // And every key still reads back through the routed client.
+  for (int i = 0; i < kKeys; ++i) {
+    auto got = store.get("obj/" + std::to_string(i));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(util::to_string(got.value()), "v");
+  }
+}
+
+TEST_F(ShardedStoreTest, ClusterListSpansShards) {
+  store::StoreClient store(*client_, addresses_);
+  for (int i = 0; i < 12; ++i)
+    ASSERT_TRUE(
+        store.put("ns/list/" + std::to_string(i), util::to_bytes("x")).ok());
+  auto keys = store.list("ns/list/");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->size(), 12u);
+}
+
+// ------------------------------------------- quorums, hints, chaos torture
+
+class QuorumStoreTest : public ::testing::Test {
+ protected:
+  void start_cluster(store::StoreOptions opts) {
+    deployment_ = std::make_unique<testenv::AceTestEnv>();
+    ASSERT_TRUE(deployment_->start().ok());
+    client_ = deployment_->make_client("app-host", "svc/app");
+    for (int i = 0; i < 3; ++i) {
+      hosts_.push_back(std::make_unique<daemon::DaemonHost>(
+          deployment_->env, "store" + std::to_string(i + 1)));
+      daemon::DaemonConfig c;
+      c.name = "store" + std::to_string(i + 1);
+      c.room = "machine-room";
+      c.port = 6000;
+      replicas_.push_back(&hosts_.back()->add_daemon<store::PersistentStoreDaemon>(
+          c, i + 1, opts));
+    }
+    for (int i = 0; i < 3; ++i) {
+      std::vector<net::Address> peers;
+      for (int j = 0; j < 3; ++j)
+        if (j != i) peers.push_back(replicas_[j]->address());
+      replicas_[i]->set_peers(peers);
+      ASSERT_TRUE(replicas_[i]->start().ok());
+    }
+    for (auto* r : replicas_) addresses_.push_back(r->address());
+  }
+
+  std::size_t total_hints() const {
+    std::size_t n = 0;
+    for (auto* r : replicas_) n += r->hints_pending();
+    return n;
+  }
+
+  std::unique_ptr<testenv::AceTestEnv> deployment_;
+  std::unique_ptr<daemon::AceClient> client_;
+  std::vector<std::unique_ptr<daemon::DaemonHost>> hosts_;
+  std::vector<store::PersistentStoreDaemon*> replicas_;
+  std::vector<net::Address> addresses_;
+};
+
+TEST_F(QuorumStoreTest, StrictQuorumRejectsWhenTooFewReplicasAck) {
+  store::StoreOptions opts;
+  opts.write_quorum = 3;  // every owner must ack
+  start_cluster(opts);
+  store::StoreClient store(*client_, addresses_);
+  ASSERT_TRUE(store.put("k", util::to_bytes("all-up")).ok());
+
+  hosts_[2]->fail();
+  // W=3 with one replica down: on a 3-node ring there is no fallback
+  // successor, so only 2 acks are reachable and the write must fail...
+  EXPECT_FALSE(store.put("k2", util::to_bytes("x")).ok());
+  EXPECT_GE(
+      deployment_->env.metrics().counter("store.quorum_failures").value(),
+      1u);
+
+  // ...while W=2 semantics (the surviving majority) are covered by
+  // ChaosQuorumTortureNeverLosesAckedWrites below.
+  hosts_[2]->restore();
+}
+
+TEST_F(QuorumStoreTest, HintedHandoffDrainsOnHeal) {
+  store::StoreOptions opts;
+  opts.write_quorum = 2;
+  opts.probe_interval = std::chrono::milliseconds(100);
+  start_cluster(opts);
+  store::StoreClient store(*client_, addresses_);
+  auto& metrics = deployment_->env.metrics();
+
+  hosts_[2]->fail();
+  ASSERT_TRUE(store.put("hinted/k", util::to_bytes("v")).ok());
+  // The coordinator could not reach replica 3; some survivor holds a hint
+  // naming it as the intended owner.
+  EXPECT_GE(metrics.counter("store.hints_recorded").value(), 1u);
+  EXPECT_GE(total_hints(), 1u);
+  EXPECT_FALSE(replicas_[2]->object("hinted/k").has_value());
+
+  // Heal: restore the network AND relaunch the crashed replica (fail()
+  // models a machine death, so the daemon must be started again).
+  hosts_[2]->restore();
+  ASSERT_TRUE(replicas_[2]->start().ok());
+  // The peer monitor notices the heal and pushes the hinted write home.
+  bool drained = false;
+  for (int i = 0; i < 600 && !drained; ++i) {
+    drained = replicas_[2]->object("hinted/k").has_value() &&
+              total_hints() == 0;
+    if (!drained) std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_TRUE(drained);
+  EXPECT_EQ(util::to_string(replicas_[2]->object("hinted/k")->data), "v");
+  EXPECT_GE(metrics.counter("store.hints_drained").value(), 1u);
+}
+
+// The E16 durability claim as a test: replicas crash and restart mid
+// write-storm (chaos schedule, fixed seed, at most one replica down at a
+// time), writes use a strict W=2 sloppy quorum, and at the end every write
+// that was *acknowledged* must read back with its final value. Replay any
+// failure with ACE_CHAOS_SEED=<seed>.
+TEST_F(QuorumStoreTest, ChaosQuorumTortureNeverLosesAckedWrites) {
+  store::StoreOptions opts;
+  opts.write_quorum = 2;
+  opts.read_quorum = 2;
+  opts.probe_interval = std::chrono::milliseconds(100);
+  start_cluster(opts);
+  store::StoreClient store(*client_, addresses_);
+
+  chaos::ScheduleParams params;
+  params.duration = std::chrono::milliseconds(2500);
+  params.mean_interval = std::chrono::milliseconds(300);
+  params.min_fault = std::chrono::milliseconds(200);
+  params.max_fault = std::chrono::milliseconds(700);
+  params.service_cooldown = std::chrono::milliseconds(300);
+  params.weight_service_crash = 1;  // crash/restart faults only
+  params.weight_link_down = 0;
+  params.weight_host_isolate = 0;
+  params.weight_latency_spike = 0;
+  params.weight_loss_burst = 0;
+  params.max_concurrent_crashes = 1;  // keep a W=2 majority alive
+  chaos::Targets targets;
+  targets.services = {"store1", "store2", "store3"};
+  targets.hosts = {"store1", "store2", "store3"};
+  auto schedule =
+      chaos::generate_schedule(chaos::seed_from_env(0x57a6e), params, targets);
+  int crashes = 0;
+  for (const auto& e : schedule.events)
+    if (e.kind == chaos::FaultKind::service_crash) ++crashes;
+
+  // Writer storm: per key, remember the sequence number of the last write
+  // whose put returned ok (quorum met). A rejected write may still have
+  // landed on some replicas with a newer version — allowed to win LWW —
+  // so the durability contract is monotone: the final value must be the
+  // acked write or a *later* one, never an older state and never absent.
+  std::mutex acked_mu;
+  std::map<std::string, int> acked;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 0;
+    while (!stop.load()) {
+      const std::string key = "t/" + std::to_string(i % 64);
+      if (store.put(key, util::to_bytes("v" + std::to_string(i))).ok()) {
+        std::scoped_lock lock(acked_mu);
+        acked[key] = i;
+      }
+      ++i;
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  auto by_name = [&](const std::string& name) {
+    return replicas_[name == "store1" ? 0 : name == "store2" ? 1 : 2];
+  };
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& e : schedule.events) {
+    std::this_thread::sleep_until(start + e.at);
+    if (e.kind == chaos::FaultKind::service_crash)
+      by_name(e.a)->crash();
+    else if (e.kind == chaos::FaultKind::service_restart)
+      ASSERT_TRUE(by_name(e.a)->start().ok());
+  }
+  std::this_thread::sleep_until(start + schedule.duration);
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(crashes, 0) << "schedule with this seed injected no faults";
+
+  // Heal: every replica is restarted by the schedule's paired restart
+  // events; wait for hints to drain and anti-entropy to converge.
+  bool settled = false;
+  for (int i = 0; i < 1000 && !settled; ++i) {
+    settled = total_hints() == 0 &&
+              replicas_[0]->merkle_root() == replicas_[1]->merkle_root() &&
+              replicas_[1]->merkle_root() == replicas_[2]->merkle_root();
+    if (!settled) std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_TRUE(settled) << "cluster did not converge after the storm";
+
+  // Durability: every acknowledged write reads back, at its own value or a
+  // later one.
+  std::size_t checked = 0;
+  for (const auto& [key, seq] : acked) {
+    auto got = store.get(key);
+    ASSERT_TRUE(got.ok()) << key << " lost (seed " << schedule.seed << ")";
+    const std::string value = util::to_string(got.value());
+    ASSERT_TRUE(value.size() > 1 && value[0] == 'v') << value;
+    EXPECT_GE(std::stoi(value.substr(1)), seq)
+        << key << " rolled back (seed " << schedule.seed << ")";
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u) << "storm acknowledged no writes";
 }
 
 // --------------------------------------------------------------- robustness
