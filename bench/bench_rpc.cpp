@@ -55,8 +55,11 @@ std::unique_ptr<daemon::AceClient> make_mode_client(
     testenv::AceTestEnv& deployment, const net::Address& svc,
     const Mode& mode) {
   auto client = deployment.make_client("bench", "user/bench");
-  if (mode.protocol_offer != 0)
-    client->set_protocol_offer(mode.protocol_offer);
+  if (mode.protocol_offer != 0) {
+    auto policy = client->policy();
+    policy.protocol_offer = mode.protocol_offer;
+    client->set_policy(policy);
+  }
   CmdLine warm("echo");
   warm.arg("text", "warmup");
   if (!client->call(svc, warm, daemon::kCallOk).ok())

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification in three configurations:
 #   1. Release         — the build users get (catches optimizer-visible bugs)
-#   2. ThreadSanitizer — shakes out data races in the daemon/client thread
-#      structure (accept/handshake/command/control threads, client demux),
+#   2. ThreadSanitizer — shakes out data races in the reactor actor
+#      structure (frame pumps, async handshakes, channel actors, client
+#      demux, timer chains; see docs/net.md),
 #      plus a chaos seed sweep: the fault-injection tests replayed under
 #      several ACE_CHAOS_SEED values so each CI run exercises distinct
 #      crash/partition interleavings under the race detector
@@ -64,6 +65,23 @@ print(f"bench-smoke: {path} ok "
       f"({counters['store.writes']} writes, "
       f"{counters['store.batch_records']} batched records, "
       f"{counters['store.sync_tree_rpcs']} merkle tree rpcs)")
+EOF
+  echo "=== bench-smoke: bench_scale --smoke ==="
+  (cd "${build_dir}/bench" && rm -f bench_scale.metrics.json && ./bench_scale --smoke)
+  python3 - "${build_dir}/bench/bench_scale.metrics.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    snapshot = json.load(f)
+counters = snapshot["counters"]
+for name in ("net.connects", "daemon.conn.accepted", "client.calls",
+             "reactor.tasks", "crypto.handshakes"):
+    if counters.get(name, 0) <= 0:
+        sys.exit(f"bench-smoke: counter {name!r} missing or zero in {path}")
+print(f"bench-smoke: {path} ok "
+      f"({counters['net.connects']} connects, "
+      f"{counters['reactor.tasks']} reactor tasks, "
+      f"{counters['client.calls']} rpc calls)")
 EOF
 }
 

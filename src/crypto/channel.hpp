@@ -16,13 +16,21 @@
 #include <optional>
 #include <string>
 
+#include <functional>
+
 #include "crypto/certificate.hpp"
 #include "crypto/chacha20.hpp"
 #include "net/network.hpp"
+#include "net/reactor.hpp"
 #include "obs/metrics.hpp"
 #include "util/result.hpp"
 
 namespace ace::crypto {
+
+namespace detail {
+struct HandshakeCore;
+struct AsyncHandshake;
+}  // namespace detail
 
 struct ChannelOptions {
   bool encrypt = true;     // false = plaintext passthrough (ablation only)
@@ -42,7 +50,8 @@ class SecureChannel {
  public:
   SecureChannel() = default;
 
-  // Client side of the handshake. Consumes the connection.
+  // Client side of the handshake. Consumes the connection. Blocks the
+  // calling thread across the round trips.
   static util::Result<SecureChannel> connect(net::Connection conn,
                                              const Identity& self,
                                              const util::Bytes& ca_key,
@@ -56,10 +65,39 @@ class SecureChannel {
                                             net::Duration timeout,
                                             ChannelOptions options = {});
 
+  // Non-blocking handshakes: the same DH/certificate exchange driven as a
+  // reactor state machine — each peer frame advances it on a core worker;
+  // `timeout` arms a reactor timer that aborts (and closes the connection)
+  // if the peer stalls. `done` is invoked exactly once, on a reactor
+  // worker or (on an immediate failure / plaintext channel) on the calling
+  // thread. This is what lets a daemon run thousands of concurrent
+  // handshakes on O(pool) threads.
+  using HandshakeCallback = std::function<void(util::Result<SecureChannel>)>;
+  static void async_connect(net::Reactor& reactor, net::Connection conn,
+                            const Identity& self, const util::Bytes& ca_key,
+                            net::Duration timeout, ChannelOptions options,
+                            HandshakeCallback done);
+  static void async_accept(net::Reactor& reactor, net::Connection conn,
+                           const Identity& self, const util::Bytes& ca_key,
+                           net::Duration timeout, ChannelOptions options,
+                           HandshakeCallback done);
+
   bool valid() const { return state_ != nullptr; }
 
   util::Status send(net::Frame frame);
   std::optional<net::Frame> recv(net::Duration timeout);
+
+  // Async surface: decrypted plaintext frames delivered in order on a
+  // reactor worker; handler(std::nullopt) once when the channel dies.
+  // Stricter than the blocking shim on tampering: a record that fails MAC,
+  // sequence or framing checks closes the channel (the blocking recv just
+  // drops it), because a callback consumer has no per-call deadline with
+  // which to notice a poisoned stream.
+  net::Subscription on_frame(
+      net::Reactor& reactor,
+      std::function<void(std::optional<net::Frame>)> handler,
+      net::AttachOptions options = {});
+
   void close();
   bool closed() const;
 
@@ -91,12 +129,23 @@ class SecureChannel {
     std::mutex recv_mu;
   };
 
+  // Shared handshake logic (crypto + transcript) lives in
+  // detail::HandshakeCore; the blocking path loops recv/feed over it and
+  // the async path feeds it from a reactor pump.
+  friend struct detail::HandshakeCore;
+  friend struct detail::AsyncHandshake;
+
   static util::Result<SecureChannel> handshake(net::Connection conn,
                                                const Identity& self,
                                                const util::Bytes& ca_key,
                                                net::Duration timeout,
                                                ChannelOptions options,
                                                bool is_client);
+
+  // Verifies and decrypts one record in place (see recv). nullopt = forged
+  // or replayed. Caller coordinates recv_mu.
+  static std::optional<net::Frame> decrypt_record(State& state,
+                                                  net::Frame record);
 
   std::shared_ptr<State> state_;
 };

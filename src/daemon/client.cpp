@@ -8,11 +8,6 @@ namespace ace::daemon {
 
 namespace {
 
-// Demux reader cadence: how long one recv poll blocks, and how long a
-// reader with nothing in flight lingers before tearing itself down.
-constexpr std::chrono::milliseconds kReaderPoll{20};
-constexpr std::chrono::milliseconds kReaderIdle{2000};
-
 // Transport-level failure: the destination was unreachable or the exchange
 // died under us. These retry (with backoff) and feed the circuit breaker;
 // anything else is a caller/protocol problem that retrying cannot fix.
@@ -53,7 +48,89 @@ AceClient::AceClient(Environment& env, net::Host& from_host,
       inflight_(&env.metrics().gauge("client.inflight")),
       breaker_open_(&env.metrics().gauge("client.breaker_open")) {}
 
-AceClient::~AceClient() { close_all(); }
+AceClient::~AceClient() {
+  // Unarm the idle sweeper first: its tasks capture `this` raw, so revoke
+  // waits out any sweep already running before members start dying.
+  net::Reactor::TimerId timer;
+  {
+    std::scoped_lock lock(policy_mu_);
+    timer = std::exchange(sweep_timer_, 0);
+  }
+  if (timer) env_.reactor().cancel(timer);
+  sweep_guard_.revoke();
+  close_all();
+}
+
+void AceClient::set_policy(ClientPolicy policy) {
+  std::scoped_lock lock(policy_mu_);
+  const bool was_armed = policy_.idle_channel_ttl.count() > 0;
+  policy_ = policy;
+  protocol_offer_.store(policy.protocol_offer, std::memory_order_relaxed);
+  const bool arm = policy.idle_channel_ttl.count() > 0;
+  if (arm && sweep_timer_ == 0) {
+    sweep_timer_ = env_.reactor().post_after(
+        policy.idle_channel_ttl,
+        sweep_guard_.wrap([this] { sweep_idle_channels(); }),
+        /*blocking=*/true);
+  } else if (!arm && was_armed) {
+    auto timer = std::exchange(sweep_timer_, 0);
+    if (timer) env_.reactor().cancel(timer);
+  }
+}
+
+ClientPolicy AceClient::policy() const {
+  std::scoped_lock lock(policy_mu_);
+  return policy_;
+}
+
+void AceClient::set_breaker_policy(BreakerPolicy policy) {
+  auto p = this->policy();
+  p.breaker = policy;
+  set_policy(std::move(p));
+}
+
+void AceClient::set_protocol_offer(std::uint8_t version) {
+  auto p = policy();
+  p.protocol_offer = version;
+  set_policy(std::move(p));
+}
+
+void AceClient::sweep_idle_channels() {
+  const auto ttl = policy().idle_channel_ttl;
+  if (ttl.count() <= 0) return;  // policy changed under the timer
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::pair<net::Address, std::shared_ptr<ChannelEntry>>> stale;
+  {
+    std::scoped_lock lock(mu_);
+    for (auto it = channels_.begin(); it != channels_.end();) {
+      auto& [addr, entry] = *it;
+      bool idle;
+      {
+        std::scoped_lock lk(entry->mu);
+        idle = entry->pending.empty() && now - entry->last_used > ttl;
+      }
+      if (idle) {
+        stale.emplace_back(addr, entry);
+        it = channels_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& [addr, entry] : stale) shutdown_entry(entry);
+  if (!stale.empty())
+    env_.metrics().counter("client.idle_closed").inc(stale.size());
+  // Re-arm (repeating chain). Checked against a concurrent set_policy
+  // disarm: only re-arm while a timer id is expected to be live.
+  std::scoped_lock lock(policy_mu_);
+  if (policy_.idle_channel_ttl.count() > 0)
+    sweep_timer_ = env_.reactor().post_after(
+        policy_.idle_channel_ttl,
+        sweep_guard_.wrap([this] { sweep_idle_channels(); }),
+        /*blocking=*/true);
+  else
+    sweep_timer_ = 0;
+}
 
 std::shared_ptr<AceClient::ChannelEntry> AceClient::entry_for(
     const net::Address& to) {
@@ -63,21 +140,25 @@ std::shared_ptr<AceClient::ChannelEntry> AceClient::entry_for(
   return slot;
 }
 
-// Establishes the channel if needed. Caller must hold entry.mu.
-util::Status AceClient::ensure_channel_locked(ChannelEntry& entry,
-                                              const net::Address& to) {
+// Establishes the channel if needed. Caller must hold entry->mu.
+util::Status AceClient::ensure_channel_locked(
+    const std::shared_ptr<ChannelEntry>& entry, const net::Address& to) {
   // A shut-down entry is already unlinked from channels_; refusing to
   // reconnect here sends the caller back through entry_for (the error is
   // retryable), which hands out a fresh entry.
-  if (entry.closed)
+  if (entry->closed)
     return {util::Errc::closed, "connection to " + to.to_string() + " dropped"};
-  if (entry.channel && !entry.channel->closed())
+  if (entry->channel && !entry->channel->closed())
     return util::Status::ok_status();
   // Replacing a dead channel orphans whatever was still pending on it.
-  if (!entry.pending.empty())
-    fail_pending_locked(entry, util::Error{util::Errc::closed,
-                                           "channel to " + to.to_string() +
-                                               " died mid-call"});
+  // (Its demux pump is left to self-terminate: the dead channel delivers
+  // the pump's final callback, which sees a non-matching entry->channel
+  // and does nothing. Stopping it here would deadlock — stop() waits for
+  // the handler, and the handler takes entry->mu, which we hold.)
+  if (!entry->pending.empty())
+    fail_pending_locked(*entry, util::Error{util::Errc::closed,
+                                            "channel to " + to.to_string() +
+                                                " died mid-call"});
   auto conn = host_.connect(to, env_.default_timeout);
   if (!conn.ok()) return conn.error();
   auto options = env_.channel_options();
@@ -87,20 +168,54 @@ util::Status AceClient::ensure_channel_locked(ChannelEntry& entry,
                                            env_.ca_key(), env_.default_timeout,
                                            options);
   if (!ch.ok()) return ch.error();
-  entry.channel =
+  entry->channel =
       std::make_shared<crypto::SecureChannel>(std::move(ch.value()));
+  // v2 replies are demultiplexed by a reactor pump on the new channel; a
+  // v1 channel's unframed replies are consumed synchronously by
+  // exchange_v1, so it must NOT have a pump competing for them.
+  if (entry->channel->negotiated_version() >= wire::kProtocolV2) {
+    auto channel = entry->channel;
+    entry->demux = channel->on_frame(
+        env_.reactor(),
+        [this, entry, channel](std::optional<net::Frame> frame) {
+          handle_reply(entry, channel, std::move(frame));
+        });
+  }
   return util::Status::ok_status();
 }
 
-// Caller must hold entry.mu. Spawning is lazy (first pipelined call on the
-// entry) and readers retire themselves when idle; reader_active is the
-// handoff flag — a retired reader never touches the entry after clearing
-// it, so move-assigning over the old jthread only joins its exit path.
-void AceClient::ensure_reader_locked(ChannelEntry& entry) {
-  if (entry.reader_active) return;
-  entry.reader =
-      std::jthread([this, e = &entry](std::stop_token st) { reader_loop(e, st); });
-  entry.reader_active = true;
+// Demux: routes reply frames off one channel generation to their call-id's
+// completion slot, and fails that generation's in-flight calls when the
+// channel dies. Replaces the per-destination reader thread; runs on a
+// reactor core worker.
+void AceClient::handle_reply(
+    const std::shared_ptr<ChannelEntry>& entry,
+    const std::shared_ptr<crypto::SecureChannel>& channel,
+    std::optional<net::Frame> frame) {
+  if (!frame) {
+    // Channel closed and drained (terminal: the pump stops itself). Only
+    // fail pending calls still belonging to this generation — a reconnect
+    // may already have swapped a live channel in.
+    std::scoped_lock lk(entry->mu);
+    if (entry->channel == channel && !entry->pending.empty())
+      fail_pending_locked(
+          *entry, util::Error{util::Errc::closed, "channel died mid-call"});
+    return;
+  }
+  auto decoded = wire::decode_frame(*frame);
+  if (!decoded) return;  // malformed reply frame: drop
+  std::shared_ptr<PendingCall> slot;
+  {
+    std::scoped_lock lk(entry->mu);
+    auto it = entry->pending.find(decoded->call_id);
+    if (it != entry->pending.end()) {
+      slot = std::move(it->second);
+      entry->pending.erase(it);
+      inflight_->add(-1);
+    }
+  }
+  if (!slot) return;  // late reply for a withdrawn call: drop
+  complete(*slot, cmdlang::Parser::parse(decoded->body));
 }
 
 // Caller must hold entry.mu.
@@ -109,64 +224,6 @@ void AceClient::fail_pending_locked(ChannelEntry& entry,
   for (auto& [id, slot] : entry.pending) complete(*slot, error);
   inflight_->add(-static_cast<std::int64_t>(entry.pending.size()));
   entry.pending.clear();
-}
-
-// Per-destination demux: drains reply frames off the entry's channel and
-// routes each to its call-id's completion slot. Runs detached from any one
-// channel generation — it re-reads entry->channel every iteration, so it
-// survives reconnects and notices channel death on behalf of the waiters.
-void AceClient::reader_loop(ChannelEntry* entry, std::stop_token st) {
-  auto idle_since = std::chrono::steady_clock::now();
-  while (!st.stop_requested()) {
-    std::shared_ptr<crypto::SecureChannel> channel;
-    {
-      std::scoped_lock lk(entry->mu);
-      channel = entry->channel;
-    }
-    if (!channel || channel->closed()) {
-      {
-        std::scoped_lock lk(entry->mu);
-        // Only fail pending calls that belong to this dead channel; a
-        // reconnect may already have swapped a live one in.
-        if (entry->channel == channel && !entry->pending.empty())
-          fail_pending_locked(
-              *entry, util::Error{util::Errc::closed, "channel died mid-call"});
-        if (entry->pending.empty() &&
-            std::chrono::steady_clock::now() - idle_since > kReaderIdle) {
-          entry->reader_active = false;
-          return;
-        }
-      }
-      std::this_thread::sleep_for(kReaderPoll);
-      continue;
-    }
-    auto frame = channel->recv(kReaderPoll);
-    if (!frame) {
-      std::scoped_lock lk(entry->mu);
-      if (!entry->pending.empty()) {
-        idle_since = std::chrono::steady_clock::now();
-      } else if (std::chrono::steady_clock::now() - idle_since > kReaderIdle) {
-        entry->reader_active = false;
-        return;
-      }
-      continue;
-    }
-    idle_since = std::chrono::steady_clock::now();
-    auto decoded = wire::decode_frame(*frame);
-    if (!decoded) continue;  // malformed reply frame: drop
-    std::shared_ptr<PendingCall> slot;
-    {
-      std::scoped_lock lk(entry->mu);
-      auto it = entry->pending.find(decoded->call_id);
-      if (it != entry->pending.end()) {
-        slot = std::move(it->second);
-        entry->pending.erase(it);
-        inflight_->add(-1);
-      }
-    }
-    if (!slot) continue;  // late reply for a withdrawn call: drop
-    complete(*slot, cmdlang::Parser::parse(decoded->body));
-  }
 }
 
 util::Result<cmdlang::CmdLine> AceClient::call(const net::Address& to,
@@ -197,7 +254,8 @@ util::Result<cmdlang::CmdLine> AceClient::call(const net::Address& to,
     std::optional<util::Error> connect_error;
     {
       std::scoped_lock lk(entry->mu);
-      if (auto s = ensure_channel_locked(*entry, to); !s.ok()) {
+      entry->last_used = std::chrono::steady_clock::now();
+      if (auto s = ensure_channel_locked(entry, to); !s.ok()) {
         connect_error = s.error();
       } else {
         channel = entry->channel;
@@ -206,7 +264,6 @@ util::Result<cmdlang::CmdLine> AceClient::call(const net::Address& to,
           slot = std::make_shared<PendingCall>();
           entry->pending.emplace(call_id, slot);
           inflight_->add(1);
-          ensure_reader_locked(*entry);
         }
       }
     }
@@ -268,6 +325,7 @@ util::Status AceClient::breaker_admit(ChannelEntry& entry,
 }
 
 bool AceClient::breaker_record_failure(ChannelEntry& entry, bool probe) {
+  const BreakerPolicy breaker = policy().breaker;
   std::scoped_lock lk(entry.mu);
   ++entry.consecutive_failures;
   if (probe) entry.probe_inflight = false;
@@ -275,13 +333,13 @@ bool AceClient::breaker_record_failure(ChannelEntry& entry, bool probe) {
   if (entry.breaker_open) {
     // Failed half-open probe (or a straggler admitted before the trip):
     // re-arm the cooldown.
-    entry.open_until = now + breaker_policy_.cooldown;
+    entry.open_until = now + breaker.cooldown;
     return true;
   }
-  if (breaker_policy_.failure_threshold > 0 &&
-      entry.consecutive_failures >= breaker_policy_.failure_threshold) {
+  if (breaker.failure_threshold > 0 &&
+      entry.consecutive_failures >= breaker.failure_threshold) {
     entry.breaker_open = true;
-    entry.open_until = now + breaker_policy_.cooldown;
+    entry.open_until = now + breaker.cooldown;
     breaker_trips_->inc();
     breaker_open_->add(1);
     return true;
@@ -301,11 +359,16 @@ void AceClient::breaker_record_success(ChannelEntry& entry, bool probe) {
 }
 
 void AceClient::backoff_sleep(const CallOptions& options, int attempt) {
-  if (options.backoff.count() <= 0) return;
+  std::chrono::milliseconds base{}, cap{};
+  {
+    std::scoped_lock lock(policy_mu_);
+    base = options.backoff.value_or(policy_.backoff);
+    cap = options.backoff_cap.value_or(policy_.backoff_cap);
+  }
+  if (base.count() <= 0) return;
   const int exponent = std::min(attempt - 1, 16);
-  auto delay = options.backoff * (std::int64_t{1} << exponent);
-  if (options.backoff_cap.count() > 0 && delay > options.backoff_cap)
-    delay = options.backoff_cap;
+  auto delay = base * (std::int64_t{1} << exponent);
+  if (cap.count() > 0 && delay > cap) delay = cap;
   double jitter;
   {
     std::scoped_lock lk(jitter_mu_);
@@ -381,7 +444,8 @@ util::Status AceClient::send_only(const net::Address& to,
   std::shared_ptr<crypto::SecureChannel> channel;
   {
     std::scoped_lock lk(entry->mu);
-    if (auto s = ensure_channel_locked(*entry, to); !s.ok()) {
+    entry->last_used = std::chrono::steady_clock::now();
+    if (auto s = ensure_channel_locked(entry, to); !s.ok()) {
       errors_->inc();
       return s;
     }
@@ -406,13 +470,13 @@ util::Status AceClient::send_only(const net::Address& to,
   return s;
 }
 
-// Closes the entry's channel, fails its in-flight calls, and retires its
-// demux reader. The entry must already be unlinked from channels_. The
-// jthread is moved out under entry.mu — ensure_reader_locked assigns it
-// under the same lock — and only then stopped and joined, lock-free, so
-// the reader can still take entry.mu on its way out.
+// Closes the entry's channel, fails its in-flight calls, and stops its
+// demux pump. The entry must already be unlinked from channels_. The
+// Subscription is moved out under entry.mu and stopped only after the lock
+// is released: stop() waits for an in-flight handler, and the handler
+// takes entry.mu.
 void AceClient::shutdown_entry(const std::shared_ptr<ChannelEntry>& entry) {
-  std::jthread reader;
+  net::Subscription demux;
   {
     std::scoped_lock lk(entry->mu);
     entry->closed = true;
@@ -424,10 +488,9 @@ void AceClient::shutdown_entry(const std::shared_ptr<ChannelEntry>& entry) {
       entry->breaker_open = false;
       breaker_open_->add(-1);
     }
-    reader = std::move(entry->reader);
+    demux = std::move(entry->demux);
   }
-  reader.request_stop();
-  if (reader.joinable()) reader.join();
+  demux.stop();
 }
 
 void AceClient::drop_connection(const net::Address& to) {

@@ -9,12 +9,14 @@
 //
 // Since wire protocol v2 the cached channel is *pipelined*: every request
 // frame carries a call-id (see daemon/wire.hpp), senders hold only a brief
-// bookkeeping lock, and a lazily spawned per-destination demux reader
-// routes reply frames to per-call completion slots. N threads calling the
-// same daemon share one secure channel with N requests in flight instead
-// of N serialized round trips. Peers that negotiated v1 at the handshake
-// fall back to the historical exchange: one outstanding call per
-// destination, serialized by a per-entry mutex held across the round trip.
+// bookkeeping lock, and a per-destination demux — a reactor pump on the
+// channel, not a thread — routes reply frames to per-call completion
+// slots. N threads calling the same daemon share one secure channel with N
+// requests in flight instead of N serialized round trips, and a process
+// full of clients costs no reader threads at all. Peers that negotiated v1
+// at the handshake fall back to the historical exchange: one outstanding
+// call per destination, serialized by a per-entry mutex held across the
+// round trip.
 //
 // All request/reply traffic funnels through the single
 // call(to, cmd, CallOptions) entry point, so call latency, reconnects,
@@ -52,12 +54,10 @@ struct CallOptions {
   // channel is gone). 1 preserves the historical behaviour of one
   // transparent reconnect.
   int retries = 1;
-  // Base delay inserted before retry k: backoff * 2^(k-1), scaled by a
-  // uniform [0.5, 1.5) jitter and capped at backoff_cap, so concurrent
-  // callers hammering a dead destination spread out instead of busy-
-  // spinning in lockstep. 0 disables the delay.
-  std::chrono::milliseconds backoff{10};
-  std::chrono::milliseconds backoff_cap{500};
+  // Per-call overrides of ClientPolicy::backoff/backoff_cap (see there for
+  // semantics); unset = use the client's policy.
+  std::optional<std::chrono::milliseconds> backoff{};
+  std::optional<std::chrono::milliseconds> backoff_cap{};
 };
 
 // Shorthand for the common "call and insist on an ok reply" pattern.
@@ -77,12 +77,35 @@ struct BreakerPolicy {
   std::chrono::milliseconds cooldown{250};
 };
 
+// Everything tunable about a client, applied as one unit via
+// AceClient::set_policy (replacing the old scattered per-knob setters).
+struct ClientPolicy {
+  // Protocol version offered on channels opened after the change; 0 =
+  // offer the environment's configured version. (Testing and the bench_rpc
+  // pipelining ablation: 1 forces the serialized v1 exchange even against
+  // a v2 daemon.)
+  std::uint8_t protocol_offer = 0;
+  // Per-destination circuit breaker (see BreakerPolicy).
+  BreakerPolicy breaker{};
+  // Base delay inserted before retry k: backoff * 2^(k-1), scaled by a
+  // uniform [0.5, 1.5) jitter and capped at backoff_cap, so concurrent
+  // callers hammering a dead destination spread out instead of busy-
+  // spinning in lockstep. 0 disables the delay. CallOptions may override
+  // both per call.
+  std::chrono::milliseconds backoff{10};
+  std::chrono::milliseconds backoff_cap{500};
+  // Close cached channels that have sat idle (no traffic, nothing in
+  // flight) this long, freeing their demux state; a later call
+  // transparently reconnects. 0 (default) keeps channels forever.
+  std::chrono::milliseconds idle_channel_ttl{0};
+};
+
 class AceClient {
  public:
   // `from_host` is the machine the client runs on; `identity` authenticates
   // it to peers (services check the certificate subject as the principal).
   AceClient(Environment& env, net::Host& from_host, crypto::Identity identity);
-  ~AceClient();  // closes every channel and joins the demux readers
+  ~AceClient();  // closes every channel and stops their demux pumps
 
   AceClient(const AceClient&) = delete;
   AceClient& operator=(const AceClient&) = delete;
@@ -104,10 +127,20 @@ class AceClient {
   void drop_connection(const net::Address& to);
   void close_all();
 
-  // Replaces the circuit-breaker policy. Configure before issuing calls;
-  // not synchronized against concurrent call() traffic.
-  void set_breaker_policy(BreakerPolicy policy) { breaker_policy_ = policy; }
-  const BreakerPolicy& breaker_policy() const { return breaker_policy_; }
+  // Replaces the whole client policy atomically. Thread-safe; affects
+  // channels opened and retries begun after the call. Arms (or disarms)
+  // the idle-channel sweeper when idle_channel_ttl changes.
+  void set_policy(ClientPolicy policy);
+  ClientPolicy policy() const;
+
+  // Deprecated piecemeal setters, kept for one release as forwarders onto
+  // set_policy (each rewrites only its slice of the policy).
+  [[deprecated("use set_policy(ClientPolicy) instead")]]
+  void set_breaker_policy(BreakerPolicy policy);
+  [[deprecated("use set_policy(ClientPolicy) instead")]]
+  void set_protocol_offer(std::uint8_t version);
+
+  BreakerPolicy breaker_policy() const { return policy().breaker; }
 
   const std::string& principal() const {
     return identity_.certificate.subject;
@@ -115,14 +148,6 @@ class AceClient {
 
   // The environment this client was built against (metrics, logging).
   Environment& env() { return env_; }
-
-  // Overrides the protocol version offered on channels opened after this
-  // call (testing and the bench_rpc pipelining ablation: 1 forces the
-  // serialized v1 exchange even against a v2 daemon). 0 = offer the
-  // environment's configured version.
-  void set_protocol_offer(std::uint8_t version) {
-    protocol_offer_.store(version, std::memory_order_relaxed);
-  }
 
  private:
   // One in-flight v2 call awaiting its reply from the demux reader.
@@ -142,15 +167,19 @@ class AceClient {
     std::shared_ptr<crypto::SecureChannel> channel;
     std::uint64_t next_call_id = 1;
     std::map<std::uint64_t, std::shared_ptr<PendingCall>> pending;
-    bool reader_active = false;
     bool closed = false;  // entry was shut down; never reconnect through it
+    std::chrono::steady_clock::time_point last_used{};
     // Circuit-breaker state (guarded by `mu`; see BreakerPolicy).
     int consecutive_failures = 0;
     bool breaker_open = false;
     bool probe_inflight = false;  // the single half-open probe is out
     std::chrono::steady_clock::time_point open_until{};
     std::mutex call_mu;
-    std::jthread reader;  // last member: joined before the fields it uses die
+    // Reply demux for the *current* v2 channel: a reactor pump attached at
+    // connect time. A replaced channel's old pump self-terminates (the
+    // dead channel delivers its final callback) without being stopped
+    // under entry.mu, which its own handler also takes.
+    net::Subscription demux;
   };
 
   // Resolves a finished call into its completion slot and wakes the waiter.
@@ -159,8 +188,17 @@ class AceClient {
   static void complete(PendingCall& slot, util::Result<cmdlang::CmdLine> r);
 
   std::shared_ptr<ChannelEntry> entry_for(const net::Address& to);
-  util::Status ensure_channel_locked(ChannelEntry& entry,
+  util::Status ensure_channel_locked(const std::shared_ptr<ChannelEntry>& entry,
                                      const net::Address& to);
+  // Demux pump handler: routes one reply frame (or the channel's death)
+  // for the given channel generation. Runs on a reactor core worker.
+  void handle_reply(const std::shared_ptr<ChannelEntry>& entry,
+                    const std::shared_ptr<crypto::SecureChannel>& channel,
+                    std::optional<net::Frame> frame);
+  // Idle-channel sweeper (policy().idle_channel_ttl > 0): a repeating
+  // reactor timer that shuts down destinations with no traffic and no
+  // calls in flight.
+  void sweep_idle_channels();
   // Breaker hooks around one call attempt. admit fails fast with
   // Errc::unavailable while the destination's breaker is open (setting
   // `probe` when this attempt is the half-open probe); record_failure
@@ -172,8 +210,6 @@ class AceClient {
   void breaker_record_success(ChannelEntry& entry, bool probe);
   // Jittered exponential delay before retry attempt `attempt` (>= 1).
   void backoff_sleep(const CallOptions& options, int attempt);
-  void ensure_reader_locked(ChannelEntry& entry);
-  void reader_loop(ChannelEntry* entry, std::stop_token st);
   void fail_pending_locked(ChannelEntry& entry, const util::Error& error);
   void shutdown_entry(const std::shared_ptr<ChannelEntry>& entry);
   util::Result<cmdlang::CmdLine> exchange_v1(
@@ -189,8 +225,16 @@ class AceClient {
   Environment& env_;
   net::Host& host_;
   crypto::Identity identity_;
+  // The policy proper lives behind policy_mu_; protocol_offer is mirrored
+  // into an atomic so the connect path reads it lock-free.
+  mutable std::mutex policy_mu_;
+  ClientPolicy policy_;
   std::atomic<std::uint8_t> protocol_offer_{0};
-  BreakerPolicy breaker_policy_;
+  // Idle-sweeper timer chain state (guarded by policy_mu_). The TaskGuard
+  // revokes in-flight sweep tasks at destruction, since they capture
+  // `this` raw.
+  net::TaskGuard sweep_guard_;
+  net::Reactor::TimerId sweep_timer_ = 0;
   std::mutex mu_;
   std::map<net::Address, std::shared_ptr<ChannelEntry>> channels_;
   std::mutex jitter_mu_;

@@ -18,11 +18,6 @@ namespace {
 constexpr auto kPollInterval = 50ms;
 constexpr int kMaxNotifyFailures = 3;
 
-// Handshake workers per daemon. Two is enough to keep one slow connector
-// from stalling everyone else without paying a thread-per-daemon army; the
-// simulated DH exchange is CPU-light, so depth matters more than width.
-constexpr int kHandshakePoolSize = 2;
-
 // Removes the v1 transport-level _noreply marker before semantic
 // validation (v2 carries the marker as a frame flag instead).
 CmdLine strip_noreply(const CmdLine& cmd, bool* noreply) {
@@ -291,7 +286,6 @@ util::Status ServiceDaemon::start() {
   // relaunch needs them accepting again (stale leftovers are dropped).
   control_queue_.reopen();
   notify_queue_.reopen();
-  handshake_queue_.reopen();
 
   if (config_.port == 0) config_.port = host_.net_host().ephemeral_port();
   auto listener = host_.net_host().listen(config_.port);
@@ -311,20 +305,46 @@ util::Status ServiceDaemon::start() {
   infra_client_ =
       std::make_unique<AceClient>(env_, host_.net_host(), identity_);
 
-  // Serving threads must be live before registration: the ASD may call us
-  // back (and the ASD itself must serve while registering nothing).
+  // The serving pumps must be registered before the startup sequence: the
+  // ASD may call us back (and the ASD itself must serve while registering
+  // nothing). Command execution may block (nested RPCs), so both the
+  // control pump and the per-channel strands run on the ops pool; frame
+  // decode and accept/handshake stay on the core pool.
   running_.store(true);
-  accept_thread_ = std::jthread([this](std::stop_token st) { accept_loop(st); });
-  handshake_threads_.reserve(kHandshakePoolSize);
-  for (int i = 0; i < kHandshakePoolSize; ++i)
-    handshake_threads_.emplace_back(
-        [this](std::stop_token st) { handshake_loop(st); });
-  control_thread_ =
-      std::jthread([this](std::stop_token st) { control_loop(st); });
-  notifier_thread_ =
-      std::jthread([this](std::stop_token st) { notifier_loop(st); });
+  net::Reactor& reactor = env_.reactor();
+  accept_sub_ = listener_->on_accept(
+      reactor,
+      [this](std::optional<net::Connection> conn) {
+        handle_accept(std::move(conn));
+      });
+  control_sub_ = net::attach_queue<WorkItem>(
+      reactor, control_queue_,
+      [this](std::optional<WorkItem> item) {
+        if (!item) return;
+        obs_control_depth_->set(
+            static_cast<std::int64_t>(control_queue_.size()));
+        run_work_item(*item, /*serialize=*/true);
+      },
+      {.blocking = true});
+  notify_sub_ = net::attach_queue<NotifyJob>(
+      reactor, notify_queue_,
+      [this](std::optional<NotifyJob> job) {
+        if (job) run_notify_job(*job);
+      },
+      {.blocking = true});
   if (data_socket_)
-    data_thread_ = std::jthread([this](std::stop_token st) { data_loop(st); });
+    data_sub_ = data_socket_->on_datagram(
+        reactor,
+        [this](std::optional<net::Datagram> dg) {
+          if (!dg) return;
+          {
+            std::scoped_lock lock(stats_mu_);
+            stats_.datagrams_received++;
+          }
+          obs_datagrams_->inc();
+          on_datagram(*dg);
+        },
+        {.blocking = true});
 
   if (auto s = run_startup_sequence(); !s.ok()) {
     stop();
@@ -367,23 +387,50 @@ void ServiceDaemon::stop() {
                               CallOptions{.timeout = 500ms});
   }
   net_log("info", "service '" + config_.name + "' stopped");
+  teardown();
+}
 
+// Tears down every reactor registration and connection. Order matters:
+// stop the accept pump first (no new handshakes), then abort and await
+// in-flight handshakes (no new actors), then kill the actors, and only
+// then close the daemon-wide queues nothing can push to anymore.
+void ServiceDaemon::teardown() {
   lease_thread_ = {};
   if (listener_) listener_->close();
-  if (data_socket_) data_socket_->close();
-  control_queue_.close();
-  notify_queue_.close();
-  handshake_queue_.close();
-  accept_thread_ = {};
-  handshake_threads_.clear();  // joins; no conn thread spawns after this
-  control_thread_ = {};
-  notifier_thread_ = {};
-  data_thread_ = {};
+  accept_sub_.stop();
+
   {
-    std::scoped_lock lock(conn_threads_mu_);
-    for (auto& t : conn_threads_) t.request_stop();
-    conn_threads_.clear();  // joins
+    // Closing a pending connection makes its async handshake fail; each
+    // completion erases its registry entry, so an empty registry means no
+    // handshake callback is left that could spawn an actor or touch us.
+    std::unique_lock lock(pending_mu_);
+    for (auto& [id, conn] : pending_handshakes_) conn.close();
+    pending_cv_.wait(lock, [this] { return pending_handshakes_.empty(); });
   }
+
+  std::map<std::uint64_t, std::shared_ptr<ChannelActor>> actors;
+  {
+    std::scoped_lock lock(actors_mu_);
+    actors.swap(actors_);
+  }
+  for (auto& [id, actor] : actors) {
+    // Mirror a real socket: when the daemon dies, its connections die with
+    // it. Without this, a peer of a crashed daemon sees eternal silence
+    // instead of a closed channel and times out every call rather than
+    // failing fast and reconnecting after a relaunch.
+    actor->channel->close();
+    actor->frame_sub.stop();
+    actor->work.close();
+    actor->work_sub.stop();
+  }
+
+  if (data_socket_) data_socket_->close();
+  data_sub_.stop();
+  control_queue_.close();
+  control_sub_.stop();
+  notify_queue_.close();
+  notify_sub_.stop();
+
   if (control_client_) control_client_->close_all();
   if (notify_client_) notify_client_->close_all();
   if (infra_client_) infra_client_->close_all();
@@ -398,27 +445,7 @@ void ServiceDaemon::crash() {
   // expiry (paper §2.4). A crashed process is no longer resident, so the
   // host's coordinator stops renewing for it and the lease lapses.
   if (config_.batch_renew) host_.leases_withdraw(config_.name);
-  lease_thread_ = {};
-  if (listener_) listener_->close();
-  if (data_socket_) data_socket_->close();
-  control_queue_.close();
-  notify_queue_.close();
-  handshake_queue_.close();
-  accept_thread_ = {};
-  handshake_threads_.clear();  // joins
-  control_thread_ = {};
-  notifier_thread_ = {};
-  data_thread_ = {};
-  {
-    std::scoped_lock lock(conn_threads_mu_);
-    for (auto& t : conn_threads_) t.request_stop();
-    conn_threads_.clear();
-  }
-  if (control_client_) control_client_->close_all();
-  if (notify_client_) notify_client_->close_all();
-  if (infra_client_) infra_client_->close_all();
-  listener_.reset();
-  data_socket_.reset();
+  teardown();
   // A real crash loses the process's volatile state. Anything re-derivable
   // (subscriptions, cached credentials, subclass soft state) must be
   // re-established by peers after a restart — which is exactly what the
@@ -434,42 +461,40 @@ void ServiceDaemon::crash() {
   on_crash();
 }
 
-// ------------------------------------------------------------------- threads
+// -------------------------------------------------------------------- actors
 
-void ServiceDaemon::accept_loop(std::stop_token st) {
-  while (!st.stop_requested()) {
-    auto conn = listener_->accept(kPollInterval);
-    if (!conn) {
-      if (control_queue_.closed()) return;
-      continue;
-    }
-    // The DH + certificate exchange is several round trips; running it
-    // inline here would let one slow (or hostile) connector starve every
-    // other connection attempt. Hand the raw connection to the pool.
-    if (!handshake_queue_.push(std::move(*conn))) continue;  // shutting down
+void ServiceDaemon::handle_accept(std::optional<net::Connection> conn) {
+  if (!conn) return;  // listener closed: the pump self-terminates
+  std::uint64_t id;
+  {
+    std::scoped_lock lock(pending_mu_);
+    id = next_pending_id_++;
+    // Keep a handle (shared connection state) so teardown() can abort the
+    // exchange by closing it under our feet.
+    pending_handshakes_.emplace(id, *conn);
     obs_handshake_queued_->set(
-        static_cast<std::int64_t>(handshake_queue_.size()));
+        static_cast<std::int64_t>(pending_handshakes_.size()));
   }
+  // The DH + certificate exchange is several round trips; as a reactor
+  // state machine it costs no thread while waiting, so a slow (or hostile)
+  // connector starves nobody and thousands may be in flight at once.
+  crypto::SecureChannel::async_accept(
+      env_.reactor(), std::move(*conn), identity_, env_.ca_key(),
+      env_.default_timeout, env_.channel_options(),
+      [this, id](util::Result<crypto::SecureChannel> ch) {
+        finish_accept(id, std::move(ch));
+      });
 }
 
-void ServiceDaemon::handshake_loop(std::stop_token st) {
-  while (!st.stop_requested()) {
-    auto conn = handshake_queue_.pop_for(kPollInterval);
-    if (!conn) {
-      if (handshake_queue_.closed()) return;
-      continue;
-    }
-    obs_handshake_queued_->set(
-        static_cast<std::int64_t>(handshake_queue_.size()));
-    auto ch = crypto::SecureChannel::accept(std::move(*conn), identity_,
-                                            env_.ca_key(),
-                                            env_.default_timeout,
-                                            env_.channel_options());
-    if (!ch.ok()) {
+void ServiceDaemon::finish_accept(std::uint64_t pending_id,
+                                  util::Result<crypto::SecureChannel> ch) {
+  if (!ch.ok()) {
+    if (!stopping_.load())
       util::log_warn(config_.name)
           << "handshake failed: " << ch.error().to_string();
-      continue;
-    }
+  } else if (stopping_.load()) {
+    ch.value().close();  // lost the race with stop(): refuse the channel
+  } else {
     {
       std::scoped_lock lock(stats_mu_);
       stats_.connections_accepted++;
@@ -477,88 +502,102 @@ void ServiceDaemon::handshake_loop(std::stop_token st) {
     obs_conn_accepted_->inc();
     auto channel =
         std::make_shared<crypto::SecureChannel>(std::move(ch.value()));
-    std::scoped_lock lock(conn_threads_mu_);
-    conn_threads_.emplace_back([this, channel](std::stop_token cst) {
-      command_loop(cst, channel);
-    });
+    auto actor = std::make_shared<ChannelActor>();
+    actor->channel = channel;
+    actor->caller.principal = channel->peer_name();
+    actor->v2 = channel->negotiated_version() >= wire::kProtocolV2;
+    {
+      std::scoped_lock lock(actors_mu_);
+      actor->id = next_actor_id_++;
+      actors_.emplace(actor->id, actor);
+    }
+    // Strand first, frames second: by the time a frame can enqueue work
+    // the work pump exists. Both pumps capture the actor; the captures are
+    // released when the pumps hit their terminal state (connection closed,
+    // work queue drained), so a dead connection frees its actor.
+    actor->work_sub = net::attach_queue<WorkItem>(
+        env_.reactor(), actor->work,
+        [this, actor](std::optional<WorkItem> item) {
+          if (item) run_work_item(*item, /*serialize=*/false);
+        },
+        {.blocking = true});
+    actor->frame_sub = channel->on_frame(
+        env_.reactor(), [this, actor](std::optional<net::Frame> frame) {
+          handle_frame(actor, std::move(frame));
+        });
   }
+  std::scoped_lock lock(pending_mu_);
+  pending_handshakes_.erase(pending_id);
+  obs_handshake_queued_->set(
+      static_cast<std::int64_t>(pending_handshakes_.size()));
+  if (pending_handshakes_.empty()) pending_cv_.notify_all();
 }
 
-void ServiceDaemon::command_loop(
-    std::stop_token st, std::shared_ptr<crypto::SecureChannel> channel) {
-  CallerInfo caller;
-  caller.principal = channel->peer_name();
-  const bool v2 = channel->negotiated_version() >= wire::kProtocolV2;
-  while (!st.stop_requested() && !channel->closed()) {
-    auto frame = channel->recv(kPollInterval);
-    if (!frame) continue;
-    std::uint64_t call_id = 0;
-    bool flag_noreply = false;
-    std::string_view body;
-    if (v2) {
-      auto decoded = wire::decode_frame(*frame);
-      if (!decoded) {  // truncated demux header: no id to reply to
-        std::scoped_lock lock(stats_mu_);
-        stats_.commands_rejected++;
-        continue;
-      }
-      call_id = decoded->call_id;
-      flag_noreply = (decoded->flags & wire::kFlagNoReply) != 0;
-      body = decoded->body;
-    } else {
-      body = util::to_string_view(*frame);
-    }
-    auto parsed = cmdlang::Parser::parse(body);
-    if (!parsed.ok()) {
-      {
-        std::scoped_lock lock(stats_mu_);
-        stats_.commands_rejected++;
-      }
-      if (!flag_noreply)
-        send_reply(*channel, v2, call_id,
-                   cmdlang::make_error(parsed.error().code,
-                                       parsed.error().message));
-      continue;
-    }
-    WorkItem item;
-    item.cmd = strip_noreply(parsed.value(), &item.noreply);
-    item.noreply = item.noreply || flag_noreply;
-    item.caller = caller;
-    item.channel = channel;
-    item.call_id = call_id;
-    item.v2 = v2;
-
-    // Concurrent commands (thread-safe handlers) run right here on the
-    // command thread, so they cannot convoy behind a busy control thread —
-    // essential for peer-to-peer hot paths like store replication.
-    const cmdlang::CommandSpec* spec = semantics_.find(item.cmd.name());
-    if (spec && spec->concurrent) {
-      CmdLine reply = dispatch(item.cmd, item.caller, /*serialize=*/false);
-      if (!item.noreply) send_reply(*channel, v2, call_id, reply);
-      continue;
-    }
-    if (!control_queue_.push(std::move(item))) break;  // shutting down
-    obs_control_depth_->set(static_cast<std::int64_t>(control_queue_.size()));
+// Runs on the core pool: decode and route only, never execute.
+void ServiceDaemon::handle_frame(const std::shared_ptr<ChannelActor>& actor,
+                                 std::optional<net::Frame> frame) {
+  if (!frame) {
+    // Connection closed and drained. Close the strand (its pump terminates
+    // after the backlog) and forget the actor.
+    actor->work.close();
+    std::scoped_lock lock(actors_mu_);
+    actors_.erase(actor->id);
+    return;
   }
-  // Mirror a real socket: when the serving thread dies (stop or crash),
-  // the connection dies with it. Without this, a peer of a crashed daemon
-  // sees eternal silence instead of a closed channel and times out every
-  // call rather than failing fast and reconnecting after a relaunch.
-  channel->close();
+  std::uint64_t call_id = 0;
+  bool flag_noreply = false;
+  std::string_view body;
+  if (actor->v2) {
+    auto decoded = wire::decode_frame(*frame);
+    if (!decoded) {  // truncated demux header: no id to reply to
+      std::scoped_lock lock(stats_mu_);
+      stats_.commands_rejected++;
+      return;
+    }
+    call_id = decoded->call_id;
+    flag_noreply = (decoded->flags & wire::kFlagNoReply) != 0;
+    body = decoded->body;
+  } else {
+    body = util::to_string_view(*frame);
+  }
+  auto parsed = cmdlang::Parser::parse(body);
+  if (!parsed.ok()) {
+    {
+      std::scoped_lock lock(stats_mu_);
+      stats_.commands_rejected++;
+    }
+    if (!flag_noreply)
+      send_reply(*actor->channel, actor->v2, call_id,
+                 cmdlang::make_error(parsed.error().code,
+                                     parsed.error().message));
+    return;
+  }
+  WorkItem item;
+  item.cmd = strip_noreply(parsed.value(), &item.noreply);
+  item.noreply = item.noreply || flag_noreply;
+  item.caller = actor->caller;
+  item.channel = actor->channel;
+  item.call_id = call_id;
+  item.v2 = actor->v2;
+
+  // Concurrent commands (thread-safe handlers) run on this connection's
+  // own strand, so they cannot convoy behind a busy control queue —
+  // essential for peer-to-peer hot paths like store replication. Order
+  // within one connection is still the arrival order.
+  const cmdlang::CommandSpec* spec = semantics_.find(item.cmd.name());
+  if (spec && spec->concurrent) {
+    actor->work.push(std::move(item));
+    return;
+  }
+  if (!control_queue_.push(std::move(item))) return;  // shutting down
+  obs_control_depth_->set(static_cast<std::int64_t>(control_queue_.size()));
 }
 
-void ServiceDaemon::control_loop(std::stop_token st) {
-  while (!st.stop_requested()) {
-    auto item = control_queue_.pop_for(kPollInterval);
-    if (!item) {
-      if (control_queue_.closed()) return;
-      continue;
-    }
-    obs_control_depth_->set(static_cast<std::int64_t>(control_queue_.size()));
-    CmdLine reply = dispatch(item->cmd, item->caller);
-    if (item->channel && !item->noreply)
-      send_reply(*item->channel, item->v2, item->call_id, reply);
-  }
+// Runs on the ops pool (command handlers may block on nested RPCs).
+void ServiceDaemon::run_work_item(const WorkItem& item, bool serialize) {
+  CmdLine reply = dispatch(item.cmd, item.caller, serialize);
+  if (item.channel && !item.noreply)
+    send_reply(*item.channel, item.v2, item.call_id, reply);
 }
 
 CmdLine ServiceDaemon::execute(const CmdLine& cmd, const CallerInfo& caller) {
@@ -692,53 +731,33 @@ void ServiceDaemon::fire_notifications(const CmdLine& cmd) {
   }
 }
 
-void ServiceDaemon::notifier_loop(std::stop_token st) {
-  while (!st.stop_requested()) {
-    auto job = notify_queue_.pop_for(kPollInterval);
-    if (!job) {
-      if (notify_queue_.closed()) return;
-      continue;
-    }
-    CmdLine notify(job->method);
-    notify.arg("source", config_.name);
-    notify.arg("command", Word{job->command});
-    notify.arg("detail", job->detail);
-    obs_notify_depth_->set(static_cast<std::int64_t>(notify_queue_.size()));
-    auto s = notify_client_->send_only(job->service, notify);
-    obs_notify_sent_->inc();
-    {
-      std::scoped_lock lock(stats_mu_);
-      stats_.notifications_sent++;
-    }
-    if (!s.ok()) {
-      // Drop chronically unreachable subscribers.
-      std::scoped_lock lock(notify_mu_);
-      for (auto& e : notifications_) {
-        if (e.service == job->service && e.command == job->command &&
-            ++e.failures >= kMaxNotifyFailures) {
-          std::erase_if(notifications_, [&](const NotificationEntry& x) {
-            return x.service == job->service && x.command == job->command;
-          });
-          break;
-        }
+// Runs on the ops pool (send_only may block on connection establishment).
+// Its own pump — not the control pump — so notification fan-out between
+// two daemons that notify each other cannot deadlock.
+void ServiceDaemon::run_notify_job(const NotifyJob& job) {
+  CmdLine notify(job.method);
+  notify.arg("source", config_.name);
+  notify.arg("command", Word{job.command});
+  notify.arg("detail", job.detail);
+  obs_notify_depth_->set(static_cast<std::int64_t>(notify_queue_.size()));
+  auto s = notify_client_->send_only(job.service, notify);
+  obs_notify_sent_->inc();
+  {
+    std::scoped_lock lock(stats_mu_);
+    stats_.notifications_sent++;
+  }
+  if (!s.ok()) {
+    // Drop chronically unreachable subscribers.
+    std::scoped_lock lock(notify_mu_);
+    for (auto& e : notifications_) {
+      if (e.service == job.service && e.command == job.command &&
+          ++e.failures >= kMaxNotifyFailures) {
+        std::erase_if(notifications_, [&](const NotificationEntry& x) {
+          return x.service == job.service && x.command == job.command;
+        });
+        break;
       }
     }
-  }
-}
-
-void ServiceDaemon::data_loop(std::stop_token st) {
-  while (!st.stop_requested()) {
-    auto dg = data_socket_->recv(kPollInterval);
-    if (!dg) {
-      if (control_queue_.closed()) return;
-      continue;
-    }
-    {
-      std::scoped_lock lock(stats_mu_);
-      stats_.datagrams_received++;
-    }
-    obs_datagrams_->inc();
-    on_datagram(*dg);
   }
 }
 

@@ -1,12 +1,18 @@
 // The ACE service daemon (paper §2.1): the building block of every ACE
 // service. Reproduces the paper's design:
 //
-//  * thread structure (§2.1.1): a main/accept thread, one command thread per
-//    accepted connection, a control thread executing commands, and a data
-//    thread for UDP-style streaming — joined by message queues. (We add a
-//    notifier thread so notification fan-out cannot deadlock two daemons
-//    that notify each other; the paper folds this duty into the control
-//    thread.)
+//  * thread structure (§2.1.1), reinterpreted for scale: the paper gives
+//    each daemon an accept thread, a command thread per connection, a
+//    control thread and a data thread. We keep the same roles but run them
+//    as reactor actors on the Environment's shared net::Reactor: accepted
+//    connections become per-channel state machines (frame decode on the
+//    core pool, command execution on per-channel strands of the elastic
+//    ops pool), the control "thread" is a serialized queue pump, and
+//    notification fan-out gets its own pump so two daemons notifying each
+//    other cannot deadlock. Semantics are unchanged — per-connection
+//    command order, one serialized control stream, concurrent_ok commands
+//    running in parallel — but thread count is O(reactor pool), not
+//    O(connections). See docs/net.md.
 //  * command language integration (§2.2): incoming strings are parsed and
 //    validated against this daemon's SemanticRegistry before execution.
 //  * service hierarchy (§2.3): subclasses inherit the base "Service"
@@ -21,6 +27,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -200,14 +207,30 @@ class ServiceDaemon {
     bool v2 = false;            // frame the reply with the demux header
   };
 
-  void accept_loop(std::stop_token st);
-  void handshake_loop(std::stop_token st);
-  void command_loop(std::stop_token st,
-                    std::shared_ptr<crypto::SecureChannel> channel);
-  void control_loop(std::stop_token st);
-  void notifier_loop(std::stop_token st);
-  void data_loop(std::stop_token st);
+  // One accepted connection as a reactor actor. Inbound frames are decoded
+  // on the core pool (handle_frame); concurrent_ok commands run on `work`,
+  // a per-channel strand pumped on the ops pool (per-connection order,
+  // cross-connection parallelism); serialized commands go to the daemon's
+  // control queue. Dropped from `actors_` when the connection dies.
+  struct ChannelActor {
+    std::uint64_t id = 0;
+    std::shared_ptr<crypto::SecureChannel> channel;
+    CallerInfo caller;
+    bool v2 = false;
+    util::MessageQueue<WorkItem> work;
+    net::Subscription frame_sub;
+    net::Subscription work_sub;
+  };
+
+  void handle_accept(std::optional<net::Connection> conn);
+  void finish_accept(std::uint64_t pending_id,
+                     util::Result<crypto::SecureChannel> ch);
+  void handle_frame(const std::shared_ptr<ChannelActor>& actor,
+                    std::optional<net::Frame> frame);
+  void run_work_item(const WorkItem& item, bool serialize);
+  void run_notify_job(const NotifyJob& job);
   void lease_loop(std::stop_token st);
+  void teardown();
 
   cmdlang::CmdLine dispatch(const cmdlang::CmdLine& cmd,
                             const CallerInfo& caller, bool serialize = true);
@@ -239,11 +262,20 @@ class ServiceDaemon {
 
   util::MessageQueue<NotifyJob> notify_queue_;
   util::MessageQueue<WorkItem> control_queue_;
-  // Raw accepted connections awaiting their secure-channel handshake. The
-  // accept thread only enqueues; a small worker pool runs the DH/certificate
-  // exchange so one slow connector cannot starve the accept path.
-  util::MessageQueue<net::Connection> handshake_queue_;
-  std::mutex exec_mu_;  // serializes dispatch (control thread + local execute)
+  std::mutex exec_mu_;  // serializes dispatch (control pump + local execute)
+
+  // Raw accepted connections whose async handshake is in flight, keyed by
+  // a ticket id. stop() closes them all and waits for the registry to
+  // drain (each async completion erases its entry), so no handshake
+  // callback can outlive the daemon.
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  std::map<std::uint64_t, net::Connection> pending_handshakes_;
+  std::uint64_t next_pending_id_ = 1;
+
+  std::mutex actors_mu_;
+  std::map<std::uint64_t, std::shared_ptr<ChannelActor>> actors_;
+  std::uint64_t next_actor_id_ = 1;
 
   mutable std::mutex notify_mu_;
   std::vector<NotificationEntry> notifications_;
@@ -272,14 +304,16 @@ class ServiceDaemon {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
-  std::jthread accept_thread_;
-  std::vector<std::jthread> handshake_threads_;
-  std::jthread control_thread_;
-  std::jthread notifier_thread_;
-  std::jthread data_thread_;
+  // Reactor registrations replacing the accept/handshake/control/notifier/
+  // data threads. Per-connection pumps live in ChannelActor.
+  net::Subscription accept_sub_;
+  net::Subscription control_sub_;
+  net::Subscription notify_sub_;
+  net::Subscription data_sub_;
+  // Dedicated lease thread, kept only for the E15c per-service renewal
+  // ablation (batch_renew = false); the default path rides the host's
+  // LeaseCoordinator on reactor timers.
   std::jthread lease_thread_;
-  std::mutex conn_threads_mu_;
-  std::vector<std::jthread> conn_threads_;
 };
 
 }  // namespace ace::daemon

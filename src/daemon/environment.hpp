@@ -34,6 +34,11 @@ class Environment {
 
   net::Network& network() { return network_; }
 
+  // The deployment's event loop: daemons, clients and lease coordinators
+  // all multiplex onto this one reactor's worker pools, which is what
+  // keeps process thread count O(pool) rather than O(connections).
+  net::Reactor& reactor() { return reactor_; }
+
   // Deployment-wide metrics/span registry. The network, secure channels,
   // clients and daemons all record here; any daemon's `metrics;` command
   // returns a snapshot of it.
@@ -79,6 +84,9 @@ class Environment {
  private:
   obs::MetricsRegistry metrics_;  // must outlive (so precede) network_
   net::Network network_;
+  // Declared after network_ so it is destroyed first: reactor stop() joins
+  // the workers while the queues they pump still exist.
+  net::Reactor reactor_{&metrics_};
   crypto::CertificateAuthority ca_;
   keynote::KeyStore keys_;
   std::vector<keynote::Assertion> policies_;

@@ -1,6 +1,7 @@
 #include "daemon/lease.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "daemon/daemon.hpp"
@@ -22,7 +23,14 @@ LeaseCoordinator::LeaseCoordinator(Environment& env, DaemonHost& host)
       obs_lost_(&env.metrics().counter("daemon.lease.lost")) {}
 
 LeaseCoordinator::~LeaseCoordinator() {
-  thread_ = {};
+  net::Reactor::TimerId timer = 0;
+  {
+    std::scoped_lock lock(mu_);
+    ++tick_gen_;  // any tick already dispatched becomes a no-op
+    timer = std::exchange(timer_, 0);
+  }
+  if (timer != 0) env_.reactor().cancel(timer);
+  guard_.revoke();  // waits out a tick running right now
   client_->close_all();
 }
 
@@ -34,13 +42,18 @@ std::chrono::milliseconds LeaseCoordinator::interval_locked() const {
 }
 
 void LeaseCoordinator::enroll(ServiceDaemon& daemon) {
-  {
-    std::scoped_lock lock(mu_);
-    enrolled_[daemon.config().name] = &daemon;
-    if (!thread_.joinable())
-      thread_ = std::jthread([this](std::stop_token st) { renew_loop(st); });
+  std::scoped_lock lock(mu_);
+  const bool was_empty = enrolled_.empty();
+  enrolled_[daemon.config().name] = &daemon;
+  if (timer_ != 0) {
+    // Re-arm so a tighter lease_renew takes effect immediately.
+    env_.reactor().cancel(std::exchange(timer_, 0));
+    arm_locked();
+  } else if (was_empty) {
+    arm_locked();
   }
-  cv_.notify_all();  // a tighter lease_renew takes effect immediately
+  // timer_ == 0 with a non-empty roster means a tick is mid-flight; it
+  // re-arms itself with the updated roster when it finishes.
 }
 
 void LeaseCoordinator::withdraw(const std::string& name) {
@@ -56,23 +69,23 @@ std::size_t LeaseCoordinator::enrolled_count() const {
   return enrolled_.size();
 }
 
-void LeaseCoordinator::renew_loop(std::stop_token st) {
-  while (!st.stop_requested()) {
-    std::chrono::milliseconds interval;
-    {
-      std::scoped_lock lock(mu_);
-      interval = interval_locked();
-    }
-    {
-      // Interruptible sleep: the predicate never holds, so only the stop
-      // token or a roster change (notify in enroll, which may tighten the
-      // interval) cuts it short.
-      std::unique_lock wait_lock(wait_mu_);
-      cv_.wait_for(wait_lock, st, interval, [] { return false; });
-    }
-    if (st.stop_requested()) return;
-    tick();
+void LeaseCoordinator::arm_locked() {
+  const std::uint64_t gen = ++tick_gen_;
+  timer_ = env_.reactor().post_after(
+      interval_locked(), guard_.wrap([this, gen] { run_tick(gen); }),
+      /*blocking=*/true);
+}
+
+void LeaseCoordinator::run_tick(std::uint64_t gen) {
+  {
+    std::scoped_lock lock(mu_);
+    if (gen != tick_gen_) return;  // superseded by enroll() or destruction
+    timer_ = 0;  // mid-flight: enroll() must not cancel/re-arm under us
   }
+  tick();
+  std::scoped_lock lock(mu_);
+  if (gen != tick_gen_) return;
+  if (!enrolled_.empty()) arm_locked();
 }
 
 void LeaseCoordinator::tick() {

@@ -4,9 +4,10 @@
 // scheme) every resident service runs its own lease thread and sends its
 // own `renew` RPC each period: a host with ten services costs the directory
 // ten RPCs per interval. The coordinator replaces those threads with one
-// per-host loop that renews every resident lease in a single `renewBatch`
-// RPC — the renewal traffic a directory sees scales with hosts, not with
-// services (E15c measures the ratio).
+// repeating reactor timer per host that renews every resident lease in a
+// single `renewBatch` RPC — the renewal traffic a directory sees scales
+// with hosts, not with services (E15c measures the ratio), and a deployment
+// of many hosts costs no renewal threads at all.
 //
 // A daemon enrolls after its Fig 9 registration and withdraws on stop() and
 // on crash(): a crashed process no longer renews, so its lease lapses and
@@ -17,15 +18,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 
 #include "daemon/client.hpp"
 #include "daemon/environment.hpp"
+#include "net/reactor.hpp"
 
 namespace ace::daemon {
 
@@ -41,8 +42,8 @@ class LeaseCoordinator {
   LeaseCoordinator& operator=(const LeaseCoordinator&) = delete;
 
   // Adds `daemon` to the renewal batch. The renewal interval tightens to
-  // the smallest lease_renew among enrolled daemons. Starts the loop on
-  // first enrollment.
+  // the smallest lease_renew among enrolled daemons. Arms the timer chain
+  // on first enrollment.
   void enroll(ServiceDaemon& daemon);
 
   // Removes `name` from the batch. Blocks until any in-flight tick has
@@ -53,7 +54,14 @@ class LeaseCoordinator {
   std::size_t enrolled_count() const;
 
  private:
-  void renew_loop(std::stop_token st);
+  // Arms the next tick at interval_locked() from now, bumping the chain
+  // generation so any superseded pending tick becomes a no-op. Caller
+  // holds mu_.
+  void arm_locked();
+  // The timer task: one tick, then re-arm (if the roster is non-empty and
+  // this chain generation is still current). Runs on the reactor ops pool
+  // — the batched RPC blocks.
+  void run_tick(std::uint64_t gen);
   void tick();
   std::chrono::milliseconds interval_locked() const;
 
@@ -65,17 +73,19 @@ class LeaseCoordinator {
   obs::Counter* obs_renewed_;   // daemon.lease.renewed
   obs::Counter* obs_lost_;      // daemon.lease.lost
 
-  // mu_ guards the roster; tick_mu_ is held across a whole tick (RPC +
-  // lost-lease callbacks). Lock order: tick_mu_ before mu_. withdraw()
-  // takes both so it cannot interleave with a tick that might still call
-  // into the withdrawing daemon.
+  // mu_ guards the roster and timer-chain state; tick_mu_ is held across a
+  // whole tick (RPC + lost-lease callbacks). Lock order: tick_mu_ before
+  // mu_. withdraw() takes both so it cannot interleave with a tick that
+  // might still call into the withdrawing daemon.
   mutable std::mutex mu_;
   std::mutex tick_mu_;
   std::map<std::string, ServiceDaemon*> enrolled_;
 
-  std::mutex wait_mu_;  // cv sleep only; never nested with the others
-  std::condition_variable_any cv_;
-  std::jthread thread_;
+  // Repeating reactor-timer chain (guarded by mu_). guard_ revokes
+  // in-flight tick tasks at destruction — they capture `this` raw.
+  net::TaskGuard guard_;
+  net::Reactor::TimerId timer_ = 0;
+  std::uint64_t tick_gen_ = 0;
 };
 
 }  // namespace ace::daemon

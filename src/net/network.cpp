@@ -62,6 +62,29 @@ std::optional<Frame> Connection::recv(Duration timeout) {
   return std::move(tf->frame);
 }
 
+Subscription Connection::on_frame(
+    Reactor& reactor, std::function<void(std::optional<Frame>)> handler,
+    AttachOptions options) {
+  if (!state_) return {};
+  auto& queue = is_a_ ? state_->to_a : state_->to_b;
+  Network* network = network_;
+  return attach_queue<detail::TimedFrame>(
+      reactor, queue,
+      [network, handler = std::move(handler)](
+          std::optional<detail::TimedFrame> tf) {
+        if (!tf) {
+          handler(std::nullopt);
+          return;
+        }
+        network->count_frame_received(tf->frame.size());
+        handler(std::move(tf->frame));
+      },
+      options,
+      // Latency gate: a frame is not readable before its delivery time —
+      // the pump arms a reactor timer instead of sleeping a thread.
+      [](const detail::TimedFrame& tf) { return tf.deliver_at; });
+}
+
 void Connection::close() {
   if (!state_) return;
   state_->closed.store(true);
@@ -92,6 +115,15 @@ std::optional<Connection> Listener::accept(Duration timeout) {
   return pending_.pop_for(timeout);
 }
 
+Subscription Listener::on_accept(
+    Reactor& reactor, std::function<void(std::optional<Connection>)> handler,
+    AttachOptions options) {
+  // No due-gate: connect() already charged the setup latency on the
+  // dialing side before the connection reached pending_.
+  return attach_queue<Connection>(reactor, pending_, std::move(handler),
+                                  options);
+}
+
 void Listener::close() {
   bool was_open = open_.exchange(false);
   if (!was_open) return;
@@ -120,6 +152,24 @@ std::optional<Datagram> DatagramSocket::recv(Duration timeout) {
   return std::move(td->datagram);
 }
 
+Subscription DatagramSocket::on_datagram(
+    Reactor& reactor, std::function<void(std::optional<Datagram>)> handler,
+    AttachOptions options) {
+  Network* network = network_;
+  return attach_queue<detail::TimedDatagram>(
+      reactor, inbox_,
+      [network, handler = std::move(handler)](
+          std::optional<detail::TimedDatagram> td) {
+        if (!td) {
+          handler(std::nullopt);
+          return;
+        }
+        network->count_datagram_delivered();
+        handler(std::move(td->datagram));
+      },
+      options, [](const detail::TimedDatagram& td) { return td.deliver_at; });
+}
+
 void DatagramSocket::close() {
   bool was_open = open_.exchange(false);
   if (!was_open) return;
@@ -142,8 +192,7 @@ util::Result<std::shared_ptr<DatagramSocket>> Host::open_datagram(
     std::uint16_t port) {
   std::scoped_lock lock(mu_);
   if (port == 0) {
-    while (datagram_sockets_.contains(next_ephemeral_)) ++next_ephemeral_;
-    port = next_ephemeral_++;
+    port = ephemeral_port_locked();
   } else if (datagram_sockets_.contains(port)) {
     return util::Error{util::Errc::conflict, "port in use"};
   }
@@ -160,7 +209,28 @@ util::Result<Connection> Host::connect(const Address& to, Duration timeout) {
 
 std::uint16_t Host::ephemeral_port() {
   std::scoped_lock lock(mu_);
-  return next_ephemeral_++;
+  return ephemeral_port_locked();
+}
+
+std::uint16_t Host::ephemeral_port_locked() {
+  constexpr std::uint16_t kEphemeralBase = 40000;
+  // Bounded scan: skip ports a listener or datagram socket currently
+  // holds, wrapping at the top of the range. Without the skip, a host
+  // that cycled through its ~25k ephemeral ports would eventually be
+  // handed one of its own bound ports and fail the next bind with
+  // Errc::conflict.
+  const std::size_t range = 65535u - kEphemeralBase + 1u;
+  for (std::size_t scanned = 0; scanned < range; ++scanned) {
+    if (next_ephemeral_ < kEphemeralBase) next_ephemeral_ = kEphemeralBase;
+    std::uint16_t candidate = next_ephemeral_;
+    next_ephemeral_ =
+        candidate == 65535 ? kEphemeralBase
+                           : static_cast<std::uint16_t>(candidate + 1);
+    if (!listeners_.contains(candidate) &&
+        !datagram_sockets_.contains(candidate))
+      return candidate;
+  }
+  return next_ephemeral_;  // every port bound: conflict is inevitable
 }
 
 // ------------------------------------------------------------------- Network

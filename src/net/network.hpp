@@ -10,6 +10,16 @@
 //
 // Thread-safety: all classes here are safe to use from multiple threads;
 // blocking calls always accept timeouts.
+//
+// Two consumption modes per endpoint (see docs/net.md):
+//  * blocking — recv(timeout)/accept(timeout), the original API. Kept as a
+//    shim for tests, benches and the media pipeline; costs the caller a
+//    parked thread per endpoint.
+//  * async — on_frame/on_accept/on_datagram register a callback pump on a
+//    net::Reactor; frames are delivered on reactor workers with O(pool)
+//    threads total. An endpoint uses one mode at a time: registering a pump
+//    claims the endpoint's readiness signal, so don't mix a pump with
+//    concurrent blocking recv() calls on the same endpoint.
 #pragma once
 
 #include <atomic>
@@ -22,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "net/reactor.hpp"
 #include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 #include "util/queue.hpp"
@@ -110,8 +121,18 @@ class Connection {
   util::Status send(Frame frame);
 
   // Receives the next frame; std::nullopt on timeout or once the
-  // connection is closed and drained.
+  // connection is closed and drained. Blocking shim — prefer on_frame for
+  // anything that scales with connection count.
   std::optional<Frame> recv(Duration timeout);
+
+  // Async surface: delivers every inbound frame to `handler` on a reactor
+  // worker, serialized and in order, honouring link latency. A final
+  // handler(std::nullopt) fires exactly once when the connection is closed
+  // and drained. One registration per endpoint; re-registering replaces
+  // the previous pump (stop it first for a deterministic handoff).
+  Subscription on_frame(Reactor& reactor,
+                        std::function<void(std::optional<Frame>)> handler,
+                        AttachOptions options = {});
 
   void close();
   bool closed() const;
@@ -132,6 +153,14 @@ class Listener {
   ~Listener();
 
   std::optional<Connection> accept(Duration timeout);
+
+  // Async accept: each inbound connection lands in `handler` on a reactor
+  // worker; handler(std::nullopt) fires once when the listener closes.
+  Subscription on_accept(
+      Reactor& reactor,
+      std::function<void(std::optional<Connection>)> handler,
+      AttachOptions options = {});
+
   void close();
   const Address& address() const { return address_; }
 
@@ -151,6 +180,13 @@ class DatagramSocket {
 
   util::Status send_to(const Address& to, Frame payload);
   std::optional<Datagram> recv(Duration timeout);
+
+  // Async receive: datagrams delivered on a reactor worker (in order,
+  // honouring link latency); handler(std::nullopt) once on close.
+  Subscription on_datagram(
+      Reactor& reactor, std::function<void(std::optional<Datagram>)> handler,
+      AttachOptions options = {});
+
   void close();
   const Address& address() const { return address_; }
 
@@ -185,11 +221,16 @@ class Host {
   void set_down(bool down) { down_.store(down); }
   bool down() const { return down_.load(); }
 
-  // Picks a free ephemeral port.
+  // Picks a free ephemeral port: skips ports currently bound by listeners
+  // or datagram sockets, wrapping back to the bottom of the ephemeral
+  // range (40000) at the top. Before this skip, a long-lived host that
+  // wrapped its counter could be handed a port its own listener still held
+  // and fail a later bind with a baffling Errc::conflict.
   std::uint16_t ephemeral_port();
 
  private:
   friend class Network;
+  std::uint16_t ephemeral_port_locked();  // caller holds mu_
   std::string name_;
   Network* network_;
   std::atomic<bool> down_{false};

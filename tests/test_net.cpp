@@ -234,6 +234,34 @@ TEST(Address, ParseAndFormat) {
   EXPECT_FALSE(Address::parse("h:").has_value());
 }
 
+// Regression: ephemeral_port() must never hand out a port a listener or
+// datagram socket currently holds — even after the allocator's counter
+// wraps the whole 40000..65535 range and comes back around.
+TEST(Network, EphemeralPortSkipsBoundPorts) {
+  Network network;
+  Host& a = network.add_host("a");
+  auto l1 = a.listen(40000);
+  auto l2 = a.listen(40002);
+  auto d1 = a.open_datagram(40001);
+  ASSERT_TRUE(l1.ok() && l2.ok() && d1.ok());
+
+  // More draws than the ephemeral range is wide, forcing a full wrap.
+  for (int i = 0; i < 26000; ++i) {
+    std::uint16_t port = a.ephemeral_port();
+    ASSERT_GE(port, 40000);
+    ASSERT_NE(port, 40000);
+    ASSERT_NE(port, 40001);
+    ASSERT_NE(port, 40002);
+  }
+
+  // A freed port becomes allocatable again.
+  (*l2)->close();
+  bool seen_40002 = false;
+  for (int i = 0; i < 26000 && !seen_40002; ++i)
+    seen_40002 = a.ephemeral_port() == 40002;
+  EXPECT_TRUE(seen_40002);
+}
+
 TEST(Network, LoopbackHasZeroLatency) {
   Network network;
   network.set_default_latency(50ms);

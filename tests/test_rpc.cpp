@@ -191,7 +191,7 @@ TEST(Rpc, RetriesReconnectAfterChannelDeathMidFlight) {
 TEST(Rpc, V1ClientInteropsWithV2Daemon) {
   RpcFixture f;
   const net::Address addr = f.svc->address();
-  f.client->set_protocol_offer(daemon::wire::kProtocolV1);
+  f.client->set_policy({.protocol_offer = daemon::wire::kProtocolV1});
   for (int i = 0; i < 3; ++i) {
     CmdLine cmd("echo");
     cmd.arg("text", "old speaker " + std::to_string(i));
@@ -210,7 +210,7 @@ TEST(Rpc, V1ClientInteropsWithV2Daemon) {
 TEST(Rpc, V2ClientInteropsWithV1Daemon) {
   RpcFixture f(daemon::wire::kProtocolV1);  // whole deployment speaks v1
   const net::Address addr = f.svc->address();
-  f.client->set_protocol_offer(daemon::wire::kProtocolV2);
+  f.client->set_policy({.protocol_offer = daemon::wire::kProtocolV2});
   std::atomic<int> failures{0};
   {
     std::vector<std::jthread> threads;
