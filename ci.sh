@@ -83,6 +83,41 @@ print(f"bench-smoke: {path} ok "
       f"{counters['reactor.tasks']} reactor tasks, "
       f"{counters['client.calls']} rpc calls)")
 EOF
+  echo "=== bench-smoke: bench_audio --smoke ==="
+  (cd "${build_dir}/bench" && rm -f bench_audio.metrics.json && ./bench_audio --smoke)
+  python3 - "${build_dir}/bench/bench_audio.metrics.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    snapshot = json.load(f)
+counters = snapshot["counters"]
+for name in ("media.frames_routed", "media.datagrams_fanned",
+             "media.route_installs"):
+    if counters.get(name, 0) <= 0:
+        sys.exit(f"bench-smoke: counter {name!r} missing or zero in {path}")
+# The artifact comes from the zero-copy E18b run: any payload copy on the
+# fan-out path is a regression of the data plane's core claim.
+if counters.get("media.bytes_copied", 0) != 0:
+    sys.exit(f"bench-smoke: media.bytes_copied nonzero in {path} — "
+             "the zero-copy invariant regressed")
+print(f"bench-smoke: {path} ok "
+      f"({counters['media.frames_routed']} frames routed, "
+      f"{counters['media.datagrams_fanned']} sink sends, "
+      f"zero payload bytes copied)")
+EOF
+}
+
+# The zero-copy data plane aliases one payload buffer across daemon threads
+# (capture, router fan-out, play/recorder rings). Replay the media suites a
+# few times under TSan so buffer-sharing bugs surface as reported races
+# rather than flaky audio.
+media_race_sweep() {
+  local build_dir="$1"
+  echo "=== media data-plane sweep under ThreadSanitizer ==="
+  "${build_dir}/tests/test_media" --gtest_repeat=3 \
+    --gtest_filter='FrameRouterTest.*:AudioPipelineTest.*'
+  "${build_dir}/tests/test_services" --gtest_repeat=3 \
+    --gtest_filter='ServicesTest.Converter*:ServicesTest.Distribution*'
 }
 
 # Replays the chaos suites (schedule properties + live fault injection)
@@ -107,6 +142,7 @@ case "${want}" in
   tsan|all)
     run_config "tsan" build-tsan -DACE_SANITIZE=thread
     chaos_seed_sweep build-tsan
+    media_race_sweep build-tsan
     ;;&
   asan|all)
     run_config "asan" build-asan -DACE_SANITIZE=address

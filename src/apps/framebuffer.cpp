@@ -150,7 +150,7 @@ util::Bytes Framebuffer::encode_updates(bool full) const {
   return w.take();
 }
 
-bool Framebuffer::apply_updates(const util::Bytes& data) {
+bool Framebuffer::apply_updates(util::BytesView data) {
   util::ByteReader r(data);
   auto count = r.u16();
   if (!count) return false;

@@ -41,7 +41,7 @@ class Framebuffer {
   // Encodes the dirty region (or the full frame when `full`), RLE per rect.
   util::Bytes encode_updates(bool full) const;
   // Applies an update blob produced by encode_updates.
-  bool apply_updates(const util::Bytes& data);
+  bool apply_updates(util::BytesView data);
 
   // Content hash for cross-checking server/viewer state (FNV-1a).
   std::uint64_t content_hash() const;

@@ -231,9 +231,10 @@ void VncServerDaemon::push_updates_locked(
     return;
   }
   if (!full && !fb_.has_dirty()) return;
-  util::Bytes update = fb_.encode_updates(full);
+  // One shared buffer, one view per viewer — no per-viewer payload copies.
+  util::SharedBytes update(fb_.encode_updates(full));
   if (!full) fb_.clear_dirty();
-  for (const net::Address& viewer : to) (void)send_datagram(viewer, update);
+  (void)send_datagrams(to, update);
 }
 
 util::Bytes VncServerDaemon::checkpoint_state_locked() const {

@@ -806,10 +806,17 @@ void ServiceDaemon::handle_lease_lost() {
 }
 
 util::Status ServiceDaemon::send_datagram(const net::Address& to,
-                                          net::Frame payload) {
+                                          util::SharedBytes payload) {
   if (!data_socket_)
     return {util::Errc::invalid, "daemon has no data channel"};
   return data_socket_->send_to(to, std::move(payload));
+}
+
+util::Status ServiceDaemon::send_datagrams(std::span<const net::Address> to,
+                                           const util::SharedBytes& payload) {
+  if (!data_socket_)
+    return {util::Errc::invalid, "daemon has no data channel"};
+  return data_socket_->send_many(to, payload);
 }
 
 void ServiceDaemon::net_log(const std::string& level,

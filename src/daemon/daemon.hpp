@@ -162,8 +162,16 @@ class ServiceDaemon {
   // channel (requires config.open_data_channel).
   virtual void on_datagram(const net::Datagram& datagram) { (void)datagram; }
 
-  // Sends a datagram from this daemon's data socket.
-  util::Status send_datagram(const net::Address& to, net::Frame payload);
+  // Sends a datagram from this daemon's data socket. The payload is a
+  // shared view: pass `util::Bytes` (wrapped once) or an existing
+  // `util::SharedBytes` (no copy at all).
+  util::Status send_datagram(const net::Address& to,
+                             util::SharedBytes payload);
+
+  // Scatter-gather fan-out: one payload to every address in `to` through a
+  // single network-core trip, all destinations sharing one buffer.
+  util::Status send_datagrams(std::span<const net::Address> to,
+                              const util::SharedBytes& payload);
 
   // Fans out a notification as if `event` had been executed as a command
   // (paper §2.5). Used by sensor daemons whose interesting events are

@@ -14,7 +14,7 @@ util::Bytes AudioFrame::serialize() const {
   return w.take();
 }
 
-std::optional<AudioFrame> AudioFrame::parse(const util::Bytes& data) {
+std::optional<AudioFrame> AudioFrame::parse(util::BytesView data) {
   util::ByteReader r(data);
   AudioFrame f;
   auto stream = r.str();
@@ -30,6 +30,61 @@ std::optional<AudioFrame> AudioFrame::parse(const util::Bytes& data) {
     f.samples.push_back(*s);
   }
   return f;
+}
+
+std::optional<AudioFrameView> AudioFrameView::parse(util::BytesView data) {
+  // Wire layout (AudioFrame::serialize): u32 tag_len | tag | u32 sequence |
+  // u32 sample_count | sample_count × i16 LE. Decoded with raw offsets —
+  // no allocation, no per-sample work.
+  auto rd_u32 = [&](std::size_t at) {
+    return static_cast<std::uint32_t>(data[at]) |
+           static_cast<std::uint32_t>(data[at + 1]) << 8 |
+           static_cast<std::uint32_t>(data[at + 2]) << 16 |
+           static_cast<std::uint32_t>(data[at + 3]) << 24;
+  };
+  if (data.size() < 4) return std::nullopt;
+  std::size_t tag_len = rd_u32(0);
+  if (data.size() < 4 + tag_len + 8) return std::nullopt;
+  AudioFrameView v;
+  v.stream = std::string_view(reinterpret_cast<const char*>(data.data()) + 4,
+                              tag_len);
+  v.sequence = rd_u32(4 + tag_len);
+  v.sample_count = rd_u32(4 + tag_len + 4);
+  if (data.size() < 4 + tag_len + 8 + 2 * v.sample_count) return std::nullopt;
+  v.sample_data = data.data() + 4 + tag_len + 8;
+  return v;
+}
+
+std::vector<std::int16_t> AudioFrameView::samples() const {
+  std::vector<std::int16_t> out;
+  append_samples(out);
+  return out;
+}
+
+void AudioFrameView::append_samples(std::vector<std::int16_t>& out) const {
+  std::size_t base = out.size();
+  out.resize(base + sample_count);
+  for (std::size_t i = 0; i < sample_count; ++i) out[base + i] = sample(i);
+}
+
+util::SharedBytes serialize_frame(std::string_view stream,
+                                  std::uint32_t sequence,
+                                  std::span<const std::int16_t> samples) {
+  util::ByteWriter w;
+  w.str(stream);
+  w.u32(sequence);
+  w.u32(static_cast<std::uint32_t>(samples.size()));
+  for (std::int16_t s : samples) w.i16(s);
+  return util::SharedBytes(w.take());
+}
+
+void mix_view_into(std::vector<std::int16_t>& acc, const AudioFrameView& src,
+                   double gain) {
+  if (acc.size() < src.sample_count) acc.resize(src.sample_count, 0);
+  for (std::size_t i = 0; i < src.sample_count; ++i) {
+    double v = static_cast<double>(acc[i]) + gain * src.sample(i);
+    acc[i] = static_cast<std::int16_t>(std::clamp(v, -32767.0, 32767.0));
+  }
 }
 
 std::vector<std::int16_t> sine_wave(double frequency_hz, double amplitude,

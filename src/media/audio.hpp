@@ -21,8 +21,42 @@ struct AudioFrame {
   std::vector<std::int16_t> samples;
 
   util::Bytes serialize() const;
-  static std::optional<AudioFrame> parse(const util::Bytes& data);
+  static std::optional<AudioFrame> parse(util::BytesView data);
 };
+
+// Zero-copy decode of a serialized AudioFrame: header fields plus a raw
+// pointer to the little-endian i16 sample bytes *inside the wire buffer*.
+// Parsing is O(header) — no sample is touched until a consumer asks. The
+// view borrows the buffer it was parsed from; keep the owning SharedBytes
+// alive for as long as the view is used.
+struct AudioFrameView {
+  std::string_view stream;
+  std::uint32_t sequence = 0;
+  const std::uint8_t* sample_data = nullptr;  // i16 LE, in place
+  std::size_t sample_count = 0;
+
+  static std::optional<AudioFrameView> parse(util::BytesView data);
+
+  std::int16_t sample(std::size_t i) const {
+    return static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(sample_data[2 * i]) |
+        static_cast<std::uint16_t>(sample_data[2 * i + 1]) << 8);
+  }
+  // Decodes all samples (the codec-boundary copy, paid only when a stage
+  // actually transforms or consumes audio).
+  std::vector<std::int16_t> samples() const;
+  void append_samples(std::vector<std::int16_t>& out) const;
+};
+
+// One-pass serialization of a frame into a shared immutable buffer — the
+// single materialization a transforming stage pays before zero-copy fan-out.
+util::SharedBytes serialize_frame(std::string_view stream,
+                                  std::uint32_t sequence,
+                                  std::span<const std::int16_t> samples);
+
+// Accumulates `gain * view` into `acc` straight from wire bytes.
+void mix_view_into(std::vector<std::int16_t>& acc, const AudioFrameView& src,
+                   double gain);
 
 // Signal helpers shared by capture simulation, tests and benches.
 std::vector<std::int16_t> sine_wave(double frequency_hz, double amplitude,

@@ -8,19 +8,27 @@ using cmdlang::string_arg;
 using cmdlang::Word;
 using daemon::CallerInfo;
 
-namespace {
-daemon::DaemonConfig with_data_channel(daemon::DaemonConfig config) {
-  config.open_data_channel = true;
-  return config;
-}
-}  // namespace
-
 AudioElementDaemon::AudioElementDaemon(daemon::Environment& env,
                                        daemon::DaemonHost& host,
                                        daemon::DaemonConfig config)
-    : ServiceDaemon(env, host, with_data_channel(std::move(config))) {
+    : RoutedMediaDaemon(env, host, std::move(config)) {
+  // The element's ingest behavior is itself a routed stage: an O(1) header
+  // parse over the shared wire buffer, then the subclass hook. Installed on
+  // the catch-all route; tagged routes inherit it unless they override
+  // stages explicitly.
+  router().register_stage(
+      "audio",
+      [this](std::string_view, const util::SharedBytes& payload)
+          -> std::optional<util::SharedBytes> {
+        auto view = AudioFrameView::parse(payload.view());
+        if (!view) return std::nullopt;
+        return on_frame_view(*view, payload);
+      });
+  (void)router().set_stages(kCatchAllTag, {"audio"});
+
   register_command(
-      CommandSpec("audioAddSink", "forward output frames to `dest`")
+      CommandSpec("audioAddSink",
+                  "forward output frames to `dest` (catch-all route alias)")
           .arg(string_arg("dest")),
       [this](const CmdLine& cmd, const CallerInfo&) {
         auto addr = net::Address::parse(cmd.get_text("dest"));
@@ -38,8 +46,7 @@ AudioElementDaemon::AudioElementDaemon(daemon::Environment& env,
         if (!addr)
           return cmdlang::make_error(util::Errc::invalid,
                                      "dest must be host:port");
-        std::scoped_lock lock(sink_mu_);
-        std::erase(sinks_, *addr);
+        (void)router().remove_sink(kCatchAllTag, *addr);
         return cmdlang::make_ok();
       });
   register_command(
@@ -54,25 +61,28 @@ AudioElementDaemon::AudioElementDaemon(daemon::Environment& env,
 }
 
 void AudioElementDaemon::add_sink(const net::Address& sink) {
-  std::scoped_lock lock(sink_mu_);
-  if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end())
-    sinks_.push_back(sink);
+  router().add_sink(kCatchAllTag, sink);
 }
 
 std::vector<net::Address> AudioElementDaemon::sinks() const {
-  std::scoped_lock lock(sink_mu_);
-  return sinks_;
+  auto route = router().lookup(kCatchAllTag);
+  return route ? route->sinks : std::vector<net::Address>{};
 }
 
-void AudioElementDaemon::on_datagram(const net::Datagram& datagram) {
-  auto frame = AudioFrame::parse(datagram.payload);
-  if (!frame) return;
-  on_frame(*frame);
+void AudioElementDaemon::emit_frame(std::string_view stream,
+                                    std::uint32_t sequence,
+                                    std::span<const std::int16_t> samples) {
+  emit(serialize_frame(stream, sequence, samples));
 }
 
-void AudioElementDaemon::forward(const AudioFrame& frame) {
-  util::Bytes wire = frame.serialize();
-  for (const net::Address& sink : sinks()) (void)send_datagram(sink, wire);
+util::SharedBytes AudioElementDaemon::legacy_ingest(
+    const util::SharedBytes& payload) {
+  // Before the router, every element fully decoded the frame on arrival and
+  // re-serialized it to forward: two payload-sized copies per hop.
+  auto frame = AudioFrame::parse(payload.view());
+  if (!frame) return payload;
+  bytes_copied_counter().inc(2 * payload.size());
+  return util::SharedBytes(frame->serialize());
 }
 
 // ---------------------------------------------------------------- capture
@@ -110,16 +120,14 @@ void AudioCaptureDaemon::capture_push(
     const std::vector<std::int16_t>& samples) {
   std::scoped_lock lock(mu_);
   std::size_t offset = 0;
+  std::vector<std::int16_t> frame(kFrameSamples);
   while (offset < samples.size()) {
-    AudioFrame frame;
-    frame.stream = stream_tag_;
-    frame.sequence = sequence_++;
     std::size_t take = std::min(kFrameSamples, samples.size() - offset);
-    frame.samples.assign(samples.begin() + offset,
-                         samples.begin() + offset + take);
-    frame.samples.resize(kFrameSamples, 0);  // zero-pad the tail frame
+    std::copy(samples.begin() + offset, samples.begin() + offset + take,
+              frame.begin());
+    std::fill(frame.begin() + take, frame.end(), 0);  // zero-pad tail frame
     offset += take;
-    forward(frame);
+    emit_frame(stream_tag_, sequence_++, frame);
   }
 }
 
@@ -143,29 +151,26 @@ AudioMixerDaemon::AudioMixerDaemon(daemon::Environment& env,
       });
 }
 
-void AudioMixerDaemon::on_frame(const AudioFrame& frame) {
-  std::optional<AudioFrame> ready;
-  {
-    std::scoped_lock lock(mu_);
-    if (std::find(inputs_.begin(), inputs_.end(), frame.stream) ==
-        inputs_.end())
-      return;  // undeclared stream
-    auto& slot = pending_[frame.sequence];
-    slot[frame.stream] = frame;
-    if (slot.size() == inputs_.size()) {
-      AudioFrame mixed;
-      mixed.stream = output_tag_;
-      mixed.sequence = out_sequence_++;
-      double gain = 1.0 / static_cast<double>(inputs_.size());
-      for (const auto& [tag, f] : slot)
-        mix_into(mixed.samples, f.samples, gain);
-      pending_.erase(frame.sequence);
-      // Bound memory on lossy streams.
-      while (pending_.size() > 64) pending_.erase(pending_.begin());
-      ready = std::move(mixed);
-    }
+std::optional<util::SharedBytes> AudioMixerDaemon::on_frame_view(
+    const AudioFrameView& view, const util::SharedBytes& payload) {
+  std::scoped_lock lock(mu_);
+  if (std::find(inputs_.begin(), inputs_.end(), view.stream) == inputs_.end())
+    return std::nullopt;  // undeclared stream
+  auto& slot = pending_[view.sequence];
+  slot[std::string(view.stream)] = payload;  // retain the shared wire buffer
+  if (slot.size() != inputs_.size()) return std::nullopt;  // still gathering
+  // Codec boundary: decode every contributing frame once, straight from the
+  // retained wire bytes, and serialize the mix once.
+  std::vector<std::int16_t> mixed;
+  double gain = 1.0 / static_cast<double>(inputs_.size());
+  for (const auto& [tag, buf] : slot) {
+    if (auto v = AudioFrameView::parse(buf.view()))
+      mix_view_into(mixed, *v, gain);
   }
-  if (ready) forward(*ready);
+  pending_.erase(view.sequence);
+  // Bound memory on lossy streams.
+  while (pending_.size() > 64) pending_.erase(pending_.begin());
+  return serialize_frame(output_tag_, out_sequence_++, mixed);
 }
 
 // --------------------------------------------------------- echo cancellation
@@ -191,38 +196,39 @@ double EchoCancellationDaemon::erle_db() const {
   return canceller_.erle_db();
 }
 
-void EchoCancellationDaemon::on_frame(const AudioFrame& frame) {
-  std::optional<AudioFrame> ready;
-  {
-    std::scoped_lock lock(mu_);
-    if (frame.stream == reference_tag_) {
-      pending_reference_[frame.sequence] = frame;
-    } else if (frame.stream == input_tag_) {
-      pending_input_[frame.sequence] = frame;
-    } else {
-      return;
-    }
-    // Process every sequence for which both halves have arrived, in order.
-    while (!pending_input_.empty()) {
-      auto in_it = pending_input_.begin();
-      auto ref_it = pending_reference_.find(in_it->first);
-      if (ref_it == pending_reference_.end()) break;
-      AudioFrame out;
-      out.stream = output_tag_;
-      out.sequence = in_it->first;
-      out.samples =
-          canceller_.process(ref_it->second.samples, in_it->second.samples);
-      pending_reference_.erase(ref_it);
-      pending_input_.erase(in_it);
-      ready = std::move(out);
-      break;  // forward one per incoming frame; loop resumes on next arrival
-    }
-    while (pending_reference_.size() > 64)
-      pending_reference_.erase(pending_reference_.begin());
-    while (pending_input_.size() > 64)
-      pending_input_.erase(pending_input_.begin());
+std::optional<util::SharedBytes> EchoCancellationDaemon::on_frame_view(
+    const AudioFrameView& view, const util::SharedBytes& payload) {
+  std::scoped_lock lock(mu_);
+  if (view.stream == reference_tag_) {
+    pending_reference_[view.sequence] = payload;
+  } else if (view.stream == input_tag_) {
+    pending_input_[view.sequence] = payload;
+  } else {
+    return std::nullopt;
   }
-  if (ready) forward(*ready);
+  std::optional<util::SharedBytes> ready;
+  // Process every sequence for which both halves have arrived, in order.
+  while (!pending_input_.empty()) {
+    auto in_it = pending_input_.begin();
+    auto ref_it = pending_reference_.find(in_it->first);
+    if (ref_it == pending_reference_.end()) break;
+    auto ref = AudioFrameView::parse(ref_it->second.view());
+    auto in = AudioFrameView::parse(in_it->second.view());
+    if (ref && in) {
+      // Codec boundary: the adaptive filter needs decoded samples.
+      std::vector<std::int16_t> out =
+          canceller_.process(ref->samples(), in->samples());
+      ready = serialize_frame(output_tag_, in_it->first, out);
+    }
+    pending_reference_.erase(ref_it);
+    pending_input_.erase(in_it);
+    break;  // forward one per incoming frame; loop resumes on next arrival
+  }
+  while (pending_reference_.size() > 64)
+    pending_reference_.erase(pending_reference_.begin());
+  while (pending_input_.size() > 64)
+    pending_input_.erase(pending_input_.begin());
+  return ready;
 }
 
 // -------------------------------------------------------------------- play
@@ -234,31 +240,61 @@ AudioPlayDaemon::AudioPlayDaemon(daemon::Environment& env,
   register_command(CommandSpec("playStats", "report playback statistics"),
                    [this](const CmdLine&, const CallerInfo&) {
                      CmdLine reply = cmdlang::make_ok();
+                     std::vector<std::int16_t> window = played();
                      std::scoped_lock lock(mu_);
                      reply.arg("frames",
                                static_cast<std::int64_t>(frames_));
-                     reply.arg("level_db", rms_db(played_));
+                     reply.arg("level_db", rms_db(window));
                      return reply;
                    });
 }
 
-void AudioPlayDaemon::on_frame(const AudioFrame& frame) {
+std::optional<util::SharedBytes> AudioPlayDaemon::on_frame_view(
+    const AudioFrameView& view, const util::SharedBytes& payload) {
   {
     std::scoped_lock lock(mu_);
-    played_.insert(played_.end(), frame.samples.begin(), frame.samples.end());
+    // Retain a view of the wire buffer — no sample is copied until someone
+    // asks for played(). Evict beyond the window.
+    ring_.push_back(payload);
+    ring_samples_ += view.sample_count;
+    while (ring_samples_ > window_samples_ && ring_.size() > 1) {
+      auto front = AudioFrameView::parse(ring_.front().view());
+      ring_samples_ -= front ? front->sample_count : 0;
+      ring_.pop_front();
+    }
     frames_++;
+    last_payload_ = payload;
   }
-  forward(frame);  // a speaker can still feed monitors (e.g. echo reference)
+  return payload;  // a speaker can still feed monitors (e.g. echo reference)
 }
 
 std::vector<std::int16_t> AudioPlayDaemon::played() const {
   std::scoped_lock lock(mu_);
-  return played_;
+  std::vector<std::int16_t> out;
+  out.reserve(ring_samples_);
+  for (const util::SharedBytes& buf : ring_)
+    if (auto v = AudioFrameView::parse(buf.view())) v->append_samples(out);
+  return out;
 }
 
 std::uint64_t AudioPlayDaemon::frames_played() const {
   std::scoped_lock lock(mu_);
   return frames_;
+}
+
+void AudioPlayDaemon::set_window(std::size_t samples) {
+  std::scoped_lock lock(mu_);
+  window_samples_ = samples;
+  while (ring_samples_ > window_samples_ && ring_.size() > 1) {
+    auto front = AudioFrameView::parse(ring_.front().view());
+    ring_samples_ -= front ? front->sample_count : 0;
+    ring_.pop_front();
+  }
+}
+
+util::SharedBytes AudioPlayDaemon::last_payload() const {
+  std::scoped_lock lock(mu_);
+  return last_payload_;
 }
 
 // ----------------------------------------------------------------- recorder
@@ -274,26 +310,38 @@ AudioRecorderDaemon::AudioRecorderDaemon(daemon::Environment& env,
         CmdLine reply = cmdlang::make_ok();
         std::scoped_lock lock(mu_);
         auto it = recordings_.find(cmd.get_text("stream"));
-        std::int64_t n =
-            it == recordings_.end()
-                ? 0
-                : static_cast<std::int64_t>(it->second.size());
+        std::int64_t n = it == recordings_.end()
+                             ? 0
+                             : static_cast<std::int64_t>(it->second.samples);
         reply.arg("samples", n);
         return reply;
       });
 }
 
-void AudioRecorderDaemon::on_frame(const AudioFrame& frame) {
+std::optional<util::SharedBytes> AudioRecorderDaemon::on_frame_view(
+    const AudioFrameView& view, const util::SharedBytes& payload) {
   std::scoped_lock lock(mu_);
-  auto& rec = recordings_[frame.stream];
-  rec.insert(rec.end(), frame.samples.begin(), frame.samples.end());
+  Ring& rec = recordings_[std::string(view.stream)];
+  rec.frames.push_back(payload);  // shared view; decode happens on readout
+  rec.samples += view.sample_count;
+  while (rec.samples > window_samples_ && rec.frames.size() > 1) {
+    auto front = AudioFrameView::parse(rec.frames.front().view());
+    rec.samples -= front ? front->sample_count : 0;
+    rec.frames.pop_front();
+  }
+  return std::nullopt;  // recorders are terminal
 }
 
 std::vector<std::int16_t> AudioRecorderDaemon::recorded(
     const std::string& stream) const {
   std::scoped_lock lock(mu_);
   auto it = recordings_.find(stream);
-  return it == recordings_.end() ? std::vector<std::int16_t>{} : it->second;
+  if (it == recordings_.end()) return {};
+  std::vector<std::int16_t> out;
+  out.reserve(it->second.samples);
+  for (const util::SharedBytes& buf : it->second.frames)
+    if (auto v = AudioFrameView::parse(buf.view())) v->append_samples(out);
+  return out;
 }
 
 std::vector<std::string> AudioRecorderDaemon::recorded_streams() const {
@@ -301,6 +349,18 @@ std::vector<std::string> AudioRecorderDaemon::recorded_streams() const {
   std::vector<std::string> out;
   for (const auto& [tag, rec] : recordings_) out.push_back(tag);
   return out;
+}
+
+void AudioRecorderDaemon::set_window(std::size_t samples) {
+  std::scoped_lock lock(mu_);
+  window_samples_ = samples;
+  for (auto& [tag, rec] : recordings_) {
+    while (rec.samples > window_samples_ && rec.frames.size() > 1) {
+      auto front = AudioFrameView::parse(rec.frames.front().view());
+      rec.samples -= front ? front->sample_count : 0;
+      rec.frames.pop_front();
+    }
+  }
 }
 
 // ----------------------------------------------------------- text-to-speech
@@ -319,16 +379,14 @@ TextToSpeechDaemon::TextToSpeechDaemon(daemon::Environment& env,
         std::scoped_lock lock(mu_);
         std::size_t offset = 0;
         std::int64_t frames = 0;
+        std::vector<std::int16_t> frame(kFrameSamples);
         while (offset < audio.size()) {
-          AudioFrame frame;
-          frame.stream = stream_tag_;
-          frame.sequence = sequence_++;
           std::size_t take = std::min(kFrameSamples, audio.size() - offset);
-          frame.samples.assign(audio.begin() + offset,
-                               audio.begin() + offset + take);
-          frame.samples.resize(kFrameSamples, 0);
+          std::copy(audio.begin() + offset, audio.begin() + offset + take,
+                    frame.begin());
+          std::fill(frame.begin() + take, frame.end(), 0);
           offset += take;
-          forward(frame);
+          emit_frame(stream_tag_, sequence_++, frame);
           frames++;
         }
         CmdLine reply = cmdlang::make_ok();
@@ -404,10 +462,12 @@ SpeechToCommandDaemon::SpeechToCommandDaemon(daemon::Environment& env,
       });
 }
 
-void SpeechToCommandDaemon::on_frame(const AudioFrame& frame) {
+std::optional<util::SharedBytes> SpeechToCommandDaemon::on_frame_view(
+    const AudioFrameView& view, const util::SharedBytes& payload) {
+  (void)payload;
   std::scoped_lock lock(mu_);
-  auto& buf = buffers_[frame.stream];
-  buf.insert(buf.end(), frame.samples.begin(), frame.samples.end());
+  view.append_samples(buffers_[std::string(view.stream)]);
+  return std::nullopt;  // terminal: audio is buffered until stcFlush
 }
 
 std::vector<std::string> SpeechToCommandDaemon::decoded_commands() const {

@@ -1,8 +1,14 @@
 // The Fig 15 audio pipeline services (paper §4.15): Audio Capture, Audio
 // Mixer, Echo Cancellation, Audio Play, Audio Recorder, Text-to-Speech and
-// Speech-to-Command — each a ServiceDaemon streaming AudioFrames over its
-// data channel, composable into the paper's two-site conferencing graph
+// Speech-to-Command — each a RoutedMediaDaemon streaming AudioFrames over
+// its data channel, composable into the paper's two-site conferencing graph
 // together with the Distribution service (src/services/streaming.hpp).
+//
+// Data-plane discipline (docs/media.md): observe stages (play metering,
+// recording) work on AudioFrameView — an O(1) header decode over the shared
+// wire buffer — and pass the buffer through untouched; transform stages
+// (mixer, echo cancellation) decode samples once and re-serialize once, and
+// the result fans out to every sink as views of a single SharedBytes.
 //
 // Text-to-Speech / Speech-to-Command substitution (DESIGN.md): synthesized
 // "speech" is a DTMF tone sequence; the recognizer runs real Goertzel
@@ -13,35 +19,50 @@
 #include <map>
 #include <mutex>
 
-#include "daemon/daemon.hpp"
 #include "media/audio.hpp"
 #include "media/dsp.hpp"
+#include "media/router.hpp"
 
 namespace ace::media {
 
-// Shared base: manages downstream sinks and frame fan-out.
-class AudioElementDaemon : public daemon::ServiceDaemon {
+// Retention window for play/recorder sample history (60 s @ 8 kHz). Bounds
+// what used to be unbounded growth; see set_window().
+inline constexpr std::size_t kDefaultWindowSamples = 60 * kSampleRate;
+
+// Shared base for the Fig 15 elements: installs an "audio" ingest stage on
+// the catch-all route that parses the frame header in place (no sample is
+// touched) and hands the view to on_frame_view(). The audioAddSink command
+// family is kept as an alias for catch-all route edits.
+class AudioElementDaemon : public RoutedMediaDaemon {
  public:
   AudioElementDaemon(daemon::Environment& env, daemon::DaemonHost& host,
                      daemon::DaemonConfig config);
 
-  // Programmatic sink management (mirrors the audioAddSink command).
+  // Programmatic sink management (mirrors the audioAddSink command):
+  // catch-all route sinks, merged into every tagged route's fan-out.
   void add_sink(const net::Address& sink);
-
- protected:
-  void on_datagram(const net::Datagram& datagram) final;
-
-  // Subclass hook: one parsed audio frame arrived on the data channel.
-  virtual void on_frame(const AudioFrame& frame) { (void)frame; }
-
-  // Sends `frame` to every registered sink.
-  void forward(const AudioFrame& frame);
 
   std::vector<net::Address> sinks() const;
 
- private:
-  mutable std::mutex sink_mu_;
-  std::vector<net::Address> sinks_;
+ protected:
+  // Subclass hook: one audio frame arrived. `payload` is the shared wire
+  // buffer the view borrows from. Return semantics are the stage contract
+  // (router.hpp): same payload = observe, new buffer = transform, nullopt =
+  // consumed. Default consumes.
+  virtual std::optional<util::SharedBytes> on_frame_view(
+      const AudioFrameView& view, const util::SharedBytes& payload) {
+    (void)view;
+    (void)payload;
+    return std::nullopt;
+  }
+
+  // Serializes once and routes the frame by its tag (plus catch-all sinks).
+  void emit_frame(std::string_view stream, std::uint32_t sequence,
+                  std::span<const std::int16_t> samples);
+
+  // Pre-router ingest for the E18 ablation: full AudioFrame decode plus
+  // re-encode per hop, exactly what every element used to pay.
+  util::SharedBytes legacy_ingest(const util::SharedBytes& payload) override;
 };
 
 // Digitizes a (synthetic) microphone signal into the pipeline (§4.15 item 7).
@@ -63,20 +84,23 @@ class AudioCaptureDaemon : public AudioElementDaemon {
 
 // Combines multiple audio streams into one (§4.15 item 1). Inputs are
 // declared with mixerAddInput; frames are aligned by sequence number and
-// mixed once every input has contributed.
+// mixed — straight from the retained wire buffers — once every input has
+// contributed.
 class AudioMixerDaemon : public AudioElementDaemon {
  public:
   AudioMixerDaemon(daemon::Environment& env, daemon::DaemonHost& host,
                    daemon::DaemonConfig config, std::string output_tag);
 
  protected:
-  void on_frame(const AudioFrame& frame) override;
+  std::optional<util::SharedBytes> on_frame_view(
+      const AudioFrameView& view, const util::SharedBytes& payload) override;
 
  private:
   std::string output_tag_;
   std::mutex mu_;
   std::vector<std::string> inputs_;
-  std::map<std::uint32_t, std::map<std::string, AudioFrame>> pending_;
+  // sequence → input tag → retained wire buffer (views stay parseable).
+  std::map<std::uint32_t, std::map<std::string, util::SharedBytes>> pending_;
   std::uint32_t out_sequence_ = 0;
 };
 
@@ -91,17 +115,20 @@ class EchoCancellationDaemon : public AudioElementDaemon {
   double erle_db() const;
 
  protected:
-  void on_frame(const AudioFrame& frame) override;
+  std::optional<util::SharedBytes> on_frame_view(
+      const AudioFrameView& view, const util::SharedBytes& payload) override;
 
  private:
   std::string reference_tag_, input_tag_, output_tag_;
   mutable std::mutex mu_;
   EchoCanceller canceller_;
-  std::map<std::uint32_t, AudioFrame> pending_reference_;
-  std::map<std::uint32_t, AudioFrame> pending_input_;
+  std::map<std::uint32_t, util::SharedBytes> pending_reference_;
+  std::map<std::uint32_t, util::SharedBytes> pending_input_;
 };
 
-// Terminal sink standing in for a speaker (§4.15 item 6).
+// Terminal sink standing in for a speaker (§4.15 item 6). Keeps a bounded
+// ring of played frames — shared views of the wire buffers, decoded only
+// when played() is called.
 class AudioPlayDaemon : public AudioElementDaemon {
  public:
   AudioPlayDaemon(daemon::Environment& env, daemon::DaemonHost& host,
@@ -110,16 +137,27 @@ class AudioPlayDaemon : public AudioElementDaemon {
   std::vector<std::int16_t> played() const;
   std::uint64_t frames_played() const;
 
+  // Retention window in samples; older frames are evicted.
+  void set_window(std::size_t samples);
+
+  // The most recent frame's wire buffer (zero-copy invariant tests).
+  util::SharedBytes last_payload() const;
+
  protected:
-  void on_frame(const AudioFrame& frame) override;
+  std::optional<util::SharedBytes> on_frame_view(
+      const AudioFrameView& view, const util::SharedBytes& payload) override;
 
  private:
   mutable std::mutex mu_;
-  std::vector<std::int16_t> played_;
+  std::deque<util::SharedBytes> ring_;
+  std::size_t ring_samples_ = 0;
+  std::size_t window_samples_ = kDefaultWindowSamples;
   std::uint64_t frames_ = 0;
+  util::SharedBytes last_payload_;
 };
 
-// Records everything it receives, per stream (§4.15 item 5).
+// Records everything it receives, per stream, within a bounded window
+// (§4.15 item 5).
 class AudioRecorderDaemon : public AudioElementDaemon {
  public:
   AudioRecorderDaemon(daemon::Environment& env, daemon::DaemonHost& host,
@@ -128,12 +166,21 @@ class AudioRecorderDaemon : public AudioElementDaemon {
   std::vector<std::int16_t> recorded(const std::string& stream) const;
   std::vector<std::string> recorded_streams() const;
 
+  // Per-stream retention window in samples; older frames are evicted.
+  void set_window(std::size_t samples);
+
  protected:
-  void on_frame(const AudioFrame& frame) override;
+  std::optional<util::SharedBytes> on_frame_view(
+      const AudioFrameView& view, const util::SharedBytes& payload) override;
 
  private:
+  struct Ring {
+    std::deque<util::SharedBytes> frames;
+    std::size_t samples = 0;
+  };
   mutable std::mutex mu_;
-  std::map<std::string, std::vector<std::int16_t>> recordings_;
+  std::map<std::string, Ring> recordings_;
+  std::size_t window_samples_ = kDefaultWindowSamples;
 };
 
 // Converts text into an audible signal (§4.15 item 2).
@@ -160,7 +207,8 @@ class SpeechToCommandDaemon : public AudioElementDaemon {
   std::vector<std::string> decoded_commands() const;
 
  protected:
-  void on_frame(const AudioFrame& frame) override;
+  std::optional<util::SharedBytes> on_frame_view(
+      const AudioFrameView& view, const util::SharedBytes& payload) override;
 
  private:
   mutable std::mutex mu_;

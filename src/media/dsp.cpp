@@ -13,6 +13,8 @@ EchoCanceller::EchoCanceller(std::size_t taps, double mu)
 void EchoCanceller::reset() {
   std::fill(weights_.begin(), weights_.end(), 0.0);
   std::fill(history_.begin(), history_.end(), 0.0);
+  head_ = 0;
+  window_energy_ = 0.0;
   in_energy_ = 0.0;
   out_energy_ = 0.0;
 }
@@ -23,24 +25,51 @@ std::vector<std::int16_t> EchoCanceller::process(
   std::size_t n = std::min(reference.size(), input.size());
   std::vector<std::int16_t> out(input.size());
   for (std::size_t i = 0; i < n; ++i) {
-    // Shift the reference into the delay line (newest at index 0).
-    for (std::size_t k = taps_ - 1; k > 0; --k)
-      history_[k] = history_[k - 1];
-    history_[0] = static_cast<double>(reference[i]);
+    // Step the circular delay line back one slot; head_ now holds the
+    // newest reference sample, logical tap k sits at (head_ + k) % taps_.
+    head_ = (head_ + taps_ - 1) % taps_;
+    const double entering = static_cast<double>(reference[i]);
+    const double leaving = history_[head_];
+    // The window energy is maintained incrementally. int16 samples square
+    // to integers < 2^30 and the window sum stays < 2^53, so every update
+    // is exact in double — this never drifts from the recomputed sum.
+    window_energy_ += entering * entering - leaving * leaving;
+    history_[head_] = entering;
 
-    double estimate = 0.0;
-    double energy = 1e-6;
-    for (std::size_t k = 0; k < taps_; ++k) {
-      estimate += weights_[k] * history_[k];
-      energy += history_[k] * history_[k];
+    // The dot product visits taps newest-to-oldest in two linear segments,
+    // each spread over four accumulators: a single running sum is a serial
+    // chain of dependent adds (~4 cycles each), which is what bounds the
+    // naive loop — four independent chains let the FPU pipeline them.
+    const double* h = history_.data();
+    const double* w = weights_.data();
+    const std::size_t n1 = taps_ - head_;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    std::size_t k = 0;
+    for (; k + 4 <= n1; k += 4) {
+      a0 += w[k] * h[head_ + k];
+      a1 += w[k + 1] * h[head_ + k + 1];
+      a2 += w[k + 2] * h[head_ + k + 2];
+      a3 += w[k + 3] * h[head_ + k + 3];
     }
+    for (; k < n1; ++k) a0 += w[k] * h[head_ + k];
+    for (; k + 4 <= taps_; k += 4) {
+      a0 += w[k] * h[k - n1];
+      a1 += w[k + 1] * h[k + 1 - n1];
+      a2 += w[k + 2] * h[k + 2 - n1];
+      a3 += w[k + 3] * h[k + 3 - n1];
+    }
+    for (; k < taps_; ++k) a0 += w[k] * h[k - n1];
+    double estimate = (a0 + a1) + (a2 + a3);
+    double energy = window_energy_ + 1e-6;
     double desired = static_cast<double>(input[i]);
     double err = desired - estimate;
 
     // NLMS update.
     double scale = mu_ * err / energy;
-    for (std::size_t k = 0; k < taps_; ++k)
-      weights_[k] += scale * history_[k];
+    for (std::size_t s = head_; s < taps_; ++s)
+      weights_[s - head_] += scale * history_[s];
+    for (std::size_t s = 0; s < head_; ++s)
+      weights_[taps_ - head_ + s] += scale * history_[s];
 
     in_energy_ += desired * desired;
     out_energy_ += err * err;

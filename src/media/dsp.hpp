@@ -36,7 +36,17 @@ class EchoCanceller {
   std::size_t taps_;
   double mu_;
   std::vector<double> weights_;
-  std::vector<double> history_;  // reference delay line
+  // Reference delay line as a circular buffer: head_ is the slot holding
+  // the newest sample; logical position k (0 = newest) lives at
+  // (head_ + k) % taps_. Avoids the O(taps) shift per sample the naive
+  // delay line pays — the arithmetic (and thus the output) is unchanged
+  // because taps are still visited newest-to-oldest.
+  std::vector<double> history_;
+  std::size_t head_ = 0;
+  // Running sum of squares over the delay line. Samples are int16-valued,
+  // so each update is exact in double arithmetic (squares < 2^30, window
+  // sum < 2^53) and the running sum never drifts from a fresh recompute.
+  double window_energy_ = 0.0;
   double in_energy_ = 0.0;
   double out_energy_ = 0.0;
 };

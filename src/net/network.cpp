@@ -138,9 +138,16 @@ DatagramSocket::DatagramSocket(Address address, Network* network)
 
 DatagramSocket::~DatagramSocket() { close(); }
 
-util::Status DatagramSocket::send_to(const Address& to, Frame payload) {
+util::Status DatagramSocket::send_to(const Address& to,
+                                     util::SharedBytes payload) {
   if (!open_.load()) return {util::Errc::closed, "socket closed"};
   return network_->deliver_datagram(address_, to, std::move(payload));
+}
+
+util::Status DatagramSocket::send_many(std::span<const Address> to,
+                                       const util::SharedBytes& payload) {
+  if (!open_.load()) return {util::Errc::closed, "socket closed"};
+  return network_->deliver_datagrams(address_, to, payload);
 }
 
 std::optional<Datagram> DatagramSocket::recv(Duration timeout) {
@@ -295,6 +302,11 @@ void Network::set_partitioned(const std::string& a, const std::string& b,
 
 LinkPolicy Network::link(const std::string& a, const std::string& b) const {
   std::scoped_lock lock(mu_);
+  return link_locked(a, b);
+}
+
+LinkPolicy Network::link_locked(const std::string& a,
+                                const std::string& b) const {
   if (a == b) return LinkPolicy{Duration{0}, 0.0, true};  // loopback
   auto it = links_.find(link_key(a, b));
   if (it != links_.end()) return it->second;
@@ -358,40 +370,55 @@ util::Result<Connection> Network::do_connect(Host& from, const Address& to,
 }
 
 util::Status Network::deliver_datagram(const Address& from, const Address& to,
-                                       Frame payload) {
-  LinkPolicy policy = link(from.host, to.host);
-  DatagramSocket* socket = nullptr;
+                                       util::SharedBytes payload) {
+  std::scoped_lock lock(mu_);
+  deliver_datagram_locked(from, to, payload, Clock::now());
+  return util::Status::ok_status();
+}
+
+util::Status Network::deliver_datagrams(const Address& from,
+                                        std::span<const Address> to,
+                                        const util::SharedBytes& payload) {
+  if (to.empty()) return util::Status::ok_status();
+  // One trip through the network core for the whole fan-out: the lock is
+  // taken once and every destination enqueues a view of the same buffer.
+  std::scoped_lock lock(mu_);
+  auto now = Clock::now();
+  for (const Address& dest : to)
+    deliver_datagram_locked(from, dest, payload, now);
+  return util::Status::ok_status();
+}
+
+// Caller holds mu_. Best-effort: every failure mode silently drops.
+void Network::deliver_datagram_locked(const Address& from, const Address& to,
+                                      const util::SharedBytes& payload,
+                                      Clock::time_point now) {
   cells_.datagrams_sent->inc();
   cells_.bytes_sent->inc(payload.size());
-  {
-    std::scoped_lock lock(mu_);
-    if (!policy.up || rng_.next_bool(policy.datagram_loss)) {
-      cells_.datagrams_dropped->inc();
-      count_link_drop(from.host, to.host);
-      return util::Status::ok_status();  // best-effort: silently dropped
-    }
-    auto host_it = hosts_.find(to.host);
-    if (host_it == hosts_.end() || host_it->second->down_.load()) {
-      cells_.datagrams_dropped->inc();
-      count_link_drop(from.host, to.host);
-      return util::Status::ok_status();
-    }
-    std::scoped_lock host_lock(host_it->second->mu_);
-    auto sock_it = host_it->second->datagram_sockets_.find(to.port);
-    if (sock_it == host_it->second->datagram_sockets_.end()) {
-      cells_.datagrams_dropped->inc();
-      count_link_drop(from.host, to.host);
-      return util::Status::ok_status();
-    }
-    socket = sock_it->second;
-    detail::TimedDatagram td{Clock::now() + policy.latency,
-                             Datagram{from, std::move(payload)}};
-    if (!socket->inbox_.push(std::move(td))) {
-      cells_.datagrams_dropped->inc();
-      count_link_drop(from.host, to.host);
-    }
+  LinkPolicy policy = link_locked(from.host, to.host);
+  if (!policy.up || rng_.next_bool(policy.datagram_loss)) {
+    cells_.datagrams_dropped->inc();
+    count_link_drop(from.host, to.host);
+    return;
   }
-  return util::Status::ok_status();
+  auto host_it = hosts_.find(to.host);
+  if (host_it == hosts_.end() || host_it->second->down_.load()) {
+    cells_.datagrams_dropped->inc();
+    count_link_drop(from.host, to.host);
+    return;
+  }
+  std::scoped_lock host_lock(host_it->second->mu_);
+  auto sock_it = host_it->second->datagram_sockets_.find(to.port);
+  if (sock_it == host_it->second->datagram_sockets_.end()) {
+    cells_.datagrams_dropped->inc();
+    count_link_drop(from.host, to.host);
+    return;
+  }
+  detail::TimedDatagram td{now + policy.latency, Datagram{from, payload}};
+  if (!sock_it->second->inbox_.push(std::move(td))) {
+    cells_.datagrams_dropped->inc();
+    count_link_drop(from.host, to.host);
+  }
 }
 
 void Network::unregister_listener(const Address& address) {

@@ -62,9 +62,14 @@ struct LinkPolicy {
   bool up = true;
 };
 
+// Datagram payloads are ref-counted immutable views (util::SharedBytes):
+// a fan-out of one frame to N sinks enqueues N views of one buffer, and
+// the payload a receiver sees aliases the very bytes the sender wrapped.
+// Frames on stream connections stay owned Bytes (the command channel
+// encrypts in place, so sharing would be wrong there).
 struct Datagram {
   Address from;
-  Frame payload;
+  util::SharedBytes payload;
 };
 
 // Snapshot of the network's obs counters (see Network::stats()). Each field
@@ -178,7 +183,18 @@ class DatagramSocket {
   DatagramSocket(Address address, Network* network);
   ~DatagramSocket();
 
-  util::Status send_to(const Address& to, Frame payload);
+  // Sends one datagram. SharedBytes is implicitly constructible from
+  // Bytes, so `send_to(to, writer.take())` still works — the buffer is
+  // wrapped once and never copied again on its way to the receiver.
+  util::Status send_to(const Address& to, util::SharedBytes payload);
+
+  // Scatter-gather batch: one payload to many destinations in a single
+  // trip through the network core (one lock acquisition, N enqueued views
+  // of the same buffer — the zero-copy fan-out primitive). Per-destination
+  // loss/partition policy still applies individually.
+  util::Status send_many(std::span<const Address> to,
+                         const util::SharedBytes& payload);
+
   std::optional<Datagram> recv(Duration timeout);
 
   // Async receive: datagrams delivered on a reactor worker (in order,
@@ -277,7 +293,15 @@ class Network {
   util::Result<Connection> do_connect(Host& from, const Address& to,
                                       Duration timeout);
   util::Status deliver_datagram(const Address& from, const Address& to,
-                                Frame payload);
+                                util::SharedBytes payload);
+  util::Status deliver_datagrams(const Address& from,
+                                 std::span<const Address> to,
+                                 const util::SharedBytes& payload);
+  // Single-destination core; caller holds mu_.
+  void deliver_datagram_locked(const Address& from, const Address& to,
+                               const util::SharedBytes& payload,
+                               std::chrono::steady_clock::time_point now);
+  LinkPolicy link_locked(const std::string& a, const std::string& b) const;
   void unregister_listener(const Address& address);
   void unregister_datagram(const Address& address);
   void count_frame(std::size_t bytes);

@@ -12,13 +12,11 @@ using daemon::CallerInfo;
 namespace {
 
 daemon::DaemonConfig converter_defaults(daemon::DaemonConfig config) {
-  config.open_data_channel = true;
   if (config.service_class.empty())
     config.service_class = "Service/Stream/Converter";
   return config;
 }
 daemon::DaemonConfig distribution_defaults(daemon::DaemonConfig config) {
-  config.open_data_channel = true;
   if (config.service_class.empty())
     config.service_class = "Service/Stream/Distribution";
   return config;
@@ -34,6 +32,13 @@ bool conversion_supported(const std::string& from, const std::string& to) {
   return false;
 }
 
+std::uint32_t rd_u32(util::BytesView data, std::size_t at) {
+  return static_cast<std::uint32_t>(data[at]) |
+         static_cast<std::uint32_t>(data[at + 1]) << 8 |
+         static_cast<std::uint32_t>(data[at + 2]) << 16 |
+         static_cast<std::uint32_t>(data[at + 3]) << 24;
+}
+
 }  // namespace
 
 util::Bytes MediaPacket::serialize() const {
@@ -45,7 +50,7 @@ util::Bytes MediaPacket::serialize() const {
   return w.take();
 }
 
-std::optional<MediaPacket> MediaPacket::parse(const util::Bytes& data) {
+std::optional<MediaPacket> MediaPacket::parse(util::BytesView data) {
   util::ByteReader r(data);
   MediaPacket p;
   auto stream = r.str();
@@ -60,9 +65,33 @@ std::optional<MediaPacket> MediaPacket::parse(const util::Bytes& data) {
   return p;
 }
 
-std::optional<std::string> peek_stream_tag(const util::Bytes& data) {
-  util::ByteReader r(data);
-  return r.str();
+std::optional<MediaPacketView> MediaPacketView::parse(util::BytesView data) {
+  // Wire layout (MediaPacket::serialize): u32 tag_len | tag | u32 sequence |
+  // u32 fmt_len | fmt | u32 payload_len | payload. Raw offsets, zero copy.
+  if (data.size() < 4) return std::nullopt;
+  std::size_t tag_len = rd_u32(data, 0);
+  std::size_t at = 4 + tag_len;
+  if (data.size() < at + 8) return std::nullopt;
+  MediaPacketView v;
+  v.stream =
+      std::string_view(reinterpret_cast<const char*>(data.data()) + 4, tag_len);
+  v.sequence = rd_u32(data, at);
+  std::size_t fmt_len = rd_u32(data, at + 4);
+  at += 8;
+  if (data.size() < at + fmt_len + 4) return std::nullopt;
+  v.format = std::string_view(reinterpret_cast<const char*>(data.data()) + at,
+                              fmt_len);
+  std::size_t payload_len = rd_u32(data, at + fmt_len);
+  at += fmt_len + 4;
+  if (data.size() < at + payload_len) return std::nullopt;
+  v.payload = data.subspan(at, payload_len);
+  return v;
+}
+
+std::optional<std::string> peek_stream_tag(util::BytesView data) {
+  auto tag = media::peek_tag(data);
+  if (!tag) return std::nullopt;
+  return std::string(*tag);
 }
 
 // ------------------------------------------------------------------ Converter
@@ -70,7 +99,14 @@ std::optional<std::string> peek_stream_tag(const util::Bytes& data) {
 ConverterDaemon::ConverterDaemon(daemon::Environment& env,
                                  daemon::DaemonHost& host,
                                  daemon::DaemonConfig config)
-    : ServiceDaemon(env, host, converter_defaults(std::move(config))) {
+    : RoutedMediaDaemon(env, host, converter_defaults(std::move(config))) {
+  router().register_stage(
+      "convert",
+      [this](std::string_view tag, const util::SharedBytes& payload) {
+        return convert_stage(tag, payload);
+      });
+  (void)router().set_stages(media::kCatchAllTag, {"convert"});
+
   register_command(
       CommandSpec("convRoute", "install a conversion route for a stream")
           .arg(string_arg("stream"))
@@ -92,8 +128,17 @@ ConverterDaemon::ConverterDaemon(daemon::Environment& env,
         route.from = from;
         route.to = to;
         route.dest = *dest;
-        std::scoped_lock lock(mu_);
-        routes_[cmd.get_text("stream")] = std::move(route);
+        std::string stream = cmd.get_text("stream");
+        {
+          std::scoped_lock lock(mu_);
+          // The converted stream is delivered through the frame router:
+          // retire the previous destination when a route is replaced.
+          auto it = routes_.find(stream);
+          if (it != routes_.end())
+            (void)router().remove_sink(stream, it->second.dest);
+          routes_[stream] = std::move(route);
+        }
+        router().add_sink(stream, *dest);
         return cmdlang::make_ok();
       });
 
@@ -120,11 +165,42 @@ ConverterDaemon::ConverterDaemon(daemon::Environment& env,
       });
 }
 
-util::Result<util::Bytes> ConverterDaemon::convert(
-    Route& route, const util::Bytes& payload) {
+std::optional<util::SharedBytes> ConverterDaemon::convert_stage(
+    std::string_view, const util::SharedBytes& payload) {
+  auto view = MediaPacketView::parse(payload.view());
+  if (!view) return std::nullopt;
+  std::scoped_lock lock(mu_);
+  auto it = routes_.find(std::string(view->stream));
+  if (it == routes_.end()) return std::nullopt;
+  Route& route = it->second;
+  if (view->format != route.from) return std::nullopt;
+  if (route.from == route.to) {
+    // Identity conversion: the wire buffer passes through untouched and the
+    // router fans it out to the installed destination — no parse, no copy.
+    route.stats.packets++;
+    route.stats.in_bytes += view->payload.size();
+    route.stats.out_bytes += view->payload.size();
+    return payload;
+  }
+  // Codec boundary: decode the payload once and serialize the converted
+  // packet once; the router delivers it without further copies.
+  auto converted = convert(route, view->payload);
+  if (!converted.ok()) return std::nullopt;
+  MediaPacket out;
+  out.stream = std::string(view->stream);
+  out.sequence = view->sequence;
+  out.format = route.to;
+  out.payload = std::move(converted.value());
+  route.stats.packets++;
+  route.stats.in_bytes += view->payload.size();
+  route.stats.out_bytes += out.payload.size();
+  return util::SharedBytes(out.serialize());
+}
+
+util::Result<util::Bytes> ConverterDaemon::convert(Route& route,
+                                                   util::BytesView payload) {
   const std::string& from = route.from;
   const std::string& to = route.to;
-  if (from == to) return payload;
 
   if (from == "raw_pcm" && to == "adpcm") {
     // payload = i16 little-endian samples
@@ -168,8 +244,9 @@ util::Result<util::Bytes> ConverterDaemon::convert(
     return encoded;
   }
   if (from == "rle_video" && to == "raw_video") {
+    util::Bytes owned(payload.begin(), payload.end());
     auto frame = media::rle_video_decode(
-        payload, route.has_reference ? &route.reference : nullptr);
+        owned, route.has_reference ? &route.reference : nullptr);
     if (!frame)
       return util::Error{util::Errc::parse_error, "undecodable rle video"};
     util::ByteWriter w;
@@ -181,33 +258,6 @@ util::Result<util::Bytes> ConverterDaemon::convert(
     return w.take();
   }
   return util::Error{util::Errc::invalid, "unsupported conversion"};
-}
-
-void ConverterDaemon::on_datagram(const net::Datagram& datagram) {
-  auto packet = MediaPacket::parse(datagram.payload);
-  if (!packet) return;
-  std::optional<net::Address> dest;
-  util::Bytes out_wire;
-  {
-    std::scoped_lock lock(mu_);
-    auto it = routes_.find(packet->stream);
-    if (it == routes_.end()) return;
-    Route& route = it->second;
-    if (packet->format != route.from) return;
-    auto converted = convert(route, packet->payload);
-    if (!converted.ok()) return;
-    MediaPacket out;
-    out.stream = packet->stream;
-    out.sequence = packet->sequence;
-    out.format = route.to;
-    out.payload = std::move(converted.value());
-    out_wire = out.serialize();
-    route.stats.packets++;
-    route.stats.in_bytes += packet->payload.size();
-    route.stats.out_bytes += out.payload.size();
-    dest = route.dest;
-  }
-  if (dest) (void)send_datagram(*dest, std::move(out_wire));
 }
 
 std::optional<ConverterDaemon::RouteStats> ConverterDaemon::route_stats(
@@ -223,7 +273,9 @@ std::optional<ConverterDaemon::RouteStats> ConverterDaemon::route_stats(
 DistributionDaemon::DistributionDaemon(daemon::Environment& env,
                                        daemon::DaemonHost& host,
                                        daemon::DaemonConfig config)
-    : ServiceDaemon(env, host, distribution_defaults(std::move(config))) {
+    : RoutedMediaDaemon(env, host, distribution_defaults(std::move(config))) {
+  // Pure fan-out: no stages, just per-tag sink sets. The dist* command
+  // family is kept as an alias for the router table.
   register_command(
       CommandSpec("distAddSink", "forward a stream to another service")
           .arg(string_arg("stream"))
@@ -233,10 +285,7 @@ DistributionDaemon::DistributionDaemon(daemon::Environment& env,
         if (!dest)
           return cmdlang::make_error(util::Errc::invalid,
                                      "dest must be host:port");
-        std::scoped_lock lock(mu_);
-        auto& sinks = sinks_[cmd.get_text("stream")];
-        if (std::find(sinks.begin(), sinks.end(), *dest) == sinks.end())
-          sinks.push_back(*dest);
+        router().add_sink(cmd.get_text("stream"), *dest);
         return cmdlang::make_ok();
       });
 
@@ -249,9 +298,7 @@ DistributionDaemon::DistributionDaemon(daemon::Environment& env,
         if (!dest)
           return cmdlang::make_error(util::Errc::invalid,
                                      "dest must be host:port");
-        std::scoped_lock lock(mu_);
-        auto it = sinks_.find(cmd.get_text("stream"));
-        if (it != sinks_.end()) std::erase(it->second, *dest);
+        (void)router().remove_sink(cmd.get_text("stream"), *dest);
         return cmdlang::make_ok();
       });
 
@@ -260,12 +307,8 @@ DistributionDaemon::DistributionDaemon(daemon::Environment& env,
           .arg(string_arg("stream")),
       [this](const CmdLine& cmd, const CallerInfo&) {
         std::vector<std::string> out;
-        {
-          std::scoped_lock lock(mu_);
-          auto it = sinks_.find(cmd.get_text("stream"));
-          if (it != sinks_.end())
-            for (const auto& a : it->second) out.push_back(a.to_string());
-        }
+        if (auto route = router().lookup(cmd.get_text("stream")))
+          for (const auto& a : route->sinks) out.push_back(a.to_string());
         CmdLine reply = cmdlang::make_ok();
         reply.arg("sinks", cmdlang::string_vector(std::move(out)));
         return reply;
@@ -283,26 +326,9 @@ DistributionDaemon::DistributionDaemon(daemon::Environment& env,
       });
 }
 
-void DistributionDaemon::on_datagram(const net::Datagram& datagram) {
-  auto tag = peek_stream_tag(datagram.payload);
-  if (!tag) return;
-  std::vector<net::Address> sinks;
-  {
-    std::scoped_lock lock(mu_);
-    auto it = sinks_.find(*tag);
-    if (it == sinks_.end()) return;
-    sinks = it->second;
-    stats_.packets++;
-    stats_.bytes += datagram.payload.size();
-    stats_.fanout += sinks.size();
-  }
-  for (const net::Address& sink : sinks)
-    (void)send_datagram(sink, datagram.payload);
-}
-
 DistributionDaemon::DistStats DistributionDaemon::dist_stats() const {
-  std::scoped_lock lock(mu_);
-  return stats_;
+  RouteStats s = route_stats();
+  return DistStats{s.frames, s.bytes, s.fanout};
 }
 
 }  // namespace ace::services

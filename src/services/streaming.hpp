@@ -1,10 +1,13 @@
 // Converter and Distribution services (paper §4.12/§4.13, Figs 13-14) — the
 // low-level data-movement services that media pipelines are assembled from.
 //
-// Both operate on their daemon data channels. Every media datagram starts
-// with a length-prefixed stream tag (AudioFrame and MediaPacket share this
-// prefix), so the Distribution service can fan out any packet kind without
-// understanding it, exactly as Fig 14 depicts.
+// Both are RoutedMediaDaemons: every media datagram starts with a
+// length-prefixed stream tag (AudioFrame and MediaPacket share this prefix),
+// so dispatch is an O(1) tag peek plus a FrameRouter lookup. Distribution is
+// a pure zero-copy fan-out (no stages — N views of one shared buffer, as
+// Fig 14 depicts); the Converter installs a "convert" stage that parses the
+// MediaPacket in place and pays a decode/re-encode only when the route
+// actually crosses a codec boundary.
 //
 // Converter commands:
 //   convRoute stream= from= to= dest=;    (install a conversion route)
@@ -15,12 +18,13 @@
 //   distRemoveSink stream= dest=;
 //   distSinks stream=;                    -> ok sinks={...}
 //   distStats;                            -> ok packets= bytes=
+// plus the route* family both inherit from RoutedMediaDaemon.
 #pragma once
 
 #include <map>
 
-#include "daemon/daemon.hpp"
 #include "media/codec.hpp"
+#include "media/router.hpp"
 
 namespace ace::services {
 
@@ -32,13 +36,25 @@ struct MediaPacket {
   util::Bytes payload;
 
   util::Bytes serialize() const;
-  static std::optional<MediaPacket> parse(const util::Bytes& data);
+  static std::optional<MediaPacket> parse(util::BytesView data);
+};
+
+// Zero-copy decode of a serialized MediaPacket: header fields as views into
+// the wire buffer, payload as a borrowed span. Keep the owning buffer alive
+// while the view is used.
+struct MediaPacketView {
+  std::string_view stream;
+  std::uint32_t sequence = 0;
+  std::string_view format;
+  util::BytesView payload;
+
+  static std::optional<MediaPacketView> parse(util::BytesView data);
 };
 
 // Reads only the leading stream tag of any media datagram.
-std::optional<std::string> peek_stream_tag(const util::Bytes& data);
+std::optional<std::string> peek_stream_tag(util::BytesView data);
 
-class ConverterDaemon : public daemon::ServiceDaemon {
+class ConverterDaemon : public media::RoutedMediaDaemon {
  public:
   ConverterDaemon(daemon::Environment& env, daemon::DaemonHost& host,
                   daemon::DaemonConfig config);
@@ -49,9 +65,6 @@ class ConverterDaemon : public daemon::ServiceDaemon {
     std::uint64_t out_bytes = 0;
   };
   std::optional<RouteStats> route_stats(const std::string& stream) const;
-
- protected:
-  void on_datagram(const net::Datagram& datagram) override;
 
  private:
   struct Route {
@@ -65,13 +78,17 @@ class ConverterDaemon : public daemon::ServiceDaemon {
     RouteStats stats;
   };
 
-  util::Result<util::Bytes> convert(Route& route, const util::Bytes& payload);
+  // The "convert" stage: identity routes pass the wire buffer through
+  // untouched (zero-copy); codec routes decode once and re-serialize once.
+  std::optional<util::SharedBytes> convert_stage(
+      std::string_view tag, const util::SharedBytes& payload);
+  util::Result<util::Bytes> convert(Route& route, util::BytesView payload);
 
   mutable std::mutex mu_;
   std::map<std::string, Route> routes_;  // keyed by stream tag
 };
 
-class DistributionDaemon : public daemon::ServiceDaemon {
+class DistributionDaemon : public media::RoutedMediaDaemon {
  public:
   DistributionDaemon(daemon::Environment& env, daemon::DaemonHost& host,
                      daemon::DaemonConfig config);
@@ -82,14 +99,6 @@ class DistributionDaemon : public daemon::ServiceDaemon {
     std::uint64_t fanout = 0;  // total forwarded copies
   };
   DistStats dist_stats() const;
-
- protected:
-  void on_datagram(const net::Datagram& datagram) override;
-
- private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<net::Address>> sinks_;
-  DistStats stats_;
 };
 
 }  // namespace ace::services

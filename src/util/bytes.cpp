@@ -152,7 +152,16 @@ std::string to_string(const Bytes& b) {
   return std::string(b.begin(), b.end());
 }
 
+std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
 std::string_view to_string_view(const Bytes& b) {
+  if (b.empty()) return {};
+  return std::string_view(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+std::string_view to_string_view(BytesView b) {
   if (b.empty()) return {};
   return std::string_view(reinterpret_cast<const char*>(b.data()), b.size());
 }

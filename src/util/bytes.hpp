@@ -5,7 +5,9 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -13,6 +15,71 @@
 namespace ace::util {
 
 using Bytes = std::vector<std::uint8_t>;
+
+// Non-owning read view over contiguous bytes. Parsers take this so they can
+// decode straight out of owned buffers (Bytes) or shared ones (SharedBytes)
+// without a copy.
+using BytesView = std::span<const std::uint8_t>;
+
+// Ref-counted immutable payload with an offset/length window. This is the
+// currency of the zero-copy media data plane: one serialized frame is
+// wrapped once and every queue hop, fan-out sink and retained recording
+// shares the same underlying buffer. Copying a SharedBytes copies two
+// pointers; the bytes themselves are copied only by an explicit
+// to_bytes()/copy_of(). Immutability is structural — there is no mutable
+// accessor — so sharing across reactor workers needs no synchronization.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+  // Takes ownership of `b` (move in; an lvalue argument pays one copy at
+  // the call site, never again afterwards). Intentionally implicit: it is
+  // the migration path for every `send(Bytes)` call site.
+  SharedBytes(Bytes b)
+      : owner_(std::make_shared<const Bytes>(std::move(b))),
+        offset_(0),
+        size_(owner_->size()) {}
+
+  static SharedBytes copy_of(BytesView v) {
+    return SharedBytes(Bytes(v.begin(), v.end()));
+  }
+
+  const std::uint8_t* data() const {
+    return owner_ ? owner_->data() + offset_ : nullptr;
+  }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::uint8_t operator[](std::size_t i) const { return data()[i]; }
+
+  BytesView view() const { return {data(), size_}; }
+  operator BytesView() const { return view(); }
+
+  // A narrower window sharing the same owner (no copy). Clamps to bounds.
+  SharedBytes slice(std::size_t offset, std::size_t length) const {
+    SharedBytes out;
+    if (!owner_ || offset >= size_) return out;
+    out.owner_ = owner_;
+    out.offset_ = offset_ + offset;
+    out.size_ = std::min(length, size_ - offset);
+    return out;
+  }
+
+  // Materializes an owned copy (the only way bytes leave the shared arena).
+  Bytes to_bytes() const { return Bytes(data(), data() + size_); }
+
+  // How many SharedBytes alias this buffer (tests assert sharing).
+  long use_count() const { return owner_.use_count(); }
+
+  // Content equality (size + bytes), not owner identity.
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data(), b.data(), a.size_) == 0);
+  }
+
+ private:
+  std::shared_ptr<const Bytes> owner_;
+  std::size_t offset_ = 0;
+  std::size_t size_ = 0;
+};
 
 class ByteWriter {
  public:
@@ -50,6 +117,9 @@ class ByteWriter {
 class ByteReader {
  public:
   explicit ByteReader(const Bytes& b) : data_(b.data()), size_(b.size()) {}
+  explicit ByteReader(BytesView v) : data_(v.data()), size_(v.size()) {}
+  explicit ByteReader(const SharedBytes& b)
+      : data_(b.data()), size_(b.size()) {}
   ByteReader(const std::uint8_t* data, std::size_t size)
       : data_(data), size_(size) {}
 
@@ -81,8 +151,10 @@ class ByteReader {
 
 Bytes to_bytes(std::string_view s);
 std::string to_string(const Bytes& b);
+std::string to_string(BytesView b);
 // Non-owning text view over a byte buffer (copy-free frame decode).
 std::string_view to_string_view(const Bytes& b);
+std::string_view to_string_view(BytesView b);
 std::string hex_encode(const Bytes& b);
 
 }  // namespace ace::util

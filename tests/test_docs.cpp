@@ -171,9 +171,9 @@ TEST_F(CommandReferenceTest, EveryDaemonMatchesItsDocumentedCommandSet) {
   check(host_.add_daemon<services::NetLoggerDaemon>(config("logger")),
         with("NetLoggerDaemon"));
   check(host_.add_daemon<services::ConverterDaemon>(config("conv")),
-        with("ConverterDaemon"));
+        with("ConverterDaemon", {"RoutedMediaDaemon"}));
   check(host_.add_daemon<services::DistributionDaemon>(config("dist")),
-        with("DistributionDaemon"));
+        with("DistributionDaemon", {"RoutedMediaDaemon"}));
   check(host_.add_daemon<services::WssDaemon>(config("wss")),
         with("WssDaemon"));
   check(host_.add_daemon<store::PersistentStoreDaemon>(config("store"), 1),
@@ -189,20 +189,20 @@ TEST_F(CommandReferenceTest, EveryDaemonMatchesItsDocumentedCommandSet) {
                                                   daemon::epson7350_spec()),
         with("ProjectorDaemon", {"DeviceDaemon"}));
   check(host_.add_daemon<media::AudioCaptureDaemon>(config("capture"), "s1"),
-        with("AudioCaptureDaemon", {"AudioElementDaemon"}));
+        with("AudioCaptureDaemon", {"AudioElementDaemon", "RoutedMediaDaemon"}));
   check(host_.add_daemon<media::AudioMixerDaemon>(config("mixer"), "s2"),
-        with("AudioMixerDaemon", {"AudioElementDaemon"}));
+        with("AudioMixerDaemon", {"AudioElementDaemon", "RoutedMediaDaemon"}));
   check(host_.add_daemon<media::EchoCancellationDaemon>(config("ec"), "ref",
                                                         "in", "out"),
-        with("EchoCancellationDaemon", {"AudioElementDaemon"}));
+        with("EchoCancellationDaemon", {"AudioElementDaemon", "RoutedMediaDaemon"}));
   check(host_.add_daemon<media::AudioPlayDaemon>(config("play")),
-        with("AudioPlayDaemon", {"AudioElementDaemon"}));
+        with("AudioPlayDaemon", {"AudioElementDaemon", "RoutedMediaDaemon"}));
   check(host_.add_daemon<media::AudioRecorderDaemon>(config("rec")),
-        with("AudioRecorderDaemon", {"AudioElementDaemon"}));
+        with("AudioRecorderDaemon", {"AudioElementDaemon", "RoutedMediaDaemon"}));
   check(host_.add_daemon<media::TextToSpeechDaemon>(config("tts"), "s3"),
-        with("TextToSpeechDaemon", {"AudioElementDaemon"}));
+        with("TextToSpeechDaemon", {"AudioElementDaemon", "RoutedMediaDaemon"}));
   check(host_.add_daemon<media::SpeechToCommandDaemon>(config("stc")),
-        with("SpeechToCommandDaemon", {"AudioElementDaemon"}));
+        with("SpeechToCommandDaemon", {"AudioElementDaemon", "RoutedMediaDaemon"}));
   check(host_.add_daemon<apps::VncServerDaemon>(config("vnc"), "alice",
                                                 "main"),
         with("VncServerDaemon"));

@@ -11,6 +11,7 @@
 #include "media/audio_services.hpp"
 #include "media/codec.hpp"
 #include "media/dsp.hpp"
+#include "services/streaming.hpp"
 
 using namespace ace;
 using namespace ace::media;
@@ -387,4 +388,325 @@ TEST_F(AudioPipelineTest, EchoCancellationDaemonImprovesErle) {
       [&] { return recorder.recorded("clean").size() >= 49 * kFrameSamples; },
       3s));
   EXPECT_GT(ec.erle_db(), 6.0);
+}
+
+// --------------------------------------------- zero-copy frames and routing
+
+TEST(AudioFrameView, MatchesFullParse) {
+  AudioFrame f;
+  f.stream = "mic-hawk";
+  f.sequence = 7;
+  f.samples = sine_wave(440, 9000, kFrameSamples, 3);
+  auto wire = f.serialize();
+  auto view = AudioFrameView::parse(wire);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->stream, f.stream);
+  EXPECT_EQ(view->sequence, f.sequence);
+  ASSERT_EQ(view->sample_count, f.samples.size());
+  EXPECT_EQ(view->samples(), f.samples);
+  // The view points into the wire buffer — no sample was copied to parse.
+  EXPECT_GE(view->sample_data, wire.data());
+  EXPECT_LT(view->sample_data, wire.data() + wire.size());
+}
+
+TEST(AudioFrameView, RejectsTruncated) {
+  AudioFrame f;
+  f.stream = "x";
+  f.samples.assign(kFrameSamples, 100);
+  auto wire = f.serialize();
+  for (std::size_t cut : {std::size_t{2}, wire.size() / 2, wire.size() - 1}) {
+    util::Bytes t(wire.begin(), wire.begin() + cut);
+    EXPECT_FALSE(AudioFrameView::parse(t).has_value()) << cut;
+  }
+}
+
+TEST(AudioFrameView, SerializeFrameMatchesAudioFrame) {
+  AudioFrame f;
+  f.stream = "s";
+  f.sequence = 3;
+  f.samples = sine_wave(880, 5000, kFrameSamples, 0);
+  util::SharedBytes shared = serialize_frame(f.stream, f.sequence, f.samples);
+  EXPECT_EQ(shared.to_bytes(), f.serialize());
+}
+
+TEST(SharedBytesTest, SlicesShareOneOwner) {
+  util::SharedBytes a(util::Bytes{1, 2, 3, 4, 5});
+  util::SharedBytes b = a;
+  util::SharedBytes c = a.slice(1, 3);
+  EXPECT_EQ(b.data(), a.data());
+  EXPECT_EQ(c.data(), a.data() + 1);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(a.use_count(), 3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.to_bytes(), c.to_bytes());
+}
+
+TEST(FrameRouterTest, StagesResolveAtInstallTime) {
+  FrameRouter router;
+  router.register_stage("upper", [](std::string_view,
+                                    const util::SharedBytes& p) {
+    return std::optional<util::SharedBytes>(p);
+  });
+  EXPECT_TRUE(router.set_stages("a", {"upper"}).ok());
+  auto status = router.set_stages("a", {"upper", "missing"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::Errc::not_found);
+  // The failed install did not clobber the previous route.
+  auto route = router.lookup("a");
+  ASSERT_TRUE(route);
+  EXPECT_EQ(route->stage_names, std::vector<std::string>{"upper"});
+}
+
+TEST(FrameRouterTest, LookupSnapshotSurvivesMutation) {
+  FrameRouter router;
+  net::Address s1{"h1", 1}, s2{"h2", 2};
+  router.add_sink("tag", s1);
+  auto before = router.lookup("tag");
+  router.add_sink("tag", s2);
+  router.remove_sink("tag", s1);
+  // The earlier snapshot is immutable; the table moved on.
+  ASSERT_TRUE(before);
+  EXPECT_EQ(before->sinks, std::vector<net::Address>{s1});
+  auto after = router.lookup("tag");
+  ASSERT_TRUE(after);
+  EXPECT_EQ(after->sinks, std::vector<net::Address>{s2});
+}
+
+TEST(FrameRouterTest, RemoveSinkAndRoute) {
+  FrameRouter router;
+  net::Address s1{"h1", 1};
+  EXPECT_FALSE(router.remove_sink("tag", s1));
+  router.add_sink("tag", s1);
+  router.add_sink("tag", s1);  // idempotent
+  ASSERT_TRUE(router.lookup("tag"));
+  EXPECT_EQ(router.lookup("tag")->sinks.size(), 1u);
+  EXPECT_TRUE(router.remove_sink("tag", s1));
+  EXPECT_TRUE(router.lookup("tag"));  // route survives with no sinks
+  EXPECT_TRUE(router.remove_route("tag"));
+  EXPECT_FALSE(router.lookup("tag"));
+  EXPECT_FALSE(router.remove_route("tag"));
+}
+
+TEST(FrameRouterTest, PeekTagReadsOnlyTheHeader) {
+  AudioFrame f;
+  f.stream = "room-hawk-mic";
+  f.samples.assign(kFrameSamples, 5);
+  auto wire = f.serialize();
+  auto tag = peek_tag(wire);
+  ASSERT_TRUE(tag.has_value());
+  EXPECT_EQ(*tag, "room-hawk-mic");
+  EXPECT_FALSE(peek_tag(util::Bytes{1, 2}).has_value());
+  EXPECT_FALSE(peek_tag(util::Bytes{255, 0, 0, 0, 'x'}).has_value());
+}
+
+TEST_F(AudioPipelineTest, RouteCommandsDriveTheTable) {
+  auto& dist =
+      host_->add_daemon<services::DistributionDaemon>(config("dist"));
+  auto& play = host_->add_daemon<media::AudioPlayDaemon>(config("spk"));
+  ASSERT_TRUE(dist.start().ok());
+  ASSERT_TRUE(play.start().ok());
+
+  CmdLine add("routeAdd");
+  add.arg("stream", "mic1");
+  add.arg("dest", play.data_address().to_string());
+  ASSERT_TRUE(client_->call(dist.address(), add, daemon::kCallOk).ok());
+
+  CmdLine table("routeTable");
+  auto reply = client_->call(dist.address(), table, daemon::kCallOk);
+  ASSERT_TRUE(reply.ok());
+  auto routes = reply->get_vector("routes");
+  ASSERT_TRUE(routes.has_value());
+  ASSERT_EQ(routes->elements.size(), 1u);
+  EXPECT_EQ(routes->elements[0].as_text(),
+            "mic1 stages= sinks=" + play.data_address().to_string());
+
+  // Frames tagged mic1 now reach the play daemon through the route.
+  auto socket = host_->net_host().open_datagram();
+  ASSERT_TRUE(socket.ok());
+  AudioFrame f;
+  f.stream = "mic1";
+  f.samples = sine_wave(440, 8000, kFrameSamples, 0);
+  ASSERT_TRUE((*socket)->send_to(dist.data_address(), f.serialize()).ok());
+  ASSERT_TRUE(wait_until([&] { return play.frames_played() >= 1; }, 2s));
+
+  // routeRemove retires the sink; removing again reports not_found.
+  CmdLine rm("routeRemove");
+  rm.arg("stream", "mic1");
+  rm.arg("dest", play.data_address().to_string());
+  ASSERT_TRUE(client_->call(dist.address(), rm, daemon::kCallOk).ok());
+  auto again = client_->call(dist.address(), rm, daemon::kCallOk);
+  ASSERT_FALSE(again.ok());
+}
+
+TEST_F(AudioPipelineTest, RouteAddRejectsUnknownStage) {
+  auto& play = host_->add_daemon<media::AudioPlayDaemon>(config("spk"));
+  ASSERT_TRUE(play.start().ok());
+  CmdLine add("routeAdd");
+  add.arg("stream", "mic1");
+  add.arg("stages", cmdlang::string_vector({"audio", "nonsense"}));
+  auto r = client_->call(play.address(), add, daemon::kCallOk);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST_F(AudioPipelineTest, FanOutSharesOnePayloadBuffer) {
+  // The zero-copy invariant: capture -> Distribution -> two players moves
+  // exactly one buffer; every receiver aliases the captured bytes and the
+  // data plane reports zero payload copies.
+  auto& capture = host_->add_daemon<media::AudioCaptureDaemon>(
+      config("cap"), "mic1");
+  auto& dist =
+      host_->add_daemon<services::DistributionDaemon>(config("dist"));
+  auto& play_a = host_->add_daemon<media::AudioPlayDaemon>(config("spk-a"));
+  auto& play_b = host_->add_daemon<media::AudioPlayDaemon>(config("spk-b"));
+  ASSERT_TRUE(capture.start().ok());
+  ASSERT_TRUE(dist.start().ok());
+  ASSERT_TRUE(play_a.start().ok());
+  ASSERT_TRUE(play_b.start().ok());
+
+  capture.add_sink(dist.data_address());
+  for (auto* p : {&play_a, &play_b}) {
+    CmdLine add("distAddSink");
+    add.arg("stream", "mic1");
+    add.arg("dest", p->data_address().to_string());
+    ASSERT_TRUE(client_->call(dist.address(), add, daemon::kCallOk).ok());
+  }
+
+  capture.capture_push(sine_wave(440, 8000, kFrameSamples, 0));
+  ASSERT_TRUE(wait_until(
+      [&] {
+        return play_a.frames_played() >= 1 && play_b.frames_played() >= 1;
+      },
+      2s));
+
+  // Both players hold views of the very same buffer the capture serialized.
+  EXPECT_EQ(play_a.last_payload().data(), play_b.last_payload().data());
+  EXPECT_EQ(play_a.last_payload(), play_b.last_payload());
+  EXPECT_EQ(
+      deployment_->env.metrics().snapshot().counter_value("media.bytes_copied"), 0u);
+  EXPECT_GE(
+      deployment_->env.metrics().snapshot().counter_value("media.frames_routed"), 2u);
+}
+
+TEST_F(AudioPipelineTest, PlayAndRecorderWindowsBoundMemory) {
+  auto& play = host_->add_daemon<media::AudioPlayDaemon>(config("spk"));
+  auto& rec = host_->add_daemon<media::AudioRecorderDaemon>(config("rec"));
+  ASSERT_TRUE(play.start().ok());
+  ASSERT_TRUE(rec.start().ok());
+  play.set_window(2 * kFrameSamples);
+  rec.set_window(3 * kFrameSamples);
+
+  auto socket = host_->net_host().open_datagram();
+  ASSERT_TRUE(socket.ok());
+  for (std::uint32_t seq = 0; seq < 6; ++seq) {
+    AudioFrame f;
+    f.stream = "mic1";
+    f.sequence = seq;
+    f.samples.assign(kFrameSamples, static_cast<std::int16_t>(seq + 1));
+    ASSERT_TRUE((*socket)->send_to(play.data_address(), f.serialize()).ok());
+    ASSERT_TRUE((*socket)->send_to(rec.data_address(), f.serialize()).ok());
+  }
+  ASSERT_TRUE(wait_until([&] { return play.frames_played() >= 6; }, 2s));
+  ASSERT_TRUE(wait_until(
+      [&] { return rec.stats().datagrams_received >= 6; }, 2s));
+
+  // Retention is capped but the frame counter keeps the full history.
+  EXPECT_EQ(play.frames_played(), 6u);
+  auto played = play.played();
+  ASSERT_EQ(played.size(), 2 * kFrameSamples);
+  EXPECT_EQ(played.front(), 5);  // oldest retained frame is seq 4
+  EXPECT_EQ(played.back(), 6);
+  auto recorded = rec.recorded("mic1");
+  EXPECT_EQ(recorded.front(), 4);
+  EXPECT_EQ(recorded.back(), 6);
+}
+
+TEST_F(AudioPipelineTest, RoutedPipelineMatchesDirectDspGoldenModel) {
+  // Old-vs-new parity for the Fig 15 conference graph: two mics -> mixer
+  // ("farend") -> echo canceller (with a "mic" stream) -> play. The daemon
+  // pipeline must produce bit-identical samples — and the same ERLE — as
+  // running the DSP directly on the same frames, proving the zero-copy
+  // rework changed the transport, not the audio.
+  constexpr std::size_t kFrames = 20;
+  auto& cap_a = host_->add_daemon<media::AudioCaptureDaemon>(
+      config("cap-a"), "micA");
+  auto& cap_b = host_->add_daemon<media::AudioCaptureDaemon>(
+      config("cap-b"), "micB");
+  auto& mixer = host_->add_daemon<media::AudioMixerDaemon>(
+      config("mix"), "farend");
+  auto& ec = host_->add_daemon<media::EchoCancellationDaemon>(
+      config("ec"), "farend", "mic", "clean");
+  auto& play = host_->add_daemon<media::AudioPlayDaemon>(config("spk"));
+  for (auto* d : std::initializer_list<daemon::ServiceDaemon*>{
+           &cap_a, &cap_b, &mixer, &ec, &play})
+    ASSERT_TRUE(d->start().ok());
+
+  cap_a.add_sink(mixer.data_address());
+  cap_b.add_sink(mixer.data_address());
+  mixer.add_sink(ec.data_address());
+  ec.add_sink(play.data_address());
+  for (const char* tag : {"micA", "micB"}) {
+    CmdLine add("mixerAddInput");
+    add.arg("stream", tag);
+    ASSERT_TRUE(client_->call(mixer.address(), add, daemon::kCallOk).ok());
+  }
+
+  auto tone_a = sine_wave(440, 8000, kFrames * kFrameSamples, 0);
+  auto tone_b = sine_wave(660, 7000, kFrames * kFrameSamples, 0);
+  auto near = sine_wave(250, 6000, kFrames * kFrameSamples, 0);
+
+  // "mic" frames arrive from a raw socket, sequence-aligned with the mix.
+  auto socket = host_->net_host().open_datagram();
+  ASSERT_TRUE(socket.ok());
+  for (std::uint32_t seq = 0; seq < kFrames; ++seq) {
+    AudioFrame mic;
+    mic.stream = "mic";
+    mic.sequence = seq;
+    mic.samples.assign(near.begin() + seq * kFrameSamples,
+                       near.begin() + (seq + 1) * kFrameSamples);
+    ASSERT_TRUE((*socket)->send_to(ec.data_address(), mic.serialize()).ok());
+  }
+  cap_a.capture_push(tone_a);
+  cap_b.capture_push(tone_b);
+
+  ASSERT_TRUE(wait_until([&] { return play.frames_played() >= kFrames; }, 3s));
+
+  // Golden model: identical DSP, no daemons, no network.
+  EchoCanceller golden_ec;
+  std::vector<std::int16_t> golden_out;
+  for (std::uint32_t seq = 0; seq < kFrames; ++seq) {
+    std::vector<std::int16_t> mixed;
+    std::vector<std::int16_t> fa(tone_a.begin() + seq * kFrameSamples,
+                                 tone_a.begin() + (seq + 1) * kFrameSamples);
+    std::vector<std::int16_t> fb(tone_b.begin() + seq * kFrameSamples,
+                                 tone_b.begin() + (seq + 1) * kFrameSamples);
+    mix_into(mixed, fa, 0.5);
+    mix_into(mixed, fb, 0.5);
+    std::vector<std::int16_t> mic(near.begin() + seq * kFrameSamples,
+                                  near.begin() + (seq + 1) * kFrameSamples);
+    auto clean = golden_ec.process(mixed, mic);
+    golden_out.insert(golden_out.end(), clean.begin(), clean.end());
+  }
+
+  EXPECT_EQ(play.played(), golden_out);  // bit-identical audio
+  EXPECT_DOUBLE_EQ(ec.erle_db(), golden_ec.erle_db());
+}
+
+TEST_F(AudioPipelineTest, LegacyCopyModeIsEquivalentButCopies) {
+  // The E18 ablation switch reproduces the pre-router data plane (full
+  // re-parse per hop, one copy per sink) with identical delivered audio.
+  auto& capture = host_->add_daemon<media::AudioCaptureDaemon>(
+      config("cap"), "mic1");
+  auto& play = host_->add_daemon<media::AudioPlayDaemon>(config("spk"));
+  ASSERT_TRUE(capture.start().ok());
+  ASSERT_TRUE(play.start().ok());
+  capture.add_sink(play.data_address());
+  capture.set_legacy_copy_mode(true);
+  play.set_legacy_copy_mode(true);
+
+  auto tone = sine_wave(440, 8000, 4 * kFrameSamples, 0);
+  capture.capture_push(tone);
+  ASSERT_TRUE(wait_until([&] { return play.frames_played() >= 4; }, 2s));
+  EXPECT_EQ(play.played(), tone);
+  EXPECT_GT(
+      deployment_->env.metrics().snapshot().counter_value("media.bytes_copied"), 0u);
 }
