@@ -8,7 +8,10 @@
 #      several ACE_CHAOS_SEED values so each CI run exercises distinct
 #      crash/partition interleavings under the race detector
 #   3. AddressSanitizer — lifetime bugs on the crash/restart paths the chaos
-#      engine drives (daemon teardown, channel close, queue reopen)
+#      engine drives (daemon teardown, channel close, queue reopen),
+#      plus a fixed-seed disk-fault sweep: the durable-store suite (power
+#      cycles, torn WAL tails, dropped fsyncs, recovery) replayed under
+#      several ACE_CHAOS_SEED values
 #
 # Usage: ./ci.sh [release|tsan|asan]     (no argument = all)
 set -euo pipefail
@@ -58,13 +61,21 @@ with open(path) as f:
     snapshot = json.load(f)
 counters = snapshot["counters"]
 for name in ("store.writes", "store.replica_acks", "store.batch_records",
-             "store.sync_tree_rpcs"):
+             "store.sync_tree_rpcs", "store.wal_appends", "store.wal_fsyncs",
+             "store.snapshot_compactions"):
     if counters.get(name, 0) <= 0:
         sys.exit(f"bench-smoke: counter {name!r} missing or zero in {path}")
+# The E19a smoke run restarts a replica from snapshot + WAL; a snapshot
+# without at least one real recovery means the durable plane is dead code.
+if counters.get("store.recoveries", 0) < 1:
+    sys.exit(f"bench-smoke: store.recoveries < 1 in {path} — "
+             "restart recovery never ran")
 print(f"bench-smoke: {path} ok "
       f"({counters['store.writes']} writes, "
       f"{counters['store.batch_records']} batched records, "
-      f"{counters['store.sync_tree_rpcs']} merkle tree rpcs)")
+      f"{counters['store.sync_tree_rpcs']} merkle tree rpcs, "
+      f"{counters['store.wal_appends']} wal appends, "
+      f"{counters['store.recoveries']} recoveries)")
 EOF
   echo "=== bench-smoke: bench_scale --smoke ==="
   (cd "${build_dir}/bench" && rm -f bench_scale.metrics.json && ./bench_scale --smoke)
@@ -132,6 +143,21 @@ chaos_seed_sweep() {
   done
 }
 
+# Replays the durable-store suite — power cycles, torn WAL tails, lying
+# fsyncs, crash-mid-compaction — under fixed seeds with ASan watching the
+# recovery paths (daemon restart swaps the batcher, monitor, and durable
+# log; lifetime bugs live exactly there). Fixed seeds keep failures
+# replayable: ACE_CHAOS_SEED=<seed> reruns the same schedule.
+disk_fault_sweep() {
+  local build_dir="$1"
+  for seed in 3 11 1337; do
+    echo "=== disk-fault chaos sweep: ACE_CHAOS_SEED=${seed} ==="
+    ACE_CHAOS_SEED="${seed}" \
+      "${build_dir}/tests/test_store" --gtest_filter='DurableStoreTest.*'
+  done
+  "${build_dir}/tests/test_io"
+}
+
 want="${1:-all}"
 
 case "${want}" in
@@ -146,6 +172,7 @@ case "${want}" in
     ;;&
   asan|all)
     run_config "asan" build-asan -DACE_SANITIZE=address
+    disk_fault_sweep build-asan
     ;;&
   release|tsan|asan|all) ;;
   *)

@@ -21,6 +21,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::latency_restore: return "latency_restore";
     case FaultKind::loss_burst: return "loss_burst";
     case FaultKind::loss_restore: return "loss_restore";
+    case FaultKind::disk_torn_tail: return "disk_torn_tail";
+    case FaultKind::disk_fsync_drop: return "disk_fsync_drop";
+    case FaultKind::disk_bit_rot: return "disk_bit_rot";
   }
   return "?";
 }
@@ -31,6 +34,7 @@ std::string FaultEvent::to_string() const {
   if (!b.empty()) out << "<->" << b;
   if (kind == FaultKind::latency_spike) out << " latency=" << latency.count() << "us";
   if (kind == FaultKind::loss_burst) out << " loss=" << loss;
+  if (kind == FaultKind::disk_fsync_drop) out << " count=" << count;
   return out.str();
 }
 
@@ -136,6 +140,8 @@ Schedule generate_schedule(std::uint64_t seed, const ScheduleParams& params,
     }
     if (!idle_hosts.empty() && params.weight_host_isolate > 0)
       options.push_back({FaultKind::host_isolate, params.weight_host_isolate});
+    if (!targets.disks.empty() && params.weight_disk_fault > 0)
+      options.push_back({FaultKind::disk_torn_tail, params.weight_disk_fault});
 
     if (options.empty()) {
       t += uniform_ms(params.mean_interval / 2, params.mean_interval * 3 / 2);
@@ -204,6 +210,26 @@ Schedule generate_schedule(std::uint64_t seed, const ScheduleParams& params,
         busy.host[h] = t + len;
         break;
       }
+      case FaultKind::disk_torn_tail: {
+        // The option entry stands for the whole disk-fault class; the
+        // concrete sub-fault and target disk are drawn here. Arms are
+        // instantaneous, so there is no heal pairing and no busy window.
+        const auto& d = targets.disks[rng.next_below(targets.disks.size())];
+        FaultEvent event{t, FaultKind::disk_torn_tail, d};
+        switch (rng.next_below(params.disk_bit_rot ? 3 : 2)) {
+          case 0:
+            break;  // torn tail
+          case 1:
+            event.kind = FaultKind::disk_fsync_drop;
+            event.count = params.fsync_drop_count;
+            break;
+          default:
+            event.kind = FaultKind::disk_bit_rot;
+            break;
+        }
+        schedule.events.push_back(event);
+        break;
+      }
       default:
         break;
     }
@@ -227,6 +253,7 @@ ChaosEngine::ChaosEngine(daemon::Environment& env, Schedule schedule)
   obs_link_faults_ = &m.counter("chaos.link_faults");
   obs_latency_spikes_ = &m.counter("chaos.latency_spikes");
   obs_loss_bursts_ = &m.counter("chaos.loss_bursts");
+  obs_disk_faults_ = &m.counter("chaos.disk_faults");
   obs_active_faults_ = &m.gauge("chaos.active_faults");
 }
 
@@ -235,6 +262,10 @@ ChaosEngine::~ChaosEngine() { stop(); }
 void ChaosEngine::add_service(const std::string& name,
                               daemon::ServiceDaemon* daemon) {
   services_[name] = daemon;
+}
+
+void ChaosEngine::add_disk(const std::string& name, io::SimDisk* disk) {
+  disks_[name] = disk;
 }
 
 void ChaosEngine::start() {
@@ -295,6 +326,11 @@ void ChaosEngine::apply(const FaultEvent& event, AppliedEvent& out) {
       auto it = services_.find(event.a);
       if (it == services_.end() || !it->second->running()) break;
       it->second->crash();
+      // A disk registered under the same name makes this a machine power
+      // event, not just a process kill: un-fsynced tails are lost (or
+      // torn, if a torn-tail fault was armed).
+      auto disk = disks_.find(event.a);
+      if (disk != disks_.end()) disk->second->crash();
       obs_crashes_->inc();
       obs_active_faults_->add(1);
       out.applied = true;
@@ -364,6 +400,21 @@ void ChaosEngine::apply(const FaultEvent& event, AppliedEvent& out) {
       saved_links_.erase(it);
       obs_active_faults_->add(-1);
       out.applied = true;
+      break;
+    }
+    case FaultKind::disk_torn_tail:
+    case FaultKind::disk_fsync_drop:
+    case FaultKind::disk_bit_rot: {
+      auto it = disks_.find(event.a);
+      if (it == disks_.end()) break;
+      if (event.kind == FaultKind::disk_torn_tail)
+        it->second->arm_torn_tail();
+      else if (event.kind == FaultKind::disk_fsync_drop)
+        it->second->arm_fsync_drop(event.count);
+      else
+        out.applied = it->second->inject_bit_rot();
+      if (event.kind != FaultKind::disk_bit_rot) out.applied = true;
+      obs_disk_faults_->inc();
       break;
     }
   }

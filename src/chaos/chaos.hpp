@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "daemon/daemon.hpp"
+#include "io/sim_disk.hpp"
 #include "net/network.hpp"
 
 namespace ace::chaos {
@@ -48,6 +49,13 @@ enum class FaultKind {
   latency_restore,  // restore the pre-spike a<->b policy
   loss_burst,       // raise a<->b datagram loss to `loss`
   loss_restore,     // restore the pre-burst a<->b policy
+  // Disk faults (instantaneous arms on io::SimDisk `a`; no paired heal —
+  // the next SimDisk::crash() consumes/clears the armed state). Emitted
+  // only when Targets.disks is non-empty and weight_disk_fault > 0, so
+  // default schedules are bit-identical to pre-disk ones.
+  disk_torn_tail,   // arm a torn tail for disk `a`'s next power loss
+  disk_fsync_drop,  // disk `a` silently drops its next `count` fsyncs
+  disk_bit_rot,     // flip one durable bit on disk `a` right now
 };
 
 const char* to_string(FaultKind kind);
@@ -59,6 +67,7 @@ struct FaultEvent {
   std::string b;  // peer host for link events, empty otherwise
   std::chrono::microseconds latency{0};  // latency_spike only
   double loss = 0.0;                     // loss_burst only
+  int count = 0;                         // disk_fsync_drop only
 
   std::string to_string() const;
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
@@ -69,6 +78,7 @@ struct FaultEvent {
 struct Targets {
   std::vector<std::string> services;  // crashable service daemon names
   std::vector<std::string> hosts;     // hosts for link/partition faults
+  std::vector<std::string> disks;     // SimDisk names for disk faults
 };
 
 struct ScheduleParams {
@@ -98,9 +108,18 @@ struct ScheduleParams {
   int weight_host_isolate = 1;
   int weight_latency_spike = 2;
   int weight_loss_burst = 2;
+  // Disk faults (torn tail / dropped fsync / bit rot, picked uniformly).
+  // 0 by default: enabling them must be explicit, and leaving them off
+  // keeps every pre-existing (seed, params) schedule byte-identical.
+  int weight_disk_fault = 0;
   // Magnitudes.
   std::chrono::microseconds spike_latency{5000};
   double burst_loss = 0.5;
+  int fsync_drop_count = 4;  // fsyncs swallowed per disk_fsync_drop event
+  // Whether the disk-fault class may draw disk_bit_rot. Durability-torture
+  // runs disable it: bit rot attacks data replication already acked as
+  // durable, which is an anti-entropy repair story, not a WAL one.
+  bool disk_bit_rot = true;
 };
 
 struct Schedule {
@@ -135,6 +154,11 @@ class ChaosEngine {
 
   // Registers a crashable service daemon under its schedule target name.
   void add_service(const std::string& name, daemon::ServiceDaemon* daemon);
+  // Registers a simulated disk under a schedule target name. When a disk
+  // shares its name with a crashable service, a service_crash on that name
+  // is treated as a machine power event: the daemon dies AND the disk
+  // loses (or tears, if armed) its un-fsynced tails.
+  void add_disk(const std::string& name, io::SimDisk* disk);
 
   void start();          // spawns the injector thread
   void join();           // blocks until the schedule has fully run
@@ -152,6 +176,7 @@ class ChaosEngine {
   daemon::Environment& env_;
   Schedule schedule_;
   std::map<std::string, daemon::ServiceDaemon*> services_;
+  std::map<std::string, io::SimDisk*> disks_;
   // Pre-fault link policies, keyed "a|b", saved by spikes/bursts and
   // restored by their heal events.
   std::map<std::string, net::LinkPolicy> saved_links_;
@@ -168,6 +193,7 @@ class ChaosEngine {
   obs::Counter* obs_link_faults_;
   obs::Counter* obs_latency_spikes_;
   obs::Counter* obs_loss_bursts_;
+  obs::Counter* obs_disk_faults_;
   obs::Gauge* obs_active_faults_;
 };
 

@@ -50,6 +50,30 @@ CmdLine make_replicate_cmd(const std::string& key,
 
 }  // namespace
 
+util::Status validate_store_options(const StoreOptions& o) {
+  auto bad = [](const std::string& msg) {
+    return util::Status(util::Errc::invalid, "store config: " + msg);
+  };
+  if (o.replication < 1)
+    return bad("replication must be >= 1 (got " +
+               std::to_string(o.replication) + ")");
+  if (o.write_quorum < 0 || o.write_quorum > o.replication)
+    return bad("write_quorum (W=" + std::to_string(o.write_quorum) +
+               ") must be in [0, replication=" +
+               std::to_string(o.replication) + "]");
+  if (o.read_quorum < 1 || o.read_quorum > o.replication)
+    return bad("read_quorum (R=" + std::to_string(o.read_quorum) +
+               ") must be in [1, replication=" +
+               std::to_string(o.replication) + "]");
+  if (o.vnodes < 1)
+    return bad("vnodes must be positive (got " + std::to_string(o.vnodes) +
+               ")");
+  if (o.merkle_depth < 1 || o.merkle_depth > 20)
+    return bad("merkle_depth must be in [1, 20] (got " +
+               std::to_string(o.merkle_depth) + ")");
+  return util::Status::ok_status();
+}
+
 std::string hex_of(const util::Bytes& data) { return util::hex_encode(data); }
 
 util::Bytes bytes_of_hex(const std::string& hex) {
@@ -79,7 +103,10 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
     : ServiceDaemon(env, host, store_defaults(std::move(config))),
       replica_id_(replica_id),
       options_(options),
-      tree_(options.merkle_depth),
+      options_status_(validate_store_options(options)),
+      // Clamped so a rejected config cannot blow up member construction;
+      // on_start() surfaces the validation error before any use.
+      tree_(std::clamp(options.merkle_depth, 1, 20)),
       bucket_keys_(tree_.leaf_count()),
       obs_writes_(&env.metrics().counter("store.writes")),
       obs_replica_acks_(&env.metrics().counter("store.replica_acks")),
@@ -89,7 +116,13 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
       obs_quorum_failures_(&env.metrics().counter("store.quorum_failures")),
       obs_tree_rpcs_(&env.metrics().counter("store.sync_tree_rpcs")),
       obs_bucket_rpcs_(&env.metrics().counter("store.sync_bucket_rpcs")),
-      obs_sync_fetched_(&env.metrics().counter("store.sync_fetched")) {
+      obs_sync_fetched_(&env.metrics().counter("store.sync_fetched")),
+      obs_wal_appends_(&env.metrics().counter("store.wal_appends")),
+      obs_wal_fsyncs_(&env.metrics().counter("store.wal_fsyncs")),
+      obs_wal_torn_(&env.metrics().counter("store.wal_torn_tail_dropped")),
+      obs_recoveries_(&env.metrics().counter("store.recoveries")),
+      obs_compactions_(&env.metrics().counter("store.snapshot_compactions")),
+      obs_snap_fallbacks_(&env.metrics().counter("store.snapshot_fallbacks")) {
   register_command(
       CommandSpec("storePut", "store an object (quorum write)").concurrent_ok()
           .arg(string_arg("key"))
@@ -291,9 +324,13 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
         record.data = bytes_of_hex(cmd.get_text("data"));
         record.deleted = cmd.get_text("deleted") == "yes";
         const std::string key = cmd.get_text("key");
-        apply(key, record);
+        WalTicket t = apply(key, record);
+        WalTicket h;
         if (auto intended = net::Address::parse(cmd.get_text("hint")))
-          record_hint(*intended, key, record.version);
+          h = record_hint(*intended, key, record.version);
+        // The ok below is this replica's durability promise: flush first.
+        DurableLog::sync(t);
+        DurableLog::sync(h);
         return cmdlang::make_ok();
       });
 
@@ -308,6 +345,7 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
           return cmdlang::make_error(util::Errc::semantic_error,
                                      "malformed batch payload");
         std::int64_t applied = 0;
+        std::vector<WalTicket> tickets;
         for (const std::string& packed : *records) {
           auto fields = daemon::wire::unpack_batch(packed);
           if (!fields || fields->size() != 5) continue;
@@ -315,13 +353,66 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
           record.version = std::strtoull((*fields)[1].c_str(), nullptr, 10);
           record.deleted = (*fields)[2] == "d";
           record.data = bytes_of_hex((*fields)[3]);
-          apply((*fields)[0], record);
+          tickets.push_back(apply((*fields)[0], record));
           if (auto intended = net::Address::parse((*fields)[4]))
-            record_hint(*intended, (*fields)[0], record.version);
+            tickets.push_back(
+                record_hint(*intended, (*fields)[0], record.version));
           ++applied;
         }
+        // One group-commit flush covers the whole batch: the first sync
+        // fsyncs everything appended, the rest return immediately.
+        for (const WalTicket& t : tickets) DurableLog::sync(t);
         CmdLine reply = cmdlang::make_ok();
         reply.arg("applied", applied);
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("storeWalStats", "durability status of this replica").concurrent_ok(),
+      [this](const CmdLine&, const CallerInfo&) {
+        std::shared_ptr<DurableLog> dlog;
+        std::uint64_t recoveries, compactions, torn, fallbacks;
+        {
+          std::scoped_lock lock(mu_);
+          dlog = dlog_;
+          recoveries = recoveries_;
+          compactions = compactions_;
+          torn = torn_tails_;
+          fallbacks = snapshot_fallbacks_;
+        }
+        const bool durable = options_.disk != nullptr;
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("durable", Word{durable ? "yes" : "no"});
+        reply.arg("generation",
+                  static_cast<std::int64_t>(dlog ? dlog->generation() : 0));
+        reply.arg("wal_records",
+                  static_cast<std::int64_t>(dlog ? dlog->wal_records() : 0));
+        reply.arg("wal_bytes",
+                  static_cast<std::int64_t>(dlog ? dlog->wal_bytes() : 0));
+        reply.arg("recoveries", static_cast<std::int64_t>(recoveries));
+        reply.arg("compactions", static_cast<std::int64_t>(compactions));
+        reply.arg("torn_dropped", static_cast<std::int64_t>(torn));
+        reply.arg("snapshot_fallbacks", static_cast<std::int64_t>(fallbacks));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("storeCompact",
+                  "snapshot local state and rotate the WAL").concurrent_ok(),
+      [this](const CmdLine&, const CallerInfo&) {
+        auto records = compact_now();
+        if (!records.ok())
+          return cmdlang::make_error(records.error().code,
+                                     records.error().message);
+        std::shared_ptr<DurableLog> dlog;
+        {
+          std::scoped_lock lock(mu_);
+          dlog = dlog_;
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("generation",
+                  static_cast<std::int64_t>(dlog ? dlog->generation() : 0));
+        reply.arg("records", records.value());
         return reply;
       });
 }
@@ -338,11 +429,44 @@ void PersistentStoreDaemon::rebuild_ring() {
   std::scoped_lock lock(mu_);
   std::vector<net::Address> nodes = peers_;
   nodes.push_back(address());
-  ring_ = Ring(std::move(nodes), options_.vnodes);
+  // max() guards a rejected config (on_start refuses it before any use).
+  ring_ = Ring(std::move(nodes), std::max(1, options_.vnodes));
 }
 
 util::Status PersistentStoreDaemon::on_start() {
+  if (!options_status_.ok()) return options_status_;
   rebuild_ring();  // the listen port is final now
+  if (options_.disk) {
+    // Local recovery first, before the monitor's boot sync: snapshot + WAL
+    // replay rebuilds everything this replica had durably acknowledged, so
+    // Merkle anti-entropy afterwards only covers the divergence tail.
+    auto dlog = std::make_shared<DurableLog>(
+        *options_.disk, config().name,
+        WalCounters{obs_wal_appends_, obs_wal_fsyncs_, obs_wal_torn_});
+    std::scoped_lock lock(mu_);
+    recovery_stats_ =
+        dlog->recover([this](const WalRecord& r) { fold_recovered(r); });
+    dlog_ = std::move(dlog);
+    ++recoveries_;
+    torn_tails_ += static_cast<std::uint64_t>(recovery_stats_.torn_tails);
+    snapshot_fallbacks_ +=
+        static_cast<std::uint64_t>(recovery_stats_.snapshot_fallbacks);
+    obs_recoveries_->inc();
+    if (recovery_stats_.snapshot_fallbacks > 0)
+      obs_snap_fallbacks_->inc(
+          static_cast<std::uint64_t>(recovery_stats_.snapshot_fallbacks));
+    net_log("info",
+            "recovered generation " +
+                std::to_string(recovery_stats_.generation) + ": " +
+                std::to_string(recovery_stats_.snapshot_records) +
+                " snapshot + " + std::to_string(recovery_stats_.wal_records) +
+                " wal records" +
+                (recovery_stats_.torn_tails > 0
+                     ? ", torn tail dropped (" +
+                           std::to_string(recovery_stats_.torn_bytes) +
+                           " bytes)"
+                     : ""));
+  }
   {
     std::scoped_lock lock(mu_);
     batcher_ = std::make_shared<ReplicationBatcher>(
@@ -354,19 +478,38 @@ util::Status PersistentStoreDaemon::on_start() {
   return util::Status::ok_status();
 }
 
-void PersistentStoreDaemon::on_stop() {
+void PersistentStoreDaemon::shutdown_runtime(bool flush) {
   monitor_ = {};
   std::shared_ptr<ReplicationBatcher> batcher;
+  std::shared_ptr<DurableLog> dlog;
   {
     std::scoped_lock lock(mu_);
     batcher = batcher_;
+    dlog = dlog_;
   }
   // Left in place (inert) — command handlers may still be draining and
   // submit() must fast-fail rather than touch a dead object.
   if (batcher) batcher->shutdown();
+  // Graceful stop flushes the WAL tail; a crash must not (whatever was
+  // not yet fsynced is exactly what the durability contract is about).
+  if (dlog && flush) dlog->sync_all();
 }
 
-void PersistentStoreDaemon::on_crash() { on_stop(); }
+void PersistentStoreDaemon::on_stop() { shutdown_runtime(true); }
+
+void PersistentStoreDaemon::on_crash() {
+  shutdown_runtime(false);
+  std::scoped_lock lock(mu_);
+  if (!options_.disk) return;  // legacy in-memory replica: seed semantics
+  // Process memory dies with the process: drop everything volatile and
+  // make the next on_start prove itself from the disk.
+  objects_.clear();
+  tree_ = MerkleTree(tree_.depth());
+  for (auto& bucket : bucket_keys_) bucket.clear();
+  hints_.clear();
+  lamport_ = 0;
+  dlog_.reset();
+}
 
 // Peer liveness monitor: detects rejoins (peer restart or partition heal,
 // from either side), runs anti-entropy so the cluster converges without a
@@ -413,6 +556,7 @@ void PersistentStoreDaemon::monitor_loop(std::stop_token st) {
     }
     if (st.stop_requested()) return;
     for (const net::Address& peer : reachable) drain_hints(peer);
+    maybe_compact();  // durable mode: snapshot once the WAL outgrows it
     if (first || rejoined) {
       auto fetched = sync_from_peers();
       if (!first && fetched.ok()) {
@@ -440,13 +584,19 @@ std::uint64_t PersistentStoreDaemon::next_version() {
   return lamport_ << 8 | static_cast<std::uint64_t>(replica_id_ & 0xff);
 }
 
-void PersistentStoreDaemon::apply(const std::string& key,
-                                  const ObjectRecord& record) {
+WalTicket PersistentStoreDaemon::apply(const std::string& key,
+                                       const ObjectRecord& record) {
   std::scoped_lock lock(mu_);
+  return apply_locked(key, record, /*log=*/true);
+}
+
+WalTicket PersistentStoreDaemon::apply_locked(const std::string& key,
+                                              const ObjectRecord& record,
+                                              bool log) {
   // Lamport clock absorption: future local writes order after this one.
   lamport_ = std::max(lamport_, record.version >> 8);
   auto it = objects_.find(key);
-  if (it != objects_.end() && it->second.version >= record.version) return;
+  if (it != objects_.end() && it->second.version >= record.version) return {};
   const std::uint64_t pos = Ring::hash_key(key);
   std::uint64_t old_hash = 0;
   if (it != objects_.end()) {
@@ -458,11 +608,63 @@ void PersistentStoreDaemon::apply(const std::string& key,
   tree_.update(pos, old_hash,
                MerkleTree::entry_hash(key, record.version, record.deleted));
   objects_[key] = record;
+  if (!log) return {};  // recovery replay: the record came *from* the WAL
   obs_writes_->inc();
+  if (!dlog_) return {};
+  WalRecord r;
+  r.kind = record.deleted ? WalRecord::kDelete : WalRecord::kPut;
+  r.key = key;
+  r.version = record.version;
+  r.data = record.data;
+  return dlog_->append(r);
+}
+
+void PersistentStoreDaemon::fold_recovered(const WalRecord& r) {
+  switch (r.kind) {
+    case WalRecord::kPut:
+    case WalRecord::kDelete: {
+      ObjectRecord record;
+      record.version = r.version;
+      record.data = r.data;
+      record.deleted = r.kind == WalRecord::kDelete;
+      apply_locked(r.key, record, /*log=*/false);
+      break;
+    }
+    case WalRecord::kHint: {
+      // Satellite of the durability contract: a W-acked sloppy write held
+      // only as a hint survives the coordinator's death. The monitor's
+      // drain probe picks it back up once the owner is reachable.
+      if (auto owner = net::Address::parse(r.owner)) {
+        std::uint64_t& slot = hints_[*owner][r.key];
+        slot = std::max(slot, r.version);
+      }
+      break;
+    }
+    case WalRecord::kHintDrained: {
+      if (auto owner = net::Address::parse(r.owner)) {
+        auto it = hints_.find(*owner);
+        if (it != hints_.end()) {
+          it->second.erase(r.key);
+          if (it->second.empty()) hints_.erase(it);
+        }
+      }
+      break;
+    }
+    case WalRecord::kErase:
+      erase_local_locked(r.key, /*log=*/false);
+      break;
+    default:
+      break;
+  }
 }
 
 void PersistentStoreDaemon::erase_local(const std::string& key) {
   std::scoped_lock lock(mu_);
+  erase_local_locked(key, /*log=*/true);
+}
+
+void PersistentStoreDaemon::erase_local_locked(const std::string& key,
+                                               bool log) {
   auto it = objects_.find(key);
   if (it == objects_.end()) return;
   const std::uint64_t pos = Ring::hash_key(key);
@@ -472,6 +674,14 @@ void PersistentStoreDaemon::erase_local(const std::string& key) {
                0);
   bucket_keys_[tree_.bucket_of(pos)].erase(key);
   objects_.erase(it);
+  if (log && dlog_) {
+    // Lazily synced: resurrecting a shed stand-in copy after a crash is
+    // harmless (the owner already has the record).
+    WalRecord r;
+    r.kind = WalRecord::kErase;
+    r.key = key;
+    (void)dlog_->append(r);
+  }
 }
 
 bool PersistentStoreDaemon::owns(const std::string& key) const {
@@ -484,14 +694,21 @@ bool PersistentStoreDaemon::owns(const std::string& key) const {
   return false;
 }
 
-void PersistentStoreDaemon::record_hint(const net::Address& intended,
-                                        const std::string& key,
-                                        std::uint64_t version) {
-  if (intended == address()) return;
+WalTicket PersistentStoreDaemon::record_hint(const net::Address& intended,
+                                             const std::string& key,
+                                             std::uint64_t version) {
+  if (intended == address()) return {};
   std::scoped_lock lock(mu_);
   std::uint64_t& slot = hints_[intended][key];
   slot = std::max(slot, version);
   obs_hints_recorded_->inc();
+  if (!dlog_) return {};
+  WalRecord r;
+  r.kind = WalRecord::kHint;
+  r.key = key;
+  r.version = version;
+  r.owner = intended.to_string();
+  return dlog_->append(r);
 }
 
 void PersistentStoreDaemon::drain_hints(const net::Address& peer) {
@@ -521,6 +738,18 @@ void PersistentStoreDaemon::drain_hints(const net::Address& peer) {
                             .retries = 0});
     if (reply.ok() && cmdlang::is_ok(reply.value())) {
       obs_hints_drained_->inc();
+      {
+        // Lazily synced: replaying an already-drained hint after a crash
+        // just re-sends a record the owner LWW-ignores.
+        std::scoped_lock lock(mu_);
+        if (dlog_) {
+          WalRecord r;
+          r.kind = WalRecord::kHintDrained;
+          r.key = key;
+          r.owner = peer.to_string();
+          (void)dlog_->append(r);
+        }
+      }
       // A stand-in that is not in the key's preference list sheds its
       // temporary copy once the owner has it.
       if (!owns(key)) erase_local(key);
@@ -575,8 +804,9 @@ PersistentStoreDaemon::WriteOutcome PersistentStoreDaemon::coordinate_write(
 
   int acks = 0;
   int peer_acks = 0;
+  std::vector<WalTicket> tickets;
   if (self_owner) {
-    apply(key, record);
+    tickets.push_back(apply(key, record));
     ++acks;
   }
 
@@ -630,8 +860,8 @@ PersistentStoreDaemon::WriteOutcome PersistentStoreDaemon::coordinate_write(
     while (fallback_index < order.size() && !handed) {
       const net::Address fb = order[fallback_index++];
       if (fb == self) {
-        apply(key, record);
-        record_hint(dead, key, record.version);
+        tickets.push_back(apply(key, record));
+        tickets.push_back(record_hint(dead, key, record.version));
         ++acks;
         handed = true;
         break;
@@ -646,8 +876,15 @@ PersistentStoreDaemon::WriteOutcome PersistentStoreDaemon::coordinate_write(
         handed = true;
       }
     }
-    if (!handed && self_owner) record_hint(dead, key, record.version);
+    if (!handed && self_owner)
+      tickets.push_back(record_hint(dead, key, record.version));
   }
+
+  // Durability point: the local apply and any hints this ack rests on must
+  // be on the platter before the coordinator replies ok. Concurrent
+  // coordinators ride one leader fsync (group commit), so this costs one
+  // flush per batch, not per write.
+  for (const WalTicket& t : tickets) DurableLog::sync(t);
 
   obs_replica_acks_->inc(static_cast<std::uint64_t>(peer_acks));
 
@@ -874,7 +1111,65 @@ util::Result<std::int64_t> PersistentStoreDaemon::sync_from_peers() {
   for (const net::Address& peer : peers)
     fetched += options_.merkle_sync ? sync_with_peer_merkle(peer)
                                     : sync_with_peer_full(peer);
+  // Anti-entropy applies are logged but lazily synced per entry; one flush
+  // at the end of the round makes the whole catch-up durable. A crash
+  // before it just means the next round re-fetches the tail.
+  std::shared_ptr<DurableLog> dlog;
+  {
+    std::scoped_lock lock(mu_);
+    dlog = dlog_;
+  }
+  if (dlog) dlog->sync_all();
   return fetched;
+}
+
+DurableLog::RecoveryStats PersistentStoreDaemon::last_recovery() const {
+  std::scoped_lock lock(mu_);
+  return recovery_stats_;
+}
+
+util::Result<std::int64_t> PersistentStoreDaemon::compact_now() {
+  std::scoped_lock lock(mu_);
+  if (!dlog_)
+    return util::Error{util::Errc::invalid,
+                       "no disk attached (StoreOptions.disk)"};
+  // Holding mu_ blocks appenders, so the snapshot is an exact cut: every
+  // record in it is ordered before everything the new WAL will hold.
+  std::vector<WalRecord> records;
+  records.reserve(objects_.size());
+  for (const auto& [key, rec] : objects_) {
+    WalRecord r;
+    r.kind = rec.deleted ? WalRecord::kDelete : WalRecord::kPut;
+    r.key = key;
+    r.version = rec.version;
+    r.data = rec.data;
+    records.push_back(std::move(r));
+  }
+  for (const auto& [peer, keys] : hints_) {
+    for (const auto& [key, version] : keys) {
+      WalRecord r;
+      r.kind = WalRecord::kHint;
+      r.key = key;
+      r.version = version;
+      r.owner = peer.to_string();
+      records.push_back(std::move(r));
+    }
+  }
+  if (auto st = dlog_->compact(records); !st.ok()) return st.error();
+  ++compactions_;
+  obs_compactions_->inc();
+  return static_cast<std::int64_t>(records.size());
+}
+
+void PersistentStoreDaemon::maybe_compact() {
+  std::shared_ptr<DurableLog> dlog;
+  {
+    std::scoped_lock lock(mu_);
+    dlog = dlog_;
+  }
+  if (!dlog || options_.compact_wal_bytes == 0) return;
+  if (dlog->wal_bytes() < options_.compact_wal_bytes) return;
+  (void)compact_now();
 }
 
 }  // namespace ace::store

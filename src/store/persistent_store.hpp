@@ -33,6 +33,13 @@
 //     tree hashes (`storeDigestTree`) against each peer and fetches only
 //     divergent buckets, replacing the O(n) full `storeDigest` exchange
 //     (kept as an ablation/back-compat path).
+//   * Local durability — with `StoreOptions.disk` attached, every applied
+//     record (and hinted-handoff obligation) is logged to a CRC-framed WAL
+//     on a fault-injectable simulated disk (io::SimDisk) and group-commit
+//     fsynced before the write acks; compaction snapshots state behind an
+//     atomic rename, and on_start recovers snapshot + WAL so anti-entropy
+//     afterwards only covers the divergence tail. docs/store.md has the
+//     full recovery walkthrough.
 //
 // Command set (docs/commands.md is the cross-checked reference):
 //   storePut key= data=<hex>;          -> ok version= acks=
@@ -44,6 +51,8 @@
 //   storeDigestTree nodes=;            -> ok depth= leaves= hashes={id|hash}
 //   storeDigestBucket bucket=;         -> ok entries={key|version|flag ...}
 //   storeSync;                         -> ok fetched=
+//   storeWalStats;                     -> ok durable= generation= ...
+//   storeCompact;                      -> ok generation= records=
 //   storeReplicate key= version= data= deleted= hint=?;           (internal)
 //   storeReplicateBatch entries=;      -> ok applied=              (internal)
 #pragma once
@@ -52,9 +61,11 @@
 #include <set>
 
 #include "daemon/daemon.hpp"
+#include "io/sim_disk.hpp"
 #include "store/batch.hpp"
 #include "store/merkle.hpp"
 #include "store/ring.hpp"
+#include "store/wal.hpp"
 
 namespace ace::store {
 
@@ -94,7 +105,22 @@ struct StoreOptions {
 
   // Merkle-tree anti-entropy (false: full storeDigest scan — ablation).
   bool merkle_sync = true;
+
+  // Local durability. When a disk is attached every applied record is
+  // WAL-logged (CRC-framed, group-commit fsynced before the write acks),
+  // hints persist across restarts, on_start recovers snapshot + WAL, and
+  // a process crash wipes volatile state (recovery is the real contract).
+  // nullptr keeps the seed's pure in-memory replica.
+  std::shared_ptr<io::SimDisk> disk;
+  // Compact (snapshot + WAL rotation) when the live WAL outgrows this,
+  // checked each monitor round. 0 = manual storeCompact only.
+  std::size_t compact_wal_bytes = 1u << 20;
 };
+
+// Rejects contradictory configurations (W or R above N, non-positive
+// vnodes, out-of-range merkle_depth) with a clear message. Checked at
+// daemon construction; a failed validation makes start() fail.
+util::Status validate_store_options(const StoreOptions& options);
 
 class PersistentStoreDaemon : public daemon::ServiceDaemon {
  public:
@@ -126,6 +152,11 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
   const Ring& ring() const { return ring_; }
   std::uint64_t merkle_root() const;
   std::size_t hints_pending() const;  // hinted writes awaiting handoff
+  // Durable mode: stats of the most recent on_start recovery.
+  DurableLog::RecoveryStats last_recovery() const;
+  // Snapshot local state and rotate the WAL now (also the storeCompact
+  // command). Returns the number of records snapshotted.
+  util::Result<std::int64_t> compact_now();
 
  protected:
   util::Status on_start() override;
@@ -139,9 +170,20 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
   };
 
   std::uint64_t next_version();
-  void apply(const std::string& key, const ObjectRecord& record);
+  // Applies a record (LWW) and, in durable mode, WAL-logs it. The ticket
+  // must be group-commit synced before the write is acknowledged.
+  WalTicket apply(const std::string& key, const ObjectRecord& record);
+  // Core of apply(); caller holds mu_. `log` is false during recovery
+  // replay (the record came *from* the WAL).
+  WalTicket apply_locked(const std::string& key, const ObjectRecord& record,
+                         bool log);
   void erase_local(const std::string& key);  // drained hint, not an owner
+  void erase_local_locked(const std::string& key, bool log);
+  // Folds one recovered snapshot/WAL record into in-memory state.
+  void fold_recovered(const WalRecord& r);
   void rebuild_ring();
+  void shutdown_runtime(bool flush);
+  void maybe_compact();
 
   // Coordinates one write: local apply (when owner) + preference-list
   // fan-out + sloppy-quorum fallback with hinted handoff.
@@ -151,8 +193,8 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
   cmdlang::CmdLine coordinate_read(const std::string& key);
 
   bool owns(const std::string& key) const;
-  void record_hint(const net::Address& intended, const std::string& key,
-                   std::uint64_t version);
+  WalTicket record_hint(const net::Address& intended, const std::string& key,
+                        std::uint64_t version);
   void drain_hints(const net::Address& peer);
 
   std::int64_t sync_with_peer_full(const net::Address& peer);
@@ -166,6 +208,7 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
 
   int replica_id_;
   StoreOptions options_;
+  util::Status options_status_;  // construction-time validation verdict
   mutable std::mutex mu_;
   std::map<std::string, ObjectRecord> objects_;
   std::uint64_t lamport_ = 0;
@@ -177,6 +220,14 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
   // Hinted handoff ledger: intended owner -> key -> version it still needs.
   std::map<net::Address, std::map<std::string, std::uint64_t>> hints_;
   std::shared_ptr<ReplicationBatcher> batcher_;  // swapped per start
+  std::shared_ptr<DurableLog> dlog_;  // durable mode only; swapped per start
+  // Cumulative per-replica durability stats (storeWalStats; the obs
+  // counters aggregate across the whole deployment).
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t torn_tails_ = 0;
+  std::uint64_t snapshot_fallbacks_ = 0;
+  DurableLog::RecoveryStats recovery_stats_;
   std::jthread monitor_;
 
   // Cached obs cells (deployment registry, `store.*` names).
@@ -189,6 +240,12 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
   obs::Counter* obs_tree_rpcs_;
   obs::Counter* obs_bucket_rpcs_;
   obs::Counter* obs_sync_fetched_;
+  obs::Counter* obs_wal_appends_;
+  obs::Counter* obs_wal_fsyncs_;
+  obs::Counter* obs_wal_torn_;
+  obs::Counter* obs_recoveries_;
+  obs::Counter* obs_compactions_;
+  obs::Counter* obs_snap_fallbacks_;
 };
 
 std::string hex_of(const util::Bytes& data);

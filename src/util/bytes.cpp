@@ -1,5 +1,7 @@
 #include "util/bytes.hpp"
 
+#include <array>
+
 namespace ace::util {
 
 void ByteWriter::u16(std::uint16_t v) {
@@ -164,6 +166,23 @@ std::string_view to_string_view(const Bytes& b) {
 std::string_view to_string_view(BytesView b) {
   if (b.empty()) return {};
   return std::string_view(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+std::uint32_t crc32(BytesView data) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data)
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
 }
 
 std::string hex_encode(const Bytes& b) {

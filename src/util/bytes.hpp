@@ -157,4 +157,9 @@ std::string_view to_string_view(const Bytes& b);
 std::string_view to_string_view(BytesView b);
 std::string hex_encode(const Bytes& b);
 
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over the view. Used to frame
+// WAL records and seal snapshot files so torn or bit-rotted bytes are
+// detected before they are replayed into live state.
+std::uint32_t crc32(BytesView data);
+
 }  // namespace ace::util

@@ -425,6 +425,54 @@ TEST(ChaosSchedule, EveryFaultIsHealedInsideTheHorizon) {
   }
 }
 
+TEST(ChaosSchedule, DiskFaultsAreOptInAndDeterministic) {
+  chaos::ScheduleParams params;
+  params.duration = 8s;
+  chaos::Targets targets;
+  targets.services = {"s1", "s2"};
+  targets.hosts = {"h1", "h2"};
+
+  // Opt-in contract: with the default weight_disk_fault = 0 the schedule
+  // must be byte-identical whether or not disks are listed, so every
+  // pre-existing (seed, params) replay stays valid.
+  auto without = chaos::generate_schedule(11, params, targets);
+  targets.disks = {"s1", "s2"};
+  auto with_disks_off = chaos::generate_schedule(11, params, targets);
+  EXPECT_EQ(without.events, with_disks_off.events);
+
+  params.weight_disk_fault = 3;
+  params.fsync_drop_count = 5;
+  auto armed = chaos::generate_schedule(11, params, targets);
+  EXPECT_EQ(armed.events, chaos::generate_schedule(11, params, targets).events);
+
+  int torn = 0, drops = 0, rot = 0;
+  for (const auto& e : armed.events) {
+    switch (e.kind) {
+      case chaos::FaultKind::disk_torn_tail: ++torn; break;
+      case chaos::FaultKind::disk_fsync_drop:
+        ++drops;
+        EXPECT_EQ(e.count, 5) << e.to_string();
+        break;
+      case chaos::FaultKind::disk_bit_rot: ++rot; break;
+      default: break;
+    }
+    if (e.kind == chaos::FaultKind::disk_torn_tail ||
+        e.kind == chaos::FaultKind::disk_fsync_drop ||
+        e.kind == chaos::FaultKind::disk_bit_rot) {
+      EXPECT_TRUE(e.a == "s1" || e.a == "s2") << e.to_string();
+      EXPECT_TRUE(e.b.empty()) << e.to_string();
+    }
+  }
+  EXPECT_GT(torn + drops + rot, 0) << "weighted disk faults never drawn";
+
+  // Durability-torture mode: bit rot can be excluded (it attacks already
+  // durable bytes, a replication-repair story, not a WAL one).
+  params.disk_bit_rot = false;
+  auto no_rot = chaos::generate_schedule(11, params, targets);
+  for (const auto& e : no_rot.events)
+    EXPECT_NE(e.kind, chaos::FaultKind::disk_bit_rot) << e.to_string();
+}
+
 TEST(ChaosSchedule, NoRestartModeLeavesRecoveryToTheFabric) {
   chaos::ScheduleParams params;
   params.duration = 8s;

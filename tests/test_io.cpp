@@ -1,0 +1,203 @@
+// io::SimDisk — the fault-injectable simulated disk under the store's WAL.
+// One test per injected fault (torn tail, dropped fsync, bit rot) plus the
+// durability semantics recovery depends on: crash drops un-fsynced tails,
+// rename is atomic+durable, truncate is durable, and faults are
+// deterministic under a fixed seed.
+
+#include <gtest/gtest.h>
+
+#include "io/sim_disk.hpp"
+#include "store/wal.hpp"
+
+namespace ace {
+namespace {
+
+using io::SimDisk;
+
+util::Bytes bytes(const std::string& s) { return util::to_bytes(s); }
+
+std::string text(const util::Result<util::Bytes>& r) {
+  return r.ok() ? util::to_string(r.value()) : std::string("<error>");
+}
+
+TEST(SimDiskTest, AppendReadFsyncRoundTrip) {
+  SimDisk disk;
+  EXPECT_FALSE(disk.exists("a"));
+  EXPECT_FALSE(disk.read("a").ok());
+  ASSERT_TRUE(disk.append("a", bytes("hello ")).ok());
+  ASSERT_TRUE(disk.append("a", bytes("world")).ok());
+  EXPECT_TRUE(disk.exists("a"));
+  // A live process sees its own un-fsynced writes.
+  EXPECT_EQ(text(disk.read("a")), "hello world");
+  EXPECT_EQ(disk.durable_size("a").value_or(99), 0u);
+  ASSERT_TRUE(disk.fsync("a").ok());
+  EXPECT_EQ(disk.durable_size("a").value_or(0), 11u);
+  EXPECT_EQ(disk.size("a").value_or(0), 11u);
+}
+
+TEST(SimDiskTest, CrashDropsUnsyncedTail) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.append("log", bytes("durable|")).ok());
+  ASSERT_TRUE(disk.fsync("log").ok());
+  ASSERT_TRUE(disk.append("log", bytes("volatile")).ok());
+  disk.crash();
+  EXPECT_EQ(text(disk.read("log")), "durable|");
+  // The disk is usable right after the power event.
+  ASSERT_TRUE(disk.append("log", bytes("again")).ok());
+  EXPECT_EQ(text(disk.read("log")), "durable|again");
+}
+
+TEST(SimDiskTest, TornTailKeepsStrictPrefixOfPendingBytes) {
+  SimDisk disk(7);
+  ASSERT_TRUE(disk.append("log", bytes("durable|")).ok());
+  ASSERT_TRUE(disk.fsync("log").ok());
+  ASSERT_TRUE(disk.append("log", bytes("0123456789")).ok());
+  disk.arm_torn_tail();
+  disk.crash();
+  const std::string after = text(disk.read("log"));
+  // Some prefix of the tail may survive, but never all of it: at least
+  // one byte is always lost, which is what makes the write "torn".
+  EXPECT_GE(after.size(), 8u);
+  EXPECT_LT(after.size(), 18u);
+  EXPECT_EQ(after.substr(0, 8), "durable|");
+  EXPECT_EQ(after, std::string("durable|0123456789").substr(0, after.size()));
+}
+
+TEST(SimDiskTest, DroppedFsyncReportsOkButLosesDataAtCrash) {
+  SimDisk disk;
+  disk.arm_fsync_drop(1);
+  ASSERT_TRUE(disk.append("log", bytes("liar")).ok());
+  ASSERT_TRUE(disk.fsync("log").ok());  // reports success...
+  EXPECT_EQ(disk.durable_size("log").value_or(99), 0u);
+  EXPECT_EQ(disk.stats().fsyncs_dropped, 1u);
+  // ...the next fsync really persists (the fault was one-shot).
+  ASSERT_TRUE(disk.append("log", bytes("!")).ok());
+  ASSERT_TRUE(disk.fsync("log").ok());
+  EXPECT_EQ(disk.durable_size("log").value_or(0), 5u);
+  disk.crash();
+  EXPECT_EQ(text(disk.read("log")), "liar!");
+}
+
+TEST(SimDiskTest, FsyncDropArmedUntilCrashWhenNegative) {
+  SimDisk disk;
+  disk.arm_fsync_drop(-1);
+  ASSERT_TRUE(disk.append("log", bytes("gone")).ok());
+  ASSERT_TRUE(disk.fsync("log").ok());
+  ASSERT_TRUE(disk.fsync("log").ok());
+  EXPECT_EQ(disk.durable_size("log").value_or(99), 0u);
+  disk.crash();  // clears the armed fault and the tail with it
+  EXPECT_EQ(text(disk.read("log")), "");
+  ASSERT_TRUE(disk.append("log", bytes("back")).ok());
+  ASSERT_TRUE(disk.fsync("log").ok());
+  EXPECT_EQ(disk.durable_size("log").value_or(0), 4u);
+}
+
+TEST(SimDiskTest, BitRotFlipsExactlyOneDurableBit) {
+  SimDisk disk(42);
+  const std::string payload(64, 'x');
+  ASSERT_TRUE(disk.append("blob", bytes(payload)).ok());
+  ASSERT_TRUE(disk.fsync("blob").ok());
+  ASSERT_TRUE(disk.inject_bit_rot("blob"));
+  const auto after = disk.read("blob");
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->size(), payload.size());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    std::uint8_t diff =
+        (*after)[i] ^ static_cast<std::uint8_t>(payload[i]);
+    while (diff != 0) {
+      flipped_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_EQ(disk.stats().bit_rots, 1u);
+}
+
+TEST(SimDiskTest, BitRotNeedsDurableData) {
+  SimDisk disk;
+  EXPECT_FALSE(disk.inject_bit_rot());  // nothing on the platter yet
+  ASSERT_TRUE(disk.append("f", bytes("pending-only")).ok());
+  EXPECT_FALSE(disk.inject_bit_rot());
+  ASSERT_TRUE(disk.fsync("f").ok());
+  EXPECT_TRUE(disk.inject_bit_rot());
+}
+
+TEST(SimDiskTest, RenameIsAtomicAndDurable) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.append("snap.tmp", bytes("snapshot")).ok());
+  ASSERT_TRUE(disk.rename("snap.tmp", "snap.1").ok());
+  EXPECT_FALSE(disk.exists("snap.tmp"));
+  disk.crash();  // rename implies the data hit the platter
+  EXPECT_EQ(text(disk.read("snap.1")), "snapshot");
+  EXPECT_FALSE(disk.rename("missing", "x").ok());
+}
+
+TEST(SimDiskTest, TruncateIsDurableAndDropsTail) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.append("log", bytes("0123456789")).ok());
+  ASSERT_TRUE(disk.fsync("log").ok());
+  ASSERT_TRUE(disk.append("log", bytes("pending")).ok());
+  ASSERT_TRUE(disk.truncate("log", 4).ok());
+  EXPECT_EQ(text(disk.read("log")), "0123");
+  disk.crash();
+  EXPECT_EQ(text(disk.read("log")), "0123");
+}
+
+TEST(SimDiskTest, ListFiltersByPrefixAndRemoveDeletes) {
+  SimDisk disk;
+  ASSERT_TRUE(disk.append("store1.wal.0", bytes("a")).ok());
+  ASSERT_TRUE(disk.append("store1.snap.1", bytes("b")).ok());
+  ASSERT_TRUE(disk.append("store2.wal.0", bytes("c")).ok());
+  EXPECT_EQ(disk.list("store1.").size(), 2u);
+  EXPECT_EQ(disk.list("").size(), 3u);
+  ASSERT_TRUE(disk.remove("store1.wal.0").ok());
+  EXPECT_EQ(disk.list("store1.").size(), 1u);
+  EXPECT_FALSE(disk.remove("store1.wal.0").ok());
+}
+
+TEST(SimDiskTest, FaultsAreDeterministicUnderSeed) {
+  auto run = [](std::uint64_t seed) {
+    SimDisk disk(seed);
+    EXPECT_TRUE(disk.append("f", bytes(std::string(32, 'a'))).ok());
+    EXPECT_TRUE(disk.fsync("f").ok());
+    EXPECT_TRUE(disk.append("f", bytes(std::string(32, 'b'))).ok());
+    disk.arm_torn_tail();
+    disk.crash();
+    EXPECT_TRUE(disk.inject_bit_rot());
+    return text(disk.read("f"));
+  };
+  EXPECT_EQ(run(1234), run(1234));
+  EXPECT_NE(run(1234), run(99999));  // different seed, different tear/flip
+}
+
+// The WAL framing over the disk: a torn tail is detected by CRC and the
+// scan stops at the last whole record.
+TEST(SimDiskTest, WalScanStopsAtTornRecord) {
+  SimDisk disk(3);
+  store::WalRecord a;
+  a.kind = store::WalRecord::kPut;
+  a.key = "/k/1";
+  a.version = 41;
+  a.data = bytes("v1");
+  store::WalRecord b = a;
+  b.key = "/k/2";
+  b.version = 42;
+  ASSERT_TRUE(disk.append("wal", store::encode_wal_record(a)).ok());
+  ASSERT_TRUE(disk.fsync("wal").ok());
+  ASSERT_TRUE(disk.append("wal", store::encode_wal_record(b)).ok());
+  disk.arm_torn_tail();
+  disk.crash();
+
+  auto data = disk.read("wal");
+  ASSERT_TRUE(data.ok());
+  std::vector<std::string> keys;
+  std::size_t valid = store::Wal::scan(
+      *data, [&](const store::WalRecord& r) { keys.push_back(r.key); });
+  ASSERT_EQ(keys.size(), 1u);  // the fsynced record survives, the torn one is dropped
+  EXPECT_EQ(keys[0], "/k/1");
+  EXPECT_EQ(valid, store::encode_wal_record(a).size());
+}
+
+}  // namespace
+}  // namespace ace

@@ -583,6 +583,406 @@ TEST_F(QuorumStoreTest, ChaosQuorumTortureNeverLosesAckedWrites) {
   EXPECT_GT(checked, 0u) << "storm acknowledged no writes";
 }
 
+// --------------------------------------------------------------- durability
+
+TEST(StoreOptionsValidationTest, RejectsContradictoryConfigs) {
+  store::StoreOptions good;
+  EXPECT_TRUE(store::validate_store_options(good).ok());
+
+  auto expect_invalid = [](store::StoreOptions bad) {
+    auto st = store::validate_store_options(bad);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.error().code, util::Errc::invalid);
+    // Clear config errors name themselves as such.
+    EXPECT_NE(st.error().message.find("store config"), std::string::npos)
+        << st.error().message;
+  };
+  store::StoreOptions bad;
+  bad.write_quorum = 4;  // W > N: no schedule of acks can ever satisfy it
+  expect_invalid(bad);
+  bad = {};
+  bad.read_quorum = 4;  // R > N
+  expect_invalid(bad);
+  bad = {};
+  bad.read_quorum = 0;  // a read must consult at least one copy
+  expect_invalid(bad);
+  bad = {};
+  bad.replication = 0;
+  expect_invalid(bad);
+  bad = {};
+  bad.vnodes = 0;
+  expect_invalid(bad);
+  bad = {};
+  bad.merkle_depth = 0;
+  expect_invalid(bad);
+  bad = {};
+  bad.merkle_depth = 30;  // 2^30 buckets is a typo, not a config
+  expect_invalid(bad);
+}
+
+// Crash-consistent durable store: each replica journals to its own
+// fault-injectable SimDisk; power cycles wipe memory and recovery must
+// rebuild it from snapshot + WAL.
+class DurableStoreTest : public ::testing::Test {
+ protected:
+  void start_cluster(store::StoreOptions base) {
+    deployment_ = std::make_unique<testenv::AceTestEnv>();
+    ASSERT_TRUE(deployment_->start().ok());
+    client_ = deployment_->make_client("app-host", "svc/app");
+    for (int i = 0; i < 3; ++i) {
+      disks_.push_back(std::make_shared<io::SimDisk>(7000 + i));
+      hosts_.push_back(std::make_unique<daemon::DaemonHost>(
+          deployment_->env, "store" + std::to_string(i + 1)));
+      daemon::DaemonConfig c;
+      c.name = "store" + std::to_string(i + 1);
+      c.room = "machine-room";
+      c.port = 6000;
+      store::StoreOptions opts = base;
+      opts.disk = disks_[i];
+      replicas_.push_back(&hosts_.back()->add_daemon<store::PersistentStoreDaemon>(
+          c, i + 1, opts));
+    }
+    for (int i = 0; i < 3; ++i) {
+      std::vector<net::Address> peers;
+      for (int j = 0; j < 3; ++j)
+        if (j != i) peers.push_back(replicas_[j]->address());
+      replicas_[i]->set_peers(peers);
+      ASSERT_TRUE(replicas_[i]->start().ok());
+    }
+    for (auto* r : replicas_) addresses_.push_back(r->address());
+  }
+
+  // Machine power loss: the process dies AND the disk loses (or tears,
+  // if armed) its un-fsynced tails. Memory is gone; disk is the contract.
+  void power_off(int i) {
+    replicas_[i]->crash();
+    disks_[i]->crash();
+  }
+  void power_on(int i) { ASSERT_TRUE(replicas_[i]->start().ok()); }
+
+  std::size_t total_hints() const {
+    std::size_t n = 0;
+    for (auto* r : replicas_) n += r->hints_pending();
+    return n;
+  }
+
+  bool converged() const {
+    return total_hints() == 0 &&
+           replicas_[0]->merkle_root() == replicas_[1]->merkle_root() &&
+           replicas_[1]->merkle_root() == replicas_[2]->merkle_root();
+  }
+
+  void wait_converged() {
+    bool ok = false;
+    for (int i = 0; i < 1000 && !ok; ++i) {
+      ok = converged();
+      if (!ok) std::this_thread::sleep_for(10ms);
+    }
+    ASSERT_TRUE(ok) << "cluster did not converge";
+  }
+
+  std::unique_ptr<testenv::AceTestEnv> deployment_;
+  std::unique_ptr<daemon::AceClient> client_;
+  std::vector<std::shared_ptr<io::SimDisk>> disks_;
+  std::vector<std::unique_ptr<daemon::DaemonHost>> hosts_;
+  std::vector<store::PersistentStoreDaemon*> replicas_;
+  std::vector<net::Address> addresses_;
+};
+
+TEST_F(DurableStoreTest, ContradictoryOptionsAlsoFailDaemonStart) {
+  deployment_ = std::make_unique<testenv::AceTestEnv>();
+  ASSERT_TRUE(deployment_->start().ok());
+  hosts_.push_back(std::make_unique<daemon::DaemonHost>(deployment_->env,
+                                                        "badstore"));
+  daemon::DaemonConfig c;
+  c.name = "badstore";
+  c.room = "machine-room";
+  c.port = 6000;
+  store::StoreOptions bad;
+  bad.write_quorum = 4;  // > replication
+  auto& daemon =
+      hosts_.back()->add_daemon<store::PersistentStoreDaemon>(c, 1, bad);
+  auto st = daemon.start();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, util::Errc::invalid);
+}
+
+TEST_F(DurableStoreTest, AckedWritesSurviveClusterWidePowerLoss) {
+  store::StoreOptions opts;
+  opts.write_quorum = 2;
+  opts.read_quorum = 2;
+  start_cluster(opts);
+  store::StoreClient store(*client_, addresses_);
+
+  for (int i = 0; i < 50; ++i)
+    ASSERT_TRUE(store.put("pw/" + std::to_string(i),
+                          util::to_bytes("v" + std::to_string(i)))
+                    .ok());
+
+  // Roll replica 1 into a snapshot so recovery exercises snapshot + WAL,
+  // via the operator command (replicas 2-3 recover from WAL alone).
+  CmdLine compact("storeCompact");
+  auto creply = client_->call(addresses_[0], compact);
+  ASSERT_TRUE(creply.ok() && cmdlang::is_ok(creply.value()));
+  EXPECT_GE(creply->get_integer("records"), 50);
+
+  // Whole-machine-room power loss: all three replicas at once. Nothing
+  // survives in memory — what reads back is what the disks held.
+  for (int i = 0; i < 3; ++i) power_off(i);
+  for (int i = 0; i < 3; ++i) power_on(i);
+
+  for (int i = 0; i < 50; ++i) {
+    auto got = store.get("pw/" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << "pw/" << i << " lost across power cycle";
+    EXPECT_EQ(util::to_string(got.value()), "v" + std::to_string(i));
+  }
+
+  // Replica 1 recovered from its snapshot; its generation moved past 0.
+  auto rs = replicas_[0]->last_recovery();
+  EXPECT_GE(rs.generation, 1);
+  EXPECT_GE(rs.snapshot_records, 50u);
+  EXPECT_GE(replicas_[1]->last_recovery().wal_records, 50u);
+
+  // storeWalStats reports the durable plane; recoveries counts both the
+  // boot-time (empty-disk) recovery and the real one.
+  CmdLine stats("storeWalStats");
+  auto reply = client_->call(addresses_[0], stats);
+  ASSERT_TRUE(reply.ok() && cmdlang::is_ok(reply.value()));
+  EXPECT_EQ(reply->get_text("durable"), "yes");
+  EXPECT_GE(reply->get_integer("recoveries"), 2);
+  EXPECT_GE(reply->get_integer("compactions"), 1);
+  EXPECT_GE(
+      deployment_->env.metrics().counter("store.recoveries").value(), 6u);
+  EXPECT_GE(
+      deployment_->env.metrics().counter("store.wal_appends").value(), 150u);
+  EXPECT_GE(
+      deployment_->env.metrics().counter("store.wal_fsyncs").value(), 1u);
+}
+
+TEST_F(DurableStoreTest, TornWalTailIsDetectedDroppedAndRepaired) {
+  store::StoreOptions opts;
+  opts.write_quorum = 2;
+  opts.read_quorum = 2;
+  opts.probe_interval = std::chrono::milliseconds(100);
+  start_cluster(opts);
+  store::StoreClient store(*client_, addresses_);
+
+  for (int i = 0; i < 8; ++i)
+    ASSERT_TRUE(
+        store.put("early/" + std::to_string(i), util::to_bytes("e")).ok());
+
+  // From here on replica 1's disk lies about fsync: acked writes stay in
+  // the volatile tail. A torn power loss then shreds that tail mid-record.
+  disks_[0]->arm_fsync_drop(-1);
+  for (int i = 0; i < 8; ++i)
+    ASSERT_TRUE(
+        store.put("late/" + std::to_string(i), util::to_bytes("l")).ok());
+  disks_[0]->arm_torn_tail();
+  power_off(0);
+  power_on(0);
+
+  // Recovery detected the torn tail by CRC and chopped it off.
+  auto rs = replicas_[0]->last_recovery();
+  EXPECT_GE(rs.torn_tails, 1u);
+  EXPECT_GT(rs.torn_bytes, 0u);
+  EXPECT_GE(deployment_->env.metrics()
+                .counter("store.wal_torn_tail_dropped")
+                .value(),
+            1u);
+
+  // The fsynced prefix survived locally...
+  for (int i = 0; i < 8; ++i)
+    EXPECT_TRUE(replicas_[0]->object("early/" + std::to_string(i)).has_value())
+        << "early/" << i;
+  // ...and every acked write still reads back (W=2 put a durable copy on a
+  // peer), with anti-entropy refilling replica 1's lost tail.
+  for (int i = 0; i < 8; ++i)
+    EXPECT_TRUE(store.get("late/" + std::to_string(i)).ok()) << "late/" << i;
+  bool refilled = false;
+  for (int i = 0; i < 600 && !refilled; ++i) {
+    refilled = true;
+    for (int k = 0; k < 8; ++k)
+      refilled = refilled &&
+                 replicas_[0]->object("late/" + std::to_string(k)).has_value();
+    if (!refilled) std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_TRUE(refilled) << "anti-entropy did not repair the torn tail";
+}
+
+TEST_F(DurableStoreTest, CorruptSnapshotFallsBackAGeneration) {
+  store::StoreOptions opts;
+  opts.write_quorum = 2;
+  opts.read_quorum = 2;
+  start_cluster(opts);
+  store::StoreClient store(*client_, addresses_);
+
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(
+        store.put("a/" + std::to_string(i), util::to_bytes("1")).ok());
+  auto compacted = replicas_[0]->compact_now();
+  ASSERT_TRUE(compacted.ok());
+  EXPECT_GE(compacted.value(), 10);
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(
+        store.put("b/" + std::to_string(i), util::to_bytes("2")).ok());
+
+  // Latent media corruption in the published snapshot. Recovery must
+  // refuse it (CRC) and fall back to the retained previous generation's
+  // chain — here the full WAL history, which still covers everything.
+  ASSERT_TRUE(disks_[0]->inject_bit_rot("store1.snap."));
+  power_off(0);
+  power_on(0);
+
+  auto rs = replicas_[0]->last_recovery();
+  EXPECT_GE(rs.snapshot_fallbacks, 1u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(replicas_[0]->object("a/" + std::to_string(i)).has_value())
+        << "a/" << i;
+    EXPECT_TRUE(replicas_[0]->object("b/" + std::to_string(i)).has_value())
+        << "b/" << i;
+  }
+  EXPECT_GE(
+      deployment_->env.metrics().counter("store.snapshot_fallbacks").value(),
+      1u);
+}
+
+TEST_F(DurableStoreTest, HintsSurviveCoordinatorPowerLoss) {
+  store::StoreOptions opts;
+  opts.write_quorum = 2;
+  opts.probe_interval = std::chrono::milliseconds(100);
+  start_cluster(opts);
+  store::StoreClient store(*client_, addresses_);
+
+  hosts_[2]->fail();  // replica 3's machine drops off the network
+  ASSERT_TRUE(store.put("hinted/k", util::to_bytes("v")).ok());
+  ASSERT_GE(replicas_[0]->hints_pending(), 1u)
+      << "coordinator should hold the hint on a 3-node ring";
+
+  // The coordinator loses power before it can hand the write home. The
+  // hint was WAL-logged and fsynced before the ack, so the handoff
+  // obligation must survive the power cycle.
+  power_off(0);
+  power_on(0);
+  EXPECT_GE(replicas_[0]->hints_pending(), 1u)
+      << "hint lost across power cycle";
+
+  hosts_[2]->restore();
+  ASSERT_TRUE(replicas_[2]->start().ok());
+  bool drained = false;
+  for (int i = 0; i < 600 && !drained; ++i) {
+    drained = replicas_[2]->object("hinted/k").has_value() &&
+              total_hints() == 0;
+    if (!drained) std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_TRUE(drained) << "recovered hint did not drain to its owner";
+  EXPECT_EQ(util::to_string(replicas_[2]->object("hinted/k")->data), "v");
+}
+
+// The durability claim under *combined* chaos: machine power cycles
+// (process + disk crash) interleaved with disk faults (torn tails, lying
+// fsyncs) while compaction races the write storm. Every acknowledged write
+// must read back — at its value or a later one — both after the storm and
+// after one final whole-cluster power cycle, which proves the surviving
+// state is on disk rather than in memory. Replay with ACE_CHAOS_SEED.
+TEST_F(DurableStoreTest, ChaosPowerCycleTortureNeverLosesAckedWrites) {
+  store::StoreOptions opts;
+  opts.write_quorum = 2;
+  opts.read_quorum = 2;
+  opts.probe_interval = std::chrono::milliseconds(100);
+  opts.compact_wal_bytes = 16u << 10;  // compact often, mid-storm
+  start_cluster(opts);
+  store::StoreClient store(*client_, addresses_);
+
+  chaos::ScheduleParams params;
+  params.duration = std::chrono::milliseconds(2500);
+  params.mean_interval = std::chrono::milliseconds(250);
+  params.min_fault = std::chrono::milliseconds(200);
+  params.max_fault = std::chrono::milliseconds(700);
+  params.service_cooldown = std::chrono::milliseconds(300);
+  params.weight_service_crash = 2;
+  params.weight_link_down = 0;
+  params.weight_host_isolate = 0;
+  params.weight_latency_spike = 0;
+  params.weight_loss_burst = 0;
+  params.weight_disk_fault = 3;
+  params.disk_bit_rot = false;  // torn tails + dropped fsyncs (see E19b)
+  params.fsync_drop_count = 2;
+  params.max_concurrent_crashes = 1;  // keep a W=2 majority alive
+  chaos::Targets targets;
+  targets.services = {"store1", "store2", "store3"};
+  targets.hosts = {"store1", "store2", "store3"};
+  targets.disks = {"store1", "store2", "store3"};
+  auto schedule =
+      chaos::generate_schedule(chaos::seed_from_env(0xd15c), params, targets);
+  int disk_faults = 0, crashes = 0;
+  for (const auto& e : schedule.events) {
+    if (e.kind == chaos::FaultKind::service_crash) ++crashes;
+    if (e.kind == chaos::FaultKind::disk_torn_tail ||
+        e.kind == chaos::FaultKind::disk_fsync_drop)
+      ++disk_faults;
+  }
+  ASSERT_GT(crashes, 0) << "seed " << schedule.seed << " crashed nothing";
+  ASSERT_GT(disk_faults, 0) << "seed " << schedule.seed << " hurt no disk";
+
+  chaos::ChaosEngine engine(deployment_->env, schedule);
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "store" + std::to_string(i + 1);
+    engine.add_service(name, replicas_[i]);
+    engine.add_disk(name, disks_[i].get());  // crash = machine power event
+  }
+
+  std::mutex acked_mu;
+  std::map<std::string, int> acked;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 0;
+    while (!stop.load()) {
+      const std::string key = "t/" + std::to_string(i % 64);
+      if (store.put(key, util::to_bytes("v" + std::to_string(i))).ok()) {
+        std::scoped_lock lock(acked_mu);
+        acked[key] = i;
+      }
+      ++i;
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+
+  engine.start();
+  engine.join();
+  stop.store(true);
+  writer.join();
+
+  wait_converged();
+
+  auto check_all = [&](const char* when) {
+    std::size_t checked = 0;
+    for (const auto& [key, seq] : acked) {
+      auto got = store.get(key);
+      ASSERT_TRUE(got.ok()) << key << " lost " << when << " (seed "
+                            << schedule.seed << ")";
+      const std::string value = util::to_string(got.value());
+      ASSERT_TRUE(value.size() > 1 && value[0] == 'v') << value;
+      EXPECT_GE(std::stoi(value.substr(1)), seq)
+          << key << " rolled back " << when << " (seed " << schedule.seed
+          << ")";
+      ++checked;
+    }
+    EXPECT_GT(checked, 0u) << "storm acknowledged no writes";
+  };
+  check_all("after the storm");
+
+  // Nothing read back so far is allowed to live only in memory.
+  for (int i = 0; i < 3; ++i) power_off(i);
+  for (int i = 0; i < 3; ++i) power_on(i);
+  wait_converged();
+  check_all("after the final power cycle");
+
+  auto& metrics = deployment_->env.metrics();
+  EXPECT_GE(metrics.counter("chaos.disk_faults").value(), 1u);
+  EXPECT_GE(metrics.counter("store.recoveries").value(),
+            static_cast<std::uint64_t>(3 + crashes + 3));
+}
+
 // --------------------------------------------------------------- robustness
 
 class RobustnessTest : public ::testing::Test {
