@@ -13,8 +13,15 @@
 //   * E16e chaos torture: acked-write durability under W=2 with replicas
 //     crashing and restarting mid-storm.
 //
+// Plus the read-path experiments (E20, see EXPERIMENTS.md):
+//   * E20a digest reads: read latency vs R with the parallel digest
+//     fan-out on/off, and read repair converging a stale replica,
+//   * E20b paginated scans: storeScan page streaming vs one-shot
+//     storeList at growing key counts, reply size bounded by the limit.
+//
 // `--smoke` runs a seconds-scale subset (used by ci.sh bench-smoke) and
 // still exports `bench_store.metrics.json` for counter validation.
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <map>
@@ -592,6 +599,208 @@ void chaos_disk_durability(bool smoke) {
               checked ? 100.0 * survived / checked : 0.0);
 }
 
+// Sums `from`'s counters into `into` (and appends unseen gauges) so one
+// exported artifact can carry evidence from several independent clusters —
+// E19a's WAL counters and E20's read-path counters both survive.
+void merge_counters(obs::MetricsSnapshot* into,
+                    const obs::MetricsSnapshot& from) {
+  for (const auto& ce : from.counters) {
+    auto it = std::find_if(
+        into->counters.begin(), into->counters.end(),
+        [&](const obs::MetricsSnapshot::CounterEntry& e) {
+          return e.name == ce.name;
+        });
+    if (it == into->counters.end())
+      into->counters.push_back(ce);
+    else
+      it->value += ce.value;
+  }
+  for (const auto& ge : from.gauges) {
+    auto it = std::find_if(into->gauges.begin(), into->gauges.end(),
+                           [&](const obs::MetricsSnapshot::GaugeEntry& e) {
+                             return e.name == ge.name;
+                           });
+    if (it == into->gauges.end())
+      into->gauges.push_back(ge);
+    else
+      it->value = ge.value;
+  }
+}
+
+// ------------------------------------------------------------------- E20a
+// The read path's latency is dominated by replica round trips once links
+// have real latency, so the cluster here runs with a 1 ms default link
+// delay: the serial path pays one RTT per extra replica consulted, the
+// digest path pays one RTT total (all fan-out RPCs in flight together) and
+// moves the full value only once.
+void read_path_ablation(bool smoke, obs::MetricsSnapshot* merged) {
+  bench::header("E20a",
+                "read latency vs R: parallel digest reads vs serial reads");
+  std::printf("%6s %8s %13s %13s %10s\n", "R", "digest", "read_us(p50)",
+              "read_us(p99)", "reads/s");
+  const int reads = smoke ? 60 : 240;
+  const int key_count = 32;
+  double digest_p50_r3 = 0, serial_p50_r3 = 0;
+  double digest_rate_r3 = 0, serial_rate_r3 = 0;
+  for (int r : {1, 2, 3}) {
+    for (bool digest : {true, false}) {
+      store::StoreOptions opts;
+      opts.read_quorum = r;
+      opts.digest_reads = digest;
+      opts.probe_interval = 5s;  // keep the monitor out of the measurement
+      Cluster c = make_cluster(3, 200, opts);
+      if (!c.client) return;
+      c.deployment->env.network().set_default_latency(1ms);
+      store::StoreClient store(*c.client, c.addresses);
+      util::Bytes payload(1024, 0x3c);  // >=1 KB: full-value copies matter
+      for (int i = 0; i < key_count; ++i)
+        if (!store.put("r/" + std::to_string(i), payload).ok()) return;
+      (void)store.get("r/0");  // warm connections
+      bench::Series us;
+      const auto t0 = bench::Clock::now();
+      for (int i = 0; i < reads; ++i) {
+        auto t = bench::Clock::now();
+        if (!store.get("r/" + std::to_string(i % key_count)).ok()) return;
+        us.add(bench::us_since(t));
+      }
+      const double rate = reads / (bench::us_since(t0) / 1e6);
+      if (r == 3) {
+        (digest ? digest_p50_r3 : serial_p50_r3) = us.percentile(50);
+        (digest ? digest_rate_r3 : serial_rate_r3) = rate;
+      }
+      std::printf("%6d %8s %13.1f %13.1f %10.0f\n", r, digest ? "on" : "off",
+                  us.percentile(50), us.percentile(99), rate);
+      merge_counters(merged, c.deployment->env.metrics().snapshot());
+    }
+  }
+  if (serial_p50_r3 > 0 && digest_p50_r3 > 0) {
+    const double speedup = serial_p50_r3 / digest_p50_r3;
+    std::printf("  R=3 digest-read speedup: %.2fx on p50 latency "
+                "(%.2fx on throughput)\n",
+                speedup, digest_rate_r3 / serial_rate_r3);
+    merged->gauges.push_back(
+        {"bench.e20a_digest_speedup_x100",
+         static_cast<std::int64_t>(speedup * 100)});
+  }
+
+  // Read repair: one replica misses an overwrite behind a partition; after
+  // the heal, a single strict-quorum read both answers the newest value
+  // and pushes it back onto the stale replica.
+  store::StoreOptions opts;
+  opts.write_quorum = 2;
+  opts.read_quorum = 3;
+  opts.probe_interval = 60s;  // only read repair may converge the replica
+  Cluster c = make_cluster(3, 201, opts);
+  if (!c.client) return;
+  store::StoreClient store(*c.client, c.addresses);
+  if (!store.put("rr/k", util::to_bytes("v1")).ok()) return;
+  auto& net = c.deployment->env.network();
+  for (const char* peer : {"store1", "store2", "app"})
+    net.set_partitioned("store3", peer, true);
+  if (!store.put("rr/k", util::to_bytes("v2")).ok()) return;
+  for (const char* peer : {"store1", "store2", "app"})
+    net.set_partitioned("store3", peer, false);
+  const auto t0 = bench::Clock::now();
+  // Read through store1 specifically: a coordinator that is NOT the stale
+  // replica, so the repair is a remote push (store3 coordinating would
+  // self-heal inline without exercising the async path).
+  cmdlang::CmdLine getcmd("storeGet");
+  getcmd.arg("key", "rr/k");
+  auto got = c.client->call(
+      c.addresses[0], getcmd,
+      daemon::CallOptions{.timeout = std::chrono::milliseconds(800)});
+  auto& m = c.deployment->env.metrics();
+  // Converged = replica holds the newest value AND the repair ack made it
+  // back to the coordinator (the counter ticks one network beat later).
+  bool repaired = false;
+  for (int i = 0; i < 600 && !repaired; ++i) {
+    auto obj = c.replicas[2]->object("rr/k");
+    repaired = obj && util::to_string(obj->data) == "v2" &&
+               m.counter("store.read_repairs").value() >= 1;
+    if (!repaired) std::this_thread::sleep_for(5ms);
+  }
+  std::printf("  read repair: stale replica %s in %.1f ms after one read "
+              "(read_repairs=%llu, mismatches=%llu)\n",
+              repaired ? "converged" : "DID NOT CONVERGE",
+              bench::us_since(t0) / 1000.0,
+              static_cast<unsigned long long>(
+                  m.counter("store.read_repairs").value()),
+              static_cast<unsigned long long>(
+                  m.counter("store.digest_mismatches").value()));
+  if (!got.ok() || !cmdlang::is_ok(got.value()) ||
+      got->get_text("data") != store::hex_of(util::to_bytes("v2")))
+    std::printf("  WARNING: post-heal read did not return the newest value\n");
+  merge_counters(merged, m.snapshot());
+}
+
+// ------------------------------------------------------------------- E20b
+void scan_pagination(bool smoke, obs::MetricsSnapshot* merged) {
+  bench::header("E20b",
+                "paginated scans vs one-shot list (5 replicas, limit=256)");
+  std::printf("%10s %10s %10s %8s %10s %14s\n", "keys", "list_ms", "scan_ms",
+              "pages", "max_page", "scan_keys/s");
+  const std::vector<int> sizes = smoke ? std::vector<int>{1000}
+                                       : std::vector<int>{1000, 10000, 50000};
+  std::size_t worst_page = 0;
+  for (int n : sizes) {
+    store::StoreOptions opts;
+    opts.probe_interval = 5s;
+    Cluster c = make_cluster(5, 202, opts);
+    if (!c.client) return;
+    store::StoreClient store(*c.client, c.addresses, 3);
+    util::Bytes payload(64, 0x5e);
+    char keybuf[32];
+    for (int i = 0; i < n; ++i) {
+      std::snprintf(keybuf, sizeof(keybuf), "scan/%06d", i);
+      if (!store.put(keybuf, payload).ok()) return;
+    }
+
+    // One-shot wire storeList, called directly with a generous deadline:
+    // the point of this column is the cost of materializing the whole
+    // namespace in a single reply. (StoreClient::list() itself drains the
+    // scan pager precisely so that callers never issue this RPC shape —
+    // with a production 800 ms call timeout it stops fitting somewhere
+    // past 10k keys.)
+    cmdlang::CmdLine list_cmd("storeList");
+    list_cmd.arg("prefix", std::string("scan/"));
+    auto t0 = bench::Clock::now();
+    auto one_shot = c.client->call(
+        c.addresses[0], list_cmd,
+        daemon::CallOptions{.timeout = 60000ms, .retries = 0});
+    const double list_ms = bench::us_since(t0) / 1000.0;
+    if (!one_shot.ok() || !cmdlang::is_ok(one_shot.value())) return;
+    std::size_t listed_keys = 0;
+    if (auto vec = one_shot->get_vector("keys"))
+      listed_keys = vec->elements.size();
+
+    t0 = bench::Clock::now();
+    store::StoreScanner scanner = store.scan("scan/", 256);
+    std::size_t scanned = 0, pages = 0, max_page = 0;
+    while (!scanner.done()) {
+      auto page = scanner.next_page();
+      if (!page.ok()) return;
+      scanned += page->size();
+      max_page = std::max(max_page, page->size());
+      ++pages;
+    }
+    const double scan_ms = bench::us_since(t0) / 1000.0;
+    worst_page = std::max(worst_page, max_page);
+    std::printf("%10d %10.1f %10.1f %8zu %10zu %14.0f\n", n, list_ms,
+                scan_ms, pages, max_page,
+                scan_ms > 0 ? scanned / (scan_ms / 1000.0) : 0.0);
+    if (scanned != listed_keys || scanned != static_cast<std::size_t>(n))
+      std::printf("  WARNING: scan saw %zu keys, list %zu, expected %d\n",
+                  scanned, listed_keys, n);
+    merge_counters(merged, c.deployment->env.metrics().snapshot());
+  }
+  merged->gauges.push_back(
+      {"bench.e20b_scan_max_page_keys",
+       static_cast<std::int64_t>(worst_page)});
+  std::printf("  (shape: list() materializes the whole namespace in one "
+              "reply; every scan reply is bounded by the page limit — "
+              "max_page <= 256 at every size)\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -607,12 +816,16 @@ int main(int argc, char** argv) {
   if (!smoke) chaos_durability(smoke);
   restart_recovery(smoke, &exported);
   if (!smoke) chaos_disk_durability(smoke);
+  read_path_ablation(smoke, &exported);
+  scan_pagination(smoke, &exported);
   // The artifact carries the proof of the mechanisms at work: quorum
   // writes (store.writes, store.replica_acks), group commit
-  // (store.batch_records), Merkle anti-entropy (store.sync_tree_rpcs), and
-  // — from the E19a durable run that overwrites the E16b snapshot — the
-  // WAL plane (store.wal_appends, store.wal_fsyncs, store.recoveries,
-  // store.snapshot_compactions).
+  // (store.batch_records), Merkle anti-entropy (store.sync_tree_rpcs), the
+  // WAL plane from the E19a durable run (store.wal_appends,
+  // store.wal_fsyncs, store.recoveries, store.snapshot_compactions), and —
+  // merged in from the E20 clusters — the read path
+  // (store.digest_reads, store.digest_mismatches, store.read_repairs) and
+  // paginated scans (store.scan_pages).
   bench::export_metrics_json("bench_store", exported);
   return 0;
 }

@@ -70,12 +70,23 @@ for name in ("store.writes", "store.replica_acks", "store.batch_records",
 if counters.get("store.recoveries", 0) < 1:
     sys.exit(f"bench-smoke: store.recoveries < 1 in {path} — "
              "restart recovery never ran")
+# E20 read path: digest fan-outs must actually run, the E20a stale-replica
+# probe must produce at least one async read repair, and E20b must serve
+# its scans as bounded pages.
+for name in ("store.digest_reads", "store.scan_pages"):
+    if counters.get(name, 0) <= 0:
+        sys.exit(f"bench-smoke: counter {name!r} missing or zero in {path}")
+if counters.get("store.read_repairs", 0) < 1:
+    sys.exit(f"bench-smoke: store.read_repairs < 1 in {path} — "
+             "the E20a read-repair probe never healed its stale replica")
 print(f"bench-smoke: {path} ok "
       f"({counters['store.writes']} writes, "
       f"{counters['store.batch_records']} batched records, "
       f"{counters['store.sync_tree_rpcs']} merkle tree rpcs, "
       f"{counters['store.wal_appends']} wal appends, "
-      f"{counters['store.recoveries']} recoveries)")
+      f"{counters['store.recoveries']} recoveries, "
+      f"{counters['store.digest_reads']} digest reads, "
+      f"{counters['store.scan_pages']} scan pages)")
 EOF
   echo "=== bench-smoke: bench_scale --smoke ==="
   (cd "${build_dir}/bench" && rm -f bench_scale.metrics.json && ./bench_scale --smoke)
@@ -143,6 +154,21 @@ chaos_seed_sweep() {
   done
 }
 
+# The read path fans digest RPCs and async read repairs across the ops
+# pool, and cluster scans merge per-shard pages gathered concurrently —
+# replay those suites under TSan, plus one fixed-seed chaos torture whose
+# final R=2 verification reads drive the digest path under crash/restart.
+read_path_race_sweep() {
+  local build_dir="$1"
+  echo "=== store read-path sweep under ThreadSanitizer ==="
+  "${build_dir}/tests/test_store" --gtest_repeat=3 --gtest_filter=\
+'QuorumStoreTest.DigestReadRepairConvergesStaleReplica:'\
+'QuorumStoreTest.ReadQuorumUnavailableIsSurfaced:'\
+'StoreDigestAblationTest.*:ShardedStoreTest.Scan*'
+  ACE_CHAOS_SEED=42 "${build_dir}/tests/test_store" \
+    --gtest_filter='QuorumStoreTest.ChaosQuorumTortureNeverLosesAckedWrites'
+}
+
 # Replays the durable-store suite — power cycles, torn WAL tails, lying
 # fsyncs, crash-mid-compaction — under fixed seeds with ASan watching the
 # recovery paths (daemon restart swaps the batcher, monitor, and durable
@@ -169,6 +195,7 @@ case "${want}" in
     run_config "tsan" build-tsan -DACE_SANITIZE=thread
     chaos_seed_sweep build-tsan
     media_race_sweep build-tsan
+    read_path_race_sweep build-tsan
     ;;&
   asan|all)
     run_config "asan" build-asan -DACE_SANITIZE=address

@@ -1,7 +1,9 @@
 #include "store/persistent_store.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdlib>
+#include <optional>
 
 #include "daemon/wire.hpp"
 #include "util/strings.hpp"
@@ -71,28 +73,23 @@ util::Status validate_store_options(const StoreOptions& o) {
   if (o.merkle_depth < 1 || o.merkle_depth > 20)
     return bad("merkle_depth must be in [1, 20] (got " +
                std::to_string(o.merkle_depth) + ")");
+  if (o.scan_limit_max < 1)
+    return bad("scan_limit_max must be >= 1 (got " +
+               std::to_string(o.scan_limit_max) + ")");
+  if (o.scan_limit < 1 || o.scan_limit > o.scan_limit_max)
+    return bad("scan_limit (" + std::to_string(o.scan_limit) +
+               ") must be in [1, scan_limit_max=" +
+               std::to_string(o.scan_limit_max) + "]");
+  if (o.list_max_keys < 1)
+    return bad("list_max_keys must be >= 1 (got " +
+               std::to_string(o.list_max_keys) + ")");
   return util::Status::ok_status();
 }
 
 std::string hex_of(const util::Bytes& data) { return util::hex_encode(data); }
 
 util::Bytes bytes_of_hex(const std::string& hex) {
-  util::Bytes out;
-  auto nibble = [](char c) -> int {
-    if (c >= '0' && c <= '9') return c - '0';
-    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-    return -1;
-  };
-  if (hex.size() % 2 != 0) return out;
-  out.reserve(hex.size() / 2);
-  for (std::size_t i = 0; i < hex.size(); i += 2) {
-    int hi = nibble(hex[i]);
-    int lo = nibble(hex[i + 1]);
-    if (hi < 0 || lo < 0) return {};
-    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
-  }
-  return out;
+  return util::hex_decode(hex);
 }
 
 PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
@@ -117,6 +114,13 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
       obs_tree_rpcs_(&env.metrics().counter("store.sync_tree_rpcs")),
       obs_bucket_rpcs_(&env.metrics().counter("store.sync_bucket_rpcs")),
       obs_sync_fetched_(&env.metrics().counter("store.sync_fetched")),
+      obs_digest_reads_(&env.metrics().counter("store.digest_reads")),
+      obs_digest_mismatches_(
+          &env.metrics().counter("store.digest_mismatches")),
+      obs_read_repairs_(&env.metrics().counter("store.read_repairs")),
+      obs_read_unavailable_(
+          &env.metrics().counter("store.read_unavailable")),
+      obs_scan_pages_(&env.metrics().counter("store.scan_pages")),
       obs_wal_appends_(&env.metrics().counter("store.wal_appends")),
       obs_wal_fsyncs_(&env.metrics().counter("store.wal_fsyncs")),
       obs_wal_torn_(&env.metrics().counter("store.wal_torn_tail_dropped")),
@@ -165,6 +169,23 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
         return coordinate_read(key);
       });
 
+  // Read-path internal: version/tombstone digest only — no value bytes.
+  // This is what lets a quorum read ship one full copy plus R-1 digests.
+  register_command(
+      CommandSpec("storeGetDigest",
+                  "version digest of one object (this replica)").concurrent_ok()
+          .arg(string_arg("key")),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        std::scoped_lock lock(mu_);
+        auto it = objects_.find(cmd.get_text("key"));
+        if (it == objects_.end())
+          return cmdlang::make_error(util::Errc::not_found, "no such object");
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("version", static_cast<std::int64_t>(it->second.version));
+        reply.arg("deleted", Word{it->second.deleted ? "yes" : "no"});
+        return reply;
+      });
+
   register_command(
       CommandSpec("storeDelete", "remove an object (tombstone)").concurrent_ok()
           .arg(string_arg("key")),
@@ -184,47 +205,87 @@ PersistentStoreDaemon::PersistentStoreDaemon(daemon::Environment& env,
         return reply;
       });
 
+  // Paginated ordered prefix scan. Local scope answers one page of this
+  // replica's map; cluster scope merges per-peer pages (parallel fan-out,
+  // self answered without an RPC) behind an opaque resume cursor that
+  // stays stable under concurrent writes. docs/store.md §"Read path" has
+  // the cursor contract.
+  register_command(
+      CommandSpec("storeScan",
+                  "one ordered key page under a prefix (resumable)").concurrent_ok()
+          .arg(string_arg("prefix").optional_arg())
+          .arg(string_arg("cursor").optional_arg())
+          .arg(integer_arg("limit").optional_arg())
+          .arg(word_arg("scope").optional_arg().choices({"cluster", "local"})),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        const std::string prefix = cmd.get_text("prefix");
+        const std::string cursor = cmd.get_text("cursor");
+        const auto limit = static_cast<std::size_t>(std::clamp<std::int64_t>(
+            cmd.get_integer("limit", options_.scan_limit), 1,
+            options_.scan_limit_max));
+        if (cmd.get_text("scope") == "local") {
+          ScanPage page = scan_local(prefix, cursor, limit);
+          CmdLine reply = cmdlang::make_ok();
+          reply.arg("keys", cmdlang::string_vector(std::move(page.keys)));
+          reply.arg("next", page.done ? std::string() : page.next);
+          reply.arg("done", Word{page.done ? "yes" : "no"});
+          return reply;
+        }
+        auto page = scan_cluster(prefix, cursor, limit);
+        if (!page.ok())
+          return cmdlang::make_error(page.error().code, page.error().message);
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("keys", cmdlang::string_vector(std::move(page->keys)));
+        reply.arg("next", page->next);
+        reply.arg("done", Word{page->done ? "yes" : "no"});
+        return reply;
+      });
+
+  // Compatibility shim over storeScan: pages through the whole prefix and
+  // concatenates, capped at StoreOptions.list_max_keys (truncated=yes when
+  // the cap bites). New callers should page with storeScan instead.
   register_command(
       CommandSpec("storeList", "list keys under a namespace prefix").concurrent_ok()
           .arg(string_arg("prefix").optional_arg())
           .arg(word_arg("scope").optional_arg().choices({"cluster", "local"})),
       [this](const CmdLine& cmd, const CallerInfo&) {
         const std::string prefix = cmd.get_text("prefix");
-        std::set<std::string> keys;
-        {
-          std::scoped_lock lock(mu_);
-          for (const auto& [key, record] : objects_) {
-            if (record.deleted) continue;
-            if (util::starts_with(key, prefix)) keys.insert(key);
+        const bool local = cmd.get_text("scope") == "local";
+        const auto page_limit = static_cast<std::size_t>(
+            std::clamp(options_.scan_limit, 1, options_.scan_limit_max));
+        const auto cap =
+            static_cast<std::size_t>(std::max(1, options_.list_max_keys));
+        std::vector<std::string> keys;
+        std::string cursor;
+        bool truncated = false;
+        while (true) {
+          std::vector<std::string> page_keys;
+          bool done = false;
+          if (local) {
+            ScanPage p = scan_local(prefix, cursor, page_limit);
+            page_keys = std::move(p.keys);
+            done = p.done;
+            cursor = p.next;
+          } else {
+            auto p = scan_cluster(prefix, cursor, page_limit);
+            if (!p.ok())
+              return cmdlang::make_error(p.error().code, p.error().message);
+            page_keys = std::move(p->keys);
+            done = p->done;
+            cursor = p->next;
           }
-        }
-        if (cmd.get_text("scope") != "local") {
-          // Cluster scope: union the shards (a prefix does not map to one
-          // ring arc, so every node is consulted; unreachable peers are
-          // skipped, best effort).
-          std::vector<net::Address> peers;
-          {
-            std::scoped_lock lock(mu_);
-            peers = peers_;
+          for (std::string& key : page_keys) {
+            if (keys.size() >= cap) {
+              truncated = true;
+              break;
+            }
+            keys.push_back(std::move(key));
           }
-          CmdLine sub("storeList");
-          sub.arg("prefix", prefix);
-          sub.arg("scope", Word{"local"});
-          for (const net::Address& peer : peers) {
-            auto reply = control_client().call(
-                peer, sub,
-                daemon::CallOptions{.timeout = options_.replicate_timeout,
-                                    .retries = 0});
-            if (!reply.ok() || !cmdlang::is_ok(reply.value())) continue;
-            if (auto vec = reply->get_vector("keys"))
-              for (const auto& elem : vec->elements)
-                if (elem.is_string() || elem.is_word())
-                  keys.insert(elem.as_text());
-          }
+          if (truncated || done) break;
         }
         CmdLine reply = cmdlang::make_ok();
-        reply.arg("keys", cmdlang::string_vector(
-                              {keys.begin(), keys.end()}));
+        reply.arg("keys", cmdlang::string_vector(std::move(keys)));
+        if (truncated) reply.arg("truncated", Word{"yes"});
         return reply;
       });
 
@@ -473,6 +534,9 @@ util::Status PersistentStoreDaemon::on_start() {
         env().metrics(), control_client(),
         BatcherOptions{.flush_interval = options_.flush_interval,
                        .call_timeout = options_.replicate_timeout});
+    // Fresh guard per start: the previous one stays revoked so any task
+    // still queued from the last life remains a no-op.
+    read_tasks_ = net::TaskGuard();
   }
   monitor_ = std::jthread([this](std::stop_token st) { monitor_loop(st); });
   return util::Status::ok_status();
@@ -482,11 +546,16 @@ void PersistentStoreDaemon::shutdown_runtime(bool flush) {
   monitor_ = {};
   std::shared_ptr<ReplicationBatcher> batcher;
   std::shared_ptr<DurableLog> dlog;
+  net::TaskGuard read_tasks;
   {
     std::scoped_lock lock(mu_);
     batcher = batcher_;
     dlog = dlog_;
+    read_tasks = read_tasks_;
   }
+  // Read fan-out / read-repair tasks still on the ops pool become no-ops;
+  // revoke() waits out any mid-run one, so nothing touches a dead daemon.
+  read_tasks.revoke();
   // Left in place (inert) — command handlers may still be draining and
   // submit() must fast-fail rather than touch a dead object.
   if (batcher) batcher->shutdown();
@@ -897,6 +966,225 @@ PersistentStoreDaemon::WriteOutcome PersistentStoreDaemon::coordinate_write(
 }
 
 CmdLine PersistentStoreDaemon::coordinate_read(const std::string& key) {
+  return options_.digest_reads ? coordinate_read_digest(key)
+                               : coordinate_read_serial(key);
+}
+
+// Parallel digest read: one full value (from this replica when it owns
+// the key, else from the first listed owner) plus version digests from
+// every other preference-list replica, all RPCs issued concurrently on
+// the pipelined channel. The reply waits for R countable answers, not for
+// the whole fan-out; if a digest outvotes the full copy, the newest value
+// is fetched from one of its holders before replying, and any replica
+// observed stale or absent is repaired off the reply path.
+CmdLine PersistentStoreDaemon::coordinate_read_digest(const std::string& key) {
+  std::vector<net::Address> prefs;
+  net::TaskGuard guard;
+  {
+    std::scoped_lock lock(mu_);
+    prefs = ring_.preference_list(
+        key, static_cast<std::size_t>(std::max(1, options_.replication)));
+    guard = read_tasks_;
+  }
+  const net::Address self = address();
+  if (prefs.empty()) prefs.push_back(self);
+  const int r_eff = std::max(
+      1, std::min(options_.read_quorum, static_cast<int>(prefs.size())));
+
+  // The full-value target; everyone else ships a digest.
+  std::size_t full_index = 0;
+  bool self_owner = false;
+  for (std::size_t i = 0; i < prefs.size(); ++i) {
+    if (prefs[i] == self) {
+      full_index = i;
+      self_owner = true;
+      break;
+    }
+  }
+
+  // Fast path: an owning coordinator's own copy satisfies R=1 without any
+  // fan-out — identical to the legacy loop's first iteration.
+  if (r_eff == 1 && self_owner) {
+    std::scoped_lock lock(mu_);
+    auto it = objects_.find(key);
+    if (it == objects_.end() || it->second.deleted)
+      return cmdlang::make_error(util::Errc::not_found, "no such object");
+    CmdLine reply = cmdlang::make_ok();
+    reply.arg("data", hex_of(it->second.data));
+    reply.arg("version", static_cast<std::int64_t>(it->second.version));
+    return reply;
+  }
+
+  obs_digest_reads_->inc();
+
+  struct Vote {
+    bool finished = false;  // the attempt completed (even unreachable)
+    bool replied = false;   // countable: ok or authoritative not_found
+    bool has = false;       // holds a record (maybe a tombstone)
+    bool full = false;      // record.data is populated
+    ObjectRecord record;
+  };
+  struct Gather {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Vote> votes;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->votes.resize(prefs.size());
+
+  // The local vote is answered inline under one lock scope — an owner
+  // that lacks the key is a countable "authoritative absent".
+  if (self_owner) {
+    Vote& v = gather->votes[full_index];
+    std::scoped_lock lock(mu_);
+    v.finished = v.replied = true;
+    auto it = objects_.find(key);
+    if (it != objects_.end()) {
+      v.has = v.full = true;
+      v.record = it->second;
+    }
+  }
+
+  const auto timeout = options_.replicate_timeout;
+  for (std::size_t i = 0; i < prefs.size(); ++i) {
+    if (self_owner && i == full_index) continue;
+    const net::Address target = prefs[i];
+    const bool want_full = !self_owner && i == full_index;
+    env().reactor().post_blocking(guard.wrap([this, gather, i, target,
+                                              want_full, key, timeout] {
+      CmdLine sub(want_full ? "storeGet" : "storeGetDigest");
+      sub.arg("key", key);
+      if (want_full) sub.arg("scope", Word{"local"});
+      auto reply = control_client().call(
+          target, sub, daemon::CallOptions{.timeout = timeout, .retries = 0});
+      Vote v;
+      v.finished = true;
+      if (reply.ok() && cmdlang::is_ok(reply.value())) {
+        v.replied = v.has = true;
+        v.record.version =
+            static_cast<std::uint64_t>(reply->get_integer("version"));
+        v.record.deleted = reply->get_text("deleted") == "yes";
+        if (want_full) {
+          v.full = true;
+          v.record.data = bytes_of_hex(reply->get_text("data"));
+        }
+      } else if (reply.ok() && cmdlang::reply_error(reply.value()).code ==
+                                   util::Errc::not_found) {
+        v.replied = true;  // authoritative absence
+      }
+      std::scoped_lock lock(gather->mu);
+      gather->votes[i] = std::move(v);
+      gather->cv.notify_all();
+    }));
+  }
+
+  // Quorum wait: R countable replies with the full-value attempt settled,
+  // or everything finished, whichever is first. The deadline covers tasks
+  // dropped by a stopping reactor or a revoked guard.
+  std::vector<Vote> votes;
+  {
+    std::unique_lock lk(gather->mu);
+    gather->cv.wait_until(
+        lk, steady_clock::now() + timeout + std::chrono::milliseconds(200),
+        [&] {
+          int finished = 0;
+          int replied = 0;
+          for (const Vote& v : gather->votes) {
+            if (v.finished) ++finished;
+            if (v.replied) ++replied;
+          }
+          if (finished == static_cast<int>(gather->votes.size())) return true;
+          return replied >= r_eff && gather->votes[full_index].finished;
+        });
+    votes = gather->votes;
+  }
+
+  int replies = 0;
+  std::optional<std::size_t> best;  // newest record among the votes
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    if (votes[i].replied) ++replies;
+    if (votes[i].has &&
+        (!best || votes[i].record.version > votes[*best].record.version))
+      best = i;
+  }
+  if (replies < r_eff) {
+    obs_read_unavailable_->inc();
+    return cmdlang::make_error(
+        util::Errc::unavailable,
+        "read quorum not met (replies=" + std::to_string(replies) +
+            " R=" + std::to_string(r_eff) + ")");
+  }
+  if (!best)
+    return cmdlang::make_error(util::Errc::not_found, "no such object");
+
+  ObjectRecord winner = votes[*best].record;
+  if (!votes[*best].full) {
+    // The full-value copy was not the newest (or did not answer): the
+    // digests disagreed. A live winner needs its bytes fetched from one
+    // of the replicas that voted the newest version.
+    obs_digest_mismatches_->inc();
+    if (!winner.deleted) {
+      bool materialized = false;
+      CmdLine sub("storeGet");
+      sub.arg("key", key);
+      sub.arg("scope", Word{"local"});
+      for (std::size_t i = 0; i < votes.size() && !materialized; ++i) {
+        if (!votes[i].has || votes[i].record.version != winner.version)
+          continue;
+        auto reply = control_client().call(
+            prefs[i], sub,
+            daemon::CallOptions{.timeout = timeout, .retries = 0});
+        if (!reply.ok() || !cmdlang::is_ok(reply.value())) continue;
+        ObjectRecord fetched;
+        fetched.version =
+            static_cast<std::uint64_t>(reply->get_integer("version"));
+        fetched.deleted = reply->get_text("deleted") == "yes";
+        fetched.data = bytes_of_hex(reply->get_text("data"));
+        if (fetched.version >= winner.version) {
+          winner = std::move(fetched);
+          materialized = true;
+        }
+      }
+      // Never reply with a value older than the newest version observed:
+      // the client's failover can try another coordinator instead.
+      if (!materialized) {
+        obs_read_unavailable_->inc();
+        return cmdlang::make_error(util::Errc::unavailable,
+                                   "newest version unreachable");
+      }
+    }
+  }
+
+  if (options_.read_repair) {
+    std::vector<net::Address> stale;
+    bool self_stale = false;
+    for (std::size_t i = 0; i < votes.size(); ++i) {
+      if (!votes[i].replied) continue;  // unreachable: hints/anti-entropy
+      if (votes[i].has && votes[i].record.version >= winner.version) continue;
+      if (prefs[i] == self)
+        self_stale = true;
+      else
+        stale.push_back(prefs[i]);
+    }
+    if (self_stale) {
+      // Inline and lazily synced: LWW makes a crash-replayed repair a
+      // no-op, so the reply need not wait on the fsync.
+      (void)apply(key, winner);
+    }
+    if (!stale.empty()) schedule_read_repair(key, winner, std::move(stale));
+  }
+
+  if (winner.deleted)
+    return cmdlang::make_error(util::Errc::not_found, "no such object");
+  CmdLine reply = cmdlang::make_ok();
+  reply.arg("data", hex_of(winner.data));
+  reply.arg("version", static_cast<std::int64_t>(winner.version));
+  return reply;
+}
+
+// Legacy serial quorum read — the digest_reads=false ablation baseline.
+// Kept bit-identical in reply shape to the digest path.
+CmdLine PersistentStoreDaemon::coordinate_read_serial(const std::string& key) {
   std::vector<net::Address> prefs;
   {
     std::scoped_lock lock(mu_);
@@ -906,6 +1194,8 @@ CmdLine PersistentStoreDaemon::coordinate_read(const std::string& key) {
   const net::Address self = address();
   const int r_eff = std::max(
       1, std::min(options_.read_quorum, static_cast<int>(prefs.size())));
+  const bool self_owner =
+      std::find(prefs.begin(), prefs.end(), self) != prefs.end();
 
   int replies = 0;
   std::optional<ObjectRecord> best;
@@ -914,10 +1204,11 @@ CmdLine PersistentStoreDaemon::coordinate_read(const std::string& key) {
       best = std::move(candidate);
   };
 
-  for (const net::Address& node : prefs) {
-    if (node != self) continue;
+  if (self_owner) {
+    // One lock scope for the whole local vote (an owner's authoritative
+    // answer, even "absent").
     std::scoped_lock lock(mu_);
-    ++replies;  // an owner's authoritative answer, even "absent"
+    ++replies;
     auto it = objects_.find(key);
     if (it != objects_.end()) offer(it->second);
   }
@@ -949,15 +1240,251 @@ CmdLine PersistentStoreDaemon::coordinate_read(const std::string& key) {
     }
   }
 
-  if (replies == 0)
-    return cmdlang::make_error(util::Errc::unavailable,
-                               "no replica for key reachable");
+  if (replies < r_eff) {
+    obs_read_unavailable_->inc();
+    return cmdlang::make_error(
+        util::Errc::unavailable,
+        "read quorum not met (replies=" + std::to_string(replies) +
+            " R=" + std::to_string(r_eff) + ")");
+  }
   if (!best || best->deleted)
     return cmdlang::make_error(util::Errc::not_found, "no such object");
   CmdLine reply = cmdlang::make_ok();
   reply.arg("data", hex_of(best->data));
   reply.arg("version", static_cast<std::int64_t>(best->version));
   return reply;
+}
+
+void PersistentStoreDaemon::schedule_read_repair(
+    const std::string& key, const ObjectRecord& winner,
+    std::vector<net::Address> stale) {
+  net::TaskGuard guard;
+  {
+    std::scoped_lock lock(mu_);
+    guard = read_tasks_;
+  }
+  const auto timeout = options_.replicate_timeout;
+  for (const net::Address& peer : stale) {
+    env().reactor().post_blocking(guard.wrap([this, key, winner, peer,
+                                              timeout] {
+      auto reply = control_client().call(
+          peer, make_replicate_cmd(key, winner, ""),
+          daemon::CallOptions{.timeout = timeout, .retries = 0});
+      if (reply.ok() && cmdlang::is_ok(reply.value())) {
+        obs_read_repairs_->inc();
+      } else {
+        // The repair missed; leave a hinted-handoff obligation so the
+        // monitor pushes it home when the peer is reachable again.
+        WalTicket t = record_hint(peer, key, winner.version);
+        DurableLog::sync(t);
+      }
+    }));
+  }
+}
+
+PersistentStoreDaemon::ScanPage PersistentStoreDaemon::scan_local(
+    const std::string& prefix, const std::string& cursor,
+    std::size_t limit) const {
+  ScanPage page;
+  std::scoped_lock lock(mu_);
+  // Keys sharing a prefix are one contiguous run of the ordered map, so a
+  // page is O(limit + tombstones skipped): start at the later of the
+  // prefix run and the cursor, stop at the first non-matching key.
+  auto it = (cursor.empty() || cursor < prefix) ? objects_.lower_bound(prefix)
+                                                : objects_.upper_bound(cursor);
+  for (; it != objects_.end(); ++it) {
+    if (!util::starts_with(it->first, prefix)) break;
+    if (page.keys.size() >= limit) {
+      obs_scan_pages_->inc();
+      return page;  // more remain past page.next: done stays false
+    }
+    page.next = it->first;  // advances over tombstones too
+    if (!it->second.deleted) page.keys.push_back(it->first);
+  }
+  page.done = true;
+  obs_scan_pages_->inc();
+  return page;
+}
+
+std::string PersistentStoreDaemon::encode_scan_cursor(
+    const std::vector<PeerCursor>& entries) {
+  std::vector<std::string> packed;
+  packed.reserve(entries.size());
+  for (const PeerCursor& e : entries)
+    packed.push_back(daemon::wire::pack_batch(
+        {e.addr.to_string(), e.exhausted ? "e" : "a", e.last}));
+  return daemon::wire::pack_batch(packed);
+}
+
+std::optional<std::vector<PersistentStoreDaemon::PeerCursor>>
+PersistentStoreDaemon::parse_scan_cursor(const std::string& blob) {
+  auto outer = daemon::wire::unpack_batch(blob);
+  if (!outer || outer->empty()) return std::nullopt;
+  std::vector<PeerCursor> entries;
+  entries.reserve(outer->size());
+  for (const std::string& packed : *outer) {
+    auto fields = daemon::wire::unpack_batch(packed);
+    if (!fields || fields->size() != 3) return std::nullopt;
+    auto addr = net::Address::parse((*fields)[0]);
+    if (!addr || ((*fields)[1] != "a" && (*fields)[1] != "e"))
+      return std::nullopt;
+    entries.push_back(PeerCursor{*addr, (*fields)[1] == "e", (*fields)[2]});
+  }
+  return entries;
+}
+
+// Cluster scan page: each shard serves one local page in parallel (self
+// answered without an RPC), the coordinator merges them in order and only
+// emits keys at or below the lowest point every still-active shard has
+// been scanned to (the "barrier"), so no key can later arrive behind the
+// emission front. The cursor blob records, per peer, where to resume —
+// which makes the cursor resumable through any coordinator. Unreachable
+// peers are dropped from the remainder of the scan, best effort, matching
+// the storeList contract.
+util::Result<PersistentStoreDaemon::ClusterPage>
+PersistentStoreDaemon::scan_cluster(const std::string& prefix,
+                                    const std::string& cursor_blob,
+                                    std::size_t limit) {
+  const net::Address self = address();
+  std::vector<PeerCursor> entries;
+  net::TaskGuard guard;
+  if (cursor_blob.empty()) {
+    std::scoped_lock lock(mu_);
+    entries.push_back(PeerCursor{self, false, ""});
+    for (const net::Address& peer : peers_)
+      entries.push_back(PeerCursor{peer, false, ""});
+    guard = read_tasks_;
+  } else {
+    auto parsed = parse_scan_cursor(cursor_blob);
+    if (!parsed)
+      return util::Error{util::Errc::semantic_error, "malformed scan cursor"};
+    entries = std::move(*parsed);
+    std::scoped_lock lock(mu_);
+    guard = read_tasks_;
+  }
+
+  struct Slot {
+    bool finished = false;
+    bool ok = false;
+    ScanPage page;
+  };
+  struct Gather {
+    std::mutex mu;
+    std::condition_variable cv;
+    int outstanding = 0;
+    std::vector<Slot> slots;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->slots.resize(entries.size());
+
+  const auto timeout = options_.replicate_timeout;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].exhausted || entries[i].addr == self) continue;
+    ++gather->outstanding;
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const PeerCursor& e = entries[i];
+    Slot& slot = gather->slots[i];
+    if (e.exhausted) {
+      slot.finished = slot.ok = true;
+      slot.page.done = true;
+      continue;
+    }
+    if (e.addr == self) {
+      slot.finished = slot.ok = true;
+      slot.page = scan_local(prefix, e.last, limit);
+      continue;
+    }
+    env().reactor().post_blocking(guard.wrap([this, gather, i, e, prefix,
+                                              limit, timeout] {
+      CmdLine sub("storeScan");
+      sub.arg("prefix", prefix);
+      sub.arg("cursor", e.last);
+      sub.arg("limit", static_cast<std::int64_t>(limit));
+      sub.arg("scope", Word{"local"});
+      auto reply = control_client().call(
+          e.addr, sub, daemon::CallOptions{.timeout = timeout, .retries = 0});
+      Slot slot;
+      slot.finished = true;
+      if (reply.ok() && cmdlang::is_ok(reply.value())) {
+        slot.ok = true;
+        if (auto vec = reply->get_vector("keys"))
+          for (const auto& elem : vec->elements)
+            if (elem.is_string() || elem.is_word())
+              slot.page.keys.push_back(elem.as_text());
+        slot.page.next = reply->get_text("next");
+        slot.page.done = reply->get_text("done") == "yes";
+      }
+      std::scoped_lock lock(gather->mu);
+      gather->slots[i] = std::move(slot);
+      if (--gather->outstanding == 0) gather->cv.notify_all();
+    }));
+  }
+
+  std::vector<Slot> slots;
+  {
+    std::unique_lock lk(gather->mu);
+    gather->cv.wait_until(
+        lk, steady_clock::now() + timeout + std::chrono::milliseconds(200),
+        [&] { return gather->outstanding == 0; });
+    slots = gather->slots;
+  }
+
+  // Merge in order. A shard whose page is not done may hold further keys
+  // just past what it sent, so nothing above the lowest such resume point
+  // may be emitted yet.
+  std::set<std::string> merged;
+  std::optional<std::string> barrier;
+  for (const Slot& s : slots) {
+    if (!s.ok) continue;
+    merged.insert(s.page.keys.begin(), s.page.keys.end());
+    if (!s.page.done && (!barrier || s.page.next < *barrier))
+      barrier = s.page.next;
+  }
+
+  ClusterPage out;
+  for (const std::string& k : merged) {
+    if (barrier && k > *barrier) break;
+    if (out.keys.size() >= limit) break;
+    out.keys.push_back(k);
+  }
+
+  const std::string front = out.keys.empty() ? "" : out.keys.back();
+  bool all_done = true;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    PeerCursor& e = entries[i];
+    if (e.exhausted) continue;
+    const Slot& s = slots[i];
+    if (!s.ok || !s.finished) {
+      e.exhausted = true;  // unreachable: dropped for the rest of the scan
+      continue;
+    }
+    if (!out.keys.empty()) {
+      if (s.page.done &&
+          (s.page.keys.empty() || s.page.keys.back() <= front)) {
+        e.exhausted = true;
+      } else {
+        // Anything this shard sent above the emission front is refetched
+        // next page — bounded, duplicate-free waste.
+        e.last = front;
+        all_done = false;
+      }
+    } else {
+      // Nothing emitted this round: a tombstone-dense shard may still be
+      // walking. Advance it past its examined run; shards holding keys
+      // above the barrier keep their cursor and re-send next round.
+      if (s.page.done && s.page.keys.empty()) {
+        e.exhausted = true;
+      } else {
+        if (!s.page.done) e.last = s.page.next;
+        all_done = false;
+      }
+    }
+  }
+
+  out.done = all_done;
+  out.next = all_done ? std::string() : encode_scan_cursor(entries);
+  return out;
 }
 
 std::size_t PersistentStoreDaemon::object_count() const {

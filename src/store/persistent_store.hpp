@@ -44,8 +44,11 @@
 // Command set (docs/commands.md is the cross-checked reference):
 //   storePut key= data=<hex>;          -> ok version= acks=
 //   storeGet key= scope=?;             -> ok data=<hex> version=
+//   storeGetDigest key=;               -> ok version= deleted=   (no data)
 //   storeDelete key=;                  -> ok version= acks=
-//   storeList prefix=? scope=?;        -> ok keys={...}
+//   storeScan prefix=? cursor=? limit=? scope=?;
+//                                      -> ok keys={...} next= done=
+//   storeList prefix=? scope=?;        -> ok keys={...} (shim over storeScan)
 //   storeCount;                        -> ok count=        (this replica)
 //   storeDigest;                       -> ok entries={key|version|flag ...}
 //   storeDigestTree nodes=;            -> ok depth= leaves= hashes={id|hash}
@@ -62,6 +65,7 @@
 
 #include "daemon/daemon.hpp"
 #include "io/sim_disk.hpp"
+#include "net/reactor.hpp"
 #include "store/batch.hpp"
 #include "store/merkle.hpp"
 #include "store/ring.hpp"
@@ -105,6 +109,23 @@ struct StoreOptions {
 
   // Merkle-tree anti-entropy (false: full storeDigest scan — ablation).
   bool merkle_sync = true;
+
+  // Digest reads: a cluster-scope storeGet fetches one full value plus
+  // version digests (storeGetDigest) from the other preference-list
+  // replicas, all in parallel on the pipelined channel. false restores the
+  // legacy serial full-value quorum loop (the E20 ablation baseline).
+  bool digest_reads = true;
+  // Read repair: a replica observed stale or absent during a read gets an
+  // async storeReplicate of the winning record on the ops pool, so hot
+  // keys converge without waiting for Merkle anti-entropy.
+  bool read_repair = true;
+  // storeScan page size: the default when the caller omits limit=, and the
+  // hard per-page cap any request is clamped to.
+  int scan_limit = 256;
+  int scan_limit_max = 4096;
+  // storeList compatibility shim: keys per reply cap (the shim pages
+  // through storeScan and stops here, flagging the reply truncated=yes).
+  int list_max_keys = 100000;
 
   // Local durability. When a disk is attached every applied record is
   // WAL-logged (CRC-framed, group-commit fsynced before the write acks),
@@ -185,12 +206,51 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
   void shutdown_runtime(bool flush);
   void maybe_compact();
 
+  // One page of an ordered prefix scan.
+  struct ScanPage {
+    std::vector<std::string> keys;  // ascending, live keys only
+    // Resume point when !done: the last key examined (tombstones included,
+    // so a tombstone-dense page still advances).
+    std::string next;
+    bool done = false;
+  };
+  // Cluster-scope scan state: where the merge stands per peer.
+  struct PeerCursor {
+    net::Address addr;
+    bool exhausted = false;
+    std::string last;  // resume after this key
+  };
+  struct ClusterPage {
+    std::vector<std::string> keys;
+    std::string next;  // opaque resume blob; empty when done
+    bool done = false;
+  };
+
   // Coordinates one write: local apply (when owner) + preference-list
   // fan-out + sloppy-quorum fallback with hinted handoff.
   WriteOutcome coordinate_write(const std::string& key,
                                 const ObjectRecord& record);
   // Cluster-scope read gathering up to R copies; newest version wins.
+  // Dispatches to the parallel digest path or the legacy serial loop.
   cmdlang::CmdLine coordinate_read(const std::string& key);
+  cmdlang::CmdLine coordinate_read_digest(const std::string& key);
+  cmdlang::CmdLine coordinate_read_serial(const std::string& key);
+  // Pushes the winning record to replicas observed stale/absent during a
+  // read — async on the ops pool, off the reply path.
+  void schedule_read_repair(const std::string& key, const ObjectRecord& winner,
+                            std::vector<net::Address> stale);
+  // One ordered page of this replica's live keys under `prefix`, resuming
+  // strictly after `cursor`.
+  ScanPage scan_local(const std::string& prefix, const std::string& cursor,
+                      std::size_t limit) const;
+  // Per-peer cursor merge over every shard's local pages (parallel
+  // fan-out; self answers without an RPC).
+  util::Result<ClusterPage> scan_cluster(const std::string& prefix,
+                                         const std::string& cursor_blob,
+                                         std::size_t limit);
+  static std::string encode_scan_cursor(const std::vector<PeerCursor>& entries);
+  static std::optional<std::vector<PeerCursor>> parse_scan_cursor(
+      const std::string& blob);
 
   bool owns(const std::string& key) const;
   WalTicket record_hint(const net::Address& intended, const std::string& key,
@@ -221,6 +281,10 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
   std::map<net::Address, std::map<std::string, std::uint64_t>> hints_;
   std::shared_ptr<ReplicationBatcher> batcher_;  // swapped per start
   std::shared_ptr<DurableLog> dlog_;  // durable mode only; swapped per start
+  // Revoked in shutdown_runtime so in-flight read fan-out / read-repair
+  // tasks on the ops pool can never touch a dead daemon. Re-armed (fresh
+  // guard) each on_start.
+  net::TaskGuard read_tasks_;
   // Cumulative per-replica durability stats (storeWalStats; the obs
   // counters aggregate across the whole deployment).
   std::uint64_t recoveries_ = 0;
@@ -240,6 +304,11 @@ class PersistentStoreDaemon : public daemon::ServiceDaemon {
   obs::Counter* obs_tree_rpcs_;
   obs::Counter* obs_bucket_rpcs_;
   obs::Counter* obs_sync_fetched_;
+  obs::Counter* obs_digest_reads_;
+  obs::Counter* obs_digest_mismatches_;
+  obs::Counter* obs_read_repairs_;
+  obs::Counter* obs_read_unavailable_;
+  obs::Counter* obs_scan_pages_;
   obs::Counter* obs_wal_appends_;
   obs::Counter* obs_wal_fsyncs_;
   obs::Counter* obs_wal_torn_;

@@ -90,25 +90,60 @@ util::Status StoreClient::remove(const std::string& key) {
 
 util::Result<std::vector<std::string>> StoreClient::list(
     const std::string& prefix) {
-  CmdLine cmd("storeList");
-  cmd.arg("prefix", prefix);
-  // A prefix spans ring arcs, so any replica works as the aggregation
-  // coordinator; plain failover order.
-  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+  // Drain the storeScan pager rather than asking for one giant storeList
+  // reply: every RPC stays bounded by the page limit, so the aggregate
+  // scales with namespace size instead of racing a whole-namespace reply
+  // against the call timeout — and a replica lost mid-list just fails the
+  // next page over to a peer (the cursor is coordinator-independent).
+  std::vector<std::string> keys;
+  StoreScanner pager = scan(prefix, 256);
+  while (!pager.done()) {
+    auto page = pager.next_page();
+    if (!page.ok()) return page.error();
+    keys.insert(keys.end(), std::make_move_iterator(page->begin()),
+                std::make_move_iterator(page->end()));
+  }
+  return keys;
+}
+
+StoreScanner StoreClient::scan(const std::string& prefix, int limit) {
+  return StoreScanner(this, prefix, std::max(1, limit));
+}
+
+util::Result<std::vector<std::string>> StoreScanner::next_page() {
+  if (done_) return std::vector<std::string>{};
+  CmdLine cmd("storeScan");
+  cmd.arg("prefix", prefix_);
+  cmd.arg("cursor", cursor_);
+  cmd.arg("limit", static_cast<std::int64_t>(limit_));
+  util::Error last{util::Errc::unavailable, "no replica reachable"};
+  const std::size_t n = client_->replicas_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Any replica coordinates a scan page; the cursor itself records where
+    // each shard stands, so failing over mid-scan neither skips nor
+    // repeats keys.
     const net::Address& replica =
-        replicas_[(preferred_ + i) % replicas_.size()];
-    auto reply = client_.call(
+        client_->replicas_[(client_->preferred_ + i) % n];
+    auto reply = client_->client_.call(
         replica, cmd,
         daemon::CallOptions{.timeout = std::chrono::milliseconds(800)});
-    if (!reply.ok() || !cmdlang::is_ok(reply.value())) continue;
+    if (!reply.ok()) {
+      last = reply.error();
+      continue;
+    }
+    if (!cmdlang::is_ok(reply.value())) {
+      last = cmdlang::reply_error(reply.value());
+      continue;
+    }
     std::vector<std::string> keys;
-    if (auto vec = reply->get_vector("keys")) {
+    if (auto vec = reply->get_vector("keys"))
       for (const auto& elem : vec->elements)
         if (elem.is_string() || elem.is_word()) keys.push_back(elem.as_text());
-    }
+    cursor_ = reply->get_text("next");
+    done_ = reply->get_text("done") == "yes" || cursor_.empty();
     return keys;
   }
-  return util::Error{util::Errc::unavailable, "no replica reachable"};
+  return last;
 }
 
 util::Status StoreClient::save_state(const std::string& service,

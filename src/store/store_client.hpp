@@ -19,6 +19,32 @@
 
 namespace ace::store {
 
+class StoreClient;
+
+// Iterator-style pager over the cluster's ordered key space (storeScan).
+// Each next_page() returns one ascending page of keys; done() turns true
+// once the final page has been fetched. The resume cursor is opaque and
+// names, per shard, where the merge stands — so a pager survives
+// coordinator failover mid-scan (any replica can resume it).
+class StoreScanner {
+ public:
+  // One page, at most `limit` keys, strictly after everything already
+  // returned. An empty page with done() true is the end marker.
+  util::Result<std::vector<std::string>> next_page();
+  bool done() const { return done_; }
+
+ private:
+  friend class StoreClient;
+  StoreScanner(StoreClient* client, std::string prefix, int limit)
+      : client_(client), prefix_(std::move(prefix)), limit_(limit) {}
+
+  StoreClient* client_;
+  std::string prefix_;
+  int limit_;
+  std::string cursor_;
+  bool done_ = false;
+};
+
 class StoreClient {
  public:
   // `replication` must match the cluster's StoreOptions.replication for
@@ -30,7 +56,15 @@ class StoreClient {
   util::Status put(const std::string& key, const util::Bytes& data);
   util::Result<util::Bytes> get(const std::string& key);
   util::Status remove(const std::string& key);
+  // Full ascending key listing, built by draining the scan() pager — every
+  // wire reply stays page-sized, so this is safe at any namespace size
+  // (the result vector still holds the whole listing; iterate with scan()
+  // when even that is too big).
   util::Result<std::vector<std::string>> list(const std::string& prefix);
+  // Paginated ordered scan; prefer this over list() when the namespace
+  // should be streamed instead of materialized (every reply is bounded by
+  // `limit`).
+  StoreScanner scan(const std::string& prefix = "", int limit = 256);
 
   // Checkpoint helpers for robust applications.
   util::Status save_state(const std::string& service, const std::string& key,
@@ -45,6 +79,8 @@ class StoreClient {
   const std::vector<net::Address>& replicas() const { return replicas_; }
 
  private:
+  friend class StoreScanner;
+
   // The key's owners (rotated by `preferred_`) followed by every other
   // replica — the failover order for one request.
   std::vector<net::Address> route(const std::string& key) const;

@@ -185,13 +185,58 @@ std::uint32_t crc32(BytesView data) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+namespace {
+
+// 256 precomputed two-character cells: kHexPairs[b] is the hex spelling of
+// byte b, written out with a single 2-byte copy per input byte.
+const std::array<std::array<char, 2>, 256> kHexPairs = [] {
+  const char* digits = "0123456789abcdef";
+  std::array<std::array<char, 2>, 256> t{};
+  for (int b = 0; b < 256; ++b) {
+    t[static_cast<std::size_t>(b)][0] = digits[b >> 4];
+    t[static_cast<std::size_t>(b)][1] = digits[b & 0xf];
+  }
+  return t;
+}();
+
+// Char -> nibble value, or -1 for anything that is not a hex digit.
+const std::array<std::int8_t, 256> kNibbles = [] {
+  std::array<std::int8_t, 256> t{};
+  t.fill(-1);
+  for (int c = '0'; c <= '9'; ++c) t[static_cast<std::size_t>(c)] =
+      static_cast<std::int8_t>(c - '0');
+  for (int c = 'a'; c <= 'f'; ++c) t[static_cast<std::size_t>(c)] =
+      static_cast<std::int8_t>(c - 'a' + 10);
+  for (int c = 'A'; c <= 'F'; ++c) t[static_cast<std::size_t>(c)] =
+      static_cast<std::int8_t>(c - 'A' + 10);
+  return t;
+}();
+
+}  // namespace
+
 std::string hex_encode(const Bytes& b) {
-  static const char* kHex = "0123456789abcdef";
   std::string out;
-  out.reserve(b.size() * 2);
+  out.resize(b.size() * 2);
+  char* dst = out.data();
   for (std::uint8_t c : b) {
-    out.push_back(kHex[c >> 4]);
-    out.push_back(kHex[c & 0xf]);
+    const auto& pair = kHexPairs[c];
+    dst[0] = pair[0];
+    dst[1] = pair[1];
+    dst += 2;
+  }
+  return out;
+}
+
+Bytes hex_decode(std::string_view hex) {
+  Bytes out;
+  if (hex.size() % 2 != 0) return out;
+  out.resize(hex.size() / 2);
+  std::uint8_t* dst = out.data();
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = kNibbles[static_cast<std::uint8_t>(hex[i])];
+    const int lo = kNibbles[static_cast<std::uint8_t>(hex[i + 1])];
+    if ((hi | lo) < 0) return {};
+    *dst++ = static_cast<std::uint8_t>(hi << 4 | lo);
   }
   return out;
 }

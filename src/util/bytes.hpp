@@ -155,7 +155,13 @@ std::string to_string(BytesView b);
 // Non-owning text view over a byte buffer (copy-free frame decode).
 std::string_view to_string_view(const Bytes& b);
 std::string_view to_string_view(BytesView b);
+// Table-driven hex codec. Store values cross the wire hex-encoded twice
+// per read, so these are hot: encode emits both nibbles of each byte with
+// one 2-char table lookup; decode maps each input char through a 256-entry
+// nibble table (no branching per character). hex_decode returns empty on
+// odd length or any non-hex character.
 std::string hex_encode(const Bytes& b);
+Bytes hex_decode(std::string_view hex);
 
 // CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over the view. Used to frame
 // WAL records and seal snapshot files so torn or bit-rotted bytes are

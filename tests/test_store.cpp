@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 
 #include "ace_test_env.hpp"
 #include "chaos/chaos.hpp"
@@ -393,6 +394,112 @@ TEST_F(ShardedStoreTest, ClusterListSpansShards) {
   EXPECT_EQ(keys->size(), 12u);
 }
 
+namespace {
+std::string padded_key(const std::string& prefix, int i) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%03d", i);
+  return prefix + buf;
+}
+}  // namespace
+
+// Paging through storeScan must reproduce exactly what one giant list()
+// reply holds — same keys, same (ascending) order — with every page
+// bounded by the requested limit.
+TEST_F(ShardedStoreTest, ScanPaginationMatchesListSnapshot) {
+  store::StoreClient store(*client_, addresses_);
+  for (int i = 0; i < 120; ++i)
+    ASSERT_TRUE(store.put(padded_key("scan/", i), util::to_bytes("v")).ok());
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(store.put(padded_key("other/", i), util::to_bytes("x")).ok());
+  // Tombstones must be skipped, not emitted.
+  for (int i = 0; i < 120; i += 10)
+    ASSERT_TRUE(store.remove(padded_key("scan/", i)).ok());
+
+  // Snapshot via the one-shot wire storeList (the server-side shim), so
+  // the pager is checked against a single giant reply, not against itself
+  // (StoreClient::list() drains the same pager under the hood).
+  cmdlang::CmdLine list_cmd("storeList");
+  list_cmd.arg("prefix", std::string("scan/"));
+  auto list_reply = client_->call(
+      addresses_[0], list_cmd,
+      daemon::CallOptions{.timeout = std::chrono::seconds(10)});
+  ASSERT_TRUE(list_reply.ok());
+  ASSERT_TRUE(cmdlang::is_ok(list_reply.value()));
+  std::vector<std::string> snapshot_keys;
+  auto vec = list_reply->get_vector("keys");
+  ASSERT_TRUE(vec.has_value());
+  for (const auto& elem : vec->elements) snapshot_keys.push_back(elem.as_text());
+  ASSERT_EQ(snapshot_keys.size(), 108u);
+  ASSERT_TRUE(std::is_sorted(snapshot_keys.begin(), snapshot_keys.end()));
+
+  // The client-side list() (pager drain) must agree with the wire shim.
+  auto drained = store.list("scan/");
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(*drained, snapshot_keys);
+
+  store::StoreScanner scanner = store.scan("scan/", 7);
+  std::vector<std::string> paged;
+  int pages = 0;
+  while (!scanner.done()) {
+    auto page = scanner.next_page();
+    ASSERT_TRUE(page.ok());
+    EXPECT_LE(page->size(), 7u);
+    paged.insert(paged.end(), page->begin(), page->end());
+    ++pages;
+    ASSERT_LT(pages, 1000) << "scan failed to terminate";
+  }
+  EXPECT_GT(pages, 1);
+  EXPECT_EQ(paged, snapshot_keys);
+  EXPECT_GE(deployment_->env.metrics().counter("store.scan_pages").value(),
+            static_cast<std::uint64_t>(pages));
+}
+
+// The scan cursor contract under churn: keys come out strictly ascending
+// with no duplicates, and a key that existed untouched for the whole scan
+// is emitted exactly once — regardless of concurrent puts and deletes
+// around the cursor.
+TEST_F(ShardedStoreTest, ScanCursorStableUnderConcurrentChurn) {
+  store::StoreClient store(*client_, addresses_);
+  for (int i = 0; i < 100; ++i)
+    ASSERT_TRUE(store.put(padded_key("churn/k", i), util::to_bytes("v")).ok());
+
+  store::StoreScanner scanner = store.scan("churn/", 5);
+  std::vector<std::string> emitted;
+  int round = 0;
+  while (!scanner.done()) {
+    auto page = scanner.next_page();
+    ASSERT_TRUE(page.ok());
+    emitted.insert(emitted.end(), page->begin(), page->end());
+    // Churn between pages: new keys ahead of and behind the cursor,
+    // deletes of odd keys ahead, rewrites of keys already scanned.
+    const int i = round++;
+    ASSERT_LT(round, 1000) << "scan failed to terminate";
+    if (i < 40) {
+      ASSERT_TRUE(
+          store.put(padded_key("churn/zz", i), util::to_bytes("new")).ok());
+      ASSERT_TRUE(
+          store.put(padded_key("churn/a", i), util::to_bytes("new")).ok());
+      if (i * 2 + 1 < 100) {
+        ASSERT_TRUE(store.remove(padded_key("churn/k", i * 2 + 1)).ok());
+      }
+      ASSERT_TRUE(
+          store.put(padded_key("churn/k", i * 2), util::to_bytes("w")).ok());
+    }
+  }
+
+  // Strictly ascending — which also means duplicate-free.
+  for (std::size_t i = 1; i < emitted.size(); ++i)
+    ASSERT_LT(emitted[i - 1], emitted[i]) << "at index " << i;
+  // Every key untouched for the scan's whole lifetime shows up exactly
+  // once (even indices are rewritten with the same key, which must not
+  // duplicate or drop them either — count them too).
+  for (int i = 0; i < 100; i += 2)
+    EXPECT_EQ(std::count(emitted.begin(), emitted.end(),
+                         padded_key("churn/k", i)),
+              1)
+        << padded_key("churn/k", i);
+}
+
 // ------------------------------------------- quorums, hints, chaos torture
 
 class QuorumStoreTest : public ::testing::Test {
@@ -581,6 +688,205 @@ TEST_F(QuorumStoreTest, ChaosQuorumTortureNeverLosesAckedWrites) {
     ++checked;
   }
   EXPECT_GT(checked, 0u) << "storm acknowledged no writes";
+  // The R=2 verification reads above all went through the digest fan-out;
+  // the acked-write monotonicity they just proved is the chaos-level
+  // correctness check for the parallel read path.
+  EXPECT_GT(deployment_->env.metrics().counter("store.digest_reads").value(),
+            0u);
+}
+
+// A read that observes a stale replica repairs it in the background: after
+// a partition heals, one strict-quorum read is enough to push the newest
+// version back onto the replica that missed it — without waiting for the
+// anti-entropy pass.
+TEST_F(QuorumStoreTest, DigestReadRepairConvergesStaleReplica) {
+  store::StoreOptions opts;
+  opts.write_quorum = 2;
+  opts.read_quorum = 3;
+  // Park the peer monitor: its first pass runs at boot, then it sleeps for
+  // a minute — so neither hint drain nor anti-entropy can converge the
+  // stale replica during this test. Only read repair can.
+  opts.probe_interval = std::chrono::seconds(60);
+  start_cluster(opts);
+  auto& metrics = deployment_->env.metrics();
+  auto& net = deployment_->env.network();
+
+  cmdlang::CmdLine put1("storePut");
+  put1.arg("key", "rr/k");
+  put1.arg("data", "7631");  // "v1"
+  auto r1 = client_->call(addresses_[0], put1);
+  ASSERT_TRUE(r1.ok() && cmdlang::is_ok(r1.value()));
+
+  // Cut store3 off and write v2 through store1: the W=2 sloppy quorum
+  // succeeds while store3 keeps v1.
+  net.set_partitioned("store3", "store1", true);
+  net.set_partitioned("store3", "store2", true);
+  net.set_partitioned("store3", "app-host", true);
+  cmdlang::CmdLine put2("storePut");
+  put2.arg("key", "rr/k");
+  put2.arg("data", "7632");  // "v2"
+  auto r2 = client_->call(addresses_[0], put2);
+  ASSERT_TRUE(r2.ok() && cmdlang::is_ok(r2.value()));
+  ASSERT_EQ(util::to_string(replicas_[2]->object("rr/k")->data), "v1");
+
+  net.set_partitioned("store3", "store1", false);
+  net.set_partitioned("store3", "store2", false);
+  net.set_partitioned("store3", "app-host", false);
+
+  // An R=3 read via store1 sees store3's stale digest, answers v2, and
+  // schedules the repair.
+  cmdlang::CmdLine get("storeGet");
+  get.arg("key", "rr/k");
+  auto got = client_->call(addresses_[0], get);
+  ASSERT_TRUE(got.ok() && cmdlang::is_ok(got.value()));
+  EXPECT_EQ(got->get_text("data"), "7632");
+  EXPECT_GE(metrics.counter("store.digest_reads").value(), 1u);
+  EXPECT_GE(metrics.counter("store.digest_mismatches").value(), 1u);
+
+  // The replica converges when it applies the repair; the counter ticks a
+  // beat later, when the ack reaches the coordinator's repair task — poll
+  // for both.
+  bool repaired = false;
+  for (int i = 0; i < 600 && !repaired; ++i) {
+    auto obj = replicas_[2]->object("rr/k");
+    repaired = obj && util::to_string(obj->data) == "v2" &&
+               metrics.counter("store.read_repairs").value() >= 1;
+    if (!repaired) std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_TRUE(repaired) << "read repair never converged the stale replica";
+
+  // Round two, with the *coordinator itself* stale: store3 misses v3, then
+  // coordinates the read. Its own copy is outvoted by the remote digests;
+  // the reply must still be v3 and the local copy self-heals inline.
+  net.set_partitioned("store3", "store1", true);
+  net.set_partitioned("store3", "store2", true);
+  cmdlang::CmdLine put3("storePut");
+  put3.arg("key", "rr/k");
+  put3.arg("data", "7633");  // "v3"
+  auto r3 = client_->call(addresses_[0], put3);
+  ASSERT_TRUE(r3.ok() && cmdlang::is_ok(r3.value()));
+  net.set_partitioned("store3", "store1", false);
+  net.set_partitioned("store3", "store2", false);
+
+  auto got3 = client_->call(addresses_[2], get);
+  ASSERT_TRUE(got3.ok() && cmdlang::is_ok(got3.value()));
+  EXPECT_EQ(got3->get_text("data"), "7633");
+  auto self = replicas_[2]->object("rr/k");
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(util::to_string(self->data), "v3");
+}
+
+// With R=3 and a dead owner the read quorum is unreachable: the
+// coordinator must say so (unavailable + counter), never serve a value it
+// could not corroborate.
+TEST_F(QuorumStoreTest, ReadQuorumUnavailableIsSurfaced) {
+  store::StoreOptions opts;
+  opts.read_quorum = 3;
+  start_cluster(opts);
+  store::StoreClient store(*client_, addresses_);
+  ASSERT_TRUE(store.put("q/k", util::to_bytes("v")).ok());
+
+  hosts_[2]->fail();
+  cmdlang::CmdLine get("storeGet");
+  get.arg("key", "q/k");
+  auto reply = client_->call(addresses_[0], get);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(cmdlang::is_error(reply.value()));
+  EXPECT_EQ(cmdlang::reply_error(reply.value()).code,
+            util::Errc::unavailable);
+  EXPECT_GE(
+      deployment_->env.metrics().counter("store.read_unavailable").value(),
+      1u);
+  hosts_[2]->restore();
+}
+
+// Ablation identity: the digest fan-out is an optimization, not a
+// semantics change. The same workload — binary payloads, overwrites,
+// deletes, a stale-replica window — must read back byte-identical with
+// digest reads on and off.
+TEST(StoreDigestAblationTest, DigestReadsReturnIdenticalResults) {
+  struct MiniCluster {
+    explicit MiniCluster(bool digest_reads) {
+      store::StoreOptions opts;
+      opts.write_quorum = 2;
+      opts.read_quorum = 2;
+      opts.digest_reads = digest_reads;
+      opts.probe_interval = std::chrono::seconds(60);
+      env = std::make_unique<testenv::AceTestEnv>();
+      EXPECT_TRUE(env->start().ok());
+      client = env->make_client("app-host", "svc/app");
+      for (int i = 0; i < 3; ++i) {
+        hosts.push_back(std::make_unique<daemon::DaemonHost>(
+            env->env, "store" + std::to_string(i + 1)));
+        daemon::DaemonConfig c;
+        c.name = "store" + std::to_string(i + 1);
+        c.room = "machine-room";
+        c.port = 6000;
+        replicas.push_back(&hosts.back()->add_daemon<store::PersistentStoreDaemon>(
+            c, i + 1, opts));
+      }
+      for (int i = 0; i < 3; ++i) {
+        std::vector<net::Address> peers;
+        for (int j = 0; j < 3; ++j)
+          if (j != i) peers.push_back(replicas[j]->address());
+        replicas[i]->set_peers(peers);
+        EXPECT_TRUE(replicas[i]->start().ok());
+      }
+      for (auto* r : replicas) addresses.push_back(r->address());
+      store = std::make_unique<store::StoreClient>(*client, addresses);
+    }
+
+    // One deterministic workload; returns every read outcome, encoded.
+    std::vector<std::string> run() {
+      util::Bytes all_bytes;
+      for (int i = 0; i < 256; ++i)
+        all_bytes.push_back(static_cast<std::uint8_t>(i));
+      EXPECT_TRUE(store->put("a/bin", all_bytes).ok());
+      EXPECT_TRUE(store->put("a/x", util::to_bytes("first")).ok());
+      EXPECT_TRUE(store->put("a/x", util::to_bytes("second")).ok());
+      EXPECT_TRUE(store->put("a/gone", util::to_bytes("doomed")).ok());
+      EXPECT_TRUE(store->remove("a/gone").ok());
+      // Stale-replica window: store3 misses an overwrite, then the
+      // partition heals and reads must still see the newest value.
+      auto& net = env->env.network();
+      net.set_partitioned("store3", "store1", true);
+      net.set_partitioned("store3", "store2", true);
+      net.set_partitioned("store3", "app-host", true);
+      EXPECT_TRUE(store->put("a/stale", util::to_bytes("newest")).ok());
+      net.set_partitioned("store3", "store1", false);
+      net.set_partitioned("store3", "store2", false);
+      net.set_partitioned("store3", "app-host", false);
+
+      std::vector<std::string> results;
+      for (const std::string key : {"a/bin", "a/x", "a/gone", "a/stale",
+                                    "a/never-written"}) {
+        auto got = store->get(key);
+        results.push_back(got.ok() ? "ok:" + util::hex_encode(got.value())
+                                   : "err:" + got.error().message);
+      }
+      return results;
+    }
+
+    std::unique_ptr<testenv::AceTestEnv> env;
+    std::unique_ptr<daemon::AceClient> client;
+    std::vector<std::unique_ptr<daemon::DaemonHost>> hosts;
+    std::vector<store::PersistentStoreDaemon*> replicas;
+    std::vector<net::Address> addresses;
+    std::unique_ptr<store::StoreClient> store;
+  };
+
+  MiniCluster with_digests(true);
+  MiniCluster without_digests(false);
+  const auto digest_results = with_digests.run();
+  const auto serial_results = without_digests.run();
+  EXPECT_EQ(digest_results, serial_results);
+  EXPECT_GE(
+      with_digests.env->env.metrics().counter("store.digest_reads").value(),
+      1u);
+  EXPECT_EQ(without_digests.env->env.metrics()
+                .counter("store.digest_reads")
+                .value(),
+            0u);
 }
 
 // --------------------------------------------------------------- durability
@@ -617,6 +923,19 @@ TEST(StoreOptionsValidationTest, RejectsContradictoryConfigs) {
   expect_invalid(bad);
   bad = {};
   bad.merkle_depth = 30;  // 2^30 buckets is a typo, not a config
+  expect_invalid(bad);
+  bad = {};
+  bad.scan_limit = 0;  // a page must hold at least one key
+  expect_invalid(bad);
+  bad = {};
+  bad.scan_limit_max = 0;
+  expect_invalid(bad);
+  bad = {};
+  bad.scan_limit = 512;
+  bad.scan_limit_max = 256;  // default page larger than the allowed max
+  expect_invalid(bad);
+  bad = {};
+  bad.list_max_keys = 0;
   expect_invalid(bad);
 }
 

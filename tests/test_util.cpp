@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <thread>
 
 #include "util/bytes.hpp"
@@ -168,6 +169,41 @@ TEST(Bytes, ToStringViewIsCopyFree) {
 TEST(Bytes, HexEncode) {
   EXPECT_EQ(hex_encode({0x00, 0xff, 0x0a}), "00ff0a");
   EXPECT_EQ(hex_encode({}), "");
+}
+
+TEST(Bytes, HexRoundTripAllByteValues) {
+  Bytes all;
+  for (int i = 0; i < 256; ++i) all.push_back(static_cast<std::uint8_t>(i));
+  const std::string hex = hex_encode(all);
+  ASSERT_EQ(hex.size(), 512u);
+  EXPECT_EQ(hex_decode(hex), all);
+  // Both alphabets decode; encode emits lowercase.
+  std::string upper = hex;
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  EXPECT_EQ(hex_decode(upper), all);
+}
+
+TEST(Bytes, HexDecodeRejectsMalformedInput) {
+  EXPECT_TRUE(hex_decode("").empty());
+  EXPECT_TRUE(hex_decode("abc").empty());   // odd length
+  EXPECT_TRUE(hex_decode("zz").empty());    // non-hex character
+  EXPECT_TRUE(hex_decode("0g").empty());    // bad low nibble
+  EXPECT_TRUE(hex_decode("g0").empty());    // bad high nibble
+  EXPECT_TRUE(hex_decode("00 11").empty()); // embedded whitespace
+}
+
+// Microbench-as-test: the table-driven codecs must round-trip 1 MB of
+// pseudo-random bytes intact. (Timing is reported by bench_store E20; here
+// we only pin correctness at wire-realistic sizes.)
+TEST(Bytes, HexRoundTripOneMegabyte) {
+  Rng rng(0xbe5);
+  Bytes blob;
+  blob.reserve(1 << 20);
+  for (int i = 0; i < (1 << 20); ++i)
+    blob.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+  const std::string hex = hex_encode(blob);
+  ASSERT_EQ(hex.size(), blob.size() * 2);
+  EXPECT_EQ(hex_decode(hex), blob);
 }
 
 // -------------------------------------------------------------------- Rng
