@@ -48,9 +48,20 @@ for name in ("asd.registrations", "asd.queries", "asd.query_index_hits",
              "asd.renewals"):
     if counters.get(name, 0) <= 0:
         sys.exit(f"bench-smoke: counter {name!r} missing or zero in {path}")
+# E21 federation: the gossip rounds, cross-room query fan-out, and relay
+# tunnel must all have actually run — a zero here means the federated
+# campus silently degraded to a single-room deployment.
+for name in ("asd.gossip_rounds", "asd.forwarded_queries",
+             "asd.relay_frames"):
+    if counters.get(name, 0) <= 0:
+        sys.exit(f"bench-smoke: counter {name!r} missing or zero in {path} — "
+                 "the federation path never ran")
 print(f"bench-smoke: {path} ok "
       f"({counters['asd.queries']} queries, "
-      f"{counters['asd.query_index_hits']} index hits)")
+      f"{counters['asd.query_index_hits']} index hits, "
+      f"{counters['asd.gossip_rounds']} gossip rounds, "
+      f"{counters['asd.forwarded_queries']} forwarded queries, "
+      f"{counters['asd.relay_frames']} relay frames)")
 EOF
   echo "=== bench-smoke: bench_store --smoke ==="
   (cd "${build_dir}/bench" && rm -f bench_store.metrics.json && ./bench_store --smoke)
@@ -129,6 +140,18 @@ print(f"bench-smoke: {path} ok "
 EOF
 }
 
+# The documentation is machine-checked: docs/commands.md is diffed against
+# the commands each daemon class actually registers, and every markdown
+# cross-link reachable from README.md must resolve (files and anchors).
+# ctest already runs test_docs, but run it here as its own named gate so a
+# doc drift failure is unmistakable in the CI log rather than buried in the
+# suite summary.
+doc_lint() {
+  local build_dir="$1"
+  echo "=== doc-lint: command reference diff + markdown cross-link walk ==="
+  "${build_dir}/tests/test_docs"
+}
+
 # The zero-copy data plane aliases one payload buffer across daemon threads
 # (capture, router fan-out, play/recorder rings). Replay the media suites a
 # few times under TSan so buffer-sharing bugs surface as reported races
@@ -189,6 +212,7 @@ want="${1:-all}"
 case "${want}" in
   release|all)
     run_config "release" build-ci -DCMAKE_BUILD_TYPE=Release
+    doc_lint build-ci
     bench_smoke build-ci
     ;;&
   tsan|all)

@@ -24,6 +24,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::disk_torn_tail: return "disk_torn_tail";
     case FaultKind::disk_fsync_drop: return "disk_fsync_drop";
     case FaultKind::disk_bit_rot: return "disk_bit_rot";
+    case FaultKind::room_partition: return "room_partition";
+    case FaultKind::room_heal: return "room_heal";
   }
   return "?";
 }
@@ -143,6 +145,25 @@ Schedule generate_schedule(std::uint64_t seed, const ScheduleParams& params,
     if (!targets.disks.empty() && params.weight_disk_fault > 0)
       options.push_back({FaultKind::disk_torn_tail, params.weight_disk_fault});
 
+    // Room pairs whose entire cross-link set is idle. A room partition
+    // claims every one of those links, so its heal restores exactly the
+    // severed set and never fights a single-link fault's heal.
+    std::vector<std::pair<std::size_t, std::size_t>> idle_room_pairs;
+    if (params.weight_room_partition > 0) {
+      for (std::size_t i = 0; i < targets.rooms.size(); ++i) {
+        for (std::size_t j = i + 1; j < targets.rooms.size(); ++j) {
+          bool all_free = true;
+          for (const auto& ha : targets.rooms[i].hosts)
+            for (const auto& hb : targets.rooms[j].hosts)
+              if (!busy.link_free(ha, hb, t)) all_free = false;
+          if (all_free) idle_room_pairs.emplace_back(i, j);
+        }
+      }
+      if (!idle_room_pairs.empty())
+        options.push_back(
+            {FaultKind::room_partition, params.weight_room_partition});
+    }
+
     if (options.empty()) {
       t += uniform_ms(params.mean_interval / 2, params.mean_interval * 3 / 2);
       continue;
@@ -230,6 +251,19 @@ Schedule generate_schedule(std::uint64_t seed, const ScheduleParams& params,
         schedule.events.push_back(event);
         break;
       }
+      case FaultKind::room_partition: {
+        const auto& [i, j] =
+            idle_room_pairs[rng.next_below(idle_room_pairs.size())];
+        const auto& ra = targets.rooms[i];
+        const auto& rb = targets.rooms[j];
+        schedule.events.push_back(
+            {t, FaultKind::room_partition, ra.room, rb.room});
+        schedule.events.push_back({t + len, FaultKind::room_heal, ra.room,
+                                   rb.room});
+        for (const auto& ha : ra.hosts)
+          for (const auto& hb : rb.hosts) busy.link[pair_key(ha, hb)] = t + len;
+        break;
+      }
       default:
         break;
     }
@@ -254,6 +288,7 @@ ChaosEngine::ChaosEngine(daemon::Environment& env, Schedule schedule)
   obs_latency_spikes_ = &m.counter("chaos.latency_spikes");
   obs_loss_bursts_ = &m.counter("chaos.loss_bursts");
   obs_disk_faults_ = &m.counter("chaos.disk_faults");
+  obs_room_partitions_ = &m.counter("chaos.room_partitions");
   obs_active_faults_ = &m.gauge("chaos.active_faults");
 }
 
@@ -415,6 +450,27 @@ void ChaosEngine::apply(const FaultEvent& event, AppliedEvent& out) {
         out.applied = it->second->inject_bit_rot();
       if (event.kind != FaultKind::disk_bit_rot) out.applied = true;
       obs_disk_faults_->inc();
+      break;
+    }
+    case FaultKind::room_partition:
+    case FaultKind::room_heal: {
+      const Targets::RoomGroup* ra = nullptr;
+      const Targets::RoomGroup* rb = nullptr;
+      for (const auto& r : schedule_.targets.rooms) {
+        if (r.room == event.a) ra = &r;
+        if (r.room == event.b) rb = &r;
+      }
+      if (ra == nullptr || rb == nullptr) break;
+      const bool down = event.kind == FaultKind::room_partition;
+      for (const auto& ha : ra->hosts)
+        for (const auto& hb : rb->hosts) set_partition(ha, hb, down);
+      if (down) {
+        obs_room_partitions_->inc();
+        obs_active_faults_->add(1);
+      } else {
+        obs_active_faults_->add(-1);
+      }
+      out.applied = true;
       break;
     }
   }

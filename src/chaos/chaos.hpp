@@ -56,6 +56,13 @@ enum class FaultKind {
   disk_torn_tail,   // arm a torn tail for disk `a`'s next power loss
   disk_fsync_drop,  // disk `a` silently drops its next `count` fsyncs
   disk_bit_rot,     // flip one durable bit on disk `a` right now
+  // Inter-room faults (federation experiments): partition every link
+  // between room `a`'s hosts and room `b`'s hosts, leaving intra-room
+  // traffic untouched. Emitted only when Targets.rooms has >= 2 groups and
+  // weight_room_partition > 0, so pre-federation schedules stay
+  // byte-identical.
+  room_partition,   // sever all a-room <-> b-room host links
+  room_heal,        // restore them
 };
 
 const char* to_string(FaultKind kind);
@@ -76,9 +83,19 @@ struct FaultEvent {
 // What the generator may aim at. Hosts carrying infrastructure the
 // experiment wants reliable (e.g. the ASD's machine) are simply omitted.
 struct Targets {
+  // One federated room: the hosts whose links a room_partition severs.
+  // Room hosts need not appear in `hosts` (single-link faults and room
+  // partitions are independently targetable).
+  struct RoomGroup {
+    std::string room;
+    std::vector<std::string> hosts;
+    friend bool operator==(const RoomGroup&, const RoomGroup&) = default;
+  };
+
   std::vector<std::string> services;  // crashable service daemon names
   std::vector<std::string> hosts;     // hosts for link/partition faults
   std::vector<std::string> disks;     // SimDisk names for disk faults
+  std::vector<RoomGroup> rooms;       // room groups for inter-room faults
 };
 
 struct ScheduleParams {
@@ -112,6 +129,10 @@ struct ScheduleParams {
   // 0 by default: enabling them must be explicit, and leaving them off
   // keeps every pre-existing (seed, params) schedule byte-identical.
   int weight_disk_fault = 0;
+  // Inter-room partitions (federation experiments, E21). 0 by default for
+  // the same reason as disk faults: existing (seed, params) schedules must
+  // stay byte-identical unless a run opts in.
+  int weight_room_partition = 0;
   // Magnitudes.
   std::chrono::microseconds spike_latency{5000};
   double burst_loss = 0.5;
@@ -194,6 +215,7 @@ class ChaosEngine {
   obs::Counter* obs_latency_spikes_;
   obs::Counter* obs_loss_bursts_;
   obs::Counter* obs_disk_faults_;
+  obs::Counter* obs_room_partitions_;
   obs::Gauge* obs_active_faults_;
 };
 

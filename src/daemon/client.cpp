@@ -83,18 +83,6 @@ ClientPolicy AceClient::policy() const {
   return policy_;
 }
 
-void AceClient::set_breaker_policy(BreakerPolicy policy) {
-  auto p = this->policy();
-  p.breaker = policy;
-  set_policy(std::move(p));
-}
-
-void AceClient::set_protocol_offer(std::uint8_t version) {
-  auto p = policy();
-  p.protocol_offer = version;
-  set_policy(std::move(p));
-}
-
 void AceClient::sweep_idle_channels() {
   const auto ttl = policy().idle_channel_ttl;
   if (ttl.count() <= 0) return;  // policy changed under the timer

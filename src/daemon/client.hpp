@@ -133,13 +133,6 @@ class AceClient {
   void set_policy(ClientPolicy policy);
   ClientPolicy policy() const;
 
-  // Deprecated piecemeal setters, kept for one release as forwarders onto
-  // set_policy (each rewrites only its slice of the policy).
-  [[deprecated("use set_policy(ClientPolicy) instead")]]
-  void set_breaker_policy(BreakerPolicy policy);
-  [[deprecated("use set_policy(ClientPolicy) instead")]]
-  void set_protocol_offer(std::uint8_t version);
-
   BreakerPolicy breaker_policy() const { return policy().breaker; }
 
   const std::string& principal() const {

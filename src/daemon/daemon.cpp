@@ -1,5 +1,7 @@
 #include "daemon/daemon.hpp"
 
+#include <algorithm>
+
 #include "daemon/host.hpp"
 #include "daemon/lease.hpp"
 #include "daemon/wire.hpp"
@@ -82,6 +84,9 @@ ServiceDaemon::ServiceDaemon(Environment& env, DaemonHost& host,
       obs_cmd_rejected_(&env.metrics().counter("daemon.cmd.rejected")),
       obs_auth_denied_(&env.metrics().counter("daemon.auth.denied")),
       obs_notify_sent_(&env.metrics().counter("daemon.notify.sent")),
+      obs_notify_batches_(&env.metrics().counter("daemon.notify_batches")),
+      obs_notify_batched_events_(
+          &env.metrics().counter("daemon.notify_batched_events")),
       obs_conn_accepted_(&env.metrics().counter("daemon.conn.accepted")),
       obs_datagrams_(&env.metrics().counter("daemon.data.datagrams")),
       obs_control_depth_(&env.metrics().gauge("daemon.queue.control_depth")),
@@ -227,6 +232,40 @@ void ServiceDaemon::register_builtin_commands() {
         reply.arg("entries", cmdlang::string_vector(std::move(entries)));
         return reply;
       });
+
+  // Receiver side of coalesced notification fan-out: each element of
+  // `events` is one serialized notification command (the exact text a
+  // per-event send would have framed), re-dispatched here through the same
+  // validation/authorization path as a wire delivery. concurrent_ok is
+  // load-bearing, not an optimization: dispatch(serialize=true) holds the
+  // non-recursive exec_mu_, so a serialized handler calling execute() on
+  // its own elements would self-deadlock.
+  register_command(
+      CommandSpec("notifyBatch",
+                  "deliver a batch of coalesced notification events")
+          .arg(string_arg("source"))
+          .arg(cmdlang::vector_arg("events", cmdlang::ArgType::vector_string))
+          .concurrent_ok(),
+      [this](const CmdLine& cmd, const CallerInfo& caller) {
+        std::int64_t dispatched = 0, rejected = 0;
+        if (auto events = cmd.get_vector("events")) {
+          for (const auto& elem : events->elements) {
+            auto inner = cmdlang::Parser::parse(elem.as_text());
+            if (!inner.ok()) {
+              ++rejected;
+              continue;
+            }
+            if (cmdlang::is_ok(execute(inner.value(), caller)))
+              ++dispatched;
+            else
+              ++rejected;
+          }
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("dispatched", dispatched);
+        reply.arg("rejected", rejected);
+        return reply;
+      });
 }
 
 // ------------------------------------------------------------------ startup
@@ -286,6 +325,10 @@ util::Status ServiceDaemon::start() {
   // relaunch needs them accepting again (stale leftovers are dropped).
   control_queue_.reopen();
   notify_queue_.reopen();
+  {
+    std::scoped_lock lock(notify_pending_mu_);
+    notify_pending_.clear();
+  }
 
   if (config_.port == 0) config_.port = host_.net_host().ephemeral_port();
   auto listener = host_.net_host().listen(config_.port);
@@ -326,10 +369,10 @@ util::Status ServiceDaemon::start() {
         run_work_item(*item, /*serialize=*/true);
       },
       {.blocking = true});
-  notify_sub_ = net::attach_queue<NotifyJob>(
+  notify_sub_ = net::attach_queue<net::Address>(
       reactor, notify_queue_,
-      [this](std::optional<NotifyJob> job) {
-        if (job) run_notify_job(*job);
+      [this](std::optional<net::Address> dest) {
+        if (dest) run_notify_dest(*dest);
       },
       {.blocking = true});
   if (data_socket_)
@@ -430,6 +473,12 @@ void ServiceDaemon::teardown() {
   control_sub_.stop();
   notify_queue_.close();
   notify_sub_.stop();
+  {
+    // Undelivered events die with the daemon, like frames a dead process
+    // never wrote. (The pump is stopped, so nothing races this clear.)
+    std::scoped_lock lock(notify_pending_mu_);
+    notify_pending_.clear();
+  }
 
   if (control_client_) control_client_->close_all();
   if (notify_client_) notify_client_->close_all();
@@ -722,41 +771,108 @@ void ServiceDaemon::fire_notifications(const CmdLine& cmd) {
   for (const NotificationEntry& e : notifications_) {
     if (e.command != cmd.name()) continue;
     NotifyJob job;
-    job.service = e.service;
     job.method = e.method;
     job.command = cmd.name();
     job.detail = cmd.to_string();
-    notify_queue_.push(std::move(job));
-    obs_notify_depth_->set(static_cast<std::int64_t>(notify_queue_.size()));
+    bool first = false;
+    {
+      std::scoped_lock plock(notify_pending_mu_);
+      auto& pending = notify_pending_[e.service];
+      first = pending.empty();
+      pending.push_back(std::move(job));
+    }
+    // Token per destination, not per event: a destination already in the
+    // queue will pick up this job when its token drains. (If the pump is
+    // mid-drain and has already swapped the backlog out, `pending` is a
+    // fresh empty vector and `first` re-arms the token — no lost events.)
+    if (first) {
+      notify_queue_.push(e.service);
+      obs_notify_depth_->set(static_cast<std::int64_t>(notify_queue_.size()));
+    }
+  }
+}
+
+// Drops a subscriber whose host keeps refusing deliveries. Matches every
+// entry for (dest, command) — the same subscriber may listen with several
+// methods, and they all rode the failed frame.
+void ServiceDaemon::record_notify_failure(const net::Address& dest,
+                                          const std::string& command) {
+  std::scoped_lock lock(notify_mu_);
+  for (auto& e : notifications_) {
+    if (e.service == dest && e.command == command &&
+        ++e.failures >= kMaxNotifyFailures) {
+      std::erase_if(notifications_, [&](const NotificationEntry& x) {
+        return x.service == dest && x.command == command;
+      });
+      break;
+    }
   }
 }
 
 // Runs on the ops pool (send_only may block on connection establishment).
 // Its own pump — not the control pump — so notification fan-out between
-// two daemons that notify each other cannot deadlock.
-void ServiceDaemon::run_notify_job(const NotifyJob& job) {
-  CmdLine notify(job.method);
-  notify.arg("source", config_.name);
-  notify.arg("command", Word{job.command});
-  notify.arg("detail", job.detail);
+// two daemons that notify each other cannot deadlock. Drains the whole
+// backlog for one destination: a single event goes out in the original
+// per-event shape; a pile-up is coalesced into one notifyBatch frame
+// (unless batch_notify is off — the E21d ablation).
+void ServiceDaemon::run_notify_dest(const net::Address& dest) {
+  std::vector<NotifyJob> jobs;
+  {
+    std::scoped_lock lock(notify_pending_mu_);
+    auto it = notify_pending_.find(dest);
+    if (it != notify_pending_.end()) {
+      jobs = std::move(it->second);
+      notify_pending_.erase(it);
+    }
+  }
   obs_notify_depth_->set(static_cast<std::int64_t>(notify_queue_.size()));
-  auto s = notify_client_->send_only(job.service, notify);
-  obs_notify_sent_->inc();
+  if (jobs.empty()) return;
+
+  if (jobs.size() == 1 || !config_.batch_notify) {
+    for (const NotifyJob& job : jobs) {
+      CmdLine notify(job.method);
+      notify.arg("source", config_.name);
+      notify.arg("command", Word{job.command});
+      notify.arg("detail", job.detail);
+      auto s = notify_client_->send_only(dest, notify);
+      obs_notify_sent_->inc();
+      {
+        std::scoped_lock lock(stats_mu_);
+        stats_.notifications_sent++;
+      }
+      if (!s.ok()) record_notify_failure(dest, job.command);
+    }
+    return;
+  }
+
+  std::vector<std::string> events;
+  events.reserve(jobs.size());
+  for (const NotifyJob& job : jobs) {
+    CmdLine notify(job.method);
+    notify.arg("source", config_.name);
+    notify.arg("command", Word{job.command});
+    notify.arg("detail", job.detail);
+    events.push_back(notify.to_string());
+  }
+  CmdLine batch("notifyBatch");
+  batch.arg("source", config_.name);
+  batch.arg("events", cmdlang::string_vector(std::move(events)));
+  auto s = notify_client_->send_only(dest, batch);
+  obs_notify_batches_->inc();
+  obs_notify_batched_events_->inc(jobs.size());
+  obs_notify_sent_->inc(jobs.size());
   {
     std::scoped_lock lock(stats_mu_);
-    stats_.notifications_sent++;
+    stats_.notifications_sent += jobs.size();
   }
   if (!s.ok()) {
-    // Drop chronically unreachable subscribers.
-    std::scoped_lock lock(notify_mu_);
-    for (auto& e : notifications_) {
-      if (e.service == job.service && e.command == job.command &&
-          ++e.failures >= kMaxNotifyFailures) {
-        std::erase_if(notifications_, [&](const NotificationEntry& x) {
-          return x.service == job.service && x.command == job.command;
-        });
-        break;
-      }
+    // The frame carried every command; charge each distinct one once.
+    std::vector<std::string> seen;
+    for (const NotifyJob& job : jobs) {
+      if (std::find(seen.begin(), seen.end(), job.command) != seen.end())
+        continue;
+      seen.push_back(job.command);
+      record_notify_failure(dest, job.command);
     }
   }
 }

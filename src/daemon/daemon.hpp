@@ -76,6 +76,12 @@ struct DaemonConfig {
   // (kept for the E15c renewal-traffic ablation).
   bool batch_renew = true;
 
+  // true: notification fan-out coalesces every event queued for the same
+  // destination into one `notifyBatch` RPC (the renewBatch trick applied
+  // to the notify pump — one wire frame per subscriber host per drain, not
+  // per event). false restores per-event sends (the E21d ablation).
+  bool batch_notify = true;
+
   // When true, every command is checked through KeyNote (Fig 10) before
   // execution, with credentials fetched from the Authorization Database.
   bool enforce_authorization = false;
@@ -200,7 +206,6 @@ class ServiceDaemon {
   };
 
   struct NotifyJob {
-    net::Address service;
     std::string method;
     std::string command;  // the command that fired
     std::string detail;   // serialized original command
@@ -236,7 +241,9 @@ class ServiceDaemon {
   void handle_frame(const std::shared_ptr<ChannelActor>& actor,
                     std::optional<net::Frame> frame);
   void run_work_item(const WorkItem& item, bool serialize);
-  void run_notify_job(const NotifyJob& job);
+  void run_notify_dest(const net::Address& dest);
+  void record_notify_failure(const net::Address& dest,
+                             const std::string& command);
   void lease_loop(std::stop_token st);
   void teardown();
 
@@ -268,7 +275,15 @@ class ServiceDaemon {
   std::unique_ptr<AceClient> notify_client_;
   std::unique_ptr<AceClient> infra_client_;  // lease renewal + registration
 
-  util::MessageQueue<NotifyJob> notify_queue_;
+  // Notify pump: the queue carries destination *tokens*, the events
+  // themselves accumulate per destination in notify_pending_. A token is
+  // pushed only on a destination's empty→non-empty transition, so however
+  // many events pile up between drains, each destination is visited once
+  // and its whole backlog rides one notifyBatch frame (config_.batch_notify
+  // permitting).
+  util::MessageQueue<net::Address> notify_queue_;
+  std::mutex notify_pending_mu_;
+  std::map<net::Address, std::vector<NotifyJob>> notify_pending_;
   util::MessageQueue<WorkItem> control_queue_;
   std::mutex exec_mu_;  // serializes dispatch (control pump + local execute)
 
@@ -303,6 +318,8 @@ class ServiceDaemon {
   obs::Counter* obs_cmd_rejected_;
   obs::Counter* obs_auth_denied_;
   obs::Counter* obs_notify_sent_;
+  obs::Counter* obs_notify_batches_;         // daemon.notify_batches
+  obs::Counter* obs_notify_batched_events_;  // daemon.notify_batched_events
   obs::Counter* obs_conn_accepted_;
   obs::Counter* obs_datagrams_;
   obs::Gauge* obs_control_depth_;

@@ -1,7 +1,9 @@
 #include "services/asd.hpp"
 
 #include <algorithm>
+#include <iterator>
 
+#include "daemon/host.hpp"
 #include "util/strings.hpp"
 
 namespace ace::services {
@@ -47,9 +49,22 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
       obs_queries_(&env.metrics().counter("asd.queries")),
       obs_index_hits_(&env.metrics().counter("asd.query_index_hits")),
       obs_scans_(&env.metrics().counter("asd.query_scans")),
+      obs_forwarded_(&env.metrics().counter("asd.forwarded_queries")),
+      obs_forward_failures_(&env.metrics().counter("asd.forward_failures")),
+      obs_forward_cache_hits_(
+          &env.metrics().counter("asd.forward_cache_hits")),
+      obs_forward_cache_misses_(
+          &env.metrics().counter("asd.forward_cache_misses")),
       obs_live_count_(&env.metrics().gauge("asd.live_count")),
       index_(options.use_index,
              AsdIndexObs{obs_index_hits_, obs_scans_, obs_live_count_}) {
+  if (options_.federation.enabled) {
+    gossip_ = std::make_unique<GossipAgent>(env, ServiceDaemon::config().room,
+                                            options_.federation);
+    gossip_->on_room_changed = [this](const std::string& room) {
+      invalidate_forward_cache(room);
+    };
+  }
   // Every directory command runs concurrently against the synchronized
   // index: readers share the index lock instead of convoying behind the
   // daemon's control thread (see asd_index.hpp).
@@ -76,6 +91,7 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
         auto granted = r.lease;
         index_.upsert(std::move(r));
         obs_registrations_->inc();
+        registry_mutated();
         CmdLine reply = cmdlang::make_ok();
         reply.arg("lease", static_cast<std::int64_t>(granted.count()));
         return reply;
@@ -137,6 +153,7 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
       [this](const CmdLine& cmd, const CallerInfo&) {
         index_.erase(cmd.get_text("name"));
         obs_deregistrations_->inc();
+        registry_mutated();
         return cmdlang::make_ok();
       });
 
@@ -168,17 +185,30 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
           .arg(string_arg("name").optional_arg())
           .arg(string_arg("class").optional_arg())
           .arg(string_arg("room").optional_arg())
+          .arg(word_arg("scope").optional_arg())
           .concurrent_ok(),
       [this](const CmdLine& cmd, const CallerInfo&) {
         obs_queries_->inc();
-        auto entries = index_.query(cmd.get_text("name", "*"),
-                                    cmd.get_text("class", "*"),
-                                    cmd.get_text("room", "*"),
+        const std::string name_glob = cmd.get_text("name", "*");
+        const std::string class_glob = cmd.get_text("class", "*");
+        const std::string room_glob = cmd.get_text("room", "*");
+        auto entries = index_.query(name_glob, class_glob, room_glob,
                                     std::chrono::steady_clock::now());
         std::vector<std::string> encoded;
         encoded.reserve(entries.size());
         for (const Registration& r : entries)
           encoded.push_back(encode_entry(r));
+        // Federation: a query whose room constraint is non-local (or
+        // unconstrained) also fans out to live peer rooms — unless the
+        // sender pinned scope=local, which is both the client's opt-out
+        // and the loop guard on forwarded sub-queries.
+        if (gossip_ && options_.federation.forward_queries &&
+            cmd.get_text("scope", "") != "local") {
+          auto remote = forward_query(name_glob, class_glob, room_glob);
+          encoded.insert(encoded.end(),
+                         std::make_move_iterator(remote.begin()),
+                         std::make_move_iterator(remote.end()));
+        }
         CmdLine reply = cmdlang::make_ok();
         reply.arg("services", cmdlang::string_vector(std::move(encoded)));
         return reply;
@@ -203,9 +233,54 @@ AsdDaemon::AsdDaemon(daemon::Environment& env, daemon::DaemonHost& host,
           .concurrent_ok(),
       [this](const CmdLine& cmd, const CallerInfo&) {
         if (index_.erase_expired(cmd.get_text("name"),
-                                 std::chrono::steady_clock::now()))
+                                 std::chrono::steady_clock::now())) {
           obs_expirations_->inc();
+          registry_mutated();
+        }
         return cmdlang::make_ok();
+      });
+
+  // Federation commands. Registered unconditionally so the machine-checked
+  // command reference (docs/commands.md + test_docs) holds for every
+  // AsdDaemon; without federation they answer with a clean error.
+  register_command(
+      CommandSpec("gossipSync",
+                  "anti-entropy membership exchange between room ASDs")
+          .arg(word_arg("from"))
+          .arg(vector_arg("view", ArgType::vector_string))
+          .concurrent_ok(),
+      [this](const CmdLine& cmd, const CallerInfo&) {
+        if (!gossip_)
+          return cmdlang::make_error(util::Errc::invalid,
+                                     "federation is disabled here");
+        std::vector<std::string> entries;
+        if (auto vec = cmd.get_vector("view")) {
+          entries.reserve(vec->elements.size());
+          for (const auto& elem : vec->elements)
+            if (elem.is_string() || elem.is_word())
+              entries.push_back(elem.as_text());
+        }
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("view", cmdlang::string_vector(gossip_->handle_sync(entries)));
+        return reply;
+      });
+
+  register_command(
+      CommandSpec("gossipView",
+                  "this directory's federation membership view")
+          .concurrent_ok(),
+      [this](const CmdLine&, const CallerInfo&) {
+        if (!gossip_)
+          return cmdlang::make_error(util::Errc::invalid,
+                                     "federation is disabled here");
+        std::vector<std::string> rooms;
+        for (const RoomView& v : gossip_->view())
+          rooms.push_back(GossipAgent::encode_entry(v) + "|" +
+                          services::to_string(v.state));
+        CmdLine reply = cmdlang::make_ok();
+        reply.arg("room", Word{gossip_->self_room()});
+        reply.arg("rooms", cmdlang::string_vector(std::move(rooms)));
+        return reply;
       });
 }
 
@@ -214,14 +289,182 @@ std::string AsdDaemon::encode_entry(const Registration& r) {
          "|" + r.service_class;
 }
 
+void AsdDaemon::registry_mutated() {
+  // Peers bound their scoped caches to our (epoch, version); advancing it
+  // through gossip is what invalidates them.
+  if (gossip_) gossip_->bump_version();
+}
+
+void AsdDaemon::invalidate_forward_cache(const std::string& room) {
+  const std::string prefix = room + "\x1f";
+  std::scoped_lock lock(forward_mu_);
+  std::erase_if(forward_cache_, [&](const auto& kv) {
+    return kv.first.starts_with(prefix);
+  });
+}
+
+std::vector<std::string> AsdDaemon::forward_query(
+    const std::string& name_glob, const std::string& class_glob,
+    const std::string& room_glob) {
+  auto targets = gossip_->forward_targets(room_glob);
+  if (targets.empty()) return {};
+
+  auto now = std::chrono::steady_clock::now();
+  std::vector<std::string> merged;
+  std::vector<RoomView> missing;
+  std::shared_ptr<daemon::AceClient> client;
+  {
+    std::scoped_lock lock(forward_mu_);
+    client = fed_client_;
+    for (const RoomView& t : targets) {
+      const std::string key =
+          t.room + "\x1f" + name_glob + "\x1f" + class_glob;
+      auto it = forward_cache_.find(key);
+      // A cached entry serves only while the TTL holds AND the room's
+      // gossip freshness still matches its fill-time pair: an epoch bump
+      // (restart, registry gone) or version bump (registry mutated)
+      // invalidates it even inside the TTL.
+      if (it != forward_cache_.end() && it->second.valid_until > now &&
+          it->second.epoch == t.epoch && it->second.version == t.version) {
+        obs_forward_cache_hits_->inc();
+        merged.insert(merged.end(), it->second.encoded.begin(),
+                      it->second.encoded.end());
+        continue;
+      }
+      if (it != forward_cache_.end()) forward_cache_.erase(it);
+      obs_forward_cache_misses_->inc();
+      missing.push_back(t);
+    }
+  }
+  if (missing.empty() || !client) return merged;
+
+  // Fan the misses out in parallel on the ops pool. The tasks are
+  // self-contained — they touch only the shared gather state and their own
+  // client reference — so a task that outlives our bounded wait (or the
+  // daemon's stop) writes into an abandoned gather and harmlessly expires.
+  struct Gather {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t outstanding = 0;
+    struct SubResult {
+      bool ok = false;
+      std::vector<std::string> encoded;
+    };
+    std::vector<SubResult> results;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->outstanding = missing.size();
+  gather->results.resize(missing.size());
+  const auto timeout = options_.federation.forward_timeout;
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    env().reactor().post_blocking([client, gather, i, target = missing[i],
+                                   name_glob, class_glob, room_glob, timeout,
+                                   forwarded = obs_forwarded_] {
+      CmdLine q("query");
+      q.arg("name", name_glob);
+      q.arg("class", class_glob);
+      q.arg("room", room_glob);
+      q.arg("scope", Word{"local"});  // the peer must not re-forward
+      forwarded->inc();
+      auto reply = call_room(*client, target, q, timeout);
+      Gather::SubResult res;
+      if (reply.ok()) {
+        res.ok = true;
+        if (auto vec = reply->get_vector("services")) {
+          res.encoded.reserve(vec->elements.size());
+          for (const auto& elem : vec->elements)
+            if (elem.is_string() || elem.is_word())
+              res.encoded.push_back(elem.as_text());
+        }
+      }
+      std::scoped_lock lock(gather->mu);
+      gather->results[i] = std::move(res);
+      if (--gather->outstanding == 0) gather->cv.notify_all();
+    });
+  }
+  {
+    // Bounded wait: every sub-query carries its own deadline, the slack
+    // covers scheduling. Partial answers are better than a hung query.
+    std::unique_lock lock(gather->mu);
+    gather->cv.wait_for(lock, timeout + timeout / 2 + std::chrono::milliseconds(250),
+                        [&] { return gather->outstanding == 0; });
+  }
+
+  now = std::chrono::steady_clock::now();
+  std::scoped_lock glock(gather->mu);  // a straggler may still be writing
+  std::scoped_lock lock(forward_mu_);
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    const auto& res = gather->results[i];
+    if (!res.ok) {
+      obs_forward_failures_->inc();
+      continue;
+    }
+    merged.insert(merged.end(), res.encoded.begin(), res.encoded.end());
+    if (options_.federation.forward_cache_ttl.count() <= 0) continue;
+    if (forward_cache_.size() >= options_.federation.forward_cache_max) {
+      // Capped: drop dead entries first, then the soonest-expiring one.
+      std::erase_if(forward_cache_, [&](const auto& kv) {
+        return kv.second.valid_until <= now;
+      });
+      if (forward_cache_.size() >= options_.federation.forward_cache_max) {
+        auto victim = forward_cache_.begin();
+        for (auto it = forward_cache_.begin(); it != forward_cache_.end();
+             ++it)
+          if (it->second.valid_until < victim->second.valid_until)
+            victim = it;
+        forward_cache_.erase(victim);
+      }
+    }
+    const RoomView& t = missing[i];
+    ForwardCacheEntry entry;
+    entry.encoded = res.encoded;
+    entry.valid_until = now + options_.federation.forward_cache_ttl;
+    // Bound the entry to the freshness pair we targeted at fan-out time;
+    // if gossip advanced meanwhile, the entry self-invalidates on its
+    // first probe.
+    entry.epoch = t.epoch;
+    entry.version = t.version;
+    forward_cache_[t.room + "\x1f" + name_glob + "\x1f" + class_glob] =
+        std::move(entry);
+  }
+  return merged;
+}
+
 util::Status AsdDaemon::on_start() {
   reaper_ = std::jthread([this](std::stop_token st) { reaper_loop(st); });
+  if (gossip_) {
+    auto client = std::make_shared<daemon::AceClient>(
+        env(), host().net_host(), identity());
+    {
+      std::scoped_lock lock(forward_mu_);
+      fed_client_ = client;
+    }
+    gossip_->start(address(), client);
+  }
   return util::Status::ok_status();
 }
 
-void AsdDaemon::on_stop() { reaper_ = {}; }
+void AsdDaemon::on_stop() {
+  if (gossip_) gossip_->stop();
+  std::shared_ptr<daemon::AceClient> client;
+  {
+    std::scoped_lock lock(forward_mu_);
+    client = std::move(fed_client_);
+    forward_cache_.clear();
+  }
+  if (client) client->close_all();
+  reaper_ = {};
+}
 
 void AsdDaemon::on_crash() {
+  if (gossip_) gossip_->stop();
+  std::shared_ptr<daemon::AceClient> client;
+  {
+    std::scoped_lock lock(forward_mu_);
+    client = std::move(fed_client_);
+    forward_cache_.clear();
+  }
+  if (client) client->close_all();
   reaper_ = {};
   index_.clear();
 }
@@ -348,11 +591,12 @@ util::Result<ServiceLocation> AsdClient::lookup(const std::string& name) {
 
 util::Result<std::vector<ServiceLocation>> AsdClient::query(
     const std::string& name_glob, const std::string& class_glob,
-    const std::string& room_glob) {
+    const std::string& room_glob, bool local_only) {
   CmdLine cmd("query");
   cmd.arg("name", name_glob);
   cmd.arg("class", class_glob);
   cmd.arg("room", room_glob);
+  if (local_only) cmd.arg("scope", Word{"local"});
   auto reply = client_.call(asd_, cmd, daemon::kCallOk);
   if (!reply.ok()) return reply.error();
   std::vector<ServiceLocation> out;

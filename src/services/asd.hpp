@@ -32,10 +32,12 @@
 #include <memory>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "daemon/daemon.hpp"
 #include "services/asd_index.hpp"
+#include "services/gossip.hpp"
 
 namespace ace::services {
 
@@ -47,6 +49,12 @@ struct AsdOptions {
   // scan for every query. Results are identical either way; only the
   // candidate-selection cost differs.
   bool use_index = true;
+  // Multi-room federation (docs/federation.md): gossip membership with
+  // peer-room directories, cross-room query fan-out with a scoped cache,
+  // and an optional relay for rooms behind bad links. Off by default —
+  // registration/renewal/expiry stay strictly room-local either way; only
+  // `query` ever crosses a room boundary.
+  FederationOptions federation{};
 };
 
 class AsdDaemon : public daemon::ServiceDaemon {
@@ -63,6 +71,10 @@ class AsdDaemon : public daemon::ServiceDaemon {
   // Test hook: index <-> registry <-> gauge agreement (see AsdIndex).
   bool index_consistent() const { return index_.check_consistency(); }
 
+  // Federation membership agent; nullptr when federation is disabled.
+  GossipAgent* gossip() { return gossip_.get(); }
+  const GossipAgent* gossip() const { return gossip_.get(); }
+
  protected:
   util::Status on_start() override;
   void on_stop() override;
@@ -74,6 +86,19 @@ class AsdDaemon : public daemon::ServiceDaemon {
  private:
   void reaper_loop(std::stop_token st);
   static std::string encode_entry(const Registration& r);
+
+  // Cross-room fan-out for one query (federation enabled, scope != local):
+  // probes the scoped cache per live target room, sends the misses in
+  // parallel on the ops pool (`scope=local`, so peers never re-forward),
+  // and fills the cache from whatever answered within forward_timeout.
+  // Returns the remote entries, encoded like local ones.
+  std::vector<std::string> forward_query(const std::string& name_glob,
+                                         const std::string& class_glob,
+                                         const std::string& room_glob);
+  // Gossip saw `room`'s epoch or version advance: its cached results are
+  // stale by definition.
+  void invalidate_forward_cache(const std::string& room);
+  void registry_mutated();  // bumps the gossip version when federated
 
   AsdOptions options_;
 
@@ -89,9 +114,28 @@ class AsdDaemon : public daemon::ServiceDaemon {
   obs::Counter* obs_queries_;
   obs::Counter* obs_index_hits_;
   obs::Counter* obs_scans_;
+  obs::Counter* obs_forwarded_;            // asd.forwarded_queries
+  obs::Counter* obs_forward_failures_;     // asd.forward_failures
+  obs::Counter* obs_forward_cache_hits_;   // asd.forward_cache_hits
+  obs::Counter* obs_forward_cache_misses_; // asd.forward_cache_misses
   obs::Gauge* obs_live_count_;
 
   AsdIndex index_;
+
+  // Federation state. gossip_ exists iff options_.federation.enabled; the
+  // client is shared so an in-flight fan-out task can outlive the handler
+  // that posted it (it holds its own reference). Both the client slot and
+  // the scoped cache are guarded by forward_mu_.
+  std::unique_ptr<GossipAgent> gossip_;
+  std::shared_ptr<daemon::AceClient> fed_client_;
+  struct ForwardCacheEntry {
+    std::vector<std::string> encoded;  // remote entries, wire encoding
+    std::chrono::steady_clock::time_point valid_until;
+    std::uint64_t epoch = 0;    // the room's gossip freshness at fill time
+    std::uint64_t version = 0;
+  };
+  std::mutex forward_mu_;
+  std::unordered_map<std::string, ForwardCacheEntry> forward_cache_;
 
   // The reaper waits on this cv with its stop token (instead of a blind
   // sleep_for), so on_stop() interrupts a pending reap interval instead of
@@ -155,9 +199,13 @@ class AsdClient {
   util::Result<ServiceLocation> lookup(const std::string& name);
 
   // `query name= class= room=;` — glob-pattern search (never cached).
+  // Against a federated directory the reply merges matching entries from
+  // live peer rooms; `local_only` sends `scope=local` to restrict the
+  // answer to the queried directory's own room (and is what a federated
+  // ASD itself sends when fanning out, so forwarding never loops).
   util::Result<std::vector<ServiceLocation>> query(
       const std::string& name_glob = "*", const std::string& class_glob = "*",
-      const std::string& room_glob = "*");
+      const std::string& room_glob = "*", bool local_only = false);
 
   // `register ...;` — returns the lease granted by the directory.
   util::Result<std::chrono::milliseconds> register_service(

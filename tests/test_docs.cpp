@@ -1,12 +1,18 @@
-// docs/commands.md is a machine-checked reference: this test
-// instantiates every command-registering daemon class and diffs the
-// commands documented under its `## `ClassName`` section (plus the
-// sections of its bases) against semantics().command_names(). A command
-// added, removed or renamed in code without a matching doc edit fails
-// here — and so does a documented command no daemon registers.
+// The documentation is machine-checked:
+//  * docs/commands.md — this test instantiates every command-registering
+//    daemon class and diffs the commands documented under its
+//    `## `ClassName`` section (plus the sections of its bases) against
+//    semantics().command_names(). A command added, removed or renamed in
+//    code without a matching doc edit fails here — and so does a
+//    documented command no daemon registers.
+//  * cross-links — every docs/*.md must be reachable from README.md by
+//    following relative markdown links, and every relative link (file and
+//    #anchor) in the reachable set must resolve.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
@@ -27,6 +33,7 @@
 #include "services/launchers.hpp"
 #include "services/monitors.hpp"
 #include "services/net_logger.hpp"
+#include "services/relay.hpp"
 #include "services/room_db.hpp"
 #include "services/streaming.hpp"
 #include "services/tracking.hpp"
@@ -37,6 +44,9 @@
 
 #ifndef ACE_DOCS_COMMANDS_MD
 #error "build must define ACE_DOCS_COMMANDS_MD (path to docs/commands.md)"
+#endif
+#ifndef ACE_REPO_ROOT
+#error "build must define ACE_REPO_ROOT (path to the repository root)"
 #endif
 
 namespace {
@@ -176,6 +186,8 @@ TEST_F(CommandReferenceTest, EveryDaemonMatchesItsDocumentedCommandSet) {
         with("DistributionDaemon", {"RoutedMediaDaemon"}));
   check(host_.add_daemon<services::WssDaemon>(config("wss")),
         with("WssDaemon"));
+  check(host_.add_daemon<services::RelayDaemon>(config("relay")),
+        with("RelayDaemon"));
   check(host_.add_daemon<store::PersistentStoreDaemon>(config("store"), 1),
         with("PersistentStoreDaemon"));
   check(host_.add_daemon<store::RobustnessManagerDaemon>(config("rm")),
@@ -221,6 +233,132 @@ TEST_F(CommandReferenceTest, EveryDaemonMatchesItsDocumentedCommandSet) {
   EXPECT_TRUE(unclaimed.empty())
       << "docs/commands.md sections no daemon accounts for: "
       << join(unclaimed);
+}
+
+// ------------------------------------------------------- markdown linkage
+
+namespace fs = std::filesystem;
+
+// GitHub's heading-to-anchor rule: lowercase, spaces become hyphens,
+// punctuation (backticks, dots, slashes, ...) is dropped, hyphens and
+// underscores survive.
+std::string slugify(const std::string& heading) {
+  std::string out;
+  for (char ch : heading) {
+    const auto c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c))
+      out += static_cast<char>(std::tolower(c));
+    else if (c == ' ')
+      out += '-';
+    else if (c == '-' || c == '_')
+      out += ch;
+  }
+  return out;
+}
+
+struct MarkdownDoc {
+  std::set<std::string> anchors;     // heading slugs (with -N dedup suffixes)
+  std::vector<std::string> targets;  // raw `](...)` link targets, in order
+};
+
+MarkdownDoc parse_markdown(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  MarkdownDoc doc;
+  std::map<std::string, int> slug_uses;
+  std::string line;
+  bool fenced = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("```", 0) == 0) {
+      fenced = !fenced;
+      continue;
+    }
+    if (fenced) continue;
+    if (line.rfind("#", 0) == 0) {
+      const auto text = line.find_first_not_of('#');
+      if (text != std::string::npos && line[text] == ' ') {
+        const std::string slug = slugify(line.substr(text + 1));
+        const int n = slug_uses[slug]++;
+        doc.anchors.insert(n == 0 ? slug : slug + "-" + std::to_string(n));
+      }
+    }
+    // Inline code spans may hold literal `](...)` examples — scrub them.
+    std::string scrubbed;
+    bool in_code = false;
+    for (char c : line) {
+      if (c == '`')
+        in_code = !in_code;
+      else if (!in_code)
+        scrubbed += c;
+    }
+    for (std::size_t i = 0; (i = scrubbed.find("](", i)) != std::string::npos;
+         i += 2) {
+      const auto close = scrubbed.find(')', i + 2);
+      if (close == std::string::npos) break;
+      std::string target = scrubbed.substr(i + 2, close - i - 2);
+      // `](file.md "title")` — the title is not part of the path.
+      if (auto space = target.find(' '); space != std::string::npos)
+        target.resize(space);
+      if (!target.empty()) doc.targets.push_back(std::move(target));
+    }
+  }
+  return doc;
+}
+
+bool is_external(const std::string& target) {
+  return target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0;
+}
+
+// Walks the markdown graph from README.md: every relative link must point
+// at an existing file, every `#anchor` at a real heading in its target, and
+// every file under docs/ must be reached by the walk — a guide nothing
+// links to is dead documentation.
+TEST(DocCrossLinks, EveryDocIsReachableAndEveryLinkResolves) {
+  const fs::path root = fs::weakly_canonical(ACE_REPO_ROOT);
+  std::map<fs::path, MarkdownDoc> parsed;
+  auto doc_for = [&](const fs::path& p) -> MarkdownDoc& {
+    auto it = parsed.find(p);
+    if (it == parsed.end()) it = parsed.emplace(p, parse_markdown(p)).first;
+    return it->second;
+  };
+
+  std::set<fs::path> visited;
+  std::vector<fs::path> queue = {fs::weakly_canonical(root / "README.md")};
+  while (!queue.empty()) {
+    const fs::path page = queue.back();
+    queue.pop_back();
+    if (!visited.insert(page).second) continue;
+    for (const std::string& raw : doc_for(page).targets) {
+      if (is_external(raw)) continue;
+      const auto hash = raw.find('#');
+      const std::string file = raw.substr(0, hash);
+      const std::string anchor =
+          hash == std::string::npos ? "" : raw.substr(hash + 1);
+      const fs::path target =
+          file.empty() ? page
+                       : fs::weakly_canonical(page.parent_path() / file);
+      if (!fs::exists(target)) {
+        ADD_FAILURE() << page.lexically_relative(root).string()
+                      << " links to missing target: " << raw;
+        continue;
+      }
+      if (target.extension() != ".md") continue;  // source files, licenses...
+      if (!anchor.empty())
+        EXPECT_TRUE(doc_for(target).anchors.count(anchor))
+            << page.lexically_relative(root).string() << " links to " << raw
+            << " but " << target.lexically_relative(root).string()
+            << " has no such heading";
+      queue.push_back(target);
+    }
+  }
+
+  for (const auto& entry : fs::directory_iterator(root / "docs")) {
+    if (entry.path().extension() != ".md") continue;
+    EXPECT_TRUE(visited.count(fs::weakly_canonical(entry.path())))
+        << entry.path().lexically_relative(root).string()
+        << " is not reachable from README.md";
+  }
 }
 
 }  // namespace

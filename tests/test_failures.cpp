@@ -473,6 +473,47 @@ TEST(ChaosSchedule, DiskFaultsAreOptInAndDeterministic) {
     EXPECT_NE(e.kind, chaos::FaultKind::disk_bit_rot) << e.to_string();
 }
 
+TEST(ChaosSchedule, RoomPartitionsAreOptInAndDeterministic) {
+  chaos::ScheduleParams params;
+  params.duration = 8s;
+  chaos::Targets targets;
+  targets.services = {"s1", "s2"};
+  targets.hosts = {"h1", "h2", "h3", "h4"};
+
+  // Opt-in contract, same as disks: with the default
+  // weight_room_partition = 0 the schedule must be byte-identical whether
+  // or not room groups are listed, so every pre-federation (seed, params)
+  // replay stays valid.
+  auto without = chaos::generate_schedule(7, params, targets);
+  targets.rooms = {{"roomA", {"h1", "h2"}}, {"roomB", {"h3", "h4"}}};
+  auto with_rooms_off = chaos::generate_schedule(7, params, targets);
+  EXPECT_EQ(without.events, with_rooms_off.events);
+
+  params.weight_room_partition = 8;
+  auto armed = chaos::generate_schedule(7, params, targets);
+  EXPECT_EQ(armed.events, chaos::generate_schedule(7, params, targets).events);
+
+  // Every partition names two distinct room groups and is healed by a
+  // later room_heal carrying the same pair.
+  int partitions = 0;
+  std::set<std::pair<std::string, std::string>> open_rooms;
+  for (const auto& e : armed.events) {
+    if (e.kind == chaos::FaultKind::room_partition) {
+      ++partitions;
+      EXPECT_NE(e.a, e.b) << e.to_string();
+      EXPECT_TRUE(e.a == "roomA" || e.a == "roomB") << e.to_string();
+      EXPECT_TRUE(e.b == "roomA" || e.b == "roomB") << e.to_string();
+      EXPECT_TRUE(open_rooms.insert({e.a, e.b}).second)
+          << "room pair partitioned twice without heal: " << e.to_string();
+    } else if (e.kind == chaos::FaultKind::room_heal) {
+      EXPECT_EQ(open_rooms.erase({e.a, e.b}), 1u)
+          << "room heal without matching partition: " << e.to_string();
+    }
+  }
+  EXPECT_GT(partitions, 0) << "weighted room partitions never drawn";
+  EXPECT_TRUE(open_rooms.empty()) << "unhealed room partition at horizon";
+}
+
 TEST(ChaosSchedule, NoRestartModeLeavesRecoveryToTheFabric) {
   chaos::ScheduleParams params;
   params.duration = 8s;
